@@ -1,0 +1,562 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VI) plus the ablation studies called out in
+   DESIGN.md.
+
+   Subcommands:
+     fig1             - the three example IFPs of Fig. 1 (+ checks + DOT)
+     table1           - Wilander-Kamkar suite results (Table I)
+     table2 [scale]   - performance overhead VP vs VP+ (Table II)
+     loc              - DIFT-integration LoC share (the paper's 6.81% stat)
+     ablate-dmi       - DMI fast path vs full TLM routing
+     ablate-policy    - cost decomposition: tags only vs tags+checks
+     ablate-lub       - precomputed LUB table vs on-the-fly search
+     ablate-quantum   - loosely-timed quantum sweep
+     sweep-lattice    - VP+ overhead vs IFP size (beyond the paper)
+     table2-extended  - additional workloads (crc32, matmul, strings, sw-AES)
+     bechamel         - Bechamel micro-measurements (one group per table)
+     all (default)    - everything above except bechamel *)
+
+let pf = Printf.printf
+
+let now_s () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  pf "=== Fig. 1: example information flow policies ===\n\n";
+  let show name l =
+    pf "%s:\n%s\n" name (Format.asprintf "%a" Dift.Lattice.pp l);
+    pf "dot:\n%s\n" (Dift.Lattice.to_dot l)
+  in
+  let c = Dift.Lattice.confidentiality () in
+  let i = Dift.Lattice.integrity () in
+  let p = Dift.Lattice.ifp3 () in
+  show "IFP-1 (confidentiality)" c;
+  show "IFP-2 (integrity)" i;
+  show "IFP-3 (product)" p;
+  (* The properties quoted in Section IV-A. *)
+  let t n = Dift.Lattice.tag_of_name p n in
+  let lub = Dift.Lattice.name p (Dift.Lattice.lub p (t "LC,LI") (t "HC,HI")) in
+  pf "check: LUB((LC,LI),(HC,HI)) = %s (paper: HC,LI) %s\n" lub
+    (if lub = "HC,LI" then "[ok]" else "[MISMATCH]");
+  let flow a b = Dift.Lattice.allowed_flow p (t a) (t b) in
+  pf "check: (HC,*) cannot reach (LC,*) outputs: %s\n"
+    (if (not (flow "HC,HI" "LC,LI")) && not (flow "HC,LI" "LC,LI") then "[ok]"
+     else "[MISMATCH]");
+  pf "check: (*,LI) cannot reach (*,HI) sinks: %s\n"
+    (if (not (flow "LC,LI" "LC,HI")) && not (flow "HC,LI" "HC,HI")  then "[ok]"
+     else "[MISMATCH]")
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  pf "=== Table I: buffer-overflow test-suite results ===\n\n";
+  pf "%-5s %-15s %-26s %-10s %-10s\n" "Atk#" "Location" "Target" "Technique"
+    "Result";
+  let ok = ref true in
+  List.iter
+    (fun a ->
+      let result =
+        match Firmware.Wilander.run a.Firmware.Wilander.id with
+        | Firmware.Wilander.Detected -> "Detected"
+        | Firmware.Wilander.Missed c ->
+            ok := false;
+            Printf.sprintf "MISSED (exit %d)" c
+        | Firmware.Wilander.Not_applicable -> "N/A"
+      in
+      pf "%-5d %-15s %-26s %-10s %-10s\n" a.Firmware.Wilander.id
+        a.Firmware.Wilander.location a.Firmware.Wilander.target
+        a.Firmware.Wilander.technique result)
+    Firmware.Wilander.attacks;
+  pf "\npaper: 10 Detected / 8 N/A -> %s\n"
+    (if !ok then "reproduced" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type bench_def = {
+  b_name : string;
+  make_image : int -> Rv32_asm.Image.t;  (* scale -> image *)
+  make_policy : Rv32_asm.Image.t -> Dift.Policy.t;
+  setup : Vp.Soc.t -> unit;
+  sensor_period : Sysc.Time.t option;
+  aes : Rv32_asm.Image.t -> (Dift.Lattice.tag * Dift.Lattice.tag) option;
+}
+
+(* The default benchmark policy: the code-injection setup of Section VI-B
+   (program HI, fetch clearance HI) — a representative always-on check. *)
+let integrity_policy img =
+  let lat = Dift.Lattice.integrity () in
+  let hi = Dift.Lattice.tag_of_name lat "HI" in
+  let li = Dift.Lattice.tag_of_name lat "LI" in
+  Dift.Policy.make ~lattice:lat ~default_tag:li
+    ~classification:
+      [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+          ~hi:(Rv32_asm.Image.limit img - 1) ~tag:hi ]
+    ~exec_fetch:hi ()
+
+let plain b ~make_image = {
+  b_name = b;
+  make_image;
+  make_policy = integrity_policy;
+  setup = (fun _ -> ());
+  sensor_period = None;
+  aes = (fun _ -> None);
+}
+
+(* Host side of the immobilizer: keep feeding challenges. *)
+let auto_engine ~challenges soc =
+  let sent = ref 1 and frames = ref 0 in
+  Vp.Can.set_tx_callback soc.Vp.Soc.can (fun _ ->
+      incr frames;
+      if !frames mod 2 = 0 && !sent < challenges then begin
+        incr sent;
+        Vp.Can.push_rx_frame soc.Vp.Soc.can (Printf.sprintf "CH%06d" !sent)
+      end);
+  Vp.Can.push_rx_frame soc.Vp.Soc.can "CH000000"
+
+let benches scale =
+  [
+    plain "qsort" ~make_image:(fun s ->
+        Firmware.Qsort_fw.image ~n:1000 ~rounds:(4 * s) ());
+    plain "dhrystone" ~make_image:(fun s ->
+        Firmware.Dhrystone_fw.image ~iterations:(8000 * s) ());
+    plain "primes" ~make_image:(fun s -> Firmware.Primes_fw.image ~n:(4000 * s) ());
+    plain "sha512" ~make_image:(fun s ->
+        Firmware.Sha_fw.image ~message_len:(16384 * s) ());
+    { (plain "simple-sensor" ~make_image:(fun s ->
+           Firmware.Sensor_fw.image ~frames:(600 * s) ()))
+      with sensor_period = Some (Sysc.Time.us 20) };
+    plain "freertos-tasks" ~make_image:(fun s ->
+        Firmware.Rtos_fw.image ~switches:(400 * s) ~slice_ticks:20 ());
+    {
+      b_name = "immo-fixed";
+      make_image =
+        (fun s ->
+          Firmware.Immo_fw.image
+            ~variant:(Firmware.Immo_fw.Normal { fixed_dump = true })
+            ~challenges:(300 * s) ());
+      make_policy = Firmware.Immo_fw.base_policy;
+      setup = (fun soc -> auto_engine ~challenges:(300 * scale) soc);
+      sensor_period = None;
+      aes = (fun img -> Some (Firmware.Immo_fw.aes_args (Firmware.Immo_fw.base_policy img)));
+    };
+  ]
+
+type row = {
+  r_name : string;
+  instr : int;
+  loc_asm : int;
+  time_vp : float;
+  time_vpp : float;
+}
+
+let run_one def ~scale ~tracking =
+  let img = def.make_image scale in
+  let policy = def.make_policy img in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let aes_out_tag, aes_in_clearance =
+    match def.aes img with Some (o, c) -> (Some o, Some c) | None -> (None, None)
+  in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ?sensor_period:def.sensor_period
+      ?aes_out_tag ?aes_in_clearance ()
+  in
+  Vp.Soc.load_image soc img;
+  def.setup soc;
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+  Vp.Soc.start soc;
+  let t0 = now_s () in
+  Vp.Soc.run soc;
+  let dt = now_s () -. t0 in
+  (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
+  | Rv32.Core.Exited 0 -> ()
+  | Rv32.Core.Exited c -> pf "!! %s exited with %d\n" def.b_name c
+  | r ->
+      pf "!! %s did not exit cleanly (%s)\n" def.b_name
+        (match r with
+        | Rv32.Core.Running -> "running"
+        | Rv32.Core.Breakpoint -> "breakpoint"
+        | Rv32.Core.Insn_limit -> "insn-limit"
+        | Rv32.Core.Exited _ -> assert false));
+  (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret (), img.Rv32_asm.Image.insn_count, dt)
+
+let table2_rows ~scale =
+  List.map
+    (fun def ->
+      let instr, loc_asm, time_vp = run_one def ~scale ~tracking:false in
+      let _, _, time_vpp = run_one def ~scale ~tracking:true in
+      { r_name = def.b_name; instr; loc_asm; time_vp; time_vpp })
+    (benches scale)
+
+let print_table2 rows =
+  pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "Benchmark" "#instr exec."
+    "LoC ASM" "VP [s]" "VP+ [s]" "VP" "VP+" "Ov.";
+  pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "" "" "" "" "" "MIPS" "MIPS" "";
+  let mips i t = if t > 0. then float_of_int i /. t /. 1e6 else 0. in
+  List.iter
+    (fun r ->
+      pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" r.r_name r.instr
+        r.loc_asm r.time_vp r.time_vpp (mips r.instr r.time_vp)
+        (mips r.instr r.time_vpp)
+        (if r.time_vp > 0. then r.time_vpp /. r.time_vp else 0.))
+    rows;
+  let n = float_of_int (List.length rows) in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. rows /. n in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" "- average -"
+    (sum (fun r -> r.instr) / List.length rows)
+    (sum (fun r -> r.loc_asm) / List.length rows)
+    (avg (fun r -> r.time_vp))
+    (avg (fun r -> r.time_vpp))
+    (avg (fun r -> mips r.instr r.time_vp))
+    (avg (fun r -> mips r.instr r.time_vpp))
+    (avg (fun r -> if r.time_vp > 0. then r.time_vpp /. r.time_vp else 0.))
+
+let table2 ~scale () =
+  pf "=== Table II: performance overhead of VP-based DIFT (scale %d) ===\n\n"
+    scale;
+  pf "(workloads scaled down vs the paper's multi-billion-instruction runs;\n";
+  pf " the target is the overhead SHAPE: VP+ roughly 1.2x-3x, average ~2x)\n\n";
+  print_table2 (table2_rows ~scale)
+
+(* ------------------------------------------------------------------ *)
+(* LoC statistic (Section V-B1's 6.81%)                                *)
+(* ------------------------------------------------------------------ *)
+
+let count_lines path =
+  try
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  with Sys_error _ -> 0
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.concat_map (fun e ->
+             let p = Filename.concat dir e in
+             if Sys.is_directory p then ml_files p
+             else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+             then [ p ]
+             else [])
+  | exception Sys_error _ -> []
+
+let loc_report () =
+  pf "=== DIFT-integration LoC share (cf. the paper's 6.81%%) ===\n\n";
+  let total = List.fold_left (fun a f -> a + count_lines f) 0 (ml_files "lib") in
+  let dift = List.fold_left (fun a f -> a + count_lines f) 0 (ml_files "lib/core") in
+  if total = 0 then
+    pf "(run from the repository root to measure the source tree)\n"
+  else
+    pf
+      "DIFT engine (lib/core): %d lines of %d platform lines total = %.2f%%\n\
+       (the paper reports 6.81%% of the original VP touched, 58.7%% of which\n\
+       were plain type conversions; our engine is a separate library, so the\n\
+       share counts its whole implementation)\n"
+      dift total
+      (100. *. float_of_int dift /. float_of_int total)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let time_qsort ~tracking ~dmi ~quantum ~policy_of =
+  let img = Firmware.Qsort_fw.image ~n:1000 ~rounds:4 () in
+  let policy = policy_of img in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~dmi ~quantum () in
+  Vp.Soc.load_image soc img;
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+  Vp.Soc.start soc;
+  let t0 = now_s () in
+  Vp.Soc.run soc;
+  let dt = now_s () -. t0 in
+  (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret (), dt)
+
+let unrestricted_policy img =
+  ignore img;
+  let lat = Dift.Lattice.integrity () in
+  Dift.Policy.unrestricted lat ~default_tag:(Dift.Lattice.tag_of_name lat "HI")
+
+let ablate_dmi () =
+  pf "=== Ablation: DMI fast path vs full TLM routing (qsort) ===\n\n";
+  List.iter
+    (fun (label, dmi, tracking) ->
+      let instr, dt = time_qsort ~tracking ~dmi ~quantum:1000 ~policy_of:integrity_policy in
+      pf "%-28s %10d instr  %8.3f s  %7.1f MIPS\n" label instr dt
+        (float_of_int instr /. dt /. 1e6))
+    [ ("VP  + DMI", true, false); ("VP  + TLM-only", false, false);
+      ("VP+ + DMI", true, true); ("VP+ + TLM-only", false, true) ]
+
+let ablate_policy () =
+  pf "=== Ablation: cost decomposition of the DIFT engine (qsort) ===\n\n";
+  let cases =
+    [ ("VP (no tags at all)", false, integrity_policy);
+      ("VP+ tags only (no checks)", true, unrestricted_policy);
+      ("VP+ tags + fetch check", true, integrity_policy) ]
+  in
+  List.iter
+    (fun (label, tracking, policy_of) ->
+      let instr, dt = time_qsort ~tracking ~dmi:true ~quantum:1000 ~policy_of in
+      pf "%-28s %10d instr  %8.3f s  %7.1f MIPS\n" label instr dt
+        (float_of_int instr /. dt /. 1e6))
+    cases
+
+let ablate_lub () =
+  pf "=== Ablation: precomputed LUB table vs on-the-fly search ===\n\n";
+  let lats =
+    [ ("IFP-2 (2 classes)", Dift.Lattice.integrity ());
+      ("IFP-3 (4 classes)", Dift.Lattice.ifp3 ());
+      ("per-byte (19 classes)", Dift.Lattice.per_byte_key ~n:16) ]
+  in
+  let iters = 5_000_000 in
+  List.iter
+    (fun (name, lat) ->
+      let n = Dift.Lattice.size lat in
+      let bench f =
+        let t0 = now_s () in
+        let acc = ref 0 in
+        for i = 0 to iters - 1 do
+          acc := !acc + f lat (i mod n) ((i * 7) mod n)
+        done;
+        ignore !acc;
+        now_s () -. t0
+      in
+      let t_table = bench Dift.Lattice.lub in
+      let t_search = bench Dift.Lattice.lub_uncached in
+      pf "%-24s table: %6.1f ns/op   search: %6.1f ns/op   (%.1fx)\n" name
+        (t_table /. float_of_int iters *. 1e9)
+        (t_search /. float_of_int iters *. 1e9)
+        (t_search /. t_table))
+    lats
+
+(* Extended workloads beyond the paper's benchmark set. *)
+let table2_extended ~scale () =
+  pf "=== Extended workloads (beyond the paper's Table II set) ===\n\n";
+  let extras =
+    [
+      plain "crc32" ~make_image:(fun s -> Firmware.Extra_fw.crc32_image ~len:(8192 * s) ());
+      plain "matmul" ~make_image:(fun s -> Firmware.Extra_fw.matmul_image ~n:(24 * s) ());
+      plain "strings" ~make_image:(fun s -> Firmware.Extra_fw.strings_image ~count:(512 * s) ());
+      plain "aes-sw" ~make_image:(fun _ -> Firmware.Aes_sw_fw.image ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun def ->
+        let instr, loc_asm, time_vp = run_one def ~scale ~tracking:false in
+        let _, _, time_vpp = run_one def ~scale ~tracking:true in
+        { r_name = def.b_name; instr; loc_asm; time_vp; time_vpp })
+      extras
+  in
+  print_table2 rows
+
+(* Overhead vs lattice size: the LUB table should keep the per-class cost
+   flat (an experiment beyond the paper). *)
+let sweep_lattice () =
+  pf "=== Sweep: VP+ overhead vs IFP size (qsort) ===\n\n";
+  let lattices =
+    [ ("IFP-2 (2 classes)", Dift.Lattice.integrity ());
+      ("IFP-3 (4 classes)", Dift.Lattice.ifp3 ());
+      ("per-byte (19 classes)", Dift.Lattice.per_byte_key ~n:16);
+      ("per-byte (67 classes)", Dift.Lattice.per_byte_key ~n:64) ]
+  in
+  let img = Firmware.Qsort_fw.image ~n:1000 ~rounds:4 () in
+  let baseline =
+    let policy = integrity_policy img in
+    let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+    let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
+    Vp.Soc.load_image soc img;
+    soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+    Vp.Soc.start soc;
+    let t0 = now_s () in
+    Vp.Soc.run soc;
+    now_s () -. t0
+  in
+  pf "%-24s %8.3f s   (VP baseline)\n" "no tracking" baseline;
+  List.iter
+    (fun (name, lat) ->
+      let bot = Option.get (Dift.Lattice.bottom lat) in
+      let policy =
+        Dift.Policy.make ~lattice:lat ~default_tag:bot
+          ~classification:
+            [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+                ~hi:(Rv32_asm.Image.limit img - 1) ~tag:bot ]
+          ~exec_fetch:(Option.get (Dift.Lattice.top lat))
+          ()
+      in
+      let monitor = Dift.Monitor.create lat in
+      let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
+      Vp.Soc.load_image soc img;
+      soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+      Vp.Soc.start soc;
+      let t0 = now_s () in
+      Vp.Soc.run soc;
+      let dt = now_s () -. t0 in
+      pf "%-24s %8.3f s   (%.2fx)\n" name dt (dt /. baseline))
+    lattices
+
+let ablate_quantum () =
+  pf "=== Ablation: loosely-timed quantum sweep (qsort, VP+) ===\n\n";
+  List.iter
+    (fun quantum ->
+      let instr, dt = time_qsort ~tracking:true ~dmi:true ~quantum ~policy_of:integrity_policy in
+      pf "quantum %6d cycles: %10d instr  %8.3f s  %7.1f MIPS\n" quantum instr
+        dt
+        (float_of_int instr /. dt /. 1e6))
+    [ 1; 10; 100; 1000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-measurements                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  let open Bechamel in
+  let lat = Dift.Lattice.ifp3 () in
+  (* One Test.make per table/figure of the paper. *)
+  let fig1_test =
+    Test.make ~name:"fig1/lub+allowedFlow"
+      (Staged.stage (fun () ->
+           let n = Dift.Lattice.size lat in
+           let acc = ref 0 in
+           for i = 0 to 63 do
+             let a = i mod n and b = (i * 3) mod n in
+             acc := !acc + Dift.Lattice.lub lat a b;
+             if Dift.Lattice.allowed_flow lat a b then incr acc
+           done;
+           !acc))
+  in
+  let table1_test =
+    Test.make ~name:"table1/attack3-detection"
+      (Staged.stage (fun () -> Firmware.Wilander.run 3))
+  in
+  let table2_vp =
+    Test.make ~name:"table2/qsort-vp"
+      (Staged.stage (fun () ->
+           let img = Firmware.Qsort_fw.image ~n:64 ~rounds:1 () in
+           let policy = integrity_policy img in
+           let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+           let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
+           Vp.Soc.load_image soc img;
+           ignore (Vp.Soc.run_for_instructions soc 10_000_000)))
+  in
+  let table2_vpp =
+    Test.make ~name:"table2/qsort-vp+"
+      (Staged.stage (fun () ->
+           let img = Firmware.Qsort_fw.image ~n:64 ~rounds:1 () in
+           let policy = integrity_policy img in
+           let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+           let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
+           Vp.Soc.load_image soc img;
+           ignore (Vp.Soc.run_for_instructions soc 10_000_000)))
+  in
+  let immo_test =
+    Test.make ~name:"sec6a/immobilizer-roundtrip"
+      (Staged.stage (fun () ->
+           let img =
+             Firmware.Immo_fw.image
+               ~variant:(Firmware.Immo_fw.Normal { fixed_dump = true })
+               ()
+           in
+           let policy = Firmware.Immo_fw.base_policy img in
+           let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+           let aes_out_tag, aes_in_clearance = Firmware.Immo_fw.aes_args policy in
+           let soc =
+             Vp.Soc.create ~policy ~monitor ~tracking:true ~aes_out_tag
+               ~aes_in_clearance ()
+           in
+           Vp.Soc.load_image soc img;
+           Vp.Can.push_rx_frame soc.Vp.Soc.can "CHALLNGE";
+           ignore (Vp.Soc.run_for_instructions soc 10_000_000)))
+  in
+  let tests =
+    Test.make_grouped ~name:"vp-dift"
+      [ fig1_test; table1_test; table2_vp; table2_vpp; immo_test ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    List.map (fun i -> Analyze.all ols i raw) instances
+  in
+  pf "=== Bechamel micro-measurements ===\n\n";
+  let results = benchmark () in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+            | Some es ->
+                String.concat ", " (List.map (Printf.sprintf "%.1f") es)
+            | None -> "n/a"
+          in
+          pf "%-32s %s\n" name est)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    match args with
+    | _ :: "table2" :: s :: _ -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> 1)
+    | _ -> 1
+  in
+  match args with
+  | _ :: "fig1" :: _ -> fig1 ()
+  | _ :: "table1" :: _ -> table1 ()
+  | _ :: "table2" :: _ -> table2 ~scale ()
+  | _ :: "loc" :: _ -> loc_report ()
+  | _ :: "ablate-dmi" :: _ -> ablate_dmi ()
+  | _ :: "ablate-policy" :: _ -> ablate_policy ()
+  | _ :: "ablate-lub" :: _ -> ablate_lub ()
+  | _ :: "ablate-quantum" :: _ -> ablate_quantum ()
+  | _ :: "sweep-lattice" :: _ -> sweep_lattice ()
+  | _ :: "table2-extended" :: _ -> table2_extended ~scale:1 ()
+  | _ :: "bechamel" :: _ -> bechamel ()
+  | _ :: "all" :: _ | [ _ ] ->
+      fig1 ();
+      pf "\n";
+      table1 ();
+      pf "\n";
+      table2 ~scale:1 ();
+      pf "\n";
+      loc_report ();
+      pf "\n";
+      ablate_dmi ();
+      pf "\n";
+      ablate_policy ();
+      pf "\n";
+      ablate_lub ();
+      pf "\n";
+      ablate_quantum ();
+      pf "\n";
+      sweep_lattice ();
+      pf "\n";
+      table2_extended ~scale:1 ()
+  | _ :: cmd :: _ ->
+      pf "unknown command %S\n" cmd;
+      exit 1
+  | [] -> ()

@@ -1,0 +1,1 @@
+bin/policy_fuzz.ml: Arg Cmd Cmdliner Firmware Format Term

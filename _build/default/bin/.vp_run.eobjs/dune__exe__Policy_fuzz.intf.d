@@ -1,0 +1,1 @@
+bin/policy_fuzz.mli:

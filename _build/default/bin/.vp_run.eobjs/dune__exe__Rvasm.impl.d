@@ -1,0 +1,1 @@
+bin/rvasm.ml: Arg Bytes Cmd Cmdliner Format Int32 Printf Rv32 Rv32_asm Term

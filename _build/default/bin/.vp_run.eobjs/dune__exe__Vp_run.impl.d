@@ -1,0 +1,1 @@
+bin/vp_run.ml: Arg Bytes Cmd Cmdliner Dift Format Hashtbl Int32 List Printf Rv32 Rv32_asm String Term Vp

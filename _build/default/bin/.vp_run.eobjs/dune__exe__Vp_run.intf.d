@@ -1,0 +1,1 @@
+bin/vp_run.mli:

@@ -1,0 +1,34 @@
+(* policy_fuzz: stress-test the DIFT engine with random programs under
+   random security policies (the paper's future-work direction).
+
+     dune exec bin/policy_fuzz.exe -- --programs 500 --seed 42 *)
+
+open Cmdliner
+
+let run programs seed size =
+  let report = Firmware.Fuzz.run ~seed ~size ~programs () in
+  Format.printf "%a@." Firmware.Fuzz.pp_report report;
+  if Firmware.Fuzz.healthy report then begin
+    Format.printf "all invariants hold.@.";
+    0
+  end
+  else begin
+    Format.printf "INVARIANT VIOLATIONS — see counters above.@.";
+    1
+  end
+
+let programs_arg =
+  Arg.(value & opt int 200 & info [ "programs"; "n" ] ~docv:"N" ~doc:"Programs to generate.")
+
+let seed_arg =
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are reproducible).")
+
+let size_arg =
+  Arg.(value & opt int 40 & info [ "size" ] ~docv:"K" ~doc:"Instructions per program.")
+
+let cmd =
+  let doc = "fuzz the DIFT engine with random programs and policies" in
+  Cmd.v (Cmd.info "policy_fuzz" ~doc)
+    Term.(const run $ programs_arg $ seed_arg $ size_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,72 @@
+(* rvasm: assemble a RISC-V source file and dump the image as hex words
+   with disassembly, or as raw binary.
+
+     dune exec bin/rvasm.exe -- prog.s
+     dune exec bin/rvasm.exe -- prog.s -o prog.bin *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let assemble file org output symbols =
+  let src = read_file file in
+  match Rv32_asm.Parser.parse_result ~org src with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      1
+  | Ok img ->
+      (match output with
+      | Some path ->
+          let oc = open_out_bin path in
+          output_bytes oc img.Rv32_asm.Image.code;
+          close_out oc;
+          Printf.printf "%s: %d bytes at 0x%08x (%d opcodes)\n" path
+            (Rv32_asm.Image.size img) img.Rv32_asm.Image.org
+            img.Rv32_asm.Image.insn_count
+      | None ->
+          let code = img.Rv32_asm.Image.code in
+          let n = Bytes.length code in
+          let i = ref 0 in
+          while !i + 4 <= n do
+            let w = Int32.to_int (Bytes.get_int32_le code !i) land 0xffffffff in
+            Printf.printf "%08x:  %08x  %s\n"
+              (img.Rv32_asm.Image.org + !i)
+              w (Rv32.Disasm.word w);
+            i := !i + 4
+          done;
+          if !i < n then begin
+            Printf.printf "%08x: " (img.Rv32_asm.Image.org + !i);
+            while !i < n do
+              Printf.printf " %02x" (Bytes.get_uint8 code !i);
+              incr i
+            done;
+            print_newline ()
+          end);
+      if symbols then
+        print_string (Format.asprintf "%a" Rv32_asm.Image.pp_symbols img);
+      0
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source.")
+
+let org_arg =
+  Arg.(value & opt int 0x8000_0000 & info [ "org" ] ~docv:"ADDR" ~doc:"Load address.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write raw binary instead of a listing.")
+
+let symbols_arg =
+  Arg.(value & flag & info [ "symbols" ] ~doc:"Also print the symbol table.")
+
+let cmd =
+  let doc = "assemble RV32IM sources for the virtual prototype" in
+  Cmd.v (Cmd.info "rvasm" ~doc)
+    Term.(const assemble $ file_arg $ org_arg $ out_arg $ symbols_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,227 @@
+(* vp_run: assemble a RISC-V assembly file and execute it on the virtual
+   prototype, with or without the DIFT engine.
+
+     dune exec bin/vp_run.exe -- prog.s --policy integrity --uart-input hi *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type policy_kind = P_none | P_integrity | P_confidentiality
+
+let build_policy kind img =
+  match kind with
+  | P_none ->
+      let lat = Dift.Lattice.integrity () in
+      Dift.Policy.unrestricted lat
+        ~default_tag:(Dift.Lattice.tag_of_name lat "HI")
+  | P_integrity ->
+      (* Code-injection protection: program HI, fetch clearance HI. *)
+      let lat = Dift.Lattice.integrity () in
+      let hi = Dift.Lattice.tag_of_name lat "HI" in
+      let li = Dift.Lattice.tag_of_name lat "LI" in
+      Dift.Policy.make ~lattice:lat ~default_tag:li
+        ~classification:
+          [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+              ~hi:(Rv32_asm.Image.limit img - 1) ~tag:hi ]
+        ~exec_fetch:hi ()
+  | P_confidentiality ->
+      (* Anything in a region labelled "secret" is HC; the UART and CAN
+         are cleared for LC. *)
+      let lat = Dift.Lattice.confidentiality () in
+      let lc = Dift.Lattice.tag_of_name lat "LC" in
+      let hc = Dift.Lattice.tag_of_name lat "HC" in
+      let classification =
+        match Rv32_asm.Image.symbol_opt img "secret" with
+        | Some lo ->
+            let hi_addr =
+              match Rv32_asm.Image.symbol_opt img "secret_end" with
+              | Some e -> e - 1
+              | None -> lo + 15
+            in
+            [ Dift.Policy.region ~name:"secret" ~lo ~hi:hi_addr ~tag:hc ]
+        | None -> []
+      in
+      Dift.Policy.make ~lattice:lat ~default_tag:lc ~classification
+        ~output_clearance:[ ("uart", lc); ("can", lc) ]
+        ~exec_branch:lc ~exec_mem_addr:lc ()
+
+let run file policy_kind tracking max_insns uart_input show_symbols quiet trace taint_map report coverage =
+  let src = read_file file in
+  match Rv32_asm.Parser.parse_result src with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      1
+  | Ok img ->
+      if show_symbols then
+        print_string (Format.asprintf "%a" Rv32_asm.Image.pp_symbols img);
+      let policy = build_policy policy_kind img in
+      let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+      let soc = Vp.Soc.create ~policy ~monitor ~tracking () in
+      Vp.Soc.load_image soc img;
+      (match uart_input with
+      | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
+      | None -> ());
+      let covered = Hashtbl.create 1024 in
+      if coverage then
+        soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace
+          (Some (fun pc _ -> Hashtbl.replace covered pc ()));
+      if trace > 0 then begin
+        let remaining = ref trace in
+        soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace
+          (Some
+             (fun pc insn ->
+               if !remaining > 0 then begin
+                 decr remaining;
+                 Printf.eprintf "%08x:  %s\n" pc (Rv32.Disasm.insn insn)
+               end))
+      end;
+      let outcome =
+        try Ok (Vp.Soc.run_for_instructions soc max_insns)
+        with
+        | Dift.Violation.Violation v -> Error (`Violation v)
+        | Rv32.Core.Fatal_trap { cause; pc; _ } -> Error (`Trap (cause, pc))
+      in
+      if taint_map then begin
+        let lat = policy.Dift.Policy.lattice in
+        let baseline =
+          match Dift.Lattice.bottom lat with
+          | Some b -> b
+          | None -> policy.Dift.Policy.default_tag
+        in
+        let regions = Vp.Memory.tainted_regions soc.Vp.Soc.memory ~baseline in
+        Printf.printf "[vp] taint map (%d tainted region(s), baseline %s):\n"
+          (List.length regions)
+          (Dift.Lattice.name lat baseline);
+        List.iter
+          (fun (lo, hi, tag) ->
+            Printf.printf "  0x%08x..0x%08x  %s\n" (Vp.Soc.ram_base + lo)
+              (Vp.Soc.ram_base + hi) (Dift.Lattice.name lat tag))
+          regions
+      end;
+      if report then begin
+        let lat = policy.Dift.Policy.lattice in
+        Printf.printf "[vp] %s\n"
+          (Format.asprintf "%a" Dift.Monitor.pp_summary monitor);
+        List.iter
+          (fun ev ->
+            Printf.printf "  %s\n"
+              (Format.asprintf "%a" (Dift.Monitor.pp_event lat) ev))
+          (Dift.Monitor.events monitor)
+      end;
+      if coverage then begin
+        (* Count executable words up to the first data label heuristic:
+           just report covered distinct pcs vs total instruction words. *)
+        let total = img.Rv32_asm.Image.insn_count in
+        Printf.printf "[vp] coverage: %d distinct pcs executed (%d opcodes assembled)\n"
+          (Hashtbl.length covered) total;
+        (* List never-executed instruction addresses in the image that
+           decode to something legal, capped for readability. *)
+        let shown = ref 0 in
+        let code = img.Rv32_asm.Image.code in
+        let org = img.Rv32_asm.Image.org in
+        let i = ref 0 in
+        while !i + 4 <= Bytes.length code && !shown < 16 do
+          let pc = org + !i in
+          let w = Int32.to_int (Bytes.get_int32_le code !i) land 0xffffffff in
+          (match Rv32.Decode.decode w with
+          | Rv32.Insn.ILLEGAL _ -> ()
+          | insn ->
+              if not (Hashtbl.mem covered pc) then begin
+                incr shown;
+                Printf.printf "  never executed: %08x  %s\n" pc
+                  (Rv32.Disasm.insn insn)
+              end);
+          i := !i + 4
+        done
+      end;
+      let uart_out = Vp.Uart.tx_string soc.Vp.Soc.uart in
+      if uart_out <> "" && not quiet then (
+        print_string uart_out;
+        if uart_out.[String.length uart_out - 1] <> '\n' then print_newline ());
+      (match outcome with
+      | Ok (Rv32.Core.Exited code) ->
+          if not quiet then
+            Printf.printf "[vp] exited with code %d after %d instructions\n"
+              code
+              (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
+          if code = 0 then 0 else code land 0xff
+      | Ok Rv32.Core.Breakpoint ->
+          Printf.printf "[vp] stopped at ebreak (pc=0x%08x)\n"
+            (soc.Vp.Soc.cpu.Vp.Soc.cpu_pc ());
+          0
+      | Ok Rv32.Core.Insn_limit ->
+          Printf.printf "[vp] instruction limit (%d) reached\n" max_insns;
+          2
+      | Ok Rv32.Core.Running ->
+          Printf.printf "[vp] simulation idle (deadlock?)\n";
+          2
+      | Error (`Violation v) ->
+          Printf.printf "[vp] SECURITY VIOLATION: %s\n"
+            (Dift.Violation.to_string policy.Dift.Policy.lattice v);
+          3
+      | Error (`Trap (cause, pc)) ->
+          Printf.printf "[vp] fatal trap: cause %d at pc=0x%08x\n" cause pc;
+          4)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+
+let policy_arg =
+  let kinds =
+    [ ("none", P_none); ("integrity", P_integrity);
+      ("confidentiality", P_confidentiality) ]
+  in
+  Arg.(value & opt (enum kinds) P_none
+       & info [ "policy" ] ~docv:"KIND"
+           ~doc:"Security policy: $(b,none), $(b,integrity) (code-injection \
+                 protection), or $(b,confidentiality) (a region labelled \
+                 $(i,secret)..$(i,secret_end) is classified HC).")
+
+let tracking_arg =
+  Arg.(value & flag & info [ "no-tracking" ] ~doc:"Run the plain VP (no DIFT engine).")
+
+let max_arg =
+  Arg.(value & opt int 100_000_000 & info [ "max-insns" ] ~docv:"N" ~doc:"Instruction budget.")
+
+let uart_arg =
+  Arg.(value & opt (some string) None
+       & info [ "uart-input" ] ~docv:"STR" ~doc:"Bytes queued on the UART receiver.")
+
+let symbols_arg =
+  Arg.(value & flag & info [ "symbols" ] ~doc:"Print the symbol table before running.")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress UART echo.")
+
+let taint_map_arg =
+  Arg.(value & flag
+       & info [ "taint-map" ] ~doc:"Print the RAM taint map after the run.")
+
+let report_arg =
+  Arg.(value & flag
+       & info [ "report" ] ~doc:"Print the DIFT monitor's event log after the run.")
+
+let coverage_arg =
+  Arg.(value & flag
+       & info [ "coverage" ] ~doc:"Report executed-instruction coverage after the run.")
+
+let trace_arg =
+  Arg.(value & opt int 0
+       & info [ "trace" ] ~docv:"N" ~doc:"Print the first $(docv) executed instructions to stderr.")
+
+let cmd =
+  let doc = "execute a RISC-V binary on the DIFT-enabled virtual prototype" in
+  Cmd.v
+    (Cmd.info "vp_run" ~doc)
+    Term.(
+      const (fun f p nt m u s q tr tm rep cov ->
+          run f p (not nt) m u s q tr tm rep cov)
+      $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
+      $ quiet_arg $ trace_arg $ taint_map_arg $ report_arg $ coverage_arg)
+
+let () = exit (Cmd.eval' cmd)

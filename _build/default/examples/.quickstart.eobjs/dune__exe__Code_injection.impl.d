@@ -1,0 +1,1 @@
+examples/code_injection.ml: Firmware Format List Option Printf Rv32_asm String

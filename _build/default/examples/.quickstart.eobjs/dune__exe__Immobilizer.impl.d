@@ -1,0 +1,1 @@
+examples/immobilizer.ml: Char Dift Firmware Format List Printf Rv32 Rv32_asm String Vp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dift Firmware Format Rv32 Rv32_asm Vp

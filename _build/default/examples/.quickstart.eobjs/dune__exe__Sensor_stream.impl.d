@@ -1,0 +1,1 @@
+examples/sensor_stream.ml: Dift Firmware Format Rv32 Rv32_asm String Sysc Vp

@@ -1,0 +1,1 @@
+examples/sw_vs_hw_crypto.ml: Char Dift Firmware Format List Printf Rv32 Rv32_asm String Vp

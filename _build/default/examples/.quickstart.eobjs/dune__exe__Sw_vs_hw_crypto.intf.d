@@ -1,0 +1,1 @@
+examples/sw_vs_hw_crypto.mli:

@@ -1,0 +1,52 @@
+# fib.s — print fib(0..10) as decimal numbers on the UART.
+# run: dune exec bin/vp_run.exe -- examples/asm/fib.s
+
+    .equ UART, 0x10000000
+
+    li sp, 0x800ffff0   # stack at the top of RAM
+    li s1, 0            # fib(i)
+    li s2, 1            # fib(i+1)
+    li s3, 11           # count
+loop:
+    mv a0, s1
+    call print_dec
+    li a0, 10           # '\n'
+    call putc
+    add t0, s1, s2
+    mv s1, s2
+    mv s2, t0
+    addi s3, s3, -1
+    bnez s3, loop
+    li a7, 93
+    li a0, 0
+    ecall
+
+# print a0 as unsigned decimal
+print_dec:
+    addi sp, sp, -32
+    sw ra, 28(sp)
+    addi t0, sp, 27     # digit cursor (builds backwards)
+    sb zero, 0(t0)
+    li t1, 10
+pd_loop:
+    remu t2, a0, t1
+    addi t2, t2, 48     # '0'
+    addi t0, t0, -1
+    sb t2, 0(t0)
+    divu a0, a0, t1
+    bnez a0, pd_loop
+pd_out:
+    lbu a0, 0(t0)
+    beqz a0, pd_done
+    call putc
+    addi t0, t0, 1
+    j pd_out
+pd_done:
+    lw ra, 28(sp)
+    addi sp, sp, 32
+    ret
+
+putc:
+    li t6, UART
+    sb a0, 0(t6)
+    ret

@@ -1,0 +1,31 @@
+# leak.s — a classified byte reaches the UART.
+# run:   dune exec bin/vp_run.exe -- examples/asm/leak.s
+# catch: dune exec bin/vp_run.exe -- examples/asm/leak.s --policy confidentiality
+
+    la a0, banner
+    call puts
+    la t0, secret
+    lbu t1, 0(t0)       # load a secret byte...
+    li t2, 0x10000000
+    sb t1, 0(t2)        # ...and ship it out (violation under the policy)
+    li a7, 93
+    li a0, 0
+    ecall
+
+puts:
+    li t6, 0x10000000
+puts_loop:
+    lbu t5, 0(a0)
+    beqz t5, puts_done
+    sb t5, 0(t6)
+    addi a0, a0, 1
+    j puts_loop
+puts_done:
+    ret
+
+banner:
+    .asciz "about to leak...\n"
+    .align 2
+secret:
+    .ascii "HUNTER2HUNTER2!!"
+secret_end:

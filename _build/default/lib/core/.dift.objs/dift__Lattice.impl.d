@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Array Buffer Format Hashtbl List Printf

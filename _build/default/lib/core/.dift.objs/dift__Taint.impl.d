@@ -1,0 +1,1 @@
+lib/core/taint.ml: Array Char Format Int32 Lattice

@@ -1,0 +1,1 @@
+lib/core/taint.mli: Format Lattice

@@ -1,0 +1,46 @@
+(** Run-time monitor: collects DIFT events for reporting and statistics.
+
+    The DIFT engine raises {!Violation.Violation} on a failed check; the
+    monitor optionally intercepts events first so a simulation harness can
+    log, count, or continue past violations (useful for test suites that
+    expect many violations in one run). *)
+
+type mode =
+  | Halt  (** Re-raise violations, stopping the simulation (default). *)
+  | Record  (** Record violations and let execution continue. *)
+
+type event =
+  | Violated of Violation.t
+  | Declassified of { where : string; from_tag : Lattice.tag; to_tag : Lattice.tag }
+  | Note of string
+
+type t
+
+val create : ?mode:mode -> Lattice.t -> t
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+val lattice : t -> Lattice.t
+
+val report : t -> event -> unit
+(** Record an event. If the event is a violation and the mode is [Halt],
+    re-raises {!Violation.Violation} after recording. *)
+
+val violation : t -> Violation.t -> unit
+(** [violation m v] = [report m (Violated v)]. *)
+
+val events : t -> event list
+(** All events, oldest first. *)
+
+val violations : t -> Violation.t list
+val violation_count : t -> int
+val declassification_count : t -> int
+val clear : t -> unit
+
+val check_count : t -> int
+(** Total number of clearance checks performed (both passed and failed);
+    incremented by the engine via {!count_check}. *)
+
+val count_check : t -> unit
+
+val pp_event : Lattice.t -> Format.formatter -> event -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type 'a t = { v : 'a; tag : Lattice.tag }
+
+let make v tag = { v; tag }
+let value x = x.v
+let tag x = x.tag
+let retag x tag = { x with tag }
+let map _l f x = { v = f x.v; tag = x.tag }
+let map2 l f a b = { v = f a.v b.v; tag = Lattice.lub l a.tag b.tag }
+let check_clearance l x ~required = Lattice.allowed_flow l x.tag required
+
+let to_bytes w =
+  let byte i =
+    { v = Char.chr (Int32.to_int (Int32.shift_right_logical w.v (8 * i)) land 0xff);
+      tag = w.tag }
+  in
+  Array.init 4 byte
+
+let from_bytes l ar =
+  if Array.length ar <> 4 then
+    invalid_arg "Taint.from_bytes: expected exactly 4 bytes";
+  let v = ref 0l and t = ref ar.(0).tag in
+  for i = 3 downto 0 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code ar.(i).v))
+  done;
+  Array.iter (fun b -> t := Lattice.lub l !t b.tag) ar;
+  { v = !v; tag = !t }
+
+let pp pp_v l fmt x =
+  Format.fprintf fmt "%a@@%s" pp_v x.v (Lattice.name l x.tag)

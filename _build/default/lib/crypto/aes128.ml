@@ -1,0 +1,161 @@
+(* AES-128, FIPS-197. The S-box is generated from the multiplicative
+   inverse in GF(2^8) followed by the affine transform, rather than
+   hardcoded, so the known-answer tests exercise the construction too. *)
+
+let xtime b = if b land 0x80 <> 0 then ((b lsl 1) lxor 0x1b) land 0xff else b lsl 1
+
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go (xtime a) (b lsr 1) acc
+  in
+  go a b 0
+
+let sbox_arr, inv_sbox =
+  let s = Array.make 256 0 and si = Array.make 256 0 in
+  (* Multiplicative inverses via brute force (fine at init time). *)
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inv.(a) <- b
+    done
+  done;
+  for x = 0 to 255 do
+    let i = inv.(x) in
+    let rot v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+    let y = i lxor rot i 1 lxor rot i 2 lxor rot i 3 lxor rot i 4 lxor 0x63 in
+    s.(x) <- y;
+    si.(y) <- x
+  done;
+  (s, si)
+
+let rcon_arr = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = int array array
+(* 11 round keys of 16 bytes each. *)
+
+let expand k =
+  if String.length k <> 16 then invalid_arg "Aes128.expand: key must be 16 bytes";
+  (* 44 words of 4 bytes. *)
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code k.[(4 * i) + j]
+    done
+  done;
+  for i = 4 to 43 do
+    let t = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon. *)
+      let t0 = t.(0) in
+      t.(0) <- sbox_arr.(t.(1)) lxor rcon_arr.((i / 4) - 1);
+      t.(1) <- sbox_arr.(t.(2));
+      t.(2) <- sbox_arr.(t.(3));
+      t.(3) <- sbox_arr.(t0)
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor t.(j)
+    done
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun b -> w.((4 * r) + (b / 4)).(b mod 4)))
+
+let add_round_key st rk =
+  for i = 0 to 15 do
+    st.(i) <- st.(i) lxor rk.(i)
+  done
+
+let sub_bytes st box =
+  for i = 0 to 15 do
+    st.(i) <- box.(st.(i))
+  done
+
+(* State is column-major: byte (r, c) at index 4*c + r. *)
+let shift_rows st =
+  let g r c = st.((4 * c) + r) in
+  let tmp = Array.copy st in
+  let s r c v = tmp.((4 * c) + r) <- v in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      s r c (g r ((c + r) mod 4))
+    done
+  done;
+  Array.blit tmp 0 st 0 16
+
+let inv_shift_rows st =
+  let g r c = st.((4 * c) + r) in
+  let tmp = Array.copy st in
+  let s r c v = tmp.((4 * c) + r) <- v in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      s r c (g r ((c - r + 4) mod 4))
+    done
+  done;
+  Array.blit tmp 0 st 0 16
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) in
+    let a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    st.((4 * c) + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    st.((4 * c) + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    st.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) in
+    let a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    st.((4 * c) + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    st.((4 * c) + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    st.((4 * c) + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let check_block what s =
+  if String.length s <> 16 then
+    invalid_arg (Printf.sprintf "Aes128.%s: block must be 16 bytes" what)
+
+let encrypt_block rk pt =
+  check_block "encrypt_block" pt;
+  let st = Array.init 16 (fun i -> Char.code pt.[i]) in
+  add_round_key st rk.(0);
+  for round = 1 to 9 do
+    sub_bytes st sbox_arr;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st rk.(round)
+  done;
+  sub_bytes st sbox_arr;
+  shift_rows st;
+  add_round_key st rk.(10);
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let decrypt_block rk ct =
+  check_block "decrypt_block" ct;
+  let st = Array.init 16 (fun i -> Char.code ct.[i]) in
+  add_round_key st rk.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    sub_bytes st inv_sbox;
+    add_round_key st rk.(round);
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  sub_bytes st inv_sbox;
+  add_round_key st rk.(0);
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let encrypt_ecb rk msg =
+  if String.length msg mod 16 <> 0 then
+    invalid_arg "Aes128.encrypt_ecb: message must be a multiple of 16 bytes";
+  String.concat ""
+    (List.init
+       (String.length msg / 16)
+       (fun i -> encrypt_block rk (String.sub msg (16 * i) 16)))
+
+let sbox = sbox_arr
+let rcon = rcon_arr

@@ -1,0 +1,29 @@
+(** AES-128 block cipher (FIPS-197), used by the VP's AES peripheral for
+    the immobilizer's challenge-response protocol.
+
+    This is a plain table-based implementation for simulation purposes; it
+    makes no constant-time claims. *)
+
+type key
+(** An expanded 128-bit key schedule. *)
+
+val expand : string -> key
+(** [expand k] expands a 16-byte key. Raises [Invalid_argument] on any
+    other length. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypt one 16-byte block (ECB). Raises [Invalid_argument] on any other
+    length. *)
+
+val decrypt_block : key -> string -> string
+(** Inverse of {!encrypt_block}. *)
+
+val encrypt_ecb : key -> string -> string
+(** Encrypt a message that is a multiple of 16 bytes, block by block. *)
+
+val sbox : int array
+(** The AES S-box (256 entries), exposed for the software-AES firmware's
+    lookup tables. *)
+
+val rcon : int array
+(** The 10 round constants of the AES-128 key schedule. *)

@@ -1,0 +1,8 @@
+(** SHA-256 (FIPS 180-4). Used to check the firmware hash benchmark's
+    results against a host-side reference. *)
+
+val digest : string -> string
+(** 32-byte binary digest. *)
+
+val hexdigest : string -> string
+(** Lowercase hexadecimal digest. *)

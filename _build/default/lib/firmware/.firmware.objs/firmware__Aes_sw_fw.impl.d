@@ -1,0 +1,1 @@
+lib/firmware/aes_sw_fw.ml: Array Crypto List Printf Rt Rv32 Rv32_asm Vp

@@ -1,0 +1,1 @@
+lib/firmware/aes_sw_fw.mli: Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/dhrystone_fw.mli: Rv32_asm

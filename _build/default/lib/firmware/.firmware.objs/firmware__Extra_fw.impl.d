@@ -1,0 +1,1 @@
+lib/firmware/extra_fw.ml: Array Char List Printf Rt Rv32 Rv32_asm String

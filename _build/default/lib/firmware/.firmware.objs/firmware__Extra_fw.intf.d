@@ -1,0 +1,1 @@
+lib/firmware/extra_fw.mli: Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/fuzz.ml: Char Dift Format List Option Printf Rt Rv32 Rv32_asm String Vp

@@ -1,0 +1,1 @@
+lib/firmware/immo_fw.ml: Char Crypto Dift List Printf Rt Rv32 Rv32_asm String Vp

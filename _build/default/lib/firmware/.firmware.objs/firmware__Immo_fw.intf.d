@@ -1,0 +1,1 @@
+lib/firmware/immo_fw.mli: Dift Rv32_asm Vp

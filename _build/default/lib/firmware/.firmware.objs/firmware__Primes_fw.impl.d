@@ -1,0 +1,1 @@
+lib/firmware/primes_fw.ml: Rt Rv32 Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/primes_fw.mli: Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/qsort_fw.ml: Rt Rv32 Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/qsort_fw.mli: Rv32_asm

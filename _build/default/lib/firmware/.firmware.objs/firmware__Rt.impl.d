@@ -1,0 +1,1 @@
+lib/firmware/rt.ml: Rv32 Rv32_asm Vp

@@ -1,0 +1,1 @@
+lib/firmware/rt.mli: Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/rtos_fw.ml: List Rt Rv32 Rv32_asm Vp

@@ -1,0 +1,1 @@
+lib/firmware/rtos_fw.mli: Rv32_asm

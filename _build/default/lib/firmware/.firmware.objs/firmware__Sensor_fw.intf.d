@@ -1,0 +1,1 @@
+lib/firmware/sensor_fw.mli: Rv32_asm

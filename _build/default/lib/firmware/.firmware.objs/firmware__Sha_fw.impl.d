@@ -1,0 +1,1 @@
+lib/firmware/sha_fw.ml: Array Bytes Char Crypto Rt Rv32 Rv32_asm String

@@ -1,0 +1,1 @@
+lib/firmware/sha_fw.mli: Rv32_asm

@@ -1,0 +1,1 @@
+lib/firmware/wilander.ml: Char Dift List Rt Rv32 Rv32_asm String Vp

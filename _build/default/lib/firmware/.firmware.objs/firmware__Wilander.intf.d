@@ -1,0 +1,1 @@
+lib/firmware/wilander.mli: Dift Rv32_asm

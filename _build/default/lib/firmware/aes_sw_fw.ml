@@ -1,0 +1,280 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let key_value = "\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c"
+let pt_value = "\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34"
+
+let expected_ciphertext =
+  Crypto.Aes128.encrypt_block (Crypto.Aes128.expand key_value) pt_value
+
+(* Register conventions inside the crypto code:
+   s1 = &sbox, s2 = &rk (round keys), s3 = &state. *)
+
+let emit_byte_copy p ~count =
+  (* copy count bytes from t0 to t1 (clobbers t2, t3); inline loop with a
+     caller-supplied unique label prefix via the current address. *)
+  let l = Printf.sprintf "copy%x" (A.here p ()) in
+  A.li p R.t2 count;
+  A.label p l;
+  A.lbu p R.t3 R.t0 0;
+  A.sb p R.t3 R.t1 0;
+  A.addi p R.t0 R.t0 1;
+  A.addi p R.t1 R.t1 1;
+  A.addi p R.t2 R.t2 (-1);
+  A.bnez_l p R.t2 l
+
+(* Key schedule: rk[0..175] from key. *)
+let emit_key_expand p =
+  A.label p "key_expand";
+  A.la p R.t0 "key";
+  A.mv p R.t1 R.s2;
+  emit_byte_copy p ~count:16;
+  A.li p R.s4 4 (* word index i *);
+  A.la p R.s5 "rcon";
+  A.label p "ke.loop";
+  A.slli p R.t0 R.s4 2;
+  A.add p R.t1 R.s2 R.t0 (* dst = &rk[4i] *);
+  A.addi p R.t2 R.t1 (-4);
+  A.lbu p R.a0 R.t2 0;
+  A.lbu p R.a1 R.t2 1;
+  A.lbu p R.a2 R.t2 2;
+  A.lbu p R.a3 R.t2 3;
+  A.andi p R.t3 R.s4 3;
+  A.bnez_l p R.t3 "ke.norot";
+  (* RotWord *)
+  A.mv p R.t4 R.a0;
+  A.mv p R.a0 R.a1;
+  A.mv p R.a1 R.a2;
+  A.mv p R.a2 R.a3;
+  A.mv p R.a3 R.t4;
+  (* SubWord: four S-box lookups (note: indexed by key material). *)
+  List.iter
+    (fun r ->
+      A.add p R.t5 R.s1 r;
+      A.lbu p r R.t5 0)
+    [ R.a0; R.a1; R.a2; R.a3 ];
+  (* Rcon *)
+  A.srli p R.t5 R.s4 2;
+  A.addi p R.t5 R.t5 (-1);
+  A.add p R.t5 R.s5 R.t5;
+  A.lbu p R.t5 R.t5 0;
+  A.xor p R.a0 R.a0 R.t5;
+  A.label p "ke.norot";
+  A.addi p R.t2 R.t1 (-16);
+  List.iteri
+    (fun j r ->
+      A.lbu p R.t6 R.t2 j;
+      A.xor p R.t6 R.t6 r;
+      A.sb p R.t6 R.t1 j)
+    [ R.a0; R.a1; R.a2; R.a3 ];
+  A.addi p R.s4 R.s4 1;
+  A.li p R.t0 44;
+  A.blt_l p R.s4 R.t0 "ke.loop";
+  A.ret p
+
+(* AddRoundKey: a0 = round number. *)
+let emit_ark p =
+  A.label p "ark";
+  A.slli p R.t0 R.a0 4;
+  A.add p R.t0 R.s2 R.t0;
+  A.mv p R.t1 R.s3;
+  A.li p R.t2 16;
+  A.label p "ark.l";
+  A.lbu p R.t3 R.t0 0;
+  A.lbu p R.t4 R.t1 0;
+  A.xor p R.t4 R.t4 R.t3;
+  A.sb p R.t4 R.t1 0;
+  A.addi p R.t0 R.t0 1;
+  A.addi p R.t1 R.t1 1;
+  A.addi p R.t2 R.t2 (-1);
+  A.bnez_l p R.t2 "ark.l";
+  A.ret p
+
+let emit_subbytes p =
+  A.label p "subbytes";
+  A.mv p R.t0 R.s3;
+  A.li p R.t1 16;
+  A.label p "sb.l";
+  A.lbu p R.t2 R.t0 0;
+  A.add p R.t3 R.s1 R.t2;
+  A.lbu p R.t2 R.t3 0;
+  A.sb p R.t2 R.t0 0;
+  A.addi p R.t0 R.t0 1;
+  A.addi p R.t1 R.t1 (-1);
+  A.bnez_l p R.t1 "sb.l";
+  A.ret p
+
+(* ShiftRows, fully unrolled through a temporary buffer.
+   State is column-major: byte (r, c) at 4c + r. *)
+let emit_shiftrows p =
+  A.label p "shiftrows";
+  A.la p R.t0 "tmpst";
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      let src = (4 * ((c + r) mod 4)) + r in
+      let dst = (4 * c) + r in
+      A.lbu p R.t1 R.s3 src;
+      A.sb p R.t1 R.t0 dst
+    done
+  done;
+  for i = 0 to 15 do
+    A.lbu p R.t1 R.t0 i;
+    A.sb p R.t1 R.s3 i
+  done;
+  A.ret p
+
+(* xtime: dst <- xt(src); branchless, clobbers t5. *)
+let emit_xt p dst src =
+  A.slli p dst src 1;
+  A.srli p R.t5 src 7;
+  A.neg p R.t5 R.t5;
+  A.andi p R.t5 R.t5 0x1b;
+  A.xor p dst dst R.t5;
+  A.andi p dst dst 0xff
+
+(* MixColumns, fully unrolled (4 columns). *)
+let emit_mixcols p =
+  A.label p "mixcols";
+  for c = 0 to 3 do
+    let base = 4 * c in
+    A.lbu p R.a0 R.s3 (base + 0);
+    A.lbu p R.a1 R.s3 (base + 1);
+    A.lbu p R.a2 R.s3 (base + 2);
+    A.lbu p R.a3 R.s3 (base + 3);
+    emit_xt p R.t0 R.a0;
+    emit_xt p R.t1 R.a1;
+    emit_xt p R.t2 R.a2;
+    emit_xt p R.t3 R.a3;
+    (* b0 = xt(a0) ^ xt(a1) ^ a1 ^ a2 ^ a3 *)
+    A.xor p R.t4 R.t0 R.t1;
+    A.xor p R.t4 R.t4 R.a1;
+    A.xor p R.t4 R.t4 R.a2;
+    A.xor p R.t4 R.t4 R.a3;
+    A.sb p R.t4 R.s3 (base + 0);
+    (* b1 = a0 ^ xt(a1) ^ xt(a2) ^ a2 ^ a3 *)
+    A.xor p R.t4 R.a0 R.t1;
+    A.xor p R.t4 R.t4 R.t2;
+    A.xor p R.t4 R.t4 R.a2;
+    A.xor p R.t4 R.t4 R.a3;
+    A.sb p R.t4 R.s3 (base + 1);
+    (* b2 = a0 ^ a1 ^ xt(a2) ^ xt(a3) ^ a3 *)
+    A.xor p R.t4 R.a0 R.a1;
+    A.xor p R.t4 R.t4 R.t2;
+    A.xor p R.t4 R.t4 R.t3;
+    A.xor p R.t4 R.t4 R.a3;
+    A.sb p R.t4 R.s3 (base + 2);
+    (* b3 = xt(a0) ^ a0 ^ a1 ^ a2 ^ xt(a3) *)
+    A.xor p R.t4 R.t0 R.a0;
+    A.xor p R.t4 R.t4 R.a1;
+    A.xor p R.t4 R.t4 R.a2;
+    A.xor p R.t4 R.t4 R.t3;
+    A.sb p R.t4 R.s3 (base + 3)
+  done;
+  A.ret p
+
+let emit_encrypt p =
+  A.label p "encrypt";
+  A.addi p R.sp R.sp (-16);
+  A.sw p R.ra R.sp 12;
+  A.sw p R.s6 R.sp 8;
+  (* state <- pt *)
+  A.la p R.t0 "pt";
+  A.mv p R.t1 R.s3;
+  emit_byte_copy p ~count:16;
+  A.li p R.a0 0;
+  A.call p "ark";
+  A.li p R.s6 1;
+  A.label p "enc.round";
+  A.call p "subbytes";
+  A.call p "shiftrows";
+  A.call p "mixcols";
+  A.mv p R.a0 R.s6;
+  A.call p "ark";
+  A.addi p R.s6 R.s6 1;
+  A.li p R.t0 10;
+  A.blt_l p R.s6 R.t0 "enc.round";
+  A.call p "subbytes";
+  A.call p "shiftrows";
+  A.li p R.a0 10;
+  A.call p "ark";
+  (* ct <- state *)
+  A.mv p R.t0 R.s3;
+  A.la p R.t1 "ct";
+  emit_byte_copy p ~count:16;
+  A.lw p R.ra R.sp 12;
+  A.lw p R.s6 R.sp 8;
+  A.addi p R.sp R.sp 16;
+  A.ret p
+
+let build ?(self_check = true) ?(send_on_can = false) p =
+  Rt.entry p ();
+  A.la p R.s1 "sbox";
+  A.la p R.s2 "rk";
+  A.la p R.s3 "state";
+  A.call p "key_expand";
+  A.call p "encrypt";
+  if send_on_can then begin
+    (* Ship the software ciphertext as two CAN frames — under a
+       confidentiality policy this is exactly the flow declassification
+       exists to permit, and software AES does not declassify. *)
+    A.la p R.t0 "ct";
+    A.li p R.t1 Vp.Soc.can_base;
+    for frame = 0 to 1 do
+      for i = 0 to 7 do
+        A.lbu p R.t2 R.t0 ((8 * frame) + i);
+        A.sb p R.t2 R.t1 i
+      done;
+      A.li p R.t2 1;
+      A.sb p R.t2 R.t1 8
+    done
+  end;
+  if self_check then begin
+    A.la p R.t0 "ct";
+    A.la p R.t1 "expected";
+    A.li p R.t2 16;
+    A.label p "chk";
+    A.lbu p R.t3 R.t0 0;
+    A.lbu p R.t4 R.t1 0;
+    A.bne_l p R.t3 R.t4 "chk.fail";
+    A.addi p R.t0 R.t0 1;
+    A.addi p R.t1 R.t1 1;
+    A.addi p R.t2 R.t2 (-1);
+    A.bnez_l p R.t2 "chk";
+    Rt.exit_ p ();
+    A.label p "chk.fail";
+    Rt.exit_ p ~code:1 ()
+  end
+  else Rt.exit_ p ();
+  emit_key_expand p;
+  emit_ark p;
+  emit_subbytes p;
+  emit_shiftrows p;
+  emit_mixcols p;
+  emit_encrypt p;
+  (* --- data ----------------------------------------------------------- *)
+  A.align p 4;
+  A.label p "sbox";
+  Array.iter (fun v -> A.byte p v) Crypto.Aes128.sbox;
+  A.label p "rcon";
+  Array.iter (fun v -> A.byte p v) Crypto.Aes128.rcon;
+  A.align p 4;
+  A.label p "key";
+  A.ascii p key_value;
+  A.label p "pt";
+  A.ascii p pt_value;
+  A.label p "expected";
+  A.ascii p expected_ciphertext;
+  A.align p 4;
+  A.label p "rk";
+  A.space p 176;
+  A.label p "state";
+  A.space p 16;
+  A.label p "tmpst";
+  A.space p 16;
+  A.label p "ct";
+  A.space p 16
+
+let image ?self_check ?send_on_can () =
+  let p = A.create () in
+  build ?self_check ?send_on_can p;
+  A.assemble p

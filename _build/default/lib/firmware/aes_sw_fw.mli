@@ -1,0 +1,28 @@
+(** A complete software AES-128 (key schedule + 10 rounds, table-based
+    S-box) in RV32 assembly.
+
+    Beyond being a stress test for the ISS, this firmware demonstrates the
+    paper's declassification argument (Section IV-A) from the other side:
+    data encrypted {e in software} keeps the key's security class — the
+    ciphertext may not leave on a public interface, and with the
+    memory-address clearance active even the S-box lookups indexed by key
+    material are flagged (the paper's [Mem[secret]] discussion). Only the
+    trusted hardware AES peripheral, which declassifies its output, can
+    produce sendable ciphertext.
+
+    Labels: ["key"] (16 bytes), ["pt"] (16 bytes), ["ct"] (16-byte result).
+
+    Exit codes: with [self_check] — 0 if the computed ciphertext matches
+    the host reference, 1 otherwise; with [send_on_can] the ciphertext is
+    transmitted as two CAN frames before exiting 0. *)
+
+val key_value : string
+val pt_value : string
+
+val build : ?self_check:bool -> ?send_on_can:bool -> Rv32_asm.Asm.t -> unit
+(** Defaults: [self_check = true], [send_on_can = false]. *)
+
+val image : ?self_check:bool -> ?send_on_can:bool -> unit -> Rv32_asm.Image.t
+
+val expected_ciphertext : string
+(** Host-side AES-128(key_value, pt_value). *)

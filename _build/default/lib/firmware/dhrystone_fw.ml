@@ -1,0 +1,97 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+(* The record mirrors Dhrystone's Rec_Type: a discriminant, an enum, an int
+   and a 30-char string, padded to 48 bytes. *)
+let record_string = "DHRYSTONE PROGRAM, SOME STRING"
+let other_string = "DHRYSTONE PROGRAM, 2'ND STRING"
+
+(* Per iteration the checksum evolves like the firmware's loop below:
+   chk = chk * 3 + int_field + strcmp_result_flag (mod 2^32). *)
+let expected_checksum ~iterations =
+  let chk = ref 0 in
+  for i = 1 to iterations do
+    let int_field = (i * 5) land 0xffff in
+    let cmp_flag = if record_string = other_string then 1 else 2 in
+    chk := (((!chk * 3) + int_field + cmp_flag) * 2) land 0xffffffff;
+    chk := !chk lxor (i land 0xff)
+  done;
+  !chk
+
+(* proc_arith: a0 = i -> returns (i * 5) & 0xffff, through two nested
+   calls like Dhrystone's Proc_7 / Func_1 chains. *)
+let emit_procs p =
+  A.label p "func_mul5";
+  A.slli p R.t0 R.a0 2;
+  A.add p R.a0 R.t0 R.a0;
+  A.ret p;
+  Rt.fn p "proc_arith" (fun () ->
+      A.call p "func_mul5";
+      A.li p R.t1 0xffff;
+      A.and_ p R.a0 R.a0 R.t1)
+
+let build ?(iterations = 2000) p =
+  Rt.entry p ();
+  A.li p R.s1 1 (* i *);
+  A.li p R.s2 iterations;
+  A.li p R.s3 0 (* chk *);
+  A.label p "main_loop";
+  (* Record copy: *next_rec = *rec (48 bytes) like Dhrystone's
+     structure assignment. *)
+  A.la p R.a0 "next_rec";
+  A.la p R.a1 "rec";
+  A.li p R.a2 48;
+  A.call p "memcpy";
+  (* String comparison. *)
+  A.la p R.a0 "str_1";
+  A.la p R.a1 "str_2";
+  A.call p "strcmp";
+  A.snez p R.t0 R.a0;
+  A.addi p R.s4 R.t0 1 (* 1 if equal, 2 if different *);
+  (* Arithmetic through nested calls. *)
+  A.mv p R.a0 R.s1;
+  A.call p "proc_arith";
+  (* chk = ((chk*3 + int_field + cmp) * 2) ^ (i & 0xff) *)
+  A.slli p R.t0 R.s3 1;
+  A.add p R.s3 R.t0 R.s3 (* chk*3 *);
+  A.add p R.s3 R.s3 R.a0;
+  A.add p R.s3 R.s3 R.s4;
+  A.slli p R.s3 R.s3 1;
+  A.andi p R.t0 R.s1 0xff;
+  A.xor p R.s3 R.s3 R.t0;
+  (* Store the int field into the record like Proc_1 does. *)
+  A.la p R.t1 "next_rec";
+  A.sw p R.a0 R.t1 8;
+  A.addi p R.s1 R.s1 1;
+  A.bge_l p R.s2 R.s1 "main_loop";
+  (* Compare checksum with the expected value. *)
+  A.la p R.t0 "expected";
+  A.lw p R.t1 R.t0 0;
+  A.bne_l p R.s3 R.t1 "fail";
+  Rt.exit_ p ();
+  A.label p "fail";
+  Rt.exit_ p ~code:1 ();
+  emit_procs p;
+  Rt.emit_memcpy p;
+  Rt.emit_strcmp p;
+  A.align p 4;
+  A.label p "expected";
+  A.word p (expected_checksum ~iterations);
+  A.label p "rec";
+  A.word p 1 (* discriminant *);
+  A.word p 2 (* enum *);
+  A.word p 0 (* int field *);
+  A.asciz p record_string;
+  A.align p 4;
+  A.space p 4;
+  A.label p "next_rec";
+  A.space p 48;
+  A.label p "str_1";
+  A.asciz p record_string;
+  A.label p "str_2";
+  A.asciz p other_string
+
+let image ?iterations () =
+  let p = A.create () in
+  build ?iterations p;
+  A.assemble p

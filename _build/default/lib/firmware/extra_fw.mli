@@ -1,0 +1,22 @@
+(** Additional workloads beyond the paper's Table II set, used by the
+    extended benchmark series and as further ISS coverage:
+
+    - {!crc32}: table-less (bitwise) CRC-32 over a generated buffer,
+      checked against the host reference {!crc32_reference};
+    - {!matmul}: integer matrix multiply C = A x B with a checksum over C;
+    - {!strings}: a strlen/strcpy/strcmp workout over many generated
+      strings (pointer-chasing heavy).
+
+    All exit 0 on success, 1 on a self-check mismatch. *)
+
+val crc32 : ?len:int -> Rv32_asm.Asm.t -> unit
+val crc32_image : ?len:int -> unit -> Rv32_asm.Image.t
+
+val crc32_reference : string -> int
+(** Standard CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff). *)
+
+val matmul : ?n:int -> Rv32_asm.Asm.t -> unit
+val matmul_image : ?n:int -> unit -> Rv32_asm.Image.t
+
+val strings : ?count:int -> Rv32_asm.Asm.t -> unit
+val strings_image : ?count:int -> unit -> Rv32_asm.Image.t

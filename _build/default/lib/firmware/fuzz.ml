@@ -1,0 +1,199 @@
+module A = Rv32_asm.Asm
+module I = Rv32.Insn
+
+type report = {
+  programs : int;
+  completed : int;
+  violations : int;
+  checks : int;
+  mismatches : int;
+  silent_failures : int;
+  errors : int;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>fuzz: %d programs, %d completed@,\
+     %d clearance checks, %d violations recorded@,\
+     transparency mismatches: %d@,\
+     violations under check-free policies: %d@,\
+     simulator errors: %d@]"
+    r.programs r.completed r.checks r.violations r.mismatches
+    r.silent_failures r.errors
+
+let healthy r = r.mismatches = 0 && r.silent_failures = 0 && r.errors = 0
+
+(* Deterministic xorshift32 PRNG so runs are reproducible by seed. *)
+type rng = { mutable s : int }
+
+let next r =
+  let x = r.s in
+  let x = x lxor (x lsl 13) land 0xffffffff in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xffffffff in
+  r.s <- x;
+  x
+
+let rand r n = next r mod n
+
+(* --- random programs ---------------------------------------------------- *)
+
+let wreg r = 5 + rand r 11 (* x5..x15 *)
+let buf_reg = 28
+
+let random_insn r =
+  let imm () = rand r 4096 - 2048 in
+  let off_w () = 4 * rand r 63 in
+  match rand r 24 with
+  | 0 -> I.ADD (wreg r, wreg r, wreg r)
+  | 1 -> I.SUB (wreg r, wreg r, wreg r)
+  | 2 -> I.XOR (wreg r, wreg r, wreg r)
+  | 3 -> I.OR (wreg r, wreg r, wreg r)
+  | 4 -> I.AND (wreg r, wreg r, wreg r)
+  | 5 -> I.SLT (wreg r, wreg r, wreg r)
+  | 6 -> I.SLTU (wreg r, wreg r, wreg r)
+  | 7 -> I.SLL (wreg r, wreg r, wreg r)
+  | 8 -> I.SRL (wreg r, wreg r, wreg r)
+  | 9 -> I.SRA (wreg r, wreg r, wreg r)
+  | 10 -> I.MUL (wreg r, wreg r, wreg r)
+  | 11 -> I.MULHU (wreg r, wreg r, wreg r)
+  | 12 -> I.DIV (wreg r, wreg r, wreg r)
+  | 13 -> I.REMU (wreg r, wreg r, wreg r)
+  | 14 -> I.ADDI (wreg r, wreg r, imm ())
+  | 15 -> I.XORI (wreg r, wreg r, imm ())
+  | 16 -> I.ANDI (wreg r, wreg r, imm ())
+  | 17 -> I.SLLI (wreg r, wreg r, rand r 32)
+  | 18 -> I.SRAI (wreg r, wreg r, rand r 32)
+  | 19 -> I.LUI (wreg r, rand r 0x100000 lsl 12)
+  | 20 -> I.LW (wreg r, buf_reg, off_w ())
+  | 21 -> I.LBU (wreg r, buf_reg, off_w () + rand r 4)
+  | 22 -> I.SW (buf_reg, wreg r, off_w ())
+  | _ -> I.SB (buf_reg, wreg r, off_w () + rand r 4)
+
+let build_program r ~size =
+  let p = A.create () in
+  Rt.entry p ();
+  List.iteri
+    (fun i reg -> A.li p reg (0x2468 * (i + 3)))
+    [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ];
+  A.la p buf_reg "buf";
+  for _ = 1 to size do
+    if rand r 12 = 0 then A.insn p (I.BEQ (wreg r, wreg r, 8))
+    else A.insn p (random_insn r)
+  done;
+  A.nop p;
+  A.li p 17 93;
+  A.insn p I.ECALL;
+  A.align p 4;
+  A.label p "buf";
+  for i = 0 to 255 do
+    A.byte p ((i * 41) land 0xff)
+  done;
+  A.assemble p
+
+(* --- random policies ---------------------------------------------------- *)
+
+let random_policy r img =
+  let lat =
+    match rand r 3 with
+    | 0 -> Dift.Lattice.integrity ()
+    | 1 -> Dift.Lattice.confidentiality ()
+    | _ -> Dift.Lattice.ifp3 ()
+  in
+  let n = Dift.Lattice.size lat in
+  let tag () = rand r n in
+  let org = img.Rv32_asm.Image.org in
+  let limit = Rv32_asm.Image.limit img in
+  let regions =
+    List.init (rand r 4) (fun i ->
+        let lo = org + rand r (limit - org) in
+        let hi = min (limit - 1) (lo + rand r 64) in
+        Dift.Policy.region ~name:(Printf.sprintf "r%d" i) ~lo ~hi ~tag:(tag ()))
+  in
+  let opt f = if rand r 2 = 0 then None else Some (f ()) in
+  (* Fetch clearance must admit the program region or nothing runs: use
+     the lattice top when enabled. *)
+  let top = Option.get (Dift.Lattice.top lat) in
+  Dift.Policy.make ~lattice:lat
+    ~default_tag:(tag ())
+    ~classification:regions
+    ~output_clearance:(match opt tag with Some t -> [ ("uart", t) ] | None -> [])
+    ?exec_fetch:(if rand r 2 = 0 then None else Some top)
+    ?exec_branch:(opt tag) ?exec_mem_addr:(opt tag) ()
+
+let no_check_policy lat ~default_tag = Dift.Policy.unrestricted lat ~default_tag
+
+(* --- execution ----------------------------------------------------------- *)
+
+type outcome = {
+  o_exit : bool;
+  o_regs : int list;
+  o_mem : string;
+  o_instret : int;
+}
+
+let execute img policy ~tracking =
+  let monitor = Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking () in
+  Vp.Soc.load_image soc img;
+  let reason = Vp.Soc.run_for_instructions soc 100_000 in
+  let buf = Rv32_asm.Image.symbol img "buf" - Vp.Soc.ram_base in
+  let o =
+    {
+      o_exit = (match reason with Rv32.Core.Exited _ -> true | _ -> false);
+      o_regs =
+        List.map (fun x -> soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg x)
+          [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ];
+      o_mem =
+        String.init 256 (fun i ->
+            Char.chr (Vp.Memory.read_byte soc.Vp.Soc.memory (buf + i)));
+      o_instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ();
+    }
+  in
+  (o, Dift.Monitor.violation_count monitor, Dift.Monitor.check_count monitor)
+
+let run ?(seed = 0x5eed) ?(size = 40) ~programs () =
+  let r = { s = (if seed = 0 then 1 else seed land 0xffffffff) } in
+  let completed = ref 0 in
+  let violations = ref 0 in
+  let checks = ref 0 in
+  let mismatches = ref 0 in
+  let silent = ref 0 in
+  let errors = ref 0 in
+  for _ = 1 to programs do
+    match
+      let img = build_program r ~size in
+      let policy = random_policy r img in
+      let base, _, _ = execute img (no_check_policy policy.Dift.Policy.lattice ~default_tag:policy.Dift.Policy.default_tag) ~tracking:false in
+      (* Invariant 2: a check-free policy records nothing. *)
+      let _, v0, _ =
+        execute img
+          (no_check_policy policy.Dift.Policy.lattice
+             ~default_tag:policy.Dift.Policy.default_tag)
+          ~tracking:true
+      in
+      if v0 <> 0 then incr silent;
+      (* Invariant 1: VP+ under the random policy computes the same
+         state (Record mode: execution continues past violations). *)
+      let vpp, v, c = execute img policy ~tracking:true in
+      violations := !violations + v;
+      checks := !checks + c;
+      if base.o_exit && vpp.o_exit then incr completed;
+      if
+        base.o_regs <> vpp.o_regs
+        || not (String.equal base.o_mem vpp.o_mem)
+        || base.o_instret <> vpp.o_instret
+      then incr mismatches
+    with
+    | () -> ()
+    | exception _ -> incr errors
+  done;
+  {
+    programs;
+    completed = !completed;
+    violations = !violations;
+    checks = !checks;
+    mismatches = !mismatches;
+    silent_failures = !silent;
+    errors = !errors;
+  }

@@ -1,0 +1,35 @@
+(** Policy stress-testing by random simulation — the automatic test-case
+    generation direction the paper lists as future work (Section VII).
+
+    Deterministic (seeded) random straight-line RV32IM programs run twice,
+    on the plain VP and on VP+ under a random security policy with the
+    monitor in [Record] mode, checking the invariants that make the DIFT
+    engine trustworthy:
+
+    - {b transparency}: VP and VP+ finish with identical architectural
+      state (registers, memory, instruction count) — tracking never
+      changes values;
+    - {b soundness of silence}: a policy with no checks configured records
+      zero violations;
+    - {b robustness}: no program aborts the simulator (fatal traps,
+      internal errors). *)
+
+type report = {
+  programs : int;  (** Programs executed. *)
+  completed : int;  (** Ran to their exit ecall on both flavours. *)
+  violations : int;  (** Total violations recorded across runs. *)
+  checks : int;  (** Total clearance checks performed. *)
+  mismatches : int;  (** Transparency failures (must be 0). *)
+  silent_failures : int;
+      (** Violations under check-free policies (must be 0). *)
+  errors : int;  (** Simulator crashes (must be 0). *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val healthy : report -> bool
+(** All must-be-zero counters are zero. *)
+
+val run : ?seed:int -> ?size:int -> programs:int -> unit -> report
+(** [run ~programs ()] fuzzes with [programs] random programs of roughly
+    [size] instructions each (default 40). *)

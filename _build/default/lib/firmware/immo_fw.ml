@@ -1,0 +1,295 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+type variant =
+  | Normal of { fixed_dump : bool }
+  | Leak_direct
+  | Leak_indirect
+  | Branch_on_pin
+  | Overwrite_pin_external
+  | Entropy_attack
+  | Entropy_then_serve
+
+let pin_value = "\x4f\xc2\x1a\x99\x03\xe7\x5d\x30\xaa\x18\x64\xbe\x07\x71\xd5\x2c"
+
+(* --- firmware ---------------------------------------------------------- *)
+
+(* Dump the window [dump_start, dump_end) to the UART; the fixed version
+   skips the PIN region. *)
+let emit_debug_dump p ~fixed =
+  A.label p "debug_dump";
+  A.la p R.t0 "dump_start";
+  A.la p R.t1 "dump_end";
+  A.li p R.t2 Vp.Soc.uart_base;
+  A.la p R.t3 "pin";
+  A.addi p R.t4 R.t3 16;
+  A.label p "dump.loop";
+  A.bgeu_l p R.t0 R.t1 "dump.done";
+  (if fixed then begin
+     (* Fixed firmware: exclude the key bytes from the dump. *)
+     A.bltu_l p R.t0 R.t3 "dump.emit";
+     A.bgeu_l p R.t0 R.t4 "dump.emit";
+     A.addi p R.t0 R.t0 1;
+     A.j p "dump.loop"
+   end);
+  A.label p "dump.emit";
+  A.lbu p R.t5 R.t0 0;
+  A.sb p R.t5 R.t2 0;
+  A.addi p R.t0 R.t0 1;
+  A.j p "dump.loop";
+  A.label p "dump.done";
+  A.ret p
+
+(* Serve one challenge: CAN rx -> AES -> CAN tx (two frames). *)
+let emit_handle_challenge p =
+  A.label p "handle_challenge";
+  A.li p R.t0 Vp.Soc.can_base;
+  A.la p R.t1 "chall";
+  for i = 0 to 7 do
+    A.lbu p R.t2 R.t0 (0x10 + i);
+    A.sb p R.t2 R.t1 i
+  done;
+  A.li p R.t2 1;
+  A.sb p R.t2 R.t0 0x18 (* pop the frame *);
+  (* Load the PIN into the AES key registers. *)
+  A.li p R.t0 Vp.Soc.aes_base;
+  A.la p R.t1 "pin";
+  for i = 0 to 15 do
+    A.lbu p R.t2 R.t1 i;
+    A.sb p R.t2 R.t0 i
+  done;
+  (* Plaintext: challenge || zero pad. *)
+  A.la p R.t1 "chall";
+  for i = 0 to 7 do
+    A.lbu p R.t2 R.t1 i;
+    A.sb p R.t2 R.t0 (0x10 + i)
+  done;
+  for i = 8 to 15 do
+    A.sb p R.zero R.t0 (0x10 + i)
+  done;
+  (* Start and wait. *)
+  A.li p R.t2 1;
+  A.sb p R.t2 R.t0 0x30;
+  A.label p "aes.poll";
+  A.lbu p R.t2 R.t0 0x30;
+  A.bnez_l p R.t2 "aes.poll";
+  (* Send the 16 ciphertext bytes as two CAN frames. *)
+  A.li p R.t1 Vp.Soc.can_base;
+  for frame = 0 to 1 do
+    for i = 0 to 7 do
+      A.lbu p R.t2 R.t0 (0x20 + (8 * frame) + i);
+      A.sb p R.t2 R.t1 i
+    done;
+    A.li p R.t2 1;
+    A.sb p R.t2 R.t1 8
+  done;
+  A.ret p
+
+let build ?(variant = Normal { fixed_dump = true }) ?(challenges = 1) p =
+  Rt.entry p ();
+  (match variant with
+  | Normal { fixed_dump } ->
+      A.li p R.s1 challenges;
+      A.label p "main";
+      (* Debug console poll. *)
+      A.li p R.t0 Vp.Soc.uart_base;
+      A.lbu p R.t1 R.t0 8;
+      A.andi p R.t1 R.t1 1;
+      A.beqz_l p R.t1 "main.can";
+      A.lbu p R.t1 R.t0 4 (* read the command byte *);
+      A.li p R.t2 (Char.code 'D');
+      A.bne_l p R.t1 R.t2 "main.can";
+      A.call p "debug_dump";
+      A.label p "main.can";
+      A.li p R.t0 Vp.Soc.can_base;
+      A.lbu p R.t1 R.t0 0x18;
+      A.beqz_l p R.t1 "main";
+      A.call p "handle_challenge";
+      A.addi p R.s1 R.s1 (-1);
+      A.bnez_l p R.s1 "main";
+      Rt.exit_ p ();
+      emit_debug_dump p ~fixed:fixed_dump;
+      emit_handle_challenge p;
+      Rt.emit_memcpy p
+  | Leak_direct ->
+      (* Attack scenario 1a: PIN straight to the UART. *)
+      A.la p R.t0 "pin";
+      A.li p R.t1 Vp.Soc.uart_base;
+      A.lbu p R.t2 R.t0 0;
+      A.sb p R.t2 R.t1 0;
+      Rt.exit_ p ()
+  | Leak_indirect ->
+      (* Attack scenario 1b: PIN through an intermediate buffer. *)
+      A.la p R.a0 "buf";
+      A.la p R.a1 "pin";
+      A.li p R.a2 16;
+      A.call p "memcpy";
+      A.la p R.t0 "buf";
+      A.li p R.t1 Vp.Soc.uart_base;
+      A.lbu p R.t2 R.t0 3;
+      A.sb p R.t2 R.t1 0;
+      Rt.exit_ p ()
+  | Branch_on_pin ->
+      (* Attack scenario 2: control flow depending on the PIN. *)
+      A.la p R.t0 "pin";
+      A.lbu p R.t1 R.t0 0;
+      A.andi p R.t1 R.t1 1;
+      A.beqz_l p R.t1 "bit0";
+      A.li p R.t2 Vp.Soc.uart_base;
+      A.li p R.t3 (Char.code '1');
+      A.sb p R.t3 R.t2 0;
+      Rt.exit_ p ();
+      A.label p "bit0";
+      A.li p R.t2 Vp.Soc.uart_base;
+      A.li p R.t3 (Char.code '0');
+      A.sb p R.t3 R.t2 0;
+      Rt.exit_ p ()
+  | Overwrite_pin_external ->
+      (* Attack scenario 3: external CAN data over the PIN. *)
+      A.li p R.t0 Vp.Soc.can_base;
+      A.lbu p R.t1 R.t0 0x10;
+      A.la p R.t2 "pin";
+      A.sb p R.t1 R.t2 0;
+      Rt.exit_ p ()
+  | Entropy_attack ->
+      (* The brute-force enabler: PIN[1..15] <- PIN[0] with trusted data. *)
+      A.la p R.t0 "pin";
+      A.lbu p R.t1 R.t0 0;
+      for i = 1 to 15 do
+        A.sb p R.t1 R.t0 i
+      done;
+      Rt.exit_ p ()
+  | Entropy_then_serve ->
+      (* Degrade the key, then answer challenges like the normal
+         firmware. *)
+      A.la p R.t0 "pin";
+      A.lbu p R.t1 R.t0 0;
+      for i = 1 to 15 do
+        A.sb p R.t1 R.t0 i
+      done;
+      A.li p R.s1 challenges;
+      A.label p "serve";
+      A.li p R.t0 Vp.Soc.can_base;
+      A.lbu p R.t1 R.t0 0x18;
+      A.beqz_l p R.t1 "serve";
+      A.call p "handle_challenge";
+      A.addi p R.s1 R.s1 (-1);
+      A.bnez_l p R.s1 "serve";
+      Rt.exit_ p ();
+      emit_handle_challenge p);
+  (match variant with
+  | Leak_indirect -> Rt.emit_memcpy p
+  | Normal _ | Leak_direct | Branch_on_pin | Overwrite_pin_external
+  | Entropy_attack | Entropy_then_serve ->
+      ());
+  (* --- data ----------------------------------------------------------- *)
+  A.align p 4;
+  A.label p "dump_start";
+  A.asciz p "IMMO ECU v1.0";
+  A.align p 4;
+  A.label p "pin";
+  A.ascii p pin_value;
+  A.label p "chall";
+  A.space p 8;
+  A.label p "buf";
+  A.space p 16;
+  A.label p "dump_end";
+  A.space p 4
+
+let image ?variant ?challenges () =
+  let p = A.create () in
+  build ?variant ?challenges p;
+  A.assemble p
+
+(* --- policies ----------------------------------------------------------- *)
+
+let image_region img tag =
+  Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+    ~hi:(Rv32_asm.Image.limit img - 1)
+    ~tag
+
+let base_policy img =
+  let lat = Dift.Lattice.ifp3 () in
+  let t n = Dift.Lattice.tag_of_name lat n in
+  let lc_li = t "LC,LI" and lc_hi = t "LC,HI" and hc_hi = t "HC,HI" in
+  let pin_lo = Rv32_asm.Image.symbol img "pin" in
+  Dift.Policy.make ~lattice:lat ~default_tag:lc_li
+    ~classification:
+      [
+        (* The PIN is the secret: most specific region first. *)
+        Dift.Policy.region ~name:"pin" ~lo:pin_lo ~hi:(pin_lo + 15) ~tag:hc_hi;
+        image_region img lc_hi;
+      ]
+    ~output_clearance:[ ("uart", lc_li); ("can", lc_li) ]
+    ~exec_fetch:lc_hi ~exec_branch:lc_li ~exec_mem_addr:lc_li
+    ~store_clearance:
+      [ Dift.Policy.region ~name:"pin" ~lo:pin_lo ~hi:(pin_lo + 15) ~tag:hc_hi ]
+    ()
+
+let per_byte_policy img =
+  let lat = Dift.Lattice.per_byte_key ~n:16 in
+  let t n = Dift.Lattice.tag_of_name lat n in
+  let lc_li = t "LC,LI" and lc_hi = t "LC,HI" in
+  let pin_lo = Rv32_asm.Image.symbol img "pin" in
+  let byte_region i =
+    Dift.Policy.region
+      ~name:(Printf.sprintf "pin[%d]" i)
+      ~lo:(pin_lo + i) ~hi:(pin_lo + i)
+      ~tag:(t (Printf.sprintf "KEY%d" i))
+  in
+  let per_byte = List.init 16 byte_region in
+  Dift.Policy.make ~lattice:lat ~default_tag:lc_li
+    ~classification:(per_byte @ [ image_region img lc_hi ])
+    ~output_clearance:[ ("uart", lc_li); ("can", lc_li) ]
+    ~exec_fetch:lc_hi ~exec_branch:lc_li ~exec_mem_addr:lc_li
+    ~store_clearance:per_byte ()
+
+let aes_args policy =
+  let lat = policy.Dift.Policy.lattice in
+  let t n = Dift.Lattice.tag_of_name lat n in
+  if Dift.Lattice.mem_name lat "HC,HI" then (t "LC,LI", t "HC,HI")
+  else (t "LC,LI", t "HC,LI")
+
+(* --- host-side engine model --------------------------------------------- *)
+
+module Engine = struct
+  type t = { mutable frames : string list (* newest first *); challenge : string }
+
+  let expected ~challenge =
+    let key = Crypto.Aes128.expand pin_value in
+    Crypto.Aes128.encrypt_block key (challenge ^ String.make 8 '\000')
+
+  let attach soc ~challenge =
+    if String.length challenge <> 8 then
+      invalid_arg "Engine.attach: challenge must be 8 bytes";
+    let t = { frames = []; challenge } in
+    Vp.Can.set_tx_callback soc.Vp.Soc.can (fun frame ->
+        t.frames <- frame :: t.frames);
+    Vp.Can.push_rx_frame soc.Vp.Soc.can challenge;
+    t
+
+  let response t =
+    match List.rev t.frames with
+    | a :: b :: _ -> Some (a ^ b)
+    | _ -> None
+
+  let response_valid t =
+    match response t with
+    | Some r -> String.equal r (expected ~challenge:t.challenge)
+    | None -> false
+
+  let brute_force_uniform ~challenge ~response =
+    let pt = challenge ^ String.make 8 '\000' in
+    let rec try_byte b =
+      if b > 255 then None
+      else
+        let key = String.make 16 (Char.chr b) in
+        if
+          String.equal
+            (Crypto.Aes128.encrypt_block (Crypto.Aes128.expand key) pt)
+            response
+        then Some key
+        else try_byte (b + 1)
+    in
+    try_byte 0
+end

@@ -1,0 +1,78 @@
+(** Car-engine-immobilizer firmware and security policies (the case study
+    of Section VI-A).
+
+    The ECU holds a secret 16-byte PIN and answers challenge-response
+    authentication over the CAN bus: the engine sends an 8-byte random
+    challenge, the immobilizer replies with AES-128(PIN, challenge || 0^8)
+    as two CAN frames. A UART debug command ['D'] dumps a memory window.
+
+    Variants reproduce the paper's findings:
+    - [Normal ~fixed_dump:false]: the shipped firmware, whose debug dump
+      includes the PIN region — the vulnerability the security policy
+      catches;
+    - [Normal ~fixed_dump:true]: the fixed firmware that skips the PIN;
+    - the [Leak_*] / [Branch_on_pin] / [Overwrite_pin_external] variants
+      are the paper's injected attack scenarios 1-3;
+    - [Entropy_attack] overwrites PIN bytes 1..15 with byte 0 using trusted
+      data — undetected under {!base_policy} (as the paper observes) and
+      detected under {!per_byte_policy}. *)
+
+type variant =
+  | Normal of { fixed_dump : bool }
+  | Leak_direct  (** Write PIN bytes straight to the UART. *)
+  | Leak_indirect  (** Copy PIN through an intermediate buffer, then out. *)
+  | Branch_on_pin  (** Branch on a PIN bit, then output a constant. *)
+  | Overwrite_pin_external  (** Store a CAN byte over PIN[0]. *)
+  | Entropy_attack  (** Copy PIN[0] over PIN[1..15]. *)
+  | Entropy_then_serve
+      (** The full exploit: degrade the PIN, then serve challenges as
+          normal — the host can now brute-force the key from one
+          challenge/response pair (see {!Engine.brute_force_uniform}). *)
+
+val pin_value : string
+(** The secret 16-byte PIN embedded in the image (label ["pin"]). *)
+
+val build : ?variant:variant -> ?challenges:int -> Rv32_asm.Asm.t -> unit
+(** [challenges] responses to serve before exiting (default 1). *)
+
+val image : ?variant:variant -> ?challenges:int -> unit -> Rv32_asm.Image.t
+
+(** {1 Policies} *)
+
+val base_policy : Rv32_asm.Image.t -> Dift.Policy.t
+(** IFP-3 policy: PIN classified (HC,HI); program (LC,HI); UART and CAN
+    cleared (LC,LI); branch clearance (LC,LI); fetch clearance (LC,HI);
+    PIN region protected with (HC,HI) store clearance. *)
+
+val per_byte_policy : Rv32_asm.Image.t -> Dift.Policy.t
+(** The refined policy: one security class per PIN byte
+    ({!Dift.Lattice.per_byte_key}), defeating the entropy-reduction
+    attack. *)
+
+val aes_args : Dift.Policy.t -> Dift.Lattice.tag * Dift.Lattice.tag
+(** [(out_tag, key_clearance)] for {!Vp.Soc.create}'s AES parameters under
+    the given immobilizer policy. *)
+
+(** {1 Host-side engine-ECU model} *)
+
+module Engine : sig
+  type t
+
+  val attach : Vp.Soc.t -> challenge:string -> t
+  (** Install the engine model on the SoC's CAN: queues the 8-byte
+      challenge for the immobilizer and collects its response frames. *)
+
+  val response : t -> string option
+  (** The 16-byte response once both frames arrived. *)
+
+  val response_valid : t -> bool
+  (** Does the response equal AES-128(PIN, challenge || 0^8)? *)
+
+  val expected : challenge:string -> string
+  (** Host-side reference response. *)
+
+  val brute_force_uniform : challenge:string -> response:string -> string option
+  (** Attacker model after the entropy attack: the PIN is 16 copies of one
+      byte, so 256 trial encryptions of [challenge || 0^8] recover it from
+      a single sniffed response. Returns the recovered key. *)
+end

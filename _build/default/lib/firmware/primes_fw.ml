@@ -1,0 +1,57 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let rec host_count c n count =
+  if c >= n then count
+  else begin
+    let is_prime = ref true in
+    let d = ref 2 in
+    while !d * !d <= c do
+      if c mod !d = 0 then is_prime := false;
+      incr d
+    done;
+    host_count (c + 1) n (if !is_prime then count + 1 else count)
+  end
+
+let expected ~n = host_count 2 n 0
+
+let build ?(n = 2000) p =
+  Rt.entry p ();
+  A.li p R.a0 0 (* count *);
+  A.li p R.s1 2 (* candidate *);
+  A.li p R.s2 n;
+  A.label p "cand";
+  A.bge_l p R.s1 R.s2 "done";
+  (* trial division by d = 2 .. while d*d <= c *)
+  A.li p R.s3 2;
+  A.label p "trial";
+  A.mul p R.t0 R.s3 R.s3;
+  A.blt_l p R.s1 R.t0 "prime" (* d*d > c: prime *);
+  A.rem p R.t1 R.s1 R.s3;
+  A.beqz_l p R.t1 "composite";
+  A.addi p R.s3 R.s3 1;
+  A.j p "trial";
+  A.label p "prime";
+  A.addi p R.a0 R.a0 1;
+  A.label p "composite";
+  A.addi p R.s1 R.s1 1;
+  A.j p "cand";
+  A.label p "done";
+  (* Compare with the host-side expected count; exit 0 on success so the
+     benchmark harness can use the exit code as a health check, and return
+     the count itself in the "prime_count" word. *)
+  A.la p R.t0 "prime_count";
+  A.sw p R.a0 R.t0 0;
+  A.li p R.t1 (expected ~n);
+  A.bne_l p R.a0 R.t1 "mismatch";
+  Rt.exit_ p ();
+  A.label p "mismatch";
+  Rt.exit_ p ~code:1 ();
+  A.align p 4;
+  A.label p "prime_count";
+  A.word p 0
+
+let image ?n () =
+  let p = A.create () in
+  build ?n p;
+  A.assemble p

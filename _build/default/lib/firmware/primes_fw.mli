@@ -1,0 +1,13 @@
+(** Prime-number generator benchmark (Table II's [primes]): counts primes
+    below [n] by trial division (exercising the M extension's div/rem).
+
+    Exit code: 0 if the count matches the host-side reference, 1
+    otherwise; the count itself lands in the ["prime_count"] data word. *)
+
+val build : ?n:int -> Rv32_asm.Asm.t -> unit
+(** [n] exclusive upper bound (default 2000). *)
+
+val image : ?n:int -> unit -> Rv32_asm.Image.t
+
+val expected : n:int -> int
+(** Host-side reference count, for checking the firmware's result. *)

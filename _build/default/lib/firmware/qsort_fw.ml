@@ -1,0 +1,102 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+(* Lomuto-partition quicksort over word pointers:
+     qsort(a0 = lo, a1 = hi)      pointers to first/last element
+   Frame: ra, s1 = lo, s2 = hi, s3 = i, s4 = j, s5 = pivot. *)
+let emit_qsort p =
+  A.label p "qsort";
+  A.bgeu_l p R.a0 R.a1 "qsort.ret0" (* lo >= hi: done *);
+  A.addi p R.sp R.sp (-32);
+  A.sw p R.ra R.sp 28;
+  A.sw p R.s1 R.sp 24;
+  A.sw p R.s2 R.sp 20;
+  A.sw p R.s3 R.sp 16;
+  A.sw p R.s4 R.sp 12;
+  A.sw p R.s5 R.sp 8;
+  A.mv p R.s1 R.a0;
+  A.mv p R.s2 R.a1;
+  A.lw p R.s5 R.s2 0 (* pivot = *hi *);
+  A.addi p R.s3 R.s1 (-4) (* i = lo - 4 *);
+  A.mv p R.s4 R.s1 (* j = lo *);
+  A.label p "qsort.part";
+  A.bgeu_l p R.s4 R.s2 "qsort.part_done";
+  A.lw p R.t0 R.s4 0;
+  A.bltu_l p R.s5 R.t0 "qsort.next" (* *j >u pivot: skip *);
+  A.addi p R.s3 R.s3 4;
+  (* swap *i, *j *)
+  A.lw p R.t1 R.s3 0;
+  A.sw p R.t0 R.s3 0;
+  A.sw p R.t1 R.s4 0;
+  A.label p "qsort.next";
+  A.addi p R.s4 R.s4 4;
+  A.j p "qsort.part";
+  A.label p "qsort.part_done";
+  A.addi p R.s3 R.s3 4;
+  (* swap *i, *hi *)
+  A.lw p R.t0 R.s3 0;
+  A.lw p R.t1 R.s2 0;
+  A.sw p R.t1 R.s3 0;
+  A.sw p R.t0 R.s2 0;
+  (* qsort(lo, i - 4) *)
+  A.mv p R.a0 R.s1;
+  A.addi p R.a1 R.s3 (-4);
+  A.call p "qsort";
+  (* qsort(i + 4, hi) *)
+  A.addi p R.a0 R.s3 4;
+  A.mv p R.a1 R.s2;
+  A.call p "qsort";
+  A.lw p R.ra R.sp 28;
+  A.lw p R.s1 R.sp 24;
+  A.lw p R.s2 R.sp 20;
+  A.lw p R.s3 R.sp 16;
+  A.lw p R.s4 R.sp 12;
+  A.lw p R.s5 R.sp 8;
+  A.addi p R.sp R.sp 32;
+  A.label p "qsort.ret0";
+  A.ret p
+
+let build ?(n = 512) ?(rounds = 4) p =
+  Rt.entry p ();
+  A.li p R.s10 rounds;
+  A.label p "round";
+  (* Fill the array with pseudo-random words. *)
+  A.la p R.s8 "arr";
+  A.li p R.s9 n;
+  A.label p "fill";
+  A.call p "rand";
+  A.sw p R.a0 R.s8 0;
+  A.addi p R.s8 R.s8 4;
+  A.addi p R.s9 R.s9 (-1);
+  A.bnez_l p R.s9 "fill";
+  (* Sort. *)
+  A.la p R.a0 "arr";
+  A.la p R.a1 "arr";
+  A.li p R.t0 ((n - 1) * 4);
+  A.add p R.a1 R.a1 R.t0;
+  A.call p "qsort";
+  (* Verify ascending (unsigned). *)
+  A.la p R.t0 "arr";
+  A.li p R.t1 (n - 1);
+  A.label p "verify";
+  A.lw p R.t2 R.t0 0;
+  A.lw p R.t3 R.t0 4;
+  A.bltu_l p R.t3 R.t2 "fail";
+  A.addi p R.t0 R.t0 4;
+  A.addi p R.t1 R.t1 (-1);
+  A.bnez_l p R.t1 "verify";
+  A.addi p R.s10 R.s10 (-1);
+  A.bnez_l p R.s10 "round";
+  Rt.exit_ p ();
+  A.label p "fail";
+  Rt.exit_ p ~code:1 ();
+  emit_qsort p;
+  Rt.emit_rand p ~seed:0x13579bdf;
+  A.align p 4;
+  A.label p "arr";
+  A.space p (4 * n)
+
+let image ?n ?rounds () =
+  let p = A.create () in
+  build ?n ?rounds p;
+  A.assemble p

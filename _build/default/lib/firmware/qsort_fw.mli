@@ -1,0 +1,10 @@
+(** Quicksort benchmark (Table II's [qsort]): fills an array with
+    pseudo-random words, sorts it with recursive quicksort, and verifies the
+    result — repeated for several rounds.
+
+    Exit code: 0 if every round ends sorted, 1 otherwise. *)
+
+val build : ?n:int -> ?rounds:int -> Rv32_asm.Asm.t -> unit
+(** [n] array elements (default 512), [rounds] sort rounds (default 4). *)
+
+val image : ?n:int -> ?rounds:int -> unit -> Rv32_asm.Image.t

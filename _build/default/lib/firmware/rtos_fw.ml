@@ -1,0 +1,117 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+(* Context frame: 128 bytes on the preempted task's stack.
+   x1 at 0, x3..x31 at (r-2)*4, mepc at 120. *)
+let frame_size = 128
+let reg_off r = if r = 1 then 0 else (r - 2) * 4
+let mepc_off = 120
+
+let saved_regs = 1 :: List.init 29 (fun i -> i + 3)
+
+let emit_save p =
+  A.addi p R.sp R.sp (-frame_size);
+  List.iter (fun r -> A.sw p r R.sp (reg_off r)) saved_regs;
+  A.csrrs p R.t0 0x341 R.zero (* mepc *);
+  A.sw p R.t0 R.sp mepc_off
+
+let emit_restore p =
+  A.lw p R.t0 R.sp mepc_off;
+  A.csrrw p R.zero 0x341 R.t0;
+  List.iter (fun r -> A.lw p r R.sp (reg_off r)) saved_regs;
+  A.addi p R.sp R.sp frame_size;
+  A.mret p
+
+let emit_program_slice p ~slice_ticks =
+  (* mtimecmp = mtime.lo + slice (the hi word stays 0 for these short
+     simulations). *)
+  A.li p R.t1 (Vp.Soc.clint_base + 0xbff8);
+  A.lw p R.t2 R.t1 0;
+  A.addi p R.t2 R.t2 slice_ticks;
+  A.li p R.t1 (Vp.Soc.clint_base + 0x4000);
+  A.sw p R.t2 R.t1 0;
+  A.sw p R.zero R.t1 4
+
+let build ?(switches = 16) ?(slice_ticks = 20) p =
+  A.j p "_start";
+  A.align p 4;
+  (* --- timer interrupt: the scheduler ------------------------------- *)
+  A.label p "scheduler";
+  emit_save p;
+  (* Count switches; exit once the budget is reached. *)
+  A.la p R.t1 "nswitch";
+  A.lw p R.t2 R.t1 0;
+  A.addi p R.t2 R.t2 1;
+  A.sw p R.t2 R.t1 0;
+  A.li p R.t3 switches;
+  A.blt_l p R.t2 R.t3 "sched.cont";
+  Rt.exit_ p ();
+  A.label p "sched.cont";
+  (* tcbs[current].sp <- sp *)
+  A.la p R.t1 "current";
+  A.lw p R.t2 R.t1 0;
+  A.la p R.t3 "tcbs";
+  A.slli p R.t4 R.t2 2;
+  A.add p R.t5 R.t3 R.t4;
+  A.sw p R.sp R.t5 0;
+  (* current <- 1 - current; sp <- tcbs[current].sp *)
+  A.xori p R.t2 R.t2 1;
+  A.sw p R.t2 R.t1 0;
+  A.slli p R.t4 R.t2 2;
+  A.add p R.t5 R.t3 R.t4;
+  A.lw p R.sp R.t5 0;
+  emit_program_slice p ~slice_ticks;
+  emit_restore p;
+  (* --- main ----------------------------------------------------------- *)
+  Rt.entry p ();
+  Rt.setup_trap_handler p "scheduler";
+  (* Build task 1's initial context frame on its own stack. *)
+  A.la p R.t0 "task1_stack_top";
+  A.addi p R.t0 R.t0 (-frame_size);
+  A.la p R.t1 "task1";
+  A.sw p R.t1 R.t0 mepc_off;
+  A.la p R.t2 "tcbs";
+  A.sw p R.t0 R.t2 4;
+  (* Arm the first slice and enable the timer interrupt. *)
+  emit_program_slice p ~slice_ticks;
+  Rt.enable_machine_interrupts p ~mie_bits:0x80 (* MTIE *);
+  (* Fall through into task 0. *)
+  A.label p "task0";
+  A.la p R.t0 "cnt0";
+  A.label p "task0.loop";
+  A.lw p R.t1 R.t0 0;
+  A.addi p R.t1 R.t1 1;
+  A.sw p R.t1 R.t0 0;
+  (* a little extra compute so the two tasks differ *)
+  A.mul p R.t2 R.t1 R.t1;
+  A.j p "task0.loop";
+  A.label p "task1";
+  A.la p R.t0 "cnt1";
+  A.label p "task1.loop";
+  A.lw p R.t1 R.t0 0;
+  A.addi p R.t1 R.t1 1;
+  A.sw p R.t1 R.t0 0;
+  A.xor p R.t2 R.t1 R.t0;
+  A.j p "task1.loop";
+  (* --- data ----------------------------------------------------------- *)
+  A.align p 4;
+  A.label p "current";
+  A.word p 0;
+  A.label p "tcbs";
+  A.word p 0;
+  A.word p 0;
+  A.label p "nswitch";
+  A.word p 0;
+  A.label p "cnt0";
+  A.word p 0;
+  A.label p "cnt1";
+  A.word p 0;
+  A.align p 16;
+  A.space p 1024;
+  A.label p "task1_stack_top";
+  A.space p 4
+
+let image ?switches ?slice_ticks () =
+  let p = A.create () in
+  build ?switches ?slice_ticks p;
+  A.assemble p

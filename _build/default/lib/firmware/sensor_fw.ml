@@ -1,0 +1,51 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let build ?(frames = 8) p =
+  A.j p "_start";
+  A.align p 4;
+  (* External-interrupt handler: claim, forward one frame, complete. *)
+  A.label p "handler";
+  A.li p R.t0 (Vp.Soc.plic_base + 8);
+  A.lw p R.t1 R.t0 0 (* claim *);
+  A.li p R.t2 Vp.Soc.irq_sensor;
+  A.bne_l p R.t1 R.t2 "handler.done";
+  (* Copy the 64-byte frame to the UART. *)
+  A.li p R.t2 Vp.Soc.sensor_base;
+  A.li p R.t3 Vp.Soc.uart_base;
+  A.li p R.t4 64;
+  A.label p "copy";
+  A.lbu p R.t5 R.t2 0;
+  A.sb p R.t5 R.t3 0;
+  A.addi p R.t2 R.t2 1;
+  A.addi p R.t4 R.t4 (-1);
+  A.bnez_l p R.t4 "copy";
+  (* Count frames; exit after the budget. *)
+  A.la p R.t2 "nframes";
+  A.lw p R.t3 R.t2 0;
+  A.addi p R.t3 R.t3 1;
+  A.sw p R.t3 R.t2 0;
+  A.li p R.t4 frames;
+  A.blt_l p R.t3 R.t4 "handler.done";
+  Rt.exit_ p ();
+  A.label p "handler.done";
+  A.sw p R.t1 R.t0 0 (* complete *);
+  A.mret p;
+  (* Main: configure interrupts and idle in wfi. *)
+  Rt.entry p ();
+  Rt.setup_trap_handler p "handler";
+  A.li p R.t0 (Vp.Soc.plic_base + 4);
+  A.li p R.t1 (1 lsl Vp.Soc.irq_sensor);
+  A.sw p R.t1 R.t0 0;
+  Rt.enable_machine_interrupts p ~mie_bits:0x800 (* MEIE *);
+  A.label p "idle";
+  A.wfi p;
+  A.j p "idle";
+  A.align p 4;
+  A.label p "nframes";
+  A.word p 0
+
+let image ?frames () =
+  let p = A.create () in
+  build ?frames p;
+  A.assemble p

@@ -1,0 +1,11 @@
+(** Simple-sensor application (Table II's [simple-sensor]): interrupt
+    driven, copies each freshly generated 64-byte sensor frame to the UART,
+    as in the paper's description ("copies randomly generated data from a
+    sensor to a UART peripheral").
+
+    Exit code: 0 after [frames] frames have been forwarded. *)
+
+val build : ?frames:int -> Rv32_asm.Asm.t -> unit
+(** [frames] to forward before exiting (default 8). *)
+
+val image : ?frames:int -> unit -> Rv32_asm.Image.t

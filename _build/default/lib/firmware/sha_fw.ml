@@ -1,0 +1,225 @@
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let k256 =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+     0x1f83d9ab; 0x5be0cd19 |]
+
+(* Deterministic message content. *)
+let message len = String.init len (fun i -> Char.chr ((i * 7 + (i lsr 5)) land 0xff))
+
+(* Host-side SHA-256 padding, so the firmware only runs the compression
+   loop (the dominant cost). *)
+let padded msg =
+  let len = String.length msg in
+  let total = ((len + 9 + 63) / 64) * 64 in
+  let b = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 b 0 len;
+  Bytes.set b len '\x80';
+  let bits = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set b (total - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xff))
+  done;
+  Bytes.to_string b
+
+(* rotr d, x, n (clobbers t6). *)
+let rotr p d x n =
+  A.srli p d x n;
+  A.slli p R.t6 x (32 - n);
+  A.or_ p d d R.t6
+
+let a_ = R.s1
+let b_ = R.s2
+let c_ = R.s3
+let d_ = R.s4
+let e_ = R.s5
+let f_ = R.s6
+let g_ = R.s7
+let h_ = R.s8
+
+let build ?(message_len = 2048) p =
+  let msg = message message_len in
+  let data = padded msg in
+  let blocks = String.length data / 64 in
+  let digest = Crypto.Sha256.digest msg in
+  Rt.entry p ();
+  A.la p R.s9 "msg" (* block pointer *);
+  A.li p R.s10 blocks;
+  A.la p R.a5 "wbuf";
+  A.la p R.a6 "k256";
+  A.label p "block";
+  (* Load working variables from the running hash state. *)
+  A.la p R.t0 "hstate";
+  A.lw p a_ R.t0 0;
+  A.lw p b_ R.t0 4;
+  A.lw p c_ R.t0 8;
+  A.lw p d_ R.t0 12;
+  A.lw p e_ R.t0 16;
+  A.lw p f_ R.t0 20;
+  A.lw p g_ R.t0 24;
+  A.lw p h_ R.t0 28;
+  (* W[0..15]: big-endian byte loads. *)
+  A.li p R.s11 0;
+  A.label p "sched0";
+  A.slli p R.t0 R.s11 2;
+  A.add p R.t1 R.s9 R.t0 (* &msg[4t] *);
+  A.lbu p R.t2 R.t1 0;
+  A.slli p R.t3 R.t2 24;
+  A.lbu p R.t2 R.t1 1;
+  A.slli p R.t2 R.t2 16;
+  A.or_ p R.t3 R.t3 R.t2;
+  A.lbu p R.t2 R.t1 2;
+  A.slli p R.t2 R.t2 8;
+  A.or_ p R.t3 R.t3 R.t2;
+  A.lbu p R.t2 R.t1 3;
+  A.or_ p R.t3 R.t3 R.t2;
+  A.add p R.t1 R.a5 R.t0;
+  A.sw p R.t3 R.t1 0;
+  A.addi p R.s11 R.s11 1;
+  A.li p R.t0 16;
+  A.blt_l p R.s11 R.t0 "sched0";
+  (* W[16..63]. *)
+  A.label p "sched1";
+  A.slli p R.t0 R.s11 2;
+  A.add p R.t1 R.a5 R.t0 (* &W[t] *);
+  A.lw p R.t2 R.t1 (-60) (* W[t-15] *);
+  rotr p R.t3 R.t2 7;
+  rotr p R.t4 R.t2 18;
+  A.xor p R.t3 R.t3 R.t4;
+  A.srli p R.t4 R.t2 3;
+  A.xor p R.t3 R.t3 R.t4 (* s0 *);
+  A.lw p R.t2 R.t1 (-8) (* W[t-2] *);
+  rotr p R.t4 R.t2 17;
+  rotr p R.t5 R.t2 19;
+  A.xor p R.t4 R.t4 R.t5;
+  A.srli p R.t5 R.t2 10;
+  A.xor p R.t4 R.t4 R.t5 (* s1 *);
+  A.lw p R.t2 R.t1 (-64) (* W[t-16] *);
+  A.add p R.t3 R.t3 R.t2;
+  A.lw p R.t2 R.t1 (-28) (* W[t-7] *);
+  A.add p R.t3 R.t3 R.t2;
+  A.add p R.t3 R.t3 R.t4;
+  A.sw p R.t3 R.t1 0;
+  A.addi p R.s11 R.s11 1;
+  A.li p R.t0 64;
+  A.blt_l p R.s11 R.t0 "sched1";
+  (* 64 rounds. *)
+  A.li p R.s11 0;
+  A.label p "round";
+  (* S1(e) -> t0 *)
+  rotr p R.t0 e_ 6;
+  rotr p R.t1 e_ 11;
+  A.xor p R.t0 R.t0 R.t1;
+  rotr p R.t1 e_ 25;
+  A.xor p R.t0 R.t0 R.t1;
+  (* Ch(e,f,g) -> t1 *)
+  A.and_ p R.t1 e_ f_;
+  A.not_ p R.t2 e_;
+  A.and_ p R.t2 R.t2 g_;
+  A.xor p R.t1 R.t1 R.t2;
+  (* T1 = h + S1 + Ch + K[t] + W[t] -> t0 *)
+  A.add p R.t0 R.t0 R.t1;
+  A.add p R.t0 R.t0 h_;
+  A.slli p R.t3 R.s11 2;
+  A.add p R.t4 R.a6 R.t3;
+  A.lw p R.t5 R.t4 0;
+  A.add p R.t0 R.t0 R.t5;
+  A.add p R.t4 R.a5 R.t3;
+  A.lw p R.t5 R.t4 0;
+  A.add p R.t0 R.t0 R.t5;
+  (* S0(a) -> t1 *)
+  rotr p R.t1 a_ 2;
+  rotr p R.t2 a_ 13;
+  A.xor p R.t1 R.t1 R.t2;
+  rotr p R.t2 a_ 22;
+  A.xor p R.t1 R.t1 R.t2;
+  (* Maj(a,b,c) -> t2 *)
+  A.and_ p R.t2 a_ b_;
+  A.and_ p R.t3 a_ c_;
+  A.xor p R.t2 R.t2 R.t3;
+  A.and_ p R.t3 b_ c_;
+  A.xor p R.t2 R.t2 R.t3;
+  A.add p R.t1 R.t1 R.t2 (* T2 *);
+  (* Rotate the working variables. *)
+  A.mv p h_ g_;
+  A.mv p g_ f_;
+  A.mv p f_ e_;
+  A.add p e_ d_ R.t0;
+  A.mv p d_ c_;
+  A.mv p c_ b_;
+  A.mv p b_ a_;
+  A.add p a_ R.t0 R.t1;
+  A.addi p R.s11 R.s11 1;
+  A.li p R.t0 64;
+  A.blt_l p R.s11 R.t0 "round";
+  (* Fold into the hash state. *)
+  A.la p R.t0 "hstate";
+  let fold reg off =
+    A.lw p R.t1 R.t0 off;
+    A.add p R.t1 R.t1 reg;
+    A.sw p R.t1 R.t0 off
+  in
+  fold a_ 0;
+  fold b_ 4;
+  fold c_ 8;
+  fold d_ 12;
+  fold e_ 16;
+  fold f_ 20;
+  fold g_ 24;
+  fold h_ 28;
+  A.addi p R.s9 R.s9 64;
+  A.addi p R.s10 R.s10 (-1);
+  A.bnez_l p R.s10 "block";
+  (* Compare against the reference digest. *)
+  A.la p R.t0 "hstate";
+  A.la p R.t1 "refdigest";
+  A.li p R.t2 8;
+  A.label p "cmp";
+  A.lw p R.t3 R.t0 0;
+  A.lw p R.t4 R.t1 0;
+  A.bne_l p R.t3 R.t4 "fail";
+  A.addi p R.t0 R.t0 4;
+  A.addi p R.t1 R.t1 4;
+  A.addi p R.t2 R.t2 (-1);
+  A.bnez_l p R.t2 "cmp";
+  Rt.exit_ p ();
+  A.label p "fail";
+  Rt.exit_ p ~code:1 ();
+  (* Data. *)
+  A.align p 4;
+  A.label p "hstate";
+  Array.iter (fun v -> A.word p v) iv;
+  A.label p "refdigest";
+  for i = 0 to 7 do
+    let w =
+      (Char.code digest.[4 * i] lsl 24)
+      lor (Char.code digest.[(4 * i) + 1] lsl 16)
+      lor (Char.code digest.[(4 * i) + 2] lsl 8)
+      lor Char.code digest.[(4 * i) + 3]
+    in
+    A.word p w
+  done;
+  A.label p "k256";
+  Array.iter (fun v -> A.word p v) k256;
+  A.label p "wbuf";
+  A.space p 256;
+  A.label p "msg";
+  A.ascii p data
+
+let image ?message_len () =
+  let p = A.create () in
+  build ?message_len p;
+  A.assemble p

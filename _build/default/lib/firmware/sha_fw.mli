@@ -1,0 +1,14 @@
+(** Hash benchmark (Table II's [sha512] slot): a full SHA-256 compression
+    function in RV32 assembly, run over an embedded message and checked
+    against the host-side {!Crypto.Sha256} reference.
+
+    Substitution note: the paper hashes with sha512; RV32 has no 64-bit
+    registers, so the natural 32-bit sibling SHA-256 is used — the workload
+    shape (pure integer compute, rotate/xor/add dominated) is the same.
+
+    Exit code: 0 if the computed digest equals the reference, 1 otherwise. *)
+
+val build : ?message_len:int -> Rv32_asm.Asm.t -> unit
+(** [message_len] bytes of deterministic message content (default 2048). *)
+
+val image : ?message_len:int -> unit -> Rv32_asm.Image.t

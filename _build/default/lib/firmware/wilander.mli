@@ -1,0 +1,51 @@
+(** The Wilander-Kamkar buffer-overflow / code-injection test suite in its
+    RISC-V port (Table I of the paper): 18 attack forms that overflow a
+    buffer on the stack or in the Heap/BSS/Data segment to redirect control
+    flow into an injected payload, either by overwriting the target
+    directly (adjacent overflow) or indirectly (overflowing a pointer, then
+    writing through it).
+
+    As in the paper, 8 of the 18 forms are not applicable (N/A) on RISC-V —
+    chiefly because the calling convention passes parameters and keeps the
+    frame pointer in registers — and the remaining 10 must all be detected
+    by the code-injection policy of Section VI-B: program memory classified
+    HI, instruction-fetch clearance HI, all external input LI, and the
+    payload function classified LI (standing in for truly injected code).
+
+    Attacker input arrives on the UART (hence LI); the payload function
+    prints ['P'] and exits with code 7, so an {e undetected} attack is
+    observable. *)
+
+type outcome =
+  | Detected  (** The DIFT engine raised a violation. *)
+  | Missed of int  (** The program ran to completion with this exit code. *)
+  | Not_applicable
+
+type attack = {
+  id : int;  (** 1..18, matching Table I's rows. *)
+  location : string;  (** "Stack" or "Heap/BSS/Data". *)
+  target : string;  (** What the overflow corrupts. *)
+  technique : string;  (** "Direct" or "Indirect". *)
+  applicable : bool;
+  na_reason : string;  (** Why the form does not exist on RISC-V. *)
+}
+
+val attacks : attack list
+(** All 18 rows of Table I, in order. *)
+
+val expected_detected : int list
+(** Ids the paper reports as Detected: 3, 5, 6, 7, 9, 10, 11, 13, 14, 17. *)
+
+val image_for : int -> Rv32_asm.Image.t option
+(** The attack program, or [None] for N/A rows. *)
+
+val payload_for : int -> Rv32_asm.Image.t -> string
+(** The attacker's UART input for an applicable attack (filler bytes plus
+    little-endian addresses derived from the image's symbols and the known
+    stack layout). *)
+
+val policy : Rv32_asm.Image.t -> Dift.Policy.t
+(** The code-injection policy of Section VI-B for this image. *)
+
+val run : ?tracking:bool -> int -> outcome
+(** Execute one attack on a fresh SoC (VP+ by default). *)

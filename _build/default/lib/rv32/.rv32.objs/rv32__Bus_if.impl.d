@@ -1,0 +1,1 @@
+lib/rv32/bus_if.ml: Bytes Char Dift Int32 Printf Sysc Tlm

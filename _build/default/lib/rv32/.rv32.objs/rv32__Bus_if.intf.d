@@ -1,0 +1,1 @@
+lib/rv32/bus_if.mli: Bytes Dift Sysc Tlm

@@ -1,0 +1,1 @@
+lib/rv32/core.ml: Array Bus_if Csr Decode Dift Hashtbl Insn Int64 Printf Reg Sysc

@@ -1,0 +1,1 @@
+lib/rv32/core.mli: Bus_if Csr Dift Insn Reg Sysc

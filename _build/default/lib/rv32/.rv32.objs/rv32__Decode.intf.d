@@ -1,0 +1,1 @@
+lib/rv32/decode.mli: Insn

@@ -1,0 +1,1 @@
+lib/rv32/disasm.ml: Decode Insn Printf Reg

@@ -1,0 +1,1 @@
+lib/rv32/golden.ml: Array Bytes Decode Insn Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/rv32/reg.ml: Array Printf String

@@ -1,0 +1,580 @@
+exception Fatal_trap of { cause : int; pc : int; tval : int }
+
+type exit_reason = Running | Exited of int | Breakpoint | Insn_limit
+
+module type MODE = sig
+  val tracking : bool
+end
+
+
+module type S = sig
+  type t
+
+  val create :
+    kernel:Sysc.Kernel.t ->
+    bus:Bus_if.t ->
+    policy:Dift.Policy.t ->
+    monitor:Dift.Monitor.t ->
+    ?cycle_time:Sysc.Time.t ->
+    ?quantum:int ->
+    pc:int ->
+    unit ->
+    t
+
+  val pc : t -> int
+  val set_pc : t -> int -> unit
+  val get_reg : t -> Reg.t -> int
+  val get_reg_tag : t -> Reg.t -> Dift.Lattice.tag
+  val set_reg : t -> Reg.t -> int -> unit
+  val set_reg_tagged : t -> Reg.t -> int -> Dift.Lattice.tag -> unit
+  val csr : t -> Csr.t
+  val instret : t -> int
+  val set_irq : t -> bit:int -> bool -> unit
+  val step : t -> unit
+  val spawn_thread : ?stop_kernel_on_halt:bool -> t -> unit
+  val set_max_instructions : t -> int -> unit
+  val exit_reason : t -> exit_reason
+  val halted : t -> bool
+  val halt : t -> exit_reason -> unit
+  val set_trace : t -> (int -> Insn.t -> unit) option -> unit
+end
+
+let mask32 v = v land 0xffffffff
+let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let cause_fetch_fault = 1
+
+module Make (M : MODE) = struct
+  type t = {
+    kernel : Sysc.Kernel.t;
+    bus : Bus_if.t;
+    policy : Dift.Policy.t;
+    monitor : Dift.Monitor.t;
+    lat : Dift.Lattice.t;
+    regs : int array;
+    rtags : int array;
+    mutable pc : int;
+    mutable cur_pc : int;  (* pc of the instruction in flight *)
+    mutable insn_word : int;
+    mutable insn_tag : int;
+    csrf : Csr.t;
+    pub : int;  (* lattice bottom: tag of constants / x0 *)
+    fetch_req : int option;
+    branch_req : int option;
+    mem_addr_req : int option;
+    has_store_clearance : bool;
+    decode_cache : (int, Insn.t) Hashtbl.t;
+    (* pc-indexed direct cache over the DMI (RAM) region: validated by
+       comparing the cached word, so self-modifying code re-decodes. *)
+    pc_cache_base : int;
+    pc_cache_words : int array;  (* empty if no DMI region *)
+    pc_cache_insns : Insn.t array;
+    irq_event : Sysc.Kernel.event;
+    cycle_time : Sysc.Time.t;
+    quantum : int;
+    mutable local_cycles : int;
+    mutable instret : int;
+    mutable max_insns : int;
+    mutable in_wfi : bool;
+    mutable exit_reason : exit_reason;
+    mutable trace : (int -> Insn.t -> unit) option;
+  }
+
+  let create ~kernel ~bus ~policy ~monitor ?(cycle_time = Sysc.Time.ns 10)
+      ?(quantum = 1000) ~pc () =
+    let pc_cache_base, pc_cache_words, pc_cache_insns =
+      match Bus_if.dmi_range bus with
+      | Some (base, limit) ->
+          let entries = ((limit - base) / 4) + 1 in
+          (base, Array.make entries (-1), Array.make entries (Insn.ILLEGAL 0))
+      | None -> (0, [||], [||])
+    in
+    let lat = policy.Dift.Policy.lattice in
+    let pub =
+      match Dift.Lattice.bottom lat with
+      | Some b -> b
+      | None -> policy.Dift.Policy.default_tag
+    in
+    {
+      kernel;
+      bus;
+      policy;
+      monitor;
+      lat;
+      regs = Array.make 32 0;
+      rtags = Array.make 32 pub;
+      pc;
+      cur_pc = pc;
+      insn_word = 0;
+      insn_tag = pub;
+      csrf = Csr.create ~default_tag:pub;
+      pub;
+      fetch_req = policy.Dift.Policy.exec_fetch;
+      branch_req = policy.Dift.Policy.exec_branch;
+      mem_addr_req = policy.Dift.Policy.exec_mem_addr;
+      has_store_clearance = policy.Dift.Policy.store_clearance <> [];
+      decode_cache = Hashtbl.create 1024;
+      pc_cache_base;
+      pc_cache_words;
+      pc_cache_insns;
+      irq_event = Sysc.Kernel.create_event kernel "cpu.irq";
+      cycle_time;
+      quantum;
+      local_cycles = 0;
+      instret = 0;
+      max_insns = max_int;
+      in_wfi = false;
+      exit_reason = Running;
+      trace = None;
+    }
+
+  let pc t = t.pc
+  let set_pc t v = t.pc <- mask32 v
+  let get_reg t r = t.regs.(r)
+  let get_reg_tag t r = t.rtags.(r)
+
+  let set_reg_tagged t r v tag =
+    if r <> 0 then begin
+      t.regs.(r) <- mask32 v;
+      if M.tracking then t.rtags.(r) <- tag
+    end
+
+  let set_reg t r v = set_reg_tagged t r v t.pub
+  let csr t = t.csrf
+  let instret t = t.instret
+  let set_max_instructions t n = t.max_insns <- n
+  let exit_reason t = t.exit_reason
+  let halted t = t.exit_reason <> Running
+
+  let halt t reason =
+    if t.exit_reason = Running then t.exit_reason <- reason
+
+  let set_trace t fn = t.trace <- fn
+
+  let set_irq t ~bit on =
+    let c = t.csrf in
+    if on then begin
+      c.Csr.v_mip <- c.Csr.v_mip lor bit;
+      Sysc.Kernel.notify_immediate t.irq_event
+    end
+    else c.Csr.v_mip <- c.Csr.v_mip land lnot bit land 0xffffffff
+
+  (* --- DIFT checks ------------------------------------------------- *)
+
+  let lub t a b = Dift.Lattice.lub t.lat a b
+
+  (* The detail string is built lazily: these checks run on every
+     instruction, and allocating a formatted string on the hot path would
+     dominate the DIFT overhead. *)
+  let check t ~kind ~data_tag ~required ~detail =
+    Dift.Monitor.count_check t.monitor;
+    if not (Dift.Lattice.allowed_flow t.lat data_tag required) then
+      Dift.Monitor.violation t.monitor
+        {
+          Dift.Violation.kind;
+          data_tag;
+          required_tag = required;
+          pc = Some t.cur_pc;
+          detail = detail ();
+        }
+
+  let check_fetch t tag =
+    match t.fetch_req with
+    | Some required ->
+        if
+          Dift.Monitor.count_check t.monitor;
+          not (Dift.Lattice.allowed_flow t.lat tag required)
+        then
+          Dift.Monitor.violation t.monitor
+            {
+              Dift.Violation.kind = Dift.Violation.Exec_fetch;
+              data_tag = tag;
+              required_tag = required;
+              pc = Some t.cur_pc;
+              detail = Printf.sprintf "fetch of 0x%08x" t.insn_word;
+            }
+    | None -> ()
+
+  let check_branch t tag detail =
+    match t.branch_req with
+    | Some required ->
+        check t ~kind:Dift.Violation.Exec_branch ~data_tag:tag ~required
+          ~detail:(fun () -> detail)
+    | None -> ()
+
+  let check_mem_addr t tag addr =
+    match t.mem_addr_req with
+    | Some required ->
+        check t ~kind:Dift.Violation.Exec_mem_addr ~data_tag:tag ~required
+          ~detail:(fun () -> Printf.sprintf "effective address 0x%08x" addr)
+    | None -> ()
+
+  let check_store_region t ~addr ~width ~tag =
+    if t.has_store_clearance then
+      for i = 0 to width - 1 do
+        match Dift.Policy.store_required_at t.policy (addr + i) with
+        | Some (region, required) ->
+            check t ~kind:(Dift.Violation.Store_integrity region) ~data_tag:tag
+              ~required
+              ~detail:(fun () -> Printf.sprintf "store to 0x%08x" (addr + i))
+        | None -> ()
+      done
+
+  (* --- Traps and interrupts ----------------------------------------- *)
+
+  let enter_trap t ~cause ~tval ~epc =
+    let c = t.csrf in
+    if c.Csr.v_mtvec = 0 then raise (Fatal_trap { cause; pc = epc; tval });
+    c.Csr.v_mepc <- epc;
+    c.Csr.t_mepc <- t.pub;
+    c.Csr.v_mcause <- cause;
+    c.Csr.t_mcause <- t.pub;
+    c.Csr.v_mtval <- mask32 tval;
+    c.Csr.t_mtval <- t.pub;
+    let s = c.Csr.v_mstatus in
+    let mie = (s lsr 3) land 1 in
+    c.Csr.v_mstatus <-
+      s land lnot (Csr.mstatus_mie lor Csr.mstatus_mpie) lor (mie lsl 7);
+    if M.tracking then check_branch t c.Csr.t_mtvec "trap vector (mtvec)";
+    t.pc <- c.Csr.v_mtvec
+
+  let trap t ~cause ~tval = enter_trap t ~cause ~tval ~epc:t.cur_pc
+
+  let take_interrupt t =
+    let c = t.csrf in
+    let pending = c.Csr.v_mip land c.Csr.v_mie in
+    let bit =
+      if pending land Csr.bit_mei <> 0 then Csr.bit_mei
+      else if pending land Csr.bit_msi <> 0 then Csr.bit_msi
+      else Csr.bit_mti
+    in
+    let idx =
+      if bit = Csr.bit_mei then 11 else if bit = Csr.bit_msi then 3 else 7
+    in
+    enter_trap t ~cause:(Csr.cause_interrupt idx) ~tval:0 ~epc:t.pc
+
+  (* --- Memory helpers ------------------------------------------------ *)
+
+  let do_load t ~width ~addr =
+    try Bus_if.load t.bus ~width ~addr
+    with Bus_if.Bus_error _ ->
+      trap t ~cause:Csr.cause_load_fault ~tval:addr;
+      (* Trap redirected control flow; the load value is irrelevant. *)
+      t.insn_tag <- t.pub;
+      raise_notrace Exit
+
+  let do_store t ~width ~addr ~value ~tag =
+    try Bus_if.store t.bus ~width ~addr ~value ~tag
+    with Bus_if.Bus_error _ ->
+      trap t ~cause:Csr.cause_store_fault ~tval:addr;
+      raise_notrace Exit
+
+  (* --- CSR instructions ---------------------------------------------- *)
+
+  type csr_op = Op_w | Op_s | Op_c
+
+  let do_csr t rd n ~src_v ~src_t ~op ~do_write =
+    match Csr.read t.csrf ~cycles:t.instret ~instret:t.instret n with
+    | None -> trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+    | Some (old_v, old_t) ->
+        let write_ok =
+          if do_write then begin
+            let new_v, new_t =
+              match op with
+              | Op_w -> (src_v, src_t)
+              | Op_s ->
+                  (old_v lor src_v, if M.tracking then lub t old_t src_t else t.pub)
+              | Op_c ->
+                  ( old_v land lnot src_v land 0xffffffff,
+                    if M.tracking then lub t old_t src_t else t.pub )
+            in
+            Csr.write t.csrf n ~value:new_v ~tag:new_t
+          end
+          else true
+        in
+        if write_ok then set_reg_tagged t rd old_v old_t
+        else trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+
+  (* --- Execute -------------------------------------------------------- *)
+
+  let execute t insn =
+    let open Insn in
+    let pc0 = t.cur_pc in
+    let regs = t.regs and rtags = t.rtags in
+    let itag = t.insn_tag in
+    let rt r = if M.tracking then rtags.(r) else t.pub in
+    (* Tag of an ALU result from one / two register sources: immediates and
+       the operation itself inherit the instruction's classification. *)
+    let tag1 r = if M.tracking then lub t rtags.(r) itag else t.pub in
+    let tag2 a b =
+      if M.tracking then lub t (lub t rtags.(a) rtags.(b)) itag else t.pub
+    in
+    let branch_to target = t.pc <- mask32 target in
+    let cond_branch a b off taken =
+      if M.tracking then
+        check_branch t (lub t (rt a) (rt b)) "branch condition";
+      if taken then branch_to (pc0 + off)
+    in
+    match insn with
+    | LUI (rd, imm) -> set_reg_tagged t rd imm itag
+    | AUIPC (rd, imm) -> set_reg_tagged t rd (pc0 + imm) itag
+    | JAL (rd, off) ->
+        set_reg_tagged t rd (pc0 + 4) itag;
+        branch_to (pc0 + off)
+    | JALR (rd, rs1, off) ->
+        if M.tracking then check_branch t (rt rs1) "indirect jump target";
+        let target = mask32 (regs.(rs1) + off) land lnot 1 in
+        set_reg_tagged t rd (pc0 + 4) itag;
+        branch_to target
+    | BEQ (a, b, off) -> cond_branch a b off (regs.(a) = regs.(b))
+    | BNE (a, b, off) -> cond_branch a b off (regs.(a) <> regs.(b))
+    | BLT (a, b, off) -> cond_branch a b off (signed regs.(a) < signed regs.(b))
+    | BGE (a, b, off) -> cond_branch a b off (signed regs.(a) >= signed regs.(b))
+    | BLTU (a, b, off) -> cond_branch a b off (regs.(a) < regs.(b))
+    | BGEU (a, b, off) -> cond_branch a b off (regs.(a) >= regs.(b))
+    | LB (rd, rs1, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then check_mem_addr t (rt rs1) addr;
+        let v = do_load t ~width:1 ~addr in
+        set_reg_tagged t rd
+          (if v land 0x80 <> 0 then v lor 0xffffff00 else v)
+          (Bus_if.last_tag t.bus)
+    | LH (rd, rs1, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then check_mem_addr t (rt rs1) addr;
+        let v = do_load t ~width:2 ~addr in
+        set_reg_tagged t rd
+          (if v land 0x8000 <> 0 then v lor 0xffff0000 else v)
+          (Bus_if.last_tag t.bus)
+    | LW (rd, rs1, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then check_mem_addr t (rt rs1) addr;
+        let v = do_load t ~width:4 ~addr in
+        set_reg_tagged t rd v (Bus_if.last_tag t.bus)
+    | LBU (rd, rs1, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then check_mem_addr t (rt rs1) addr;
+        let v = do_load t ~width:1 ~addr in
+        set_reg_tagged t rd v (Bus_if.last_tag t.bus)
+    | LHU (rd, rs1, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then check_mem_addr t (rt rs1) addr;
+        let v = do_load t ~width:2 ~addr in
+        set_reg_tagged t rd v (Bus_if.last_tag t.bus)
+    | SB (rs1, rs2, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then begin
+          check_mem_addr t (rt rs1) addr;
+          check_store_region t ~addr ~width:1 ~tag:(rt rs2)
+        end;
+        do_store t ~width:1 ~addr ~value:regs.(rs2) ~tag:(rt rs2)
+    | SH (rs1, rs2, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then begin
+          check_mem_addr t (rt rs1) addr;
+          check_store_region t ~addr ~width:2 ~tag:(rt rs2)
+        end;
+        do_store t ~width:2 ~addr ~value:regs.(rs2) ~tag:(rt rs2)
+    | SW (rs1, rs2, off) ->
+        let addr = mask32 (regs.(rs1) + off) in
+        if M.tracking then begin
+          check_mem_addr t (rt rs1) addr;
+          check_store_region t ~addr ~width:4 ~tag:(rt rs2)
+        end;
+        do_store t ~width:4 ~addr ~value:regs.(rs2) ~tag:(rt rs2)
+    | ADDI (rd, rs1, imm) -> set_reg_tagged t rd (regs.(rs1) + imm) (tag1 rs1)
+    | SLTI (rd, rs1, imm) ->
+        set_reg_tagged t rd (if signed regs.(rs1) < imm then 1 else 0) (tag1 rs1)
+    | SLTIU (rd, rs1, imm) ->
+        set_reg_tagged t rd
+          (if regs.(rs1) < mask32 imm then 1 else 0)
+          (tag1 rs1)
+    | XORI (rd, rs1, imm) ->
+        set_reg_tagged t rd (regs.(rs1) lxor mask32 imm) (tag1 rs1)
+    | ORI (rd, rs1, imm) ->
+        set_reg_tagged t rd (regs.(rs1) lor mask32 imm) (tag1 rs1)
+    | ANDI (rd, rs1, imm) ->
+        set_reg_tagged t rd (regs.(rs1) land mask32 imm) (tag1 rs1)
+    | SLLI (rd, rs1, sh) -> set_reg_tagged t rd (regs.(rs1) lsl sh) (tag1 rs1)
+    | SRLI (rd, rs1, sh) -> set_reg_tagged t rd (regs.(rs1) lsr sh) (tag1 rs1)
+    | SRAI (rd, rs1, sh) ->
+        set_reg_tagged t rd (signed regs.(rs1) asr sh) (tag1 rs1)
+    | ADD (rd, a, b) -> set_reg_tagged t rd (regs.(a) + regs.(b)) (tag2 a b)
+    | SUB (rd, a, b) -> set_reg_tagged t rd (regs.(a) - regs.(b)) (tag2 a b)
+    | SLL (rd, a, b) ->
+        set_reg_tagged t rd (regs.(a) lsl (regs.(b) land 31)) (tag2 a b)
+    | SLT (rd, a, b) ->
+        set_reg_tagged t rd
+          (if signed regs.(a) < signed regs.(b) then 1 else 0)
+          (tag2 a b)
+    | SLTU (rd, a, b) ->
+        set_reg_tagged t rd (if regs.(a) < regs.(b) then 1 else 0) (tag2 a b)
+    | XOR (rd, a, b) -> set_reg_tagged t rd (regs.(a) lxor regs.(b)) (tag2 a b)
+    | SRL (rd, a, b) ->
+        set_reg_tagged t rd (regs.(a) lsr (regs.(b) land 31)) (tag2 a b)
+    | SRA (rd, a, b) ->
+        set_reg_tagged t rd (signed regs.(a) asr (regs.(b) land 31)) (tag2 a b)
+    | OR (rd, a, b) -> set_reg_tagged t rd (regs.(a) lor regs.(b)) (tag2 a b)
+    | AND (rd, a, b) -> set_reg_tagged t rd (regs.(a) land regs.(b)) (tag2 a b)
+    | MUL (rd, a, b) ->
+        let p = Int64.mul (Int64.of_int regs.(a)) (Int64.of_int regs.(b)) in
+        set_reg_tagged t rd (Int64.to_int p land 0xffffffff) (tag2 a b)
+    | MULH (rd, a, b) ->
+        let p =
+          Int64.mul
+            (Int64.of_int (signed regs.(a)))
+            (Int64.of_int (signed regs.(b)))
+        in
+        set_reg_tagged t rd
+          (Int64.to_int (Int64.shift_right p 32) land 0xffffffff)
+          (tag2 a b)
+    | MULHSU (rd, a, b) ->
+        let p =
+          Int64.mul (Int64.of_int (signed regs.(a))) (Int64.of_int regs.(b))
+        in
+        set_reg_tagged t rd
+          (Int64.to_int (Int64.shift_right p 32) land 0xffffffff)
+          (tag2 a b)
+    | MULHU (rd, a, b) ->
+        let p = Int64.mul (Int64.of_int regs.(a)) (Int64.of_int regs.(b)) in
+        set_reg_tagged t rd
+          (Int64.to_int (Int64.shift_right_logical p 32) land 0xffffffff)
+          (tag2 a b)
+    | DIV (rd, a, b) ->
+        let x = signed regs.(a) and y = signed regs.(b) in
+        let q =
+          if y = 0 then -1
+          else if x = -0x80000000 && y = -1 then -0x80000000
+          else
+            (* OCaml division truncates toward zero, matching RISC-V. *)
+            x / y
+        in
+        set_reg_tagged t rd q (tag2 a b)
+    | DIVU (rd, a, b) ->
+        let q = if regs.(b) = 0 then 0xffffffff else regs.(a) / regs.(b) in
+        set_reg_tagged t rd q (tag2 a b)
+    | REM (rd, a, b) ->
+        let x = signed regs.(a) and y = signed regs.(b) in
+        let r =
+          if y = 0 then x
+          else if x = -0x80000000 && y = -1 then 0
+          else x mod y
+        in
+        set_reg_tagged t rd r (tag2 a b)
+    | REMU (rd, a, b) ->
+        let r = if regs.(b) = 0 then regs.(a) else regs.(a) mod regs.(b) in
+        set_reg_tagged t rd r (tag2 a b)
+    | FENCE -> ()
+    | ECALL ->
+        if regs.(17) = 93 then halt t (Exited (signed regs.(10)))
+        else trap t ~cause:Csr.cause_ecall_m ~tval:0
+    | EBREAK -> halt t Breakpoint
+    | MRET ->
+        let c = t.csrf in
+        let s = c.Csr.v_mstatus in
+        let mpie = (s lsr 7) land 1 in
+        c.Csr.v_mstatus <-
+          s land lnot Csr.mstatus_mie
+          lor (mpie lsl 3) lor Csr.mstatus_mpie;
+        if M.tracking then check_branch t c.Csr.t_mepc "mret target (mepc)";
+        branch_to c.Csr.v_mepc
+    | WFI ->
+        if t.csrf.Csr.v_mip land t.csrf.Csr.v_mie = 0 then t.in_wfi <- true
+    | CSRRW (rd, rs1, n) ->
+        do_csr t rd n ~src_v:regs.(rs1) ~src_t:(rt rs1) ~op:Op_w ~do_write:true
+    | CSRRS (rd, rs1, n) ->
+        do_csr t rd n ~src_v:regs.(rs1) ~src_t:(rt rs1) ~op:Op_s
+          ~do_write:(rs1 <> 0)
+    | CSRRC (rd, rs1, n) ->
+        do_csr t rd n ~src_v:regs.(rs1) ~src_t:(rt rs1) ~op:Op_c
+          ~do_write:(rs1 <> 0)
+    | CSRRWI (rd, z, n) ->
+        do_csr t rd n ~src_v:z ~src_t:itag ~op:Op_w ~do_write:true
+    | CSRRSI (rd, z, n) ->
+        do_csr t rd n ~src_v:z ~src_t:itag ~op:Op_s ~do_write:(z <> 0)
+    | CSRRCI (rd, z, n) ->
+        do_csr t rd n ~src_v:z ~src_t:itag ~op:Op_c ~do_write:(z <> 0)
+    | ILLEGAL w -> trap t ~cause:Csr.cause_illegal ~tval:w
+
+  let decode_slow t word =
+    try Hashtbl.find t.decode_cache word
+    with Not_found ->
+      let insn = Decode.decode word in
+      Hashtbl.add t.decode_cache word insn;
+      insn
+
+  let decode_cached t pc word =
+    let idx = (pc - t.pc_cache_base) lsr 2 in
+    if idx >= 0 && idx < Array.length t.pc_cache_words then
+      if Array.unsafe_get t.pc_cache_words idx = word then
+        Array.unsafe_get t.pc_cache_insns idx
+      else begin
+        let insn = Decode.decode word in
+        Array.unsafe_set t.pc_cache_words idx word;
+        Array.unsafe_set t.pc_cache_insns idx insn;
+        insn
+      end
+    else decode_slow t word
+
+  let step t =
+    let c = t.csrf in
+    if
+      c.Csr.v_mstatus land Csr.mstatus_mie <> 0
+      && c.Csr.v_mip land c.Csr.v_mie <> 0
+    then take_interrupt t
+    else begin
+      let pc0 = t.pc in
+      t.cur_pc <- pc0;
+      match
+        try
+          t.insn_word <- Bus_if.load t.bus ~width:4 ~addr:pc0;
+          true
+        with Bus_if.Bus_error _ ->
+          enter_trap t ~cause:cause_fetch_fault ~tval:pc0 ~epc:pc0;
+          false
+      with
+      | false -> t.instret <- t.instret + 1
+      | true ->
+          if M.tracking then begin
+            t.insn_tag <- Bus_if.last_tag t.bus;
+            check_fetch t t.insn_tag
+          end;
+          let insn = decode_cached t pc0 t.insn_word in
+          (match t.trace with Some f -> f pc0 insn | None -> ());
+          t.instret <- t.instret + 1;
+          t.local_cycles <- t.local_cycles + 1;
+          t.pc <- mask32 (pc0 + 4);
+          (try execute t insn with Exit -> ())
+    end
+
+  let sync_time t =
+    let elapsed =
+      Sysc.Time.add
+        (t.local_cycles * t.cycle_time)
+        (Bus_if.take_delay t.bus)
+    in
+    t.local_cycles <- 0;
+    if elapsed > 0 then Sysc.Kernel.wait_for elapsed
+
+  let spawn_thread ?(stop_kernel_on_halt = true) t =
+    Sysc.Kernel.spawn t.kernel ~name:"cpu" (fun () ->
+        let running = ref true in
+        while !running do
+          if halted t || Sysc.Kernel.stopped t.kernel then running := false
+          else if t.in_wfi then begin
+            sync_time t;
+            if t.csrf.Csr.v_mip land t.csrf.Csr.v_mie = 0 then
+              Sysc.Kernel.wait_event t.irq_event
+            else t.in_wfi <- false
+          end
+          else if t.instret >= t.max_insns then halt t Insn_limit
+          else begin
+            step t;
+            if t.local_cycles >= t.quantum then sync_time t
+          end
+        done;
+        sync_time t;
+        if stop_kernel_on_halt then Sysc.Kernel.stop t.kernel)
+end
+
+module Vp = Make (struct let tracking = false end)
+module Vp_dift = Make (struct let tracking = true end)

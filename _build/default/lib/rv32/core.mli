@@ -1,0 +1,101 @@
+(** The RV32IM CPU core, functorised over the taint-tracking mode.
+
+    [Make (struct let tracking = false end)] is the plain VP flavour;
+    [Make (struct let tracking = true end)] is VP+ with the DIFT engine
+    woven into the execute loop, reproducing the paper's three
+    modifications: tainted register/CSR types, execution-clearance checks,
+    and a tainted memory interface (Section V-B).
+
+    Taint semantics (VP+):
+    - ALU results carry the LUB of the source-register tags and the
+      instruction's own tag (immediates inherit the code's class);
+    - loads carry the LUB of the loaded bytes' tags; stores tag every
+      written byte with the source register's tag;
+    - execution clearance: the fetched word's tag is checked against the
+      fetch-unit clearance, branch conditions / indirect-jump targets /
+      trap-vector tags against the branch clearance, and load/store base
+      addresses against the memory-address clearance (Section V-B2);
+    - stores into policy-protected regions check the data tag against the
+      region's required class. *)
+
+exception Fatal_trap of { cause : int; pc : int; tval : int }
+(** A synchronous trap occurred while [mtvec] is 0 (no handler installed),
+    or a trap was raised from within the trap path. *)
+
+type exit_reason =
+  | Running
+  | Exited of int  (** Firmware called the exit ecall (a7=93, code in a0). *)
+  | Breakpoint  (** [ebreak] executed. *)
+  | Insn_limit  (** The configured instruction budget was exhausted. *)
+
+module type MODE = sig
+  val tracking : bool
+end
+
+module type S = sig
+  type t
+
+  val create :
+    kernel:Sysc.Kernel.t ->
+    bus:Bus_if.t ->
+    policy:Dift.Policy.t ->
+    monitor:Dift.Monitor.t ->
+    ?cycle_time:Sysc.Time.t ->
+    ?quantum:int ->
+    pc:int ->
+    unit ->
+    t
+  (** [cycle_time] is the modelled cost of one instruction (default 10 ns);
+      [quantum] the number of local cycles the core runs ahead before
+      synchronising with the kernel (default 1000, loosely-timed style). *)
+
+  (** {1 Architectural state} *)
+
+  val pc : t -> int
+  val set_pc : t -> int -> unit
+  val get_reg : t -> Reg.t -> int
+  val get_reg_tag : t -> Reg.t -> Dift.Lattice.tag
+  val set_reg : t -> Reg.t -> int -> unit
+  (** Sets the register with the lattice-bottom (public/trusted) tag. *)
+
+  val set_reg_tagged : t -> Reg.t -> int -> Dift.Lattice.tag -> unit
+  val csr : t -> Csr.t
+  val instret : t -> int
+
+  (** {1 Interrupt lines (driven by CLINT / PLIC)} *)
+
+  val set_irq : t -> bit:int -> bool -> unit
+  (** Set or clear an [mip] bit ({!Csr.bit_mti}, {!Csr.bit_msi},
+      {!Csr.bit_mei}) and wake the core if it is in [wfi]. *)
+
+  (** {1 Execution} *)
+
+  val step : t -> unit
+  (** Execute one instruction (taking a pending enabled interrupt first).
+      Must run inside a kernel process if firmware touches TLM peripherals
+      whose transport suspends, or uses [wfi]. *)
+
+  val spawn_thread : ?stop_kernel_on_halt:bool -> t -> unit
+  (** Register the fetch-decode-execute loop as a kernel process (default
+      name ["cpu"]). When the core halts and [stop_kernel_on_halt] is true
+      (default), the whole simulation stops. *)
+
+  val set_max_instructions : t -> int -> unit
+  val exit_reason : t -> exit_reason
+  val halted : t -> bool
+
+  val halt : t -> exit_reason -> unit
+  (** Force the core to stop (used by peripherals/tests). *)
+
+  val set_trace : t -> (int -> Insn.t -> unit) option -> unit
+  (** Install (or remove) a per-instruction hook, called with the pc and
+      decoded instruction before execution (tracing / coverage). *)
+end
+
+module Make (_ : MODE) : S
+
+module Vp : S
+(** The plain VP core. *)
+
+module Vp_dift : S
+(** The VP+ core with DIFT enabled. *)

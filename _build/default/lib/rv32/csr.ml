@@ -1,0 +1,138 @@
+let mstatus = 0x300
+let misa = 0x301
+let mie = 0x304
+let mtvec = 0x305
+let mscratch = 0x340
+let mepc = 0x341
+let mcause = 0x342
+let mtval = 0x343
+let mip = 0x344
+let mhartid = 0xf14
+let mvendorid = 0xf11
+let marchid = 0xf12
+let mimpid = 0xf13
+let mcycle = 0xb00
+let minstret = 0xb02
+let cycle = 0xc00
+let time_csr = 0xc01
+let instret = 0xc02
+let mstatus_mie = 1 lsl 3
+let mstatus_mpie = 1 lsl 7
+let bit_msi = 1 lsl 3
+let bit_mti = 1 lsl 7
+let bit_mei = 1 lsl 11
+let cause_illegal = 2
+let cause_breakpoint = 3
+let cause_ecall_m = 11
+let cause_load_fault = 5
+let cause_store_fault = 7
+let cause_interrupt bit = 0x80000000 lor bit
+
+type t = {
+  mutable v_mstatus : int;
+  mutable v_mie : int;
+  mutable v_mip : int;
+  mutable v_mtvec : int;
+  mutable v_mscratch : int;
+  mutable v_mepc : int;
+  mutable v_mcause : int;
+  mutable v_mtval : int;
+  mutable t_mstatus : int;
+  mutable t_mie : int;
+  mutable t_mip : int;
+  mutable t_mtvec : int;
+  mutable t_mscratch : int;
+  mutable t_mepc : int;
+  mutable t_mcause : int;
+  mutable t_mtval : int;
+  default_tag : int;
+}
+
+let create ~default_tag =
+  {
+    (* MPP = machine (bits 11..12), interrupts initially disabled. *)
+    v_mstatus = 0x1800;
+    v_mie = 0;
+    v_mip = 0;
+    v_mtvec = 0;
+    v_mscratch = 0;
+    v_mepc = 0;
+    v_mcause = 0;
+    v_mtval = 0;
+    t_mstatus = default_tag;
+    t_mie = default_tag;
+    t_mip = default_tag;
+    t_mtvec = default_tag;
+    t_mscratch = default_tag;
+    t_mepc = default_tag;
+    t_mcause = default_tag;
+    t_mtval = default_tag;
+    default_tag;
+  }
+
+(* RV32IM, machine mode: MXL=1, extensions I and M. *)
+let misa_value = 0x40000000 lor (1 lsl 8) lor (1 lsl 12)
+
+let read c ~cycles ~instret:n_instret num =
+  if num = mstatus then Some (c.v_mstatus, c.t_mstatus)
+  else if num = mie then Some (c.v_mie, c.t_mie)
+  else if num = mip then Some (c.v_mip, c.t_mip)
+  else if num = mtvec then Some (c.v_mtvec, c.t_mtvec)
+  else if num = mscratch then Some (c.v_mscratch, c.t_mscratch)
+  else if num = mepc then Some (c.v_mepc, c.t_mepc)
+  else if num = mcause then Some (c.v_mcause, c.t_mcause)
+  else if num = mtval then Some (c.v_mtval, c.t_mtval)
+  else if num = misa then Some (misa_value, c.default_tag)
+  else if num = mhartid || num = mvendorid || num = marchid || num = mimpid
+  then Some (0, c.default_tag)
+  else if num = mcycle || num = cycle then
+    Some (cycles land 0xffffffff, c.default_tag)
+  else if num = minstret || num = instret then
+    Some (n_instret land 0xffffffff, c.default_tag)
+  else if num = time_csr then Some (cycles land 0xffffffff, c.default_tag)
+  else None
+
+let write c num ~value ~tag =
+  if num = mstatus then begin
+    (* Only MIE and MPIE are writable; MPP stays machine. *)
+    c.v_mstatus <-
+      0x1800 lor (value land (mstatus_mie lor mstatus_mpie));
+    c.t_mstatus <- tag;
+    true
+  end
+  else if num = mie then begin
+    c.v_mie <- value land (bit_msi lor bit_mti lor bit_mei);
+    c.t_mie <- tag;
+    true
+  end
+  else if num = mip then
+    (* Software may not set external/timer pending bits directly. *)
+    true
+  else if num = mtvec then begin
+    (* Direct mode only: force 4-byte alignment. *)
+    c.v_mtvec <- value land 0xfffffffc;
+    c.t_mtvec <- tag;
+    true
+  end
+  else if num = mscratch then begin
+    c.v_mscratch <- value land 0xffffffff;
+    c.t_mscratch <- tag;
+    true
+  end
+  else if num = mepc then begin
+    c.v_mepc <- value land 0xfffffffc;
+    c.t_mepc <- tag;
+    true
+  end
+  else if num = mcause then begin
+    c.v_mcause <- value land 0xffffffff;
+    c.t_mcause <- tag;
+    true
+  end
+  else if num = mtval then begin
+    c.v_mtval <- value land 0xffffffff;
+    c.t_mtval <- tag;
+    true
+  end
+  else if num = misa then true (* WARL: writes ignored *)
+  else false

@@ -1,0 +1,85 @@
+(** Machine-mode CSR file (Zicsr subset used by the VP), with a security
+    tag per CSR so information flow through CSRs is tracked too.
+
+    Hot CSRs (mstatus, mie, mip, ...) are plain mutable fields so the
+    interrupt check in the execute loop stays cheap. *)
+
+(** {1 CSR numbers} *)
+
+val mstatus : int
+val misa : int
+val mie : int
+val mtvec : int
+val mscratch : int
+val mepc : int
+val mcause : int
+val mtval : int
+val mip : int
+val mhartid : int
+val mvendorid : int
+val marchid : int
+val mimpid : int
+val mcycle : int
+val minstret : int
+val cycle : int
+val time_csr : int
+val instret : int
+
+(** {1 mstatus / mip / mie bits} *)
+
+val mstatus_mie : int
+(** Global machine interrupt enable (bit 3). *)
+
+val mstatus_mpie : int
+(** Previous MIE (bit 7). *)
+
+val bit_msi : int
+(** Machine software interrupt (bit 3). *)
+
+val bit_mti : int
+(** Machine timer interrupt (bit 7). *)
+
+val bit_mei : int
+(** Machine external interrupt (bit 11). *)
+
+(** {1 Trap causes} *)
+
+val cause_illegal : int
+val cause_breakpoint : int
+val cause_ecall_m : int
+val cause_load_fault : int
+val cause_store_fault : int
+val cause_interrupt : int -> int
+(** Interrupt cause for an mcause bit index (sets the interrupt flag, which
+    on RV32 is bit 31). *)
+
+type t = {
+  mutable v_mstatus : int;
+  mutable v_mie : int;
+  mutable v_mip : int;
+  mutable v_mtvec : int;
+  mutable v_mscratch : int;
+  mutable v_mepc : int;
+  mutable v_mcause : int;
+  mutable v_mtval : int;
+  mutable t_mstatus : int;
+  mutable t_mie : int;
+  mutable t_mip : int;
+  mutable t_mtvec : int;
+  mutable t_mscratch : int;
+  mutable t_mepc : int;
+  mutable t_mcause : int;
+  mutable t_mtval : int;
+  default_tag : int;
+}
+
+val create : default_tag:int -> t
+
+val read : t -> cycles:int -> instret:int -> int -> (int * int) option
+(** [read csr ~cycles ~instret n] is [Some (value, tag)], or [None] for an
+    unimplemented CSR (the core then raises an illegal-instruction trap).
+    [cycles]/[instret] back the counter CSRs. *)
+
+val write : t -> int -> value:int -> tag:int -> bool
+(** [write csr n ~value ~tag] returns false for unknown or read-only CSRs.
+    Writes to WARL fields are masked to the implemented bits. *)

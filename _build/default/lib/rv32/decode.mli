@@ -1,0 +1,10 @@
+(** RV32IM(+Zicsr) instruction decoder. *)
+
+val decode : int -> Insn.t
+(** [decode word] decodes a 32-bit instruction word (given as an unsigned
+    OCaml int). Undecodable words yield [Insn.ILLEGAL word]; they never
+    raise. *)
+
+val sext : width:int -> int -> int
+(** Sign-extend the low [width] bits of a value (exposed for the assembler
+    and tests). *)

@@ -1,0 +1,76 @@
+open Insn
+
+let r = Reg.name
+
+let rrr m rd rs1 rs2 = Printf.sprintf "%s %s, %s, %s" m (r rd) (r rs1) (r rs2)
+let rri m rd rs1 imm = Printf.sprintf "%s %s, %s, %d" m (r rd) (r rs1) imm
+let mem m rd rs1 off = Printf.sprintf "%s %s, %d(%s)" m (r rd) off (r rs1)
+let bra m rs1 rs2 off = Printf.sprintf "%s %s, %s, %d" m (r rs1) (r rs2) off
+let csr_name n = Printf.sprintf "0x%03x" n
+
+let insn = function
+  | LUI (rd, imm) -> Printf.sprintf "lui %s, 0x%x" (r rd) (imm lsr 12)
+  | AUIPC (rd, imm) -> Printf.sprintf "auipc %s, 0x%x" (r rd) (imm lsr 12)
+  | JAL (rd, off) -> Printf.sprintf "jal %s, %d" (r rd) off
+  | JALR (rd, rs1, off) -> mem "jalr" rd rs1 off
+  | BEQ (a, b, off) -> bra "beq" a b off
+  | BNE (a, b, off) -> bra "bne" a b off
+  | BLT (a, b, off) -> bra "blt" a b off
+  | BGE (a, b, off) -> bra "bge" a b off
+  | BLTU (a, b, off) -> bra "bltu" a b off
+  | BGEU (a, b, off) -> bra "bgeu" a b off
+  | LB (rd, rs1, off) -> mem "lb" rd rs1 off
+  | LH (rd, rs1, off) -> mem "lh" rd rs1 off
+  | LW (rd, rs1, off) -> mem "lw" rd rs1 off
+  | LBU (rd, rs1, off) -> mem "lbu" rd rs1 off
+  | LHU (rd, rs1, off) -> mem "lhu" rd rs1 off
+  | SB (rs1, rs2, off) -> mem "sb" rs2 rs1 off
+  | SH (rs1, rs2, off) -> mem "sh" rs2 rs1 off
+  | SW (rs1, rs2, off) -> mem "sw" rs2 rs1 off
+  | ADDI (rd, rs1, imm) -> rri "addi" rd rs1 imm
+  | SLTI (rd, rs1, imm) -> rri "slti" rd rs1 imm
+  | SLTIU (rd, rs1, imm) -> rri "sltiu" rd rs1 imm
+  | XORI (rd, rs1, imm) -> rri "xori" rd rs1 imm
+  | ORI (rd, rs1, imm) -> rri "ori" rd rs1 imm
+  | ANDI (rd, rs1, imm) -> rri "andi" rd rs1 imm
+  | SLLI (rd, rs1, sh) -> rri "slli" rd rs1 sh
+  | SRLI (rd, rs1, sh) -> rri "srli" rd rs1 sh
+  | SRAI (rd, rs1, sh) -> rri "srai" rd rs1 sh
+  | ADD (rd, a, b) -> rrr "add" rd a b
+  | SUB (rd, a, b) -> rrr "sub" rd a b
+  | SLL (rd, a, b) -> rrr "sll" rd a b
+  | SLT (rd, a, b) -> rrr "slt" rd a b
+  | SLTU (rd, a, b) -> rrr "sltu" rd a b
+  | XOR (rd, a, b) -> rrr "xor" rd a b
+  | SRL (rd, a, b) -> rrr "srl" rd a b
+  | SRA (rd, a, b) -> rrr "sra" rd a b
+  | OR (rd, a, b) -> rrr "or" rd a b
+  | AND (rd, a, b) -> rrr "and" rd a b
+  | MUL (rd, a, b) -> rrr "mul" rd a b
+  | MULH (rd, a, b) -> rrr "mulh" rd a b
+  | MULHSU (rd, a, b) -> rrr "mulhsu" rd a b
+  | MULHU (rd, a, b) -> rrr "mulhu" rd a b
+  | DIV (rd, a, b) -> rrr "div" rd a b
+  | DIVU (rd, a, b) -> rrr "divu" rd a b
+  | REM (rd, a, b) -> rrr "rem" rd a b
+  | REMU (rd, a, b) -> rrr "remu" rd a b
+  | FENCE -> "fence"
+  | ECALL -> "ecall"
+  | EBREAK -> "ebreak"
+  | MRET -> "mret"
+  | WFI -> "wfi"
+  | CSRRW (rd, rs1, n) ->
+      Printf.sprintf "csrrw %s, %s, %s" (r rd) (csr_name n) (r rs1)
+  | CSRRS (rd, rs1, n) ->
+      Printf.sprintf "csrrs %s, %s, %s" (r rd) (csr_name n) (r rs1)
+  | CSRRC (rd, rs1, n) ->
+      Printf.sprintf "csrrc %s, %s, %s" (r rd) (csr_name n) (r rs1)
+  | CSRRWI (rd, z, n) ->
+      Printf.sprintf "csrrwi %s, %s, %d" (r rd) (csr_name n) z
+  | CSRRSI (rd, z, n) ->
+      Printf.sprintf "csrrsi %s, %s, %d" (r rd) (csr_name n) z
+  | CSRRCI (rd, z, n) ->
+      Printf.sprintf "csrrci %s, %s, %d" (r rd) (csr_name n) z
+  | ILLEGAL w -> Printf.sprintf ".word 0x%08x" w
+
+let word w = insn (Decode.decode w)

@@ -1,0 +1,7 @@
+(** Textual disassembly of decoded instructions, GNU-style mnemonics. *)
+
+val insn : Insn.t -> string
+(** e.g. [insn (Insn.ADDI (2, 2, -16)) = "addi sp, sp, -16"]. *)
+
+val word : int -> string
+(** Decode and disassemble a raw instruction word. *)

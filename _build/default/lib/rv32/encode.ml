@@ -1,0 +1,138 @@
+open Insn
+
+let fits_signed ~width v =
+  v >= -(1 lsl (width - 1)) && v < 1 lsl (width - 1)
+
+let check_reg r =
+  if r < 0 || r > 31 then invalid_arg (Printf.sprintf "Encode: bad register x%d" r)
+
+let check_imm ~width ~what v =
+  if not (fits_signed ~width v) then
+    invalid_arg (Printf.sprintf "Encode: %s %d does not fit in %d bits" what v width)
+
+let r_type ~funct7 ~funct3 ~opcode rd rs1 rs2 =
+  check_reg rd;
+  check_reg rs1;
+  check_reg rs2;
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~funct3 ~opcode rd rs1 imm =
+  check_reg rd;
+  check_reg rs1;
+  check_imm ~width:12 ~what:"I-immediate" imm;
+  ((imm land 0xfff) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let shift ~funct7 ~funct3 rd rs1 shamt =
+  check_reg rd;
+  check_reg rs1;
+  if shamt < 0 || shamt > 31 then
+    invalid_arg (Printf.sprintf "Encode: shift amount %d out of range" shamt);
+  (funct7 lsl 25) lor (shamt lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor 0x13
+
+let s_type ~funct3 rs1 rs2 imm =
+  check_reg rs1;
+  check_reg rs2;
+  check_imm ~width:12 ~what:"S-immediate" imm;
+  let imm = imm land 0xfff in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1f) lsl 7) lor 0x23
+
+let b_type ~funct3 rs1 rs2 off =
+  check_reg rs1;
+  check_reg rs2;
+  if off land 1 <> 0 then invalid_arg "Encode: odd branch offset";
+  check_imm ~width:13 ~what:"branch offset" off;
+  let imm = off land 0x1fff in
+  ((imm lsr 12) lsl 31)
+  lor (((imm lsr 5) land 0x3f) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xf) lsl 8)
+  lor (((imm lsr 11) land 0x1) lsl 7)
+  lor 0x63
+
+let u_type ~opcode rd imm =
+  check_reg rd;
+  if imm land 0xfff <> 0 || imm land 0xffffffff <> imm then
+    invalid_arg (Printf.sprintf "Encode: bad U-immediate 0x%x" imm);
+  imm lor (rd lsl 7) lor opcode
+
+let j_type rd off =
+  check_reg rd;
+  if off land 1 <> 0 then invalid_arg "Encode: odd jump offset";
+  check_imm ~width:21 ~what:"jump offset" off;
+  let imm = off land 0x1fffff in
+  ((imm lsr 20) lsl 31)
+  lor (((imm lsr 1) land 0x3ff) lsl 21)
+  lor (((imm lsr 11) land 0x1) lsl 20)
+  lor (((imm lsr 12) land 0xff) lsl 12)
+  lor (rd lsl 7) lor 0x6f
+
+let csr_insn ~funct3 rd rs1_or_zimm csr =
+  check_reg rd;
+  check_reg rs1_or_zimm;
+  if csr < 0 || csr > 0xfff then invalid_arg "Encode: CSR number out of range";
+  (csr lsl 20) lor (rs1_or_zimm lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor 0x73
+
+let encode = function
+  | LUI (rd, imm) -> u_type ~opcode:0x37 rd imm
+  | AUIPC (rd, imm) -> u_type ~opcode:0x17 rd imm
+  | JAL (rd, off) -> j_type rd off
+  | JALR (rd, rs1, imm) -> i_type ~funct3:0 ~opcode:0x67 rd rs1 imm
+  | BEQ (rs1, rs2, off) -> b_type ~funct3:0 rs1 rs2 off
+  | BNE (rs1, rs2, off) -> b_type ~funct3:1 rs1 rs2 off
+  | BLT (rs1, rs2, off) -> b_type ~funct3:4 rs1 rs2 off
+  | BGE (rs1, rs2, off) -> b_type ~funct3:5 rs1 rs2 off
+  | BLTU (rs1, rs2, off) -> b_type ~funct3:6 rs1 rs2 off
+  | BGEU (rs1, rs2, off) -> b_type ~funct3:7 rs1 rs2 off
+  | LB (rd, rs1, off) -> i_type ~funct3:0 ~opcode:0x03 rd rs1 off
+  | LH (rd, rs1, off) -> i_type ~funct3:1 ~opcode:0x03 rd rs1 off
+  | LW (rd, rs1, off) -> i_type ~funct3:2 ~opcode:0x03 rd rs1 off
+  | LBU (rd, rs1, off) -> i_type ~funct3:4 ~opcode:0x03 rd rs1 off
+  | LHU (rd, rs1, off) -> i_type ~funct3:5 ~opcode:0x03 rd rs1 off
+  | SB (rs1, rs2, off) -> s_type ~funct3:0 rs1 rs2 off
+  | SH (rs1, rs2, off) -> s_type ~funct3:1 rs1 rs2 off
+  | SW (rs1, rs2, off) -> s_type ~funct3:2 rs1 rs2 off
+  | ADDI (rd, rs1, imm) -> i_type ~funct3:0 ~opcode:0x13 rd rs1 imm
+  | SLTI (rd, rs1, imm) -> i_type ~funct3:2 ~opcode:0x13 rd rs1 imm
+  | SLTIU (rd, rs1, imm) -> i_type ~funct3:3 ~opcode:0x13 rd rs1 imm
+  | XORI (rd, rs1, imm) -> i_type ~funct3:4 ~opcode:0x13 rd rs1 imm
+  | ORI (rd, rs1, imm) -> i_type ~funct3:6 ~opcode:0x13 rd rs1 imm
+  | ANDI (rd, rs1, imm) -> i_type ~funct3:7 ~opcode:0x13 rd rs1 imm
+  | SLLI (rd, rs1, shamt) -> shift ~funct7:0x00 ~funct3:1 rd rs1 shamt
+  | SRLI (rd, rs1, shamt) -> shift ~funct7:0x00 ~funct3:5 rd rs1 shamt
+  | SRAI (rd, rs1, shamt) -> shift ~funct7:0x20 ~funct3:5 rd rs1 shamt
+  | ADD (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:0 ~opcode:0x33 rd rs1 rs2
+  | SUB (rd, rs1, rs2) -> r_type ~funct7:0x20 ~funct3:0 ~opcode:0x33 rd rs1 rs2
+  | SLL (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:1 ~opcode:0x33 rd rs1 rs2
+  | SLT (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:2 ~opcode:0x33 rd rs1 rs2
+  | SLTU (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:3 ~opcode:0x33 rd rs1 rs2
+  | XOR (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:4 ~opcode:0x33 rd rs1 rs2
+  | SRL (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:5 ~opcode:0x33 rd rs1 rs2
+  | SRA (rd, rs1, rs2) -> r_type ~funct7:0x20 ~funct3:5 ~opcode:0x33 rd rs1 rs2
+  | OR (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:6 ~opcode:0x33 rd rs1 rs2
+  | AND (rd, rs1, rs2) -> r_type ~funct7:0x00 ~funct3:7 ~opcode:0x33 rd rs1 rs2
+  | MUL (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:0 ~opcode:0x33 rd rs1 rs2
+  | MULH (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:1 ~opcode:0x33 rd rs1 rs2
+  | MULHSU (rd, rs1, rs2) ->
+      r_type ~funct7:0x01 ~funct3:2 ~opcode:0x33 rd rs1 rs2
+  | MULHU (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:3 ~opcode:0x33 rd rs1 rs2
+  | DIV (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:4 ~opcode:0x33 rd rs1 rs2
+  | DIVU (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:5 ~opcode:0x33 rd rs1 rs2
+  | REM (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:6 ~opcode:0x33 rd rs1 rs2
+  | REMU (rd, rs1, rs2) -> r_type ~funct7:0x01 ~funct3:7 ~opcode:0x33 rd rs1 rs2
+  | FENCE -> 0x0000000f
+  | ECALL -> 0x00000073
+  | EBREAK -> 0x00100073
+  | MRET -> 0x30200073
+  | WFI -> 0x10500073
+  | CSRRW (rd, rs1, csr) -> csr_insn ~funct3:1 rd rs1 csr
+  | CSRRS (rd, rs1, csr) -> csr_insn ~funct3:2 rd rs1 csr
+  | CSRRC (rd, rs1, csr) -> csr_insn ~funct3:3 rd rs1 csr
+  | CSRRWI (rd, zimm, csr) -> csr_insn ~funct3:5 rd zimm csr
+  | CSRRSI (rd, zimm, csr) -> csr_insn ~funct3:6 rd zimm csr
+  | CSRRCI (rd, zimm, csr) -> csr_insn ~funct3:7 rd zimm csr
+  | ILLEGAL w -> w land 0xffffffff

@@ -1,0 +1,12 @@
+(** RV32 instruction encoder (inverse of {!Decode}); used by the assembler
+    and by encode/decode round-trip tests.
+
+    Raises [Invalid_argument] when a register index, immediate, or offset is
+    out of range for the encoding (e.g. a branch offset that is odd or does
+    not fit in 13 bits). [Insn.ILLEGAL w] encodes back to [w]. *)
+
+val encode : Insn.t -> int
+(** The 32-bit instruction word, as an unsigned OCaml int. *)
+
+val fits_signed : width:int -> int -> bool
+(** Does the value fit in [width] bits as a two's-complement integer? *)

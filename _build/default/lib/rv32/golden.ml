@@ -1,0 +1,152 @@
+type t = {
+  mem_base : int;
+  mem : Bytes.t;
+  regs : int array;
+  mutable pc : int;
+}
+
+type stop = Exited of int | Trap of int | Limit
+
+let create ~mem_base ~mem_size =
+  { mem_base; mem = Bytes.make mem_size '\000'; regs = Array.make 32 0; pc = mem_base }
+
+let load t ~addr s =
+  if addr < t.mem_base || addr + String.length s > t.mem_base + Bytes.length t.mem
+  then invalid_arg "Golden.load: out of range";
+  Bytes.blit_string s 0 t.mem (addr - t.mem_base) (String.length s)
+
+let set_pc t v = t.pc <- v land 0xffffffff
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v land 0xffffffff
+let reg t r = t.regs.(r)
+let pc t = t.pc
+let mem_byte t addr = Bytes.get_uint8 t.mem (addr - t.mem_base)
+
+let u32 v = v land 0xffffffff
+let s32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+exception Stop of stop
+
+let in_range t addr width =
+  addr >= t.mem_base && addr + width <= t.mem_base + Bytes.length t.mem
+
+let load_v t width addr =
+  if not (in_range t addr width) then raise (Stop (Trap 5));
+  let off = addr - t.mem_base in
+  match width with
+  | 1 -> Bytes.get_uint8 t.mem off
+  | 2 -> Bytes.get_uint16_le t.mem off
+  | _ -> Int32.to_int (Bytes.get_int32_le t.mem off) land 0xffffffff
+
+let store_v t width addr v =
+  if not (in_range t addr width) then raise (Stop (Trap 7));
+  let off = addr - t.mem_base in
+  match width with
+  | 1 -> Bytes.set_uint8 t.mem off (v land 0xff)
+  | 2 -> Bytes.set_uint16_le t.mem off (v land 0xffff)
+  | _ -> Bytes.set_int32_le t.mem off (Int32.of_int v)
+
+let step t =
+  let open Insn in
+  let pc0 = t.pc in
+  if not (in_range t pc0 4) then raise (Stop (Trap 1));
+  let word = load_v t 4 pc0 in
+  let r = t.regs in
+  let wr rd v = if rd <> 0 then r.(rd) <- u32 v in
+  t.pc <- u32 (pc0 + 4);
+  match Decode.decode word with
+  | LUI (rd, imm) -> wr rd imm
+  | AUIPC (rd, imm) -> wr rd (pc0 + imm)
+  | JAL (rd, off) ->
+      wr rd (pc0 + 4);
+      t.pc <- u32 (pc0 + off)
+  | JALR (rd, rs1, off) ->
+      let target = u32 (r.(rs1) + off) land lnot 1 in
+      wr rd (pc0 + 4);
+      t.pc <- target
+  | BEQ (a, b, off) -> if r.(a) = r.(b) then t.pc <- u32 (pc0 + off)
+  | BNE (a, b, off) -> if r.(a) <> r.(b) then t.pc <- u32 (pc0 + off)
+  | BLT (a, b, off) -> if s32 r.(a) < s32 r.(b) then t.pc <- u32 (pc0 + off)
+  | BGE (a, b, off) -> if s32 r.(a) >= s32 r.(b) then t.pc <- u32 (pc0 + off)
+  | BLTU (a, b, off) -> if r.(a) < r.(b) then t.pc <- u32 (pc0 + off)
+  | BGEU (a, b, off) -> if r.(a) >= r.(b) then t.pc <- u32 (pc0 + off)
+  | LB (rd, rs1, off) ->
+      let v = load_v t 1 (u32 (r.(rs1) + off)) in
+      wr rd (if v land 0x80 <> 0 then v lor 0xffffff00 else v)
+  | LH (rd, rs1, off) ->
+      let v = load_v t 2 (u32 (r.(rs1) + off)) in
+      wr rd (if v land 0x8000 <> 0 then v lor 0xffff0000 else v)
+  | LW (rd, rs1, off) -> wr rd (load_v t 4 (u32 (r.(rs1) + off)))
+  | LBU (rd, rs1, off) -> wr rd (load_v t 1 (u32 (r.(rs1) + off)))
+  | LHU (rd, rs1, off) -> wr rd (load_v t 2 (u32 (r.(rs1) + off)))
+  | SB (rs1, rs2, off) -> store_v t 1 (u32 (r.(rs1) + off)) r.(rs2)
+  | SH (rs1, rs2, off) -> store_v t 2 (u32 (r.(rs1) + off)) r.(rs2)
+  | SW (rs1, rs2, off) -> store_v t 4 (u32 (r.(rs1) + off)) r.(rs2)
+  | ADDI (rd, rs1, imm) -> wr rd (r.(rs1) + imm)
+  | SLTI (rd, rs1, imm) -> wr rd (if s32 r.(rs1) < imm then 1 else 0)
+  | SLTIU (rd, rs1, imm) -> wr rd (if r.(rs1) < u32 imm then 1 else 0)
+  | XORI (rd, rs1, imm) -> wr rd (r.(rs1) lxor u32 imm)
+  | ORI (rd, rs1, imm) -> wr rd (r.(rs1) lor u32 imm)
+  | ANDI (rd, rs1, imm) -> wr rd (r.(rs1) land u32 imm)
+  | SLLI (rd, rs1, sh) -> wr rd (r.(rs1) lsl sh)
+  | SRLI (rd, rs1, sh) -> wr rd (r.(rs1) lsr sh)
+  | SRAI (rd, rs1, sh) -> wr rd (s32 r.(rs1) asr sh)
+  | ADD (rd, a, b) -> wr rd (r.(a) + r.(b))
+  | SUB (rd, a, b) -> wr rd (r.(a) - r.(b))
+  | SLL (rd, a, b) -> wr rd (r.(a) lsl (r.(b) land 31))
+  | SLT (rd, a, b) -> wr rd (if s32 r.(a) < s32 r.(b) then 1 else 0)
+  | SLTU (rd, a, b) -> wr rd (if r.(a) < r.(b) then 1 else 0)
+  | XOR (rd, a, b) -> wr rd (r.(a) lxor r.(b))
+  | SRL (rd, a, b) -> wr rd (r.(a) lsr (r.(b) land 31))
+  | SRA (rd, a, b) -> wr rd (s32 r.(a) asr (r.(b) land 31))
+  | OR (rd, a, b) -> wr rd (r.(a) lor r.(b))
+  | AND (rd, a, b) -> wr rd (r.(a) land r.(b))
+  | MUL (rd, a, b) ->
+      wr rd (Int64.to_int (Int64.mul (Int64.of_int r.(a)) (Int64.of_int r.(b))))
+  | MULH (rd, a, b) ->
+      wr rd
+        (Int64.to_int
+           (Int64.shift_right
+              (Int64.mul (Int64.of_int (s32 r.(a))) (Int64.of_int (s32 r.(b))))
+              32))
+  | MULHSU (rd, a, b) ->
+      wr rd
+        (Int64.to_int
+           (Int64.shift_right
+              (Int64.mul (Int64.of_int (s32 r.(a))) (Int64.of_int r.(b)))
+              32))
+  | MULHU (rd, a, b) ->
+      wr rd
+        (Int64.to_int
+           (Int64.shift_right_logical
+              (Int64.mul (Int64.of_int r.(a)) (Int64.of_int r.(b)))
+              32))
+  | DIV (rd, a, b) ->
+      let x = s32 r.(a) and y = s32 r.(b) in
+      wr rd
+        (if y = 0 then -1
+         else if x = -0x80000000 && y = -1 then -0x80000000
+         else x / y)
+  | DIVU (rd, a, b) -> wr rd (if r.(b) = 0 then 0xffffffff else r.(a) / r.(b))
+  | REM (rd, a, b) ->
+      let x = s32 r.(a) and y = s32 r.(b) in
+      wr rd (if y = 0 then x else if x = -0x80000000 && y = -1 then 0 else x mod y)
+  | REMU (rd, a, b) -> wr rd (if r.(b) = 0 then r.(a) else r.(a) mod r.(b))
+  | FENCE -> ()
+  | ECALL ->
+      if r.(17) = 93 then raise (Stop (Exited (s32 r.(10))))
+      else raise (Stop (Trap 11))
+  | EBREAK -> raise (Stop (Trap 3))
+  | MRET | WFI -> raise (Stop (Trap 2))
+  | CSRRW _ | CSRRS _ | CSRRC _ | CSRRWI _ | CSRRSI _ | CSRRCI _ ->
+      raise (Stop (Trap 2))
+  | ILLEGAL _ -> raise (Stop (Trap 2))
+
+let run t ~max_insns =
+  let n = ref 0 in
+  try
+    while !n < max_insns do
+      step t;
+      incr n
+    done;
+    (Limit, !n)
+  with Stop s -> (s, !n + 1)

@@ -1,0 +1,31 @@
+(** A golden-model RV32IM interpreter: an independent, deliberately naive
+    re-implementation of the ISA semantics over a flat memory image, with
+    no taint, no kernel, no peripherals and no decode caching.
+
+    Used purely for differential verification of the production {!Core}
+    (cf. the coverage-guided ISS-fuzzing work the paper cites): the same
+    program run here and on the VP must produce identical registers and
+    memory. Traps terminate execution (this model has no CSRs beyond the
+    program counter). *)
+
+type t
+
+val create : mem_base:int -> mem_size:int -> t
+
+val load : t -> addr:int -> string -> unit
+(** Copy bytes into memory. Raises [Invalid_argument] out of range. *)
+
+val set_pc : t -> int -> unit
+val set_reg : t -> int -> int -> unit
+val reg : t -> int -> int
+val pc : t -> int
+val mem_byte : t -> int -> int
+
+type stop =
+  | Exited of int  (** The exit ecall (a7 = 93). *)
+  | Trap of int  (** Any other trap; the would-be mcause. *)
+  | Limit  (** Instruction budget exhausted. *)
+
+val run : t -> max_insns:int -> stop * int
+(** Execute until a stopping condition; returns the reason and the number
+    of instructions retired. *)

@@ -1,0 +1,92 @@
+type t =
+  | LUI of int * int
+  | AUIPC of int * int
+  | JAL of int * int
+  | JALR of int * int * int
+  | BEQ of int * int * int
+  | BNE of int * int * int
+  | BLT of int * int * int
+  | BGE of int * int * int
+  | BLTU of int * int * int
+  | BGEU of int * int * int
+  | LB of int * int * int
+  | LH of int * int * int
+  | LW of int * int * int
+  | LBU of int * int * int
+  | LHU of int * int * int
+  | SB of int * int * int
+  | SH of int * int * int
+  | SW of int * int * int
+  | ADDI of int * int * int
+  | SLTI of int * int * int
+  | SLTIU of int * int * int
+  | XORI of int * int * int
+  | ORI of int * int * int
+  | ANDI of int * int * int
+  | SLLI of int * int * int
+  | SRLI of int * int * int
+  | SRAI of int * int * int
+  | ADD of int * int * int
+  | SUB of int * int * int
+  | SLL of int * int * int
+  | SLT of int * int * int
+  | SLTU of int * int * int
+  | XOR of int * int * int
+  | SRL of int * int * int
+  | SRA of int * int * int
+  | OR of int * int * int
+  | AND of int * int * int
+  | MUL of int * int * int
+  | MULH of int * int * int
+  | MULHSU of int * int * int
+  | MULHU of int * int * int
+  | DIV of int * int * int
+  | DIVU of int * int * int
+  | REM of int * int * int
+  | REMU of int * int * int
+  | FENCE
+  | ECALL
+  | EBREAK
+  | MRET
+  | WFI
+  | CSRRW of int * int * int
+  | CSRRS of int * int * int
+  | CSRRC of int * int * int
+  | CSRRWI of int * int * int
+  | CSRRSI of int * int * int
+  | CSRRCI of int * int * int
+  | ILLEGAL of int
+
+let is_branch = function
+  | BEQ _ | BNE _ | BLT _ | BGE _ | BLTU _ | BGEU _ -> true
+  | _ -> false
+
+let is_jump = function JAL _ | JALR _ -> true | _ -> false
+
+let is_memory = function
+  | LB _ | LH _ | LW _ | LBU _ | LHU _ | SB _ | SH _ | SW _ -> true
+  | _ -> false
+
+let writes_rd = function
+  | LUI (rd, _) | AUIPC (rd, _) | JAL (rd, _) -> Some rd
+  | JALR (rd, _, _) -> Some rd
+  | LB (rd, _, _) | LH (rd, _, _) | LW (rd, _, _) | LBU (rd, _, _)
+  | LHU (rd, _, _) ->
+      Some rd
+  | ADDI (rd, _, _) | SLTI (rd, _, _) | SLTIU (rd, _, _) | XORI (rd, _, _)
+  | ORI (rd, _, _) | ANDI (rd, _, _) | SLLI (rd, _, _) | SRLI (rd, _, _)
+  | SRAI (rd, _, _) ->
+      Some rd
+  | ADD (rd, _, _) | SUB (rd, _, _) | SLL (rd, _, _) | SLT (rd, _, _)
+  | SLTU (rd, _, _) | XOR (rd, _, _) | SRL (rd, _, _) | SRA (rd, _, _)
+  | OR (rd, _, _) | AND (rd, _, _) ->
+      Some rd
+  | MUL (rd, _, _) | MULH (rd, _, _) | MULHSU (rd, _, _) | MULHU (rd, _, _)
+  | DIV (rd, _, _) | DIVU (rd, _, _) | REM (rd, _, _) | REMU (rd, _, _) ->
+      Some rd
+  | CSRRW (rd, _, _) | CSRRS (rd, _, _) | CSRRC (rd, _, _)
+  | CSRRWI (rd, _, _) | CSRRSI (rd, _, _) | CSRRCI (rd, _, _) ->
+      Some rd
+  | BEQ _ | BNE _ | BLT _ | BGE _ | BLTU _ | BGEU _ | SB _ | SH _ | SW _
+  | FENCE | ECALL | EBREAK | MRET | WFI | ILLEGAL _ ->
+      None

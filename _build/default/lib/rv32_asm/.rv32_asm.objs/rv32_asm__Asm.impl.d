@@ -1,0 +1,1 @@
+lib/rv32_asm/asm.ml: Bytes Char Hashtbl Image Int32 List Rv32 String

@@ -1,0 +1,1 @@
+lib/rv32_asm/asm.mli: Image Rv32

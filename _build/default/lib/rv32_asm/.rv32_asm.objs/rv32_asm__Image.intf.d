@@ -1,0 +1,1 @@
+lib/rv32_asm/image.mli: Bytes Format

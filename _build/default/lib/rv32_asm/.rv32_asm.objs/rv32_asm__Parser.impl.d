@@ -1,0 +1,1 @@
+lib/rv32_asm/parser.ml: Asm Buffer Hashtbl List Printf Rv32 String

@@ -1,0 +1,1 @@
+lib/rv32_asm/parser.mli: Asm Image

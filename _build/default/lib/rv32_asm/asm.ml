@@ -1,0 +1,269 @@
+exception Unknown_label of string
+exception Duplicate_label of string
+
+type item =
+  | Fixed of Rv32.Insn.t
+  | Fixup of int * (addr:int -> resolve:(string -> int) -> Rv32.Insn.t list)
+      (* byte size, late-bound emission *)
+  | Lab of string
+  | Data of string
+  | Word_label of string
+  | Align_to of int
+  | Space_of of int
+
+type t = {
+  org : int;
+  mutable items : item list;  (* newest first *)
+  mutable addr : int;  (* current emission address *)
+  mutable insns : int;  (* opcode count, for Table II's "LoC ASM" *)
+}
+
+let create ?(org = 0x8000_0000) () = { org; items = []; addr = org; insns = 0 }
+let here p () = p.addr
+
+let push p item =
+  p.items <- item :: p.items;
+  match item with
+  | Fixed _ -> p.addr <- p.addr + 4
+  | Fixup (size, _) ->
+      p.addr <- p.addr + size;
+      ()
+  | Lab _ -> ()
+  | Data s -> p.addr <- p.addr + String.length s
+  | Word_label _ -> p.addr <- p.addr + 4
+  | Align_to n ->
+      let r = p.addr mod n in
+      if r <> 0 then p.addr <- p.addr + (n - r)
+  | Space_of n -> p.addr <- p.addr + n
+
+let label p name = push p (Lab name)
+
+let insn p i =
+  p.insns <- p.insns + 1;
+  push p (Fixed i)
+
+let fixup p ~size ~count fn =
+  p.insns <- p.insns + count;
+  push p (Fixup (size, fn))
+
+(* --- data ------------------------------------------------------------ *)
+
+let word p v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  push p (Data (Bytes.to_string b))
+
+let word_l p name = push p (Word_label name)
+
+let half p v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 (v land 0xffff);
+  push p (Data (Bytes.to_string b))
+
+let byte p v = push p (Data (String.make 1 (Char.chr (v land 0xff))))
+let ascii p s = push p (Data s)
+let asciz p s = push p (Data (s ^ "\000"))
+let space p n = push p (Space_of n)
+let align p n = push p (Align_to n)
+
+(* --- plain instructions ---------------------------------------------- *)
+
+open Rv32.Insn
+
+let lui p rd imm = insn p (LUI (rd, imm))
+let auipc p rd imm = insn p (AUIPC (rd, imm))
+let jal p rd off = insn p (JAL (rd, off))
+let jalr p rd rs1 off = insn p (JALR (rd, rs1, off))
+let beq p a b off = insn p (BEQ (a, b, off))
+let bne p a b off = insn p (BNE (a, b, off))
+let blt p a b off = insn p (BLT (a, b, off))
+let bge p a b off = insn p (BGE (a, b, off))
+let bltu p a b off = insn p (BLTU (a, b, off))
+let bgeu p a b off = insn p (BGEU (a, b, off))
+let lb p rd rs1 off = insn p (LB (rd, rs1, off))
+let lh p rd rs1 off = insn p (LH (rd, rs1, off))
+let lw p rd rs1 off = insn p (LW (rd, rs1, off))
+let lbu p rd rs1 off = insn p (LBU (rd, rs1, off))
+let lhu p rd rs1 off = insn p (LHU (rd, rs1, off))
+let sb p src base off = insn p (SB (base, src, off))
+let sh p src base off = insn p (SH (base, src, off))
+let sw p src base off = insn p (SW (base, src, off))
+let addi p rd rs1 imm = insn p (ADDI (rd, rs1, imm))
+let slti p rd rs1 imm = insn p (SLTI (rd, rs1, imm))
+let sltiu p rd rs1 imm = insn p (SLTIU (rd, rs1, imm))
+let xori p rd rs1 imm = insn p (XORI (rd, rs1, imm))
+let ori p rd rs1 imm = insn p (ORI (rd, rs1, imm))
+let andi p rd rs1 imm = insn p (ANDI (rd, rs1, imm))
+let slli p rd rs1 sh = insn p (SLLI (rd, rs1, sh))
+let srli p rd rs1 sh = insn p (SRLI (rd, rs1, sh))
+let srai p rd rs1 sh = insn p (SRAI (rd, rs1, sh))
+let add p rd a b = insn p (ADD (rd, a, b))
+let sub p rd a b = insn p (SUB (rd, a, b))
+let sll p rd a b = insn p (SLL (rd, a, b))
+let slt p rd a b = insn p (SLT (rd, a, b))
+let sltu p rd a b = insn p (SLTU (rd, a, b))
+let xor p rd a b = insn p (XOR (rd, a, b))
+let srl p rd a b = insn p (SRL (rd, a, b))
+let sra p rd a b = insn p (SRA (rd, a, b))
+let or_ p rd a b = insn p (OR (rd, a, b))
+let and_ p rd a b = insn p (AND (rd, a, b))
+let mul p rd a b = insn p (MUL (rd, a, b))
+let mulh p rd a b = insn p (MULH (rd, a, b))
+let mulhsu p rd a b = insn p (MULHSU (rd, a, b))
+let mulhu p rd a b = insn p (MULHU (rd, a, b))
+let div p rd a b = insn p (DIV (rd, a, b))
+let divu p rd a b = insn p (DIVU (rd, a, b))
+let rem p rd a b = insn p (REM (rd, a, b))
+let remu p rd a b = insn p (REMU (rd, a, b))
+let fence p = insn p FENCE
+let ecall p = insn p ECALL
+let ebreak p = insn p EBREAK
+let mret p = insn p MRET
+let wfi p = insn p WFI
+let csrrw p rd csr rs1 = insn p (CSRRW (rd, rs1, csr))
+let csrrs p rd csr rs1 = insn p (CSRRS (rd, rs1, csr))
+let csrrc p rd csr rs1 = insn p (CSRRC (rd, rs1, csr))
+let csrrwi p rd csr z = insn p (CSRRWI (rd, z, csr))
+let csrrsi p rd csr z = insn p (CSRRSI (rd, z, csr))
+let csrrci p rd csr z = insn p (CSRRCI (rd, z, csr))
+
+(* --- label-target forms ----------------------------------------------- *)
+
+let branch_l p make target =
+  fixup p ~size:4 ~count:1 (fun ~addr ~resolve ->
+      [ make (resolve target - addr) ])
+
+let jal_l p rd target = branch_l p (fun off -> JAL (rd, off)) target
+let beq_l p a b target = branch_l p (fun off -> BEQ (a, b, off)) target
+let bne_l p a b target = branch_l p (fun off -> BNE (a, b, off)) target
+let blt_l p a b target = branch_l p (fun off -> BLT (a, b, off)) target
+let bge_l p a b target = branch_l p (fun off -> BGE (a, b, off)) target
+let bltu_l p a b target = branch_l p (fun off -> BLTU (a, b, off)) target
+let bgeu_l p a b target = branch_l p (fun off -> BGEU (a, b, off)) target
+
+(* --- pseudo-instructions ----------------------------------------------- *)
+
+let nop p = addi p 0 0 0
+let mv p rd rs = addi p rd rs 0
+let not_ p rd rs = xori p rd rs (-1)
+let neg p rd rs = sub p rd 0 rs
+let seqz p rd rs = sltiu p rd rs 1
+let snez p rd rs = sltu p rd 0 rs
+
+(* hi/lo decomposition for 32-bit constants: [lui] takes the upper 20 bits
+   rounded so the sign-extended 12-bit [addi] lands exactly on the value. *)
+let hi_lo v =
+  let v = v land 0xffffffff in
+  let lo = Rv32.Decode.sext ~width:12 v in
+  let hi = (v - lo) land 0xffffffff in
+  (hi, lo)
+
+let li p rd v =
+  if Rv32.Encode.fits_signed ~width:12 v then addi p rd 0 v
+  else begin
+    let hi, lo = hi_lo v in
+    lui p rd hi;
+    if lo <> 0 then addi p rd rd lo else nop p
+  end
+
+let la p rd target =
+  fixup p ~size:8 ~count:2 (fun ~addr:_ ~resolve ->
+      let hi, lo = hi_lo (resolve target) in
+      [ LUI (rd, hi); ADDI (rd, rd, lo) ])
+
+let lui_hi p rd target =
+  fixup p ~size:4 ~count:1 (fun ~addr:_ ~resolve ->
+      let hi, _ = hi_lo (resolve target) in
+      [ LUI (rd, hi) ])
+
+let lo_fixup p make target =
+  fixup p ~size:4 ~count:1 (fun ~addr:_ ~resolve ->
+      let _, lo = hi_lo (resolve target) in
+      [ make lo ])
+
+let addi_lo p rd rs1 target = lo_fixup p (fun lo -> ADDI (rd, rs1, lo)) target
+let lw_lo p rd rs1 target = lo_fixup p (fun lo -> LW (rd, rs1, lo)) target
+let lbu_lo p rd rs1 target = lo_fixup p (fun lo -> LBU (rd, rs1, lo)) target
+let sw_lo p src base target = lo_fixup p (fun lo -> SW (base, src, lo)) target
+let sb_lo p src base target = lo_fixup p (fun lo -> SB (base, src, lo)) target
+
+let j p target = jal_l p 0 target
+let call p target = jal_l p 1 target
+let ret p = jalr p 0 1 0
+let beqz_l p rs target = beq_l p rs 0 target
+let bnez_l p rs target = bne_l p rs 0 target
+let bgtz_l p rs target = blt_l p 0 rs target
+let blez_l p rs target = bge_l p 0 rs target
+let bltz_l p rs target = blt_l p rs 0 target
+let bgez_l p rs target = bge_l p rs 0 target
+
+let exit_ecall p ?(code = 0) () =
+  li p 17 93;
+  li p 10 code;
+  ecall p
+
+(* --- assembly ---------------------------------------------------------- *)
+
+let assemble p =
+  let items = List.rev p.items in
+  (* Pass 1: label addresses. *)
+  let symbols = Hashtbl.create 64 in
+  let addr = ref p.org in
+  List.iter
+    (fun item ->
+      match item with
+      | Lab name ->
+          if Hashtbl.mem symbols name then raise (Duplicate_label name);
+          Hashtbl.add symbols name !addr
+      | Fixed _ -> addr := !addr + 4
+      | Fixup (size, _) -> addr := !addr + size
+      | Data s -> addr := !addr + String.length s
+      | Word_label _ -> addr := !addr + 4
+      | Align_to n ->
+          let r = !addr mod n in
+          if r <> 0 then addr := !addr + (n - r)
+      | Space_of n -> addr := !addr + n)
+    items;
+  let total = !addr - p.org in
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> raise (Unknown_label name)
+  in
+  (* Pass 2: emission. *)
+  let code = Bytes.make total '\000' in
+  let put_word at v = Bytes.set_int32_le code (at - p.org) (Int32.of_int v) in
+  let addr = ref p.org in
+  List.iter
+    (fun item ->
+      match item with
+      | Lab _ -> ()
+      | Fixed i ->
+          put_word !addr (Rv32.Encode.encode i);
+          addr := !addr + 4
+      | Fixup (size, fn) ->
+          let insns = fn ~addr:!addr ~resolve in
+          if List.length insns * 4 <> size then
+            invalid_arg "Asm.assemble: fixup emitted wrong size";
+          List.iter
+            (fun i ->
+              put_word !addr (Rv32.Encode.encode i);
+              addr := !addr + 4)
+            insns
+      | Data s ->
+          Bytes.blit_string s 0 code (!addr - p.org) (String.length s);
+          addr := !addr + String.length s
+      | Word_label name ->
+          put_word !addr (resolve name);
+          addr := !addr + 4
+      | Align_to n ->
+          let r = !addr mod n in
+          if r <> 0 then addr := !addr + (n - r)
+      | Space_of n -> addr := !addr + n)
+    items;
+  {
+    Image.org = p.org;
+    code;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+    insn_count = p.insns;
+  }

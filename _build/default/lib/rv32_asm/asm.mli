@@ -1,0 +1,174 @@
+(** An imperative RV32IM assembler eDSL.
+
+    Firmware is written as OCaml functions that append instructions, labels
+    and data to a program buffer; {!assemble} resolves labels in a second
+    pass and produces a flat {!Image.t}. Example:
+
+    {[
+      let open Rv32_asm.Asm in
+      let p = create ~org:0x8000_0000 () in
+      li p Rv32.Reg.a0 0;
+      label p "loop";
+      addi p Rv32.Reg.a0 Rv32.Reg.a0 1;
+      blt_l p Rv32.Reg.a0 Rv32.Reg.a1 "loop";
+      exit_ecall p;
+      assemble p
+    ]}
+
+    Raises [Invalid_argument] on malformed operands (via {!Rv32.Encode}) and
+    {!Unknown_label} / {!Duplicate_label} on label errors. *)
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+type t
+
+val create : ?org:int -> unit -> t
+(** [org] is the load address (default 0x8000_0000). *)
+
+val here : t -> unit -> int
+(** Current emission address (valid while building; data after it moves
+    only forward). *)
+
+val label : t -> string -> unit
+val insn : t -> Rv32.Insn.t -> unit
+(** Append a fixed instruction. *)
+
+(** {1 Data directives} *)
+
+val word : t -> int -> unit
+val word_l : t -> string -> unit
+(** A 32-bit word holding a label's absolute address. *)
+
+val half : t -> int -> unit
+val byte : t -> int -> unit
+val ascii : t -> string -> unit
+val asciz : t -> string -> unit
+val space : t -> int -> unit
+(** [space n] emits [n] zero bytes. *)
+
+val align : t -> int -> unit
+(** Pad with zero bytes to the next multiple of [n]. *)
+
+(** {1 RV32I instructions} *)
+
+val lui : t -> int -> int -> unit
+val auipc : t -> int -> int -> unit
+val jal : t -> int -> int -> unit
+val jalr : t -> int -> int -> int -> unit
+val beq : t -> int -> int -> int -> unit
+val bne : t -> int -> int -> int -> unit
+val blt : t -> int -> int -> int -> unit
+val bge : t -> int -> int -> int -> unit
+val bltu : t -> int -> int -> int -> unit
+val bgeu : t -> int -> int -> int -> unit
+val lb : t -> int -> int -> int -> unit
+val lh : t -> int -> int -> int -> unit
+val lw : t -> int -> int -> int -> unit
+val lbu : t -> int -> int -> int -> unit
+val lhu : t -> int -> int -> int -> unit
+val sb : t -> int -> int -> int -> unit
+(** [sb p src base off] — source register first, like the other stores. *)
+
+val sh : t -> int -> int -> int -> unit
+val sw : t -> int -> int -> int -> unit
+val addi : t -> int -> int -> int -> unit
+val slti : t -> int -> int -> int -> unit
+val sltiu : t -> int -> int -> int -> unit
+val xori : t -> int -> int -> int -> unit
+val ori : t -> int -> int -> int -> unit
+val andi : t -> int -> int -> int -> unit
+val slli : t -> int -> int -> int -> unit
+val srli : t -> int -> int -> int -> unit
+val srai : t -> int -> int -> int -> unit
+val add : t -> int -> int -> int -> unit
+val sub : t -> int -> int -> int -> unit
+val sll : t -> int -> int -> int -> unit
+val slt : t -> int -> int -> int -> unit
+val sltu : t -> int -> int -> int -> unit
+val xor : t -> int -> int -> int -> unit
+val srl : t -> int -> int -> int -> unit
+val sra : t -> int -> int -> int -> unit
+val or_ : t -> int -> int -> int -> unit
+val and_ : t -> int -> int -> int -> unit
+val mul : t -> int -> int -> int -> unit
+val mulh : t -> int -> int -> int -> unit
+val mulhsu : t -> int -> int -> int -> unit
+val mulhu : t -> int -> int -> int -> unit
+val div : t -> int -> int -> int -> unit
+val divu : t -> int -> int -> int -> unit
+val rem : t -> int -> int -> int -> unit
+val remu : t -> int -> int -> int -> unit
+val fence : t -> unit
+val ecall : t -> unit
+val ebreak : t -> unit
+val mret : t -> unit
+val wfi : t -> unit
+val csrrw : t -> int -> int -> int -> unit
+(** [csrrw p rd csr rs1]. *)
+
+val csrrs : t -> int -> int -> int -> unit
+val csrrc : t -> int -> int -> int -> unit
+val csrrwi : t -> int -> int -> int -> unit
+val csrrsi : t -> int -> int -> int -> unit
+val csrrci : t -> int -> int -> int -> unit
+
+(** {1 Label-target forms} *)
+
+val jal_l : t -> int -> string -> unit
+val beq_l : t -> int -> int -> string -> unit
+val bne_l : t -> int -> int -> string -> unit
+val blt_l : t -> int -> int -> string -> unit
+val bge_l : t -> int -> int -> string -> unit
+val bltu_l : t -> int -> int -> string -> unit
+val bgeu_l : t -> int -> int -> string -> unit
+
+(** {1 Pseudo-instructions} *)
+
+val nop : t -> unit
+val mv : t -> int -> int -> unit
+val not_ : t -> int -> int -> unit
+val neg : t -> int -> int -> unit
+val seqz : t -> int -> int -> unit
+val snez : t -> int -> int -> unit
+val li : t -> int -> int -> unit
+(** Loads any 32-bit constant (1 or 2 instructions). *)
+
+val la : t -> int -> string -> unit
+(** Load a label's absolute address (always 2 instructions). *)
+
+val lui_hi : t -> int -> string -> unit
+(** [lui rd, %hi(label)] — pairs with one of the [_lo] forms below. *)
+
+val addi_lo : t -> int -> int -> string -> unit
+(** [addi rd, rs1, %lo(label)]. *)
+
+val lw_lo : t -> int -> int -> string -> unit
+(** [lw rd, %lo(label)(rs1)]. *)
+
+val lbu_lo : t -> int -> int -> string -> unit
+val sw_lo : t -> int -> int -> string -> unit
+(** [sw rs2, %lo(label)(rs1)] (source register first, as for {!sw}). *)
+
+val sb_lo : t -> int -> int -> string -> unit
+
+val j : t -> string -> unit
+val call : t -> string -> unit
+(** [jal ra, label]. *)
+
+val ret : t -> unit
+val beqz_l : t -> int -> string -> unit
+val bnez_l : t -> int -> string -> unit
+val bgtz_l : t -> int -> string -> unit
+val blez_l : t -> int -> string -> unit
+val bltz_l : t -> int -> string -> unit
+val bgez_l : t -> int -> string -> unit
+
+val exit_ecall : t -> ?code:int -> unit -> unit
+(** The VP exit convention: [li a7, 93; li a0, code; ecall]. *)
+
+(** {1 Assembly} *)
+
+val assemble : t -> Image.t
+(** Resolve labels and produce the image. The builder can keep growing and
+    be assembled again. *)

@@ -1,0 +1,22 @@
+type t = {
+  org : int;
+  code : Bytes.t;
+  symbols : (string * int) list;
+  insn_count : int;
+}
+
+let size img = Bytes.length img.code
+
+let symbol img name =
+  match List.assoc_opt name img.symbols with
+  | Some a -> a
+  | None -> raise Not_found
+
+let symbol_opt img name = List.assoc_opt name img.symbols
+let limit img = img.org + size img
+
+let pp_symbols fmt img =
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) img.symbols in
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (n, a) -> Format.fprintf fmt "0x%08x %s@," a n) sorted;
+  Format.fprintf fmt "@]"

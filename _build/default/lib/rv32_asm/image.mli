@@ -1,0 +1,21 @@
+(** A linked memory image: the output of the assembler, the input of the
+    VP loader. *)
+
+type t = {
+  org : int;  (** Load address of the first byte. *)
+  code : Bytes.t;  (** Raw image contents (code and data). *)
+  symbols : (string * int) list;  (** Label name -> absolute address. *)
+  insn_count : int;
+      (** Number of assembler opcodes in the image (the paper's "LoC ASM"
+          column of Table II). *)
+}
+
+val size : t -> int
+val symbol : t -> string -> int
+(** Raises [Not_found] for unknown symbols. *)
+
+val symbol_opt : t -> string -> int option
+val limit : t -> int
+(** One past the last address of the image ([org + size]). *)
+
+val pp_symbols : Format.formatter -> t -> unit

@@ -1,0 +1,409 @@
+exception Parse_error of { line : int; msg : string }
+
+let csr_names =
+  [
+    ("mstatus", 0x300); ("misa", 0x301); ("mie", 0x304); ("mtvec", 0x305);
+    ("mscratch", 0x340); ("mepc", 0x341); ("mcause", 0x342); ("mtval", 0x343);
+    ("mip", 0x344); ("mhartid", 0xf14); ("mvendorid", 0xf11);
+    ("marchid", 0xf12); ("mimpid", 0xf13); ("mcycle", 0xb00);
+    ("minstret", 0xb02); ("cycle", 0xc00); ("time", 0xc01); ("instret", 0xc02);
+  ]
+
+type ctx = { prog : Asm.t; equs : (string, int) Hashtbl.t; mutable line : int }
+
+let fail ctx fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line = ctx.line; msg })) fmt
+
+let strip_comment s =
+  let cut i = String.sub s 0 i in
+  let rec scan i in_str =
+    if i >= String.length s then s
+    else
+      match s.[i] with
+      | '"' -> scan (i + 1) (not in_str)
+      | '#' when not in_str -> cut i
+      | '/' when (not in_str) && i + 1 < String.length s && s.[i + 1] = '/' ->
+          cut i
+      | _ -> scan (i + 1) in_str
+  in
+  scan 0 false
+
+let parse_int ctx s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt ctx.equs s with
+      | Some v -> v
+      | None -> fail ctx "bad integer %S" s)
+
+let parse_reg ctx s =
+  match Rv32.Reg.of_name (String.trim s) with
+  | Some r -> r
+  | None -> fail ctx "bad register %S" s
+
+let parse_csr ctx s =
+  let s = String.trim s in
+  match List.assoc_opt s csr_names with
+  | Some n -> n
+  | None -> parse_int ctx s
+
+(* "%hi(label)" / "%lo(label)" relocation operands. *)
+let parse_reloc s =
+  let s = String.trim s in
+  let pick prefix =
+    let n = String.length prefix in
+    if
+      String.length s > n + 1
+      && String.sub s 0 n = prefix
+      && s.[String.length s - 1] = ')'
+    then Some (String.trim (String.sub s n (String.length s - n - 1)))
+    else None
+  in
+  match pick "%hi(" with
+  | Some l -> Some (`Hi l)
+  | None -> ( match pick "%lo(" with Some l -> Some (`Lo l) | None -> None)
+
+(* "off(reg)" or "(reg)" or "reg" (offset 0). *)
+let parse_mem ctx s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> (0, parse_reg ctx s)
+  | Some i ->
+      let off = String.trim (String.sub s 0 i) in
+      let off = if off = "" then 0 else parse_int ctx off in
+      (match String.index_opt s ')' with
+      | Some j when j > i ->
+          (off, parse_reg ctx (String.sub s (i + 1) (j - i - 1)))
+      | Some _ | None -> fail ctx "bad memory operand %S" s)
+
+let split_operands s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+(* A label operand is anything that is not a number. *)
+let is_label ctx s =
+  (not (Hashtbl.mem ctx.equs s)) && int_of_string_opt s = None
+
+let unescape ctx s =
+  let b = Buffer.create (String.length s) in
+  let rec go i =
+    if i < String.length s then
+      if s.[i] = '\\' && i + 1 < String.length s then begin
+        (match s.[i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | '0' -> Buffer.add_char b '\000'
+        | '\\' -> Buffer.add_char b '\\'
+        | '"' -> Buffer.add_char b '"'
+        | c -> fail ctx "bad escape \\%c" c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_string_lit ctx s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    unescape ctx (String.sub s 1 (n - 2))
+  else fail ctx "expected string literal, got %S" s
+
+let directive ctx name ops =
+  let p = ctx.prog in
+  match name with
+  | ".word" ->
+      List.iter
+        (fun op ->
+          if is_label ctx op then Asm.word_l p op else Asm.word p (parse_int ctx op))
+        ops
+  | ".half" -> List.iter (fun op -> Asm.half p (parse_int ctx op)) ops
+  | ".byte" -> List.iter (fun op -> Asm.byte p (parse_int ctx op)) ops
+  | ".ascii" -> List.iter (fun op -> Asm.ascii p (parse_string_lit ctx op)) ops
+  | ".asciz" | ".string" ->
+      List.iter (fun op -> Asm.asciz p (parse_string_lit ctx op)) ops
+  | ".space" | ".zero" -> (
+      match ops with
+      | [ n ] -> Asm.space p (parse_int ctx n)
+      | _ -> fail ctx "%s expects one operand" name)
+  | ".align" | ".balign" -> (
+      match ops with
+      | [ n ] ->
+          let n = parse_int ctx n in
+          (* .align is a power-of-two exponent in gas for RISC-V. *)
+          Asm.align p (if name = ".align" then 1 lsl n else n)
+      | _ -> fail ctx "%s expects one operand" name)
+  | ".equ" | ".set" -> (
+      match ops with
+      | [ n; v ] -> Hashtbl.replace ctx.equs n (parse_int ctx v)
+      | _ -> fail ctx "%s expects name, value" name)
+  | ".globl" | ".global" | ".text" | ".data" | ".section" | ".option" -> ()
+  | _ -> fail ctx "unknown directive %s" name
+
+let instruction ctx mnem ops =
+  let p = ctx.prog in
+  let reg = parse_reg ctx and int_ = parse_int ctx in
+  let rrr f = match ops with
+    | [ a; b; c ] -> f p (reg a) (reg b) (reg c)
+    | _ -> fail ctx "%s expects rd, rs1, rs2" mnem
+  in
+  let rri f = match ops with
+    | [ a; b; c ] -> f p (reg a) (reg b) (int_ c)
+    | _ -> fail ctx "%s expects rd, rs1, imm" mnem
+  in
+  let load f = match ops with
+    | [ rd; m ] ->
+        let off, base = parse_mem ctx m in
+        f p (reg rd) base off
+    | _ -> fail ctx "%s expects rd, off(rs1)" mnem
+  in
+  let store f = match ops with
+    | [ src; m ] ->
+        let off, base = parse_mem ctx m in
+        f p (reg src) base off
+    | _ -> fail ctx "%s expects rs2, off(rs1)" mnem
+  in
+  let branch fl fi = match ops with
+    | [ a; b; t ] ->
+        if is_label ctx t then fl p (reg a) (reg b) t
+        else fi p (reg a) (reg b) (int_ t)
+    | _ -> fail ctx "%s expects rs1, rs2, target" mnem
+  in
+  let branch_z fl = match ops with
+    | [ a; t ] -> fl p (reg a) t
+    | _ -> fail ctx "%s expects rs, target" mnem
+  in
+  let csr_r f = match ops with
+    | [ rd; c; rs ] -> f p (reg rd) (parse_csr ctx c) (reg rs)
+    | _ -> fail ctx "%s expects rd, csr, rs1" mnem
+  in
+  let csr_i f = match ops with
+    | [ rd; c; z ] -> f p (reg rd) (parse_csr ctx c) (int_ z)
+    | _ -> fail ctx "%s expects rd, csr, zimm" mnem
+  in
+  let mem_reloc flo f = match ops with
+    (* "%lo(label)(reg)" memory operand *)
+    | [ a; m ] -> (
+        match String.index_opt m '(' with
+        | Some i when i > 0 && String.length m > 4 && String.sub m 0 4 = "%lo(" -> (
+            (* split  %lo(label)(reg)  at the second '(' *)
+            match String.index_from_opt m (i + 1) '(' with
+            | Some j ->
+                let reloc = String.sub m 0 j in
+                let rest = String.sub m j (String.length m - j) in
+                (match (parse_reloc reloc, parse_mem ctx rest) with
+                | Some (`Lo l), (0, base) -> flo p (reg a) base l
+                | _ -> fail ctx "bad %%lo memory operand %S" m)
+            | None -> fail ctx "bad %%lo memory operand %S" m)
+        | _ ->
+            let off, base = parse_mem ctx m in
+            f p (reg a) base off)
+    | _ -> fail ctx "%s expects rd, off(rs1)" mnem
+  in
+  match mnem with
+  | "add" -> rrr Asm.add
+  | "sub" -> rrr Asm.sub
+  | "sll" -> rrr Asm.sll
+  | "slt" -> rrr Asm.slt
+  | "sltu" -> rrr Asm.sltu
+  | "xor" -> rrr Asm.xor
+  | "srl" -> rrr Asm.srl
+  | "sra" -> rrr Asm.sra
+  | "or" -> rrr Asm.or_
+  | "and" -> rrr Asm.and_
+  | "mul" -> rrr Asm.mul
+  | "mulh" -> rrr Asm.mulh
+  | "mulhsu" -> rrr Asm.mulhsu
+  | "mulhu" -> rrr Asm.mulhu
+  | "div" -> rrr Asm.div
+  | "divu" -> rrr Asm.divu
+  | "rem" -> rrr Asm.rem
+  | "remu" -> rrr Asm.remu
+  | "addi" -> (
+      match ops with
+      | [ rd; rs; op3 ] -> (
+          match parse_reloc op3 with
+          | Some (`Lo l) -> Asm.addi_lo p (reg rd) (reg rs) l
+          | Some (`Hi _) -> fail ctx "%%hi not valid in addi"
+          | None -> Asm.addi p (reg rd) (reg rs) (int_ op3))
+      | _ -> fail ctx "addi expects rd, rs1, imm")
+  | "slti" -> rri Asm.slti
+  | "sltiu" -> rri Asm.sltiu
+  | "xori" -> rri Asm.xori
+  | "ori" -> rri Asm.ori
+  | "andi" -> rri Asm.andi
+  | "slli" -> rri Asm.slli
+  | "srli" -> rri Asm.srli
+  | "srai" -> rri Asm.srai
+  | "lb" -> load Asm.lb
+  | "lh" -> load Asm.lh
+  | "lw" -> mem_reloc Asm.lw_lo Asm.lw
+  | "lbu" -> mem_reloc Asm.lbu_lo Asm.lbu
+  | "lhu" -> load Asm.lhu
+  | "sb" -> mem_reloc Asm.sb_lo Asm.sb
+  | "sh" -> store Asm.sh
+  | "sw" -> mem_reloc Asm.sw_lo Asm.sw
+  | "beq" -> branch Asm.beq_l Asm.beq
+  | "bne" -> branch Asm.bne_l Asm.bne
+  | "blt" -> branch Asm.blt_l Asm.blt
+  | "bge" -> branch Asm.bge_l Asm.bge
+  | "bltu" -> branch Asm.bltu_l Asm.bltu
+  | "bgeu" -> branch Asm.bgeu_l Asm.bgeu
+  | "bgt" -> branch (fun p a b t -> Asm.blt_l p b a t) (fun p a b o -> Asm.blt p b a o)
+  | "ble" -> branch (fun p a b t -> Asm.bge_l p b a t) (fun p a b o -> Asm.bge p b a o)
+  | "beqz" -> branch_z Asm.beqz_l
+  | "bnez" -> branch_z Asm.bnez_l
+  | "bgtz" -> branch_z Asm.bgtz_l
+  | "blez" -> branch_z Asm.blez_l
+  | "bltz" -> branch_z Asm.bltz_l
+  | "bgez" -> branch_z Asm.bgez_l
+  | "lui" -> (
+      match ops with
+      | [ rd; op2 ] -> (
+          match parse_reloc op2 with
+          | Some (`Hi l) -> Asm.lui_hi p (reg rd) l
+          | Some (`Lo _) -> fail ctx "%%lo not valid in lui"
+          | None -> Asm.lui p (reg rd) (int_ op2 lsl 12))
+      | _ -> fail ctx "lui expects rd, imm20")
+  | "auipc" -> (
+      match ops with
+      | [ rd; imm ] -> Asm.auipc p (reg rd) (int_ imm lsl 12)
+      | _ -> fail ctx "auipc expects rd, imm20")
+  | "jal" -> (
+      match ops with
+      | [ t ] when is_label ctx t -> Asm.jal_l p 1 t
+      | [ rd; t ] when is_label ctx t -> Asm.jal_l p (reg rd) t
+      | [ rd; o ] -> Asm.jal p (reg rd) (int_ o)
+      | _ -> fail ctx "jal expects [rd,] target")
+  | "jalr" -> (
+      match ops with
+      | [ r1 ] -> Asm.jalr p 1 (reg r1) 0
+      | [ rd; m ] ->
+          let off, base = parse_mem ctx m in
+          Asm.jalr p (reg rd) base off
+      | [ rd; r1; o ] -> Asm.jalr p (reg rd) (reg r1) (int_ o)
+      | _ -> fail ctx "jalr expects rd, off(rs1)")
+  | "jr" -> (
+      match ops with
+      | [ r1 ] -> Asm.jalr p 0 (reg r1) 0
+      | _ -> fail ctx "jr expects rs1")
+  | "j" -> (
+      match ops with
+      | [ t ] -> Asm.j p t
+      | _ -> fail ctx "j expects target")
+  | "call" -> (
+      match ops with
+      | [ t ] -> Asm.call p t
+      | _ -> fail ctx "call expects target")
+  | "ret" -> if ops = [] then Asm.ret p else fail ctx "ret takes no operands"
+  | "nop" -> Asm.nop p
+  | "mv" -> (
+      match ops with
+      | [ rd; rs ] -> Asm.mv p (reg rd) (reg rs)
+      | _ -> fail ctx "mv expects rd, rs")
+  | "not" -> (
+      match ops with
+      | [ rd; rs ] -> Asm.not_ p (reg rd) (reg rs)
+      | _ -> fail ctx "not expects rd, rs")
+  | "neg" -> (
+      match ops with
+      | [ rd; rs ] -> Asm.neg p (reg rd) (reg rs)
+      | _ -> fail ctx "neg expects rd, rs")
+  | "seqz" -> (
+      match ops with
+      | [ rd; rs ] -> Asm.seqz p (reg rd) (reg rs)
+      | _ -> fail ctx "seqz expects rd, rs")
+  | "snez" -> (
+      match ops with
+      | [ rd; rs ] -> Asm.snez p (reg rd) (reg rs)
+      | _ -> fail ctx "snez expects rd, rs")
+  | "li" -> (
+      match ops with
+      | [ rd; v ] -> Asm.li p (reg rd) (int_ v)
+      | _ -> fail ctx "li expects rd, imm")
+  | "la" -> (
+      match ops with
+      | [ rd; t ] -> Asm.la p (reg rd) t
+      | _ -> fail ctx "la expects rd, label")
+  | "fence" -> Asm.fence p
+  | "ecall" -> Asm.ecall p
+  | "ebreak" -> Asm.ebreak p
+  | "mret" -> Asm.mret p
+  | "wfi" -> Asm.wfi p
+  | "csrrw" -> csr_r Asm.csrrw
+  | "csrrs" -> csr_r Asm.csrrs
+  | "csrrc" -> csr_r Asm.csrrc
+  | "csrrwi" -> csr_i Asm.csrrwi
+  | "csrrsi" -> csr_i Asm.csrrsi
+  | "csrrci" -> csr_i Asm.csrrci
+  | "csrr" -> (
+      match ops with
+      | [ rd; c ] -> Asm.csrrs p (reg rd) (parse_csr ctx c) 0
+      | _ -> fail ctx "csrr expects rd, csr")
+  | "csrw" -> (
+      match ops with
+      | [ c; rs ] -> Asm.csrrw p 0 (parse_csr ctx c) (reg rs)
+      | _ -> fail ctx "csrw expects csr, rs")
+  | _ -> fail ctx "unknown mnemonic %S" mnem
+
+let parse_line ctx line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then ()
+  else begin
+    (* Optional leading label. *)
+    let rest =
+      match String.index_opt line ':' with
+      | Some i
+        when (not (String.contains (String.sub line 0 i) ' '))
+             && not (String.contains (String.sub line 0 i) '"') ->
+          Asm.label ctx.prog (String.sub line 0 i);
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      | Some _ | None -> line
+    in
+    if rest <> "" then begin
+      let mnem, operands =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.sub rest (i + 1) (String.length rest - i - 1) )
+      in
+      let mnem = String.lowercase_ascii mnem in
+      if mnem.[0] = '.' then
+        (* Strings may contain commas; split carefully only for non-string
+           directives. *)
+        match mnem with
+        | ".ascii" | ".asciz" | ".string" ->
+            directive ctx mnem [ String.trim operands ]
+        | _ -> directive ctx mnem (split_operands operands)
+      else instruction ctx mnem (split_operands operands)
+    end
+  end
+
+let parse_into prog src =
+  let ctx = { prog; equs = Hashtbl.create 16; line = 0 } in
+  List.iter
+    (fun line ->
+      ctx.line <- ctx.line + 1;
+      parse_line ctx line)
+    (String.split_on_char '\n' src)
+
+let parse_string ?org src =
+  let prog = Asm.create ?org () in
+  parse_into prog src;
+  Asm.assemble prog
+
+let parse_result ?org src =
+  match parse_string ?org src with
+  | img -> Ok img
+  | exception Parse_error { line; msg } ->
+      Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Asm.Unknown_label l -> Error ("unknown label " ^ l)
+  | exception Asm.Duplicate_label l -> Error ("duplicate label " ^ l)
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,1 @@
+lib/sysc/heap.mli:

@@ -1,0 +1,1 @@
+lib/sysc/kernel.ml: Effect Heap Int List Printf Queue Time

@@ -1,0 +1,1 @@
+lib/sysc/sc_module.mli: Kernel

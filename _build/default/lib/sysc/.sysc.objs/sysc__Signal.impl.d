@@ -1,0 +1,1 @@
+lib/sysc/signal.ml: Kernel

@@ -1,0 +1,1 @@
+lib/sysc/time.ml: Format Int

@@ -1,0 +1,1 @@
+lib/sysc/vcd.ml: Buffer Char Hashtbl Kernel List Printf Signal String Time

@@ -1,0 +1,1 @@
+lib/sysc/vcd.mli: Kernel Signal

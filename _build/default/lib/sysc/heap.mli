@@ -1,0 +1,19 @@
+(** A simple imperative binary min-heap, used for the kernel's timed event
+    queue. Keys are integers (simulation times); ties pop in an unspecified
+    but deterministic order (the kernel adds a sequence number for FIFO
+    behaviour among equal times). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> key:int -> 'a -> unit
+
+val min_key : 'a t -> int option
+(** Key of the minimum element without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element. *)
+
+val clear : 'a t -> unit

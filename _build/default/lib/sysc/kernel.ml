@@ -1,0 +1,221 @@
+type event = {
+  ev_name : string;
+  ev_kernel : t;
+  mutable waiters : (unit -> unit) list;  (* newest first *)
+}
+
+and timed_entry = { seq : int; thunk : unit -> unit }
+
+and t = {
+  mutable now : Time.t;
+  runnable : (unit -> unit) Queue.t;
+  mutable delta_events : event list;  (* newest first *)
+  updates : (unit -> unit) Queue.t;
+  timed : timed_entry Heap.t;
+  mutable next_seq : int;
+  mutable deltas : int;
+  mutable stop_requested : bool;
+  mutable error : exn option;
+  mutable live : int;
+  mutable expect_progress : bool;
+  mutable hit_until : bool;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Wait_time : Time.t -> unit Effect.t
+  | Wait_event : event -> unit Effect.t
+  | Wait_any : event list -> unit Effect.t
+  | Halt : unit Effect.t
+
+let create () =
+  {
+    now = Time.zero;
+    runnable = Queue.create ();
+    delta_events = [];
+    updates = Queue.create ();
+    timed = Heap.create ();
+    next_seq = 0;
+    deltas = 0;
+    stop_requested = false;
+    error = None;
+    live = 0;
+    expect_progress = false;
+    hit_until = false;
+  }
+
+let now k = k.now
+let delta_count k = k.deltas
+let create_event k name = { ev_name = name; ev_kernel = k; waiters = [] }
+let event_name e = e.ev_name
+
+let schedule_timed k at thunk =
+  k.next_seq <- k.next_seq + 1;
+  Heap.push k.timed ~key:at { seq = k.next_seq; thunk }
+
+(* Move an event's waiters (in FIFO order) onto the runnable queue. *)
+let wake e =
+  let ws = List.rev e.waiters in
+  e.waiters <- [];
+  List.iter (fun w -> Queue.push w e.ev_kernel.runnable) ws
+
+let notify_immediate e = wake e
+
+let notify e =
+  let k = e.ev_kernel in
+  if not (List.memq e k.delta_events) then k.delta_events <- e :: k.delta_events
+
+let notify_after e t =
+  let k = e.ev_kernel in
+  schedule_timed k (Time.add k.now t) (fun () -> wake e)
+
+let request_update k thunk = Queue.push thunk k.updates
+
+let wait_for t = Effect.perform (Wait_time t)
+let wait_event e = Effect.perform (Wait_event e)
+
+let wait_any evs =
+  match evs with
+  | [] -> invalid_arg "Kernel.wait_any: empty event list"
+  | [ e ] -> wait_event e
+  | _ -> Effect.perform (Wait_any evs)
+
+let halt () = Effect.perform Halt
+
+let stop k = k.stop_requested <- true
+let stopped k = k.stop_requested
+let set_expect_progress k v = k.expect_progress <- v
+let live_processes k = k.live
+
+let spawn k ~name fn =
+  let open Effect.Deep in
+  let record_error e =
+    k.live <- k.live - 1;
+    if k.error = None then begin
+      k.error <- Some e;
+      k.stop_requested <- true
+    end;
+    ignore name
+  in
+  let run_proc () =
+    match_with fn ()
+      {
+        retc = (fun () -> k.live <- k.live - 1);
+        exnc = record_error;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait_time t ->
+                Some
+                  (fun (cont : (a, unit) continuation) ->
+                    schedule_timed k (Time.add k.now t) (fun () ->
+                        continue cont ()))
+            | Wait_event e ->
+                Some
+                  (fun (cont : (a, unit) continuation) ->
+                    e.waiters <- (fun () -> continue cont ()) :: e.waiters)
+            | Wait_any evs ->
+                Some
+                  (fun (cont : (a, unit) continuation) ->
+                    let fired = ref false in
+                    let once () =
+                      if not !fired then begin
+                        fired := true;
+                        continue cont ()
+                      end
+                    in
+                    List.iter (fun e -> e.waiters <- once :: e.waiters) evs)
+            | Halt ->
+                Some
+                  (fun (cont : (a, unit) continuation) ->
+                    ignore cont;
+                    k.live <- k.live - 1)
+            | _ -> None);
+      }
+  in
+  k.live <- k.live + 1;
+  Queue.push run_proc k.runnable
+
+let run ?until k =
+  k.stop_requested <- false;
+  let reraise_error () =
+    match k.error with
+    | Some e ->
+        k.error <- None;
+        raise e
+    | None -> ()
+  in
+  let rec loop () =
+    if k.stop_requested then ()
+    else if not (Queue.is_empty k.runnable) then begin
+      (* Evaluation phase. *)
+      while (not (Queue.is_empty k.runnable)) && not k.stop_requested do
+        (Queue.pop k.runnable) ()
+      done;
+      (* Update phase. *)
+      while not (Queue.is_empty k.updates) do
+        (Queue.pop k.updates) ()
+      done;
+      loop ()
+    end
+    else if not (Queue.is_empty k.updates) then begin
+      (* Updates requested by a process that was resumed directly from a
+         timed wakeup (no evaluation phase ran): still honour the update
+         phase before delta notification. *)
+      while not (Queue.is_empty k.updates) do
+        (Queue.pop k.updates) ()
+      done;
+      loop ()
+    end
+    else if k.delta_events <> [] then begin
+      (* Delta-notification phase: start a new delta cycle. *)
+      k.deltas <- k.deltas + 1;
+      let evs = List.rev k.delta_events in
+      k.delta_events <- [];
+      List.iter wake evs;
+      loop ()
+    end
+    else begin
+      (* Advance time to the next timed notification. *)
+      match Heap.min_key k.timed with
+      | None -> ()
+      | Some t -> (
+          match until with
+          | Some u when t > u ->
+              k.hit_until <- true;
+              k.now <- u
+          | _ ->
+              k.now <- t;
+              (* Pop everything scheduled for this instant, in insertion
+                 order, to keep process wakeups deterministic. *)
+              let batch = ref [] in
+              let rec drain () =
+                match Heap.min_key k.timed with
+                | Some t' when t' = t -> (
+                    match Heap.pop k.timed with
+                    | Some (_, entry) ->
+                        batch := entry :: !batch;
+                        drain ()
+                    | None -> ())
+                | _ -> ()
+              in
+              drain ();
+              let entries =
+                List.sort (fun a b -> Int.compare a.seq b.seq) !batch
+              in
+              List.iter (fun e -> e.thunk ()) entries;
+              loop ())
+    end
+  in
+  k.hit_until <- false;
+  loop ();
+  reraise_error ();
+  if
+    k.expect_progress && (not k.stop_requested) && (not k.hit_until)
+    && k.live > 0
+  then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d process(es) still waiting with no pending events"
+            k.live))

@@ -1,0 +1,98 @@
+(** An event-driven simulation kernel with SystemC-like semantics.
+
+    Processes are cooperative coroutines implemented with OCaml 5 effect
+    handlers (the analogue of [SC_THREAD]). The scheduler follows the
+    SystemC evaluate / update / delta-notification / timed-notification
+    phase order:
+
+    - all runnable processes run to their next [wait] (evaluation phase);
+    - pending primitive-channel updates run (update phase, used by
+      {!Signal});
+    - delta notifications wake their waiting processes (a new delta cycle);
+    - when nothing is runnable, time advances to the earliest timed
+      notification.
+
+    Deviation from IEEE-1666: an event may carry several pending
+    notifications (SystemC keeps only the earliest); none of the models in
+    this repository depend on the override rule. *)
+
+type t
+(** A kernel instance. Kernels are independent; each VP builds its own. *)
+
+type event
+(** A notifiable event (cf. [sc_event]). *)
+
+exception Deadlock of string
+(** Raised by {!run} if {!set_expect_progress} is on and the simulation
+    runs out of events while processes are still alive and waiting
+    (useful to catch lost interrupts / missing notifications). *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulation time. *)
+
+val delta_count : t -> int
+(** Number of delta cycles executed so far (for tests/statistics). *)
+
+val create_event : t -> string -> event
+val event_name : event -> string
+
+(** {1 Processes} *)
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Register a process; it becomes runnable at the start of simulation (or
+    immediately, if spawned during simulation). A process runs until it
+    performs one of the [wait_*] operations below, halts, or returns. An
+    exception escaping a process aborts the simulation and is re-raised by
+    {!run}. *)
+
+(** The following may only be called from inside a process spawned on some
+    kernel; calling them elsewhere raises [Effect.Unhandled]. *)
+
+val wait_for : Time.t -> unit
+(** Suspend the calling process for a simulated duration. *)
+
+val wait_event : event -> unit
+(** Suspend until the event is notified. *)
+
+val wait_any : event list -> unit
+(** Suspend until any of the events is notified. *)
+
+val halt : unit -> unit
+(** Terminate the calling process. *)
+
+(** {1 Notification} *)
+
+val notify : event -> unit
+(** Delta notification: waiters wake in the next delta cycle. *)
+
+val notify_immediate : event -> unit
+(** Immediate notification: waiters wake in the current evaluation phase. *)
+
+val notify_after : event -> Time.t -> unit
+(** Timed notification. *)
+
+val request_update : t -> (unit -> unit) -> unit
+(** Run a thunk in the next update phase (primitive-channel support). *)
+
+(** {1 Running} *)
+
+val run : ?until:Time.t -> t -> unit
+(** Run the simulation until no activity remains, [stop] is called, or
+    simulated time would exceed [until]. May be called repeatedly to resume
+    (e.g. with increasing [until]). *)
+
+val stop : t -> unit
+(** Request the simulation to stop; takes effect at the next scheduling
+    point. Callable from inside a process. *)
+
+val stopped : t -> bool
+
+val set_expect_progress : t -> bool -> unit
+(** When on, {!run} raises {!Deadlock} if it returns for lack of events
+    while spawned processes are still waiting (default off; [stop] and
+    [~until] returns are never deadlocks). *)
+
+val live_processes : t -> int
+(** Number of spawned processes that have neither returned nor halted. *)

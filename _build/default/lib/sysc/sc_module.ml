@@ -1,0 +1,7 @@
+type t = { name : string; kernel : Kernel.t }
+
+let create kernel name = { name; kernel }
+let name m = m.name
+let kernel m = m.kernel
+let thread m n fn = Kernel.spawn m.kernel ~name:(m.name ^ "." ^ n) fn
+let event m n = Kernel.create_event m.kernel (m.name ^ "." ^ n)

@@ -1,0 +1,17 @@
+(** Lightweight module identity (cf. [sc_module]): a named component bound
+    to a kernel, with helpers to register threads under hierarchical names.
+
+    OCaml components are ordinary records/closures; this wrapper only
+    provides consistent naming for processes and events. *)
+
+type t
+
+val create : Kernel.t -> string -> t
+val name : t -> string
+val kernel : t -> Kernel.t
+
+val thread : t -> string -> (unit -> unit) -> unit
+(** [thread m n fn] spawns process ["<module>.<n>"] (cf. [SC_THREAD]). *)
+
+val event : t -> string -> Kernel.event
+(** Create an event named ["<module>.<n>"]. *)

@@ -1,0 +1,38 @@
+type 'a t = {
+  sig_name : string;
+  kernel : Kernel.t;
+  equal : 'a -> 'a -> bool;
+  mutable cur : 'a;
+  mutable next : 'a option;
+  changed : Kernel.event;
+}
+
+let create kernel ?(equal = ( = )) sig_name init =
+  {
+    sig_name;
+    kernel;
+    equal;
+    cur = init;
+    next = None;
+    changed = Kernel.create_event kernel (sig_name ^ ".changed");
+  }
+
+let read s = s.cur
+
+let update s () =
+  match s.next with
+  | None -> ()
+  | Some v ->
+      s.next <- None;
+      if not (s.equal s.cur v) then begin
+        s.cur <- v;
+        Kernel.notify s.changed
+      end
+
+let write s v =
+  let first = s.next = None in
+  s.next <- Some v;
+  if first then Kernel.request_update s.kernel (update s)
+
+let changed_event s = s.changed
+let name s = s.sig_name

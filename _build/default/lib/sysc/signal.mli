@@ -1,0 +1,20 @@
+(** A primitive channel with [sc_signal] semantics: writes take effect in
+    the update phase, and a value change triggers a delta notification. *)
+
+type 'a t
+
+val create : Kernel.t -> ?equal:('a -> 'a -> bool) -> string -> 'a -> 'a t
+(** [create k name init] makes a signal holding [init]. [equal] (default
+    structural equality) decides whether a write constitutes a change. *)
+
+val read : 'a t -> 'a
+(** Current (settled) value. *)
+
+val write : 'a t -> 'a -> unit
+(** Schedule the value for the next update phase. The last write in an
+    evaluation phase wins. *)
+
+val changed_event : 'a t -> Kernel.event
+(** Notified (delta) whenever the settled value changes. *)
+
+val name : 'a t -> string

@@ -1,0 +1,110 @@
+type wire = { id : string; wname : string; width : int }
+
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  mutable wires : wire list;  (* newest first *)
+  mutable samples : (Time.t * string * int) list;  (* newest first: (t, id, v) *)
+  mutable next_id : int;
+  custom : (string, wire) Hashtbl.t;
+}
+
+let create kernel ~name =
+  { kernel; name; wires = []; samples = []; next_id = 0; custom = Hashtbl.create 8 }
+
+(* VCD identifier codes: printable characters starting at '!'. *)
+let fresh_id t =
+  let n = t.next_id in
+  t.next_id <- n + 1;
+  let rec encode n acc =
+    let c = Char.chr (33 + (n mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if n < 94 then acc else encode ((n / 94) - 1) acc
+  in
+  encode n ""
+
+let add_wire t ~wname ~width =
+  let w = { id = fresh_id t; wname; width } in
+  t.wires <- w :: t.wires;
+  w
+
+let sample t w v = t.samples <- (Kernel.now t.kernel, w.id, v) :: t.samples
+
+let trace_signal t s =
+  let w = add_wire t ~wname:(Signal.name s) ~width:32 in
+  sample t w (Signal.read s);
+  Kernel.spawn t.kernel ~name:("vcd." ^ Signal.name s) (fun () ->
+      while not (Kernel.stopped t.kernel) do
+        Kernel.wait_event (Signal.changed_event s);
+        sample t w (Signal.read s)
+      done)
+
+let trace_event t ev =
+  let w = add_wire t ~wname:(Kernel.event_name ev) ~width:1 in
+  Kernel.spawn t.kernel
+    ~name:("vcd." ^ Kernel.event_name ev)
+    (fun () ->
+      while not (Kernel.stopped t.kernel) do
+        Kernel.wait_event ev;
+        (* A pulse: 1 at the firing instant, 0 one delta later is not
+           representable without time advancing; dump 1 then 0 at +1ps. *)
+        sample t w 1;
+        Kernel.wait_for 1;
+        sample t w 0
+      done)
+
+let mark t name v =
+  let w =
+    match Hashtbl.find_opt t.custom name with
+    | Some w -> w
+    | None ->
+        let w = add_wire t ~wname:name ~width:32 in
+        Hashtbl.add t.custom name w;
+        w
+  in
+  sample t w v
+
+let sanitize s =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) s
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "$date vp-dift trace $end\n";
+  Buffer.add_string buf "$timescale 1ps $end\n";
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" (sanitize t.name));
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" w.width w.id (sanitize w.wname)))
+    (List.rev t.wires);
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let samples = List.rev t.samples in
+  let emit_value w_id v width =
+    if width = 1 then Printf.sprintf "%d%s\n" (v land 1) w_id
+    else begin
+      (* Binary vector form. *)
+      let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (string_of_int (v land 1) ^ acc) in
+      let b = if v = 0 then "0" else bits (v land 0xffffffff) "" in
+      Printf.sprintf "b%s %s\n" b w_id
+    end
+  in
+  let width_of id =
+    match List.find_opt (fun w -> w.id = id) t.wires with
+    | Some w -> w.width
+    | None -> 32
+  in
+  let current_time = ref (-1) in
+  List.iter
+    (fun (time, id, v) ->
+      if time <> !current_time then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+        current_time := time
+      end;
+      Buffer.add_string buf (emit_value id v (width_of id)))
+    samples;
+  Buffer.contents buf
+
+let dump_to_file t path =
+  let oc = open_out path in
+  output_string oc (dump t);
+  close_out oc

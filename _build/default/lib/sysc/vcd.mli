@@ -1,0 +1,26 @@
+(** Value-change-dump (VCD) tracing for simulations: record integer
+    signals and event firings over simulated time and render a standard
+    `.vcd` file loadable by GTKWave & co. (cf. SystemC's [sc_trace]).
+
+    Registering a signal spawns a small watcher process, so do it before
+    {!Kernel.run}. Time is dumped in picoseconds. *)
+
+type t
+
+val create : Kernel.t -> name:string -> t
+
+val trace_signal : t -> int Signal.t -> unit
+(** Record every settled value change of the signal (its initial value is
+    dumped at time 0). *)
+
+val trace_event : t -> Kernel.event -> unit
+(** Record event notifications as a 1-tick pulse wire. *)
+
+val mark : t -> string -> int -> unit
+(** Record a custom scalar sample (e.g. a counter) under the given wire
+    name at the current simulation time. *)
+
+val dump : t -> string
+(** Render everything recorded so far as VCD text. *)
+
+val dump_to_file : t -> string -> unit

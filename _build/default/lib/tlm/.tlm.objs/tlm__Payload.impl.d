@@ -1,0 +1,1 @@
+lib/tlm/payload.ml: Bytes Char Dift Format

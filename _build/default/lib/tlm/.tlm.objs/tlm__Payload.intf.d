@@ -1,0 +1,1 @@
+lib/tlm/payload.mli: Bytes Dift Format

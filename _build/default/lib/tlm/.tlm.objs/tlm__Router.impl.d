@@ -1,0 +1,1 @@
+lib/tlm/router.ml: List Payload Printf Socket

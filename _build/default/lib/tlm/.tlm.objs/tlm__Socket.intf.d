@@ -1,0 +1,1 @@
+lib/tlm/socket.mli: Payload Sysc

@@ -1,0 +1,43 @@
+type entry = { lo : int; hi : int; target : Socket.target }
+type t = { name : string; mutable entries : entry list (* mapping order *) }
+
+let create ~name () = { name; entries = [] }
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let map r ~lo ~hi target =
+  if hi < lo then invalid_arg "Router.map: empty range";
+  let e = { lo; hi; target } in
+  (match List.find_opt (overlaps e) r.entries with
+  | Some clash ->
+      invalid_arg
+        (Printf.sprintf "Router.map: [0x%x..0x%x] overlaps %s [0x%x..0x%x]" lo
+           hi
+           (Socket.target_name clash.target)
+           clash.lo clash.hi)
+  | None -> ());
+  r.entries <- r.entries @ [ e ]
+
+let find r addr = List.find_opt (fun e -> addr >= e.lo && addr <= e.hi) r.entries
+
+let resolve r addr =
+  match find r addr with
+  | Some e -> Some (e.target, addr - e.lo)
+  | None -> None
+
+let route r payload delay =
+  match find r payload.Payload.addr with
+  | None ->
+      payload.Payload.resp <- Payload.Address_error;
+      delay
+  | Some e ->
+      let global = payload.Payload.addr in
+      payload.Payload.addr <- global - e.lo;
+      let delay = Socket.call e.target payload delay in
+      payload.Payload.addr <- global;
+      delay
+
+let target_socket r = Socket.target ~name:r.name (route r)
+
+let mappings r =
+  List.map (fun e -> (e.lo, e.hi, Socket.target_name e.target)) r.entries

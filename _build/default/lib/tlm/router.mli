@@ -1,0 +1,25 @@
+(** Address-mapped interconnect (cf. the VP's TLM bus).
+
+    A router owns a target socket; incoming transactions are dispatched by
+    global address to the mapped target whose range contains it, with the
+    payload address rewritten to a target-local offset for the duration of
+    the downstream call. Unclaimed addresses complete with
+    [Address_error]. *)
+
+type t
+
+val create : name:string -> unit -> t
+
+val map : t -> lo:int -> hi:int -> Socket.target -> unit
+(** Map [lo..hi] (inclusive) to a target. Raises [Invalid_argument] if the
+    range is empty or overlaps an existing mapping. *)
+
+val target_socket : t -> Socket.target
+(** The socket initiators bind to. *)
+
+val resolve : t -> int -> (Socket.target * int) option
+(** [resolve r addr] is the mapped target and local offset, if any — useful
+    for direct-memory-interface shortcuts. *)
+
+val mappings : t -> (int * int * string) list
+(** [(lo, hi, target-name)] triples in mapping order, for diagnostics. *)

@@ -1,0 +1,1 @@
+lib/vp/aes_periph.ml: Bytes Char Crypto Dift Env Printf Sysc Tlm

@@ -1,0 +1,1 @@
+lib/vp/aes_periph.mli: Dift Env Sysc Tlm

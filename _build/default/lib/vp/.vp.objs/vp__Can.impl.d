@@ -1,0 +1,1 @@
+lib/vp/can.ml: Bytes Char Dift Env List Printf Queue String Sysc Tlm

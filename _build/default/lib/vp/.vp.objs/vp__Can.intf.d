@@ -1,0 +1,1 @@
+lib/vp/can.mli: Dift Env Tlm

@@ -1,0 +1,1 @@
+lib/vp/clint.ml: Env Sysc Tlm

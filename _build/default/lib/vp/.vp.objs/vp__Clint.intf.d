@@ -1,0 +1,1 @@
+lib/vp/clint.mli: Env Sysc Tlm

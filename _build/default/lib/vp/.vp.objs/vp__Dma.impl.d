@@ -1,0 +1,1 @@
+lib/vp/dma.ml: Env Sysc Tlm

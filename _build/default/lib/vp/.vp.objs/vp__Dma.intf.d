@@ -1,0 +1,1 @@
+lib/vp/dma.mli: Env Tlm

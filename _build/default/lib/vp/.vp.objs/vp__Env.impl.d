@@ -1,0 +1,1 @@
+lib/vp/env.ml: Dift Printf Sysc

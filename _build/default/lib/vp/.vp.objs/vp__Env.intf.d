@@ -1,0 +1,1 @@
+lib/vp/env.mli: Dift Sysc

@@ -1,0 +1,1 @@
+lib/vp/gpio.ml: Dift Env Printf Sysc Tlm

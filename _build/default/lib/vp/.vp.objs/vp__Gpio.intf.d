@@ -1,0 +1,1 @@
+lib/vp/gpio.mli: Dift Env Tlm

@@ -1,0 +1,1 @@
+lib/vp/memory.ml: Bytes Char Env Int32 List Sysc Tlm

@@ -1,0 +1,1 @@
+lib/vp/memory.mli: Bytes Dift Env Tlm

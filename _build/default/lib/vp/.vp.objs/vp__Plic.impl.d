@@ -1,0 +1,1 @@
+lib/vp/plic.ml: Env Sysc Tlm

@@ -1,0 +1,1 @@
+lib/vp/plic.mli: Env Tlm

@@ -1,0 +1,1 @@
+lib/vp/sensor.ml: Bytes Char Dift Env Sysc Tlm

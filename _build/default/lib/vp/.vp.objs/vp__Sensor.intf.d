@@ -1,0 +1,1 @@
+lib/vp/sensor.mli: Dift Env Sysc Tlm

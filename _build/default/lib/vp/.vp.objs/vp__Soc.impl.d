@@ -1,0 +1,1 @@
+lib/vp/soc.ml: Aes_periph Bytes Can Clint Dift Dma Env Gpio List Memory Plic Rv32 Rv32_asm Sensor Sysc Tlm Uart Watchdog

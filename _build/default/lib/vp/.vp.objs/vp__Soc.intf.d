@@ -1,0 +1,1 @@
+lib/vp/soc.mli: Aes_periph Can Clint Dift Dma Env Gpio Memory Plic Rv32 Rv32_asm Sensor Sysc Tlm Uart Watchdog

@@ -1,0 +1,1 @@
+lib/vp/uart.ml: Buffer Char Dift Env List Printf Queue String Sysc Tlm

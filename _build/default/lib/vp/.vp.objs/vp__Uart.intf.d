@@ -1,0 +1,1 @@
+lib/vp/uart.mli: Dift Env Tlm

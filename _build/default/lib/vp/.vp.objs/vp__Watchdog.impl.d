@@ -1,0 +1,1 @@
+lib/vp/watchdog.ml: Dift Env Sysc Tlm

@@ -1,0 +1,1 @@
+lib/vp/watchdog.mli: Dift Env Tlm

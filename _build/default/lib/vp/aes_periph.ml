@@ -1,0 +1,122 @@
+type t = {
+  env : Env.t;
+  name : string;
+  out_tag : int;
+  in_clearance : int option;
+  latency : Sysc.Time.t;
+  key : Bytes.t;
+  key_tags : Bytes.t;
+  din : Bytes.t;
+  din_tags : Bytes.t;
+  dout : Bytes.t;
+  mutable busy : bool;
+  mutable count : int;
+  mutable irq : unit -> unit;
+  start_ev : Sysc.Kernel.event;
+}
+
+let create env ~name ~out_tag ?in_clearance ?(latency = Sysc.Time.us 2) () =
+  {
+    env;
+    name;
+    out_tag;
+    in_clearance;
+    latency;
+    key = Bytes.make 16 '\000';
+    key_tags = Bytes.make 16 (Char.chr env.Env.pub);
+    din = Bytes.make 16 '\000';
+    din_tags = Bytes.make 16 (Char.chr env.Env.pub);
+    dout = Bytes.make 16 '\000';
+    busy = false;
+    count = 0;
+    irq = (fun () -> ());
+    start_ev = Sysc.Kernel.create_event env.Env.kernel (name ^ ".start");
+  }
+
+let set_irq_callback a fn = a.irq <- fn
+let busy a = a.busy
+let encryptions a = a.count
+
+let check_in a ~tag ~detail =
+  match a.in_clearance with
+  | None -> ()
+  | Some required ->
+      Dift.Monitor.count_check a.env.Env.monitor;
+      if not (Dift.Lattice.allowed_flow a.env.Env.lat tag required) then
+        Dift.Monitor.violation a.env.Env.monitor
+          {
+            Dift.Violation.kind = Dift.Violation.Custom (a.name ^ "-input");
+            data_tag = tag;
+            required_tag = required;
+            pc = None;
+            detail;
+          }
+
+let encrypt a =
+  let key = Bytes.to_string a.key in
+  let pt = Bytes.to_string a.din in
+  let ct = Crypto.Aes128.encrypt_block (Crypto.Aes128.expand key) pt in
+  Bytes.blit_string ct 0 a.dout 0 16;
+  (* Declassification: the ciphertext no longer carries the key's or
+     plaintext's class — only trusted hardware may do this. *)
+  let from_tag = ref (Char.code (Bytes.get a.key_tags 0)) in
+  Bytes.iter
+    (fun c -> from_tag := Dift.Lattice.lub a.env.Env.lat !from_tag (Char.code c))
+    a.din_tags;
+  ignore (Env.declassify a.env ~where:a.name ~from_tag:!from_tag a.out_tag);
+  a.count <- a.count + 1
+
+let start a =
+  Sysc.Kernel.spawn a.env.Env.kernel ~name:(a.name ^ ".engine") (fun () ->
+      while not (Sysc.Kernel.stopped a.env.Env.kernel) do
+        Sysc.Kernel.wait_event a.start_ev;
+        if a.busy then begin
+          Sysc.Kernel.wait_for a.latency;
+          encrypt a;
+          a.busy <- false;
+          a.irq ()
+        end
+      done)
+
+let transport a (p : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length p in
+  let addr = p.Tlm.Payload.addr in
+  p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
+  (match p.Tlm.Payload.cmd with
+  | Tlm.Payload.Write when addr + len <= 0x10 ->
+      for i = 0 to len - 1 do
+        let tag = Tlm.Payload.get_tag p i in
+        check_in a ~tag ~detail:(Printf.sprintf "key byte %d" (addr + i));
+        Bytes.set a.key (addr + i) (Char.chr (Tlm.Payload.get_byte p i));
+        Bytes.set a.key_tags (addr + i) (Char.chr tag)
+      done
+  | Tlm.Payload.Write when addr >= 0x10 && addr + len <= 0x20 ->
+      (* Plaintext input is not clearance-checked: the whole point of the
+         peripheral is to accept untrusted challenges and classified keys
+         and emit declassified ciphertext. *)
+      for i = 0 to len - 1 do
+        let o = addr + i - 0x10 in
+        Bytes.set a.din o (Char.chr (Tlm.Payload.get_byte p i));
+        Bytes.set a.din_tags o (Char.chr (Tlm.Payload.get_tag p i))
+      done
+  | Tlm.Payload.Read when addr >= 0x20 && addr + len <= 0x30 ->
+      for i = 0 to len - 1 do
+        Tlm.Payload.set_byte p i (Char.code (Bytes.get a.dout (addr + i - 0x20)));
+        Tlm.Payload.set_tag p i a.out_tag
+      done
+  | Tlm.Payload.Write when addr = 0x30 ->
+      if Tlm.Payload.get_byte p 0 land 1 <> 0 && not a.busy then begin
+        a.busy <- true;
+        Sysc.Kernel.notify a.start_ev
+      end
+  | Tlm.Payload.Read when addr = 0x30 ->
+      Tlm.Payload.set_byte p 0 (if a.busy then 1 else 0);
+      for i = 1 to len - 1 do
+        Tlm.Payload.set_byte p i 0
+      done;
+      Tlm.Payload.set_all_tags p a.env.Env.pub
+  | Tlm.Payload.Read | Tlm.Payload.Write ->
+      p.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay (Sysc.Time.ns 50)
+
+let socket a = Tlm.Socket.target ~name:a.name (transport a)

@@ -1,0 +1,35 @@
+(** CAN-like mailbox peripheral: 8-byte transmit and receive frames over a
+    host-visible channel. This is the immobilizer's link to the engine ECU;
+    the transmit path is an output interface whose clearance is checked.
+
+    Register map:
+    - [0x00..0x07] TX_DATA (write);
+    - [0x08] TX_CTRL: writing 1 sends the frame to the host callback;
+    - [0x10..0x17] RX_DATA (read): the current received frame;
+    - [0x18] RX_STATUS (read): number of queued frames (including the
+      current one); RX_CTRL (write 1): pop the next queued frame into
+      RX_DATA. *)
+
+type t
+
+val create : Env.t -> name:string -> port:string -> t
+(** [port] names the output interface in the policy's clearance table. *)
+
+val socket : t -> Tlm.Socket.target
+
+val set_irq_callback : t -> (unit -> unit) -> unit
+(** Frame-received interrupt. *)
+
+(** {1 Host side (the remote ECU model)} *)
+
+val set_tx_callback : t -> (string -> unit) -> unit
+(** Called with each 8-byte frame the firmware transmits. *)
+
+val push_rx_frame : t -> ?tag:Dift.Lattice.tag -> string -> unit
+(** Enqueue an 8-byte frame (shorter frames are zero-padded); bytes are
+    classified with [tag] (default: the policy default — untrusted input). *)
+
+val tx_frames : t -> string list
+(** All frames transmitted so far, oldest first. *)
+
+val rx_pending : t -> int

@@ -1,0 +1,95 @@
+type t = {
+  env : Env.t;
+  name : string;
+  tick : Sysc.Time.t;
+  mutable mtimecmp : int;  (* 64-bit value in an OCaml int *)
+  mutable msip : bool;
+  mutable timer_irq : bool -> unit;
+  mutable soft_irq : bool -> unit;
+  wake : Sysc.Kernel.event;
+  latency : Sysc.Time.t;
+}
+
+let create env ~name ?(tick = Sysc.Time.us 1) () =
+  {
+    env;
+    name;
+    tick;
+    mtimecmp = max_int;
+    msip = false;
+    timer_irq = (fun _ -> ());
+    soft_irq = (fun _ -> ());
+    wake = Sysc.Kernel.create_event env.Env.kernel (name ^ ".wake");
+    latency = Sysc.Time.ns 20;
+  }
+
+let set_timer_irq_callback c fn = c.timer_irq <- fn
+let set_soft_irq_callback c fn = c.soft_irq <- fn
+let mtime c = Sysc.Kernel.now c.env.Env.kernel / c.tick
+
+let update_timer c =
+  let pending = mtime c >= c.mtimecmp in
+  c.timer_irq pending;
+  (* If the deadline is in the future, make sure we wake then. A stale
+     wakeup (after mtimecmp moved) is harmless: the condition is simply
+     re-evaluated. *)
+  if not pending then begin
+    let delta_ticks = c.mtimecmp - mtime c in
+    (* Cap to avoid overflow on the "infinitely far" reset value. *)
+    if delta_ticks < 1_000_000_000 then
+      Sysc.Kernel.notify_after c.wake (delta_ticks * c.tick)
+  end
+
+let start c =
+  Sysc.Kernel.spawn c.env.Env.kernel ~name:(c.name ^ ".timer") (fun () ->
+      while not (Sysc.Kernel.stopped c.env.Env.kernel) do
+        Sysc.Kernel.wait_event c.wake;
+        update_timer c
+      done)
+
+let reg_read c addr =
+  let t = mtime c in
+  match addr with
+  | 0x0000 -> if c.msip then 1 else 0
+  | 0x4000 -> c.mtimecmp land 0xffffffff
+  | 0x4004 -> (c.mtimecmp lsr 32) land 0xffffffff
+  | 0xbff8 -> t land 0xffffffff
+  | 0xbffc -> (t lsr 32) land 0xffffffff
+  | _ -> raise Not_found
+
+let reg_write c addr v =
+  match addr with
+  | 0x0000 ->
+      c.msip <- v land 1 <> 0;
+      c.soft_irq c.msip
+  | 0x4000 ->
+      c.mtimecmp <- c.mtimecmp land lnot 0xffffffff lor v;
+      update_timer c
+  | 0x4004 ->
+      c.mtimecmp <- c.mtimecmp land 0xffffffff lor (v lsl 32);
+      update_timer c
+  | 0xbff8 | 0xbffc -> ()
+  | _ -> raise Not_found
+
+let transport c (p : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length p in
+  let addr = p.Tlm.Payload.addr in
+  (try
+     (match p.Tlm.Payload.cmd with
+     | Tlm.Payload.Read ->
+         let v = reg_read c addr in
+         for i = 0 to len - 1 do
+           Tlm.Payload.set_byte p i ((v lsr (8 * i)) land 0xff)
+         done;
+         Tlm.Payload.set_all_tags p c.env.Env.pub
+     | Tlm.Payload.Write ->
+         let v = ref 0 in
+         for i = len - 1 downto 0 do
+           v := (!v lsl 8) lor Tlm.Payload.get_byte p i
+         done;
+         reg_write c addr !v);
+     p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+   with Not_found -> p.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay c.latency
+
+let socket c = Tlm.Socket.target ~name:c.name (transport c)

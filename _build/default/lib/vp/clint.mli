@@ -1,0 +1,25 @@
+(** Core-local interruptor (CLINT): machine timer and software interrupts.
+
+    Register map (as in the SiFive/RISC-V VP convention):
+    - [0x0000] MSIP: bit 0 raises the machine software interrupt;
+    - [0x4000] / [0x4004] MTIMECMP low/high;
+    - [0xbff8] / [0xbffc] MTIME low/high (read-only; derived from simulation
+      time, one tick per [tick] of simulated time, default 1 us). *)
+
+type t
+
+val create : Env.t -> name:string -> ?tick:Sysc.Time.t -> unit -> t
+
+val socket : t -> Tlm.Socket.target
+
+val set_timer_irq_callback : t -> (bool -> unit) -> unit
+(** Level callback for MTIP (wired to {!Rv32.Csr.bit_mti}). *)
+
+val set_soft_irq_callback : t -> (bool -> unit) -> unit
+(** Level callback for MSIP. *)
+
+val start : t -> unit
+(** Spawn the timer-compare process. *)
+
+val mtime : t -> int
+(** Current MTIME value. *)

@@ -1,0 +1,101 @@
+type t = {
+  env : Env.t;
+  name : string;
+  init : Tlm.Socket.initiator;
+  mutable src : int;
+  mutable dst : int;
+  mutable len : int;
+  mutable busy : bool;
+  mutable done_count : int;
+  mutable irq : unit -> unit;
+  start_ev : Sysc.Kernel.event;
+  shuttle : Tlm.Payload.t;  (* one-byte payload reused for the copy loop *)
+  latency : Sysc.Time.t;
+  byte_time : Sysc.Time.t;
+}
+
+let create env ~name =
+  {
+    env;
+    name;
+    init = Tlm.Socket.initiator ~name:(name ^ ".init");
+    src = 0;
+    dst = 0;
+    len = 0;
+    busy = false;
+    done_count = 0;
+    irq = (fun () -> ());
+    start_ev = Sysc.Kernel.create_event env.Env.kernel (name ^ ".start");
+    shuttle = Tlm.Payload.create ~len:1 ~default_tag:env.Env.pub ();
+    latency = Sysc.Time.ns 20;
+    byte_time = Sysc.Time.ns 10;
+  }
+
+let initiator d = d.init
+let set_irq_callback d fn = d.irq <- fn
+let busy d = d.busy
+let transfers_completed d = d.done_count
+
+let copy_byte d ~from ~into =
+  let p = d.shuttle in
+  p.Tlm.Payload.cmd <- Tlm.Payload.Read;
+  p.Tlm.Payload.addr <- from;
+  p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
+  ignore (Tlm.Socket.transport d.init p Sysc.Time.zero);
+  if Tlm.Payload.ok p then begin
+    Env.check_store d.env ~addr:into
+      ~data_tag:(Tlm.Payload.get_tag p 0)
+      ~who:d.name;
+    p.Tlm.Payload.cmd <- Tlm.Payload.Write;
+    p.Tlm.Payload.addr <- into;
+    ignore (Tlm.Socket.transport d.init p Sysc.Time.zero)
+  end
+
+let start d =
+  Sysc.Kernel.spawn d.env.Env.kernel ~name:(d.name ^ ".engine") (fun () ->
+      while not (Sysc.Kernel.stopped d.env.Env.kernel) do
+        Sysc.Kernel.wait_event d.start_ev;
+        if d.busy then begin
+          for i = 0 to d.len - 1 do
+            copy_byte d ~from:(d.src + i) ~into:(d.dst + i)
+          done;
+          Sysc.Kernel.wait_for (d.len * d.byte_time);
+          d.busy <- false;
+          d.done_count <- d.done_count + 1;
+          d.irq ()
+        end
+      done)
+
+let transport d (p : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length p in
+  let get () =
+    let v = ref 0 in
+    for i = len - 1 downto 0 do
+      v := (!v lsl 8) lor Tlm.Payload.get_byte p i
+    done;
+    !v
+  in
+  let put v =
+    for i = 0 to len - 1 do
+      Tlm.Payload.set_byte p i ((v lsr (8 * i)) land 0xff)
+    done;
+    Tlm.Payload.set_all_tags p d.env.Env.pub
+  in
+  p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
+  (match (p.Tlm.Payload.addr, p.Tlm.Payload.cmd) with
+  | 0x00, Tlm.Payload.Read -> put d.src
+  | 0x00, Tlm.Payload.Write -> d.src <- get ()
+  | 0x04, Tlm.Payload.Read -> put d.dst
+  | 0x04, Tlm.Payload.Write -> d.dst <- get ()
+  | 0x08, Tlm.Payload.Read -> put d.len
+  | 0x08, Tlm.Payload.Write -> d.len <- get ()
+  | 0x0c, Tlm.Payload.Read -> put (if d.busy then 1 else 0)
+  | 0x0c, Tlm.Payload.Write ->
+      if get () land 1 <> 0 && not d.busy then begin
+        d.busy <- true;
+        Sysc.Kernel.notify d.start_ev
+      end
+  | _, _ -> p.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay d.latency
+
+let socket d = Tlm.Socket.target ~name:d.name (transport d)

@@ -1,0 +1,27 @@
+(** DMA controller: copies memory through its own initiator socket, so
+    security tags travel with the data — taint flows through DMA exactly as
+    the paper's fine-grained HW/SW-interaction argument requires. Stores
+    into policy-protected regions are integrity-checked like CPU stores.
+
+    Register map:
+    - [0x00] SRC (read/write): source global address;
+    - [0x04] DST (read/write): destination global address;
+    - [0x08] LEN (read/write): byte count;
+    - [0x0c] CTRL: writing 1 starts the transfer; reading returns bit 0 =
+      busy. *)
+
+type t
+
+val create : Env.t -> name:string -> t
+val socket : t -> Tlm.Socket.target
+val initiator : t -> Tlm.Socket.initiator
+(** Bind this to the SoC router. *)
+
+val set_irq_callback : t -> (unit -> unit) -> unit
+(** Transfer-complete interrupt. *)
+
+val start : t -> unit
+(** Spawn the copy engine process. *)
+
+val busy : t -> bool
+val transfers_completed : t -> int

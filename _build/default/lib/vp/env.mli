@@ -1,0 +1,27 @@
+(** Shared platform context handed to every peripheral: the IFP lattice,
+    the active security policy, the run-time monitor, and the "public"
+    (lattice-bottom) tag used for untainted data. *)
+
+type t = {
+  kernel : Sysc.Kernel.t;
+  lat : Dift.Lattice.t;
+  policy : Dift.Policy.t;
+  monitor : Dift.Monitor.t;
+  pub : Dift.Lattice.tag;
+}
+
+val create : Sysc.Kernel.t -> Dift.Policy.t -> Dift.Monitor.t -> t
+
+val check_output : t -> port:string -> data_tag:Dift.Lattice.tag -> detail:string -> unit
+(** Clearance check at a named output interface: looks up the port's
+    required class in the policy (no check if undeclared) and reports a
+    violation to the monitor on failure. *)
+
+val declassify : t -> where:string -> from_tag:Dift.Lattice.tag -> Dift.Lattice.tag -> Dift.Lattice.tag
+(** [declassify env ~where ~from_tag to_tag] records the declassification
+    event and returns [to_tag]. Only trusted peripherals may call this
+    (threat model, Section IV-B). *)
+
+val check_store : t -> addr:int -> data_tag:Dift.Lattice.tag -> who:string -> unit
+(** Integrity check for a store at a global address into a policy-protected
+    region (used by bus masters other than the CPU, e.g. the DMA engine). *)

@@ -1,0 +1,32 @@
+(** Tainted RAM: parallel value and tag byte arrays, accessible through a
+    TLM target socket and (for speed) exposed to the core's DMI fast path. *)
+
+type t
+
+val create : Env.t -> name:string -> size:int -> t
+
+val size : t -> int
+val data : t -> Bytes.t
+(** Backing value bytes (for DMI registration and the loader). *)
+
+val tags : t -> Bytes.t
+(** Backing tag bytes. *)
+
+val socket : t -> Tlm.Socket.target
+(** Target socket with a configurable per-access latency. *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_tag : t -> int -> Dift.Lattice.tag
+val write_tag : t -> int -> Dift.Lattice.tag -> unit
+val read_word : t -> int -> int
+(** Little-endian 32-bit read at a local offset. *)
+
+val write_word : t -> int -> int -> unit
+
+val fill_tags : t -> off:int -> len:int -> Dift.Lattice.tag -> unit
+
+val tainted_regions : t -> baseline:Dift.Lattice.tag -> (int * int * Dift.Lattice.tag) list
+(** Maximal runs of consecutive bytes whose tag differs from [baseline],
+    as [(first_offset, last_offset, tag)] triples with a uniform tag per
+    run — a taint map for diagnostics. *)

@@ -1,0 +1,77 @@
+type t = {
+  env : Env.t;
+  name : string;
+  mutable pend : int;
+  mutable en : int;
+  mutable ext_irq : bool -> unit;
+  latency : Sysc.Time.t;
+}
+
+let create env ~name =
+  {
+    env;
+    name;
+    pend = 0;
+    en = 0;
+    ext_irq = (fun _ -> ());
+    latency = Sysc.Time.ns 20;
+  }
+
+let set_ext_irq_callback p fn = p.ext_irq <- fn
+let update p = p.ext_irq (p.pend land p.en <> 0)
+
+let trigger p src =
+  if src < 1 || src > 31 then invalid_arg "Plic.trigger: source out of range";
+  p.pend <- p.pend lor (1 lsl src);
+  update p
+
+let pending p = p.pend
+let enabled p = p.en
+
+let claim p =
+  let active = p.pend land p.en in
+  if active = 0 then 0
+  else begin
+    let rec lowest i = if active land (1 lsl i) <> 0 then i else lowest (i + 1) in
+    let src = lowest 1 in
+    p.pend <- p.pend land lnot (1 lsl src);
+    update p;
+    src
+  end
+
+let transport p (pay : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length pay in
+  let put v =
+    for i = 0 to len - 1 do
+      Tlm.Payload.set_byte pay i ((v lsr (8 * i)) land 0xff)
+    done;
+    Tlm.Payload.set_all_tags pay p.env.Env.pub
+  in
+  let get () =
+    let v = ref 0 in
+    for i = len - 1 downto 0 do
+      v := (!v lsl 8) lor Tlm.Payload.get_byte pay i
+    done;
+    !v
+  in
+  (match (pay.Tlm.Payload.addr, pay.Tlm.Payload.cmd) with
+  | 0x00, Tlm.Payload.Read ->
+      put p.pend;
+      pay.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+  | 0x04, Tlm.Payload.Read ->
+      put p.en;
+      pay.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+  | 0x04, Tlm.Payload.Write ->
+      p.en <- get ();
+      update p;
+      pay.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+  | 0x08, Tlm.Payload.Read ->
+      put (claim p);
+      pay.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+  | 0x08, Tlm.Payload.Write ->
+      update p;
+      pay.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+  | _, _ -> pay.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay p.latency
+
+let socket p = Tlm.Socket.target ~name:p.name (transport p)

@@ -1,0 +1,23 @@
+(** Simplified platform-level interrupt controller: 31 edge-triggered
+    sources with a single target context.
+
+    Register map:
+    - [0x00] PENDING (read): bitmask of pending sources;
+    - [0x04] ENABLE (read/write): bitmask of enabled sources;
+    - [0x08] CLAIM (read): lowest pending-and-enabled source id, atomically
+      cleared (0 if none); COMPLETE (write): end-of-interrupt, re-evaluates
+      the external-interrupt line. *)
+
+type t
+
+val create : Env.t -> name:string -> t
+val socket : t -> Tlm.Socket.target
+
+val set_ext_irq_callback : t -> (bool -> unit) -> unit
+(** Level callback for MEIP (wired to {!Rv32.Csr.bit_mei}). *)
+
+val trigger : t -> int -> unit
+(** Peripheral gateway: mark source [1..31] pending. *)
+
+val pending : t -> int
+val enabled : t -> int

@@ -1,0 +1,89 @@
+type t = {
+  env : Env.t;
+  name : string;
+  period : Sysc.Time.t;
+  frame : Bytes.t;  (* 64 data bytes *)
+  frame_tags : Bytes.t;
+  mutable tag : int;
+  mutable rng : int;
+  mutable irq : unit -> unit;
+  mutable frames : int;
+  latency : Sysc.Time.t;
+}
+
+let frame_size = 64
+
+let create env ~name ?(period = Sysc.Time.ms 25) ?(seed = 0x2545f491) () =
+  {
+    env;
+    name;
+    period;
+    frame = Bytes.make frame_size '\000';
+    frame_tags = Bytes.make frame_size (Char.chr env.Env.pub);
+    tag = env.Env.policy.Dift.Policy.default_tag;
+    rng = seed;
+    irq = (fun () -> ());
+    frames = 0;
+    latency = Sysc.Time.ns 50;
+  }
+
+let set_irq_callback s fn = s.irq <- fn
+let set_data_tag s tag = s.tag <- tag
+let data_tag s = s.tag
+let frames_generated s = s.frames
+
+(* xorshift32: deterministic stand-in for the paper's rand(). *)
+let next_rand s =
+  let x = s.rng in
+  let x = x lxor (x lsl 13) land 0xffffffff in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xffffffff in
+  s.rng <- x;
+  x
+
+let refill s =
+  let c = Char.chr s.tag in
+  for i = 0 to frame_size - 1 do
+    (* Fig. 4 line 21: random data of the configured security class. *)
+    Bytes.set_uint8 s.frame i ((next_rand s mod 96) + 128);
+    Bytes.set s.frame_tags i c
+  done;
+  s.frames <- s.frames + 1;
+  s.irq ()
+
+let start s =
+  Sysc.Kernel.spawn s.env.Env.kernel ~name:(s.name ^ ".run") (fun () ->
+      while not (Sysc.Kernel.stopped s.env.Env.kernel) do
+        Sysc.Kernel.wait_for s.period;
+        refill s
+      done)
+
+let transport s (p : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length p in
+  let addr = p.Tlm.Payload.addr in
+  (if addr + len <= frame_size then begin
+     (match p.Tlm.Payload.cmd with
+     | Tlm.Payload.Read ->
+         Bytes.blit s.frame addr p.Tlm.Payload.data 0 len;
+         Bytes.blit s.frame_tags addr p.Tlm.Payload.tags 0 len
+     | Tlm.Payload.Write ->
+         Bytes.blit p.Tlm.Payload.data 0 s.frame addr len;
+         Bytes.blit p.Tlm.Payload.tags 0 s.frame_tags addr len);
+     p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+   end
+   else if addr = 0x40 then begin
+     (match p.Tlm.Payload.cmd with
+     | Tlm.Payload.Read ->
+         (* The configured class itself is not confidential (Fig. 4 l.45). *)
+         Tlm.Payload.set_byte p 0 s.tag;
+         for i = 1 to len - 1 do
+           Tlm.Payload.set_byte p i 0
+         done;
+         Tlm.Payload.set_all_tags p s.env.Env.pub
+     | Tlm.Payload.Write -> s.tag <- Tlm.Payload.get_byte p 0);
+     p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp
+   end
+   else p.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay s.latency
+
+let socket s = Tlm.Socket.target ~name:s.name (transport s)

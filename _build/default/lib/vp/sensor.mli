@@ -1,0 +1,32 @@
+(** The sensor peripheral of Fig. 4: a memory-mapped 64-byte data frame of
+    tainted bytes, periodically refilled with freshly classified data by a
+    SystemC thread, plus a [data_tag] configuration register.
+
+    Register map:
+    - [0x00..0x3f]: the data frame (read/write);
+    - [0x40] DATA_TAG: reading returns the configured security class (as a
+      low-confidentiality value, mirroring Fig. 4 line 45); writing sets the
+      class assigned to subsequently generated sensor data. *)
+
+type t
+
+val create : Env.t -> name:string -> ?period:Sysc.Time.t -> ?seed:int -> unit -> t
+(** [period] defaults to 25 ms (40 Hz, as in the paper). Data is generated
+    with a deterministic xorshift PRNG seeded by [seed] so simulations are
+    reproducible. *)
+
+val socket : t -> Tlm.Socket.target
+
+val set_irq_callback : t -> (unit -> unit) -> unit
+(** Invoked on every newly generated frame (edge-triggered interrupt,
+    Fig. 4 line 24). *)
+
+val set_data_tag : t -> Dift.Lattice.tag -> unit
+(** Host-side configuration of the generated data's class. *)
+
+val data_tag : t -> Dift.Lattice.tag
+
+val start : t -> unit
+(** Spawn the generation thread on the kernel. *)
+
+val frames_generated : t -> int

@@ -1,0 +1,196 @@
+let ram_base = 0x8000_0000
+let clint_base = 0x0200_0000
+let plic_base = 0x0c00_0000
+let uart_base = 0x1000_0000
+let gpio_base = 0x4000_0000
+let sensor_base = 0x5000_0000
+let can_base = 0x5100_0000
+let aes_base = 0x6000_0000
+let dma_base = 0x7000_0000
+let wdt_base = 0x7100_0000
+let irq_uart = 1
+let irq_sensor = 2
+let irq_can = 3
+let irq_dma = 4
+let irq_aes = 5
+let irq_gpio = 6
+
+type cpu = {
+  cpu_step : unit -> unit;
+  cpu_spawn : stop_on_halt:bool -> unit;
+  cpu_set_max : int -> unit;
+  cpu_instret : unit -> int;
+  cpu_exit : unit -> Rv32.Core.exit_reason;
+  cpu_pc : unit -> int;
+  cpu_set_pc : int -> unit;
+  cpu_get_reg : int -> int;
+  cpu_get_reg_tag : int -> Dift.Lattice.tag;
+  cpu_set_reg : int -> int -> unit;
+  cpu_set_irq : bit:int -> on:bool -> unit;
+  cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
+  cpu_csr : Rv32.Csr.t;
+}
+
+type t = {
+  env : Env.t;
+  kernel : Sysc.Kernel.t;
+  router : Tlm.Router.t;
+  memory : Memory.t;
+  uart : Uart.t;
+  gpio : Gpio.t;
+  sensor : Sensor.t;
+  dma : Dma.t;
+  aes : Aes_periph.t;
+  can : Can.t;
+  clint : Clint.t;
+  plic : Plic.t;
+  watchdog : Watchdog.t;
+  cpu : cpu;
+  tracking : bool;
+}
+
+(* Wrap a Core functor instance behind the mode-independent record. *)
+module Wrap (C : Rv32.Core.S) = struct
+  let make core =
+    {
+      cpu_step = (fun () -> C.step core);
+      cpu_spawn =
+        (fun ~stop_on_halt -> C.spawn_thread ~stop_kernel_on_halt:stop_on_halt core);
+      cpu_set_max = (fun n -> C.set_max_instructions core n);
+      cpu_instret = (fun () -> C.instret core);
+      cpu_exit = (fun () -> C.exit_reason core);
+      cpu_pc = (fun () -> C.pc core);
+      cpu_set_pc = (fun v -> C.set_pc core v);
+      cpu_get_reg = (fun r -> C.get_reg core r);
+      cpu_get_reg_tag = (fun r -> C.get_reg_tag core r);
+      cpu_set_reg = (fun r v -> C.set_reg core r v);
+      cpu_set_irq = (fun ~bit ~on -> C.set_irq core ~bit on);
+      cpu_set_trace = (fun fn -> C.set_trace core fn);
+      cpu_csr = C.csr core;
+    }
+end
+
+module Wrap_vp = Wrap (Rv32.Core.Vp)
+module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
+
+let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
+    ?(dmi = true) ?(quantum = 1000) ?sensor_period ?aes_out_tag
+    ?aes_in_clearance ?wdt_clearance () =
+  let kernel = Sysc.Kernel.create () in
+  let env = Env.create kernel policy monitor in
+  let router = Tlm.Router.create ~name:"bus" () in
+  let memory = Memory.create env ~name:"ram" ~size:ram_size in
+  let uart = Uart.create env ~name:"uart" ~port:"uart" in
+  let gpio = Gpio.create env ~name:"gpio" ~port:"gpio" in
+  let sensor = Sensor.create env ~name:"sensor" ?period:sensor_period () in
+  let dma = Dma.create env ~name:"dma" in
+  let aes_out_tag = match aes_out_tag with Some t -> t | None -> env.Env.pub in
+  let aes =
+    Aes_periph.create env ~name:"aes" ~out_tag:aes_out_tag
+      ?in_clearance:aes_in_clearance ()
+  in
+  let can = Can.create env ~name:"can" ~port:"can" in
+  let clint = Clint.create env ~name:"clint" () in
+  let plic = Plic.create env ~name:"plic" in
+  let watchdog = Watchdog.create env ~name:"wdt" ?clearance:wdt_clearance () in
+  Tlm.Router.map router ~lo:clint_base ~hi:(clint_base + 0xffff) (Clint.socket clint);
+  Tlm.Router.map router ~lo:plic_base ~hi:(plic_base + 0xfff) (Plic.socket plic);
+  Tlm.Router.map router ~lo:uart_base ~hi:(uart_base + 0xff) (Uart.socket uart);
+  Tlm.Router.map router ~lo:gpio_base ~hi:(gpio_base + 0xff) (Gpio.socket gpio);
+  Tlm.Router.map router ~lo:sensor_base ~hi:(sensor_base + 0xff)
+    (Sensor.socket sensor);
+  Tlm.Router.map router ~lo:can_base ~hi:(can_base + 0xff) (Can.socket can);
+  Tlm.Router.map router ~lo:aes_base ~hi:(aes_base + 0xff) (Aes_periph.socket aes);
+  Tlm.Router.map router ~lo:dma_base ~hi:(dma_base + 0xff) (Dma.socket dma);
+  Tlm.Router.map router ~lo:wdt_base ~hi:(wdt_base + 0xff) (Watchdog.socket watchdog);
+  Tlm.Router.map router ~lo:ram_base ~hi:(ram_base + ram_size - 1)
+    (Memory.socket memory);
+  let bus =
+    Rv32.Bus_if.create ~lattice:env.Env.lat
+      ~default_tag:policy.Dift.Policy.default_tag ~tracking ~name:"cpu.bus"
+  in
+  Tlm.Socket.bind (Rv32.Bus_if.socket bus) (Tlm.Router.target_socket router);
+  if dmi then
+    Rv32.Bus_if.set_dmi bus ~base:ram_base ~data:(Memory.data memory)
+      ~tags:(Memory.tags memory);
+  Tlm.Socket.bind (Dma.initiator dma) (Tlm.Router.target_socket router);
+  let cpu =
+    if tracking then
+      Wrap_dift.make
+        (Rv32.Core.Vp_dift.create ~kernel ~bus ~policy ~monitor ~quantum
+           ~pc:ram_base ())
+    else
+      Wrap_vp.make
+        (Rv32.Core.Vp.create ~kernel ~bus ~policy ~monitor ~quantum
+           ~pc:ram_base ())
+  in
+  Clint.set_timer_irq_callback clint (fun on ->
+      cpu.cpu_set_irq ~bit:Rv32.Csr.bit_mti ~on);
+  Clint.set_soft_irq_callback clint (fun on ->
+      cpu.cpu_set_irq ~bit:Rv32.Csr.bit_msi ~on);
+  Plic.set_ext_irq_callback plic (fun on ->
+      cpu.cpu_set_irq ~bit:Rv32.Csr.bit_mei ~on);
+  Uart.set_irq_callback uart (fun on -> if on then Plic.trigger plic irq_uart);
+  Gpio.set_irq_callback gpio (fun () -> Plic.trigger plic irq_gpio);
+  Sensor.set_irq_callback sensor (fun () -> Plic.trigger plic irq_sensor);
+  Can.set_irq_callback can (fun () -> Plic.trigger plic irq_can);
+  Dma.set_irq_callback dma (fun () -> Plic.trigger plic irq_dma);
+  Aes_periph.set_irq_callback aes (fun () -> Plic.trigger plic irq_aes);
+  Clint.start clint;
+  Sensor.start sensor;
+  Watchdog.start watchdog;
+  Dma.start dma;
+  Aes_periph.start aes;
+  {
+    env;
+    kernel;
+    router;
+    memory;
+    uart;
+    gpio;
+    sensor;
+    dma;
+    aes;
+    can;
+    clint;
+    plic;
+    watchdog;
+    cpu;
+    tracking;
+  }
+
+let load_image soc img =
+  let org = img.Rv32_asm.Image.org in
+  let len = Bytes.length img.Rv32_asm.Image.code in
+  if org < ram_base || org + len > ram_base + Memory.size soc.memory then
+    invalid_arg "Soc.load_image: image does not fit in RAM";
+  Bytes.blit img.Rv32_asm.Image.code 0 (Memory.data soc.memory) (org - ram_base)
+    len;
+  (* Classification: assign initial security classes per policy region.
+     Regions are applied in reverse declaration order so that, as in
+     {!Dift.Policy.classify_at}, the first (most specific) matching region
+     wins. *)
+  let policy = soc.env.Env.policy in
+  List.iter
+    (fun r ->
+      let lo = max r.Dift.Policy.lo ram_base in
+      let hi = min r.Dift.Policy.hi (ram_base + Memory.size soc.memory - 1) in
+      if lo <= hi then
+        Memory.fill_tags soc.memory ~off:(lo - ram_base) ~len:(hi - lo + 1)
+          r.Dift.Policy.r_tag)
+    (List.rev policy.Dift.Policy.classification);
+  let entry =
+    match Rv32_asm.Image.symbol_opt img "_start" with
+    | Some a -> a
+    | None -> org
+  in
+  soc.cpu.cpu_set_pc entry
+
+let start ?(stop_on_halt = true) soc = soc.cpu.cpu_spawn ~stop_on_halt
+let run ?until soc = Sysc.Kernel.run ?until soc.kernel
+
+let run_for_instructions soc n =
+  soc.cpu.cpu_set_max n;
+  start soc;
+  run soc;
+  soc.cpu.cpu_exit ()

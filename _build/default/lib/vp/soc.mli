@@ -1,0 +1,108 @@
+(** The complete virtual prototype: RV32IM core (VP or VP+ flavour), TLM
+    bus, RAM, and the peripheral set of the paper's experiments (UART,
+    sensor, DMA, AES, CAN, CLINT, PLIC).
+
+    Memory map:
+    {v
+      0x0200_0000  CLINT (msip / mtimecmp / mtime)
+      0x0c00_0000  PLIC  (pending / enable / claim)
+      0x1000_0000  UART
+      0x4000_0000  GPIO
+      0x5000_0000  Sensor (Fig. 4)
+      0x5100_0000  CAN mailbox
+      0x6000_0000  AES engine
+      0x7000_0000  DMA controller
+      0x7100_0000  Watchdog timer
+      0x8000_0000  RAM (default 1 MiB)
+    v}
+
+    PLIC sources: 1 = UART rx, 2 = sensor frame (as in the paper), 3 = CAN
+    rx, 4 = DMA complete, 5 = AES complete, 6 = GPIO input edge. *)
+
+val ram_base : int
+val clint_base : int
+val plic_base : int
+val uart_base : int
+val gpio_base : int
+val sensor_base : int
+val can_base : int
+val aes_base : int
+val dma_base : int
+val wdt_base : int
+
+val irq_uart : int
+val irq_sensor : int
+val irq_can : int
+val irq_dma : int
+val irq_aes : int
+val irq_gpio : int
+
+(** Mode-independent view of the CPU (the two {!Rv32.Core} functor
+    instances are wrapped behind closures so a SoC value has one type). *)
+type cpu = {
+  cpu_step : unit -> unit;
+  cpu_spawn : stop_on_halt:bool -> unit;
+  cpu_set_max : int -> unit;
+  cpu_instret : unit -> int;
+  cpu_exit : unit -> Rv32.Core.exit_reason;
+  cpu_pc : unit -> int;
+  cpu_set_pc : int -> unit;
+  cpu_get_reg : int -> int;
+  cpu_get_reg_tag : int -> Dift.Lattice.tag;
+  cpu_set_reg : int -> int -> unit;
+  cpu_set_irq : bit:int -> on:bool -> unit;
+  cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
+  cpu_csr : Rv32.Csr.t;
+}
+
+type t = {
+  env : Env.t;
+  kernel : Sysc.Kernel.t;
+  router : Tlm.Router.t;
+  memory : Memory.t;
+  uart : Uart.t;
+  gpio : Gpio.t;
+  sensor : Sensor.t;
+  dma : Dma.t;
+  aes : Aes_periph.t;
+  can : Can.t;
+  clint : Clint.t;
+  plic : Plic.t;
+  watchdog : Watchdog.t;
+  cpu : cpu;
+  tracking : bool;
+}
+
+val create :
+  policy:Dift.Policy.t ->
+  monitor:Dift.Monitor.t ->
+  ?tracking:bool ->
+  ?ram_size:int ->
+  ?dmi:bool ->
+  ?quantum:int ->
+  ?sensor_period:Sysc.Time.t ->
+  ?aes_out_tag:Dift.Lattice.tag ->
+  ?aes_in_clearance:Dift.Lattice.tag ->
+  ?wdt_clearance:Dift.Lattice.tag ->
+  unit ->
+  t
+(** Build and wire the platform on a fresh kernel. [tracking] selects VP+
+    (default true); [dmi] enables the direct RAM fast path (default true);
+    [aes_out_tag] defaults to the lattice bottom (fully declassified
+    ciphertext). Peripheral processes are spawned; the CPU thread is not —
+    call {!start} or [t.cpu.cpu_spawn] after loading firmware. *)
+
+val load_image : t -> Rv32_asm.Image.t -> unit
+(** Copy the image into RAM, tag every byte according to the policy's
+    classification (program regions, keys, ...), and point the CPU's reset
+    pc at the image origin (or the ["_start"] symbol if defined). *)
+
+val start : ?stop_on_halt:bool -> t -> unit
+(** Spawn the CPU thread. *)
+
+val run : ?until:Sysc.Time.t -> t -> unit
+(** Run the simulation (forwards to {!Sysc.Kernel.run}). *)
+
+val run_for_instructions : t -> int -> Rv32.Core.exit_reason
+(** Convenience: cap the instruction count, spawn the CPU, run to
+    completion, and return why the core stopped. *)

@@ -1,0 +1,112 @@
+type t = {
+  env : Env.t;
+  name : string;
+  clearance : int option;
+  mutable reload_us : int;
+  mutable enabled : bool;
+  mutable deadline : Sysc.Time.t;
+  mutable expired : bool;
+  mutable kicks : int;
+  mutable on_expiry : unit -> unit;
+  wake : Sysc.Kernel.event;
+  latency : Sysc.Time.t;
+}
+
+let create env ~name ?clearance () =
+  {
+    env;
+    name;
+    clearance;
+    reload_us = 1000;
+    enabled = false;
+    deadline = max_int;
+    expired = false;
+    kicks = 0;
+    on_expiry = (fun () -> ());
+    wake = Sysc.Kernel.create_event env.Env.kernel (name ^ ".wake");
+    latency = Sysc.Time.ns 20;
+  }
+
+let set_expiry_callback w fn = w.on_expiry <- fn
+let expired w = w.expired
+let kicks w = w.kicks
+
+let rearm w =
+  let k = w.env.Env.kernel in
+  w.deadline <- Sysc.Time.add (Sysc.Kernel.now k) (Sysc.Time.us w.reload_us);
+  Sysc.Kernel.notify_after w.wake (Sysc.Time.us w.reload_us)
+
+let start w =
+  Sysc.Kernel.spawn w.env.Env.kernel ~name:(w.name ^ ".count") (fun () ->
+      while not (Sysc.Kernel.stopped w.env.Env.kernel) do
+        Sysc.Kernel.wait_event w.wake;
+        if
+          w.enabled && (not w.expired)
+          && Sysc.Kernel.now w.env.Env.kernel >= w.deadline
+        then begin
+          w.expired <- true;
+          w.on_expiry ()
+        end
+      done)
+
+let check_reload_write w ~tag =
+  match w.clearance with
+  | None -> ()
+  | Some required ->
+      Dift.Monitor.count_check w.env.Env.monitor;
+      if not (Dift.Lattice.allowed_flow w.env.Env.lat tag required) then
+        Dift.Monitor.violation w.env.Env.monitor
+          {
+            Dift.Violation.kind = Dift.Violation.Custom (w.name ^ "-reload");
+            data_tag = tag;
+            required_tag = required;
+            pc = None;
+            detail = "watchdog reload register";
+          }
+
+let transport w (p : Tlm.Payload.t) delay =
+  let len = Tlm.Payload.length p in
+  let get () =
+    let v = ref 0 in
+    for i = len - 1 downto 0 do
+      v := (!v lsl 8) lor Tlm.Payload.get_byte p i
+    done;
+    !v
+  in
+  let word_tag () =
+    let t = ref (Tlm.Payload.get_tag p 0) in
+    for i = 1 to len - 1 do
+      t := Dift.Lattice.lub w.env.Env.lat !t (Tlm.Payload.get_tag p i)
+    done;
+    !t
+  in
+  let put v =
+    for i = 0 to len - 1 do
+      Tlm.Payload.set_byte p i ((v lsr (8 * i)) land 0xff)
+    done;
+    Tlm.Payload.set_all_tags p w.env.Env.pub
+  in
+  p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
+  (match (p.Tlm.Payload.addr, p.Tlm.Payload.cmd) with
+  | 0x00, Tlm.Payload.Read -> put w.reload_us
+  | 0x00, Tlm.Payload.Write ->
+      check_reload_write w ~tag:(word_tag ());
+      w.reload_us <- max 1 (get ())
+  | 0x04, Tlm.Payload.Write ->
+      if get () land 1 <> 0 then begin
+        w.kicks <- w.kicks + 1;
+        rearm w
+      end
+  | 0x08, Tlm.Payload.Read -> put (if w.enabled then 1 else 0)
+  | 0x08, Tlm.Payload.Write ->
+      let on = get () land 1 <> 0 in
+      if on && not w.enabled then begin
+        w.enabled <- true;
+        rearm w
+      end
+      else if not on then w.enabled <- false
+  | 0x0c, Tlm.Payload.Read -> put (if w.expired then 1 else 0)
+  | _, _ -> p.Tlm.Payload.resp <- Tlm.Payload.Command_error);
+  Sysc.Time.add delay w.latency
+
+let socket w = Tlm.Socket.target ~name:w.name (transport w)

@@ -1,0 +1,27 @@
+(** Watchdog timer: fires a callback (modelling a system reset) unless the
+    firmware services it in time. The reload register is a classic
+    integrity-sensitive target — configure a [store]-style clearance by
+    passing [clearance]: writes of data whose class may not flow to it are
+    violations (untrusted data must not reconfigure the watchdog).
+
+    Register map:
+    - [0x00] RELOAD (read/write): timeout in microseconds (clearance-checked
+      write);
+    - [0x04] KICK (write 1): restart the countdown;
+    - [0x08] CTRL (read/write): bit 0 enables the countdown;
+    - [0x0c] STATUS (read): bit 0 = expired. *)
+
+type t
+
+val create : Env.t -> name:string -> ?clearance:Dift.Lattice.tag -> unit -> t
+val socket : t -> Tlm.Socket.target
+
+val set_expiry_callback : t -> (unit -> unit) -> unit
+(** Invoked once when the countdown reaches zero (e.g. stop the kernel or
+    record a reset). *)
+
+val start : t -> unit
+(** Spawn the countdown process. *)
+
+val expired : t -> bool
+val kicks : t -> int

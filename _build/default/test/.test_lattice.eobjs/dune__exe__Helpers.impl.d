@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dift QCheck_alcotest Rv32 Rv32_asm Vp

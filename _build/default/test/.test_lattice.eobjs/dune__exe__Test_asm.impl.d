@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Astring_contains Bytes Char Dift Filename Helpers Int32 List Rv32 Rv32_asm String Sys Vp

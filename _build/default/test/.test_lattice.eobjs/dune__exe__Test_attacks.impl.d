@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Firmware Helpers List Printf

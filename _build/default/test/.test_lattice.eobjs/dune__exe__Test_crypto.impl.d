@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Crypto Gen Helpers List Printf QCheck String Test

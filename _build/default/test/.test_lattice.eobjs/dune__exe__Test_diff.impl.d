@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Bytes Firmware Helpers Int32 List Printf QCheck Rv32 Rv32_asm String Vp

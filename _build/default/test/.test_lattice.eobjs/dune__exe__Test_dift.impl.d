@@ -1,0 +1,1 @@
+test/test_dift.ml: Alcotest Astring_contains Dift Firmware Helpers List Rv32 Rv32_asm Vp

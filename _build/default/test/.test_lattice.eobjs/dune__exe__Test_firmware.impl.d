@@ -1,0 +1,1 @@
+test/test_firmware.ml: Alcotest Dift Firmware Helpers Rv32_asm String Sysc Vp

@@ -1,0 +1,1 @@
+test/test_immobilizer.ml: Alcotest Astring_contains Dift Firmware Helpers List Rv32_asm String Vp

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Astring_contains Format Gen Helpers Int List QCheck Sysc Test

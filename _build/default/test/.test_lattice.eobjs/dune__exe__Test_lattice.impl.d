@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Astring_contains Dift Gen Helpers List Option Printf QCheck

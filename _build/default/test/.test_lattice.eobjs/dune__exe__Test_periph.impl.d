@@ -1,0 +1,1 @@
+test/test_periph.ml: Alcotest Char Crypto Dift Helpers Int32 List String Sysc Tlm Vp

@@ -1,0 +1,1 @@
+test/test_rv32.ml: Alcotest Bytes Firmware Helpers Int32 List Printf QCheck Rv32 Rv32_asm Vp

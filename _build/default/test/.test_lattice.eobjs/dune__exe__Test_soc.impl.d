@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Char Crypto Dift Firmware Helpers List Printf Rv32 Rv32_asm String Sysc Vp

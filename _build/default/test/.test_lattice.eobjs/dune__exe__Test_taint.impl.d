@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Array Char Dift Format Helpers Int32 QCheck Test

@@ -1,0 +1,1 @@
+test/test_tlm.ml: Alcotest Dift Helpers Int32 List QCheck Sysc Test Tlm

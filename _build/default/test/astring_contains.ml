@@ -1,0 +1,11 @@
+(* Tiny substring search used by a few tests. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to m - n do
+      if (not !found) && String.sub s i n = sub then found := true
+    done;
+    !found
+  end

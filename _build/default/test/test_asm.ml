@@ -1,0 +1,285 @@
+(* The assembler: eDSL fixups and the textual parser. *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module Img = Rv32_asm.Image
+module P = Rv32_asm.Parser
+module R = Rv32.Reg
+
+let word img off =
+  Int32.to_int (Bytes.get_int32_le img.Img.code off) land 0xffffffff
+
+let test_forward_backward_labels () =
+  let p = A.create ~org:0x8000_0000 () in
+  A.label p "top";
+  A.j p "fwd" (* forward reference *);
+  A.nop p;
+  A.label p "fwd";
+  A.j p "top" (* backward reference *);
+  let img = A.assemble p in
+  check_int "fwd jal offset" (Rv32.Encode.encode (Rv32.Insn.JAL (0, 8))) (word img 0);
+  check_int "back jal offset" (Rv32.Encode.encode (Rv32.Insn.JAL (0, -8))) (word img 8)
+
+let test_li_small_large () =
+  let p = A.create () in
+  A.li p R.a0 42 (* one insn *);
+  A.li p R.a1 0x12345678 (* two insns *);
+  A.li p R.a2 (-1) (* one insn *);
+  let img = A.assemble p in
+  check_int "sizes" 16 (Img.size img);
+  check_int "insn count" 4 img.Img.insn_count
+
+let test_la_hi_lo_carry () =
+  (* Address with a low part >= 0x800 forces the +0x800 rounding in %hi. *)
+  let p = A.create ~org:0x8000_0000 () in
+  A.la p R.a0 "target";
+  A.space p 0x7fc (* filler: la is 8 bytes, target lands at 0x804 -> carry *);
+  A.label p "target";
+  A.word p 0;
+  let img = A.assemble p in
+  (* Decode and simulate lui+addi. *)
+  let lui = Rv32.Decode.decode (word img 0) in
+  let addi = Rv32.Decode.decode (word img 4) in
+  (match (lui, addi) with
+  | Rv32.Insn.LUI (_, hi), Rv32.Insn.ADDI (_, _, lo) ->
+      check_int "hi+lo = target" (Img.symbol img "target")
+        ((hi + lo) land 0xffffffff)
+  | _ -> Alcotest.fail "expected lui/addi pair")
+
+let test_duplicate_label () =
+  let p = A.create () in
+  A.label p "x";
+  A.label p "x";
+  check_bool "duplicate rejected" true
+    (try ignore (A.assemble p); false with A.Duplicate_label _ -> true)
+
+let test_unknown_label () =
+  let p = A.create () in
+  A.j p "nowhere";
+  check_bool "unknown rejected" true
+    (try ignore (A.assemble p); false with A.Unknown_label _ -> true)
+
+let test_align_and_data () =
+  let p = A.create () in
+  A.byte p 1;
+  A.align p 4;
+  A.label p "w";
+  A.word p 0xcafebabe;
+  A.half p 0x1234;
+  A.asciz p "ab";
+  let img = A.assemble p in
+  check_int "aligned symbol" (0x8000_0000 + 4) (Img.symbol img "w");
+  check_int "word" 0xcafebabe (word img 4);
+  check_int "half" 0x34 (Bytes.get_uint8 img.Img.code 8);
+  check_int "asciz nul" 0 (Bytes.get_uint8 img.Img.code 12)
+
+let test_branch_range_checked () =
+  let p = A.create () in
+  A.label p "top";
+  for _ = 1 to 2000 do
+    A.nop p
+  done;
+  A.beq_l p R.t0 R.t1 "top" (* > 4 KiB away: B-format overflows *);
+  check_bool "range error" true
+    (try ignore (A.assemble p); false with Invalid_argument _ -> true)
+
+(* --- textual parser --------------------------------------------------- *)
+
+let test_parse_simple_program () =
+  let src = {|
+# sum 1..5
+    li a0, 0
+    li t0, 1
+    li t1, 5
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, loop
+    li a7, 93
+    ecall
+|} in
+  let img = P.parse_string src in
+  let soc = soc_of_policy (trivial_policy ()) in
+  Vp.Soc.load_image soc img;
+  expect_exit (Vp.Soc.run_for_instructions soc 1000) 15
+
+let test_parse_directives () =
+  let src = {|
+    .equ MAGIC, 0x1234
+start:
+    li a0, MAGIC
+    la a1, msg
+    lbu a0, 0(a1)
+    li a7, 93
+    ecall
+    .align 2
+msg:
+    .asciz "Z!"
+    .word 7, 8
+    .byte 1, 2, 3
+    .space 4
+|} in
+  let img = P.parse_string src in
+  let soc = soc_of_policy (trivial_policy ()) in
+  Vp.Soc.load_image soc img;
+  expect_exit (Vp.Soc.run_for_instructions soc 1000) (Char.code 'Z')
+
+let test_parse_memory_operands () =
+  let img = P.parse_string "lw a0, 8(sp)\nsw a1, -4(s0)\njalr ra, 0(t0)\n" in
+  check_int "three insns" 12 (Img.size img)
+
+let test_parse_csr_names () =
+  let img = P.parse_string "csrr a0, mstatus\ncsrw mtvec, t0\ncsrrs a1, 0x342, zero\n" in
+  let w0 = word img 0 in
+  (match Rv32.Decode.decode w0 with
+  | Rv32.Insn.CSRRS (10, 0, 0x300) -> ()
+  | i -> Alcotest.failf "bad csrr decode: %s" (Rv32.Disasm.insn i));
+  check_int "3 insns" 12 (Img.size img)
+
+let test_parse_errors () =
+  let bad src =
+    match P.parse_result src with Error _ -> true | Ok _ -> false
+  in
+  check_bool "unknown mnemonic" true (bad "frobnicate a0, a1\n");
+  check_bool "bad register" true (bad "addi q7, a0, 1\n");
+  check_bool "bad integer" true (bad "li a0, zorp\n");
+  check_bool "arity" true (bad "add a0, a1\n");
+  check_bool "unknown label" true (bad "j nowhere\n")
+
+let test_parse_hi_lo_relocs () =
+  let src = {|
+    lui t0, %hi(data)
+    lw a0, %lo(data)(t0)
+    lui t1, %hi(data)
+    addi t1, t1, %lo(data)
+    lw a1, 0(t1)
+    add a0, a0, a1
+    li a7, 93
+    ecall
+    .align 2
+data:
+    .word 21
+|} in
+  let img = P.parse_string src in
+  let soc = soc_of_policy (trivial_policy ()) in
+  Vp.Soc.load_image soc img;
+  expect_exit (Vp.Soc.run_for_instructions soc 1000) 42
+
+let test_parse_comments_and_blank () =
+  let img = P.parse_string "  # just a comment\n\n// another\nnop # trailing\n" in
+  check_int "one insn" 4 (Img.size img)
+
+(* The shipped textual example programs assemble and run. *)
+let example_src name =
+  (* Alcotest changes the working directory; search upward for the
+     examples tree (it is declared as a dune dependency, so it exists in
+     the build sandbox too). *)
+  let rec find dir depth =
+    let candidate = Filename.concat dir (Filename.concat "examples/asm" name) in
+    if Sys.file_exists candidate then candidate
+    else if depth = 0 then Alcotest.failf "cannot locate examples/asm/%s" name
+    else find (Filename.concat dir "..") (depth - 1)
+  in
+  let path = find "." 8 in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_src ?uart_input src =
+  let img = P.parse_string src in
+  let soc = soc_of_policy (trivial_policy ()) in
+  Vp.Soc.load_image soc img;
+  (match uart_input with
+  | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
+  | None -> ());
+  let reason = Vp.Soc.run_for_instructions soc 200_000 in
+  (soc, reason)
+
+let test_example_fib () =
+  let soc, reason = run_src (example_src "fib.s") in
+  expect_exit reason 0;
+  check_string "fib sequence" "0\n1\n1\n2\n3\n5\n8\n13\n21\n34\n55\n"
+    (Vp.Uart.tx_string soc.Vp.Soc.uart)
+
+let test_example_leak () =
+  (* Functionally: it leaks on the plain policy. *)
+  let soc, reason = run_src (example_src "leak.s") in
+  expect_exit reason 0;
+  check_bool "leaked byte present" true
+    (Astring_contains.contains ~sub:"H" (Vp.Uart.tx_string soc.Vp.Soc.uart));
+  (* And the confidentiality policy catches it. *)
+  let img = P.parse_string (example_src "leak.s") in
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let lo = Rv32_asm.Image.symbol img "secret" in
+  let hi = Rv32_asm.Image.symbol img "secret_end" - 1 in
+  let policy =
+    Dift.Policy.make ~lattice:lat ~default_tag:lc
+      ~classification:[ Dift.Policy.region ~name:"secret" ~lo ~hi ~tag:hc ]
+      ~output_clearance:[ ("uart", lc) ]
+      ()
+  in
+  let soc = soc_of_policy policy in
+  Vp.Soc.load_image soc img;
+  check_bool "violation under policy" true
+    (try
+       ignore (Vp.Soc.run_for_instructions soc 200_000);
+       false
+     with Dift.Violation.Violation _ -> true)
+
+let test_example_echo_irq () =
+  let soc, reason = run_src ~uart_input:"ping\000" (example_src "echo_irq.s") in
+  expect_exit reason 0;
+  check_string "echoed" "ping" (Vp.Uart.tx_string soc.Vp.Soc.uart)
+
+(* Round-trip: disassemble a parsed program and re-parse it. *)
+let test_disasm_reparse () =
+  let src = "addi sp, sp, -16\nsw ra, 12(sp)\nlw ra, 12(sp)\naddi sp, sp, 16\njalr zero, 0(ra)\n" in
+  let img = P.parse_string src in
+  let text =
+    String.concat "\n"
+      (List.init (Img.size img / 4) (fun i -> Rv32.Disasm.word (word img (4 * i))))
+    ^ "\n"
+  in
+  let img2 = P.parse_string text in
+  check_bool "identical code" true (Bytes.equal img.Img.code img2.Img.code)
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "edsl",
+        [
+          Alcotest.test_case "forward/backward labels" `Quick
+            test_forward_backward_labels;
+          Alcotest.test_case "li selects encoding" `Quick test_li_small_large;
+          Alcotest.test_case "la hi/lo carry" `Quick test_la_hi_lo_carry;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+          Alcotest.test_case "unknown label" `Quick test_unknown_label;
+          Alcotest.test_case "align and data" `Quick test_align_and_data;
+          Alcotest.test_case "branch range checked" `Quick
+            test_branch_range_checked;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple program runs" `Quick
+            test_parse_simple_program;
+          Alcotest.test_case "directives" `Quick test_parse_directives;
+          Alcotest.test_case "memory operands" `Quick test_parse_memory_operands;
+          Alcotest.test_case "csr names" `Quick test_parse_csr_names;
+          Alcotest.test_case "errors reported" `Quick test_parse_errors;
+          Alcotest.test_case "%hi/%lo relocations" `Quick test_parse_hi_lo_relocs;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_parse_comments_and_blank;
+          Alcotest.test_case "disasm/reparse roundtrip" `Quick
+            test_disasm_reparse;
+        ] );
+      ( "shipped examples",
+        [
+          Alcotest.test_case "fib.s" `Quick test_example_fib;
+          Alcotest.test_case "leak.s" `Quick test_example_leak;
+          Alcotest.test_case "echo_irq.s" `Quick test_example_echo_irq;
+        ] );
+    ]

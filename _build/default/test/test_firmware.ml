@@ -1,0 +1,157 @@
+(* Firmware benchmark programs: functional correctness on the VP. *)
+
+open Helpers
+
+let run_image ?(tracking = true) ?(max_insns = 20_000_000) img =
+  let policy = trivial_policy () in
+  let soc = soc_of_policy ~tracking policy in
+  Vp.Soc.load_image soc img;
+  let reason = Vp.Soc.run_for_instructions soc max_insns in
+  (soc, reason)
+
+let read_word_at soc img label =
+  let addr = Rv32_asm.Image.symbol img label in
+  Vp.Memory.read_word soc.Vp.Soc.memory (addr - Vp.Soc.ram_base)
+
+let test_qsort () =
+  let _, reason = run_image (Firmware.Qsort_fw.image ~n:128 ~rounds:2 ()) in
+  expect_exit reason 0
+
+let test_qsort_untracked () =
+  let _, reason =
+    run_image ~tracking:false (Firmware.Qsort_fw.image ~n:128 ~rounds:2 ())
+  in
+  expect_exit reason 0
+
+let test_primes () =
+  let n = 500 in
+  let img = Firmware.Primes_fw.image ~n () in
+  let soc, reason = run_image img in
+  expect_exit reason 0;
+  check_int "count stored" (Firmware.Primes_fw.expected ~n)
+    (read_word_at soc img "prime_count")
+
+let test_dhrystone () =
+  let _, reason = run_image (Firmware.Dhrystone_fw.image ~iterations:200 ()) in
+  expect_exit reason 0
+
+let test_sha () =
+  let _, reason = run_image (Firmware.Sha_fw.image ~message_len:256 ()) in
+  expect_exit reason 0
+
+let test_sensor_app () =
+  let img = Firmware.Sensor_fw.image ~frames:3 () in
+  let policy = trivial_policy () in
+  let soc = soc_of_policy ~sensor_period:(Sysc.Time.us 100) policy in
+  Vp.Soc.load_image soc img;
+  let reason = Vp.Soc.run_for_instructions soc 1_000_000 in
+  expect_exit reason 0;
+  check_int "uart got 3 frames" (3 * 64)
+    (String.length (Vp.Uart.tx_string soc.Vp.Soc.uart))
+
+let test_software_aes () =
+  (* Functional: the RV32 software AES matches the host reference
+     (FIPS-197 appendix B key/plaintext). *)
+  let _, reason = run_image (Firmware.Aes_sw_fw.image ()) in
+  expect_exit reason 0
+
+let test_software_aes_ct_stays_classified () =
+  (* Security: under a confidentiality policy the software-computed
+     ciphertext still carries the key's class and may not leave on CAN. *)
+  let img = Firmware.Aes_sw_fw.image ~self_check:false ~send_on_can:true () in
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let key_lo = Rv32_asm.Image.symbol img "key" in
+  let policy =
+    Dift.Policy.make ~lattice:lat ~default_tag:lc
+      ~classification:
+        [ Dift.Policy.region ~name:"key" ~lo:key_lo ~hi:(key_lo + 15) ~tag:hc ]
+      ~output_clearance:[ ("can", lc) ]
+      ()
+  in
+  let monitor = Dift.Monitor.create lat in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
+  Vp.Soc.load_image soc img;
+  (match Vp.Soc.run_for_instructions soc 1_000_000 with
+  | exception Dift.Violation.Violation v ->
+      check_bool "output clearance on CAN" true
+        (v.Dift.Violation.kind = Dift.Violation.Output_clearance "can")
+  | _ -> Alcotest.fail "software ciphertext must not pass the CAN clearance")
+
+let test_software_aes_sbox_lookup_flagged () =
+  (* With the memory-address clearance active, the very first S-box lookup
+     indexed by key material is a violation (the paper's Mem[secret]
+     discussion). *)
+  let img = Firmware.Aes_sw_fw.image ~self_check:false () in
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let key_lo = Rv32_asm.Image.symbol img "key" in
+  let policy =
+    Dift.Policy.make ~lattice:lat ~default_tag:lc
+      ~classification:
+        [ Dift.Policy.region ~name:"key" ~lo:key_lo ~hi:(key_lo + 15) ~tag:hc ]
+      ~exec_mem_addr:lc ()
+  in
+  let monitor = Dift.Monitor.create lat in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
+  Vp.Soc.load_image soc img;
+  (match Vp.Soc.run_for_instructions soc 1_000_000 with
+  | exception Dift.Violation.Violation v ->
+      check_bool "mem-addr violation" true
+        (v.Dift.Violation.kind = Dift.Violation.Exec_mem_addr)
+  | _ -> Alcotest.fail "key-indexed S-box lookup must be flagged")
+
+let test_rtos () =
+  let img = Firmware.Rtos_fw.image ~switches:8 ~slice_ticks:20 () in
+  let soc, reason = run_image img in
+  expect_exit reason 0;
+  let cnt0 = read_word_at soc img "cnt0" in
+  let cnt1 = read_word_at soc img "cnt1" in
+  let nswitch = read_word_at soc img "nswitch" in
+  check_int "switch count" 8 nswitch;
+  check_bool "task0 ran" true (cnt0 > 0);
+  check_bool "task1 ran" true (cnt1 > 0)
+
+let test_crc32 () =
+  let _, reason = run_image (Firmware.Extra_fw.crc32_image ~len:256 ()) in
+  expect_exit reason 0
+
+let test_matmul () =
+  let _, reason = run_image (Firmware.Extra_fw.matmul_image ~n:8 ()) in
+  expect_exit reason 0
+
+let test_strings () =
+  let _, reason = run_image (Firmware.Extra_fw.strings_image ~count:32 ()) in
+  expect_exit reason 0
+
+let test_crc32_reference () =
+  (* Known vector: CRC-32("123456789") = 0xcbf43926. *)
+  check_int "check vector" 0xcbf43926
+    (Firmware.Extra_fw.crc32_reference "123456789")
+
+let () =
+  Alcotest.run "firmware"
+    [
+      ( "benchmarks",
+        [
+          Alcotest.test_case "qsort sorts (VP+)" `Quick test_qsort;
+          Alcotest.test_case "qsort sorts (VP)" `Quick test_qsort_untracked;
+          Alcotest.test_case "primes count" `Quick test_primes;
+          Alcotest.test_case "dhrystone checksum" `Quick test_dhrystone;
+          Alcotest.test_case "sha256 digest" `Quick test_sha;
+          Alcotest.test_case "sensor app forwards frames" `Quick test_sensor_app;
+          Alcotest.test_case "rtos interleaves two tasks" `Quick test_rtos;
+          Alcotest.test_case "software AES matches host" `Quick
+            test_software_aes;
+          Alcotest.test_case "software ciphertext stays classified" `Quick
+            test_software_aes_ct_stays_classified;
+          Alcotest.test_case "key-indexed sbox lookup flagged" `Quick
+            test_software_aes_sbox_lookup_flagged;
+          Alcotest.test_case "crc32 matches reference" `Quick test_crc32;
+          Alcotest.test_case "crc32 reference vector" `Quick test_crc32_reference;
+          Alcotest.test_case "matrix multiply checksum" `Quick test_matmul;
+          Alcotest.test_case "string routines" `Quick test_strings;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* The car-engine-immobilizer case study of Section VI-A. *)
+
+open Helpers
+module Immo = Firmware.Immo_fw
+
+let make_soc ?(per_byte = false) ?monitor img =
+  let policy =
+    if per_byte then Immo.per_byte_policy img else Immo.base_policy img
+  in
+  let monitor =
+    match monitor with
+    | Some m -> m
+    | None -> Dift.Monitor.create policy.Dift.Policy.lattice
+  in
+  let aes_out_tag, aes_in_clearance = Immo.aes_args policy in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking:true ~aes_out_tag
+      ~aes_in_clearance ()
+  in
+  Vp.Soc.load_image soc img;
+  soc
+
+let run soc = Vp.Soc.run_for_instructions soc 2_000_000
+
+(* Run and expect a specific violation kind. *)
+let expect_violation ~kind_check img setup =
+  let soc = make_soc img in
+  setup soc;
+  match run soc with
+  | exception Dift.Violation.Violation v ->
+      check_bool "violation kind" true (kind_check v.Dift.Violation.kind)
+  | _ -> Alcotest.fail "expected a security violation, none raised"
+
+let test_protocol_works () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  let soc = make_soc img in
+  let engine = Immo.Engine.attach soc ~challenge:"CHLLNG00" in
+  expect_exit (run soc) 0;
+  check_bool "two response frames" true (Immo.Engine.response engine <> None);
+  check_bool "response encrypts challenge with the PIN" true
+    (Immo.Engine.response_valid engine)
+
+let test_pin_never_on_can () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  let soc = make_soc img in
+  let _engine = Immo.Engine.attach soc ~challenge:"CHLLNG01" in
+  expect_exit (run soc) 0;
+  List.iter
+    (fun frame ->
+      check_bool "no PIN fragment in CAN traffic" false
+        (Astring_contains.contains ~sub:(String.sub Immo.pin_value 0 4) frame))
+    (Vp.Can.tx_frames soc.Vp.Soc.can)
+
+let test_vulnerable_dump_detected () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = false }) () in
+  expect_violation img
+    ~kind_check:(function
+      | Dift.Violation.Output_clearance "uart" -> true
+      | _ -> false)
+    (fun soc ->
+      let _engine = Immo.Engine.attach soc ~challenge:"CHLLNG02" in
+      Vp.Uart.push_rx soc.Vp.Soc.uart "D")
+
+let test_fixed_dump_safe () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  let soc = make_soc img in
+  let _engine = Immo.Engine.attach soc ~challenge:"CHLLNG03" in
+  Vp.Uart.push_rx soc.Vp.Soc.uart "D";
+  expect_exit (run soc) 0;
+  let out = Vp.Uart.tx_string soc.Vp.Soc.uart in
+  check_bool "dump happened" true (String.length out > 0);
+  check_bool "dump does not contain the PIN" false
+    (Astring_contains.contains ~sub:(String.sub Immo.pin_value 0 4) out)
+
+let test_leak_direct () =
+  expect_violation
+    (Immo.image ~variant:Immo.Leak_direct ())
+    ~kind_check:(function
+      | Dift.Violation.Output_clearance "uart" -> true
+      | _ -> false)
+    (fun _ -> ())
+
+let test_leak_indirect () =
+  expect_violation
+    (Immo.image ~variant:Immo.Leak_indirect ())
+    ~kind_check:(function
+      | Dift.Violation.Output_clearance "uart" -> true
+      | _ -> false)
+    (fun _ -> ())
+
+let test_branch_on_pin () =
+  expect_violation
+    (Immo.image ~variant:Immo.Branch_on_pin ())
+    ~kind_check:(function Dift.Violation.Exec_branch -> true | _ -> false)
+    (fun _ -> ())
+
+let test_overwrite_pin_external () =
+  expect_violation
+    (Immo.image ~variant:Immo.Overwrite_pin_external ())
+    ~kind_check:(function
+      | Dift.Violation.Store_integrity _ -> true
+      | _ -> false)
+    (fun soc -> Vp.Can.push_rx_frame soc.Vp.Soc.can "XXXXXXXX")
+
+(* The entropy-reduction attack: allowed by the base policy (as the paper
+   observes), caught by the per-byte policy. *)
+let test_entropy_attack_base_policy_misses () =
+  let img = Immo.image ~variant:Immo.Entropy_attack () in
+  let soc = make_soc img in
+  expect_exit (run soc) 0;
+  (* The attack actually degraded the key: all bytes now equal byte 0. *)
+  let pin_addr = Rv32_asm.Image.symbol img "pin" - Vp.Soc.ram_base in
+  let b0 = Vp.Memory.read_byte soc.Vp.Soc.memory pin_addr in
+  for i = 1 to 15 do
+    check_int "pin byte overwritten" b0
+      (Vp.Memory.read_byte soc.Vp.Soc.memory (pin_addr + i))
+  done
+
+let test_entropy_attack_per_byte_detects () =
+  let img = Immo.image ~variant:Immo.Entropy_attack () in
+  let soc = make_soc ~per_byte:true img in
+  match run soc with
+  | exception Dift.Violation.Violation v ->
+      check_bool "store-integrity violation" true
+        (match v.Dift.Violation.kind with
+        | Dift.Violation.Store_integrity _ -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "per-byte policy must detect the entropy attack"
+
+(* The end-to-end exploit the paper warns about: under the base policy the
+   degraded key answers challenges normally, and one sniffed response is
+   enough to brute-force the PIN in at most 256 trials. *)
+let test_entropy_exploit_brute_forces_pin () =
+  let img = Immo.image ~variant:Immo.Entropy_then_serve () in
+  let soc = make_soc img in
+  let engine = Immo.Engine.attach soc ~challenge:"CHLLNG99" in
+  expect_exit (run soc) 0;
+  match Immo.Engine.response engine with
+  | None -> Alcotest.fail "no response to brute-force"
+  | Some response -> (
+      match
+        Immo.Engine.brute_force_uniform ~challenge:"CHLLNG99" ~response
+      with
+      | Some key ->
+          check_string "recovered the degraded key"
+            (String.make 16 Immo.pin_value.[0])
+            key
+      | None -> Alcotest.fail "brute force failed")
+
+(* And under the per-byte policy the degrade step itself is stopped, so
+   the exploit never reaches the protocol. *)
+let test_entropy_exploit_blocked_per_byte () =
+  let img = Immo.image ~variant:Immo.Entropy_then_serve () in
+  let soc = make_soc ~per_byte:true img in
+  let _engine = Immo.Engine.attach soc ~challenge:"CHLLNG99" in
+  match run soc with
+  | exception Dift.Violation.Violation _ -> ()
+  | _ -> Alcotest.fail "per-byte policy must stop the exploit"
+
+let test_protocol_still_works_per_byte () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  let soc = make_soc ~per_byte:true img in
+  let engine = Immo.Engine.attach soc ~challenge:"CHLLNG04" in
+  expect_exit (run soc) 0;
+  check_bool "response valid under per-byte policy" true
+    (Immo.Engine.response_valid engine)
+
+let test_shipped_policies_validate () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  (match Dift.Policy.validate (Immo.base_policy img) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "base policy invalid: %s" e);
+  (match Dift.Policy.validate (Immo.per_byte_policy img) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "per-byte policy invalid: %s" e);
+  match Firmware.Wilander.image_for 3 with
+  | Some wimg -> (
+      match Dift.Policy.validate (Firmware.Wilander.policy wimg) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "code-injection policy invalid: %s" e)
+  | None -> Alcotest.fail "attack 3 must exist"
+
+let test_declassification_logged () =
+  let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
+  let policy = Immo.base_policy img in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = make_soc ~monitor img in
+  let _engine = Immo.Engine.attach soc ~challenge:"CHLLNG05" in
+  expect_exit (run soc) 0;
+  check_bool "AES declassified at least once" true
+    (Dift.Monitor.declassification_count monitor >= 1)
+
+let () =
+  Alcotest.run "immobilizer"
+    [
+      ( "case-study",
+        [
+          Alcotest.test_case "challenge-response protocol" `Quick
+            test_protocol_works;
+          Alcotest.test_case "PIN never on CAN in plaintext" `Quick
+            test_pin_never_on_can;
+          Alcotest.test_case "vulnerable debug dump detected" `Quick
+            test_vulnerable_dump_detected;
+          Alcotest.test_case "fixed debug dump passes" `Quick
+            test_fixed_dump_safe;
+          Alcotest.test_case "attack 1a: direct leak detected" `Quick
+            test_leak_direct;
+          Alcotest.test_case "attack 1b: indirect leak detected" `Quick
+            test_leak_indirect;
+          Alcotest.test_case "attack 2: branch on PIN detected" `Quick
+            test_branch_on_pin;
+          Alcotest.test_case "attack 3: external overwrite detected" `Quick
+            test_overwrite_pin_external;
+          Alcotest.test_case "entropy attack missed by base policy" `Quick
+            test_entropy_attack_base_policy_misses;
+          Alcotest.test_case "entropy attack caught per-byte" `Quick
+            test_entropy_attack_per_byte_detects;
+          Alcotest.test_case "entropy exploit brute-forces the PIN" `Quick
+            test_entropy_exploit_brute_forces_pin;
+          Alcotest.test_case "entropy exploit blocked per-byte" `Quick
+            test_entropy_exploit_blocked_per_byte;
+          Alcotest.test_case "protocol ok under per-byte policy" `Quick
+            test_protocol_still_works_per_byte;
+          Alcotest.test_case "declassification events logged" `Quick
+            test_declassification_logged;
+          Alcotest.test_case "shipped policies validate" `Quick
+            test_shipped_policies_validate;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* The Taint value type (the paper's Taint<T>, Fig. 3). *)
+
+open Helpers
+module L = Dift.Lattice
+module T = Dift.Taint
+
+let lat = L.ifp3 ()
+let t n = L.tag_of_name lat n
+
+let test_make_value_tag () =
+  let x = T.make 42 (t "HC,HI") in
+  check_int "value" 42 (T.value x);
+  check_int "tag" (t "HC,HI") (T.tag x)
+
+let test_map_keeps_tag () =
+  let x = T.make 21 (t "HC,LI") in
+  let y = T.map lat (fun v -> v * 2) x in
+  check_int "value doubled" 42 (T.value y);
+  check_int "tag preserved" (t "HC,LI") (T.tag y)
+
+let test_map2_lub () =
+  (* Fig. 3's operator+: value op, tag LUB. *)
+  let a = T.make 1 (t "LC,LI") and b = T.make 2 (t "HC,HI") in
+  let c = T.map2 lat ( + ) a b in
+  check_int "sum" 3 (T.value c);
+  check_string "tag is the paper's LUB example" "HC,LI" (L.name lat (T.tag c))
+
+let test_retag () =
+  let x = T.make 7 (t "HC,HI") in
+  let y = T.retag x (t "LC,LI") in
+  check_int "value kept" 7 (T.value y);
+  check_int "declassified" (t "LC,LI") (T.tag y)
+
+let test_clearance () =
+  let secret = T.make 1 (t "HC,HI") in
+  let public = T.make 1 (t "LC,HI") in
+  check_bool "secret blocked at LC,LI" false
+    (T.check_clearance lat secret ~required:(t "LC,LI"));
+  check_bool "public ok at LC,LI" true
+    (T.check_clearance lat public ~required:(t "LC,LI"))
+
+let test_bytes_roundtrip () =
+  let w = T.make 0xdeadbeefl (t "HC,HI") in
+  let bytes = T.to_bytes w in
+  check_int "four bytes" 4 (Array.length bytes);
+  check_int "little-endian low byte" 0xef (Char.code (T.value bytes.(0)));
+  Array.iter (fun b -> check_int "byte tag" (t "HC,HI") (T.tag b)) bytes;
+  let w' = T.from_bytes lat bytes in
+  check_bool "value roundtrip" true (Int32.equal (T.value w) (T.value w'));
+  check_int "tag roundtrip" (t "HC,HI") (T.tag w')
+
+let test_from_bytes_lubs () =
+  (* from_bytes combines all byte tags (Fig. 3 line 21). *)
+  let mk v tag = T.make (Char.chr v) tag in
+  let ar = [| mk 1 (t "LC,LI"); mk 2 (t "HC,HI"); mk 3 (t "LC,HI"); mk 4 (t "LC,HI") |] in
+  let w = T.from_bytes lat ar in
+  check_string "combined tag" "HC,LI" (L.name lat (T.tag w))
+
+let test_from_bytes_arity () =
+  let b = T.make 'x' (t "LC,HI") in
+  check_bool "wrong arity rejected" true
+    (try ignore (T.from_bytes lat [| b; b |]); false
+     with Invalid_argument _ -> true)
+
+let test_lub_list () =
+  let l = lat in
+  check_string "lub over a list" "HC,LI"
+    (L.name l (L.lub_list l [ t "LC,HI"; t "LC,LI"; t "HC,HI" ]));
+  check_bool "empty list rejected" true
+    (try ignore (L.lub_list l []); false with Invalid_argument _ -> true)
+
+let test_pp () =
+  let x = T.make 7 (t "HC,HI") in
+  check_string "pretty printing" "7@HC,HI"
+    (Format.asprintf "%a" (T.pp Format.pp_print_int lat) x)
+
+let prop_roundtrip =
+  let open QCheck in
+  Test.make ~name:"to_bytes/from_bytes roundtrip" ~count:500
+    (pair int32 (int_bound (L.size lat - 1)))
+    (fun (v, tag) ->
+      let w = T.make v tag in
+      let w' = T.from_bytes lat (T.to_bytes w) in
+      Int32.equal (T.value w') v && T.tag w' = tag)
+
+let () =
+  Alcotest.run "taint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make/value/tag" `Quick test_make_value_tag;
+          Alcotest.test_case "map keeps tag" `Quick test_map_keeps_tag;
+          Alcotest.test_case "map2 takes LUB" `Quick test_map2_lub;
+          Alcotest.test_case "retag (declassification)" `Quick test_retag;
+          Alcotest.test_case "check_clearance" `Quick test_clearance;
+          Alcotest.test_case "byte conversion roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "from_bytes LUBs tags" `Quick test_from_bytes_lubs;
+          Alcotest.test_case "from_bytes arity" `Quick test_from_bytes_arity;
+          Alcotest.test_case "lub_list" `Quick test_lub_list;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ("props", [ qtest prop_roundtrip ]);
+    ]

@@ -1,0 +1,144 @@
+(* TLM payloads, sockets and the address-mapped router. *)
+
+open Helpers
+module P = Tlm.Payload
+module S = Tlm.Socket
+module R = Tlm.Router
+
+let lat = Dift.Lattice.integrity ()
+let hi = Dift.Lattice.tag_of_name lat "HI"
+let li = Dift.Lattice.tag_of_name lat "LI"
+
+let test_payload_word () =
+  let p = P.create ~len:4 ~default_tag:hi () in
+  P.set_word p 0x11223344l;
+  check_int "byte 0 (LE)" 0x44 (P.get_byte p 0);
+  check_int "byte 3" 0x11 (P.get_byte p 3);
+  check_bool "word" true (Int32.equal (P.get_word p) 0x11223344l)
+
+let test_payload_word_tag () =
+  let p = P.create ~len:4 ~default_tag:hi () in
+  P.set_tag p 2 li;
+  check_int "word tag is LUB" li (P.word_tag lat p)
+
+let test_payload_tags_travel () =
+  let p = P.create ~len:8 ~default_tag:hi () in
+  P.set_all_tags p li;
+  for i = 0 to 7 do
+    check_int "all tagged" li (P.get_tag p i)
+  done
+
+(* An echo target that records what it saw and doubles incoming bytes. *)
+let make_echo name =
+  let last = ref None in
+  let t =
+    S.target ~name (fun p delay ->
+        last := Some (p.P.cmd, p.P.addr, P.get_byte p 0);
+        if P.is_read p then P.set_byte p 0 0x5a;
+        p.P.resp <- P.Ok_resp;
+        Sysc.Time.add delay (Sysc.Time.ns 7))
+  in
+  (t, last)
+
+let test_socket_binding () =
+  let t, last = make_echo "echo" in
+  let i = S.initiator ~name:"cpu" in
+  check_bool "unbound" false (S.is_bound i);
+  check_bool "unbound transport raises" true
+    (try
+       ignore (S.transport i (P.create ~len:1 ~default_tag:hi ()) 0);
+       false
+     with S.Unbound _ -> true);
+  S.bind i t;
+  check_bool "bound" true (S.is_bound i);
+  let p = P.create ~cmd:P.Read ~addr:0x10 ~len:1 ~default_tag:hi () in
+  let d = S.transport i p Sysc.Time.zero in
+  check_int "delay annotated" (Sysc.Time.ns 7) d;
+  check_int "target ran" 0x5a (P.get_byte p 0);
+  check_bool "target saw the address" true (!last = Some (P.Read, 0x10, 0))
+
+let test_router_dispatch_and_offset () =
+  let r = R.create ~name:"bus" () in
+  let seen = ref [] in
+  let target name =
+    S.target ~name (fun p d ->
+        seen := (name, p.P.addr) :: !seen;
+        p.P.resp <- P.Ok_resp;
+        d)
+  in
+  R.map r ~lo:0x1000 ~hi:0x1fff (target "a");
+  R.map r ~lo:0x8000 ~hi:0x8fff (target "b");
+  let sock = R.target_socket r in
+  let p = P.create ~cmd:P.Read ~addr:0x1010 ~len:1 ~default_tag:hi () in
+  ignore (S.call sock p Sysc.Time.zero);
+  check_bool "routed to a with local offset" true (!seen = [ ("a", 0x10) ]);
+  check_int "global address restored" 0x1010 p.P.addr;
+  p.P.addr <- 0x8123;
+  ignore (S.call sock p Sysc.Time.zero);
+  check_bool "routed to b" true (List.hd !seen = ("b", 0x123))
+
+let test_router_unmapped () =
+  let r = R.create ~name:"bus" () in
+  let sock = R.target_socket r in
+  let p = P.create ~cmd:P.Read ~addr:0xdead ~len:1 ~default_tag:hi () in
+  ignore (S.call sock p Sysc.Time.zero);
+  check_bool "address error" true (p.P.resp = P.Address_error)
+
+let test_router_overlap_rejected () =
+  let r = R.create ~name:"bus" () in
+  let t = S.target ~name:"x" (fun _ d -> d) in
+  R.map r ~lo:0 ~hi:10 t;
+  check_bool "overlap" true
+    (try R.map r ~lo:5 ~hi:20 t; false with Invalid_argument _ -> true);
+  check_bool "empty range" true
+    (try R.map r ~lo:30 ~hi:20 t; false with Invalid_argument _ -> true)
+
+let test_router_resolve () =
+  let r = R.create ~name:"bus" () in
+  let t = S.target ~name:"ram" (fun _ d -> d) in
+  R.map r ~lo:0x8000_0000 ~hi:0x800f_ffff t;
+  (match R.resolve r 0x8000_1234 with
+  | Some (tt, off) ->
+      check_string "target" "ram" (S.target_name tt);
+      check_int "offset" 0x1234 off
+  | None -> Alcotest.fail "resolve failed");
+  check_bool "unmapped resolves to None" true (R.resolve r 0x100 = None)
+
+let test_mappings_listing () =
+  let r = R.create ~name:"bus" () in
+  let t n = S.target ~name:n (fun _ d -> d) in
+  R.map r ~lo:0 ~hi:1 (t "a");
+  R.map r ~lo:2 ~hi:3 (t "b");
+  Alcotest.(check (list (triple int int string)))
+    "mappings" [ (0, 1, "a"); (2, 3, "b") ] (R.mappings r)
+
+let prop_payload_byte_roundtrip =
+  let open QCheck in
+  Test.make ~name:"payload byte set/get" ~count:300
+    (pair (int_bound 255) (int_bound 7))
+    (fun (v, i) ->
+      let p = P.create ~len:8 ~default_tag:hi () in
+      P.set_byte p i v;
+      P.get_byte p i = v)
+
+let () =
+  Alcotest.run "tlm"
+    [
+      ( "payload",
+        [
+          Alcotest.test_case "word accessors" `Quick test_payload_word;
+          Alcotest.test_case "word tag LUB" `Quick test_payload_word_tag;
+          Alcotest.test_case "tags travel" `Quick test_payload_tags_travel;
+        ] );
+      ( "socket/router",
+        [
+          Alcotest.test_case "socket binding" `Quick test_socket_binding;
+          Alcotest.test_case "router dispatch + offset" `Quick
+            test_router_dispatch_and_offset;
+          Alcotest.test_case "unmapped address" `Quick test_router_unmapped;
+          Alcotest.test_case "overlap rejected" `Quick test_router_overlap_rejected;
+          Alcotest.test_case "resolve" `Quick test_router_resolve;
+          Alcotest.test_case "mappings listing" `Quick test_mappings_listing;
+        ] );
+      ("props", [ qtest prop_payload_byte_roundtrip ]);
+    ]
