@@ -1,21 +1,36 @@
-(* policy_fuzz: stress-test the DIFT engine with random programs under
-   random security policies (the paper's future-work direction).
+(* policy_fuzz: coverage-guided differential testing of the DIFT engine.
 
-     dune exec bin/policy_fuzz.exe -- --programs 500 --seed 42 *)
+   Random structured programs (branches, bounded loops, calls, M-extension
+   edge operands) run on the golden-model interpreter, the plain VP and
+   VP+ under random security policies; any invariant violation is shrunk
+   to a minimal .s reproducer.
+
+     dune exec bin/policy_fuzz.exe -- --programs 500 --seed 42
+     dune exec bin/policy_fuzz.exe -- --inject mulhsu --shrink-dir /tmp *)
 
 open Cmdliner
 
-let run programs seed size =
-  let report = Firmware.Fuzz.run ~seed ~size ~programs () in
-  Format.printf "%a@." Firmware.Fuzz.pp_report report;
-  if Firmware.Fuzz.healthy report then begin
-    Format.printf "all invariants hold.@.";
-    0
-  end
-  else begin
-    Format.printf "INVARIANT VIOLATIONS — see counters above.@.";
-    1
-  end
+let run programs seed size no_shrink shrink_dir props_every inject =
+  let config =
+    {
+      Difftest.Harness.seed;
+      programs;
+      size;
+      shrink = not no_shrink;
+      shrink_dir;
+      props_every;
+      inject;
+    }
+  in
+  let report = Difftest.Harness.run ~config () in
+  Format.printf "%a@." Difftest.Harness.pp_report report;
+  let healthy = Difftest.Harness.healthy report in
+  let clean = healthy && report.Difftest.Harness.injected_hits = 0 in
+  if clean then Format.printf "all invariants hold.@."
+  else if healthy then
+    Format.printf "injected fault detected and shrunk (see reproducers above).@."
+  else Format.printf "INVARIANT VIOLATIONS — see failures above.@.";
+  if clean then 0 else 1
 
 let programs_arg =
   Arg.(value & opt int 200 & info [ "programs"; "n" ] ~docv:"N" ~doc:"Programs to generate.")
@@ -24,11 +39,41 @@ let seed_arg =
   Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are reproducible).")
 
 let size_arg =
-  Arg.(value & opt int 40 & info [ "size" ] ~docv:"K" ~doc:"Instructions per program.")
+  Arg.(value & opt int 30 & info [ "size" ] ~docv:"K" ~doc:"Blocks per program (roughly 3 instructions each).")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Do not minimise failing programs.")
+
+let shrink_dir_arg =
+  Arg.(value & opt (some dir) None & info [ "shrink-dir" ] ~docv:"DIR"
+         ~doc:"Write shrunk reproducers as .s files into $(docv).")
+
+let props_every_arg =
+  Arg.(value & opt int 5 & info [ "props-every" ] ~docv:"N"
+         ~doc:"Check taint-metamorphic properties every $(docv)th program (0 disables).")
+
+(* Reject typos up front: an unknown opcode would never fire and the run
+   would silently report success. *)
+let opcode_conv =
+  let parse s =
+    if List.mem s Rv32.Insn.rv32im_opcodes then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown RV32IM opcode '%s' (try one of: %s)" s
+              (String.concat " " Rv32.Insn.rv32im_opcodes)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let inject_arg =
+  Arg.(value & opt (some opcode_conv) None & info [ "inject" ] ~docv:"OPCODE"
+         ~doc:"Fault injection: flag any program executing $(docv) as failing, \
+               then shrink it — validates the detect-shrink-report pipeline end to end.")
 
 let cmd =
-  let doc = "fuzz the DIFT engine with random programs and policies" in
+  let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
-    Term.(const run $ programs_arg $ seed_arg $ size_arg)
+    Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
+          $ shrink_dir_arg $ props_every_arg $ inject_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,66 @@
+module I = Rv32.Insn
+
+type t = {
+  counts : (string, int) Hashtbl.t;
+  taken_tbl : (string, int) Hashtbl.t;
+  not_taken_tbl : (string, int) Hashtbl.t;
+  mutable pending : (int * string) option;
+      (* pc and mnemonic of the branch traced last, direction unresolved *)
+  mutable total : int;
+}
+
+let create () =
+  {
+    counts = Hashtbl.create 64;
+    taken_tbl = Hashtbl.create 8;
+    not_taken_tbl = Hashtbl.create 8;
+    pending = None;
+    total = 0;
+  }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + try Hashtbl.find tbl key with Not_found -> 0)
+
+let note t ~pc insn =
+  (match t.pending with
+  | Some (bpc, op) ->
+      bump (if pc <> bpc + 4 then t.taken_tbl else t.not_taken_tbl) op 1;
+      t.pending <- None
+  | None -> ());
+  let op = I.opcode insn in
+  bump t.counts op 1;
+  t.total <- t.total + 1;
+  if I.is_branch insn then t.pending <- Some (pc, op)
+
+let hook t pc insn = note t ~pc insn
+
+let merge ~into src =
+  Hashtbl.iter (fun k n -> bump into.counts k n) src.counts;
+  Hashtbl.iter (fun k n -> bump into.taken_tbl k n) src.taken_tbl;
+  Hashtbl.iter (fun k n -> bump into.not_taken_tbl k n) src.not_taken_tbl;
+  into.total <- into.total + src.total
+
+let find tbl key = try Hashtbl.find tbl key with Not_found -> 0
+let count t op = find t.counts op
+let total t = t.total
+let covered t = List.filter (fun op -> count t op > 0) I.rv32im_opcodes
+let missing t = List.filter (fun op -> count t op = 0) I.rv32im_opcodes
+let taken t op = find t.taken_tbl op
+let not_taken t op = find t.not_taken_tbl op
+
+let pp fmt t =
+  let n_cov = List.length (covered t) and n_all = List.length I.rv32im_opcodes in
+  Format.fprintf fmt "@[<v>opcode coverage: %d/%d RV32IM opcodes, %d instructions executed@,"
+    n_cov n_all t.total;
+  List.iter
+    (fun op ->
+      let n = count t op in
+      if List.mem op [ "beq"; "bne"; "blt"; "bge"; "bltu"; "bgeu" ] then
+        Format.fprintf fmt "  %-8s %8d  (taken %d / not taken %d)@," op n
+          (taken t op) (not_taken t op)
+      else Format.fprintf fmt "  %-8s %8d@," op n)
+    I.rv32im_opcodes;
+  (match missing t with
+  | [] -> Format.fprintf fmt "  all RV32IM opcodes covered"
+  | ms -> Format.fprintf fmt "  MISSING: %s" (String.concat " " ms));
+  Format.fprintf fmt "@]"

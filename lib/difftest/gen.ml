@@ -1,0 +1,181 @@
+module I = Rv32.Insn
+
+let wreg r = Rng.choose r Prog.wregs
+
+(* Scratch-buffer offsets, aligned per access width. *)
+let off_w r = 4 * Rng.int r (Prog.buf_size / 4 - 1)
+let off_h r = 2 * Rng.int r (Prog.buf_size / 2 - 1)
+let off_b r = Rng.int r Prog.buf_size
+
+let imm12 r = Rng.range r (-2048) 2047
+let shamt r = Rng.int r 32
+let uimm r = Rng.int r 0x100000 lsl 12
+
+(* The straight-line pool: (base weight, opcode key, make). The key is the
+   dynamic-coverage mnemonic whose absence boosts the weight 8x. *)
+let pool : (int * string * (Rng.t -> I.t)) list =
+  let b = Prog.buf_reg in
+  [
+    (6, "add", fun r -> I.ADD (wreg r, wreg r, wreg r));
+    (4, "sub", fun r -> I.SUB (wreg r, wreg r, wreg r));
+    (4, "xor", fun r -> I.XOR (wreg r, wreg r, wreg r));
+    (4, "or", fun r -> I.OR (wreg r, wreg r, wreg r));
+    (4, "and", fun r -> I.AND (wreg r, wreg r, wreg r));
+    (3, "slt", fun r -> I.SLT (wreg r, wreg r, wreg r));
+    (3, "sltu", fun r -> I.SLTU (wreg r, wreg r, wreg r));
+    (3, "sll", fun r -> I.SLL (wreg r, wreg r, wreg r));
+    (3, "srl", fun r -> I.SRL (wreg r, wreg r, wreg r));
+    (3, "sra", fun r -> I.SRA (wreg r, wreg r, wreg r));
+    (3, "mul", fun r -> I.MUL (wreg r, wreg r, wreg r));
+    (2, "mulh", fun r -> I.MULH (wreg r, wreg r, wreg r));
+    (2, "mulhsu", fun r -> I.MULHSU (wreg r, wreg r, wreg r));
+    (2, "mulhu", fun r -> I.MULHU (wreg r, wreg r, wreg r));
+    (2, "div", fun r -> I.DIV (wreg r, wreg r, wreg r));
+    (2, "divu", fun r -> I.DIVU (wreg r, wreg r, wreg r));
+    (2, "rem", fun r -> I.REM (wreg r, wreg r, wreg r));
+    (2, "remu", fun r -> I.REMU (wreg r, wreg r, wreg r));
+    (6, "addi", fun r -> I.ADDI (wreg r, wreg r, imm12 r));
+    (2, "slti", fun r -> I.SLTI (wreg r, wreg r, imm12 r));
+    (2, "sltiu", fun r -> I.SLTIU (wreg r, wreg r, imm12 r));
+    (3, "xori", fun r -> I.XORI (wreg r, wreg r, imm12 r));
+    (3, "ori", fun r -> I.ORI (wreg r, wreg r, imm12 r));
+    (3, "andi", fun r -> I.ANDI (wreg r, wreg r, imm12 r));
+    (2, "slli", fun r -> I.SLLI (wreg r, wreg r, shamt r));
+    (2, "srli", fun r -> I.SRLI (wreg r, wreg r, shamt r));
+    (2, "srai", fun r -> I.SRAI (wreg r, wreg r, shamt r));
+    (2, "lui", fun r -> I.LUI (wreg r, uimm r));
+    (2, "auipc", fun r -> I.AUIPC (wreg r, Rng.int r 16 lsl 12));
+    (3, "lw", fun r -> I.LW (wreg r, b, off_w r));
+    (2, "lh", fun r -> I.LH (wreg r, b, off_h r));
+    (2, "lhu", fun r -> I.LHU (wreg r, b, off_h r));
+    (2, "lb", fun r -> I.LB (wreg r, b, off_b r));
+    (2, "lbu", fun r -> I.LBU (wreg r, b, off_b r));
+    (3, "sw", fun r -> I.SW (b, wreg r, off_w r));
+    (2, "sh", fun r -> I.SH (b, wreg r, off_h r));
+    (2, "sb", fun r -> I.SB (b, wreg r, off_b r));
+    (1, "fence", fun _ -> I.FENCE);
+  ]
+
+let insn r cov =
+  let weighted =
+    List.map
+      (fun (w, key, mk) ->
+        ((if Coverage.count cov key = 0 then w * 8 else w), mk))
+      pool
+  in
+  (Rng.weighted r weighted) r
+
+let body r cov ~len = List.init len (fun _ -> insn r cov)
+
+(* M-extension edge operands: div-by-zero, INT_MIN / -1, MULH sign cases.
+   Materialised as li sequences inside an ordinary straight block. *)
+let int_min = 0x80000000
+let minus_one = 0xffffffff
+
+let medge_cases : (string * (int * int)) list =
+  [
+    ("div", (0x1234, 0));
+    ("divu", (0xdead_beef, 0));
+    ("rem", (-77 land 0xffffffff, 0));
+    ("remu", (0xcafe, 0));
+    ("div", (int_min, minus_one));
+    ("rem", (int_min, minus_one));
+    ("divu", (int_min, minus_one));
+    ("remu", (int_min, minus_one));
+    ("mulh", (int_min, int_min));
+    ("mulh", (int_min, minus_one));
+    ("mulh", (0x7fffffff, 0x7fffffff));
+    ("mulh", (minus_one, 0x7fffffff));
+    ("mulhsu", (minus_one, minus_one));
+    ("mulhsu", (int_min, 0x7fffffff));
+    ("mulhsu", (0x7fffffff, minus_one));
+    ("mulhu", (minus_one, minus_one));
+    ("mulhu", (int_min, int_min));
+    ("mul", (int_min, minus_one));
+  ]
+
+let medge_block r cov =
+  let boosted =
+    List.filter (fun (op, _) -> Coverage.count cov op = 0) medge_cases
+  in
+  let op, (a, bv) =
+    if boosted <> [] && Rng.bool r then Rng.choose r boosted
+    else Rng.choose r medge_cases
+  in
+  let ra = wreg r in
+  let rb = Rng.choose r (List.filter (fun x -> x <> ra) Prog.wregs) in
+  let rd = wreg r in
+  let mk =
+    match op with
+    | "div" -> fun (d, a, b) -> I.DIV (d, a, b)
+    | "divu" -> fun (d, a, b) -> I.DIVU (d, a, b)
+    | "rem" -> fun (d, a, b) -> I.REM (d, a, b)
+    | "remu" -> fun (d, a, b) -> I.REMU (d, a, b)
+    | "mulh" -> fun (d, a, b) -> I.MULH (d, a, b)
+    | "mulhsu" -> fun (d, a, b) -> I.MULHSU (d, a, b)
+    | "mulhu" -> fun (d, a, b) -> I.MULHU (d, a, b)
+    | _ -> fun (d, a, b) -> I.MUL (d, a, b)
+  in
+  Prog.Straight (Prog.li_insns ra a @ Prog.li_insns rb bv @ [ mk (rd, ra, rb) ])
+
+let branch_kinds = [ Prog.Beq; Bne; Blt; Bge; Bltu; Bgeu ]
+
+let branch_kind r cov =
+  let key = function
+    | Prog.Beq -> "beq"
+    | Bne -> "bne"
+    | Blt -> "blt"
+    | Bge -> "bge"
+    | Bltu -> "bltu"
+    | Bgeu -> "bgeu"
+  in
+  let missing = List.filter (fun k -> Coverage.count cov (key k) = 0) branch_kinds in
+  if missing <> [] && Rng.bool r then Rng.choose r missing
+  else Rng.choose r branch_kinds
+
+let block r cov =
+  match Rng.weighted r
+          [ (52, `Straight); (15, `Guard); (12, `Loop); (12, `Call); (9, `Medge) ]
+  with
+  | `Straight -> Prog.Straight (body r cov ~len:(Rng.range r 2 7))
+  | `Guard ->
+      Prog.Guard
+        {
+          kind = branch_kind r cov;
+          rs1 = wreg r;
+          rs2 = wreg r;
+          body = body r cov ~len:(Rng.range r 1 5);
+        }
+  | `Loop -> Prog.Loop { count = Rng.range r 1 8; body = body r cov ~len:(Rng.range r 1 5) }
+  | `Call -> Prog.Call { via_jalr = Rng.bool r; body = body r cov ~len:(Rng.range r 1 5) }
+  | `Medge -> medge_block r cov
+
+let program r cov ~size = List.init (max 1 size) (fun _ -> block r cov)
+
+(* --- random policies (as in the original Firmware.Fuzz) ------------------ *)
+
+let policy r img =
+  let lat =
+    match Rng.int r 3 with
+    | 0 -> Dift.Lattice.integrity ()
+    | 1 -> Dift.Lattice.confidentiality ()
+    | _ -> Dift.Lattice.ifp3 ()
+  in
+  let n = Dift.Lattice.size lat in
+  let tag () = Rng.int r n in
+  let org = img.Rv32_asm.Image.org in
+  let limit = Rv32_asm.Image.limit img in
+  let regions =
+    List.init (Rng.int r 4) (fun i ->
+        let lo = org + Rng.int r (limit - org) in
+        let hi = min (limit - 1) (lo + Rng.int r 64) in
+        Dift.Policy.region ~name:(Printf.sprintf "r%d" i) ~lo ~hi ~tag:(tag ()))
+  in
+  let opt f = if Rng.bool r then Some (f ()) else None in
+  (* Fetch clearance must admit the program region or nothing runs: use the
+     lattice top when enabled. *)
+  let top = Option.get (Dift.Lattice.top lat) in
+  Dift.Policy.make ~lattice:lat ~default_tag:(tag ()) ~classification:regions
+    ~output_clearance:(match opt tag with Some t -> [ ("uart", t) ] | None -> [])
+    ?exec_fetch:(if Rng.bool r then Some top else None)
+    ?exec_branch:(opt tag) ?exec_mem_addr:(opt tag) ()

@@ -1,0 +1,21 @@
+(** Coverage-guided structured program and policy generation.
+
+    Programs mix straight-line blocks, forward-branch guards (all six
+    branch kinds), bounded counted loops, JAL/JALR call patterns and
+    M-extension edge-operand blocks (division by zero, [INT_MIN / -1],
+    MULH sign cases). Memory traffic is confined to the 256-byte scratch
+    buffer, so programs are trap-free by construction.
+
+    Generation weights consult a {!Coverage} table: opcodes with no
+    dynamic executions yet get their weight boosted, driving the corpus
+    toward full RV32IM coverage. *)
+
+val program : Rng.t -> Coverage.t -> size:int -> Prog.t
+(** [program rng cov ~size] generates [size] blocks (~3 instructions per
+    block on average). *)
+
+val policy : Rng.t -> Rv32_asm.Image.t -> Dift.Policy.t
+(** A random security policy over one of the paper's IFP lattices
+    (IFP-1/2/3): random classification regions over the image, optional
+    output clearances and execution-unit clearances. The fetch clearance,
+    when enabled, is the lattice top so the program region always runs. *)

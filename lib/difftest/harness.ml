@@ -1,0 +1,268 @@
+type config = {
+  seed : int;
+  programs : int;
+  size : int;
+  shrink : bool;
+  shrink_dir : string option;
+  props_every : int;
+  inject : string option;
+}
+
+let default =
+  {
+    seed = 0x5eed;
+    programs = 200;
+    size = 30;
+    shrink = true;
+    shrink_dir = None;
+    props_every = 5;
+    inject = None;
+  }
+
+type failure = {
+  f_kind : string;
+  f_detail : string;
+  f_asm : string;
+  f_file : string option;
+  f_blocks : int;
+  f_insns : int;
+  f_evals : int;
+}
+
+type report = {
+  programs : int;
+  completed : int;
+  golden_mismatches : int;
+  transparency_mismatches : int;
+  purity_failures : int;
+  monotonicity_failures : int;
+  declass_violations : int;
+  injected_hits : int;
+  violations : int;
+  checks : int;
+  errors : int;
+  coverage : Coverage.t;
+  failures : failure list;
+}
+
+let healthy r =
+  r.golden_mismatches = 0 && r.transparency_mismatches = 0
+  && r.purity_failures = 0 && r.monotonicity_failures = 0
+  && r.declass_violations = 0 && r.errors = 0
+
+(* Mutable accumulator threaded through the run loop. *)
+type acc = {
+  mutable a_completed : int;
+  mutable a_golden : int;
+  mutable a_transparency : int;
+  mutable a_purity : int;
+  mutable a_monotonic : int;
+  mutable a_declass : int;
+  mutable a_injected : int;
+  mutable a_violations : int;
+  mutable a_checks : int;
+  mutable a_errors : int;
+  mutable a_failures : failure list;
+}
+
+let executes_opcode op prog =
+  let cov = Coverage.create () in
+  (try ignore (Oracle.run ~trace:(Coverage.hook cov) (Prog.assemble prog))
+   with _ -> ());
+  Coverage.count cov op > 0
+
+let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
+  let shrunk, stats =
+    if cfg.shrink then Shrink.minimize predicate prog
+    else (prog, Shrink.{ evals = 0; from_blocks = Prog.block_count prog;
+                         from_insns = Prog.insn_count prog;
+                         to_blocks = Prog.block_count prog;
+                         to_insns = Prog.insn_count prog })
+  in
+  let banner =
+    [
+      Printf.sprintf "difftest reproducer: %s" kind;
+      Printf.sprintf "seed 0x%x, program %d; %s" cfg.seed index detail;
+      Printf.sprintf "shrunk %d blocks / %d insns -> %d blocks / %d insns (%d evals)"
+        stats.Shrink.from_blocks stats.Shrink.from_insns stats.Shrink.to_blocks
+        stats.Shrink.to_insns stats.Shrink.evals;
+    ]
+  in
+  let asm = Prog.to_asm ~banner shrunk in
+  let file =
+    match cfg.shrink_dir with
+    | None -> None
+    | Some dir ->
+        let path =
+          Filename.concat dir (Printf.sprintf "repro_%08x_%d.s" cfg.seed index)
+        in
+        let oc = open_out path in
+        output_string oc asm;
+        close_out oc;
+        Some path
+  in
+  acc.a_failures <-
+    {
+      f_kind = kind;
+      f_detail = detail;
+      f_asm = asm;
+      f_file = file;
+      f_blocks = Prog.block_count shrunk;
+      f_insns = Prog.insn_count shrunk;
+      f_evals = stats.Shrink.evals;
+    }
+    :: acc.a_failures
+
+let run ?(config = default) () =
+  let cfg = config in
+  let rng = Rng.create ~seed:cfg.seed in
+  let prng = Rng.create ~seed:(cfg.seed lxor 0x9e3779b9) in
+  let cov = Coverage.create () in
+  let acc =
+    {
+      a_completed = 0;
+      a_golden = 0;
+      a_transparency = 0;
+      a_purity = 0;
+      a_monotonic = 0;
+      a_declass = 0;
+      a_injected = 0;
+      a_violations = 0;
+      a_checks = 0;
+      a_errors = 0;
+      a_failures = [];
+    }
+  in
+  for i = 1 to cfg.programs do
+    match
+      let prog = Gen.program rng cov ~size:cfg.size in
+      let img = Prog.assemble prog in
+      let policy = Gen.policy rng img in
+      let percov = Coverage.create () in
+      let res = Oracle.run ~policy ~trace:(Coverage.hook percov) img in
+      Coverage.merge ~into:cov percov;
+      acc.a_violations <- acc.a_violations + res.Oracle.violations;
+      acc.a_checks <- acc.a_checks + res.Oracle.checks;
+      let all_exited =
+        List.for_all
+          (fun (o : Oracle.outcome) ->
+            match o.Oracle.stop with Oracle.Exited _ -> true | _ -> false)
+          [ res.Oracle.golden; res.Oracle.vp; res.Oracle.vpp ]
+      in
+      if all_exited then acc.a_completed <- acc.a_completed + 1;
+      (* 1. ISS correctness: golden model vs plain VP. *)
+      (match Oracle.explain res.Oracle.golden res.Oracle.vp with
+      | Some detail ->
+          acc.a_golden <- acc.a_golden + 1;
+          record_failure cfg acc ~index:i ~kind:"golden-vs-vp" ~detail
+            ~predicate:(fun p ->
+              try
+                let r = Oracle.run (Prog.assemble p) in
+                not (Oracle.agree r.Oracle.golden r.Oracle.vp)
+              with _ -> false)
+            prog
+      | None -> ());
+      (* 2. DIFT transparency: plain VP vs VP+ under the random policy. *)
+      (match Oracle.explain res.Oracle.vp res.Oracle.vpp with
+      | Some detail ->
+          acc.a_transparency <- acc.a_transparency + 1;
+          record_failure cfg acc ~index:i ~kind:"transparency" ~detail
+            ~predicate:(fun p ->
+              try
+                (* Same policy as the failing run: classification regions
+                   address RAM absolutely, so they stay valid as the
+                   program shrinks. *)
+                let r = Oracle.run ~policy (Prog.assemble p) in
+                not (Oracle.agree r.Oracle.vp r.Oracle.vpp)
+              with _ -> false)
+            prog
+      | None -> ());
+      (* 3. Declassification soundness. *)
+      (match Props.declass_free res with
+      | Props.Failed detail ->
+          acc.a_declass <- acc.a_declass + 1;
+          record_failure cfg acc ~index:i ~kind:"declassification" ~detail
+            ~predicate:(fun p ->
+              try (Oracle.run (Prog.assemble p)).Oracle.declassifications > 0
+              with _ -> false)
+            prog
+      | Props.Ok -> ());
+      (* 4. Taint-metamorphic properties, on a subsample. *)
+      if cfg.props_every > 0 && i mod cfg.props_every = 0 then begin
+        (match Props.purity img with
+        | Props.Failed detail ->
+            acc.a_purity <- acc.a_purity + 1;
+            record_failure cfg acc ~index:i ~kind:"purity" ~detail
+              ~predicate:(fun p ->
+                try
+                  match Props.purity (Prog.assemble p) with
+                  | Props.Failed _ -> true
+                  | Props.Ok -> false
+                with _ -> false)
+              prog
+        | Props.Ok -> ());
+        match Props.monotonic prng img with
+        | Props.Failed detail ->
+            acc.a_monotonic <- acc.a_monotonic + 1;
+            record_failure cfg acc ~index:i ~kind:"monotonicity" ~detail
+              ~predicate:(fun p ->
+                try
+                  match
+                    Props.monotonic (Rng.create ~seed:(cfg.seed + i)) (Prog.assemble p)
+                  with
+                  | Props.Failed _ -> true
+                  | Props.Ok -> false
+                with _ -> false)
+              prog
+        | Props.Ok -> ()
+      end;
+      (* 5. Fault injection: validate the detect-shrink-report pipeline. *)
+      match cfg.inject with
+      | Some op when Coverage.count percov op > 0 ->
+          acc.a_injected <- acc.a_injected + 1;
+          record_failure cfg acc ~index:i
+            ~kind:(Printf.sprintf "injected:%s" op)
+            ~detail:(Printf.sprintf "program executed '%s' (injected fault)" op)
+            ~predicate:(executes_opcode op) prog
+      | _ -> ()
+    with
+    | () -> ()
+    | exception _ -> acc.a_errors <- acc.a_errors + 1
+  done;
+  {
+    programs = cfg.programs;
+    completed = acc.a_completed;
+    golden_mismatches = acc.a_golden;
+    transparency_mismatches = acc.a_transparency;
+    purity_failures = acc.a_purity;
+    monotonicity_failures = acc.a_monotonic;
+    declass_violations = acc.a_declass;
+    injected_hits = acc.a_injected;
+    violations = acc.a_violations;
+    checks = acc.a_checks;
+    errors = acc.a_errors;
+    coverage = cov;
+    failures = acc.a_failures;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>difftest: %d programs, %d completed on all three models@,\
+     golden-vs-VP mismatches: %d@,\
+     VP-vs-VP+ transparency mismatches: %d@,\
+     purity failures: %d, monotonicity failures: %d, declassification violations: %d@,\
+     injected-fault hits: %d@,\
+     %d clearance checks, %d policy violations recorded (informational)@,\
+     harness errors: %d@,%a"
+    r.programs r.completed r.golden_mismatches r.transparency_mismatches
+    r.purity_failures r.monotonicity_failures r.declass_violations
+    r.injected_hits r.checks r.violations r.errors Coverage.pp r.coverage;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@,@[<v>FAILURE %s: %s@,  shrunk to %d blocks / %d insns (%d oracle evals)%s@]"
+        f.f_kind f.f_detail f.f_blocks f.f_insns f.f_evals
+        (match f.f_file with
+        | Some p -> Printf.sprintf "\n  reproducer written to %s" p
+        | None -> ""))
+    (List.rev r.failures);
+  Format.fprintf fmt "@]"

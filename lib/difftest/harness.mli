@@ -1,0 +1,64 @@
+(** The coverage-guided differential-testing loop.
+
+    Each iteration generates a structured random program (weights fed by
+    the global coverage table), runs the three-way {!Oracle}, checks the
+    {!Props} metamorphic properties on a subsample, and — when anything
+    fails — shrinks the program to a minimal reproducer and renders it as
+    a standalone [.s] file. *)
+
+type config = {
+  seed : int;
+  programs : int;
+  size : int;  (** Blocks per program (~3 instructions each). *)
+  shrink : bool;  (** Minimise failing programs (default true). *)
+  shrink_dir : string option;
+      (** Where to write reproducer [.s] files; [None] keeps them only in
+          the report. *)
+  props_every : int;  (** Check metamorphic properties every Nth program. *)
+  inject : string option;
+      (** Fault injection for end-to-end validation of the
+          detect-shrink-report pipeline: treat any program executing this
+          opcode mnemonic as failing (a stand-in for a real tag-propagation
+          bug in that instruction). *)
+}
+
+val default : config
+(** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
+    properties every 5th program, no injection. *)
+
+type failure = {
+  f_kind : string;
+      (** ["golden-vs-vp"], ["transparency"], ["purity"], ["monotonicity"],
+          ["declassification"] or ["injected:<opcode>"]. *)
+  f_detail : string;  (** First observed difference / property message. *)
+  f_asm : string;  (** The (shrunk) reproducer as [.s] source. *)
+  f_file : string option;  (** Path written, when [shrink_dir] is set. *)
+  f_blocks : int;
+  f_insns : int;
+  f_evals : int;  (** Oracle evaluations the shrinker spent. *)
+}
+
+type report = {
+  programs : int;
+  completed : int;  (** Ran to the exit ecall on all three models. *)
+  golden_mismatches : int;  (** Golden model vs plain VP (must be 0). *)
+  transparency_mismatches : int;  (** Plain VP vs VP+ (must be 0). *)
+  purity_failures : int;  (** Taint from nowhere (must be 0). *)
+  monotonicity_failures : int;  (** Non-monotone taint (must be 0). *)
+  declass_violations : int;  (** Unsanctioned declassification (must be 0). *)
+  injected_hits : int;  (** Programs the injected fault flagged. *)
+  violations : int;  (** Policy violations recorded (informational). *)
+  checks : int;  (** Clearance checks performed (informational). *)
+  errors : int;  (** Harness-level exceptions (must be 0). *)
+  coverage : Coverage.t;
+  failures : failure list;  (** Newest first. *)
+}
+
+val healthy : report -> bool
+(** Every must-be-zero counter is zero. Injected hits are excluded — they
+    are deliberate; callers demanding a clean exit should also check
+    [injected_hits = 0]. *)
+
+val run : ?config:config -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,117 @@
+type stop = Exited of int | Out_of_budget | Trapped
+
+type outcome = { stop : stop; regs : int array; mem : string; instret : int }
+
+type result3 = {
+  golden : outcome;
+  vp : outcome;
+  vpp : outcome;
+  violations : int;
+  checks : int;
+  declassifications : int;
+}
+
+let max_insns = 50_000
+let ram_size = 1 lsl 20
+
+let agree a b =
+  match (a.stop, b.stop) with
+  | Trapped, Trapped -> true
+  | sa, sb ->
+      sa = sb && a.regs = b.regs
+      && String.equal a.mem b.mem
+      && a.instret = b.instret
+
+let explain a b =
+  if agree a b then None
+  else if a.stop <> b.stop then
+    let name = function
+      | Exited c -> Printf.sprintf "exited(%d)" c
+      | Out_of_budget -> "out-of-budget"
+      | Trapped -> "trapped"
+    in
+    Some (Printf.sprintf "stop reason: %s vs %s" (name a.stop) (name b.stop))
+  else
+    let reg_diff = ref None in
+    for i = 31 downto 1 do
+      if a.regs.(i) <> b.regs.(i) then reg_diff := Some i
+    done;
+    match !reg_diff with
+    | Some i ->
+        Some
+          (Printf.sprintf "%s: 0x%08x vs 0x%08x" (Rv32.Reg.name i) a.regs.(i)
+             b.regs.(i))
+    | None ->
+        if not (String.equal a.mem b.mem) then
+          let j = ref 0 in
+          while Char.equal a.mem.[!j] b.mem.[!j] do incr j done;
+          Some
+            (Printf.sprintf "scratch[%d]: 0x%02x vs 0x%02x" !j
+               (Char.code a.mem.[!j]) (Char.code b.mem.[!j]))
+        else Some (Printf.sprintf "instret: %d vs %d" a.instret b.instret)
+
+let buf_window img =
+  let buf = Rv32_asm.Image.symbol img "buf" in
+  (buf, Prog.buf_size)
+
+let run_golden img =
+  let g = Rv32.Golden.create ~mem_base:Vp.Soc.ram_base ~mem_size:ram_size in
+  Rv32.Golden.load g ~addr:img.Rv32_asm.Image.org
+    (Bytes.to_string img.Rv32_asm.Image.code);
+  Rv32.Golden.set_pc g
+    (match Rv32_asm.Image.symbol_opt img "_start" with
+    | Some a -> a
+    | None -> img.Rv32_asm.Image.org);
+  let stop_raw, n = Rv32.Golden.run g ~max_insns in
+  let stop =
+    match stop_raw with
+    | Rv32.Golden.Exited c -> Exited c
+    | Rv32.Golden.Limit -> Out_of_budget
+    | Rv32.Golden.Trap _ -> Trapped
+  in
+  let regs = Array.init 32 (fun i -> if i = 0 then 0 else Rv32.Golden.reg g i) in
+  let buf, len = buf_window img in
+  let mem = String.init len (fun i -> Char.chr (Rv32.Golden.mem_byte g (buf + i))) in
+  { stop; regs; mem; instret = n }
+
+let run_vp ~tracking ?policy ?trace img =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+        let lat = Dift.Lattice.make_exn ~classes:[ "ANY" ] ~flows:[] in
+        Dift.Policy.unrestricted lat ~default_tag:0
+  in
+  let monitor =
+    Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
+  in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking () in
+  Vp.Soc.load_image soc img;
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace trace;
+  let stop =
+    match Vp.Soc.run_for_instructions soc max_insns with
+    | Rv32.Core.Exited c -> Exited c
+    | Rv32.Core.Insn_limit -> Out_of_budget
+    | Rv32.Core.Breakpoint | Rv32.Core.Running -> Trapped
+    | exception _ -> Trapped
+  in
+  let regs =
+    Array.init 32 (fun i -> if i = 0 then 0 else soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg i)
+  in
+  let buf, len = buf_window img in
+  let base = buf - Vp.Soc.ram_base in
+  let mem =
+    String.init len (fun i -> Char.chr (Vp.Memory.read_byte soc.Vp.Soc.memory (base + i)))
+  in
+  ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () },
+    ( Dift.Monitor.violation_count monitor,
+      Dift.Monitor.check_count monitor,
+      Dift.Monitor.declassification_count monitor ) )
+
+let run ?policy ?trace img =
+  let golden = run_golden img in
+  let vp, _ = run_vp ~tracking:false img in
+  let vpp, (violations, checks, declassifications) =
+    run_vp ~tracking:true ?policy ?trace img
+  in
+  { golden; vp; vpp; violations; checks; declassifications }

@@ -1,0 +1,61 @@
+(** The three-way differential oracle: every program runs on the naive
+    golden-model interpreter ({!Rv32.Golden}), the plain VP core and the
+    VP+ core with DIFT tracking, and all three must agree on registers,
+    scratch memory and the retired-instruction count.
+
+    Disagreement golden-vs-VP is an ISS semantics bug; VP-vs-VP+ is a
+    transparency bug (tag tracking changed an architectural value). *)
+
+type stop =
+  | Exited of int  (** Exit ecall with the given code. *)
+  | Out_of_budget  (** Instruction budget exhausted. *)
+  | Trapped  (** A trap, breakpoint, or simulator exception. *)
+
+type outcome = {
+  stop : stop;
+  regs : int array;  (** x1..x31 at indices 1..31 (index 0 unused). *)
+  mem : string;  (** The scratch buffer bytes. *)
+  instret : int;
+}
+
+type result3 = {
+  golden : outcome;
+  vp : outcome;
+  vpp : outcome;
+  violations : int;  (** Violations the VP+ monitor recorded. *)
+  checks : int;  (** Clearance checks the VP+ engine performed. *)
+  declassifications : int;  (** Declassification events (must be 0 here). *)
+}
+
+val max_insns : int
+(** Per-run instruction budget (shared by all three models). *)
+
+val agree : outcome -> outcome -> bool
+(** Full architectural agreement. Two [Trapped] outcomes agree regardless
+    of post-trap state (the models stop at different points of the trap
+    path). *)
+
+val explain : outcome -> outcome -> string option
+(** Human-readable first difference, [None] if the outcomes agree. *)
+
+val run_golden : Rv32_asm.Image.t -> outcome
+
+val run_vp :
+  tracking:bool ->
+  ?policy:Dift.Policy.t ->
+  ?trace:(int -> Rv32.Insn.t -> unit) ->
+  Rv32_asm.Image.t ->
+  outcome * (int * int * int)
+(** One VP flavour; returns the outcome and the monitor's
+    (violations, checks, declassifications). Without [policy] an
+    unrestricted single-class policy is used. The monitor runs in [Record]
+    mode so checks never alter execution. *)
+
+val run :
+  ?policy:Dift.Policy.t ->
+  ?trace:(int -> Rv32.Insn.t -> unit) ->
+  Rv32_asm.Image.t ->
+  result3
+(** All three models. [policy] applies to the VP+ run only (the plain VP
+    runs check-free on the same lattice); [trace] is installed on the VP+
+    run (coverage). *)

@@ -1,0 +1,162 @@
+module A = Rv32_asm.Asm
+module I = Rv32.Insn
+module S = Rv32_asm.Source
+
+type branch = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type block =
+  | Straight of I.t list
+  | Guard of { kind : branch; rs1 : int; rs2 : int; body : I.t list }
+  | Loop of { count : int; body : I.t list }
+  | Call of { via_jalr : bool; body : I.t list }
+
+type t = block list
+
+let buf_reg = 28
+let loop_reg = 29
+let target_reg = 30
+let buf_size = 256
+let wregs = [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+let stack_top = 0x800f_fff0
+let seed_value i = 0x1234 * (i + 1)
+
+(* Same hi/lo decomposition as Asm.li, but as a plain instruction list so
+   edge-operand constants can live inside shrinkable block bodies. *)
+let li_insns rd v =
+  if Rv32.Encode.fits_signed ~width:12 v then [ I.ADDI (rd, 0, v) ]
+  else
+    let v' = v land 0xffffffff in
+    let lo = Rv32.Decode.sext ~width:12 v' in
+    let hi = (v' - lo) land 0xffffffff in
+    I.LUI (rd, hi) :: (if lo <> 0 then [ I.ADDI (rd, rd, lo) ] else [])
+
+let body_of = function
+  | Straight b -> b
+  | Guard { body; _ } -> body
+  | Loop { body; _ } -> body
+  | Call { body; _ } -> body
+
+let insn_count t = List.fold_left (fun acc b -> acc + List.length (body_of b)) 0 t
+let block_count = List.length
+
+let branch_l = function
+  | Beq -> A.beq_l
+  | Bne -> A.bne_l
+  | Blt -> A.blt_l
+  | Bge -> A.bge_l
+  | Bltu -> A.bltu_l
+  | Bgeu -> A.bgeu_l
+
+let branch_mnemonic = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Bge -> "bge"
+  | Bltu -> "bltu"
+  | Bgeu -> "bgeu"
+
+let skip_label idx = Printf.sprintf "skip%d" idx
+let loop_label idx = Printf.sprintf "loop%d" idx
+let fn_label idx = Printf.sprintf "fn%d" idx
+
+let emit p blocks =
+  A.label p "_start";
+  A.li p 2 stack_top;
+  List.iteri (fun i r -> A.li p r (seed_value i)) wregs;
+  A.la p buf_reg "buf";
+  let funcs = ref [] in
+  List.iteri
+    (fun idx b ->
+      match b with
+      | Straight body -> List.iter (A.insn p) body
+      | Guard { kind; rs1; rs2; body } ->
+          branch_l kind p rs1 rs2 (skip_label idx);
+          List.iter (A.insn p) body;
+          A.label p (skip_label idx)
+      | Loop { count; body } ->
+          A.li p loop_reg count;
+          A.label p (loop_label idx);
+          List.iter (A.insn p) body;
+          A.addi p loop_reg loop_reg (-1);
+          A.bnez_l p loop_reg (loop_label idx)
+      | Call { via_jalr; body } ->
+          let f = fn_label idx in
+          if via_jalr then begin
+            A.la p target_reg f;
+            A.jalr p 1 target_reg 0
+          end
+          else A.call p f;
+          funcs := (f, body) :: !funcs)
+    blocks;
+  A.nop p;
+  A.li p 17 93;
+  A.insn p I.ECALL;
+  List.iter
+    (fun (f, body) ->
+      A.label p f;
+      List.iter (A.insn p) body;
+      A.ret p)
+    (List.rev !funcs);
+  A.align p 4;
+  A.label p "buf";
+  for i = 0 to buf_size - 1 do
+    A.byte p ((i * 41) land 0xff)
+  done
+
+let assemble blocks =
+  let p = A.create () in
+  emit p blocks;
+  A.assemble p
+
+let to_asm ?(banner = []) blocks =
+  let s = S.create () in
+  List.iter (S.comment s) banner;
+  S.label s "_start";
+  S.line s (Printf.sprintf "li sp, 0x%x" stack_top);
+  List.iteri
+    (fun i r -> S.line s (Printf.sprintf "li %s, %d" (Rv32.Reg.name r) (seed_value i)))
+    wregs;
+  S.line s (Printf.sprintf "la %s, buf" (Rv32.Reg.name buf_reg));
+  let funcs = ref [] in
+  List.iteri
+    (fun idx b ->
+      match b with
+      | Straight body -> List.iter (S.insn s) body
+      | Guard { kind; rs1; rs2; body } ->
+          S.line s
+            (Printf.sprintf "%s %s, %s, %s" (branch_mnemonic kind)
+               (Rv32.Reg.name rs1) (Rv32.Reg.name rs2) (skip_label idx));
+          List.iter (S.insn s) body;
+          S.label s (skip_label idx)
+      | Loop { count; body } ->
+          S.line s (Printf.sprintf "li %s, %d" (Rv32.Reg.name loop_reg) count);
+          S.label s (loop_label idx);
+          List.iter (S.insn s) body;
+          S.line s (Printf.sprintf "addi %s, %s, -1" (Rv32.Reg.name loop_reg) (Rv32.Reg.name loop_reg));
+          S.line s (Printf.sprintf "bnez %s, %s" (Rv32.Reg.name loop_reg) (loop_label idx))
+      | Call { via_jalr; body } ->
+          let f = fn_label idx in
+          if via_jalr then begin
+            S.line s (Printf.sprintf "la %s, %s" (Rv32.Reg.name target_reg) f);
+            S.line s (Printf.sprintf "jalr ra, 0(%s)" (Rv32.Reg.name target_reg))
+          end
+          else S.line s (Printf.sprintf "call %s" f);
+          funcs := (f, body) :: !funcs)
+    blocks;
+  S.line s "nop";
+  S.line s "li a7, 93";
+  S.line s "ecall";
+  List.iter
+    (fun (f, body) ->
+      S.label s f;
+      List.iter (S.insn s) body;
+      S.line s "ret")
+    (List.rev !funcs);
+  S.align s 4;
+  S.label s "buf";
+  for i = 0 to buf_size - 1 do
+    S.byte s ((i * 41) land 0xff)
+  done;
+  match S.check s with
+  | Ok _ -> S.contents s
+  | Error msg -> failwith ("Prog.to_asm: emitted source does not assemble: " ^ msg)

@@ -1,0 +1,61 @@
+(** Structured random-program IR for the differential tester.
+
+    A program is a list of self-contained {!block}s between a fixed
+    prologue (register seeding, scratch-buffer base in x28/t3) and a fixed
+    epilogue (exit ecall, subroutine bodies, the 256-byte scratch buffer).
+    Blocks are the unit of shrinking: any sublist of blocks is again a
+    well-formed program — control flow never crosses a block boundary, so
+    deleting blocks cannot leave a dangling label.
+
+    Register discipline: bodies use only the working registers x5..x15;
+    x28 (t3) holds the scratch base, x29 (t4) the loop counter, x30 (t5)
+    the indirect-call target, x1 (ra) the link register. *)
+
+type branch = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type block =
+  | Straight of Rv32.Insn.t list
+      (** Straight-line instructions (ALU, scratch-confined memory ops). *)
+  | Guard of { kind : branch; rs1 : int; rs2 : int; body : Rv32.Insn.t list }
+      (** A forward conditional branch over [body] (taken = body skipped). *)
+  | Loop of { count : int; body : Rv32.Insn.t list }
+      (** A bounded counted loop: x29 runs from [count] down to 0. *)
+  | Call of { via_jalr : bool; body : Rv32.Insn.t list }
+      (** A call to a leaf subroutine holding [body]; direct [jal ra] or,
+          with [via_jalr], [la x30, fn; jalr ra, 0(x30)]. *)
+
+type t = block list
+
+val buf_reg : int
+(** x28 — scratch-buffer base register. *)
+
+val buf_size : int
+(** Scratch buffer length in bytes (256). *)
+
+val wregs : int list
+(** The working registers x5..x15. *)
+
+val li_insns : int -> int -> Rv32.Insn.t list
+(** [li_insns rd v]: the 1–2 real instructions materialising constant [v]
+    (same hi/lo split as {!Rv32_asm.Asm.li}), for edge-operand blocks. *)
+
+val body_of : block -> Rv32.Insn.t list
+(** The generated instructions inside a block (not the scaffolding). *)
+
+val insn_count : t -> int
+(** Generated instructions across all blocks (bodies only, excluding the
+    fixed block scaffolding and prologue/epilogue). *)
+
+val block_count : t -> int
+
+val emit : Rv32_asm.Asm.t -> t -> unit
+(** Emit prologue, blocks, epilogue, subroutines and scratch data into an
+    assembler buffer. *)
+
+val assemble : t -> Rv32_asm.Image.t
+
+val to_asm : ?banner:string list -> t -> string
+(** Standalone [.s] source of the program (parseable back with
+    {!Rv32_asm.Parser}; behaviourally identical to {!assemble}). [banner]
+    lines are emitted as leading comments. Raises [Failure] if the emitted
+    text does not re-assemble — emitting broken reproducers is a bug. *)

@@ -1,0 +1,86 @@
+type verdict = Ok | Failed of string
+
+let lc_hc () =
+  let lat = Dift.Lattice.confidentiality () in
+  ( lat,
+    Dift.Lattice.tag_of_name lat "LC",
+    Dift.Lattice.tag_of_name lat "HC" )
+
+let run_tagged img policy =
+  let monitor =
+    Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
+  in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
+  Vp.Soc.load_image soc img;
+  ignore (Vp.Soc.run_for_instructions soc Oracle.max_insns);
+  (soc, monitor)
+
+let reg_tags soc =
+  Array.init 32 (fun i ->
+      if i = 0 then 0 else soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag i)
+
+let buf_tags soc img =
+  let base = Rv32_asm.Image.symbol img "buf" - Vp.Soc.ram_base in
+  Array.init Prog.buf_size (fun i -> Vp.Memory.read_tag soc.Vp.Soc.memory (base + i))
+
+let purity img =
+  let lat, lc, _ = lc_hc () in
+  let policy = Dift.Policy.unrestricted lat ~default_tag:lc in
+  let soc, monitor = run_tagged img policy in
+  let bad_reg = ref None in
+  Array.iteri
+    (fun i t -> if i > 0 && t <> lc && !bad_reg = None then bad_reg := Some i)
+    (reg_tags soc);
+  match !bad_reg with
+  | Some i -> Failed (Printf.sprintf "register %s became tainted" (Rv32.Reg.name i))
+  | None -> (
+      match Vp.Memory.tainted_regions soc.Vp.Soc.memory ~baseline:lc with
+      | (lo, hi, _) :: _ ->
+          Failed (Printf.sprintf "RAM bytes [0x%x..0x%x] became tainted" lo hi)
+      | [] ->
+          if Dift.Monitor.violation_count monitor <> 0 then
+            Failed "check-free policy recorded violations"
+          else if Dift.Monitor.declassification_count monitor <> 0 then
+            Failed "check-free policy recorded declassifications"
+          else Ok)
+
+(* Tainted-output footprint: which registers / scratch bytes carry HC. *)
+let footprint soc img hc =
+  let regs = reg_tags soc in
+  let bufs = buf_tags soc img in
+  let tainted_regs = ref [] and tainted_bytes = ref [] in
+  Array.iteri (fun i t -> if i > 0 && t = hc then tainted_regs := i :: !tainted_regs) regs;
+  Array.iteri (fun i t -> if t = hc then tainted_bytes := i :: !tainted_bytes) bufs;
+  (!tainted_regs, !tainted_bytes)
+
+let monotonic rng img =
+  let lat, lc, hc = lc_hc () in
+  let buf = Rv32_asm.Image.symbol img "buf" in
+  let random_range () =
+    let lo = buf + Rng.int rng Prog.buf_size in
+    let hi = min (buf + Prog.buf_size - 1) (lo + Rng.int rng 64) in
+    (lo, hi)
+  in
+  let lo_a, hi_a = random_range () in
+  let lo_b, hi_b = random_range () in
+  let region name lo hi = Dift.Policy.region ~name ~lo ~hi ~tag:hc in
+  let mk classification =
+    Dift.Policy.make ~lattice:lat ~default_tag:lc ~classification ()
+  in
+  let soc_a, _ = run_tagged img (mk [ region "a" lo_a hi_a ]) in
+  let soc_b, _ = run_tagged img (mk [ region "a" lo_a hi_a; region "b" lo_b hi_b ]) in
+  let regs_a, bytes_a = footprint soc_a img hc in
+  let regs_b, bytes_b = footprint soc_b img hc in
+  let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+  if not (subset regs_a regs_b) then
+    Failed "a register tainted under A is clean under A∪B"
+  else if not (subset bytes_a bytes_b) then
+    Failed "a scratch byte tainted under A is clean under A∪B"
+  else Ok
+
+let declass_free (r : Oracle.result3) =
+  if r.Oracle.declassifications = 0 then Ok
+  else
+    Failed
+      (Printf.sprintf "%d declassification(s) with no declassifying peripheral in play"
+         r.Oracle.declassifications)

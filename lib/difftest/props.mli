@@ -1,0 +1,25 @@
+(** Taint-metamorphic properties of the DIFT engine, beyond transparency.
+
+    Each property runs the VP+ flavour with a purpose-built policy
+    (monitor in [Record] mode, no execution clearances, so the underlying
+    computation is identical across runs) and inspects the final taint
+    state of the registers and the scratch buffer. *)
+
+type verdict = Ok | Failed of string
+
+val purity : Rv32_asm.Image.t -> verdict
+(** Untainted-input purity ("no taint from nowhere"): with every input at
+    the lattice bottom and no checks configured, no register or RAM byte
+    may end tainted, the monitor must record zero violations, and zero
+    declassifications. *)
+
+val monotonic : Rng.t -> Rv32_asm.Image.t -> verdict
+(** Taint monotonicity: classify a random scratch-buffer range A as
+    tainted, then A plus a second range B. The set of tainted outputs
+    (registers and scratch bytes) of the A-run must be a subset of the
+    A∪B-run — adding taint to an input can only widen tainted outputs. *)
+
+val declass_free : Oracle.result3 -> verdict
+(** Declassification soundness for this workload: generated programs touch
+    no declassifying peripheral (the AES engine), so any [Declassified]
+    event in the monitor log is taint dropped without a sanctioned source. *)

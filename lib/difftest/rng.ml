@@ -1,0 +1,37 @@
+type t = { mutable s : int }
+
+let create ~seed =
+  let s = seed land 0xffffffff in
+  { s = (if s = 0 then 1 else s) }
+
+let next r =
+  let x = r.s in
+  let x = x lxor (x lsl 13) land 0xffffffff in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xffffffff in
+  r.s <- x;
+  x
+
+let int r n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next r mod n
+
+let range r lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int r (hi - lo + 1)
+
+let bool r = next r land 1 = 1
+
+let choose r = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int r (List.length l))
+
+let weighted r entries =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 entries in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let k = int r total in
+  let rec pick k = function
+    | [] -> assert false
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k entries

@@ -1,0 +1,24 @@
+(** Deterministic xorshift32 PRNG: fuzzing runs are reproducible by seed,
+    independently of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+(** Seed 0 is mapped to 1 (xorshift has a zero fixed point). *)
+
+val next : t -> int
+(** Next raw 32-bit state (uniform, non-zero). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform-ish in [0, n); [n] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick; raises [Invalid_argument] on an empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick proportionally to the (positive) weights. *)

@@ -67,6 +67,76 @@ let is_memory = function
   | LB _ | LH _ | LW _ | LBU _ | LHU _ | SB _ | SH _ | SW _ -> true
   | _ -> false
 
+let opcode = function
+  | LUI _ -> "lui"
+  | AUIPC _ -> "auipc"
+  | JAL _ -> "jal"
+  | JALR _ -> "jalr"
+  | BEQ _ -> "beq"
+  | BNE _ -> "bne"
+  | BLT _ -> "blt"
+  | BGE _ -> "bge"
+  | BLTU _ -> "bltu"
+  | BGEU _ -> "bgeu"
+  | LB _ -> "lb"
+  | LH _ -> "lh"
+  | LW _ -> "lw"
+  | LBU _ -> "lbu"
+  | LHU _ -> "lhu"
+  | SB _ -> "sb"
+  | SH _ -> "sh"
+  | SW _ -> "sw"
+  | ADDI _ -> "addi"
+  | SLTI _ -> "slti"
+  | SLTIU _ -> "sltiu"
+  | XORI _ -> "xori"
+  | ORI _ -> "ori"
+  | ANDI _ -> "andi"
+  | SLLI _ -> "slli"
+  | SRLI _ -> "srli"
+  | SRAI _ -> "srai"
+  | ADD _ -> "add"
+  | SUB _ -> "sub"
+  | SLL _ -> "sll"
+  | SLT _ -> "slt"
+  | SLTU _ -> "sltu"
+  | XOR _ -> "xor"
+  | SRL _ -> "srl"
+  | SRA _ -> "sra"
+  | OR _ -> "or"
+  | AND _ -> "and"
+  | MUL _ -> "mul"
+  | MULH _ -> "mulh"
+  | MULHSU _ -> "mulhsu"
+  | MULHU _ -> "mulhu"
+  | DIV _ -> "div"
+  | DIVU _ -> "divu"
+  | REM _ -> "rem"
+  | REMU _ -> "remu"
+  | FENCE -> "fence"
+  | ECALL -> "ecall"
+  | EBREAK -> "ebreak"
+  | MRET -> "mret"
+  | WFI -> "wfi"
+  | CSRRW _ -> "csrrw"
+  | CSRRS _ -> "csrrs"
+  | CSRRC _ -> "csrrc"
+  | CSRRWI _ -> "csrrwi"
+  | CSRRSI _ -> "csrrsi"
+  | CSRRCI _ -> "csrrci"
+  | ILLEGAL _ -> "illegal"
+
+let rv32im_opcodes =
+  [
+    "lui"; "auipc"; "jal"; "jalr";
+    "beq"; "bne"; "blt"; "bge"; "bltu"; "bgeu";
+    "lb"; "lh"; "lw"; "lbu"; "lhu"; "sb"; "sh"; "sw";
+    "addi"; "slti"; "sltiu"; "xori"; "ori"; "andi"; "slli"; "srli"; "srai";
+    "add"; "sub"; "sll"; "slt"; "sltu"; "xor"; "srl"; "sra"; "or"; "and";
+    "mul"; "mulh"; "mulhsu"; "mulhu"; "div"; "divu"; "rem"; "remu";
+    "fence"; "ecall";
+  ]
+
 let writes_rd = function
   | LUI (rd, _) | AUIPC (rd, _) | JAL (rd, _) -> Some rd
   | JALR (rd, _, _) -> Some rd

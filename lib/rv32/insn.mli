@@ -74,6 +74,16 @@ type t =
   | CSRRCI of int * int * int
   | ILLEGAL of int  (** Raw instruction word (unsigned 32-bit). *)
 
+val opcode : t -> string
+(** Lowercase mnemonic ("addi", "mulhsu", ...); ["illegal"] for
+    {!ILLEGAL}. Stable keys for coverage tables. *)
+
+val rv32im_opcodes : string list
+(** Every user-mode RV32IM mnemonic a firmware program can retire on this
+    platform without trapping (the base integer set, the M extension,
+    [fence] and [ecall]) — the coverage target of the difftest fuzzer.
+    Excludes [ebreak], the privileged/Zicsr forms and [illegal]. *)
+
 val is_branch : t -> bool
 (** Conditional branches only. *)
 

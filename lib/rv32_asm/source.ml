@@ -1,0 +1,14 @@
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 1024 }
+let raw t s = Buffer.add_string t.buf s
+let comment t s = raw t (Printf.sprintf "# %s\n" s)
+let label t name = raw t (Printf.sprintf "%s:\n" name)
+let insn t i = raw t (Printf.sprintf "        %s\n" (Rv32.Disasm.insn i))
+let line t s = raw t (Printf.sprintf "        %s\n" s)
+let byte t v = raw t (Printf.sprintf "        .byte %d\n" (v land 0xff))
+(* .balign takes a byte count, matching Asm.align; .align would be a
+   power-of-two exponent in gas syntax for RISC-V. *)
+let align t n = raw t (Printf.sprintf "        .balign %d\n" n)
+let contents t = Buffer.contents t.buf
+let check ?org t = Parser.parse_result ?org (contents t)

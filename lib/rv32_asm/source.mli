@@ -1,0 +1,36 @@
+(** Textual assembly emission — the inverse direction of {!Parser}.
+
+    A tiny builder for [.s] source text in the dialect {!Parser} accepts,
+    used by tooling that must hand a human (or a regression suite) a
+    standalone reproducer file: decoded instructions are printed through
+    {!Rv32.Disasm}, pseudo-instructions and label operands are written as
+    raw lines, and {!check} re-parses the accumulated text so emitted
+    sources are assembleable by construction. *)
+
+type t
+
+val create : unit -> t
+
+val comment : t -> string -> unit
+(** Emit a [# ...] comment line. *)
+
+val label : t -> string -> unit
+(** Emit [name:] on its own line. *)
+
+val insn : t -> Rv32.Insn.t -> unit
+(** Emit one decoded instruction via {!Rv32.Disasm.insn}. *)
+
+val line : t -> string -> unit
+(** Emit a raw instruction/directive line verbatim (for pseudo-instructions
+    and label-target forms Disasm cannot print, e.g. ["bnez t4, loop3"]). *)
+
+val byte : t -> int -> unit
+val align : t -> int -> unit
+
+val contents : t -> string
+(** The accumulated source text. *)
+
+val check : ?org:int -> t -> (Image.t, string) result
+(** Assemble {!contents} with {!Parser.parse_result} — emitted text that
+    does not round-trip is a bug in the emitter, and callers writing
+    reproducer files should fail loudly rather than save broken assembly. *)

@@ -171,10 +171,13 @@ let prop_golden_model =
       | _ -> false)
 
 let test_fuzz_harness () =
-  let report = Firmware.Fuzz.run ~seed:7 ~programs:60 () in
-  check_bool "invariants hold" true (Firmware.Fuzz.healthy report);
-  check_int "all programs completed" 60 report.Firmware.Fuzz.completed;
-  check_bool "checks actually ran" true (report.Firmware.Fuzz.checks > 0)
+  let config =
+    { Difftest.Harness.default with seed = 7; programs = 60; props_every = 10 }
+  in
+  let report = Difftest.Harness.run ~config () in
+  check_bool "invariants hold" true (Difftest.Harness.healthy report);
+  check_int "all programs completed" 60 report.Difftest.Harness.completed;
+  check_bool "checks actually ran" true (report.Difftest.Harness.checks > 0)
 
 let () =
   Alcotest.run "diff"

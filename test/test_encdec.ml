@@ -1,0 +1,187 @@
+(* Encode/decode round-trip over the FULL instruction table: every
+   constructor of Rv32.Insn (the partial-table properties live in
+   test_rv32.ml), plus rejection of a curated sample of invalid
+   encodings. *)
+
+open Helpers
+module I = Rv32.Insn
+
+(* One QCheck generator per constructor so `oneofl` over the table covers
+   everything; operands are drawn at full encodable range. *)
+let gen_full_table =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let imm12 = map (fun x -> x - 2048) (int_bound 4095) in
+  let boff = map (fun x -> (x - 2048) * 2) (int_bound 4095) in
+  let joff = map (fun x -> (x - 0x80000) * 2) (int_bound 0xfffff) in
+  let uimm = map (fun x -> x lsl 12) (int_bound 0xfffff) in
+  let shamt = int_bound 31 in
+  let csr = int_bound 0xfff in
+  let zimm = int_bound 31 in
+  let u i = map2 (fun rd imm -> i (rd, imm)) reg uimm in
+  let j i = map2 (fun rd off -> i (rd, off)) reg joff in
+  let b i = map3 (fun a b off -> i (a, b, off)) reg reg boff in
+  let ld i = map3 (fun rd rs off -> i (rd, rs, off)) reg reg imm12 in
+  let st i = map3 (fun rs1 rs2 off -> i (rs1, rs2, off)) reg reg imm12 in
+  let ri i = map3 (fun rd rs imm -> i (rd, rs, imm)) reg reg imm12 in
+  let sh i = map3 (fun rd rs s -> i (rd, rs, s)) reg reg shamt in
+  let rr i = map3 (fun rd a b -> i (rd, a, b)) reg reg reg in
+  let cs i = map3 (fun rd rs c -> i (rd, rs, c)) reg reg csr in
+  let ci i = map3 (fun rd z c -> i (rd, z, c)) reg zimm csr in
+  [
+    u (fun (a, b) -> I.LUI (a, b));
+    u (fun (a, b) -> I.AUIPC (a, b));
+    j (fun (a, b) -> I.JAL (a, b));
+    ld (fun (a, b, c) -> I.JALR (a, b, c));
+    b (fun (a, b, c) -> I.BEQ (a, b, c));
+    b (fun (a, b, c) -> I.BNE (a, b, c));
+    b (fun (a, b, c) -> I.BLT (a, b, c));
+    b (fun (a, b, c) -> I.BGE (a, b, c));
+    b (fun (a, b, c) -> I.BLTU (a, b, c));
+    b (fun (a, b, c) -> I.BGEU (a, b, c));
+    ld (fun (a, b, c) -> I.LB (a, b, c));
+    ld (fun (a, b, c) -> I.LH (a, b, c));
+    ld (fun (a, b, c) -> I.LW (a, b, c));
+    ld (fun (a, b, c) -> I.LBU (a, b, c));
+    ld (fun (a, b, c) -> I.LHU (a, b, c));
+    st (fun (a, b, c) -> I.SB (a, b, c));
+    st (fun (a, b, c) -> I.SH (a, b, c));
+    st (fun (a, b, c) -> I.SW (a, b, c));
+    ri (fun (a, b, c) -> I.ADDI (a, b, c));
+    ri (fun (a, b, c) -> I.SLTI (a, b, c));
+    ri (fun (a, b, c) -> I.SLTIU (a, b, c));
+    ri (fun (a, b, c) -> I.XORI (a, b, c));
+    ri (fun (a, b, c) -> I.ORI (a, b, c));
+    ri (fun (a, b, c) -> I.ANDI (a, b, c));
+    sh (fun (a, b, c) -> I.SLLI (a, b, c));
+    sh (fun (a, b, c) -> I.SRLI (a, b, c));
+    sh (fun (a, b, c) -> I.SRAI (a, b, c));
+    rr (fun (a, b, c) -> I.ADD (a, b, c));
+    rr (fun (a, b, c) -> I.SUB (a, b, c));
+    rr (fun (a, b, c) -> I.SLL (a, b, c));
+    rr (fun (a, b, c) -> I.SLT (a, b, c));
+    rr (fun (a, b, c) -> I.SLTU (a, b, c));
+    rr (fun (a, b, c) -> I.XOR (a, b, c));
+    rr (fun (a, b, c) -> I.SRL (a, b, c));
+    rr (fun (a, b, c) -> I.SRA (a, b, c));
+    rr (fun (a, b, c) -> I.OR (a, b, c));
+    rr (fun (a, b, c) -> I.AND (a, b, c));
+    rr (fun (a, b, c) -> I.MUL (a, b, c));
+    rr (fun (a, b, c) -> I.MULH (a, b, c));
+    rr (fun (a, b, c) -> I.MULHSU (a, b, c));
+    rr (fun (a, b, c) -> I.MULHU (a, b, c));
+    rr (fun (a, b, c) -> I.DIV (a, b, c));
+    rr (fun (a, b, c) -> I.DIVU (a, b, c));
+    rr (fun (a, b, c) -> I.REM (a, b, c));
+    rr (fun (a, b, c) -> I.REMU (a, b, c));
+    QCheck.Gen.return I.FENCE;
+    QCheck.Gen.return I.ECALL;
+    QCheck.Gen.return I.EBREAK;
+    QCheck.Gen.return I.MRET;
+    QCheck.Gen.return I.WFI;
+    cs (fun (a, b, c) -> I.CSRRW (a, b, c));
+    cs (fun (a, b, c) -> I.CSRRS (a, b, c));
+    cs (fun (a, b, c) -> I.CSRRC (a, b, c));
+    ci (fun (a, b, c) -> I.CSRRWI (a, b, c));
+    ci (fun (a, b, c) -> I.CSRRSI (a, b, c));
+    ci (fun (a, b, c) -> I.CSRRCI (a, b, c));
+  ]
+
+let arb_any =
+  QCheck.make ~print:Rv32.Disasm.insn
+    QCheck.Gen.(oneof gen_full_table)
+
+let prop_full_roundtrip =
+  QCheck.Test.make ~name:"decode (encode i) = i over the full table"
+    ~count:5000 arb_any (fun i -> Rv32.Decode.decode (Rv32.Encode.encode i) = i)
+
+(* Every constructor deterministically, once, with representative operands
+   (a property run could in principle under-sample a variant). *)
+let fixed_one_per_constructor =
+  [
+    I.LUI (1, 0xfffff lsl 12); I.AUIPC (31, 0x12345 lsl 12);
+    I.JAL (1, -0x100000); I.JALR (0, 31, -2048);
+    I.BEQ (1, 2, 4094); I.BNE (3, 4, -4096); I.BLT (5, 6, 2);
+    I.BGE (7, 8, -2); I.BLTU (9, 10, 1024); I.BGEU (11, 12, -1024);
+    I.LB (13, 14, -1); I.LH (15, 16, 2047); I.LW (17, 18, -2048);
+    I.LBU (19, 20, 0); I.LHU (21, 22, 1);
+    I.SB (23, 24, -1); I.SH (25, 26, 2047); I.SW (27, 28, -2048);
+    I.ADDI (29, 30, 2047); I.SLTI (31, 0, -2048); I.SLTIU (1, 2, 42);
+    I.XORI (3, 4, -1); I.ORI (5, 6, 0); I.ANDI (7, 8, 255);
+    I.SLLI (9, 10, 0); I.SRLI (11, 12, 31); I.SRAI (13, 14, 1);
+    I.ADD (15, 16, 17); I.SUB (18, 19, 20); I.SLL (21, 22, 23);
+    I.SLT (24, 25, 26); I.SLTU (27, 28, 29); I.XOR (30, 31, 0);
+    I.SRL (1, 2, 3); I.SRA (4, 5, 6); I.OR (7, 8, 9); I.AND (10, 11, 12);
+    I.MUL (13, 14, 15); I.MULH (16, 17, 18); I.MULHSU (19, 20, 21);
+    I.MULHU (22, 23, 24); I.DIV (25, 26, 27); I.DIVU (28, 29, 30);
+    I.REM (31, 0, 1); I.REMU (2, 3, 4);
+    I.FENCE; I.ECALL; I.EBREAK; I.MRET; I.WFI;
+    I.CSRRW (5, 6, 0x300); I.CSRRS (7, 8, 0xc00); I.CSRRC (9, 10, 0x344);
+    I.CSRRWI (11, 31, 0x305); I.CSRRSI (12, 0, 0x304); I.CSRRCI (13, 15, 0x341);
+  ]
+
+let test_every_constructor () =
+  List.iter
+    (fun i ->
+      let w = Rv32.Encode.encode i in
+      if Rv32.Decode.decode w <> i then
+        Alcotest.failf "round-trip failed for %s (0x%08x)" (Rv32.Disasm.insn i) w)
+    fixed_one_per_constructor;
+  (* The fixed list really is the full table: one mnemonic per opcode kind. *)
+  let seen = List.sort_uniq compare (List.map I.opcode fixed_one_per_constructor) in
+  check_int "one case per non-ILLEGAL constructor" 56
+    (List.length fixed_one_per_constructor);
+  check_int "all mnemonics distinct" 56 (List.length seen)
+
+(* Decode must reject malformed words rather than mis-decode them. *)
+let invalid_words =
+  [
+    (0x0000_0000, "all zeroes");
+    (0xffff_ffff, "all ones");
+    (0x0000_0007, "unused opcode 0x07");
+    (0x0000_00ab, "unused major opcode");
+    (0x0000_2067, "jalr with funct3=2");
+    (0x0000_2063, "branch with funct3=2");
+    (0x0000_3063, "branch with funct3=3");
+    (0x0000_3003, "ld (64-bit load) in rv32");
+    (0x0000_7003, "load with funct3=7");
+    (0x0000_3023, "sd (64-bit store) in rv32");
+    (0x0200_1013, "slli with funct7 set");
+    (0x4000_5033 lor 0x0200_0000, "srl with both funct7 bits");
+    (0x0400_0033, "op with funct7=0x02");
+    (0xfe00_0033, "op with funct7=0x7f");
+    (0x0000_4073, "system with funct3=4");
+    (0x1000_0073, "system funct12 unknown (sret unsupported)");
+    (0x0010_0073 lor (1 lsl 7), "ebreak with rd<>0");
+    (0x0000_0073 lor (1 lsl 15), "ecall with rs1<>0");
+  ]
+
+let test_invalid_encodings_rejected () =
+  List.iter
+    (fun (w, what) ->
+      match Rv32.Decode.decode w with
+      | I.ILLEGAL w' ->
+          check_int (Printf.sprintf "%s keeps the raw word" what) w w'
+      | i ->
+          Alcotest.failf "0x%08x (%s) decoded as %s instead of ILLEGAL" w what
+            (Rv32.Disasm.insn i))
+    invalid_words
+
+(* ILLEGAL round-trips through encode as the raw word. *)
+let prop_illegal_identity =
+  QCheck.Test.make ~name:"encode (ILLEGAL w) = w" ~count:500
+    QCheck.(int_bound 0xffffffff)
+    (fun w -> Rv32.Encode.encode (I.ILLEGAL w) = w)
+
+let () =
+  Alcotest.run "encdec"
+    [
+      ( "round-trip",
+        [ Alcotest.test_case "every constructor once" `Quick test_every_constructor ]
+        @ List.map qtest [ prop_full_roundtrip; prop_illegal_identity ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "invalid encodings -> ILLEGAL" `Quick
+            test_invalid_encodings_rejected;
+        ] );
+    ]

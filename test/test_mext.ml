@@ -1,0 +1,98 @@
+(* M-extension edge semantics: the RISC-V spec pins div-by-zero,
+   INT_MIN / -1 overflow, and the MULH* sign behaviours. The golden model
+   and the production core (both VP flavours) must agree with each other
+   AND with the spec value on every case. *)
+
+open Helpers
+module I = Rv32.Insn
+module P = Difftest.Prog
+module O = Difftest.Oracle
+
+let int_min = 0x8000_0000
+let m1 = 0xffff_ffff (* -1 as u32 *)
+let u32 v = v land 0xffff_ffff
+
+let run_op mk a b =
+  let prog = [ P.Straight (P.li_insns 5 a @ P.li_insns 6 b @ [ mk (7, 5, 6) ]) ] in
+  let res = O.run (P.assemble prog) in
+  (match O.explain res.O.golden res.O.vp with
+  | Some d -> Alcotest.failf "golden vs VP: %s" d
+  | None -> ());
+  (match O.explain res.O.vp res.O.vpp with
+  | Some d -> Alcotest.failf "VP vs VP+: %s" d
+  | None -> ());
+  res.O.golden.O.regs.(7)
+
+let case name mk a b expected () =
+  check_int
+    (Printf.sprintf "%s(0x%08x, 0x%08x)" name a b)
+    (u32 expected) (run_op mk a b)
+
+let div_cases =
+  [
+    ("div by zero is -1", (fun (d, a, b) -> I.DIV (d, a, b)), 0x1234, 0, m1);
+    ("div 0/0 is -1", (fun (d, a, b) -> I.DIV (d, a, b)), 0, 0, m1);
+    ("div INT_MIN/-1 overflows to INT_MIN", (fun (d, a, b) -> I.DIV (d, a, b)), int_min, m1, int_min);
+    ("div -7/2", (fun (d, a, b) -> I.DIV (d, a, b)), u32 (-7), 2, u32 (-3));
+    ("divu by zero is all-ones", (fun (d, a, b) -> I.DIVU (d, a, b)), 0xdead_beef, 0, m1);
+    ("divu INT_MIN/-1 is 0", (fun (d, a, b) -> I.DIVU (d, a, b)), int_min, m1, 0);
+    ("rem by zero is dividend", (fun (d, a, b) -> I.REM (d, a, b)), u32 (-77), 0, u32 (-77));
+    ("rem INT_MIN/-1 is 0", (fun (d, a, b) -> I.REM (d, a, b)), int_min, m1, 0);
+    ("rem -7/2", (fun (d, a, b) -> I.REM (d, a, b)), u32 (-7), 2, u32 (-1));
+    ("remu by zero is dividend", (fun (d, a, b) -> I.REMU (d, a, b)), 0xcafe, 0, 0xcafe);
+    ("remu INT_MIN/-1", (fun (d, a, b) -> I.REMU (d, a, b)), int_min, m1, int_min);
+  ]
+
+let mulh_cases =
+  [
+    (* mulh: signed x signed, upper 32 bits. *)
+    ("mulh ++", (fun (d, a, b) -> I.MULH (d, a, b)), 0x7fff_ffff, 0x7fff_ffff, 0x3fff_ffff);
+    ("mulh +-", (fun (d, a, b) -> I.MULH (d, a, b)), 0x7fff_ffff, m1, m1);
+    ("mulh -+", (fun (d, a, b) -> I.MULH (d, a, b)), m1, 0x7fff_ffff, m1);
+    ("mulh --", (fun (d, a, b) -> I.MULH (d, a, b)), m1, m1, 0);
+    ("mulh min*min", (fun (d, a, b) -> I.MULH (d, a, b)), int_min, int_min, 0x4000_0000);
+    ("mulh min*-1", (fun (d, a, b) -> I.MULH (d, a, b)), int_min, m1, 0);
+    (* mulhsu: signed x unsigned. *)
+    ("mulhsu -1 * max-u", (fun (d, a, b) -> I.MULHSU (d, a, b)), m1, m1, m1);
+    ("mulhsu min * max-u", (fun (d, a, b) -> I.MULHSU (d, a, b)), int_min, m1, u32 (-0x8000_0000));
+    ("mulhsu + * big-u", (fun (d, a, b) -> I.MULHSU (d, a, b)), 0x7fff_ffff, m1, 0x7fff_fffe);
+    (* mulhu: unsigned x unsigned. *)
+    ("mulhu max*max", (fun (d, a, b) -> I.MULHU (d, a, b)), m1, m1, 0xffff_fffe);
+    ("mulhu min*min", (fun (d, a, b) -> I.MULHU (d, a, b)), int_min, int_min, 0x4000_0000);
+    ("mulhu min*-1u", (fun (d, a, b) -> I.MULHU (d, a, b)), int_min, m1, 0x7fff_ffff);
+    (* mul: low 32 bits wrap. *)
+    ("mul min*-1 wraps", (fun (d, a, b) -> I.MUL (d, a, b)), int_min, m1, int_min);
+  ]
+
+(* Sweep every M opcode over a small operand grid; no expected values, just
+   three-model agreement (the differential property in isolation). *)
+let test_mext_grid_agrees () =
+  let ops =
+    [ (fun (d, a, b) -> I.MUL (d, a, b));
+      (fun (d, a, b) -> I.MULH (d, a, b));
+      (fun (d, a, b) -> I.MULHSU (d, a, b));
+      (fun (d, a, b) -> I.MULHU (d, a, b));
+      (fun (d, a, b) -> I.DIV (d, a, b));
+      (fun (d, a, b) -> I.DIVU (d, a, b));
+      (fun (d, a, b) -> I.REM (d, a, b));
+      (fun (d, a, b) -> I.REMU (d, a, b)) ]
+  in
+  let operands = [ 0; m1; int_min; 0x7fff_ffff; u32 (-3) ] in
+  List.iter
+    (fun mk ->
+      List.iter
+        (fun a -> List.iter (fun b -> ignore (run_op mk a b)) operands)
+        operands)
+    ops
+
+let () =
+  let tc (name, mk, a, b, expected) =
+    Alcotest.test_case name `Quick (case name mk a b expected)
+  in
+  Alcotest.run "mext"
+    [
+      ("division edges", List.map tc div_cases);
+      ("multiply-high edges", List.map tc mulh_cases);
+      ( "grid",
+        [ Alcotest.test_case "8 ops x 5x5 operands agree" `Quick test_mext_grid_agrees ] );
+    ]
