@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section VI) plus the ablation studies called out in
-   DESIGN.md.
+   DESIGN.md. Timing uses the monotonic clock (Benchkit.Clock); workload
+   definitions and the machine-readable report live in Benchkit.Defs.
 
    Subcommands:
      fig1             - the three example IFPs of Fig. 1 (+ checks + DOT)
@@ -12,13 +13,20 @@
      ablate-lub       - precomputed LUB table vs on-the-fly search
      ablate-quantum   - loosely-timed quantum sweep
      sweep-lattice    - VP+ overhead vs IFP size (beyond the paper)
-     table2-extended  - additional workloads (crc32, matmul, strings, sw-AES)
+     table2-extended [scale] - additional workloads (crc32, matmul, ...)
      bechamel         - Bechamel micro-measurements (one group per table)
-     all (default)    - everything above except bechamel *)
+     all (default)    - everything above except bechamel
+
+   [scale] is a float (0.01 gives a seconds-long smoke run); flags
+   --no-block-cache / --no-fast-path disable the core's decoded-block
+   cache / untainted fast path for the timed subcommands. Each timed
+   subcommand also writes a BENCH_<name>.json report (schema in
+   docs/perf.md). *)
 
 let pf = Printf.printf
+let now_s = Benchkit.Clock.now_s
 
-let now_s () = Unix.gettimeofday ()
+module D = Benchkit.Defs
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1                                                              *)
@@ -76,154 +84,74 @@ let table1 () =
     (if !ok then "reproduced" else "MISMATCH")
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable reports                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_report ~file ~bench ~scale ~block_cache ~fast_path rows =
+  let doc = D.doc ~bench ~scale ~block_cache ~fast_path rows in
+  (match D.validate doc with
+  | Ok () -> ()
+  | Error e -> pf "!! report failed schema validation: %s\n" e);
+  let oc = open_out file in
+  output_string oc (Benchkit.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  pf "\nwrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 (* Table II                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type bench_def = {
-  b_name : string;
-  make_image : int -> Rv32_asm.Image.t;  (* scale -> image *)
-  make_policy : Rv32_asm.Image.t -> Dift.Policy.t;
-  setup : Vp.Soc.t -> unit;
-  sensor_period : Sysc.Time.t option;
-  aes : Rv32_asm.Image.t -> (Dift.Lattice.tag * Dift.Lattice.tag) option;
-}
-
-(* The default benchmark policy: the code-injection setup of Section VI-B
-   (program HI, fetch clearance HI) — a representative always-on check. *)
-let integrity_policy img =
-  let lat = Dift.Lattice.integrity () in
-  let hi = Dift.Lattice.tag_of_name lat "HI" in
-  let li = Dift.Lattice.tag_of_name lat "LI" in
-  Dift.Policy.make ~lattice:lat ~default_tag:li
-    ~classification:
-      [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
-          ~hi:(Rv32_asm.Image.limit img - 1) ~tag:hi ]
-    ~exec_fetch:hi ()
-
-let plain b ~make_image = {
-  b_name = b;
-  make_image;
-  make_policy = integrity_policy;
-  setup = (fun _ -> ());
-  sensor_period = None;
-  aes = (fun _ -> None);
-}
-
-(* Host side of the immobilizer: keep feeding challenges. *)
-let auto_engine ~challenges soc =
-  let sent = ref 1 and frames = ref 0 in
-  Vp.Can.set_tx_callback soc.Vp.Soc.can (fun _ ->
-      incr frames;
-      if !frames mod 2 = 0 && !sent < challenges then begin
-        incr sent;
-        Vp.Can.push_rx_frame soc.Vp.Soc.can (Printf.sprintf "CH%06d" !sent)
-      end);
-  Vp.Can.push_rx_frame soc.Vp.Soc.can "CH000000"
-
-let benches scale =
-  [
-    plain "qsort" ~make_image:(fun s ->
-        Firmware.Qsort_fw.image ~n:1000 ~rounds:(4 * s) ());
-    plain "dhrystone" ~make_image:(fun s ->
-        Firmware.Dhrystone_fw.image ~iterations:(8000 * s) ());
-    plain "primes" ~make_image:(fun s -> Firmware.Primes_fw.image ~n:(4000 * s) ());
-    plain "sha512" ~make_image:(fun s ->
-        Firmware.Sha_fw.image ~message_len:(16384 * s) ());
-    { (plain "simple-sensor" ~make_image:(fun s ->
-           Firmware.Sensor_fw.image ~frames:(600 * s) ()))
-      with sensor_period = Some (Sysc.Time.us 20) };
-    plain "freertos-tasks" ~make_image:(fun s ->
-        Firmware.Rtos_fw.image ~switches:(400 * s) ~slice_ticks:20 ());
-    {
-      b_name = "immo-fixed";
-      make_image =
-        (fun s ->
-          Firmware.Immo_fw.image
-            ~variant:(Firmware.Immo_fw.Normal { fixed_dump = true })
-            ~challenges:(300 * s) ());
-      make_policy = Firmware.Immo_fw.base_policy;
-      setup = (fun soc -> auto_engine ~challenges:(300 * scale) soc);
-      sensor_period = None;
-      aes = (fun img -> Some (Firmware.Immo_fw.aes_args (Firmware.Immo_fw.base_policy img)));
-    };
-  ]
-
-type row = {
-  r_name : string;
-  instr : int;
-  loc_asm : int;
-  time_vp : float;
-  time_vpp : float;
-}
-
-let run_one def ~scale ~tracking =
-  let img = def.make_image scale in
-  let policy = def.make_policy img in
-  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
-  let aes_out_tag, aes_in_clearance =
-    match def.aes img with Some (o, c) -> (Some o, Some c) | None -> (None, None)
-  in
-  let soc =
-    Vp.Soc.create ~policy ~monitor ~tracking ?sensor_period:def.sensor_period
-      ?aes_out_tag ?aes_in_clearance ()
-  in
-  Vp.Soc.load_image soc img;
-  def.setup soc;
-  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
-  Vp.Soc.start soc;
-  let t0 = now_s () in
-  Vp.Soc.run soc;
-  let dt = now_s () -. t0 in
-  (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
-  | Rv32.Core.Exited 0 -> ()
-  | Rv32.Core.Exited c -> pf "!! %s exited with %d\n" def.b_name c
-  | r ->
-      pf "!! %s did not exit cleanly (%s)\n" def.b_name
-        (match r with
-        | Rv32.Core.Running -> "running"
-        | Rv32.Core.Breakpoint -> "breakpoint"
-        | Rv32.Core.Insn_limit -> "insn-limit"
-        | Rv32.Core.Exited _ -> assert false));
-  (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret (), img.Rv32_asm.Image.insn_count, dt)
-
-let table2_rows ~scale =
-  List.map
-    (fun def ->
-      let instr, loc_asm, time_vp = run_one def ~scale ~tracking:false in
-      let _, _, time_vpp = run_one def ~scale ~tracking:true in
-      { r_name = def.b_name; instr; loc_asm; time_vp; time_vpp })
-    (benches scale)
-
-let print_table2 rows =
+let print_table2 pairs =
   pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "Benchmark" "#instr exec."
     "LoC ASM" "VP [s]" "VP+ [s]" "VP" "VP+" "Ov.";
   pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "" "" "" "" "" "MIPS" "MIPS" "";
-  let mips i t = if t > 0. then float_of_int i /. t /. 1e6 else 0. in
   List.iter
-    (fun r ->
-      pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" r.r_name r.instr
-        r.loc_asm r.time_vp r.time_vpp (mips r.instr r.time_vp)
-        (mips r.instr r.time_vpp)
-        (if r.time_vp > 0. then r.time_vpp /. r.time_vp else 0.))
-    rows;
-  let n = float_of_int (List.length rows) in
-  let avg f = List.fold_left (fun a r -> a +. f r) 0. rows /. n in
-  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+    (fun (vp, vpp) ->
+      if not (vp.D.m_exit_ok && vpp.D.m_exit_ok) then
+        pf "!! %s did not exit cleanly\n" vp.D.m_workload;
+      pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" vp.D.m_workload
+        vp.D.m_instructions vp.D.m_loc_asm vp.D.m_seconds vpp.D.m_seconds
+        vp.D.m_mips vpp.D.m_mips vpp.D.m_overhead)
+    pairs;
+  let n = float_of_int (List.length pairs) in
+  let avg f = List.fold_left (fun a p -> a +. f p) 0. pairs /. n in
+  let sum f = List.fold_left (fun a p -> a + f p) 0 pairs in
   pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" "- average -"
-    (sum (fun r -> r.instr) / List.length rows)
-    (sum (fun r -> r.loc_asm) / List.length rows)
-    (avg (fun r -> r.time_vp))
-    (avg (fun r -> r.time_vpp))
-    (avg (fun r -> mips r.instr r.time_vp))
-    (avg (fun r -> mips r.instr r.time_vpp))
-    (avg (fun r -> if r.time_vp > 0. then r.time_vpp /. r.time_vp else 0.))
+    (sum (fun (vp, _) -> vp.D.m_instructions) / List.length pairs)
+    (sum (fun (vp, _) -> vp.D.m_loc_asm) / List.length pairs)
+    (avg (fun (vp, _) -> vp.D.m_seconds))
+    (avg (fun (_, vpp) -> vpp.D.m_seconds))
+    (avg (fun (vp, _) -> vp.D.m_mips))
+    (avg (fun (_, vpp) -> vpp.D.m_mips))
+    (avg (fun (_, vpp) -> vpp.D.m_overhead))
 
-let table2 ~scale () =
-  pf "=== Table II: performance overhead of VP-based DIFT (scale %d) ===\n\n"
+let measure_set ~block_cache ~fast_path defs =
+  List.map
+    (fun def ->
+      match D.measure ~block_cache ~fast_path def with
+      | [ vp; vpp ] -> (vp, vpp)
+      | _ -> assert false)
+    defs
+
+let table2 ~scale ~block_cache ~fast_path () =
+  pf "=== Table II: performance overhead of VP-based DIFT (scale %g) ===\n\n"
     scale;
   pf "(workloads scaled down vs the paper's multi-billion-instruction runs;\n";
   pf " the target is the overhead SHAPE: VP+ roughly 1.2x-3x, average ~2x)\n\n";
-  print_table2 (table2_rows ~scale)
+  let pairs = measure_set ~block_cache ~fast_path (D.table2 ~scale) in
+  print_table2 pairs;
+  write_report ~file:"BENCH_table2.json" ~bench:"table2" ~scale ~block_cache
+    ~fast_path
+    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+
+let table2_extended ~scale ~block_cache ~fast_path () =
+  pf "=== Extended workloads (beyond the paper's Table II set) ===\n\n";
+  let pairs = measure_set ~block_cache ~fast_path (D.extended ~scale) in
+  print_table2 pairs;
+  write_report ~file:"BENCH_table2_extended.json" ~bench:"table2-extended"
+    ~scale ~block_cache ~fast_path
+    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
 
 (* ------------------------------------------------------------------ *)
 (* LoC statistic (Section V-B1's 6.81%)                                *)
@@ -274,151 +202,197 @@ let loc_report () =
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let time_qsort ~tracking ~dmi ~quantum ~policy_of =
+(* One qsort run under explicit platform knobs, as a report row. *)
+let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
+    ~policy_of =
   let img = Firmware.Qsort_fw.image ~n:1000 ~rounds:4 () in
   let policy = policy_of img in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
-  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~dmi ~quantum () in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ~dmi ~quantum ~block_cache
+      ~fast_path ()
+  in
   Vp.Soc.load_image soc img;
   soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
   Vp.Soc.start soc;
   let t0 = now_s () in
   Vp.Soc.run soc;
   let dt = now_s () -. t0 in
-  (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret (), dt)
+  let instr = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () in
+  {
+    D.m_workload = "qsort";
+    m_mode = mode;
+    m_instructions = instr;
+    m_seconds = dt;
+    m_mips = D.mips instr dt;
+    m_overhead = 1.;
+    m_fast_retired = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
+    m_blocks_built = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+    m_loc_asm = img.Rv32_asm.Image.insn_count;
+    m_exit_ok =
+      (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
+      | Rv32.Core.Exited 0 -> true
+      | _ -> false);
+  }
+
+(* Overheads relative to the first row. *)
+let relativize = function
+  | [] -> []
+  | first :: _ as rows ->
+      List.map
+        (fun m ->
+          {
+            m with
+            D.m_overhead =
+              (if first.D.m_seconds > 0. then
+                 m.D.m_seconds /. first.D.m_seconds
+               else 1.);
+          })
+        rows
+
+let print_cases rows =
+  List.iter
+    (fun m ->
+      pf "%-28s %10d instr  %8.3f s  %7.1f MIPS  (%.2fx)\n" m.D.m_mode
+        m.D.m_instructions m.D.m_seconds m.D.m_mips m.D.m_overhead)
+    rows
 
 let unrestricted_policy img =
   ignore img;
   let lat = Dift.Lattice.integrity () in
   Dift.Policy.unrestricted lat ~default_tag:(Dift.Lattice.tag_of_name lat "HI")
 
-let ablate_dmi () =
+let ablate_dmi ~block_cache ~fast_path () =
   pf "=== Ablation: DMI fast path vs full TLM routing (qsort) ===\n\n";
-  List.iter
-    (fun (label, dmi, tracking) ->
-      let instr, dt = time_qsort ~tracking ~dmi ~quantum:1000 ~policy_of:integrity_policy in
-      pf "%-28s %10d instr  %8.3f s  %7.1f MIPS\n" label instr dt
-        (float_of_int instr /. dt /. 1e6))
-    [ ("VP  + DMI", true, false); ("VP  + TLM-only", false, false);
-      ("VP+ + DMI", true, true); ("VP+ + TLM-only", false, true) ]
-
-let ablate_policy () =
-  pf "=== Ablation: cost decomposition of the DIFT engine (qsort) ===\n\n";
-  let cases =
-    [ ("VP (no tags at all)", false, integrity_policy);
-      ("VP+ tags only (no checks)", true, unrestricted_policy);
-      ("VP+ tags + fetch check", true, integrity_policy) ]
+  let rows =
+    relativize
+      (List.map
+         (fun (mode, dmi, tracking) ->
+           qsort_case ~mode ~tracking ~dmi ~quantum:1000 ~block_cache
+             ~fast_path ~policy_of:D.integrity_policy)
+         [ ("vp+dmi", true, false); ("vp+tlm-only", false, false);
+           ("vp++dmi", true, true); ("vp++tlm-only", false, true) ])
   in
-  List.iter
-    (fun (label, tracking, policy_of) ->
-      let instr, dt = time_qsort ~tracking ~dmi:true ~quantum:1000 ~policy_of in
-      pf "%-28s %10d instr  %8.3f s  %7.1f MIPS\n" label instr dt
-        (float_of_int instr /. dt /. 1e6))
-    cases
+  print_cases rows;
+  write_report ~file:"BENCH_ablate_dmi.json" ~bench:"ablate-dmi" ~scale:1.
+    ~block_cache ~fast_path rows
 
-let ablate_lub () =
+let ablate_policy ~block_cache ~fast_path () =
+  pf "=== Ablation: cost decomposition of the DIFT engine (qsort) ===\n\n";
+  let rows =
+    relativize
+      (List.map
+         (fun (mode, tracking, policy_of) ->
+           qsort_case ~mode ~tracking ~dmi:true ~quantum:1000 ~block_cache
+             ~fast_path ~policy_of)
+         [ ("vp-no-tags", false, D.integrity_policy);
+           ("vp+tags-only", true, unrestricted_policy);
+           ("vp+tags+fetch-check", true, D.integrity_policy) ])
+  in
+  print_cases rows;
+  write_report ~file:"BENCH_ablate_policy.json" ~bench:"ablate-policy"
+    ~scale:1. ~block_cache ~fast_path rows
+
+let ablate_quantum ~block_cache ~fast_path () =
+  pf "=== Ablation: loosely-timed quantum sweep (qsort, VP+) ===\n\n";
+  let rows =
+    relativize
+      (List.map
+         (fun quantum ->
+           qsort_case
+             ~mode:(Printf.sprintf "quantum-%d" quantum)
+             ~tracking:true ~dmi:true ~quantum ~block_cache ~fast_path
+             ~policy_of:D.integrity_policy)
+         [ 1; 10; 100; 1000; 10000 ])
+  in
+  print_cases rows;
+  write_report ~file:"BENCH_ablate_quantum.json" ~bench:"ablate-quantum"
+    ~scale:1. ~block_cache ~fast_path rows
+
+let ablate_lub ~block_cache ~fast_path () =
   pf "=== Ablation: precomputed LUB table vs on-the-fly search ===\n\n";
   let lats =
-    [ ("IFP-2 (2 classes)", Dift.Lattice.integrity ());
-      ("IFP-3 (4 classes)", Dift.Lattice.ifp3 ());
-      ("per-byte (19 classes)", Dift.Lattice.per_byte_key ~n:16) ]
+    [ ("ifp2", "IFP-2 (2 classes)", Dift.Lattice.integrity ());
+      ("ifp3", "IFP-3 (4 classes)", Dift.Lattice.ifp3 ());
+      ("per-byte-19", "per-byte (19 classes)", Dift.Lattice.per_byte_key ~n:16) ]
   in
   let iters = 5_000_000 in
-  List.iter
-    (fun (name, lat) ->
-      let n = Dift.Lattice.size lat in
-      let bench f =
-        let t0 = now_s () in
-        let acc = ref 0 in
-        for i = 0 to iters - 1 do
-          acc := !acc + f lat (i mod n) ((i * 7) mod n)
-        done;
-        ignore !acc;
-        now_s () -. t0
-      in
-      let t_table = bench Dift.Lattice.lub in
-      let t_search = bench Dift.Lattice.lub_uncached in
-      pf "%-24s table: %6.1f ns/op   search: %6.1f ns/op   (%.1fx)\n" name
-        (t_table /. float_of_int iters *. 1e9)
-        (t_search /. float_of_int iters *. 1e9)
-        (t_search /. t_table))
-    lats
-
-(* Extended workloads beyond the paper's benchmark set. *)
-let table2_extended ~scale () =
-  pf "=== Extended workloads (beyond the paper's Table II set) ===\n\n";
-  let extras =
-    [
-      plain "crc32" ~make_image:(fun s -> Firmware.Extra_fw.crc32_image ~len:(8192 * s) ());
-      plain "matmul" ~make_image:(fun s -> Firmware.Extra_fw.matmul_image ~n:(24 * s) ());
-      plain "strings" ~make_image:(fun s -> Firmware.Extra_fw.strings_image ~count:(512 * s) ());
-      plain "aes-sw" ~make_image:(fun _ -> Firmware.Aes_sw_fw.image ());
-    ]
-  in
   let rows =
-    List.map
-      (fun def ->
-        let instr, loc_asm, time_vp = run_one def ~scale ~tracking:false in
-        let _, _, time_vpp = run_one def ~scale ~tracking:true in
-        { r_name = def.b_name; instr; loc_asm; time_vp; time_vpp })
-      extras
+    List.concat_map
+      (fun (key, name, lat) ->
+        let n = Dift.Lattice.size lat in
+        let bench f =
+          let t0 = now_s () in
+          let acc = ref 0 in
+          for i = 0 to iters - 1 do
+            acc := !acc + f lat (i mod n) ((i * 7) mod n)
+          done;
+          ignore !acc;
+          now_s () -. t0
+        in
+        let t_table = bench Dift.Lattice.lub in
+        let t_search = bench Dift.Lattice.lub_uncached in
+        pf "%-24s table: %6.1f ns/op   search: %6.1f ns/op   (%.1fx)\n" name
+          (t_table /. float_of_int iters *. 1e9)
+          (t_search /. float_of_int iters *. 1e9)
+          (t_search /. t_table);
+        let mk mode t overhead =
+          {
+            D.m_workload = key;
+            m_mode = mode;
+            m_instructions = iters;
+            m_seconds = t;
+            m_mips = D.mips iters t;
+            m_overhead = overhead;
+            m_fast_retired = 0;
+            m_blocks_built = 0;
+            m_loc_asm = 0;
+            m_exit_ok = true;
+          }
+        in
+        [ mk "lub-table" t_table 1.;
+          mk "lub-search" t_search
+            (if t_table > 0. then t_search /. t_table else 1.) ])
+      lats
   in
-  print_table2 rows
+  write_report ~file:"BENCH_ablate_lub.json" ~bench:"ablate-lub" ~scale:1.
+    ~block_cache ~fast_path rows
 
 (* Overhead vs lattice size: the LUB table should keep the per-class cost
    flat (an experiment beyond the paper). *)
-let sweep_lattice () =
+let sweep_lattice ~block_cache ~fast_path () =
   pf "=== Sweep: VP+ overhead vs IFP size (qsort) ===\n\n";
   let lattices =
-    [ ("IFP-2 (2 classes)", Dift.Lattice.integrity ());
-      ("IFP-3 (4 classes)", Dift.Lattice.ifp3 ());
-      ("per-byte (19 classes)", Dift.Lattice.per_byte_key ~n:16);
-      ("per-byte (67 classes)", Dift.Lattice.per_byte_key ~n:64) ]
+    [ ("ifp2-2", Dift.Lattice.integrity ());
+      ("ifp3-4", Dift.Lattice.ifp3 ());
+      ("per-byte-19", Dift.Lattice.per_byte_key ~n:16);
+      ("per-byte-67", Dift.Lattice.per_byte_key ~n:64) ]
+  in
+  let baseline =
+    qsort_case ~mode:"vp-baseline" ~tracking:false ~dmi:true ~quantum:1000
+      ~block_cache ~fast_path ~policy_of:D.integrity_policy
   in
   let img = Firmware.Qsort_fw.image ~n:1000 ~rounds:4 () in
-  let baseline =
-    let policy = integrity_policy img in
-    let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
-    let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
-    Vp.Soc.load_image soc img;
-    soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
-    Vp.Soc.start soc;
-    let t0 = now_s () in
-    Vp.Soc.run soc;
-    now_s () -. t0
+  let tracked =
+    List.map
+      (fun (mode, lat) ->
+        let bot = Option.get (Dift.Lattice.bottom lat) in
+        let policy_of _ =
+          Dift.Policy.make ~lattice:lat ~default_tag:bot
+            ~classification:
+              [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+                  ~hi:(Rv32_asm.Image.limit img - 1) ~tag:bot ]
+            ~exec_fetch:(Option.get (Dift.Lattice.top lat))
+            ()
+        in
+        qsort_case ~mode ~tracking:true ~dmi:true ~quantum:1000 ~block_cache
+          ~fast_path ~policy_of)
+      lattices
   in
-  pf "%-24s %8.3f s   (VP baseline)\n" "no tracking" baseline;
-  List.iter
-    (fun (name, lat) ->
-      let bot = Option.get (Dift.Lattice.bottom lat) in
-      let policy =
-        Dift.Policy.make ~lattice:lat ~default_tag:bot
-          ~classification:
-            [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
-                ~hi:(Rv32_asm.Image.limit img - 1) ~tag:bot ]
-          ~exec_fetch:(Option.get (Dift.Lattice.top lat))
-          ()
-      in
-      let monitor = Dift.Monitor.create lat in
-      let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
-      Vp.Soc.load_image soc img;
-      soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
-      Vp.Soc.start soc;
-      let t0 = now_s () in
-      Vp.Soc.run soc;
-      let dt = now_s () -. t0 in
-      pf "%-24s %8.3f s   (%.2fx)\n" name dt (dt /. baseline))
-    lattices
-
-let ablate_quantum () =
-  pf "=== Ablation: loosely-timed quantum sweep (qsort, VP+) ===\n\n";
-  List.iter
-    (fun quantum ->
-      let instr, dt = time_qsort ~tracking:true ~dmi:true ~quantum ~policy_of:integrity_policy in
-      pf "quantum %6d cycles: %10d instr  %8.3f s  %7.1f MIPS\n" quantum instr
-        dt
-        (float_of_int instr /. dt /. 1e6))
-    [ 1; 10; 100; 1000; 10000 ]
+  let rows = relativize (baseline :: tracked) in
+  print_cases rows;
+  write_report ~file:"BENCH_sweep_lattice.json" ~bench:"sweep-lattice"
+    ~scale:1. ~block_cache ~fast_path rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-measurements                                          *)
@@ -448,7 +422,7 @@ let bechamel () =
     Test.make ~name:"table2/qsort-vp"
       (Staged.stage (fun () ->
            let img = Firmware.Qsort_fw.image ~n:64 ~rounds:1 () in
-           let policy = integrity_policy img in
+           let policy = D.integrity_policy img in
            let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
            let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
            Vp.Soc.load_image soc img;
@@ -458,7 +432,7 @@ let bechamel () =
     Test.make ~name:"table2/qsort-vp+"
       (Staged.stage (fun () ->
            let img = Firmware.Qsort_fw.image ~n:64 ~rounds:1 () in
-           let policy = integrity_policy img in
+           let policy = D.integrity_policy img in
            let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
            let soc = Vp.Soc.create ~policy ~monitor ~tracking:true () in
            Vp.Soc.load_image soc img;
@@ -518,45 +492,55 @@ let bechamel () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv in
+  let is_flag a = String.length a >= 2 && a.[0] = '-' && a.[1] = '-' in
+  let flags, args = List.partition is_flag (List.tl (Array.to_list Sys.argv)) in
+  List.iter
+    (fun f ->
+      if f <> "--no-block-cache" && f <> "--no-fast-path" then begin
+        pf "unknown flag %S (known: --no-block-cache --no-fast-path)\n" f;
+        exit 1
+      end)
+    flags;
+  let block_cache = not (List.mem "--no-block-cache" flags) in
+  let fast_path = not (List.mem "--no-fast-path" flags) in
   let scale =
     match args with
-    | _ :: "table2" :: s :: _ -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> 1)
-    | _ -> 1
+    | _ :: s :: _ -> (
+        match float_of_string_opt s with Some v when v > 0. -> v | _ -> 1.)
+    | _ -> 1.
   in
   match args with
-  | _ :: "fig1" :: _ -> fig1 ()
-  | _ :: "table1" :: _ -> table1 ()
-  | _ :: "table2" :: _ -> table2 ~scale ()
-  | _ :: "loc" :: _ -> loc_report ()
-  | _ :: "ablate-dmi" :: _ -> ablate_dmi ()
-  | _ :: "ablate-policy" :: _ -> ablate_policy ()
-  | _ :: "ablate-lub" :: _ -> ablate_lub ()
-  | _ :: "ablate-quantum" :: _ -> ablate_quantum ()
-  | _ :: "sweep-lattice" :: _ -> sweep_lattice ()
-  | _ :: "table2-extended" :: _ -> table2_extended ~scale:1 ()
-  | _ :: "bechamel" :: _ -> bechamel ()
-  | _ :: "all" :: _ | [ _ ] ->
+  | "fig1" :: _ -> fig1 ()
+  | "table1" :: _ -> table1 ()
+  | "table2" :: _ -> table2 ~scale ~block_cache ~fast_path ()
+  | "loc" :: _ -> loc_report ()
+  | "ablate-dmi" :: _ -> ablate_dmi ~block_cache ~fast_path ()
+  | "ablate-policy" :: _ -> ablate_policy ~block_cache ~fast_path ()
+  | "ablate-lub" :: _ -> ablate_lub ~block_cache ~fast_path ()
+  | "ablate-quantum" :: _ -> ablate_quantum ~block_cache ~fast_path ()
+  | "sweep-lattice" :: _ -> sweep_lattice ~block_cache ~fast_path ()
+  | "table2-extended" :: _ -> table2_extended ~scale ~block_cache ~fast_path ()
+  | "bechamel" :: _ -> bechamel ()
+  | "all" :: _ | [] ->
       fig1 ();
       pf "\n";
       table1 ();
       pf "\n";
-      table2 ~scale:1 ();
+      table2 ~scale:1. ~block_cache ~fast_path ();
       pf "\n";
       loc_report ();
       pf "\n";
-      ablate_dmi ();
+      ablate_dmi ~block_cache ~fast_path ();
       pf "\n";
-      ablate_policy ();
+      ablate_policy ~block_cache ~fast_path ();
       pf "\n";
-      ablate_lub ();
+      ablate_lub ~block_cache ~fast_path ();
       pf "\n";
-      ablate_quantum ();
+      ablate_quantum ~block_cache ~fast_path ();
       pf "\n";
-      sweep_lattice ();
+      sweep_lattice ~block_cache ~fast_path ();
       pf "\n";
-      table2_extended ~scale:1 ()
-  | _ :: cmd :: _ ->
+      table2_extended ~scale:1. ~block_cache ~fast_path ()
+  | cmd :: _ ->
       pf "unknown command %S\n" cmd;
       exit 1
-  | [] -> ()

@@ -10,7 +10,7 @@
 
 open Cmdliner
 
-let run programs seed size no_shrink shrink_dir props_every inject =
+let run programs seed size no_shrink shrink_dir props_every inject cache_diff =
   let config =
     {
       Difftest.Harness.seed;
@@ -20,6 +20,7 @@ let run programs seed size no_shrink shrink_dir props_every inject =
       shrink_dir;
       props_every;
       inject;
+      cache_diff;
     }
   in
   let report = Difftest.Harness.run ~config () in
@@ -70,10 +71,16 @@ let inject_arg =
          ~doc:"Fault injection: flag any program executing $(docv) as failing, \
                then shrink it — validates the detect-shrink-report pipeline end to end.")
 
+let cache_diff_arg =
+  Arg.(value & flag & info [ "cache-diff" ]
+         ~doc:"Also re-run every program with the decoded-block cache and \
+               untainted fast path disabled and require agreement with the \
+               cached runs (doubles oracle cost).")
+
 let cmd =
   let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
-          $ shrink_dir_arg $ props_every_arg $ inject_arg)
+          $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg)
 
 let () = exit (Cmd.eval' cmd)

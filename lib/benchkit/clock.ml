@@ -1,0 +1,5 @@
+(* Monotonic wall-clock for benchmark timing: Unix.gettimeofday is subject
+   to NTP slews and DST jumps, which turn into negative or wildly wrong
+   durations in long perf runs. bechamel's clock stub reads
+   CLOCK_MONOTONIC. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9

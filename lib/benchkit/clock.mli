@@ -1,0 +1,3 @@
+val now_s : unit -> float
+(** Seconds from an arbitrary epoch on the monotonic clock (never goes
+    backwards; use differences only). *)

@@ -1,0 +1,247 @@
+type def = {
+  d_name : string;
+  make_image : unit -> Rv32_asm.Image.t;
+  make_policy : Rv32_asm.Image.t -> Dift.Policy.t;
+  setup : Vp.Soc.t -> unit;
+  sensor_period : Sysc.Time.t option;
+  aes : Rv32_asm.Image.t -> (Dift.Lattice.tag * Dift.Lattice.tag) option;
+}
+
+let scaled scale base =
+  max 1 (int_of_float ((float_of_int base *. scale) +. 0.5))
+
+(* The default benchmark policy: the code-injection setup of Section VI-B
+   (program HI, fetch clearance HI) — a representative always-on check. *)
+let integrity_policy img =
+  let lat = Dift.Lattice.integrity () in
+  let hi = Dift.Lattice.tag_of_name lat "HI" in
+  let li = Dift.Lattice.tag_of_name lat "LI" in
+  Dift.Policy.make ~lattice:lat ~default_tag:li
+    ~classification:
+      [
+        Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
+          ~hi:(Rv32_asm.Image.limit img - 1) ~tag:hi;
+      ]
+    ~exec_fetch:hi ()
+
+let plain name ~make_image =
+  {
+    d_name = name;
+    make_image;
+    make_policy = integrity_policy;
+    setup = (fun _ -> ());
+    sensor_period = None;
+    aes = (fun _ -> None);
+  }
+
+(* Host side of the immobilizer: keep feeding challenges. *)
+let auto_engine ~challenges soc =
+  let sent = ref 1 and frames = ref 0 in
+  Vp.Can.set_tx_callback soc.Vp.Soc.can (fun _ ->
+      incr frames;
+      if !frames mod 2 = 0 && !sent < challenges then begin
+        incr sent;
+        Vp.Can.push_rx_frame soc.Vp.Soc.can (Printf.sprintf "CH%06d" !sent)
+      end);
+  Vp.Can.push_rx_frame soc.Vp.Soc.can "CH000000"
+
+let table2 ~scale =
+  let s = scaled scale in
+  [
+    plain "qsort" ~make_image:(fun () ->
+        Firmware.Qsort_fw.image ~n:1000 ~rounds:(s 4) ());
+    plain "dhrystone" ~make_image:(fun () ->
+        Firmware.Dhrystone_fw.image ~iterations:(s 8000) ());
+    plain "primes" ~make_image:(fun () -> Firmware.Primes_fw.image ~n:(s 4000) ());
+    plain "sha512" ~make_image:(fun () ->
+        Firmware.Sha_fw.image ~message_len:(s 16384) ());
+    {
+      (plain "simple-sensor" ~make_image:(fun () ->
+           Firmware.Sensor_fw.image ~frames:(s 600) ()))
+      with
+      sensor_period = Some (Sysc.Time.us 20);
+    };
+    plain "freertos-tasks" ~make_image:(fun () ->
+        Firmware.Rtos_fw.image ~switches:(s 400) ~slice_ticks:20 ());
+    {
+      d_name = "immo-fixed";
+      make_image =
+        (fun () ->
+          Firmware.Immo_fw.image
+            ~variant:(Firmware.Immo_fw.Normal { fixed_dump = true })
+            ~challenges:(s 300) ());
+      make_policy = Firmware.Immo_fw.base_policy;
+      setup = (fun soc -> auto_engine ~challenges:(s 300) soc);
+      sensor_period = None;
+      aes =
+        (fun img ->
+          Some (Firmware.Immo_fw.aes_args (Firmware.Immo_fw.base_policy img)));
+    };
+  ]
+
+let extended ~scale =
+  let s = scaled scale in
+  [
+    plain "crc32" ~make_image:(fun () ->
+        Firmware.Extra_fw.crc32_image ~len:(s 8192) ());
+    plain "matmul" ~make_image:(fun () ->
+        Firmware.Extra_fw.matmul_image ~n:(s 24) ());
+    plain "strings" ~make_image:(fun () ->
+        Firmware.Extra_fw.strings_image ~count:(s 512) ());
+    plain "aes-sw" ~make_image:(fun () -> Firmware.Aes_sw_fw.image ());
+  ]
+
+(* --- Measurement ----------------------------------------------------- *)
+
+type raw = {
+  raw_instructions : int;
+  raw_seconds : float;
+  raw_fast : int;
+  raw_blocks : int;
+  raw_exit_ok : bool;
+}
+
+let run_def ?(block_cache = true) ?(fast_path = true) ~tracking def =
+  let img = def.make_image () in
+  let policy = def.make_policy img in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let aes_out_tag, aes_in_clearance =
+    match def.aes img with
+    | Some (o, c) -> (Some o, Some c)
+    | None -> (None, None)
+  in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path
+      ?sensor_period:def.sensor_period ?aes_out_tag ?aes_in_clearance ()
+  in
+  Vp.Soc.load_image soc img;
+  def.setup soc;
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+  Vp.Soc.start soc;
+  let t0 = Clock.now_s () in
+  Vp.Soc.run soc;
+  let dt = Clock.now_s () -. t0 in
+  let exit_ok =
+    match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
+    | Rv32.Core.Exited 0 -> true
+    | _ -> false
+  in
+  {
+    raw_instructions = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ();
+    raw_seconds = dt;
+    raw_fast = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
+    raw_blocks = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+    raw_exit_ok = exit_ok;
+  }
+
+type measurement = {
+  m_workload : string;
+  m_mode : string;
+  m_instructions : int;
+  m_seconds : float;
+  m_mips : float;
+  m_overhead : float;
+  m_fast_retired : int;
+  m_blocks_built : int;
+  m_loc_asm : int;
+  m_exit_ok : bool;
+}
+
+let mips instructions seconds =
+  if seconds > 0. then float_of_int instructions /. seconds /. 1e6 else 0.
+
+let measurement_of_raw ~workload ~mode ~overhead ~loc_asm r =
+  {
+    m_workload = workload;
+    m_mode = mode;
+    m_instructions = r.raw_instructions;
+    m_seconds = r.raw_seconds;
+    m_mips = mips r.raw_instructions r.raw_seconds;
+    m_overhead = overhead;
+    m_fast_retired = r.raw_fast;
+    m_blocks_built = r.raw_blocks;
+    m_loc_asm = loc_asm;
+    m_exit_ok = r.raw_exit_ok;
+  }
+
+let measure ?(block_cache = true) ?(fast_path = true) def =
+  let vp = run_def ~block_cache ~fast_path ~tracking:false def in
+  let vpp = run_def ~block_cache ~fast_path ~tracking:true def in
+  let loc_asm = (def.make_image ()).Rv32_asm.Image.insn_count in
+  let overhead =
+    if vp.raw_seconds > 0. then vpp.raw_seconds /. vp.raw_seconds else 1.
+  in
+  [
+    measurement_of_raw ~workload:def.d_name ~mode:"vp" ~overhead:1. ~loc_asm vp;
+    measurement_of_raw ~workload:def.d_name ~mode:"vp+" ~overhead ~loc_asm vpp;
+  ]
+
+(* --- Report document -------------------------------------------------- *)
+
+let row m =
+  Json.Obj
+    [
+      ("workload", Json.Str m.m_workload);
+      ("mode", Json.Str m.m_mode);
+      ("instructions", Json.num_of_int m.m_instructions);
+      ("seconds", Json.Num m.m_seconds);
+      ("mips", Json.Num m.m_mips);
+      ("overhead", Json.Num m.m_overhead);
+      ("fast_retired", Json.num_of_int m.m_fast_retired);
+      ("blocks_built", Json.num_of_int m.m_blocks_built);
+      ("loc_asm", Json.num_of_int m.m_loc_asm);
+      ("exit_ok", Json.Bool m.m_exit_ok);
+    ]
+
+let doc ~bench ~scale ~block_cache ~fast_path rows =
+  Json.Obj
+    [
+      ("bench", Json.Str bench);
+      ("scale", Json.Num scale);
+      ("block_cache", Json.Bool block_cache);
+      ("fast_path", Json.Bool fast_path);
+      ("rows", Json.List (List.map row rows));
+    ]
+
+(* Schema check for consumers (CI trend scripts): fail loudly on malformed
+   reports rather than silently charting garbage. *)
+let validate j =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let field name conv v =
+    match Option.bind (Json.member name v) conv with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let* bench = field "bench" Json.to_str j in
+  let* () = if bench <> "" then Ok () else Error "empty \"bench\"" in
+  let* scale = field "scale" Json.to_num j in
+  let* () = if scale > 0. then Ok () else Error "\"scale\" must be > 0" in
+  let* (_ : bool) = field "block_cache" Json.to_bool j in
+  let* (_ : bool) = field "fast_path" Json.to_bool j in
+  let* rows = field "rows" Json.to_list j in
+  let* () = if rows <> [] then Ok () else Error "\"rows\" must be non-empty" in
+  List.fold_left
+    (fun acc r ->
+      let* () = acc in
+      let ctx e =
+        Error (Printf.sprintf "row %s: %s" (Json.to_string r) e)
+      in
+      let rfield name conv =
+        match Option.bind (Json.member name r) conv with
+        | Some x -> Ok x
+        | None -> ctx (Printf.sprintf "missing or ill-typed field %S" name)
+      in
+      let* workload = rfield "workload" Json.to_str in
+      let* () = if workload <> "" then Ok () else ctx "empty \"workload\"" in
+      let* (_ : string) = rfield "mode" Json.to_str in
+      let* instructions = rfield "instructions" Json.to_int in
+      let* () =
+        if instructions >= 0 then Ok () else ctx "negative \"instructions\""
+      in
+      let* seconds = rfield "seconds" Json.to_num in
+      let* () = if seconds >= 0. then Ok () else ctx "negative \"seconds\"" in
+      let* m = rfield "mips" Json.to_num in
+      let* () = if m >= 0. then Ok () else ctx "negative \"mips\"" in
+      let* overhead = rfield "overhead" Json.to_num in
+      if overhead > 0. then Ok () else ctx "\"overhead\" must be > 0")
+    (Ok ()) rows

@@ -1,0 +1,70 @@
+(** Table II benchmark definitions and the machine-readable perf report.
+
+    This library backs both the [bench] executable and the tier-1 schema
+    test: a workload definition builds a firmware image and policy at a
+    given scale, {!measure} times it on the plain VP and VP+ flavours, and
+    {!doc} / {!validate} produce and check the [BENCH_*.json] report
+    consumed by CI trend tooling (schema in [docs/perf.md]). *)
+
+type def = {
+  d_name : string;
+  make_image : unit -> Rv32_asm.Image.t;  (** Scale is bound at list-build time. *)
+  make_policy : Rv32_asm.Image.t -> Dift.Policy.t;
+  setup : Vp.Soc.t -> unit;  (** Host-side wiring (e.g. CAN challenges). *)
+  sensor_period : Sysc.Time.t option;
+  aes : Rv32_asm.Image.t -> (Dift.Lattice.tag * Dift.Lattice.tag) option;
+      (** AES peripheral (out_tag, in_clearance), for the immobilizer. *)
+}
+
+val scaled : float -> int -> int
+(** [scaled scale base] = [base * scale] rounded, at least 1. *)
+
+val integrity_policy : Rv32_asm.Image.t -> Dift.Policy.t
+(** The Section VI-B benchmark policy: program region HI with an HI fetch
+    clearance on the two-class integrity lattice. *)
+
+val table2 : scale:float -> def list
+(** The paper's Table II workload set (qsort, dhrystone, primes, sha512,
+    simple-sensor, freertos-tasks, immo-fixed). [scale] multiplies each
+    workload's iteration count; fractions give fast smoke runs. *)
+
+val extended : scale:float -> def list
+(** Additional workloads beyond the paper (crc32, matmul, strings, aes-sw). *)
+
+type measurement = {
+  m_workload : string;
+  m_mode : string;  (** ["vp"] / ["vp+"] (or an ablation label). *)
+  m_instructions : int;  (** Retired, from the core's counter. *)
+  m_seconds : float;  (** Monotonic wall time of the simulation. *)
+  m_mips : float;
+  m_overhead : float;  (** Relative to the workload's vp row; 1.0 there. *)
+  m_fast_retired : int;
+  m_blocks_built : int;
+  m_loc_asm : int;
+  m_exit_ok : bool;  (** Firmware reached the exit ecall with code 0. *)
+}
+
+val measure :
+  ?block_cache:bool -> ?fast_path:bool -> def -> measurement list
+(** Run the workload on VP then VP+ (cache/fast-path flags forwarded to
+    {!Vp.Soc.create}, default on) and return the two rows in that order. *)
+
+val mips : int -> float -> float
+(** [mips instructions seconds], 0 when [seconds] is 0. *)
+
+val row : measurement -> Json.t
+
+val doc :
+  bench:string ->
+  scale:float ->
+  block_cache:bool ->
+  fast_path:bool ->
+  measurement list ->
+  Json.t
+(** The full report document. *)
+
+val validate : Json.t -> (unit, string) result
+(** Schema check: [bench] non-empty string, [scale] > 0, [block_cache] /
+    [fast_path] booleans, [rows] a non-empty list where every row has a
+    non-empty [workload], a [mode] string, integral [instructions >= 0],
+    [seconds >= 0], [mips >= 0] and [overhead > 0]. *)

@@ -42,5 +42,14 @@ val check_count : t -> int
 
 val count_check : t -> unit
 
+val fast_path_ok : t -> bool
+(** May the DIFT engine take its untainted fast path past this monitor?
+    True by default. The fast path only ever skips checks that are
+    guaranteed to pass, so violations and taint state are unaffected — but
+    {!check_count} then undercounts. A harness that needs exact per-check
+    accounting vetoes the fast path with {!set_fast_path_ok}. *)
+
+val set_fast_path_ok : t -> bool -> unit
+
 val pp_event : Lattice.t -> Format.formatter -> event -> unit
 val pp_summary : Format.formatter -> t -> unit

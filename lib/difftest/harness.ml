@@ -6,6 +6,7 @@ type config = {
   shrink_dir : string option;
   props_every : int;
   inject : string option;
+  cache_diff : bool;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     shrink_dir = None;
     props_every = 5;
     inject = None;
+    cache_diff = false;
   }
 
 type failure = {
@@ -37,6 +39,7 @@ type report = {
   purity_failures : int;
   monotonicity_failures : int;
   declass_violations : int;
+  cache_mismatches : int;
   injected_hits : int;
   violations : int;
   checks : int;
@@ -48,7 +51,7 @@ type report = {
 let healthy r =
   r.golden_mismatches = 0 && r.transparency_mismatches = 0
   && r.purity_failures = 0 && r.monotonicity_failures = 0
-  && r.declass_violations = 0 && r.errors = 0
+  && r.declass_violations = 0 && r.cache_mismatches = 0 && r.errors = 0
 
 (* Mutable accumulator threaded through the run loop. *)
 type acc = {
@@ -58,6 +61,7 @@ type acc = {
   mutable a_purity : int;
   mutable a_monotonic : int;
   mutable a_declass : int;
+  mutable a_cache : int;
   mutable a_injected : int;
   mutable a_violations : int;
   mutable a_checks : int;
@@ -126,6 +130,7 @@ let run ?(config = default) () =
       a_purity = 0;
       a_monotonic = 0;
       a_declass = 0;
+      a_cache = 0;
       a_injected = 0;
       a_violations = 0;
       a_checks = 0;
@@ -216,7 +221,53 @@ let run ?(config = default) () =
               prog
         | Props.Ok -> ()
       end;
-      (* 5. Fault injection: validate the detect-shrink-report pipeline. *)
+      (* 5. Block-cache transparency: the same program single-stepped
+         (block cache and fast path off) must agree with the cached runs
+         already taken by the oracle above, on both flavours. *)
+      if cfg.cache_diff then begin
+        let nocache_vpp, _ =
+          Oracle.run_vp ~tracking:true ~block_cache:false ~fast_path:false
+            ~policy img
+        in
+        (match Oracle.explain res.Oracle.vpp nocache_vpp with
+        | Some detail ->
+            acc.a_cache <- acc.a_cache + 1;
+            record_failure cfg acc ~index:i ~kind:"cache-vs-nocache"
+              ~detail:(Printf.sprintf "VP+ cached vs single-step: %s" detail)
+              ~predicate:(fun p ->
+                try
+                  let img = Prog.assemble p in
+                  let cached, _ = Oracle.run_vp ~tracking:true ~policy img in
+                  let plain, _ =
+                    Oracle.run_vp ~tracking:true ~block_cache:false
+                      ~fast_path:false ~policy img
+                  in
+                  not (Oracle.agree cached plain)
+                with _ -> false)
+              prog
+        | None -> ());
+        let nocache_vp, _ =
+          Oracle.run_vp ~tracking:false ~block_cache:false ~fast_path:false img
+        in
+        match Oracle.explain res.Oracle.vp nocache_vp with
+        | Some detail ->
+            acc.a_cache <- acc.a_cache + 1;
+            record_failure cfg acc ~index:i ~kind:"cache-vs-nocache"
+              ~detail:(Printf.sprintf "VP cached vs single-step: %s" detail)
+              ~predicate:(fun p ->
+                try
+                  let img = Prog.assemble p in
+                  let cached, _ = Oracle.run_vp ~tracking:false img in
+                  let plain, _ =
+                    Oracle.run_vp ~tracking:false ~block_cache:false
+                      ~fast_path:false img
+                  in
+                  not (Oracle.agree cached plain)
+                with _ -> false)
+              prog
+        | None -> ()
+      end;
+      (* 6. Fault injection: validate the detect-shrink-report pipeline. *)
       match cfg.inject with
       | Some op when Coverage.count percov op > 0 ->
           acc.a_injected <- acc.a_injected + 1;
@@ -237,6 +288,7 @@ let run ?(config = default) () =
     purity_failures = acc.a_purity;
     monotonicity_failures = acc.a_monotonic;
     declass_violations = acc.a_declass;
+    cache_mismatches = acc.a_cache;
     injected_hits = acc.a_injected;
     violations = acc.a_violations;
     checks = acc.a_checks;
@@ -251,12 +303,14 @@ let pp_report fmt r =
      golden-vs-VP mismatches: %d@,\
      VP-vs-VP+ transparency mismatches: %d@,\
      purity failures: %d, monotonicity failures: %d, declassification violations: %d@,\
+     block-cache mismatches: %d@,\
      injected-fault hits: %d@,\
      %d clearance checks, %d policy violations recorded (informational)@,\
      harness errors: %d@,%a"
     r.programs r.completed r.golden_mismatches r.transparency_mismatches
     r.purity_failures r.monotonicity_failures r.declass_violations
-    r.injected_hits r.checks r.violations r.errors Coverage.pp r.coverage;
+    r.cache_mismatches r.injected_hits r.checks r.violations r.errors
+    Coverage.pp r.coverage;
   List.iter
     (fun f ->
       Format.fprintf fmt "@,@[<v>FAILURE %s: %s@,  shrunk to %d blocks / %d insns (%d oracle evals)%s@]"

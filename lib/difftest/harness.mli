@@ -20,16 +20,23 @@ type config = {
           detect-shrink-report pipeline: treat any program executing this
           opcode mnemonic as failing (a stand-in for a real tag-propagation
           bug in that instruction). *)
+  cache_diff : bool;
+      (** Additionally re-run every program with the decoded basic-block
+          cache and untainted fast path disabled (both VP flavours) and
+          require architectural agreement with the cached runs — a
+          differential check of the dispatch machinery itself (see
+          [docs/perf.md]). Off by default: it doubles the oracle cost. *)
 }
 
 val default : config
 (** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
-    properties every 5th program, no injection. *)
+    properties every 5th program, no injection, no cache differential. *)
 
 type failure = {
   f_kind : string;
       (** ["golden-vs-vp"], ["transparency"], ["purity"], ["monotonicity"],
-          ["declassification"] or ["injected:<opcode>"]. *)
+          ["declassification"], ["cache-vs-nocache"] or
+          ["injected:<opcode>"]. *)
   f_detail : string;  (** First observed difference / property message. *)
   f_asm : string;  (** The (shrunk) reproducer as [.s] source. *)
   f_file : string option;  (** Path written, when [shrink_dir] is set. *)
@@ -46,6 +53,9 @@ type report = {
   purity_failures : int;  (** Taint from nowhere (must be 0). *)
   monotonicity_failures : int;  (** Non-monotone taint (must be 0). *)
   declass_violations : int;  (** Unsanctioned declassification (must be 0). *)
+  cache_mismatches : int;
+      (** Cached vs single-step execution disagreements, counted only when
+          [cache_diff] is set (must be 0). *)
   injected_hits : int;  (** Programs the injected fault flagged. *)
   violations : int;  (** Policy violations recorded (informational). *)
   checks : int;  (** Clearance checks performed (informational). *)

@@ -74,7 +74,8 @@ let run_golden img =
   let mem = String.init len (fun i -> Char.chr (Rv32.Golden.mem_byte g (buf + i))) in
   { stop; regs; mem; instret = n }
 
-let run_vp ~tracking ?policy ?trace img =
+let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
+    img =
   let policy =
     match policy with
     | Some p -> p
@@ -85,7 +86,7 @@ let run_vp ~tracking ?policy ?trace img =
   let monitor =
     Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
   in
-  let soc = Vp.Soc.create ~policy ~monitor ~tracking () in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path () in
   Vp.Soc.load_image soc img;
   soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace trace;
   let stop =

@@ -42,6 +42,8 @@ val run_golden : Rv32_asm.Image.t -> outcome
 
 val run_vp :
   tracking:bool ->
+  ?block_cache:bool ->
+  ?fast_path:bool ->
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
   Rv32_asm.Image.t ->
@@ -49,7 +51,10 @@ val run_vp :
 (** One VP flavour; returns the outcome and the monitor's
     (violations, checks, declassifications). Without [policy] an
     unrestricted single-class policy is used. The monitor runs in [Record]
-    mode so checks never alter execution. *)
+    mode so checks never alter execution. [block_cache] / [fast_path]
+    (default true) forward to {!Vp.Soc.create} — run with
+    [~block_cache:false] to get a reference single-step execution for
+    cache-vs-nocache differential testing. *)
 
 val run :
   ?policy:Dift.Policy.t ->

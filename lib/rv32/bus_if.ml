@@ -13,6 +13,11 @@ type t = {
   p4 : Tlm.Payload.t;
   mutable last_tag : int;
   mutable acc_delay : Sysc.Time.t;
+  (* Invoked with (addr, width) after every DMI store so the core can
+     invalidate decoded basic blocks covering the written bytes. MMIO
+     stores never hit cached code (blocks only exist over the DMI region),
+     so the TLM path does not fire it. *)
+  mutable on_code_write : int -> int -> unit;
 }
 
 let create ~lattice ~default_tag ~tracking ~name =
@@ -30,6 +35,7 @@ let create ~lattice ~default_tag ~tracking ~name =
     p4 = payload 4;
     last_tag = default_tag;
     acc_delay = Sysc.Time.zero;
+    on_code_write = (fun _ _ -> ());
   }
 
 let socket b = b.socket
@@ -44,6 +50,7 @@ let clear_dmi b = b.dmi <- None
 let dmi_range b =
   match b.dmi with Some d -> Some (d.base, d.limit) | None -> None
 let last_tag b = b.last_tag
+let set_code_write_hook b f = b.on_code_write <- f
 
 let take_delay b =
   let d = b.acc_delay in
@@ -119,11 +126,13 @@ let store b ~width ~addr ~value ~tag =
       | 2 -> Bytes.set_uint16_le d.data off (value land 0xffff)
       | 4 -> Bytes.set_int32_le d.data off (Int32.of_int value)
       | w -> invalid_arg (Printf.sprintf "Bus_if: unsupported access width %d" w));
-      if b.tracking then
+      if b.tracking then begin
         let c = Char.chr tag in
         for i = 0 to width - 1 do
           Bytes.unsafe_set d.tags (off + i) c
         done
+      end;
+      b.on_code_write addr width
   | Some _ | None -> mmio_store b ~width ~addr ~value ~tag
 
 let mem_tag b ~addr =

@@ -45,6 +45,12 @@ val store : t -> width:int -> addr:int -> value:int -> tag:Dift.Lattice.tag -> u
 
 val last_tag : t -> Dift.Lattice.tag
 
+val set_code_write_hook : t -> (int -> int -> unit) -> unit
+(** Install a callback fired with [(addr, width)] after every store taken
+    on the DMI path. The core uses this to invalidate decoded basic blocks
+    on self-modifying code; stores routed over TLM are covered by the
+    memory model's own write hook instead. *)
+
 val take_delay : t -> Sysc.Time.t
 (** Return and reset the accumulated TLM timing annotation. *)
 

@@ -17,6 +17,8 @@ module type S = sig
     monitor:Dift.Monitor.t ->
     ?cycle_time:Sysc.Time.t ->
     ?quantum:int ->
+    ?block_cache:bool ->
+    ?fast_path:bool ->
     pc:int ->
     unit ->
     t
@@ -37,11 +39,50 @@ module type S = sig
   val halted : t -> bool
   val halt : t -> exit_reason -> unit
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
+  val flush_code : t -> addr:int -> len:int -> unit
+  val blocks_built : t -> int
+  val fast_retired : t -> int
 end
 
 let mask32 v = v land 0xffffffff
 let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
 let cause_fetch_fault = 1
+
+(* --- Decoded basic blocks -------------------------------------------- *)
+
+(* A run of instructions starting at [b_pc], fetched and decoded once.
+   Control transfers (branches, jal, jalr) terminate a block and are its
+   last instruction; system instructions (ecall, csr*, wfi, ...) are never
+   cached — a block whose first instruction is one of those is stored as an
+   empty marker so the dispatcher falls back to {!step} without re-probing.
+   [b_tags] caches the fetch tag of each instruction word (tracking mode);
+   [b_fast] is true when every cached word carries the lattice-bottom tag,
+   a precondition of the untainted fast path. *)
+type block = {
+  b_pc : int;
+  b_insns : Insn.t array;
+  b_words : int array;
+  b_tags : int array;
+  b_fast : bool;
+}
+
+let max_block_insns = 32
+
+(* Excluded from blocks entirely: rare, complex side effects (traps, wfi,
+   CSR traffic), executed via the slow single-step path. *)
+let block_breaker = function
+  | Insn.FENCE | Insn.ECALL | Insn.EBREAK | Insn.MRET | Insn.WFI
+  | Insn.CSRRW _ | Insn.CSRRS _ | Insn.CSRRC _
+  | Insn.CSRRWI _ | Insn.CSRRSI _ | Insn.CSRRCI _
+  | Insn.ILLEGAL _ -> true
+  | _ -> false
+
+(* Included as a block's last instruction. *)
+let block_ender = function
+  | Insn.JAL _ | Insn.JALR _
+  | Insn.BEQ _ | Insn.BNE _ | Insn.BLT _ | Insn.BGE _
+  | Insn.BLTU _ | Insn.BGEU _ -> true
+  | _ -> false
 
 module Make (M : MODE) = struct
   type t = {
@@ -64,10 +105,30 @@ module Make (M : MODE) = struct
     has_store_clearance : bool;
     decode_cache : (int, Insn.t) Hashtbl.t;
     (* pc-indexed direct cache over the DMI (RAM) region: validated by
-       comparing the cached word, so self-modifying code re-decodes. *)
+       comparing the cached word, so self-modifying code re-decodes. Used
+       by the single-step path and during block building. *)
     pc_cache_base : int;
     pc_cache_words : int array;  (* empty if no DMI region *)
     pc_cache_insns : Insn.t array;
+    (* Decoded basic-block cache over the same region, keyed by start pc.
+       Unlike the per-word cache it is NOT self-validating: stores into
+       cached code must call {!flush_code} (wired from Bus_if and the
+       SoC memory model). *)
+    use_blocks : bool;
+    blocks : block option array;  (* [||] when disabled *)
+    blk_base : int;
+    blk_limit : int;
+    mutable code_lo : int;  (* byte range ever covered by built blocks *)
+    mutable code_hi : int;
+    mutable flush_epoch : int;
+    (* Untainted fast path (tracking mode): when enabled and the current
+       block is b_fast with all register tags at bottom, tag propagation
+       and clearance checks are skipped — they can only produce bottom tags
+       and passing checks. [fast] is true only while such a block runs. *)
+    fast_enabled : bool;
+    mutable fast : bool;
+    mutable n_blocks : int;
+    mutable n_fast : int;
     irq_event : Sysc.Kernel.event;
     cycle_time : Sysc.Time.t;
     quantum : int;
@@ -79,8 +140,36 @@ module Make (M : MODE) = struct
     mutable trace : (int -> Insn.t -> unit) option;
   }
 
+  (* Invalidate every cached block overlapping [addr .. addr+len-1] (the
+     caller already wrote the bytes). Cheap when the write is outside any
+     code executed so far: one range compare. *)
+  let flush_code t ~addr ~len =
+    if
+      len > 0 && t.use_blocks
+      && addr <= t.code_hi
+      && addr + len - 1 >= t.code_lo
+    then begin
+      t.flush_epoch <- t.flush_epoch + 1;
+      let last = addr + len - 1 in
+      (* A block starting up to max_block_insns-1 words earlier can still
+         cover [addr]. *)
+      let lo = max t.blk_base (addr - ((max_block_insns - 1) * 4)) in
+      let hi = min last t.blk_limit in
+      if lo <= hi then begin
+        let i0 = (lo - t.blk_base) lsr 2 and i1 = (hi - t.blk_base) lsr 2 in
+        for i = i0 to i1 do
+          match Array.unsafe_get t.blocks i with
+          | Some b ->
+              let words = max 1 (Array.length b.b_insns) in
+              if b.b_pc + (4 * words) - 1 >= addr then
+                Array.unsafe_set t.blocks i None
+          | None -> ()
+        done
+      end
+    end
+
   let create ~kernel ~bus ~policy ~monitor ?(cycle_time = Sysc.Time.ns 10)
-      ?(quantum = 1000) ~pc () =
+      ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true) ~pc () =
     let pc_cache_base, pc_cache_words, pc_cache_insns =
       match Bus_if.dmi_range bus with
       | Some (base, limit) ->
@@ -94,38 +183,78 @@ module Make (M : MODE) = struct
       | Some b -> b
       | None -> policy.Dift.Policy.default_tag
     in
-    {
-      kernel;
-      bus;
-      policy;
-      monitor;
-      lat;
-      regs = Array.make 32 0;
-      rtags = Array.make 32 pub;
-      pc;
-      cur_pc = pc;
-      insn_word = 0;
-      insn_tag = pub;
-      csrf = Csr.create ~default_tag:pub;
-      pub;
-      fetch_req = policy.Dift.Policy.exec_fetch;
-      branch_req = policy.Dift.Policy.exec_branch;
-      mem_addr_req = policy.Dift.Policy.exec_mem_addr;
-      has_store_clearance = policy.Dift.Policy.store_clearance <> [];
-      decode_cache = Hashtbl.create 1024;
-      pc_cache_base;
-      pc_cache_words;
-      pc_cache_insns;
-      irq_event = Sysc.Kernel.create_event kernel "cpu.irq";
-      cycle_time;
-      quantum;
-      local_cycles = 0;
-      instret = 0;
-      max_insns = max_int;
-      in_wfi = false;
-      exit_reason = Running;
-      trace = None;
-    }
+    let blocks, blk_base, blk_limit =
+      match Bus_if.dmi_range bus with
+      | Some (base, limit) when block_cache ->
+          (Array.make (((limit - base) / 4) + 1) None, base, limit)
+      | Some _ | None -> ([||], 0, -1)
+    in
+    (* The fast path is sound only if the bottom tag passes every check the
+       engine could skip: the execution clearances and all store-integrity
+       regions. Policies where bottom itself is not cleared (so every
+       instruction would violate) simply never take it. *)
+    let pub_flows_to = function
+      | Some req -> Dift.Lattice.allowed_flow lat pub req
+      | None -> true
+    in
+    let fast_enabled =
+      M.tracking && fast_path
+      && Array.length blocks > 0
+      && pub_flows_to policy.Dift.Policy.exec_fetch
+      && pub_flows_to policy.Dift.Policy.exec_branch
+      && pub_flows_to policy.Dift.Policy.exec_mem_addr
+      && List.for_all
+           (fun r -> Dift.Lattice.allowed_flow lat pub r.Dift.Policy.r_tag)
+           policy.Dift.Policy.store_clearance
+    in
+    let t =
+      {
+        kernel;
+        bus;
+        policy;
+        monitor;
+        lat;
+        regs = Array.make 32 0;
+        rtags = Array.make 32 pub;
+        pc;
+        cur_pc = pc;
+        insn_word = 0;
+        insn_tag = pub;
+        csrf = Csr.create ~default_tag:pub;
+        pub;
+        fetch_req = policy.Dift.Policy.exec_fetch;
+        branch_req = policy.Dift.Policy.exec_branch;
+        mem_addr_req = policy.Dift.Policy.exec_mem_addr;
+        has_store_clearance = policy.Dift.Policy.store_clearance <> [];
+        decode_cache = Hashtbl.create 1024;
+        pc_cache_base;
+        pc_cache_words;
+        pc_cache_insns;
+        use_blocks = Array.length blocks > 0;
+        blocks;
+        blk_base;
+        blk_limit;
+        code_lo = max_int;
+        code_hi = min_int;
+        flush_epoch = 0;
+        fast_enabled;
+        fast = false;
+        n_blocks = 0;
+        n_fast = 0;
+        irq_event = Sysc.Kernel.create_event kernel "cpu.irq";
+        cycle_time;
+        quantum;
+        local_cycles = 0;
+        instret = 0;
+        max_insns = max_int;
+        in_wfi = false;
+        exit_reason = Running;
+        trace = None;
+      }
+    in
+    if t.use_blocks then
+      Bus_if.set_code_write_hook bus (fun addr len -> flush_code t ~addr ~len);
+    t
 
   let pc t = t.pc
   let set_pc t v = t.pc <- mask32 v
@@ -135,7 +264,12 @@ module Make (M : MODE) = struct
   let set_reg_tagged t r v tag =
     if r <> 0 then begin
       t.regs.(r) <- mask32 v;
-      if M.tracking then t.rtags.(r) <- tag
+      if M.tracking then begin
+        t.rtags.(r) <- tag;
+        (* First non-bottom tag (a tainted load) ends the fast path; the
+           remainder of the block runs with full propagation. *)
+        if t.fast && tag <> t.pub then t.fast <- false
+      end
     end
 
   let set_reg t r v = set_reg_tagged t r v t.pub
@@ -149,6 +283,8 @@ module Make (M : MODE) = struct
     if t.exit_reason = Running then t.exit_reason <- reason
 
   let set_trace t fn = t.trace <- fn
+  let blocks_built t = t.n_blocks
+  let fast_retired t = t.n_fast
 
   let set_irq t ~bit on =
     let c = t.csrf in
@@ -234,6 +370,7 @@ module Make (M : MODE) = struct
     let mie = (s lsr 3) land 1 in
     c.Csr.v_mstatus <-
       s land lnot (Csr.mstatus_mie lor Csr.mstatus_mpie) lor (mie lsl 7);
+    (* Tags stay exact on the fast path, so this check runs even there. *)
     if M.tracking then check_branch t c.Csr.t_mtvec "trap vector (mtvec)";
     t.pc <- c.Csr.v_mtvec
 
@@ -301,16 +438,23 @@ module Make (M : MODE) = struct
     let pc0 = t.cur_pc in
     let regs = t.regs and rtags = t.rtags in
     let itag = t.insn_tag in
+    (* On the fast path every live tag is the bottom tag, so propagation is
+       the identity and every clearance check passes by construction (see
+       [fast_enabled]); both are skipped. A tainted load drops [t.fast]
+       inside set_reg_tagged, but [fast] here is deliberately the value at
+       instruction entry: nothing after the load reads tags. *)
+    let fast = M.tracking && t.fast in
     let rt r = if M.tracking then rtags.(r) else t.pub in
     (* Tag of an ALU result from one / two register sources: immediates and
        the operation itself inherit the instruction's classification. *)
-    let tag1 r = if M.tracking then lub t rtags.(r) itag else t.pub in
+    let tag1 r = if M.tracking && not fast then lub t rtags.(r) itag else t.pub in
     let tag2 a b =
-      if M.tracking then lub t (lub t rtags.(a) rtags.(b)) itag else t.pub
+      if M.tracking && not fast then lub t (lub t rtags.(a) rtags.(b)) itag
+      else t.pub
     in
     let branch_to target = t.pc <- mask32 target in
     let cond_branch a b off taken =
-      if M.tracking then
+      if M.tracking && not fast then
         check_branch t (lub t (rt a) (rt b)) "branch condition";
       if taken then branch_to (pc0 + off)
     in
@@ -321,7 +465,8 @@ module Make (M : MODE) = struct
         set_reg_tagged t rd (pc0 + 4) itag;
         branch_to (pc0 + off)
     | JALR (rd, rs1, off) ->
-        if M.tracking then check_branch t (rt rs1) "indirect jump target";
+        if M.tracking && not fast then
+          check_branch t (rt rs1) "indirect jump target";
         let target = mask32 (regs.(rs1) + off) land lnot 1 in
         set_reg_tagged t rd (pc0 + 4) itag;
         branch_to target
@@ -333,50 +478,50 @@ module Make (M : MODE) = struct
     | BGEU (a, b, off) -> cond_branch a b off (regs.(a) >= regs.(b))
     | LB (rd, rs1, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then check_mem_addr t (rt rs1) addr;
+        if M.tracking && not fast then check_mem_addr t (rt rs1) addr;
         let v = do_load t ~width:1 ~addr in
         set_reg_tagged t rd
           (if v land 0x80 <> 0 then v lor 0xffffff00 else v)
           (Bus_if.last_tag t.bus)
     | LH (rd, rs1, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then check_mem_addr t (rt rs1) addr;
+        if M.tracking && not fast then check_mem_addr t (rt rs1) addr;
         let v = do_load t ~width:2 ~addr in
         set_reg_tagged t rd
           (if v land 0x8000 <> 0 then v lor 0xffff0000 else v)
           (Bus_if.last_tag t.bus)
     | LW (rd, rs1, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then check_mem_addr t (rt rs1) addr;
+        if M.tracking && not fast then check_mem_addr t (rt rs1) addr;
         let v = do_load t ~width:4 ~addr in
         set_reg_tagged t rd v (Bus_if.last_tag t.bus)
     | LBU (rd, rs1, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then check_mem_addr t (rt rs1) addr;
+        if M.tracking && not fast then check_mem_addr t (rt rs1) addr;
         let v = do_load t ~width:1 ~addr in
         set_reg_tagged t rd v (Bus_if.last_tag t.bus)
     | LHU (rd, rs1, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then check_mem_addr t (rt rs1) addr;
+        if M.tracking && not fast then check_mem_addr t (rt rs1) addr;
         let v = do_load t ~width:2 ~addr in
         set_reg_tagged t rd v (Bus_if.last_tag t.bus)
     | SB (rs1, rs2, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then begin
+        if M.tracking && not fast then begin
           check_mem_addr t (rt rs1) addr;
           check_store_region t ~addr ~width:1 ~tag:(rt rs2)
         end;
         do_store t ~width:1 ~addr ~value:regs.(rs2) ~tag:(rt rs2)
     | SH (rs1, rs2, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then begin
+        if M.tracking && not fast then begin
           check_mem_addr t (rt rs1) addr;
           check_store_region t ~addr ~width:2 ~tag:(rt rs2)
         end;
         do_store t ~width:2 ~addr ~value:regs.(rs2) ~tag:(rt rs2)
     | SW (rs1, rs2, off) ->
         let addr = mask32 (regs.(rs1) + off) in
-        if M.tracking then begin
+        if M.tracking && not fast then begin
           check_mem_addr t (rt rs1) addr;
           check_store_region t ~addr ~width:4 ~tag:(rt rs2)
         end;
@@ -546,6 +691,140 @@ module Make (M : MODE) = struct
           (try execute t insn with Exit -> ())
     end
 
+  (* --- Block dispatch ------------------------------------------------ *)
+
+  let interrupt_pending t =
+    let c = t.csrf in
+    c.Csr.v_mstatus land Csr.mstatus_mie <> 0
+    && c.Csr.v_mip land c.Csr.v_mie <> 0
+
+  (* Fetch-decode a block starting at [pc] (word-aligned, inside the DMI
+     region). DMI loads are side-effect free, so probing ahead of execution
+     is safe; words are re-checked against nothing afterwards — the
+     invalidation hooks keep the cache coherent instead. *)
+  let build_block t pc =
+    let insns = ref [] and words = ref [] and tags = ref [] in
+    let n = ref 0 in
+    let addr = ref pc in
+    let all_pub = ref true in
+    let stop = ref false in
+    while (not !stop) && !n < max_block_insns && !addr + 3 <= t.blk_limit do
+      let w = Bus_if.load t.bus ~width:4 ~addr:!addr in
+      let tag = if M.tracking then Bus_if.last_tag t.bus else t.pub in
+      let insn = decode_cached t !addr w in
+      if block_breaker insn then stop := true
+      else begin
+        insns := insn :: !insns;
+        words := w :: !words;
+        tags := tag :: !tags;
+        if tag <> t.pub then all_pub := false;
+        incr n;
+        addr := !addr + 4;
+        if block_ender insn then stop := true
+      end
+    done;
+    let b =
+      {
+        b_pc = pc;
+        b_insns = Array.of_list (List.rev !insns);
+        b_words = Array.of_list (List.rev !words);
+        b_tags = (if M.tracking then Array.of_list (List.rev !tags) else [||]);
+        b_fast = !all_pub && !n > 0;
+      }
+    in
+    t.n_blocks <- t.n_blocks + 1;
+    if pc < t.code_lo then t.code_lo <- pc;
+    let last = pc + (4 * max 1 !n) - 1 in
+    if last > t.code_hi then t.code_hi <- last;
+    b
+
+  let regs_all_pub t =
+    let rtags = t.rtags and pub = t.pub in
+    let ok = ref true in
+    let i = ref 1 in
+    while !ok && !i < 32 do
+      if Array.unsafe_get rtags !i <> pub then ok := false;
+      incr i
+    done;
+    !ok
+
+  (* Execute instructions from a cached block. Per-instruction semantics
+     mirror {!step} exactly (ordering of trace / instret / pc update /
+     execute); the loop additionally stops at the instruction budget, the
+     sync quantum, a pending interrupt, a taken branch or trap, or when an
+     invalidation touched cached code (self-modifying stores take effect
+     from the very next instruction, as in single-step mode). *)
+  let exec_block t b =
+    let epoch0 = t.flush_epoch in
+    let n = Array.length b.b_insns in
+    if
+      t.fast_enabled && b.b_fast
+      && regs_all_pub t
+      && Dift.Monitor.fast_path_ok t.monitor
+    then begin
+      t.fast <- true;
+      (* LUI/AUIPC/JAL/JALR read the fetch tag through [t.insn_tag]. *)
+      t.insn_tag <- t.pub
+    end;
+    let i = ref 0 in
+    let continue = ref true in
+    (try
+       while !continue && !i < n do
+         if
+           !i > 0
+           && (t.instret >= t.max_insns
+              || t.exit_reason <> Running
+              || t.local_cycles >= t.quantum
+              || t.flush_epoch <> epoch0
+              || interrupt_pending t)
+         then continue := false
+         else begin
+           let pc0 = t.pc in
+           t.cur_pc <- pc0;
+           let insn = Array.unsafe_get b.b_insns !i in
+           if M.tracking then begin
+             if t.fast then t.n_fast <- t.n_fast + 1
+             else begin
+               t.insn_word <- Array.unsafe_get b.b_words !i;
+               t.insn_tag <- Array.unsafe_get b.b_tags !i;
+               check_fetch t t.insn_tag
+             end
+           end;
+           (match t.trace with Some f -> f pc0 insn | None -> ());
+           t.instret <- t.instret + 1;
+           t.local_cycles <- t.local_cycles + 1;
+           t.pc <- mask32 (pc0 + 4);
+           (try execute t insn with Exit -> ());
+           incr i;
+           if t.pc <> mask32 (pc0 + 4) then continue := false
+         end
+       done
+     with e ->
+       t.fast <- false;
+       raise e);
+    t.fast <- false
+
+  (* One scheduling round: take a pending interrupt, or run (up to) one
+     basic block from the cache, building it on a miss; pcs outside the
+     cacheable region and system instructions fall back to {!step}. *)
+  let dispatch t =
+    if interrupt_pending t then take_interrupt t
+    else begin
+      let pc0 = t.pc in
+      let idx = (pc0 - t.blk_base) lsr 2 in
+      if pc0 land 3 <> 0 || idx >= Array.length t.blocks then step t
+      else
+        let b =
+          match Array.unsafe_get t.blocks idx with
+          | Some b -> b
+          | None ->
+              let b = build_block t pc0 in
+              Array.unsafe_set t.blocks idx (Some b);
+              b
+        in
+        if Array.length b.b_insns = 0 then step t else exec_block t b
+    end
+
   let sync_time t =
     let elapsed =
       Sysc.Time.add
@@ -568,7 +847,7 @@ module Make (M : MODE) = struct
           end
           else if t.instret >= t.max_insns then halt t Insn_limit
           else begin
-            step t;
+            if t.use_blocks then dispatch t else step t;
             if t.local_cycles >= t.quantum then sync_time t
           end
         done;

@@ -16,7 +16,21 @@
       trap-vector tags against the branch clearance, and load/store base
       addresses against the memory-address clearance (Section V-B2);
     - stores into policy-protected regions check the data tag against the
-      region's required class. *)
+      region's required class.
+
+    Performance machinery (both flavours, see [docs/perf.md]):
+    - a decoded basic-block cache over the DMI (RAM) region: straight-line
+      runs terminated by a control transfer are fetched and decoded once
+      and dispatched from pre-decoded arrays; stores into cached code
+      (self-modifying code via the CPU, DMA via the memory model) invalidate
+      overlapping blocks through {!flush_code};
+    - an untainted fast path (VP+ only): while every live register tag and
+      every fetched word's tag is the lattice bottom and the bottom tag
+      passes all static clearances, tag propagation and monitor checks are
+      skipped; the first non-bottom tag re-enables full tracking. Violation
+      behaviour and final tag state are unchanged; only
+      {!Dift.Monitor.check_count} undercounts (harnesses that need exact
+      check accounting veto it via {!Dift.Monitor.set_fast_path_ok}). *)
 
 exception Fatal_trap of { cause : int; pc : int; tval : int }
 (** A synchronous trap occurred while [mtvec] is 0 (no handler installed),
@@ -42,12 +56,17 @@ module type S = sig
     monitor:Dift.Monitor.t ->
     ?cycle_time:Sysc.Time.t ->
     ?quantum:int ->
+    ?block_cache:bool ->
+    ?fast_path:bool ->
     pc:int ->
     unit ->
     t
   (** [cycle_time] is the modelled cost of one instruction (default 10 ns);
       [quantum] the number of local cycles the core runs ahead before
-      synchronising with the kernel (default 1000, loosely-timed style). *)
+      synchronising with the kernel (default 1000, loosely-timed style).
+      [block_cache] (default true) enables the decoded basic-block cache
+      (requires a DMI region); [fast_path] (default true) enables the
+      untainted fast path on top of it (tracking flavour only). *)
 
   (** {1 Architectural state} *)
 
@@ -90,6 +109,23 @@ module type S = sig
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
   (** Install (or remove) a per-instruction hook, called with the pc and
       decoded instruction before execution (tracing / coverage). *)
+
+  (** {1 Block cache and fast path} *)
+
+  val flush_code : t -> addr:int -> len:int -> unit
+  (** Invalidate cached basic blocks overlapping
+      [addr .. addr + len - 1]. Wired automatically to {!Bus_if}'s DMI
+      store hook at [create] time; external writers that bypass the bus
+      (loaders, DMA models not routed through {!Vp}'s memory) must call it
+      themselves. No-op when the block cache is disabled. *)
+
+  val blocks_built : t -> int
+  (** Number of basic blocks fetch-decoded so far (rebuilds after
+      invalidation count again). *)
+
+  val fast_retired : t -> int
+  (** Number of instructions retired on the untainted fast path (0 when
+      [fast_path] is off or the flavour is non-tracking). *)
 end
 
 module Make (_ : MODE) : S

@@ -3,6 +3,11 @@ type t = {
   data : Bytes.t;
   tags : Bytes.t;
   latency : Sysc.Time.t;
+  (* Fired with (offset, len) after any mutation of data or tags that does
+     not go through the CPU's DMI path: TLM writes (DMA, peripherals), the
+     loader, and the direct write_*/fill_tags accessors. The SoC routes it
+     to the core's basic-block invalidation. *)
+  mutable on_write : int -> int -> unit;
 }
 
 let create env ~name ~size =
@@ -11,18 +16,39 @@ let create env ~name ~size =
     data = Bytes.make size '\000';
     tags = Bytes.make size (Char.chr env.Env.pub);
     latency = Sysc.Time.ns 5;
+    on_write = (fun _ _ -> ());
   }
 
 let size m = Bytes.length m.data
 let data m = m.data
 let tags m = m.tags
+let set_write_hook m f = m.on_write <- f
 let read_byte m off = Bytes.get_uint8 m.data off
-let write_byte m off v = Bytes.set_uint8 m.data off (v land 0xff)
+
+let write_byte m off v =
+  Bytes.set_uint8 m.data off (v land 0xff);
+  m.on_write off 1
+
 let read_tag m off = Char.code (Bytes.get m.tags off)
-let write_tag m off t = Bytes.set m.tags off (Char.chr t)
+
+let write_tag m off t =
+  Bytes.set m.tags off (Char.chr t);
+  m.on_write off 1
+
 let read_word m off = Int32.to_int (Bytes.get_int32_le m.data off) land 0xffffffff
-let write_word m off v = Bytes.set_int32_le m.data off (Int32.of_int v)
-let fill_tags m ~off ~len t = Bytes.fill m.tags off len (Char.chr t)
+
+let write_word m off v =
+  Bytes.set_int32_le m.data off (Int32.of_int v);
+  m.on_write off 4
+
+let fill_tags m ~off ~len t =
+  Bytes.fill m.tags off len (Char.chr t);
+  if len > 0 then m.on_write off len
+
+let load m ~off src =
+  let len = Bytes.length src in
+  Bytes.blit src 0 m.data off len;
+  if len > 0 then m.on_write off len
 
 let tainted_regions m ~baseline =
   let n = size m in
@@ -55,7 +81,8 @@ let transport m (p : Tlm.Payload.t) delay =
         Bytes.blit m.tags off p.Tlm.Payload.tags 0 len
     | Tlm.Payload.Write ->
         Bytes.blit p.Tlm.Payload.data 0 m.data off len;
-        Bytes.blit p.Tlm.Payload.tags 0 m.tags off len);
+        Bytes.blit p.Tlm.Payload.tags 0 m.tags off len;
+        if len > 0 then m.on_write off len);
     p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
     Sysc.Time.add delay m.latency
   end

@@ -26,6 +26,18 @@ val write_word : t -> int -> int -> unit
 
 val fill_tags : t -> off:int -> len:int -> Dift.Lattice.tag -> unit
 
+val load : t -> off:int -> Bytes.t -> unit
+(** Blit [src] into the value bytes at [off], firing the write hook (the
+    loader's entry point; raw {!data} blits would bypass invalidation). *)
+
+val set_write_hook : t -> (int -> int -> unit) -> unit
+(** Install a callback fired with [(offset, len)] after every mutation of
+    the value or tag bytes through this module (TLM writes, the loader,
+    direct accessors). The SoC uses it to invalidate the core's decoded
+    basic-block cache on DMA-into-code and reclassification. Writes taken
+    on the CPU's DMI fast path are reported by {!Rv32.Bus_if}'s own hook
+    instead. *)
+
 val tainted_regions : t -> baseline:Dift.Lattice.tag -> (int * int * Dift.Lattice.tag) list
 (** Maximal runs of consecutive bytes whose tag differs from [baseline],
     as [(first_offset, last_offset, tag)] triples with a uniform tag per

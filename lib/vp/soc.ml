@@ -29,6 +29,9 @@ type cpu = {
   cpu_set_irq : bit:int -> on:bool -> unit;
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
+  cpu_flush_code : addr:int -> len:int -> unit;
+  cpu_blocks_built : unit -> int;
+  cpu_fast_retired : unit -> int;
 }
 
 type t = {
@@ -67,6 +70,9 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_set_irq = (fun ~bit ~on -> C.set_irq core ~bit on);
       cpu_set_trace = (fun fn -> C.set_trace core fn);
       cpu_csr = C.csr core;
+      cpu_flush_code = (fun ~addr ~len -> C.flush_code core ~addr ~len);
+      cpu_blocks_built = (fun () -> C.blocks_built core);
+      cpu_fast_retired = (fun () -> C.fast_retired core);
     }
 end
 
@@ -74,8 +80,8 @@ module Wrap_vp = Wrap (Rv32.Core.Vp)
 module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
 
 let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
-    ?(dmi = true) ?(quantum = 1000) ?sensor_period ?aes_out_tag
-    ?aes_in_clearance ?wdt_clearance () =
+    ?(dmi = true) ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
+    ?sensor_period ?aes_out_tag ?aes_in_clearance ?wdt_clearance () =
   let kernel = Sysc.Kernel.create () in
   let env = Env.create kernel policy monitor in
   let router = Tlm.Router.create ~name:"bus" () in
@@ -118,12 +124,16 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     if tracking then
       Wrap_dift.make
         (Rv32.Core.Vp_dift.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~pc:ram_base ())
+           ~block_cache ~fast_path ~pc:ram_base ())
     else
       Wrap_vp.make
         (Rv32.Core.Vp.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~pc:ram_base ())
+           ~block_cache ~fast_path ~pc:ram_base ())
   in
+  (* Writes landing in RAM behind the CPU's back (DMA over TLM, the loader,
+     direct test pokes, reclassification) invalidate decoded blocks. *)
+  Memory.set_write_hook memory (fun off len ->
+      cpu.cpu_flush_code ~addr:(ram_base + off) ~len);
   Clint.set_timer_irq_callback clint (fun on ->
       cpu.cpu_set_irq ~bit:Rv32.Csr.bit_mti ~on);
   Clint.set_soft_irq_callback clint (fun on ->
@@ -164,8 +174,7 @@ let load_image soc img =
   let len = Bytes.length img.Rv32_asm.Image.code in
   if org < ram_base || org + len > ram_base + Memory.size soc.memory then
     invalid_arg "Soc.load_image: image does not fit in RAM";
-  Bytes.blit img.Rv32_asm.Image.code 0 (Memory.data soc.memory) (org - ram_base)
-    len;
+  Memory.load soc.memory ~off:(org - ram_base) img.Rv32_asm.Image.code;
   (* Classification: assign initial security classes per policy region.
      Regions are applied in reverse declaration order so that, as in
      {!Dift.Policy.classify_at}, the first (most specific) matching region

@@ -53,6 +53,9 @@ type cpu = {
   cpu_set_irq : bit:int -> on:bool -> unit;
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
+  cpu_flush_code : addr:int -> len:int -> unit;
+  cpu_blocks_built : unit -> int;
+  cpu_fast_retired : unit -> int;
 }
 
 type t = {
@@ -80,6 +83,8 @@ val create :
   ?ram_size:int ->
   ?dmi:bool ->
   ?quantum:int ->
+  ?block_cache:bool ->
+  ?fast_path:bool ->
   ?sensor_period:Sysc.Time.t ->
   ?aes_out_tag:Dift.Lattice.tag ->
   ?aes_in_clearance:Dift.Lattice.tag ->
@@ -88,9 +93,13 @@ val create :
   t
 (** Build and wire the platform on a fresh kernel. [tracking] selects VP+
     (default true); [dmi] enables the direct RAM fast path (default true);
-    [aes_out_tag] defaults to the lattice bottom (fully declassified
-    ciphertext). Peripheral processes are spawned; the CPU thread is not —
-    call {!start} or [t.cpu.cpu_spawn] after loading firmware. *)
+    [block_cache] / [fast_path] control the core's decoded basic-block
+    cache and untainted fast path (both default true, see
+    {!Rv32.Core.S.create}); [aes_out_tag] defaults to the lattice bottom
+    (fully declassified ciphertext). RAM writes that bypass the CPU (DMA,
+    the loader) are wired to block-cache invalidation. Peripheral processes
+    are spawned; the CPU thread is not — call {!start} or
+    [t.cpu.cpu_spawn] after loading firmware. *)
 
 val load_image : t -> Rv32_asm.Image.t -> unit
 (** Copy the image into RAM, tag every byte according to the policy's

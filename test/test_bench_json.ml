@@ -1,0 +1,201 @@
+(* Tier-1 guard for the machine-readable perf reports: the Json
+   renderer/parser round-trips, the report schema validates, and a real
+   (tiny-scale) benchmark run produces a document that survives a write →
+   read → parse → validate cycle, exactly as CI consumes it. *)
+
+module J = Benchkit.Json
+module D = Benchkit.Defs
+open Helpers
+
+let roundtrip v =
+  match J.of_string (J.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Num 0.;
+      J.Num 3.25;
+      J.Num (-17.);
+      J.Num 1e10;
+      J.num_of_int max_int;
+      J.Str "";
+      J.Str "plain";
+      J.Str "esc \" \\ \n \t \r \x0c \b quoted";
+      J.Str "control \x01 \x1f bytes";
+      J.List [];
+      J.List [ J.Num 1.; J.Str "two"; J.Bool false; J.Null ];
+      J.Obj [];
+      J.Obj
+        [
+          ("a", J.Num 1.);
+          ("nested", J.Obj [ ("b", J.List [ J.Str "x" ]) ]);
+        ];
+    ]
+  in
+  List.iter (fun v -> check_bool (J.to_string v) true (roundtrip v = v)) samples
+
+let test_json_render () =
+  check_string "compact object" {|{"a":1,"b":[true,null,"x"]}|}
+    (J.to_string
+       (J.Obj
+          [ ("a", J.Num 1.); ("b", J.List [ J.Bool true; J.Null; J.Str "x" ]) ]));
+  check_string "integral floats have no point" "42" (J.to_string (J.Num 42.));
+  check_bool "non-finite rejected" true
+    (try
+       ignore (J.to_string (J.Num Float.nan));
+       false
+     with Invalid_argument _ -> true)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid input %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let test_json_unicode_escape () =
+  match J.of_string "\"a\\u00e9A\"" with
+  | Ok (J.Str s) -> check_string "utf-8 decoding" "a\xc3\xa9A" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* A hand-built document that matches the schema. *)
+let good_row ?(workload = "w") ?(mode = "vp") ?(instructions = 100)
+    ?(seconds = 0.5) ?(overhead = 1.) () =
+  J.Obj
+    [
+      ("workload", J.Str workload);
+      ("mode", J.Str mode);
+      ("instructions", J.num_of_int instructions);
+      ("seconds", J.Num seconds);
+      ("mips", J.Num (D.mips instructions seconds));
+      ("overhead", J.Num overhead);
+      ("fast_retired", J.num_of_int 10);
+      ("blocks_built", J.num_of_int 3);
+      ("loc_asm", J.num_of_int 20);
+      ("exit_ok", J.Bool true);
+    ]
+
+let good_doc ?(rows = [ good_row () ]) () =
+  J.Obj
+    [
+      ("bench", J.Str "table2");
+      ("scale", J.Num 1.);
+      ("block_cache", J.Bool true);
+      ("fast_path", J.Bool true);
+      ("rows", J.List rows);
+    ]
+
+let expect_valid doc =
+  match D.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid, got: %s" e
+
+let expect_invalid name doc =
+  match D.validate doc with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s passed validation" name
+
+let without field = function
+  | J.Obj kvs -> J.Obj (List.remove_assoc field kvs)
+  | v -> v
+
+let test_validate () =
+  expect_valid (good_doc ());
+  expect_invalid "empty rows" (good_doc ~rows:[] ());
+  expect_invalid "missing bench" (without "bench" (good_doc ()));
+  expect_invalid "missing rows" (without "rows" (good_doc ()));
+  expect_invalid "row without workload"
+    (good_doc ~rows:[ without "workload" (good_row ()) ] ());
+  expect_invalid "empty workload"
+    (good_doc ~rows:[ good_row ~workload:"" () ] ());
+  expect_invalid "zero overhead"
+    (good_doc ~rows:[ good_row ~overhead:0. () ] ());
+  expect_invalid "negative instructions"
+    (good_doc ~rows:[ good_row ~instructions:(-1) () ] ());
+  expect_invalid "non-object document" (J.List [])
+
+(* End to end: run one real workload at a tiny scale, build the report,
+   write it, read it back, parse and validate — the exact CI pipeline. *)
+let test_real_report () =
+  let defs = D.table2 ~scale:0.01 in
+  let qsort =
+    List.find (fun d -> d.D.d_name = "qsort") defs
+  in
+  let rows = D.measure qsort in
+  check_int "vp and vp+ rows" 2 (List.length rows);
+  let vp = List.nth rows 0 and vpp = List.nth rows 1 in
+  check_string "vp row first" "vp" vp.D.m_mode;
+  check_string "vp+ row second" "vp+" vpp.D.m_mode;
+  check_bool "vp exited cleanly" true vp.D.m_exit_ok;
+  check_bool "vp+ exited cleanly" true vpp.D.m_exit_ok;
+  check_bool "instructions retired" true (vp.D.m_instructions > 0);
+  check_int "vp and vp+ agree on instret" vp.D.m_instructions
+    vpp.D.m_instructions;
+  check_bool "vp+ built blocks" true (vpp.D.m_blocks_built > 0);
+  check_bool "vp+ used the fast path" true (vpp.D.m_fast_retired > 0);
+  let doc =
+    D.doc ~bench:"table2" ~scale:0.01 ~block_cache:true ~fast_path:true rows
+  in
+  expect_valid doc;
+  let file = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc (J.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      match J.of_string (String.trim s) with
+      | Error e -> Alcotest.failf "re-parse of written report failed: %s" e
+      | Ok doc' ->
+          expect_valid doc';
+          check_bool "round-tripped document identical" true (doc = doc');
+          (* Spot-check the fields CI's trend tooling reads. *)
+          let get path =
+            List.fold_left
+              (fun acc k ->
+                match acc with Some v -> J.member k v | None -> None)
+              (Some doc') path
+          in
+          check_bool "bench name" true
+            (get [ "bench" ] |> Option.map (J.to_str) |> Option.join
+            = Some "table2");
+          let rows' =
+            get [ "rows" ] |> Option.map J.to_list |> Option.join
+            |> Option.value ~default:[]
+          in
+          check_int "two rows in file" 2 (List.length rows');
+          let ovh =
+            J.member "overhead" (List.nth rows' 1)
+            |> Option.map J.to_num |> Option.join
+          in
+          check_bool "vp+ overhead present and positive" true
+            (match ovh with Some o -> o > 0. | None -> false))
+
+let () =
+  Alcotest.run "bench_json"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rendering" `Quick test_json_render;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "real report end to end" `Slow test_real_report;
+        ] );
+    ]

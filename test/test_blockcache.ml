@@ -1,0 +1,174 @@
+(* Correctness tests for the decoded basic-block cache: self-modifying
+   code through the CPU's DMI store path (cross-block and within the
+   running block), DMA writes into cached code over TLM, and agreement of
+   exit code / retired-instruction count between cached and single-step
+   execution in both VP flavours. *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let run_bc ?(tracking = true) ?(block_cache = true) ?(fast_path = true)
+    ?(max_insns = 200_000) build =
+  let p = A.create () in
+  build p;
+  let img = A.assemble p in
+  let policy = trivial_policy () in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ()
+  in
+  Vp.Soc.load_image soc img;
+  let reason = Vp.Soc.run_for_instructions soc max_insns in
+  (soc, reason)
+
+(* Run [build] under every (tracking, block_cache) combination; the exit
+   reason and instret must not depend on the cache, and the cached VP+ run
+   must also be identical with the fast path forced off. *)
+let check_all_configs ~name ~code build =
+  let reference = ref None in
+  List.iter
+    (fun (tracking, block_cache, fast_path) ->
+      let ctx =
+        Printf.sprintf "%s (tracking=%b cache=%b fast=%b)" name tracking
+          block_cache fast_path
+      in
+      let soc, reason = run_bc ~tracking ~block_cache ~fast_path build in
+      (match reason with
+      | Rv32.Core.Exited c -> check_int (ctx ^ ": exit code") code c
+      | _ -> Alcotest.failf "%s: did not exit" ctx);
+      let instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () in
+      match !reference with
+      | None -> reference := Some instret
+      | Some r -> check_int (ctx ^ ": instret") r instret)
+    [
+      (false, true, true);
+      (false, false, false);
+      (true, true, true);
+      (true, true, false);
+      (true, false, false);
+    ]
+
+(* A function is called, then its first instruction is overwritten through
+   a plain store; later calls must execute the patched instruction. *)
+let smc_cross_block p =
+  A.li p R.s1 0;
+  A.li p R.s2 3;
+  A.la p R.t0 "site";
+  A.la p R.t1 "newinsn";
+  A.lw p R.t1 R.t1 0;
+  A.label p "loop";
+  A.call p "site_fn";
+  A.sw p R.t1 R.t0 0;
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.mv p R.a0 R.s1;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "site_fn";
+  A.label p "site";
+  A.addi p R.s1 R.s1 1;
+  A.ret p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi s1, s1, 100 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.s1, R.s1, 100)))
+
+(* First call original (+1), two calls patched (+100 each). *)
+let test_smc_cross_block () =
+  check_all_configs ~name:"smc cross-block" ~code:201 smc_cross_block
+
+(* The store patches an instruction a few slots ahead in the SAME
+   straight-line block: the patched word must take effect at its very next
+   fetch, exactly as in single-step mode. *)
+let smc_in_block p =
+  A.li p R.a0 0;
+  A.la p R.t0 "site";
+  A.la p R.t1 "newinsn";
+  A.lw p R.t1 R.t1 0;
+  A.sw p R.t1 R.t0 0;
+  A.nop p;
+  A.label p "site";
+  A.addi p R.a0 R.a0 1;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi a0, a0, 42 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.a0, R.a0, 42)))
+
+let test_smc_in_block () =
+  check_all_configs ~name:"smc in-block" ~code:42 smc_in_block
+
+(* DMA writes land in RAM over TLM, behind the CPU's back: a cached
+   function is patched by a DMA transfer and must execute the new
+   instruction on the next call. *)
+let dma_into_code p =
+  A.call p "site_fn";
+  A.mv p R.s0 R.a0;
+  (* DMA: copy 4 bytes from "newinsn" over "site_fn". *)
+  A.la p R.t0 "newinsn";
+  A.la p R.t1 "site_fn";
+  A.li p R.t2 Vp.Soc.dma_base;
+  A.sw p R.t0 R.t2 0x0;
+  A.sw p R.t1 R.t2 0x4;
+  A.li p R.t3 4;
+  A.sw p R.t3 R.t2 0x8;
+  A.li p R.t3 1;
+  A.sw p R.t3 R.t2 0xc;
+  A.label p "poll";
+  A.lw p R.t3 R.t2 0xc;
+  A.bnez_l p R.t3 "poll";
+  A.call p "site_fn";
+  A.add p R.a0 R.a0 R.s0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "site_fn";
+  A.addi p R.a0 R.zero 1;
+  A.ret p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi a0, x0, 99 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.a0, R.zero, 99)))
+
+(* 1 (original) + 99 (patched). Timing of the DMA engine differs from the
+   CPU's instruction stream, so only the exit code is compared across
+   configurations (the poll loop's length is allowed to vary with
+   scheduling, not with the cache — instret is still checked). *)
+let test_dma_into_code () =
+  check_all_configs ~name:"dma into code" ~code:100 dma_into_code
+
+let test_counters () =
+  let soc, reason = run_bc smc_cross_block in
+  expect_exit reason 201;
+  check_bool "blocks built > 0" true
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built () > 0);
+  check_bool "fast-path instructions retired > 0" true
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0);
+  let soc, reason = run_bc ~block_cache:false ~fast_path:false smc_cross_block in
+  expect_exit reason 201;
+  check_int "no blocks without cache" 0
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ());
+  check_int "no fast path without cache" 0
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ());
+  let soc, reason = run_bc ~tracking:false smc_cross_block in
+  expect_exit reason 201;
+  check_int "no fast path on the plain VP" 0
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ())
+
+let () =
+  Alcotest.run "blockcache"
+    [
+      ( "invalidation",
+        [
+          Alcotest.test_case "self-modifying code, cross-block" `Quick
+            test_smc_cross_block;
+          Alcotest.test_case "self-modifying code, in-block" `Quick
+            test_smc_in_block;
+          Alcotest.test_case "dma write into cached code" `Quick
+            test_dma_into_code;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "block/fast-path counters" `Quick test_counters ]
+      );
+    ]

@@ -1,0 +1,128 @@
+(* Golden test for Table I: the Wilander-Kamkar result matrix is pinned
+   row by row (location x target x technique x applicability), the paper's
+   Detected set is reproduced on VP+, and — as a sanity check that the
+   detections are real — the same applicable attacks succeed undetected on
+   the plain VP. *)
+
+module W = Firmware.Wilander
+
+type na = Applicable | Param_in_reg | Fp_in_reg | Layout
+
+(* Table I of the paper, RISC-V port. *)
+let golden =
+  [
+    (1, "Stack", "Function Pointer (param)", "Direct", Param_in_reg);
+    (2, "Stack", "Longjmp Buffer (param)", "Direct", Param_in_reg);
+    (3, "Stack", "Return Address", "Direct", Applicable);
+    (4, "Stack", "Base Pointer", "Direct", Fp_in_reg);
+    (5, "Stack", "Function Pointer (local)", "Direct", Applicable);
+    (6, "Stack", "Longjmp Buffer", "Direct", Applicable);
+    (7, "Heap/BSS/Data", "Function Pointer", "Direct", Applicable);
+    (8, "Heap/BSS/Data", "Longjmp Buffer", "Direct", Layout);
+    (9, "Stack", "Function Pointer (param)", "Indirect", Applicable);
+    (10, "Stack", "Longjump Buffer (param)", "Indirect", Applicable);
+    (11, "Stack", "Return Address", "Indirect", Applicable);
+    (12, "Stack", "Base Pointer", "Indirect", Fp_in_reg);
+    (13, "Stack", "Function Pointer (local)", "Indirect", Applicable);
+    (14, "Stack", "Longjmp Buffer", "Indirect", Applicable);
+    (15, "Heap/BSS/Data", "Return Address", "Indirect", Layout);
+    (16, "Heap/BSS/Data", "Base Pointer", "Indirect", Fp_in_reg);
+    (17, "Heap/BSS/Data", "Function Pointer (local)", "Indirect", Applicable);
+    (18, "Heap/BSS/Data", "Longjmp Buffer", "Indirect", Layout);
+  ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let na_marker = function
+  | Applicable -> ""
+  | Param_in_reg -> "parameter in a register"
+  | Fp_in_reg -> "frame pointer in a register"
+  | Layout -> "segment layout"
+
+let test_matrix () =
+  Alcotest.(check int) "18 attack forms" 18 (List.length W.attacks);
+  List.iter2
+    (fun a (id, location, target, technique, na) ->
+      let ctx = Printf.sprintf "attack %d" id in
+      Alcotest.(check int) (ctx ^ " id") id a.W.id;
+      Alcotest.(check string) (ctx ^ " location") location a.W.location;
+      Alcotest.(check string) (ctx ^ " target") target a.W.target;
+      Alcotest.(check string) (ctx ^ " technique") technique a.W.technique;
+      Alcotest.(check bool) (ctx ^ " applicable") (na = Applicable) a.W.applicable;
+      if na <> Applicable then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s N/A reason mentions %S" ctx (na_marker na))
+          true
+          (contains ~sub:(na_marker na) a.W.na_reason))
+    W.attacks golden
+
+let test_expected_detected () =
+  Alcotest.(check (list int)) "paper's Detected set"
+    [ 3; 5; 6; 7; 9; 10; 11; 13; 14; 17 ]
+    W.expected_detected;
+  (* The Detected set must be exactly the applicable rows. *)
+  let applicable =
+    List.filter_map
+      (fun a -> if a.W.applicable then Some a.W.id else None)
+      W.attacks
+  in
+  Alcotest.(check (list int)) "applicable rows" applicable W.expected_detected
+
+let test_vpp_detects () =
+  let detected = ref 0 and na = ref 0 in
+  List.iter
+    (fun a ->
+      match (a.W.applicable, W.run a.W.id) with
+      | true, W.Detected -> incr detected
+      | true, W.Missed c ->
+          Alcotest.failf "attack %d MISSED on VP+ (exit %d)" a.W.id c
+      | true, W.Not_applicable ->
+          Alcotest.failf "attack %d unexpectedly N/A" a.W.id
+      | false, W.Not_applicable -> incr na
+      | false, r ->
+          Alcotest.failf "N/A attack %d returned %s" a.W.id
+            (match r with
+            | W.Detected -> "Detected"
+            | W.Missed c -> Printf.sprintf "Missed %d" c
+            | W.Not_applicable -> assert false))
+    W.attacks;
+  Alcotest.(check int) "10 Detected" 10 !detected;
+  Alcotest.(check int) "8 N/A" 8 !na
+
+(* Without DIFT the same attacks must land: the payload runs and exits 7.
+   This guards against the suite "passing" because the attacks are broken
+   rather than because the engine catches them. *)
+let test_vp_misses () =
+  List.iter
+    (fun a ->
+      if a.W.applicable then
+        match W.run ~tracking:false a.W.id with
+        | W.Missed 7 -> ()
+        | W.Missed c ->
+            Alcotest.failf "attack %d on plain VP: exit %d, expected 7" a.W.id c
+        | W.Detected ->
+            Alcotest.failf "attack %d 'detected' with tracking off" a.W.id
+        | W.Not_applicable ->
+            Alcotest.failf "attack %d unexpectedly N/A" a.W.id)
+    W.attacks
+
+let () =
+  Alcotest.run "table1"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "result matrix" `Quick test_matrix;
+          Alcotest.test_case "expected Detected set" `Quick
+            test_expected_detected;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "VP+ detects all applicable attacks" `Slow
+            test_vpp_detects;
+          Alcotest.test_case "plain VP misses all applicable attacks" `Slow
+            test_vp_misses;
+        ] );
+    ]
