@@ -19,9 +19,11 @@
 
    [scale] is a float (0.01 gives a seconds-long smoke run); flags
    --no-block-cache / --no-fast-path disable the core's decoded-block
-   cache / untainted fast path for the timed subcommands. Each timed
-   subcommand also writes a BENCH_<name>.json report (schema in
-   docs/perf.md). *)
+   cache / untainted fast path for the timed subcommands, and --trace adds
+   a third vp+trace row per workload (VP+ with the tracing subsystem
+   attached) to table2 / table2-extended so reports record the tracing
+   overhead. Each timed subcommand also writes a BENCH_<name>.json report
+   (schema in docs/perf.md). *)
 
 let pf = Printf.printf
 let now_s = Benchkit.Clock.now_s
@@ -102,56 +104,66 @@ let write_report ~file ~bench ~scale ~block_cache ~fast_path rows =
 (* Table II                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let print_table2 pairs =
-  pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "Benchmark" "#instr exec."
-    "LoC ASM" "VP [s]" "VP+ [s]" "VP" "VP+" "Ov.";
-  pf "%-15s %14s %8s %9s %9s %7s %7s %6s\n" "" "" "" "" "" "MIPS" "MIPS" "";
+(* Each group is a workload's measurement rows: [vp; vpp] or, with
+   --trace, [vp; vpp; vp+trace]. *)
+let print_table2 groups =
+  let traced = List.exists (fun g -> List.length g > 2) groups in
+  pf "%-15s %14s %8s %9s %9s %7s %7s %6s%s\n" "Benchmark" "#instr exec."
+    "LoC ASM" "VP [s]" "VP+ [s]" "VP" "VP+" "Ov."
+    (if traced then " +trace" else "");
+  pf "%-15s %14s %8s %9s %9s %7s %7s %6s%s\n" "" "" "" "" "" "MIPS" "MIPS" ""
+    (if traced then "    Ov." else "");
   List.iter
-    (fun (vp, vpp) ->
-      if not (vp.D.m_exit_ok && vpp.D.m_exit_ok) then
-        pf "!! %s did not exit cleanly\n" vp.D.m_workload;
-      pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" vp.D.m_workload
-        vp.D.m_instructions vp.D.m_loc_asm vp.D.m_seconds vpp.D.m_seconds
-        vp.D.m_mips vpp.D.m_mips vpp.D.m_overhead)
-    pairs;
-  let n = float_of_int (List.length pairs) in
-  let avg f = List.fold_left (fun a p -> a +. f p) 0. pairs /. n in
-  let sum f = List.fold_left (fun a p -> a + f p) 0 pairs in
-  pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx\n" "- average -"
-    (sum (fun (vp, _) -> vp.D.m_instructions) / List.length pairs)
-    (sum (fun (vp, _) -> vp.D.m_loc_asm) / List.length pairs)
-    (avg (fun (vp, _) -> vp.D.m_seconds))
-    (avg (fun (_, vpp) -> vpp.D.m_seconds))
-    (avg (fun (vp, _) -> vp.D.m_mips))
-    (avg (fun (_, vpp) -> vpp.D.m_mips))
-    (avg (fun (_, vpp) -> vpp.D.m_overhead))
+    (function
+      | vp :: vpp :: rest ->
+          if not (vp.D.m_exit_ok && vpp.D.m_exit_ok) then
+            pf "!! %s did not exit cleanly\n" vp.D.m_workload;
+          pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx" vp.D.m_workload
+            vp.D.m_instructions vp.D.m_loc_asm vp.D.m_seconds vpp.D.m_seconds
+            vp.D.m_mips vpp.D.m_mips vpp.D.m_overhead;
+          (match rest with
+          | vpt :: _ -> pf " %5.1fx" vpt.D.m_overhead
+          | [] -> ());
+          pf "\n"
+      | _ -> ())
+    groups;
+  let vp_of g = List.nth g 0 and vpp_of g = List.nth g 1 in
+  let n = float_of_int (List.length groups) in
+  let avg f = List.fold_left (fun a g -> a +. f g) 0. groups /. n in
+  let sum f = List.fold_left (fun a g -> a + f g) 0 groups in
+  pf "%-15s %14d %8d %9.3f %9.3f %7.1f %7.1f %5.1fx" "- average -"
+    (sum (fun g -> (vp_of g).D.m_instructions) / List.length groups)
+    (sum (fun g -> (vp_of g).D.m_loc_asm) / List.length groups)
+    (avg (fun g -> (vp_of g).D.m_seconds))
+    (avg (fun g -> (vpp_of g).D.m_seconds))
+    (avg (fun g -> (vp_of g).D.m_mips))
+    (avg (fun g -> (vpp_of g).D.m_mips))
+    (avg (fun g -> (vpp_of g).D.m_overhead));
+  if traced then
+    pf " %5.1fx"
+      (avg (fun g ->
+           match g with _ :: _ :: vpt :: _ -> vpt.D.m_overhead | _ -> 1.));
+  pf "\n"
 
-let measure_set ~block_cache ~fast_path defs =
-  List.map
-    (fun def ->
-      match D.measure ~block_cache ~fast_path def with
-      | [ vp; vpp ] -> (vp, vpp)
-      | _ -> assert false)
-    defs
+let measure_set ~block_cache ~fast_path ~trace defs =
+  List.map (D.measure ~block_cache ~fast_path ~trace) defs
 
-let table2 ~scale ~block_cache ~fast_path () =
+let table2 ~scale ~block_cache ~fast_path ~trace () =
   pf "=== Table II: performance overhead of VP-based DIFT (scale %g) ===\n\n"
     scale;
   pf "(workloads scaled down vs the paper's multi-billion-instruction runs;\n";
   pf " the target is the overhead SHAPE: VP+ roughly 1.2x-3x, average ~2x)\n\n";
-  let pairs = measure_set ~block_cache ~fast_path (D.table2 ~scale) in
-  print_table2 pairs;
+  let groups = measure_set ~block_cache ~fast_path ~trace (D.table2 ~scale) in
+  print_table2 groups;
   write_report ~file:"BENCH_table2.json" ~bench:"table2" ~scale ~block_cache
-    ~fast_path
-    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+    ~fast_path (List.concat groups)
 
-let table2_extended ~scale ~block_cache ~fast_path () =
+let table2_extended ~scale ~block_cache ~fast_path ~trace () =
   pf "=== Extended workloads (beyond the paper's Table II set) ===\n\n";
-  let pairs = measure_set ~block_cache ~fast_path (D.extended ~scale) in
-  print_table2 pairs;
+  let groups = measure_set ~block_cache ~fast_path ~trace (D.extended ~scale) in
+  print_table2 groups;
   write_report ~file:"BENCH_table2_extended.json" ~bench:"table2-extended"
-    ~scale ~block_cache ~fast_path
-    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+    ~scale ~block_cache ~fast_path (List.concat groups)
 
 (* ------------------------------------------------------------------ *)
 (* LoC statistic (Section V-B1's 6.81%)                                *)
@@ -229,6 +241,7 @@ let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
     m_fast_retired = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
     m_blocks_built = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
     m_loc_asm = img.Rv32_asm.Image.insn_count;
+    m_trace = false;
     m_exit_ok =
       (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
       | Rv32.Core.Exited 0 -> true
@@ -347,6 +360,7 @@ let ablate_lub ~block_cache ~fast_path () =
             m_fast_retired = 0;
             m_blocks_built = 0;
             m_loc_asm = 0;
+            m_trace = false;
             m_exit_ok = true;
           }
         in
@@ -496,13 +510,16 @@ let () =
   let flags, args = List.partition is_flag (List.tl (Array.to_list Sys.argv)) in
   List.iter
     (fun f ->
-      if f <> "--no-block-cache" && f <> "--no-fast-path" then begin
-        pf "unknown flag %S (known: --no-block-cache --no-fast-path)\n" f;
+      if f <> "--no-block-cache" && f <> "--no-fast-path" && f <> "--trace"
+      then begin
+        pf "unknown flag %S (known: --no-block-cache --no-fast-path --trace)\n"
+          f;
         exit 1
       end)
     flags;
   let block_cache = not (List.mem "--no-block-cache" flags) in
   let fast_path = not (List.mem "--no-fast-path" flags) in
+  let trace = List.mem "--trace" flags in
   let scale =
     match args with
     | _ :: s :: _ -> (
@@ -512,21 +529,22 @@ let () =
   match args with
   | "fig1" :: _ -> fig1 ()
   | "table1" :: _ -> table1 ()
-  | "table2" :: _ -> table2 ~scale ~block_cache ~fast_path ()
+  | "table2" :: _ -> table2 ~scale ~block_cache ~fast_path ~trace ()
   | "loc" :: _ -> loc_report ()
   | "ablate-dmi" :: _ -> ablate_dmi ~block_cache ~fast_path ()
   | "ablate-policy" :: _ -> ablate_policy ~block_cache ~fast_path ()
   | "ablate-lub" :: _ -> ablate_lub ~block_cache ~fast_path ()
   | "ablate-quantum" :: _ -> ablate_quantum ~block_cache ~fast_path ()
   | "sweep-lattice" :: _ -> sweep_lattice ~block_cache ~fast_path ()
-  | "table2-extended" :: _ -> table2_extended ~scale ~block_cache ~fast_path ()
+  | "table2-extended" :: _ ->
+      table2_extended ~scale ~block_cache ~fast_path ~trace ()
   | "bechamel" :: _ -> bechamel ()
   | "all" :: _ | [] ->
       fig1 ();
       pf "\n";
       table1 ();
       pf "\n";
-      table2 ~scale:1. ~block_cache ~fast_path ();
+      table2 ~scale:1. ~block_cache ~fast_path ~trace ();
       pf "\n";
       loc_report ();
       pf "\n";
@@ -540,7 +558,7 @@ let () =
       pf "\n";
       sweep_lattice ~block_cache ~fast_path ();
       pf "\n";
-      table2_extended ~scale:1. ~block_cache ~fast_path ()
+      table2_extended ~scale:1. ~block_cache ~fast_path ~trace ()
   | cmd :: _ ->
       pf "unknown command %S\n" cmd;
       exit 1

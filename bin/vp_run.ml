@@ -1,9 +1,15 @@
 (* vp_run: assemble a RISC-V assembly file and execute it on the virtual
    prototype, with or without the DIFT engine.
 
-     dune exec bin/vp_run.exe -- prog.s --policy integrity --uart-input hi *)
+     dune exec bin/vp_run.exe -- prog.s --policy integrity --uart-input hi
+
+   Exit status: 0 clean exit, 2 instruction limit / idle, 3 security
+   violation (also when the firmware exited 0 but violations were
+   recorded), 4 fatal trap; a nonzero firmware exit code is passed
+   through. *)
 
 open Cmdliner
+module J = Benchkit.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -51,7 +57,14 @@ let build_policy kind img =
         ~output_clearance:[ ("uart", lc); ("can", lc) ]
         ~exec_branch:lc ~exec_mem_addr:lc ()
 
-let run file policy_kind tracking max_insns uart_input show_symbols quiet trace taint_map report coverage =
+let policy_name = function
+  | P_none -> "none"
+  | P_integrity -> "integrity"
+  | P_confidentiality -> "confidentiality"
+
+let run file policy_kind tracking max_insns uart_input show_symbols quiet
+    echo_insns taint_map report coverage trace_on trace_out trace_format
+    forensics json =
   let src = read_file file in
   match Rv32_asm.Parser.parse_result src with
   | Error msg ->
@@ -62,7 +75,13 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet trace 
         print_string (Format.asprintf "%a" Rv32_asm.Image.pp_symbols img);
       let policy = build_policy policy_kind img in
       let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
-      let soc = Vp.Soc.create ~policy ~monitor ~tracking () in
+      let want_trace = trace_on || trace_out <> None || forensics in
+      let tracer =
+        if want_trace then
+          Some (Trace.Tracer.create policy.Dift.Policy.lattice)
+        else None
+      in
+      let soc = Vp.Soc.create ~policy ~monitor ~tracking ?tracer () in
       Vp.Soc.load_image soc img;
       (match uart_input with
       | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
@@ -71,8 +90,8 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet trace 
       if coverage then
         soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace
           (Some (fun pc _ -> Hashtbl.replace covered pc ()));
-      if trace > 0 then begin
-        let remaining = ref trace in
+      if echo_insns > 0 then begin
+        let remaining = ref echo_insns in
         soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace
           (Some
              (fun pc insn ->
@@ -144,30 +163,107 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet trace 
       if uart_out <> "" && not quiet then (
         print_string uart_out;
         if uart_out.[String.length uart_out - 1] <> '\n' then print_newline ());
-      (match outcome with
-      | Ok (Rv32.Core.Exited code) ->
+      let reason, code =
+        match outcome with
+        | Ok (Rv32.Core.Exited ecode) ->
+            if not quiet then
+              Printf.printf "[vp] exited with code %d after %d instructions\n"
+                ecode
+                (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
+            ("exited", if ecode = 0 then 0 else ecode land 0xff)
+        | Ok Rv32.Core.Breakpoint ->
+            Printf.printf "[vp] stopped at ebreak (pc=0x%08x)\n"
+              (soc.Vp.Soc.cpu.Vp.Soc.cpu_pc ());
+            ("breakpoint", 0)
+        | Ok Rv32.Core.Insn_limit ->
+            Printf.printf "[vp] instruction limit (%d) reached\n" max_insns;
+            ("insn-limit", 2)
+        | Ok Rv32.Core.Running ->
+            Printf.printf "[vp] simulation idle (deadlock?)\n";
+            ("idle", 2)
+        | Error (`Violation v) ->
+            Printf.printf "[vp] SECURITY VIOLATION: %s\n"
+              (Dift.Violation.to_string policy.Dift.Policy.lattice v);
+            ("violation", 3)
+        | Error (`Trap (cause, pc)) ->
+            Printf.printf "[vp] fatal trap: cause %d at pc=0x%08x\n" cause pc;
+            ("trap", 4)
+      in
+      (* A run that recorded violations never exits 0, even if the
+         firmware reached a clean exit (Record-mode monitors, violations
+         raised after the offending instruction retired, ...). *)
+      let code =
+        if code = 0 && Dift.Monitor.violation_count monitor > 0 then 3
+        else code
+      in
+      let forensic_report =
+        match tracer with
+        | Some tr when forensics ->
+            let violation =
+              match outcome with
+              | Error (`Violation v) -> Some v
+              | _ -> (
+                  match Dift.Monitor.violations monitor with
+                  | v :: _ -> Some v
+                  | [] -> None)
+            in
+            let context =
+              Printf.sprintf "policy=%s tracking=%b file=%s"
+                (policy_name policy_kind) tracking file
+            in
+            Some (Trace.Forensics.make ?violation ~context tr ())
+        | _ -> None
+      in
+      (match forensic_report with
+      | Some r -> Format.printf "%a@." Trace.Forensics.pp r
+      | None -> ());
+      (match (tracer, trace_out) with
+      | Some tr, Some path ->
+          Trace.Sink.write_file tr ~format:trace_format path;
           if not quiet then
-            Printf.printf "[vp] exited with code %d after %d instructions\n"
-              code
-              (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
-          if code = 0 then 0 else code land 0xff
-      | Ok Rv32.Core.Breakpoint ->
-          Printf.printf "[vp] stopped at ebreak (pc=0x%08x)\n"
-            (soc.Vp.Soc.cpu.Vp.Soc.cpu_pc ());
-          0
-      | Ok Rv32.Core.Insn_limit ->
-          Printf.printf "[vp] instruction limit (%d) reached\n" max_insns;
-          2
-      | Ok Rv32.Core.Running ->
-          Printf.printf "[vp] simulation idle (deadlock?)\n";
-          2
-      | Error (`Violation v) ->
-          Printf.printf "[vp] SECURITY VIOLATION: %s\n"
-            (Dift.Violation.to_string policy.Dift.Policy.lattice v);
-          3
-      | Error (`Trap (cause, pc)) ->
-          Printf.printf "[vp] fatal trap: cause %d at pc=0x%08x\n" cause pc;
-          4)
+            Printf.printf "[vp] trace (%d events recorded) written to %s\n"
+              (Trace.Tracer.events_recorded tr)
+              path
+      | _ -> ());
+      if json then begin
+        let lat = policy.Dift.Policy.lattice in
+        let doc =
+          J.Obj
+            ([
+               ("file", J.Str file);
+               ("policy", J.Str (policy_name policy_kind));
+               ("tracking", J.Bool tracking);
+               ("exit_code", J.num_of_int code);
+               ("reason", J.Str reason);
+               ("instructions", J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ()));
+               ("sim_time_ps", J.num_of_int (Sysc.Kernel.now soc.Vp.Soc.kernel));
+               ("checks", J.num_of_int (Dift.Monitor.check_count monitor));
+               ("violations", J.num_of_int (Dift.Monitor.violation_count monitor));
+               ( "declassifications",
+                 J.num_of_int (Dift.Monitor.declassification_count monitor) );
+               ("uart_tx", J.Str uart_out);
+             ]
+            @ (match Dift.Monitor.violations monitor with
+              | [] -> []
+              | vs ->
+                  [
+                    ( "violation_events",
+                      J.List
+                        (List.map (Trace.Forensics.violation_to_json lat) vs)
+                    );
+                  ])
+            @ (match tracer with
+              | Some tr ->
+                  [ ("trace_events", J.num_of_int (Trace.Tracer.events_recorded tr)) ]
+              | None -> [])
+            @
+            match forensic_report with
+            | Some r -> [ ("forensics", Trace.Forensics.to_json r) ]
+            | None -> [])
+        in
+        print_endline (J.to_string doc)
+      end;
+      code
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
@@ -210,18 +306,52 @@ let coverage_arg =
   Arg.(value & flag
        & info [ "coverage" ] ~doc:"Report executed-instruction coverage after the run.")
 
-let trace_arg =
+let echo_insns_arg =
   Arg.(value & opt int 0
-       & info [ "trace" ] ~docv:"N" ~doc:"Print the first $(docv) executed instructions to stderr.")
+       & info [ "echo-insns" ] ~docv:"N"
+           ~doc:"Print the first $(docv) executed instructions to stderr.")
+
+let trace_flag_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Enable the tracing subsystem (event ring + taint provenance).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded trace to $(docv) after the run (implies \
+                 $(b,--trace)).")
+
+let trace_format_arg =
+  let fmts = [ ("jsonl", `Jsonl); ("chrome", `Chrome) ] in
+  Arg.(value & opt (enum fmts) `Jsonl
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Trace file format: $(b,jsonl) (one event per line) or \
+                 $(b,chrome) (Chrome trace_event, for about://tracing).")
+
+let forensics_arg =
+  Arg.(value & flag
+       & info [ "forensics" ]
+           ~doc:"Print a forensic report after the run: the violation, the \
+                 trailing event window, and the provenance chain of the \
+                 offending tag (implies $(b,--trace)).")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Print a machine-readable run summary (violations, check \
+                 counts, sim time) as a single JSON object on stdout.")
 
 let cmd =
   let doc = "execute a RISC-V binary on the DIFT-enabled virtual prototype" in
   Cmd.v
     (Cmd.info "vp_run" ~doc)
     Term.(
-      const (fun f p nt m u s q tr tm rep cov ->
-          run f p (not nt) m u s q tr tm rep cov)
+      const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn js ->
+          run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn js)
       $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
-      $ quiet_arg $ trace_arg $ taint_map_arg $ report_arg $ coverage_arg)
+      $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
+      $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
+      $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,21 +6,32 @@
    4. the entropy-reduction attack that slips past the base policy;
    5. the per-byte-class policy that catches it.
 
-     dune exec examples/immobilizer.exe *)
+     dune exec examples/immobilizer.exe
+
+   With --trace the vulnerable run of section 2 additionally records an
+   execution trace and taint provenance (lib/trace, see docs/tracing.md)
+   and writes immobilizer.trace.jsonl plus immobilizer.forensics.txt —
+   CI runs this as the tracing smoke test. *)
 
 module Immo = Firmware.Immo_fw
 
+let with_trace = Array.exists (String.equal "--trace") Sys.argv
+
 let section title = Format.printf "@.== %s ==@." title
 
-let make_soc ?(per_byte = false) img =
+let make_soc ?(per_byte = false) ?(trace = false) img =
   let policy =
     if per_byte then Immo.per_byte_policy img else Immo.base_policy img
   in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
   let aes_out_tag, aes_in_clearance = Immo.aes_args policy in
+  let tracer =
+    if trace then Some (Trace.Tracer.create policy.Dift.Policy.lattice)
+    else None
+  in
   let soc =
     Vp.Soc.create ~policy ~monitor ~tracking:true ~aes_out_tag
-      ~aes_in_clearance ()
+      ~aes_in_clearance ?tracer ()
   in
   Vp.Soc.load_image soc img;
   (soc, policy, monitor)
@@ -49,14 +60,30 @@ let () =
 
   section "2. the debug-dump vulnerability (shipped firmware)";
   let img_vuln = Immo.image ~variant:(Immo.Normal { fixed_dump = false }) () in
-  let soc, _, _ = make_soc img_vuln in
+  let soc, policy_vuln, _ = make_soc ~trace:with_trace img_vuln in
   let _ = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   Vp.Uart.push_rx soc.Vp.Soc.uart "D" (* attacker asks for a memory dump *);
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
-  | exception Dift.Violation.Violation v ->
+  | exception Dift.Violation.Violation v -> (
       Format.printf "DIFT stops the dump: %a@."
-        (Dift.Violation.pp (Immo.base_policy img_vuln).Dift.Policy.lattice)
-        v
+        (Dift.Violation.pp policy_vuln.Dift.Policy.lattice)
+        v;
+      match soc.Vp.Soc.trace with
+      | Some tr ->
+          let report =
+            Trace.Forensics.make ~violation:v
+              ~context:"immobilizer --trace smoke run" tr ()
+          in
+          Format.printf "%a@." Trace.Forensics.pp report;
+          let oc = open_out "immobilizer.forensics.txt" in
+          output_string oc (Trace.Forensics.to_string report);
+          output_char oc '\n';
+          close_out oc;
+          Trace.Sink.write_file tr ~format:`Jsonl "immobilizer.trace.jsonl";
+          Format.printf
+            "wrote immobilizer.trace.jsonl (%d events) and immobilizer.forensics.txt@."
+            (Trace.Tracer.events_recorded tr)
+      | None -> ())
   | _ -> Format.printf "BUG: dump not detected@.");
 
   section "3. the fixed dump excludes the PIN region";

@@ -101,7 +101,8 @@ type raw = {
   raw_exit_ok : bool;
 }
 
-let run_def ?(block_cache = true) ?(fast_path = true) ~tracking def =
+let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
+    ~tracking def =
   let img = def.make_image () in
   let policy = def.make_policy img in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
@@ -110,9 +111,13 @@ let run_def ?(block_cache = true) ?(fast_path = true) ~tracking def =
     | Some (o, c) -> (Some o, Some c)
     | None -> (None, None)
   in
+  let tracer =
+    if trace then Some (Trace.Tracer.create policy.Dift.Policy.lattice)
+    else None
+  in
   let soc =
     Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path
-      ?sensor_period:def.sensor_period ?aes_out_tag ?aes_in_clearance ()
+      ?sensor_period:def.sensor_period ?aes_out_tag ?aes_in_clearance ?tracer ()
   in
   Vp.Soc.load_image soc img;
   def.setup soc;
@@ -145,12 +150,13 @@ type measurement = {
   m_blocks_built : int;
   m_loc_asm : int;
   m_exit_ok : bool;
+  m_trace : bool;
 }
 
 let mips instructions seconds =
   if seconds > 0. then float_of_int instructions /. seconds /. 1e6 else 0.
 
-let measurement_of_raw ~workload ~mode ~overhead ~loc_asm r =
+let measurement_of_raw ?(trace = false) ~workload ~mode ~overhead ~loc_asm r =
   {
     m_workload = workload;
     m_mode = mode;
@@ -162,19 +168,29 @@ let measurement_of_raw ~workload ~mode ~overhead ~loc_asm r =
     m_blocks_built = r.raw_blocks;
     m_loc_asm = loc_asm;
     m_exit_ok = r.raw_exit_ok;
+    m_trace = trace;
   }
 
-let measure ?(block_cache = true) ?(fast_path = true) def =
+let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false) def =
   let vp = run_def ~block_cache ~fast_path ~tracking:false def in
   let vpp = run_def ~block_cache ~fast_path ~tracking:true def in
   let loc_asm = (def.make_image ()).Rv32_asm.Image.insn_count in
-  let overhead =
-    if vp.raw_seconds > 0. then vpp.raw_seconds /. vp.raw_seconds else 1.
+  let rel r = if vp.raw_seconds > 0. then r.raw_seconds /. vp.raw_seconds else 1. in
+  let base =
+    [
+      measurement_of_raw ~workload:def.d_name ~mode:"vp" ~overhead:1. ~loc_asm vp;
+      measurement_of_raw ~workload:def.d_name ~mode:"vp+" ~overhead:(rel vpp)
+        ~loc_asm vpp;
+    ]
   in
-  [
-    measurement_of_raw ~workload:def.d_name ~mode:"vp" ~overhead:1. ~loc_asm vp;
-    measurement_of_raw ~workload:def.d_name ~mode:"vp+" ~overhead ~loc_asm vpp;
-  ]
+  if not trace then base
+  else
+    let vpt = run_def ~block_cache ~fast_path ~trace:true ~tracking:true def in
+    base
+    @ [
+        measurement_of_raw ~trace:true ~workload:def.d_name ~mode:"vp+trace"
+          ~overhead:(rel vpt) ~loc_asm vpt;
+      ]
 
 (* --- Report document -------------------------------------------------- *)
 
@@ -191,6 +207,7 @@ let row m =
       ("blocks_built", Json.num_of_int m.m_blocks_built);
       ("loc_asm", Json.num_of_int m.m_loc_asm);
       ("exit_ok", Json.Bool m.m_exit_ok);
+      ("trace", Json.Bool m.m_trace);
     ]
 
 let doc ~bench ~scale ~block_cache ~fast_path rows =
@@ -243,5 +260,14 @@ let validate j =
       let* m = rfield "mips" Json.to_num in
       let* () = if m >= 0. then Ok () else ctx "negative \"mips\"" in
       let* overhead = rfield "overhead" Json.to_num in
-      if overhead > 0. then Ok () else ctx "\"overhead\" must be > 0")
+      let* () =
+        if overhead > 0. then Ok () else ctx "\"overhead\" must be > 0"
+      in
+      (* Optional: rows from trace-enabled runs carry a boolean marker. *)
+      match Json.member "trace" r with
+      | None -> Ok ()
+      | Some v -> (
+          match Json.to_bool v with
+          | Some (_ : bool) -> Ok ()
+          | None -> ctx "ill-typed optional field \"trace\""))
     (Ok ()) rows

@@ -42,12 +42,17 @@ type measurement = {
   m_blocks_built : int;
   m_loc_asm : int;
   m_exit_ok : bool;  (** Firmware reached the exit ecall with code 0. *)
+  m_trace : bool;  (** Row measured with the tracing subsystem attached. *)
 }
 
 val measure :
-  ?block_cache:bool -> ?fast_path:bool -> def -> measurement list
+  ?block_cache:bool -> ?fast_path:bool -> ?trace:bool -> def -> measurement list
 (** Run the workload on VP then VP+ (cache/fast-path flags forwarded to
-    {!Vp.Soc.create}, default on) and return the two rows in that order. *)
+    {!Vp.Soc.create}, default on) and return the two rows in that order.
+    With [~trace:true] a third ["vp+trace"] row follows: VP+ with a
+    {!Trace.Tracer} attached (ring + provenance + bus observer), its
+    overhead relative to the same vp row — the guardrail number for the
+    tracing subsystem's cost. The default remains exactly two rows. *)
 
 val mips : int -> float -> float
 (** [mips instructions seconds], 0 when [seconds] is 0. *)
@@ -67,4 +72,5 @@ val validate : Json.t -> (unit, string) result
 (** Schema check: [bench] non-empty string, [scale] > 0, [block_cache] /
     [fast_path] booleans, [rows] a non-empty list where every row has a
     non-empty [workload], a [mode] string, integral [instructions >= 0],
-    [seconds >= 0], [mips >= 0] and [overhead > 0]. *)
+    [seconds >= 0], [mips >= 0] and [overhead > 0]. A row's optional
+    [trace] field, when present, must be a boolean. *)

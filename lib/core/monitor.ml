@@ -13,18 +13,24 @@ type t = {
   mutable n_declass : int;
   mutable n_checks : int;
   mutable fast_ok : bool;
+  mutable on_event : (event -> unit) option;
 }
 
 let create ?(mode = Halt) lat =
   { lat; m = mode; evs = []; n_violations = 0; n_declass = 0; n_checks = 0;
-    fast_ok = true }
+    fast_ok = true; on_event = None }
 
 let mode t = t.m
 let set_mode t m = t.m <- m
 let lattice t = t.lat
 
+let set_on_event t f = t.on_event <- f
+
 let report t ev =
   t.evs <- ev :: t.evs;
+  (* The observer runs before any Halt-mode raise so a tracer sees the
+     violation event in stream order, ahead of the unwinding. *)
+  (match t.on_event with Some f -> f ev | None -> ());
   match ev with
   | Violated v ->
       t.n_violations <- t.n_violations + 1;

@@ -51,5 +51,11 @@ val fast_path_ok : t -> bool
 
 val set_fast_path_ok : t -> bool -> unit
 
+val set_on_event : t -> (event -> unit) option -> unit
+(** Install (or clear) an observer invoked synchronously from {!report}
+    on every event, after it is recorded but before a [Halt]-mode
+    violation re-raises — so a tracer sees the event in stream order.
+    The observer must not call {!report} re-entrantly. *)
+
 val pp_event : Lattice.t -> Format.formatter -> event -> unit
 val pp_summary : Format.formatter -> t -> unit

@@ -29,6 +29,7 @@ type failure = {
   f_blocks : int;
   f_insns : int;
   f_evals : int;
+  f_forensics : string option;
 }
 
 type report = {
@@ -69,6 +70,25 @@ type acc = {
   mutable a_failures : failure list;
 }
 
+(* Forensic replay of a shrunk reproducer: re-run it on the tracked VP
+   with the tracing subsystem attached and render the resulting report
+   (execution window plus any provenance recorded).  The reproducer
+   already failed once, so anything going wrong here — including the
+   replay trapping — must not lose the failure itself. *)
+let forensic_replay prog =
+  try
+    let img = Prog.assemble prog in
+    let policy = Oracle.unrestricted_policy () in
+    let tracer = Trace.Tracer.create policy.Dift.Policy.lattice in
+    (try ignore (Oracle.run_vp ~tracking:true ~policy ~tracer img)
+     with _ -> ());
+    if Trace.Tracer.events_recorded tracer = 0 then None
+    else
+      Some
+        (Trace.Forensics.to_string
+           (Trace.Forensics.make ~context:"difftest shrunk reproducer" tracer ()))
+  with _ -> None
+
 let executes_opcode op prog =
   let cov = Coverage.create () in
   (try ignore (Oracle.run ~trace:(Coverage.hook cov) (Prog.assemble prog))
@@ -93,6 +113,7 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
     ]
   in
   let asm = Prog.to_asm ~banner shrunk in
+  let forensics = forensic_replay shrunk in
   let file =
     match cfg.shrink_dir with
     | None -> None
@@ -103,6 +124,17 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
         let oc = open_out path in
         output_string oc asm;
         close_out oc;
+        (match forensics with
+        | Some text ->
+            let fpath =
+              Filename.concat dir
+                (Printf.sprintf "repro_%08x_%d.forensics.txt" cfg.seed index)
+            in
+            let oc = open_out fpath in
+            output_string oc text;
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
         Some path
   in
   acc.a_failures <-
@@ -114,6 +146,7 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
       f_blocks = Prog.block_count shrunk;
       f_insns = Prog.insn_count shrunk;
       f_evals = stats.Shrink.evals;
+      f_forensics = forensics;
     }
     :: acc.a_failures
 
@@ -316,7 +349,9 @@ let pp_report fmt r =
       Format.fprintf fmt "@,@[<v>FAILURE %s: %s@,  shrunk to %d blocks / %d insns (%d oracle evals)%s@]"
         f.f_kind f.f_detail f.f_blocks f.f_insns f.f_evals
         (match f.f_file with
-        | Some p -> Printf.sprintf "\n  reproducer written to %s" p
+        | Some p ->
+            Printf.sprintf "\n  reproducer written to %s%s" p
+              (if f.f_forensics <> None then " (+ .forensics.txt)" else "")
         | None -> ""))
     (List.rev r.failures);
   Format.fprintf fmt "@]"

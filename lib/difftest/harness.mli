@@ -43,6 +43,12 @@ type failure = {
   f_blocks : int;
   f_insns : int;
   f_evals : int;  (** Oracle evaluations the shrinker spent. *)
+  f_forensics : string option;
+      (** Rendered {!Trace.Forensics} report from replaying the shrunk
+          reproducer on the tracked VP with tracing attached (execution
+          window + provenance). [None] if the replay recorded nothing or
+          itself failed. Written as [repro_*.forensics.txt] next to the
+          [.s] file when [shrink_dir] is set. *)
 }
 
 type report = {

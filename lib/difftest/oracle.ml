@@ -74,19 +74,21 @@ let run_golden img =
   let mem = String.init len (fun i -> Char.chr (Rv32.Golden.mem_byte g (buf + i))) in
   { stop; regs; mem; instret = n }
 
+let unrestricted_policy () =
+  let lat = Dift.Lattice.make_exn ~classes:[ "ANY" ] ~flows:[] in
+  Dift.Policy.unrestricted lat ~default_tag:0
+
 let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
-    img =
+    ?tracer img =
   let policy =
-    match policy with
-    | Some p -> p
-    | None ->
-        let lat = Dift.Lattice.make_exn ~classes:[ "ANY" ] ~flows:[] in
-        Dift.Policy.unrestricted lat ~default_tag:0
+    match policy with Some p -> p | None -> unrestricted_policy ()
   in
   let monitor =
     Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
   in
-  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path () in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?tracer ()
+  in
   Vp.Soc.load_image soc img;
   soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace trace;
   let stop =

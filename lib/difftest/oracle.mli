@@ -40,12 +40,18 @@ val explain : outcome -> outcome -> string option
 
 val run_golden : Rv32_asm.Image.t -> outcome
 
+val unrestricted_policy : unit -> Dift.Policy.t
+(** The default single-class policy {!run_vp} falls back to; exposed so a
+    forensic re-run can build a tracer over a structurally identical
+    lattice. *)
+
 val run_vp :
   tracking:bool ->
   ?block_cache:bool ->
   ?fast_path:bool ->
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
+  ?tracer:Trace.Tracer.t ->
   Rv32_asm.Image.t ->
   outcome * (int * int * int)
 (** One VP flavour; returns the outcome and the monitor's
@@ -54,7 +60,8 @@ val run_vp :
     mode so checks never alter execution. [block_cache] / [fast_path]
     (default true) forward to {!Vp.Soc.create} — run with
     [~block_cache:false] to get a reference single-step execution for
-    cache-vs-nocache differential testing. *)
+    cache-vs-nocache differential testing. [tracer] attaches the tracing
+    subsystem to the SoC (forensic replay of reproducers). *)
 
 val run :
   ?policy:Dift.Policy.t ->

@@ -450,13 +450,13 @@ let policy img =
       ]
     ~exec_fetch:hi ()
 
-let run ?(tracking = true) id =
+let run ?(tracking = true) ?tracer id =
   match image_for id with
   | None -> Not_applicable
   | Some img -> (
       let pol = policy img in
       let monitor = Dift.Monitor.create pol.Dift.Policy.lattice in
-      let soc = Vp.Soc.create ~policy:pol ~monitor ~tracking () in
+      let soc = Vp.Soc.create ~policy:pol ~monitor ~tracking ?tracer () in
       Vp.Soc.load_image soc img;
       Vp.Uart.push_rx soc.Vp.Soc.uart (payload_for id img);
       soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 1_000_000;

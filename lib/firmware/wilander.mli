@@ -47,5 +47,7 @@ val payload_for : int -> Rv32_asm.Image.t -> string
 val policy : Rv32_asm.Image.t -> Dift.Policy.t
 (** The code-injection policy of Section VI-B for this image. *)
 
-val run : ?tracking:bool -> int -> outcome
-(** Execute one attack on a fresh SoC (VP+ by default). *)
+val run : ?tracking:bool -> ?tracer:Trace.Tracer.t -> int -> outcome
+(** Execute one attack on a fresh SoC (VP+ by default). [tracer] (over a
+    structurally identical lattice to {!policy}'s, e.g. a fresh
+    [Dift.Lattice.integrity ()]) records the run for forensics. *)

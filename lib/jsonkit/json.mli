@@ -1,0 +1,33 @@
+(** Minimal JSON support for the machine-readable benchmark reports
+    ([BENCH_*.json]): the toolchain deliberately has no JSON dependency, so
+    this covers exactly what the perf harness and its tests need — a value
+    AST, a renderer, and a strict recursive-descent parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+
+val to_string : t -> string
+(** Compact rendering. Integral [Num]s print without a decimal point.
+    @raise Invalid_argument on NaN / infinite numbers. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (no trailing input). The error
+    string includes a byte offset. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] on missing field or non-object). *)
+
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_num : t -> float option
+val to_bool : t -> bool option
+
+val to_int : t -> int option
+(** [Num]s with an integral value only. *)

@@ -18,6 +18,7 @@ type t = {
      stores never hit cached code (blocks only exist over the DMI region),
      so the TLM path does not fire it. *)
   mutable on_code_write : int -> int -> unit;
+  mutable on_merge : (int -> int -> int -> unit) option;
 }
 
 let create ~lattice ~default_tag ~tracking ~name =
@@ -36,6 +37,7 @@ let create ~lattice ~default_tag ~tracking ~name =
     last_tag = default_tag;
     acc_delay = Sysc.Time.zero;
     on_code_write = (fun _ _ -> ());
+    on_merge = None;
   }
 
 let socket b = b.socket
@@ -51,6 +53,7 @@ let dmi_range b =
   match b.dmi with Some d -> Some (d.base, d.limit) | None -> None
 let last_tag b = b.last_tag
 let set_code_write_hook b f = b.on_code_write <- f
+let set_merge_hook b f = b.on_merge <- f
 
 let take_delay b =
   let d = b.acc_delay in
@@ -76,9 +79,18 @@ let mmio_load b ~width ~addr =
   for i = width - 1 downto 0 do
     v := (!v lsl 8) lor Tlm.Payload.get_byte p i
   done;
-  for i = 1 to width - 1 do
-    t := Dift.Lattice.lub b.lat !t (Tlm.Payload.get_tag p i)
-  done;
+  (match b.on_merge with
+  | None ->
+      for i = 1 to width - 1 do
+        t := Dift.Lattice.lub b.lat !t (Tlm.Payload.get_tag p i)
+      done
+  | Some f ->
+      for i = 1 to width - 1 do
+        let x = Tlm.Payload.get_tag p i in
+        let r = Dift.Lattice.lub b.lat !t x in
+        f !t x r;
+        t := r
+      done);
   b.last_tag <- !t;
   !v
 
@@ -101,11 +113,22 @@ let load b ~width ~addr =
       let off = addr - d.base in
       if b.tracking then begin
         let t = ref (Char.code (Bytes.unsafe_get d.tags off)) in
-        for i = 1 to width - 1 do
-          t :=
-            Dift.Lattice.lub b.lat !t
-              (Char.code (Bytes.unsafe_get d.tags (off + i)))
-        done;
+        (* The merge hook is matched outside the byte loop so the common
+           (no-tracer) configuration keeps its original inner loop. *)
+        (match b.on_merge with
+        | None ->
+            for i = 1 to width - 1 do
+              t :=
+                Dift.Lattice.lub b.lat !t
+                  (Char.code (Bytes.unsafe_get d.tags (off + i)))
+            done
+        | Some f ->
+            for i = 1 to width - 1 do
+              let x = Char.code (Bytes.unsafe_get d.tags (off + i)) in
+              let r = Dift.Lattice.lub b.lat !t x in
+              f !t x r;
+              t := r
+            done);
         b.last_tag <- !t
       end;
       (match width with

@@ -51,6 +51,13 @@ val set_code_write_hook : t -> (int -> int -> unit) -> unit
     on self-modifying code; stores routed over TLM are covered by the
     memory model's own write hook instead. *)
 
+val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
+(** Install (or clear) a tag-merge observer, called as [f a b r] for each
+    LUB taken while folding byte tags of a multi-byte load (both the DMI
+    and the MMIO path). Trivial joins ([r] equal to an input) are
+    reported too; filter downstream. Used by the provenance tracker; the
+    no-observer configuration keeps the original fold loop. *)
+
 val take_delay : t -> Sysc.Time.t
 (** Return and reset the accumulated TLM timing annotation. *)
 

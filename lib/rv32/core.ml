@@ -39,6 +39,7 @@ module type S = sig
   val halted : t -> bool
   val halt : t -> exit_reason -> unit
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
+  val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
   val flush_code : t -> addr:int -> len:int -> unit
   val blocks_built : t -> int
   val fast_retired : t -> int
@@ -138,6 +139,7 @@ module Make (M : MODE) = struct
     mutable in_wfi : bool;
     mutable exit_reason : exit_reason;
     mutable trace : (int -> Insn.t -> unit) option;
+    mutable on_merge : (int -> int -> int -> unit) option;
   }
 
   (* Invalidate every cached block overlapping [addr .. addr+len-1] (the
@@ -250,6 +252,7 @@ module Make (M : MODE) = struct
         in_wfi = false;
         exit_reason = Running;
         trace = None;
+        on_merge = None;
       }
     in
     if t.use_blocks then
@@ -283,6 +286,7 @@ module Make (M : MODE) = struct
     if t.exit_reason = Running then t.exit_reason <- reason
 
   let set_trace t fn = t.trace <- fn
+  let set_merge_hook t fn = t.on_merge <- fn
   let blocks_built t = t.n_blocks
   let fast_retired t = t.n_fast
 
@@ -296,7 +300,10 @@ module Make (M : MODE) = struct
 
   (* --- DIFT checks ------------------------------------------------- *)
 
-  let lub t a b = Dift.Lattice.lub t.lat a b
+  let lub t a b =
+    let r = Dift.Lattice.lub t.lat a b in
+    (match t.on_merge with Some f -> f a b r | None -> ());
+    r
 
   (* The detail string is built lazily: these checks run on every
      instruction, and allocating a formatted string on the hot path would

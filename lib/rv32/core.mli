@@ -108,7 +108,29 @@ module type S = sig
 
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
   (** Install (or remove) a per-instruction hook, called with the pc and
-      decoded instruction before execution (tracing / coverage). *)
+      decoded instruction before execution (tracing / coverage).
+
+      Contract (pinned by the [hook x block cache] tier-1 test): the hook
+      observes {e every} retired instruction {e exactly once}, in
+      retirement order, with the fetch pc — regardless of whether the
+      instruction was single-stepped, dispatched from a decoded
+      basic-block cache entry, or retired on the untainted fast path.
+      [instret] equals the number of hook invocations at any observation
+      point. The hook runs after fetch + decode and before execution, so
+      register/memory state visible to it is the pre-execution state; an
+      instruction whose {e fetch} faults (bus error, DIFT exec-fetch
+      violation) is not reported, and interrupt entry reports no event of
+      its own (the first handler instruction is reported normally).
+      Installing a hook does not flush cached blocks and does not disable
+      the fast path. *)
+
+  val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
+  (** Install (or remove) a tag-merge observer, called as [f a b r] for
+      every LUB the core computes during tag propagation ([r = lub a b],
+      including trivial joins where [r] equals an input — filter
+      downstream). Never called on the untainted fast path (no LUBs
+      happen there) or on the plain VP (no tracking). One load-and-branch
+      per LUB when unset; used by the provenance tracker. *)
 
   (** {1 Block cache and fast path} *)
 

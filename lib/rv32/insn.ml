@@ -160,3 +160,48 @@ let writes_rd = function
   | BEQ _ | BNE _ | BLT _ | BGE _ | BLTU _ | BGEU _ | SB _ | SH _ | SW _
   | FENCE | ECALL | EBREAK | MRET | WFI | ILLEGAL _ ->
       None
+
+let rs1 = function
+  | JALR (_, rs1, _) -> rs1
+  | BEQ (rs1, _, _) | BNE (rs1, _, _) | BLT (rs1, _, _) | BGE (rs1, _, _)
+  | BLTU (rs1, _, _) | BGEU (rs1, _, _) ->
+      rs1
+  | LB (_, rs1, _) | LH (_, rs1, _) | LW (_, rs1, _) | LBU (_, rs1, _)
+  | LHU (_, rs1, _) ->
+      rs1
+  | SB (rs1, _, _) | SH (rs1, _, _) | SW (rs1, _, _) -> rs1
+  | ADDI (_, rs1, _) | SLTI (_, rs1, _) | SLTIU (_, rs1, _) | XORI (_, rs1, _)
+  | ORI (_, rs1, _) | ANDI (_, rs1, _) | SLLI (_, rs1, _) | SRLI (_, rs1, _)
+  | SRAI (_, rs1, _) ->
+      rs1
+  | ADD (_, rs1, _) | SUB (_, rs1, _) | SLL (_, rs1, _) | SLT (_, rs1, _)
+  | SLTU (_, rs1, _) | XOR (_, rs1, _) | SRL (_, rs1, _) | SRA (_, rs1, _)
+  | OR (_, rs1, _) | AND (_, rs1, _) ->
+      rs1
+  | MUL (_, rs1, _) | MULH (_, rs1, _) | MULHSU (_, rs1, _)
+  | MULHU (_, rs1, _) | DIV (_, rs1, _) | DIVU (_, rs1, _) | REM (_, rs1, _)
+  | REMU (_, rs1, _) ->
+      rs1
+  | CSRRW (_, rs1, _) | CSRRS (_, rs1, _) | CSRRC (_, rs1, _) -> rs1
+  | LUI _ | AUIPC _ | JAL _ | FENCE | ECALL | EBREAK | MRET | WFI
+  | CSRRWI _ | CSRRSI _ | CSRRCI _ | ILLEGAL _ ->
+      0
+
+let rs2 = function
+  | BEQ (_, rs2, _) | BNE (_, rs2, _) | BLT (_, rs2, _) | BGE (_, rs2, _)
+  | BLTU (_, rs2, _) | BGEU (_, rs2, _) ->
+      rs2
+  | SB (_, rs2, _) | SH (_, rs2, _) | SW (_, rs2, _) -> rs2
+  | ADD (_, _, rs2) | SUB (_, _, rs2) | SLL (_, _, rs2) | SLT (_, _, rs2)
+  | SLTU (_, _, rs2) | XOR (_, _, rs2) | SRL (_, _, rs2) | SRA (_, _, rs2)
+  | OR (_, _, rs2) | AND (_, _, rs2) ->
+      rs2
+  | MUL (_, _, rs2) | MULH (_, _, rs2) | MULHSU (_, _, rs2)
+  | MULHU (_, _, rs2) | DIV (_, _, rs2) | DIVU (_, _, rs2) | REM (_, _, rs2)
+  | REMU (_, _, rs2) ->
+      rs2
+  | LUI _ | AUIPC _ | JAL _ | JALR _ | LB _ | LH _ | LW _ | LBU _ | LHU _
+  | ADDI _ | SLTI _ | SLTIU _ | XORI _ | ORI _ | ANDI _ | SLLI _ | SRLI _
+  | SRAI _ | FENCE | ECALL | EBREAK | MRET | WFI | CSRRW _ | CSRRS _
+  | CSRRC _ | CSRRWI _ | CSRRSI _ | CSRRCI _ | ILLEGAL _ ->
+      0

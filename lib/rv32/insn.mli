@@ -95,3 +95,11 @@ val is_memory : t -> bool
 
 val writes_rd : t -> int option
 (** Destination register, if the instruction writes one. *)
+
+val rs1 : t -> int
+(** First source-register index; [0] (x0, always untainted) when the
+    instruction has none — so [rs1]/[rs2] can feed a register-tag lookup
+    unconditionally. The CSR immediate forms report 0. *)
+
+val rs2 : t -> int
+(** Second source-register index, with the same [0] convention. *)

@@ -1,7 +1,13 @@
 type entry = { lo : int; hi : int; target : Socket.target }
-type t = { name : string; mutable entries : entry list (* mapping order *) }
 
-let create ~name () = { name; entries = [] }
+type t = {
+  name : string;
+  mutable entries : entry list; (* mapping order *)
+  mutable observer : (Payload.t -> string -> unit) option;
+}
+
+let create ~name () = { name; entries = []; observer = None }
+let set_observer r f = r.observer <- f
 
 let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
 
@@ -35,6 +41,9 @@ let route r payload delay =
       payload.Payload.addr <- global - e.lo;
       let delay = Socket.call e.target payload delay in
       payload.Payload.addr <- global;
+      (match r.observer with
+      | Some f -> f payload (Socket.target_name e.target)
+      | None -> ());
       delay
 
 let target_socket r = Socket.target ~name:r.name (route r)

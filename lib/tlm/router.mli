@@ -23,3 +23,10 @@ val resolve : t -> int -> (Socket.target * int) option
 
 val mappings : t -> (int * int * string) list
 (** [(lo, hi, target-name)] triples in mapping order, for diagnostics. *)
+
+val set_observer : t -> (Payload.t -> string -> unit) option -> unit
+(** Install (or clear) a transaction observer, called after each
+    successfully dispatched transaction returns — with the payload's
+    global address restored — together with the target's name. Unmapped
+    (address-error) transactions are not reported. Used by the tracing
+    subsystem; one load-and-branch per transaction when unset. *)

@@ -1,0 +1,47 @@
+type kind =
+  | Insn
+  | Tlm_read
+  | Tlm_write
+  | Violation
+  | Declass
+  | Note
+
+type t = {
+  mutable time : int;
+  mutable kind : kind;
+  mutable addr : int;
+  mutable data : int;
+  mutable tag : Dift.Lattice.tag;
+  mutable tainted : bool;
+  mutable text : string;
+}
+
+let make () =
+  {
+    time = 0;
+    kind = Note;
+    addr = 0;
+    data = 0;
+    tag = 0;
+    tainted = false;
+    text = "";
+  }
+
+let copy e =
+  {
+    time = e.time;
+    kind = e.kind;
+    addr = e.addr;
+    data = e.data;
+    tag = e.tag;
+    tainted = e.tainted;
+    text = e.text;
+  }
+
+let kind_name = function
+  | Insn -> "insn"
+  | Tlm_read -> "rd"
+  | Tlm_write -> "wr"
+  | Violation -> "violation"
+  | Declass -> "declass"
+  | Note -> "note"

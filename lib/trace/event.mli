@@ -1,0 +1,40 @@
+(** A single trace event. One record type covers every stream so the ring
+    buffer can preallocate its slots and refill them in place — recording
+    an event allocates nothing.
+
+    Field meaning by {!kind}:
+    - [Insn]: [addr] = pc, [data] = instruction word, [tag] = LUB of the
+      source-operand register tags, [tainted] = that LUB is above bottom.
+    - [Tlm_read]/[Tlm_write]: [addr] = global bus address, [data] = payload
+      length in bytes, [tag] = LUB of the payload byte tags, [text] =
+      target peripheral name.
+    - [Violation]: [addr] = pc (-1 if unknown), [tag] = offending data
+      tag, [text] = violation kind and detail.
+    - [Declass]: [data] = source tag, [tag] = result tag, [text] = where.
+    - [Note]: [text] only. *)
+
+type kind =
+  | Insn
+  | Tlm_read
+  | Tlm_write
+  | Violation
+  | Declass
+  | Note
+
+type t = {
+  mutable time : int;  (** Simulation time, picoseconds. *)
+  mutable kind : kind;
+  mutable addr : int;
+  mutable data : int;
+  mutable tag : Dift.Lattice.tag;
+  mutable tainted : bool;
+  mutable text : string;
+}
+
+val make : unit -> t
+(** A blank event (used to preallocate ring slots). *)
+
+val copy : t -> t
+(** Snapshot of a (possibly soon-overwritten) ring slot. *)
+
+val kind_name : kind -> string

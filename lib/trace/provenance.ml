@@ -1,0 +1,216 @@
+module L = Dift.Lattice
+
+type source = {
+  s_id : int;
+  s_origin : string;
+  s_addr : int option;
+  s_time : int;
+  s_tag : L.tag;
+}
+
+type parent = P_merge of L.tag * L.tag | P_declass of L.tag
+
+type step =
+  | Introduced of source
+  | Merged of { result : L.tag; a : L.tag; b : L.tag }
+  | Declassified of { result : L.tag; from : L.tag }
+  | Via of { tag : L.tag; channel : string }
+
+type chain = { c_tag : L.tag; c_steps : step list; c_sources : source list }
+
+type t = {
+  lat : L.t;
+  max_edges : int;
+  max_sources : int;
+  (* Indexed by tag; lists are short (bounded) so linear scans are fine
+     and the dedup checks allocate nothing. Newest first. *)
+  sources : source list array;
+  parents : parent list array;
+  vias : string list array;
+  mutable next_id : int;
+  mutable dropped : int;
+}
+
+let create ?(max_edges_per_tag = 16) ?(max_sources_per_tag = 8) lat =
+  let n = L.size lat in
+  {
+    lat;
+    max_edges = max_edges_per_tag;
+    max_sources = max_sources_per_tag;
+    sources = Array.make n [];
+    parents = Array.make n [];
+    vias = Array.make n [];
+    next_id = 0;
+    dropped = 0;
+  }
+
+let lattice t = t.lat
+let dropped t = t.dropped
+
+let in_range t tag = tag >= 0 && tag < Array.length t.sources
+
+let source t ~origin ?addr ~time tag =
+  if not (in_range t tag) then invalid_arg "Provenance.source: tag out of range";
+  match
+    List.find_opt
+      (fun s -> String.equal s.s_origin origin && s.s_addr = addr)
+      t.sources.(tag)
+  with
+  | Some s -> s.s_id
+  | None ->
+      if List.length t.sources.(tag) >= t.max_sources then (
+        t.dropped <- t.dropped + 1;
+        -1)
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.sources.(tag) <-
+          { s_id = id; s_origin = origin; s_addr = addr; s_time = time; s_tag = tag }
+          :: t.sources.(tag);
+        id
+      end
+
+let add_parent t tag p =
+  let ps = t.parents.(tag) in
+  if List.mem p ps then ()
+  else if List.length ps >= t.max_edges then t.dropped <- t.dropped + 1
+  else t.parents.(tag) <- p :: ps
+
+let record_merge t ~a ~b ~result =
+  (* Only genuine joins matter: if the result equals an input, walking
+     that input's provenance already covers it. This also keeps the hot
+     all-bottom case (lub pub pub = pub) free of any bookkeeping. *)
+  if result <> a && result <> b && in_range t result then
+    add_parent t result (P_merge (a, b))
+
+let record_declass t ~from ~result =
+  if from <> result && in_range t result then add_parent t result (P_declass from)
+
+let record_via t ~channel tag =
+  if in_range t tag then begin
+    let vs = t.vias.(tag) in
+    if List.mem channel vs then ()
+    else if List.length vs >= t.max_edges then t.dropped <- t.dropped + 1
+    else t.vias.(tag) <- channel :: vs
+  end
+
+let sources_of t tag = if in_range t tag then List.rev t.sources.(tag) else []
+
+let sources t =
+  Array.to_list t.sources |> List.concat |> List.sort (fun a b -> compare a.s_id b.s_id)
+
+let chain t tag =
+  if not (in_range t tag) then { c_tag = tag; c_steps = []; c_sources = [] }
+  else begin
+    let n = Array.length t.sources in
+    let visited = Array.make n false in
+    let steps = ref [] and srcs = ref [] in
+    let queue = Queue.create () in
+    Queue.add tag queue;
+    visited.(tag) <- true;
+    let push u = if in_range t u && not visited.(u) then (visited.(u) <- true; Queue.add u queue) in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun s ->
+          steps := Introduced s :: !steps;
+          srcs := s :: !srcs)
+        (List.rev t.sources.(u));
+      List.iter
+        (fun ch -> steps := Via { tag = u; channel = ch } :: !steps)
+        (List.rev t.vias.(u));
+      List.iter
+        (fun p ->
+          match p with
+          | P_merge (a, b) ->
+              steps := Merged { result = u; a; b } :: !steps;
+              push a;
+              push b
+          | P_declass from ->
+              steps := Declassified { result = u; from } :: !steps;
+              push from)
+        (List.rev t.parents.(u))
+    done;
+    {
+      c_tag = tag;
+      c_steps = List.rev !steps;
+      c_sources = List.sort (fun a b -> compare a.s_id b.s_id) !srcs;
+    }
+  end
+
+let pp_source lat ppf s =
+  Format.fprintf ppf "#%d %s%s -> %s at t=%dps" s.s_id s.s_origin
+    (match s.s_addr with
+    | Some a -> Printf.sprintf " @0x%08x" a
+    | None -> "")
+    (L.name lat s.s_tag) s.s_time
+
+let pp_step lat ppf = function
+  | Introduced s -> Format.fprintf ppf "introduced: %a" (pp_source lat) s
+  | Merged { result; a; b } ->
+      Format.fprintf ppf "%s = lub(%s, %s)" (L.name lat result) (L.name lat a)
+        (L.name lat b)
+  | Declassified { result; from } ->
+      Format.fprintf ppf "%s declassified-from %s" (L.name lat result)
+        (L.name lat from)
+  | Via { tag; channel } ->
+      Format.fprintf ppf "%s carried via %s" (L.name lat tag) channel
+
+let pp_chain lat ppf c =
+  Format.fprintf ppf "@[<v>provenance of %s:" (L.name lat c.c_tag);
+  if c.c_steps = [] then Format.fprintf ppf "@,  (no recorded introductions)"
+  else
+    List.iter (fun s -> Format.fprintf ppf "@,  %a" (pp_step lat) s) c.c_steps;
+  (match c.c_sources with
+  | [] -> ()
+  | srcs ->
+      Format.fprintf ppf "@,terminal sources:";
+      List.iter (fun s -> Format.fprintf ppf "@,  %a" (pp_source lat) s) srcs);
+  Format.fprintf ppf "@]"
+
+module J = Jsonkit.Json
+
+let source_to_json lat s =
+  J.Obj
+    ([ ("id", J.num_of_int s.s_id); ("origin", J.Str s.s_origin) ]
+    @ (match s.s_addr with
+      | Some a -> [ ("addr", J.num_of_int a) ]
+      | None -> [])
+    @ [
+        ("time_ps", J.num_of_int s.s_time);
+        ("tag", J.Str (L.name lat s.s_tag));
+      ])
+
+let step_to_json lat = function
+  | Introduced s ->
+      J.Obj [ ("kind", J.Str "introduced"); ("source", source_to_json lat s) ]
+  | Merged { result; a; b } ->
+      J.Obj
+        [
+          ("kind", J.Str "merge");
+          ("result", J.Str (L.name lat result));
+          ("a", J.Str (L.name lat a));
+          ("b", J.Str (L.name lat b));
+        ]
+  | Declassified { result; from } ->
+      J.Obj
+        [
+          ("kind", J.Str "declass");
+          ("result", J.Str (L.name lat result));
+          ("from", J.Str (L.name lat from));
+        ]
+  | Via { tag; channel } ->
+      J.Obj
+        [
+          ("kind", J.Str "via");
+          ("tag", J.Str (L.name lat tag));
+          ("channel", J.Str channel);
+        ]
+
+let chain_to_json lat c =
+  J.Obj
+    [
+      ("tag", J.Str (L.name lat c.c_tag));
+      ("steps", J.List (List.map (step_to_json lat) c.c_steps));
+      ("sources", J.List (List.map (source_to_json lat) c.c_sources));
+    ]

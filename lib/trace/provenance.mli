@@ -1,0 +1,82 @@
+(** Taint provenance: where did this tag come from?
+
+    Granularity is the security class (lattice tag), matching the DIFT
+    engine itself: every taint *introduction* (a peripheral seeding a tag
+    into the system, or a policy region classifying memory) registers a
+    {!source}, and observed propagation records bounded edges —
+    [result = lub(a, b)] merges, declassifications, and "carried via
+    DMA"-style transfer hops. {!chain} then walks any tag seen at a sink
+    back to the set of sources that introduced it.
+
+    Everything is bounded: per tag at most [max_sources_per_tag] sources
+    and [max_edges_per_tag] merge/declass edges are retained (duplicates
+    are coalesced first; overflow increments {!dropped}). Recording is a
+    few list scans over those short lists and allocates only when a new
+    source/edge is actually retained, so a hot loop that keeps producing
+    the same joins settles into allocation-free dedup hits. *)
+
+type source = {
+  s_id : int;  (** Dense introduction id, in registration order. *)
+  s_origin : string;  (** Peripheral / region name, e.g. ["sensor"]. *)
+  s_addr : int option;  (** Bus address or region base, when meaningful. *)
+  s_time : int;  (** Simulation time of first registration, ps. *)
+  s_tag : Dift.Lattice.tag;  (** The class this source introduces. *)
+}
+
+type step =
+  | Introduced of source
+  | Merged of { result : Dift.Lattice.tag; a : Dift.Lattice.tag; b : Dift.Lattice.tag }
+  | Declassified of { result : Dift.Lattice.tag; from : Dift.Lattice.tag }
+  | Via of { tag : Dift.Lattice.tag; channel : string }
+
+type chain = {
+  c_tag : Dift.Lattice.tag;
+  c_steps : step list;  (** Breadth-first from the queried tag. *)
+  c_sources : source list;  (** Terminal introductions, by id. *)
+}
+
+type t
+
+val create :
+  ?max_edges_per_tag:int -> ?max_sources_per_tag:int -> Dift.Lattice.t -> t
+(** Defaults: 16 edges, 8 sources per tag. *)
+
+val lattice : t -> Dift.Lattice.t
+
+val source :
+  t -> origin:string -> ?addr:int -> time:int -> Dift.Lattice.tag -> int
+(** Register a taint introduction; returns its id. Re-registering the same
+    [(origin, addr)] pair for the same tag returns the existing id (so
+    peripherals may call this on every frame). Returns [-1] if the
+    per-tag source budget is exhausted. *)
+
+val record_merge :
+  t -> a:Dift.Lattice.tag -> b:Dift.Lattice.tag -> result:Dift.Lattice.tag -> unit
+(** Record [result = lub(a, b)]. A no-op unless it is a genuine join
+    ([result] differs from both inputs) — propagation that keeps a tag
+    unchanged is already covered by that tag's own chain. *)
+
+val record_declass :
+  t -> from:Dift.Lattice.tag -> result:Dift.Lattice.tag -> unit
+
+val record_via : t -> channel:string -> Dift.Lattice.tag -> unit
+(** Note that [tag] travelled through a named transfer channel (DMA,
+    crypto unit, ...) without changing class. *)
+
+val sources_of : t -> Dift.Lattice.tag -> source list
+(** Sources directly introducing [tag], oldest first. *)
+
+val sources : t -> source list
+(** Every registered source, by id. *)
+
+val chain : t -> Dift.Lattice.tag -> chain
+(** Walk back from [tag] through merge/declass edges to the introducing
+    sources. Bounded by the lattice size (each tag visited once). *)
+
+val dropped : t -> int
+(** Edges/sources discarded because a per-tag budget was exhausted. *)
+
+val pp_source : Dift.Lattice.t -> Format.formatter -> source -> unit
+val pp_chain : Dift.Lattice.t -> Format.formatter -> chain -> unit
+val source_to_json : Dift.Lattice.t -> source -> Jsonkit.Json.t
+val chain_to_json : Dift.Lattice.t -> chain -> Jsonkit.Json.t

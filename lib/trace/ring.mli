@@ -1,0 +1,34 @@
+(** Fixed-size ring buffer of trace events.
+
+    All slots are preallocated at {!create}; {!emit} hands out the next
+    slot for the caller to fill in place, so steady-state recording does
+    not allocate. When the ring is full the oldest event is overwritten —
+    the ring always retains the most recent [capacity] events, which is
+    exactly the window a forensic report wants. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a ring retaining the last [n] events.
+    Raises [Invalid_argument] if [n <= 0]. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val length : t -> int
+(** Events currently retained ([min total capacity]). *)
+
+val emit : t -> Event.t
+(** The slot for the next event; the caller must overwrite every field it
+    cares about (slots are recycled, stale values remain otherwise). *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Iterate retained events oldest → newest. The callback receives live
+    slots; use {!Event.copy} to keep one past the callback. *)
+
+val last : t -> int -> Event.t list
+(** Copies of the most recent [n] retained events, oldest first. *)
+
+val clear : t -> unit

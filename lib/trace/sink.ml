@@ -1,0 +1,130 @@
+module J = Jsonkit.Json
+module L = Dift.Lattice
+
+let tag_name t tag =
+  if tag >= 0 && tag < L.size t.Tracer.lat then L.name t.Tracer.lat tag
+  else string_of_int tag
+
+let event_json t (e : Event.t) =
+  let base =
+    [ ("t", J.num_of_int e.Event.time); ("k", J.Str (Event.kind_name e.Event.kind)) ]
+  in
+  let rest =
+    match e.Event.kind with
+    | Event.Insn ->
+        [
+          ("pc", J.num_of_int e.Event.addr);
+          ("word", J.num_of_int e.Event.data);
+          ("asm", J.Str (t.Tracer.disasm e.Event.data));
+          ("tag", J.Str (tag_name t e.Event.tag));
+          ("tainted", J.Bool e.Event.tainted);
+        ]
+    | Event.Tlm_read | Event.Tlm_write ->
+        [
+          ("addr", J.num_of_int e.Event.addr);
+          ("len", J.num_of_int e.Event.data);
+          ("tag", J.Str (tag_name t e.Event.tag));
+          ("target", J.Str e.Event.text);
+        ]
+    | Event.Violation ->
+        [
+          ("pc", J.num_of_int e.Event.addr);
+          ("tag", J.Str (tag_name t e.Event.tag));
+          ("what", J.Str e.Event.text);
+        ]
+    | Event.Declass ->
+        [
+          ("from", J.Str (tag_name t e.Event.data));
+          ("to", J.Str (tag_name t e.Event.tag));
+          ("where", J.Str e.Event.text);
+        ]
+    | Event.Note -> [ ("text", J.Str e.Event.text) ]
+  in
+  J.Obj (base @ rest)
+
+let write_jsonl t oc =
+  Ring.iter t.Tracer.ring (fun e ->
+      output_string oc (J.to_string (event_json t e));
+      output_char oc '\n')
+
+(* Chrome about://tracing `trace_event` format: instant events on two
+   synthetic threads (cpu = instructions, bus = TLM transactions), with
+   simulation picoseconds mapped onto the format's microsecond [ts]. *)
+let write_chrome t oc =
+  let thread tid name =
+    J.Obj
+      [
+        ("name", J.Str "thread_name");
+        ("ph", J.Str "M");
+        ("pid", J.num_of_int 0);
+        ("tid", J.num_of_int tid);
+        ("args", J.Obj [ ("name", J.Str name) ]);
+      ]
+  in
+  let evs = ref [ thread 2 "bus"; thread 1 "cpu" ] in
+  Ring.iter t.Tracer.ring (fun e ->
+      let ts = float_of_int e.Event.time /. 1e6 in
+      let instant ?(scope = "t") ~tid name args =
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("ph", J.Str "i");
+            ("s", J.Str scope);
+            ("ts", J.Num ts);
+            ("pid", J.num_of_int 0);
+            ("tid", J.num_of_int tid);
+            ("args", J.Obj args);
+          ]
+      in
+      let ev =
+        match e.Event.kind with
+        | Event.Insn ->
+            instant ~tid:1
+              (t.Tracer.disasm e.Event.data)
+              [
+                ("pc", J.num_of_int e.Event.addr);
+                ("tag", J.Str (tag_name t e.Event.tag));
+                ("tainted", J.Bool e.Event.tainted);
+              ]
+        | Event.Tlm_read | Event.Tlm_write ->
+            instant ~tid:2
+              (Printf.sprintf "%s %s" (Event.kind_name e.Event.kind) e.Event.text)
+              [
+                ("addr", J.num_of_int e.Event.addr);
+                ("len", J.num_of_int e.Event.data);
+                ("tag", J.Str (tag_name t e.Event.tag));
+              ]
+        | Event.Violation ->
+            instant ~scope:"g" ~tid:1
+              ("VIOLATION: " ^ e.Event.text)
+              [
+                ("pc", J.num_of_int e.Event.addr);
+                ("tag", J.Str (tag_name t e.Event.tag));
+              ]
+        | Event.Declass ->
+            instant ~tid:2 ("declass @ " ^ e.Event.text)
+              [
+                ("from", J.Str (tag_name t e.Event.data));
+                ("to", J.Str (tag_name t e.Event.tag));
+              ]
+        | Event.Note -> instant ~tid:1 e.Event.text []
+      in
+      evs := ev :: !evs);
+  let doc =
+    J.Obj
+      [
+        ("traceEvents", J.List (List.rev !evs));
+        ("displayTimeUnit", J.Str "ns");
+      ]
+  in
+  output_string oc (J.to_string doc);
+  output_char oc '\n'
+
+let write_file t ~format path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match format with
+      | `Jsonl -> write_jsonl t oc
+      | `Chrome -> write_chrome t oc)

@@ -1,0 +1,18 @@
+(** Trace output sinks. Both render the events currently retained in the
+    tracer's ring, oldest first; rendering happens offline (after or
+    outside the simulation), so allocation here is not a concern. *)
+
+val event_json : Tracer.t -> Event.t -> Jsonkit.Json.t
+(** One event as a JSON object ([t] = time in ps, [k] = kind, then
+    kind-specific fields; see {!Event.kind}). *)
+
+val write_jsonl : Tracer.t -> out_channel -> unit
+(** One {!event_json} object per line. *)
+
+val write_chrome : Tracer.t -> out_channel -> unit
+(** A Chrome [trace_event] document (load via [about://tracing] or
+    [ui.perfetto.dev]): instruction events on a synthetic "cpu" thread,
+    TLM transactions on a "bus" thread, violations as global instants.
+    Simulation ps are mapped onto the format's microsecond timestamps. *)
+
+val write_file : Tracer.t -> format:[ `Jsonl | `Chrome ] -> string -> unit

@@ -1,0 +1,69 @@
+type t = {
+  ring : Ring.t;
+  prov : Provenance.t;
+  lat : Dift.Lattice.t;
+  mutable disasm : int -> string;
+}
+
+let default_disasm w = Printf.sprintf ".word 0x%08x" w
+
+let create ?(ring_size = 4096) lat =
+  {
+    ring = Ring.create ring_size;
+    prov = Provenance.create lat;
+    lat;
+    disasm = default_disasm;
+  }
+
+let set_disasm t f = t.disasm <- f
+let events_recorded t = Ring.total t.ring
+
+let record_insn t ~time ~pc ~word ~tag ~tainted =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- Event.Insn;
+  e.Event.addr <- pc;
+  e.Event.data <- word;
+  e.Event.tag <- tag;
+  e.Event.tainted <- tainted;
+  e.Event.text <- ""
+
+let record_tlm t ~time ~write ~addr ~len ~tag ~target =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- (if write then Event.Tlm_write else Event.Tlm_read);
+  e.Event.addr <- addr;
+  e.Event.data <- len;
+  e.Event.tag <- tag;
+  e.Event.tainted <- false;
+  e.Event.text <- target
+
+let record_violation t ~time ~pc ~tag ~what =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- Event.Violation;
+  e.Event.addr <- pc;
+  e.Event.data <- 0;
+  e.Event.tag <- tag;
+  e.Event.tainted <- true;
+  e.Event.text <- what
+
+let record_declass t ~time ~from_tag ~to_tag ~where =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- Event.Declass;
+  e.Event.addr <- 0;
+  e.Event.data <- from_tag;
+  e.Event.tag <- to_tag;
+  e.Event.tainted <- false;
+  e.Event.text <- where
+
+let record_note t ~time text =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- Event.Note;
+  e.Event.addr <- 0;
+  e.Event.data <- 0;
+  e.Event.tag <- 0;
+  e.Event.tainted <- false;
+  e.Event.text <- text

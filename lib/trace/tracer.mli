@@ -1,0 +1,51 @@
+(** The per-simulation trace bundle: an event {!Ring.t} plus a
+    {!Provenance.t} graph over one lattice. A [Tracer.t] is handed to
+    [Vp.Soc.create ?tracer], which wires the core / bus / router /
+    monitor hooks into it; everything here is plain recording with no
+    simulator dependencies. *)
+
+type t = {
+  ring : Ring.t;
+  prov : Provenance.t;
+  lat : Dift.Lattice.t;
+  mutable disasm : int -> string;
+      (** Render an instruction word for reports; defaults to a hex
+          [.word] form. The VP installs the RV32 disassembler. *)
+}
+
+val create : ?ring_size:int -> Dift.Lattice.t -> t
+(** Default ring size: 4096 events. *)
+
+val set_disasm : t -> (int -> string) -> unit
+
+val events_recorded : t -> int
+(** Total events ever pushed into the ring (monotonic). *)
+
+(** Recorders — one per event shape; [time] is simulation time in ps.
+    Each fills a recycled ring slot: no allocation. *)
+
+val record_insn :
+  t -> time:int -> pc:int -> word:int -> tag:Dift.Lattice.tag -> tainted:bool -> unit
+
+val record_tlm :
+  t ->
+  time:int ->
+  write:bool ->
+  addr:int ->
+  len:int ->
+  tag:Dift.Lattice.tag ->
+  target:string ->
+  unit
+
+val record_violation :
+  t -> time:int -> pc:int -> tag:Dift.Lattice.tag -> what:string -> unit
+
+val record_declass :
+  t ->
+  time:int ->
+  from_tag:Dift.Lattice.tag ->
+  to_tag:Dift.Lattice.tag ->
+  where:string ->
+  unit
+
+val record_note : t -> time:int -> string -> unit

@@ -64,6 +64,9 @@ let encrypt a =
     (fun c -> from_tag := Dift.Lattice.lub a.env.Env.lat !from_tag (Char.code c))
     a.din_tags;
   ignore (Env.declassify a.env ~where:a.name ~from_tag:!from_tag a.out_tag);
+  (* The ciphertext's class is introduced here, whatever went in. *)
+  Env.taint_source a.env ~origin:a.name a.out_tag;
+  Env.taint_via a.env ~channel:a.name !from_tag;
   a.count <- a.count + 1
 
 let start a =

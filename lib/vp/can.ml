@@ -52,6 +52,7 @@ let push_rx_frame c ?tag frame =
     if String.length frame >= 8 then String.sub frame 0 8
     else frame ^ String.make (8 - String.length frame) '\000'
   in
+  Env.taint_source c.env ~origin:(c.name ^ ".rx") tag;
   Queue.push (padded, tag) c.rx_fifo;
   if not c.rx_valid then load_rx c;
   c.irq ()

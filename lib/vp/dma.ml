@@ -43,6 +43,7 @@ let copy_byte d ~from ~into =
   p.Tlm.Payload.resp <- Tlm.Payload.Ok_resp;
   ignore (Tlm.Socket.transport d.init p Sysc.Time.zero);
   if Tlm.Payload.ok p then begin
+    Env.taint_via d.env ~channel:d.name (Tlm.Payload.get_tag p 0);
     Env.check_store d.env ~addr:into
       ~data_tag:(Tlm.Payload.get_tag p 0)
       ~who:d.name;

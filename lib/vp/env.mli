@@ -8,9 +8,22 @@ type t = {
   policy : Dift.Policy.t;
   monitor : Dift.Monitor.t;
   pub : Dift.Lattice.tag;
+  prov : Trace.Provenance.t option;
+      (** Provenance recorder, when the SoC runs with a tracer. *)
 }
 
-val create : Sysc.Kernel.t -> Dift.Policy.t -> Dift.Monitor.t -> t
+val create :
+  ?prov:Trace.Provenance.t -> Sysc.Kernel.t -> Dift.Policy.t -> Dift.Monitor.t -> t
+
+val taint_source : t -> origin:string -> ?addr:int -> Dift.Lattice.tag -> unit
+(** Register a taint introduction (peripheral seeding [tag] into the
+    platform) with the provenance recorder at current simulation time.
+    No-op when no recorder is attached or [tag] is the public tag, so
+    peripherals call it unconditionally. *)
+
+val taint_via : t -> channel:string -> Dift.Lattice.tag -> unit
+(** Note that tagged data travelled through a named transfer channel
+    (e.g. the DMA engine). Same no-op conventions as {!taint_source}. *)
 
 val check_output : t -> port:string -> data_tag:Dift.Lattice.tag -> detail:string -> unit
 (** Clearance check at a named output interface: looks up the port's

@@ -42,6 +42,7 @@ let next_rand s =
   x
 
 let refill s =
+  Env.taint_source s.env ~origin:s.name s.tag;
   let c = Char.chr s.tag in
   for i = 0 to frame_size - 1 do
     (* Fig. 4 line 21: random data of the configured security class. *)

@@ -28,6 +28,7 @@ type cpu = {
   cpu_set_reg : int -> int -> unit;
   cpu_set_irq : bit:int -> on:bool -> unit;
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
+  cpu_set_merge_hook : (int -> int -> int -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
@@ -50,6 +51,7 @@ type t = {
   watchdog : Watchdog.t;
   cpu : cpu;
   tracking : bool;
+  trace : Trace.Tracer.t option;
 }
 
 (* Wrap a Core functor instance behind the mode-independent record. *)
@@ -69,6 +71,7 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_set_reg = (fun r v -> C.set_reg core r v);
       cpu_set_irq = (fun ~bit ~on -> C.set_irq core ~bit on);
       cpu_set_trace = (fun fn -> C.set_trace core fn);
+      cpu_set_merge_hook = (fun fn -> C.set_merge_hook core fn);
       cpu_csr = C.csr core;
       cpu_flush_code = (fun ~addr ~len -> C.flush_code core ~addr ~len);
       cpu_blocks_built = (fun () -> C.blocks_built core);
@@ -81,9 +84,13 @@ module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
 
 let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     ?(dmi = true) ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-    ?sensor_period ?aes_out_tag ?aes_in_clearance ?wdt_clearance () =
+    ?sensor_period ?aes_out_tag ?aes_in_clearance ?wdt_clearance ?tracer () =
   let kernel = Sysc.Kernel.create () in
-  let env = Env.create kernel policy monitor in
+  let env =
+    Env.create
+      ?prov:(Option.map (fun t -> t.Trace.Tracer.prov) tracer)
+      kernel policy monitor
+  in
   let router = Tlm.Router.create ~name:"bus" () in
   let memory = Memory.create env ~name:"ram" ~size:ram_size in
   let uart = Uart.create env ~name:"uart" ~port:"uart" in
@@ -151,6 +158,92 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
   Watchdog.start watchdog;
   Dma.start dma;
   Aes_periph.start aes;
+  let cpu =
+    match tracer with
+    | None -> cpu
+    | Some tr ->
+        Trace.Tracer.set_disasm tr Rv32.Disasm.word;
+        let pub = env.Env.pub in
+        let lat = env.Env.lat in
+        let now () = Sysc.Kernel.now kernel in
+        (* Taint propagation: every genuine LUB join the core or the bus
+           computes becomes a provenance merge edge. *)
+        let on_merge a b r = Trace.Provenance.record_merge tr.Trace.Tracer.prov ~a ~b ~result:r in
+        cpu.cpu_set_merge_hook (Some on_merge);
+        Rv32.Bus_if.set_merge_hook bus (Some on_merge);
+        (* Bus traffic: one event per routed transaction (CPU MMIO and DMA
+           alike), tagged with the LUB of the payload's byte tags. *)
+        Tlm.Router.set_observer router
+          (Some
+             (fun p target ->
+               let len = Tlm.Payload.length p in
+               let tag = ref (Tlm.Payload.get_tag p 0) in
+               for i = 1 to len - 1 do
+                 tag := Dift.Lattice.lub lat !tag (Tlm.Payload.get_tag p i)
+               done;
+               Trace.Tracer.record_tlm tr ~time:(now ())
+                 ~write:(p.Tlm.Payload.cmd = Tlm.Payload.Write)
+                 ~addr:p.Tlm.Payload.addr ~len ~tag:!tag ~target));
+        (* Monitor events: violations and declassifications enter the event
+           stream in order; declassifications also become provenance edges. *)
+        Dift.Monitor.set_on_event monitor
+          (Some
+             (fun ev ->
+               let time = now () in
+               match ev with
+               | Dift.Monitor.Violated v ->
+                   Trace.Tracer.record_violation tr ~time
+                     ~pc:(Option.value v.Dift.Violation.pc ~default:(-1))
+                     ~tag:v.Dift.Violation.data_tag
+                     ~what:
+                       (Dift.Violation.kind_name v.Dift.Violation.kind
+                       ^
+                       match v.Dift.Violation.detail with
+                       | "" -> ""
+                       | d -> ": " ^ d)
+               | Dift.Monitor.Declassified { where; from_tag; to_tag } ->
+                   Trace.Tracer.record_declass tr ~time ~from_tag ~to_tag ~where;
+                   Trace.Provenance.record_declass tr.Trace.Tracer.prov
+                     ~from:from_tag ~result:to_tag
+               | Dift.Monitor.Note s -> Trace.Tracer.record_note tr ~time s));
+        (* Retired instructions: the internal ring push composes with any
+           externally installed per-instruction hook (coverage, --echo-insns)
+           through the returned record's [cpu_set_trace]. *)
+        let data = Memory.data memory in
+        let mem_size = Memory.size memory in
+        let internal_hook pc insn =
+          let off = pc - ram_base in
+          let word =
+            if off >= 0 && off + 3 < mem_size then
+              Int32.to_int (Bytes.get_int32_le data off) land 0xffffffff
+            else 0
+          in
+          let t1 = cpu.cpu_get_reg_tag (Rv32.Insn.rs1 insn) in
+          let t2 = cpu.cpu_get_reg_tag (Rv32.Insn.rs2 insn) in
+          let tag = Dift.Lattice.lub lat t1 t2 in
+          Trace.Tracer.record_insn tr ~time:(now ()) ~pc ~word ~tag
+            ~tainted:(tag <> pub)
+        in
+        let external_hook = ref None in
+        let install = cpu.cpu_set_trace in
+        let compose () =
+          match !external_hook with
+          | None -> Some internal_hook
+          | Some f ->
+              Some
+                (fun pc insn ->
+                  internal_hook pc insn;
+                  f pc insn)
+        in
+        install (compose ());
+        {
+          cpu with
+          cpu_set_trace =
+            (fun fn ->
+              external_hook := fn;
+              install (compose ()));
+        }
+  in
   {
     env;
     kernel;
@@ -167,6 +260,7 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     watchdog;
     cpu;
     tracking;
+    trace = tracer;
   }
 
 let load_image soc img =
@@ -188,12 +282,28 @@ let load_image soc img =
         Memory.fill_tags soc.memory ~off:(lo - ram_base) ~len:(hi - lo + 1)
           r.Dift.Policy.r_tag)
     (List.rev policy.Dift.Policy.classification);
+  (* Each classified region is a taint introduction in its own right (the
+     PIN region of the immobilizer case study, say): register it so a
+     violating tag can be walked back to the policy that seeded it. *)
+  List.iter
+    (fun r ->
+      if r.Dift.Policy.r_tag <> soc.env.Env.pub then
+        Env.taint_source soc.env
+          ~origin:("policy-region:" ^ r.Dift.Policy.r_name)
+          ~addr:r.Dift.Policy.lo r.Dift.Policy.r_tag)
+    policy.Dift.Policy.classification;
   let entry =
     match Rv32_asm.Image.symbol_opt img "_start" with
     | Some a -> a
     | None -> org
   in
   soc.cpu.cpu_set_pc entry
+
+let seed_taint soc ~origin ~addr ~len tag =
+  if addr < ram_base || addr + len > ram_base + Memory.size soc.memory then
+    invalid_arg "Soc.seed_taint: range outside RAM";
+  Memory.fill_tags soc.memory ~off:(addr - ram_base) ~len tag;
+  Env.taint_source soc.env ~origin ~addr tag
 
 let start ?(stop_on_halt = true) soc = soc.cpu.cpu_spawn ~stop_on_halt
 let run ?until soc = Sysc.Kernel.run ?until soc.kernel

@@ -52,6 +52,9 @@ type cpu = {
   cpu_set_reg : int -> int -> unit;
   cpu_set_irq : bit:int -> on:bool -> unit;
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
+      (** On a SoC built with a tracer this composes: the tracer's internal
+          ring push always runs first, then the hook installed here. *)
+  cpu_set_merge_hook : (int -> int -> int -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
@@ -74,6 +77,7 @@ type t = {
   watchdog : Watchdog.t;
   cpu : cpu;
   tracking : bool;
+  trace : Trace.Tracer.t option;
 }
 
 val create :
@@ -89,6 +93,7 @@ val create :
   ?aes_out_tag:Dift.Lattice.tag ->
   ?aes_in_clearance:Dift.Lattice.tag ->
   ?wdt_clearance:Dift.Lattice.tag ->
+  ?tracer:Trace.Tracer.t ->
   unit ->
   t
 (** Build and wire the platform on a fresh kernel. [tracking] selects VP+
@@ -99,12 +104,26 @@ val create :
     (fully declassified ciphertext). RAM writes that bypass the CPU (DMA,
     the loader) are wired to block-cache invalidation. Peripheral processes
     are spawned; the CPU thread is not — call {!start} or
-    [t.cpu.cpu_spawn] after loading firmware. *)
+    [t.cpu.cpu_spawn] after loading firmware.
+
+    [tracer] (built over the same lattice as [policy]) attaches the
+    tracing subsystem: retired instructions, routed bus transactions and
+    monitor events fill the tracer's ring; taint introductions, merges
+    and declassifications feed its provenance graph; the RV32
+    disassembler is installed for reports. Without it every hook stays
+    unset — the simulation is byte-identical to a trace-free build. *)
 
 val load_image : t -> Rv32_asm.Image.t -> unit
 (** Copy the image into RAM, tag every byte according to the policy's
     classification (program regions, keys, ...), and point the CPU's reset
     pc at the image origin (or the ["_start"] symbol if defined). *)
+
+val seed_taint :
+  t -> origin:string -> addr:int -> len:int -> Dift.Lattice.tag -> unit
+(** Explicit taint seeding: tag [len] bytes of RAM at global address
+    [addr] and register the introduction with the provenance recorder
+    (when a tracer is attached). Raises [Invalid_argument] if the range
+    is outside RAM. *)
 
 val start : ?stop_on_halt:bool -> t -> unit
 (** Spawn the CPU thread. *)

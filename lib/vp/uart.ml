@@ -29,6 +29,7 @@ let push_rx u ?tag s =
   let tag =
     match tag with Some t -> t | None -> u.env.Env.policy.Dift.Policy.default_tag
   in
+  if s <> "" then Env.taint_source u.env ~origin:(u.name ^ ".rx") tag;
   String.iter (fun c -> Queue.push (Char.code c, tag) u.rx) s;
   update_irq u
 

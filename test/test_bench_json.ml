@@ -119,7 +119,16 @@ let test_validate () =
     (good_doc ~rows:[ good_row ~overhead:0. () ] ());
   expect_invalid "negative instructions"
     (good_doc ~rows:[ good_row ~instructions:(-1) () ] ());
-  expect_invalid "non-object document" (J.List [])
+  expect_invalid "non-object document" (J.List []);
+  (* The optional per-row trace marker: bool ok, anything else rejected. *)
+  let with_field k v = function
+    | J.Obj kvs -> J.Obj (kvs @ [ (k, v) ])
+    | j -> j
+  in
+  expect_valid
+    (good_doc ~rows:[ with_field "trace" (J.Bool true) (good_row ()) ] ());
+  expect_invalid "non-bool trace field"
+    (good_doc ~rows:[ with_field "trace" (J.Str "yes") (good_row ()) ] ())
 
 (* End to end: run one real workload at a tiny scale, build the report,
    write it, read it back, parse and validate — the exact CI pipeline. *)
@@ -183,6 +192,36 @@ let test_real_report () =
           check_bool "vp+ overhead present and positive" true
             (match ovh with Some o -> o > 0. | None -> false))
 
+(* The tracing guardrail: --trace adds exactly one vp+trace row that is
+   architecturally identical to the untraced runs (same instret, clean
+   exit) and carries the trace marker; the default measure stays two rows
+   (checked by test_real_report), i.e. tracing is strictly opt-in. *)
+let test_trace_row () =
+  let defs = D.table2 ~scale:0.01 in
+  let qsort = List.find (fun d -> d.D.d_name = "qsort") defs in
+  let rows = D.measure ~trace:true qsort in
+  check_int "vp, vp+ and vp+trace rows" 3 (List.length rows);
+  let vp = List.nth rows 0 and vpp = List.nth rows 1 in
+  let vpt = List.nth rows 2 in
+  check_string "third row mode" "vp+trace" vpt.D.m_mode;
+  check_bool "third row marked traced" true vpt.D.m_trace;
+  check_bool "untraced rows unmarked" false (vp.D.m_trace || vpp.D.m_trace);
+  check_bool "vp+trace exited cleanly" true vpt.D.m_exit_ok;
+  check_int "tracing is transparent (instret)" vp.D.m_instructions
+    vpt.D.m_instructions;
+  check_bool "vp+trace overhead positive" true (vpt.D.m_overhead > 0.);
+  let doc =
+    D.doc ~bench:"table2" ~scale:0.01 ~block_cache:true ~fast_path:true rows
+  in
+  expect_valid doc;
+  (* The rendered row exposes the marker to CI trend tooling. *)
+  match J.member "rows" doc |> Option.map J.to_list |> Option.join with
+  | Some [ _; _; r ] ->
+      check_bool "rendered trace marker" true
+        (J.member "trace" r |> Option.map J.to_bool |> Option.join
+        = Some true)
+  | _ -> Alcotest.fail "expected three rendered rows"
+
 let () =
   Alcotest.run "bench_json"
     [
@@ -197,5 +236,6 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "real report end to end" `Slow test_real_report;
+          Alcotest.test_case "trace row guardrail" `Slow test_trace_row;
         ] );
     ]

@@ -156,6 +156,60 @@ let test_counters () =
   check_int "no fast path on the plain VP" 0
     (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ())
 
+(* Pin the per-instruction hook contract documented on Core.set_trace:
+   the hook sees every retired instruction exactly once, in retirement
+   order, with its fetch pc — including instructions retired from cached
+   blocks and on the untainted fast path — and installing it neither
+   flushes blocks nor disables the fast path. The tracing subsystem
+   (lib/trace) depends on this stream being complete. *)
+let hook_pc_stream ~tracking ~block_cache ~fast_path build =
+  let p = A.create () in
+  build p;
+  let img = A.assemble p in
+  let policy = trivial_policy () in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ()
+  in
+  Vp.Soc.load_image soc img;
+  let pcs = ref [] in
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace (Some (fun pc _ -> pcs := pc :: !pcs));
+  let reason = Vp.Soc.run_for_instructions soc 200_000 in
+  (soc, reason, List.rev !pcs)
+
+let test_hook_sees_cached_blocks () =
+  let reference = ref None in
+  List.iter
+    (fun (tracking, block_cache, fast_path) ->
+      let ctx =
+        Printf.sprintf "hook (tracking=%b cache=%b fast=%b)" tracking
+          block_cache fast_path
+      in
+      let soc, reason, pcs =
+        hook_pc_stream ~tracking ~block_cache ~fast_path smc_cross_block
+      in
+      expect_exit reason 201;
+      check_int
+        (ctx ^ ": one hook call per retired instruction")
+        (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+        (List.length pcs);
+      (if block_cache then
+         check_bool (ctx ^ ": hook does not disable block building") true
+           (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built () > 0));
+      (if tracking && block_cache && fast_path then
+         check_bool (ctx ^ ": hook does not disable the fast path") true
+           (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0));
+      match !reference with
+      | None -> reference := Some pcs
+      | Some r -> check_bool (ctx ^ ": pc stream identical") true (r = pcs))
+    [
+      (false, true, true);
+      (false, false, false);
+      (true, true, true);
+      (true, true, false);
+      (true, false, false);
+    ]
+
 let () =
   Alcotest.run "blockcache"
     [
@@ -171,4 +225,9 @@ let () =
       ( "counters",
         [ Alcotest.test_case "block/fast-path counters" `Quick test_counters ]
       );
+      ( "hook",
+        [
+          Alcotest.test_case "per-instruction hook sees cached blocks" `Quick
+            test_hook_sees_cached_blocks;
+        ] );
     ]

@@ -116,7 +116,19 @@ let test_injected_fault_shrinks () =
       check_bool "reproducer exits cleanly" true
         (match res.Difftest.Oracle.vpp.Difftest.Oracle.stop with
         | Difftest.Oracle.Exited _ -> true
-        | _ -> false)
+        | _ -> false);
+      (* The forensic replay attaches a rendered report to the failure. *)
+      match f.H.f_forensics with
+      | None -> Alcotest.fail "no forensic report attached"
+      | Some text ->
+          check_bool "forensic report non-empty" true (String.length text > 0);
+          check_bool "forensic report has event window" true
+            (let re = "last " in
+             let n = String.length text and m = String.length re in
+             let rec find i =
+               i + m <= n && (String.sub text i m = re || find (i + 1))
+             in
+             find 0)
 
 (* The shrinker is 1-minimal against a cheap static predicate: removing any
    remaining block or body instruction must clear the predicate. *)

@@ -1,0 +1,300 @@
+(* Tier-1 tests for the tracing subsystem (lib/trace): ring-buffer
+   mechanics, the bounded provenance graph, and the end-to-end acceptance
+   paths — a tainted sensor word carried by DMA and encrypted by the AES
+   engine traces back to the sensor, Wilander violations carry non-empty
+   provenance, and an immobilizer forensic report's chain terminates at
+   the PIN's classification region. *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+module T = Trace
+
+(* --- Ring buffer ----------------------------------------------------- *)
+
+let test_ring () =
+  let r = T.Ring.create 4 in
+  check_int "capacity" 4 (T.Ring.capacity r);
+  check_int "empty length" 0 (T.Ring.length r);
+  for i = 1 to 6 do
+    let e = T.Ring.emit r in
+    e.T.Event.time <- i;
+    e.T.Event.kind <- T.Event.Note;
+    e.T.Event.text <- string_of_int i
+  done;
+  check_int "total counts overwritten events" 6 (T.Ring.total r);
+  check_int "length capped at capacity" 4 (T.Ring.length r);
+  let times = ref [] in
+  T.Ring.iter r (fun e -> times := e.T.Event.time :: !times);
+  check_bool "iter oldest to newest" true (List.rev !times = [ 3; 4; 5; 6 ]);
+  let last2 = T.Ring.last r 2 in
+  check_bool "last n, oldest first" true
+    (List.map (fun e -> e.T.Event.time) last2 = [ 5; 6 ]);
+  (* [last] returns copies, not live slots. *)
+  let e = T.Ring.emit r in
+  e.T.Event.time <- 99;
+  check_bool "copies survive slot recycling" true
+    (List.map (fun e -> e.T.Event.time) last2 = [ 5; 6 ]);
+  T.Ring.clear r;
+  check_int "cleared" 0 (T.Ring.length r);
+  check_bool "create rejects non-positive size" true
+    (try
+       ignore (T.Ring.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Provenance graph ------------------------------------------------ *)
+
+(* A diamond lattice so lub(a,b) is a genuine join (differs from both). *)
+let diamond () =
+  Dift.Lattice.make_exn
+    ~classes:[ "BOT"; "A"; "B"; "TOP" ]
+    ~flows:[ ("BOT", "A"); ("BOT", "B"); ("A", "TOP"); ("B", "TOP") ]
+
+let test_provenance () =
+  let lat = diamond () in
+  let t n = Dift.Lattice.tag_of_name lat n in
+  let a = t "A" and b = t "B" and top = t "TOP" and bot = t "BOT" in
+  let p = T.Provenance.create lat in
+  let id1 = T.Provenance.source p ~origin:"sensor" ~time:10 a in
+  let id1' = T.Provenance.source p ~origin:"sensor" ~time:999 a in
+  check_int "re-registering the same (origin, addr) dedupes" id1 id1';
+  let _ = T.Provenance.source p ~origin:"can" ~time:20 b in
+  check_int "sources_of a" 1 (List.length (T.Provenance.sources_of p a));
+  T.Provenance.record_merge p ~a ~b ~result:top;
+  (* Trivial joins (result equals an input) are not edges. *)
+  T.Provenance.record_merge p ~a ~b:bot ~result:a;
+  T.Provenance.record_via p ~channel:"dma" a;
+  T.Provenance.record_declass p ~from:top ~result:bot;
+  let chain_top = T.Provenance.chain p top in
+  check_bool "chain(top) has the merge step" true
+    (List.exists
+       (function
+         | T.Provenance.Merged m -> m.result = top && m.a = a && m.b = b
+         | _ -> false)
+       chain_top.T.Provenance.c_steps);
+  let origins c =
+    List.map (fun s -> s.T.Provenance.s_origin) c.T.Provenance.c_sources
+  in
+  check_bool "chain(top) reaches both introductions" true
+    (List.mem "sensor" (origins chain_top) && List.mem "can" (origins chain_top));
+  let chain_bot = T.Provenance.chain p bot in
+  check_bool "chain(bot) walks through the declassification" true
+    (List.exists
+       (function
+         | T.Provenance.Declassified d -> d.result = bot && d.from = top
+         | _ -> false)
+       chain_bot.T.Provenance.c_steps);
+  check_bool "chain(bot) still reaches the sensor" true
+    (List.mem "sensor" (origins chain_bot));
+  check_bool "chain(a) notes the dma hop" true
+    (List.exists
+       (function
+         | T.Provenance.Via v -> v.channel = "dma" && v.tag = a
+         | _ -> false)
+       (T.Provenance.chain p a).T.Provenance.c_steps);
+  (* Budgets: the third distinct source for one tag is dropped, loudly. *)
+  let q = T.Provenance.create ~max_sources_per_tag:2 lat in
+  let s1 = T.Provenance.source q ~origin:"one" ~time:0 a in
+  let s2 = T.Provenance.source q ~origin:"two" ~time:0 a in
+  let s3 = T.Provenance.source q ~origin:"three" ~time:0 a in
+  check_bool "budgeted ids valid" true (s1 >= 0 && s2 >= 0);
+  check_int "over-budget source rejected" (-1) s3;
+  check_bool "drops counted" true (T.Provenance.dropped q > 0)
+
+(* --- Sensor -> DMA -> AES end to end --------------------------------- *)
+
+(* Firmware: wait for a sensor frame, DMA its first word into RAM, load
+   it, feed it to the AES engine, read the (declassified) ciphertext. *)
+let sensor_dma_aes p =
+  A.li p R.t0 Vp.Soc.sensor_base;
+  A.label p "poll_sensor";
+  A.lbu p R.t1 R.t0 0;
+  A.beqz_l p R.t1 "poll_sensor";
+  A.li p R.t2 Vp.Soc.dma_base;
+  A.sw p R.t0 R.t2 0x0;
+  A.la p R.t3 "buf";
+  A.sw p R.t3 R.t2 0x4;
+  A.li p R.t4 4;
+  A.sw p R.t4 R.t2 0x8;
+  A.li p R.t4 1;
+  A.sw p R.t4 R.t2 0xc;
+  A.label p "poll_dma";
+  A.lw p R.t4 R.t2 0xc;
+  A.bnez_l p R.t4 "poll_dma";
+  A.la p R.t3 "buf";
+  A.lw p R.s0 R.t3 0;
+  A.li p R.t5 Vp.Soc.aes_base;
+  A.sw p R.s0 R.t5 0x10;
+  A.li p R.t4 1;
+  A.sw p R.t4 R.t5 0x30;
+  A.label p "poll_aes";
+  A.lw p R.t4 R.t5 0x30;
+  A.bnez_l p R.t4 "poll_aes";
+  A.lw p R.s1 R.t5 0x20;
+  A.li p R.a0 0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "buf";
+  A.word p 0
+
+let test_sensor_dma_aes_provenance () =
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let policy = Dift.Policy.unrestricted lat ~default_tag:lc in
+  let monitor = Dift.Monitor.create lat in
+  let tracer = T.Tracer.create lat in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking:true
+      ~sensor_period:(Sysc.Time.us 20) ~aes_out_tag:lc ~tracer ()
+  in
+  Vp.Sensor.set_data_tag soc.Vp.Soc.sensor hc;
+  let p = A.create () in
+  sensor_dma_aes p;
+  Vp.Soc.load_image soc (A.assemble p);
+  expect_exit (Vp.Soc.run_for_instructions soc 2_000_000) 0;
+  check_bool "tracer attached" true (soc.Vp.Soc.trace <> None);
+  check_bool "events recorded" true (T.Tracer.events_recorded tracer > 0);
+  (* The routed DMA read shows up as a bus event on the sensor target. *)
+  let saw_sensor_read = ref false in
+  T.Ring.iter tracer.T.Tracer.ring (fun e ->
+      if e.T.Event.kind = T.Event.Tlm_read && e.T.Event.text = "sensor" then
+        saw_sensor_read := true);
+  check_bool "sensor bus read traced" true !saw_sensor_read;
+  (* The ciphertext's class walks back through the AES declassification
+     to the sensor that introduced the plaintext's class. *)
+  let chain = T.Provenance.chain tracer.T.Tracer.prov lc in
+  check_bool "ciphertext chain has the declassification" true
+    (List.exists
+       (function
+         | T.Provenance.Declassified d -> d.result = lc && d.from = hc
+         | _ -> false)
+       chain.T.Provenance.c_steps);
+  check_bool "chain terminates at the sensor" true
+    (List.exists
+       (fun s -> s.T.Provenance.s_origin = "sensor" && s.T.Provenance.s_tag = hc)
+       chain.T.Provenance.c_sources);
+  check_bool "the tainted word travelled via dma" true
+    (List.exists
+       (function
+         | T.Provenance.Via v -> v.channel = "dma" && v.tag = hc
+         | _ -> false)
+       (T.Provenance.chain tracer.T.Tracer.prov hc).T.Provenance.c_steps)
+
+(* --- Explicit seeding and inertness ---------------------------------- *)
+
+let test_seed_taint () =
+  let lat = Dift.Lattice.confidentiality () in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let policy =
+    Dift.Policy.unrestricted lat
+      ~default_tag:(Dift.Lattice.tag_of_name lat "LC")
+  in
+  let monitor = Dift.Monitor.create lat in
+  let tracer = T.Tracer.create lat in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:true ~tracer () in
+  Vp.Soc.seed_taint soc ~origin:"manual" ~addr:Vp.Soc.ram_base ~len:4 hc;
+  check_bool "seeded source registered" true
+    (List.exists
+       (fun s -> s.T.Provenance.s_origin = "manual")
+       (T.Provenance.sources_of tracer.T.Tracer.prov hc));
+  check_bool "seeding outside RAM rejected" true
+    (try
+       Vp.Soc.seed_taint soc ~origin:"bad" ~addr:0x1000 ~len:4 hc;
+       false
+     with Invalid_argument _ -> true);
+  (* Without a tracer the SoC carries no trace state at all. *)
+  let monitor2 = Dift.Monitor.create lat in
+  let plain = Vp.Soc.create ~policy ~monitor:monitor2 ~tracking:true () in
+  check_bool "no tracer, no trace" true (plain.Vp.Soc.trace = None)
+
+(* --- Wilander attacks carry provenance ------------------------------- *)
+
+let test_wilander_provenance () =
+  (* A structurally identical lattice to the attack policy's. *)
+  let tracer = T.Tracer.create (Dift.Lattice.integrity ()) in
+  (match Firmware.Wilander.run ~tracer 3 with
+  | Firmware.Wilander.Detected -> ()
+  | Firmware.Wilander.Missed c -> Alcotest.failf "attack 3 missed (exit %d)" c
+  | Firmware.Wilander.Not_applicable -> Alcotest.fail "attack 3 marked N/A");
+  let viol = ref None in
+  T.Ring.iter tracer.T.Tracer.ring (fun e ->
+      if e.T.Event.kind = T.Event.Violation then viol := Some (T.Event.copy e));
+  match !viol with
+  | None -> Alcotest.fail "no violation event in the ring"
+  | Some e ->
+      let chain = T.Provenance.chain tracer.T.Tracer.prov e.T.Event.tag in
+      check_bool "violating tag has non-empty provenance" true
+        (chain.T.Provenance.c_sources <> []);
+      check_bool "provenance names the attack input channel" true
+        (List.exists
+           (fun s -> s.T.Provenance.s_origin = "uart.rx")
+           chain.T.Provenance.c_sources)
+
+(* --- Immobilizer forensic report (the acceptance check) -------------- *)
+
+let test_immobilizer_forensics () =
+  let img =
+    Firmware.Immo_fw.image
+      ~variant:(Firmware.Immo_fw.Normal { fixed_dump = false })
+      ()
+  in
+  let policy = Firmware.Immo_fw.base_policy img in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let aes_out_tag, aes_in_clearance = Firmware.Immo_fw.aes_args policy in
+  let tracer = T.Tracer.create policy.Dift.Policy.lattice in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking:true ~aes_out_tag
+      ~aes_in_clearance ~tracer ()
+  in
+  Vp.Soc.load_image soc img;
+  let _engine = Firmware.Immo_fw.Engine.attach soc ~challenge:"CHLLNG42" in
+  Vp.Uart.push_rx soc.Vp.Soc.uart "D";
+  (match Vp.Soc.run_for_instructions soc 2_000_000 with
+  | exception Dift.Violation.Violation _ -> ()
+  | _ -> Alcotest.fail "vulnerable dump did not raise a violation");
+  let v =
+    match Dift.Monitor.violations monitor with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "monitor recorded no violation"
+  in
+  let r =
+    T.Forensics.make ~violation:v ~context:"immobilizer acceptance" tracer ()
+  in
+  check_bool "window non-empty" true (r.T.Forensics.r_window <> []);
+  (match r.T.Forensics.r_chain with
+  | None -> Alcotest.fail "report has no provenance chain"
+  | Some c ->
+      check_bool "chain terminates at the PIN classification region" true
+        (List.exists
+           (fun s -> s.T.Provenance.s_origin = "policy-region:pin")
+           c.T.Provenance.c_sources));
+  let text = T.Forensics.to_string r in
+  check_bool "text report renders" true
+    (String.length text > 0
+    && String.sub text 0 (min 3 (String.length text)) = "===");
+  match Jsonkit.Json.of_string (Jsonkit.Json.to_string (T.Forensics.to_json r)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "forensic JSON does not re-parse: %s" e
+
+let () =
+  Alcotest.run "trace"
+    [
+      ("ring", [ Alcotest.test_case "wrap/last/total" `Quick test_ring ]);
+      ( "provenance",
+        [ Alcotest.test_case "sources/merge/declass/chain" `Quick test_provenance ]
+      );
+      ( "integration",
+        [
+          Alcotest.test_case "sensor -> dma -> aes chain" `Quick
+            test_sensor_dma_aes_provenance;
+          Alcotest.test_case "explicit seeding + inert without tracer" `Quick
+            test_seed_taint;
+          Alcotest.test_case "wilander violation provenance" `Quick
+            test_wilander_provenance;
+          Alcotest.test_case "immobilizer forensic report" `Quick
+            test_immobilizer_forensics;
+        ] );
+    ]
