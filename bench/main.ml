@@ -13,6 +13,7 @@
      ablate-lub       - precomputed LUB table vs on-the-fly search
      ablate-quantum   - loosely-timed quantum sweep
      sweep-lattice    - VP+ overhead vs IFP size (beyond the paper)
+     snapshot         - full-platform save/restore cost (checkpointing)
      table2-extended [scale] - additional workloads (crc32, matmul, ...)
      bechamel         - Bechamel micro-measurements (one group per table)
      all (default)    - everything above except bechamel
@@ -409,6 +410,108 @@ let sweep_lattice ~block_cache ~fast_path () =
     ~scale:1. ~block_cache ~fast_path rows
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot cost                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* qsort under periodic full-platform checkpointing: the overhead columns
+   put a price on Soc.save alone and on the full save + restore-into-a-
+   fresh-SoC cycle, relative to the uninterrupted run; per-snapshot
+   latency and encoded size are printed alongside. *)
+let bench_snapshot ~block_cache ~fast_path () =
+  pf "=== Snapshot: full-platform save/restore cost (qsort, VP+) ===\n\n";
+  let img = Firmware.Qsort_fw.image ~n:1000 ~rounds:4 () in
+  let stride = 100_000 in
+  let make () =
+    let policy = D.integrity_policy img in
+    let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+    let soc =
+      Vp.Soc.create ~policy ~monitor ~tracking:true ~quantum:1000 ~block_cache
+        ~fast_path ()
+    in
+    Vp.Soc.load_image soc img;
+    soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000_000;
+    Vp.Soc.start soc;
+    soc
+  in
+  let row mode soc dt =
+    let instr = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () in
+    {
+      D.m_workload = "qsort";
+      m_mode = mode;
+      m_instructions = instr;
+      m_seconds = dt;
+      m_mips = D.mips instr dt;
+      m_overhead = 1.;
+      m_fast_retired = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
+      m_blocks_built = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+      m_loc_asm = img.Rv32_asm.Image.insn_count;
+      m_trace = false;
+      m_exit_ok =
+        (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
+        | Rv32.Core.Exited 0 -> true
+        | _ -> false);
+    }
+  in
+  (* Uninterrupted reference. *)
+  let soc = make () in
+  let t0 = now_s () in
+  Vp.Soc.run soc;
+  let straight = row "vp++straight" soc (now_s () -. t0) in
+  (* Checkpoint every [stride] instructions, Soc.save only. *)
+  let snaps = ref 0 and snap_bytes = ref 0 and save_s = ref 0. in
+  let soc = make () in
+  let t0 = now_s () in
+  let rec save_loop soc =
+    Vp.Soc.pause_at soc (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () + stride);
+    Vp.Soc.run soc;
+    if Vp.Soc.paused soc then begin
+      let s0 = now_s () in
+      let snap = Vp.Soc.save soc in
+      save_s := !save_s +. (now_s () -. s0);
+      incr snaps;
+      snap_bytes := !snap_bytes + String.length snap;
+      soc.Vp.Soc.cpu.Vp.Soc.cpu_clear_paused ();
+      save_loop soc
+    end
+    else soc
+  in
+  let soc = save_loop soc in
+  let save_only = row "vp++save" soc (now_s () -. t0) in
+  (* Checkpoint, save, restore into a fresh SoC, continue there. *)
+  let restore_s = ref 0. in
+  let soc = make () in
+  let t0 = now_s () in
+  let rec cycle_loop soc =
+    Vp.Soc.pause_at soc (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () + stride);
+    Vp.Soc.run soc;
+    if Vp.Soc.paused soc then begin
+      let snap = Vp.Soc.save soc in
+      let r0 = now_s () in
+      let soc' = make () in
+      Vp.Soc.restore soc' snap;
+      restore_s := !restore_s +. (now_s () -. r0);
+      soc'.Vp.Soc.cpu.Vp.Soc.cpu_clear_paused ();
+      cycle_loop soc'
+    end
+    else soc
+  in
+  let soc = cycle_loop soc in
+  let cycle = row "vp++save+restore" soc (now_s () -. t0) in
+  let rows = relativize [ straight; save_only; cycle ] in
+  print_cases rows;
+  if !snaps > 0 then
+    pf
+      "\n\
+       %d snapshots of %d bytes each; save %.2f ms, restore (into a fresh \
+       SoC) %.2f ms per checkpoint\n"
+      !snaps
+      (!snap_bytes / !snaps)
+      (1000. *. !save_s /. float_of_int !snaps)
+      (1000. *. !restore_s /. float_of_int (max 1 !snaps));
+  write_report ~file:"BENCH_snapshot.json" ~bench:"snapshot" ~scale:1.
+    ~block_cache ~fast_path rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-measurements                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,6 +639,7 @@ let () =
   | "ablate-lub" :: _ -> ablate_lub ~block_cache ~fast_path ()
   | "ablate-quantum" :: _ -> ablate_quantum ~block_cache ~fast_path ()
   | "sweep-lattice" :: _ -> sweep_lattice ~block_cache ~fast_path ()
+  | "snapshot" :: _ -> bench_snapshot ~block_cache ~fast_path ()
   | "table2-extended" :: _ ->
       table2_extended ~scale ~block_cache ~fast_path ~trace ()
   | "bechamel" :: _ -> bechamel ()
@@ -557,6 +661,8 @@ let () =
       ablate_quantum ~block_cache ~fast_path ();
       pf "\n";
       sweep_lattice ~block_cache ~fast_path ();
+      pf "\n";
+      bench_snapshot ~block_cache ~fast_path ();
       pf "\n";
       table2_extended ~scale:1. ~block_cache ~fast_path ~trace ()
   | cmd :: _ ->

@@ -10,7 +10,8 @@
 
 open Cmdliner
 
-let run programs seed size no_shrink shrink_dir props_every inject cache_diff =
+let run programs seed size no_shrink shrink_dir props_every inject cache_diff
+    snap_diff =
   let config =
     {
       Difftest.Harness.seed;
@@ -21,6 +22,7 @@ let run programs seed size no_shrink shrink_dir props_every inject cache_diff =
       props_every;
       inject;
       cache_diff;
+      snap_diff;
     }
   in
   let report = Difftest.Harness.run ~config () in
@@ -77,10 +79,18 @@ let cache_diff_arg =
                untainted fast path disabled and require agreement with the \
                cached runs (doubles oracle cost).")
 
+let snap_diff_arg =
+  Arg.(value & flag & info [ "snap-diff" ]
+         ~doc:"Also re-run every program chopped into checkpointed segments \
+               (pause, snapshot, restore into a fresh SoC, continue) and \
+               require agreement with an uninterrupted run (roughly triples \
+               oracle cost).")
+
 let cmd =
   let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
-          $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg)
+          $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg
+          $ snap_diff_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,11 @@ let read_file path =
   close_in ic;
   s
 
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
 type policy_kind = P_none | P_integrity | P_confidentiality
 
 let build_policy kind img =
@@ -64,7 +69,8 @@ let policy_name = function
 
 let run file policy_kind tracking max_insns uart_input show_symbols quiet
     echo_insns taint_map report coverage trace_on trace_out trace_format
-    forensics json =
+    forensics json checkpoint_every checkpoint_out checkpoint_stop resume
+    state_out quantum =
   let src = read_file file in
   match Rv32_asm.Parser.parse_result src with
   | Error msg ->
@@ -81,7 +87,7 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
           Some (Trace.Tracer.create policy.Dift.Policy.lattice)
         else None
       in
-      let soc = Vp.Soc.create ~policy ~monitor ~tracking ?tracer () in
+      let soc = Vp.Soc.create ~policy ~monitor ~tracking ~quantum ?tracer () in
       Vp.Soc.load_image soc img;
       (match uart_input with
       | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
@@ -100,8 +106,61 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
                  Printf.eprintf "%08x:  %s\n" pc (Rv32.Disasm.insn insn)
                end))
       end;
+      (* A JSONL --trace-out is streamed as events happen rather than
+         dumped from the ring afterwards: the ring only retains a tail,
+         and a checkpointed run's trace plus its resumed continuation's
+         must concatenate to the uninterrupted run's. *)
+      let stream_oc =
+        match (tracer, trace_out, trace_format) with
+        | Some tr, Some path, `Jsonl ->
+            let oc = open_out path in
+            Trace.Sink.stream_jsonl tr oc;
+            Some oc
+        | _ -> None
+      in
+      (match resume with
+      | Some path -> Vp.Soc.restore soc (read_file path)
+      | None -> ());
+      let stopped_at_checkpoint = ref false in
+      let execute () =
+        soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max max_insns;
+        Vp.Soc.start soc;
+        (* A restored snapshot starts out paused at its checkpoint. *)
+        soc.Vp.Soc.cpu.Vp.Soc.cpu_clear_paused ();
+        match checkpoint_every with
+        | None ->
+            Vp.Soc.run soc;
+            soc.Vp.Soc.cpu.Vp.Soc.cpu_exit ()
+        | Some every ->
+            let k = ref 0 in
+            let rec go () =
+              Vp.Soc.pause_at soc
+                (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () + every);
+              Vp.Soc.run soc;
+              if Vp.Soc.paused soc then begin
+                let path = Printf.sprintf "%s.%d" checkpoint_out !k in
+                incr k;
+                write_file path (Vp.Soc.save soc);
+                if not quiet then
+                  Printf.printf
+                    "[vp] checkpoint (%d instructions) written to %s\n"
+                    (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+                    path;
+                if checkpoint_stop then begin
+                  stopped_at_checkpoint := true;
+                  soc.Vp.Soc.cpu.Vp.Soc.cpu_exit ()
+                end
+                else begin
+                  soc.Vp.Soc.cpu.Vp.Soc.cpu_clear_paused ();
+                  go ()
+                end
+              end
+              else soc.Vp.Soc.cpu.Vp.Soc.cpu_exit ()
+            in
+            go ()
+      in
       let outcome =
-        try Ok (Vp.Soc.run_for_instructions soc max_insns)
+        try Ok (execute ())
         with
         | Dift.Violation.Violation v -> Error (`Violation v)
         | Rv32.Core.Fatal_trap { cause; pc; _ } -> Error (`Trap (cause, pc))
@@ -178,6 +237,11 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
         | Ok Rv32.Core.Insn_limit ->
             Printf.printf "[vp] instruction limit (%d) reached\n" max_insns;
             ("insn-limit", 2)
+        | Ok Rv32.Core.Running when !stopped_at_checkpoint ->
+            if not quiet then
+              Printf.printf "[vp] stopped at checkpoint after %d instructions\n"
+                (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
+            ("checkpoint", 0)
         | Ok Rv32.Core.Running ->
             Printf.printf "[vp] simulation idle (deadlock?)\n";
             ("idle", 2)
@@ -219,12 +283,31 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
       | None -> ());
       (match (tracer, trace_out) with
       | Some tr, Some path ->
-          Trace.Sink.write_file tr ~format:trace_format path;
+          (match stream_oc with
+          | Some oc ->
+              Trace.Sink.stop_stream tr;
+              close_out oc
+          | None -> Trace.Sink.write_file tr ~format:trace_format path);
           if not quiet then
             Printf.printf "[vp] trace (%d events recorded) written to %s\n"
               (Trace.Tracer.events_recorded tr)
               path
       | _ -> ());
+      (match state_out with
+      | None -> ()
+      | Some path ->
+          if
+            Vp.Soc.paused soc
+            || soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () <> Rv32.Core.Running
+          then begin
+            write_file path (Vp.Soc.save soc);
+            if not quiet then
+              Printf.printf "[vp] final state written to %s\n" path
+          end
+          else
+            Printf.eprintf
+              "[vp] --state-out: run ended neither paused nor halted; no \
+               state written\n");
       if json then begin
         let lat = policy.Dift.Policy.lattice in
         let doc =
@@ -342,16 +425,63 @@ let json_arg =
            ~doc:"Print a machine-readable run summary (violations, check \
                  counts, sim time) as a single JSON object on stdout.")
 
+let checkpoint_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Pause roughly every $(docv) instructions (rounded up to the \
+                 next time-sync boundary) and write a full-platform snapshot.")
+
+let checkpoint_out_arg =
+  Arg.(value & opt string "vp.ckpt"
+       & info [ "checkpoint-out" ] ~docv:"PATH"
+           ~doc:"Snapshot file prefix: checkpoint $(i,k) is written to \
+                 $(docv).$(i,k).")
+
+let checkpoint_stop_arg =
+  Arg.(value & flag
+       & info [ "checkpoint-stop" ]
+           ~doc:"Stop the run after writing the first checkpoint (exit \
+                 status 0). Resume it later with $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & opt (some file) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Restore the snapshot in $(docv) before running. The same \
+                 source file, policy, and tracking flags as the run that \
+                 wrote it must be given: a snapshot holds mutable state \
+                 only, not configuration. Violations recorded before the \
+                 checkpoint are not re-reported.")
+
+let quantum_arg =
+  Arg.(value & opt int 1000
+       & info [ "quantum" ] ~docv:"CYCLES"
+           ~doc:"Time-sync quantum: the CPU reconciles local time with the \
+                 kernel every $(docv) cycles. Checkpoints land on these \
+                 boundaries, so $(b,--checkpoint-every) is rounded up to \
+                 the next one. A resumed run must use the same quantum as \
+                 the run that wrote the snapshot.")
+
+let state_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "state-out" ] ~docv:"FILE"
+           ~doc:"After the run ends (halt or checkpoint stop), write the \
+                 final platform state as a snapshot to $(docv). Two runs of \
+                 the same program write bit-identical files, which makes \
+                 this the canonical artifact for determinism checks.")
+
 let cmd =
   let doc = "execute a RISC-V binary on the DIFT-enabled virtual prototype" in
   Cmd.v
     (Cmd.info "vp_run" ~doc)
     Term.(
-      const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn js ->
-          run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn js)
+      const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn js ck
+                ckout ckstop res stout qn ->
+          run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn js ck
+            ckout ckstop res stout qn)
       $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
       $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
       $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
-      $ json_arg)
+      $ json_arg $ checkpoint_every_arg $ checkpoint_out_arg
+      $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,6 +7,7 @@ type config = {
   props_every : int;
   inject : string option;
   cache_diff : bool;
+  snap_diff : bool;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     props_every = 5;
     inject = None;
     cache_diff = false;
+    snap_diff = false;
   }
 
 type failure = {
@@ -41,6 +43,7 @@ type report = {
   monotonicity_failures : int;
   declass_violations : int;
   cache_mismatches : int;
+  snapshot_mismatches : int;
   injected_hits : int;
   violations : int;
   checks : int;
@@ -52,7 +55,8 @@ type report = {
 let healthy r =
   r.golden_mismatches = 0 && r.transparency_mismatches = 0
   && r.purity_failures = 0 && r.monotonicity_failures = 0
-  && r.declass_violations = 0 && r.cache_mismatches = 0 && r.errors = 0
+  && r.declass_violations = 0 && r.cache_mismatches = 0
+  && r.snapshot_mismatches = 0 && r.errors = 0
 
 (* Mutable accumulator threaded through the run loop. *)
 type acc = {
@@ -63,6 +67,7 @@ type acc = {
   mutable a_monotonic : int;
   mutable a_declass : int;
   mutable a_cache : int;
+  mutable a_snapshot : int;
   mutable a_injected : int;
   mutable a_violations : int;
   mutable a_checks : int;
@@ -164,6 +169,7 @@ let run ?(config = default) () =
       a_monotonic = 0;
       a_declass = 0;
       a_cache = 0;
+      a_snapshot = 0;
       a_injected = 0;
       a_violations = 0;
       a_checks = 0;
@@ -300,7 +306,37 @@ let run ?(config = default) () =
               prog
         | None -> ()
       end;
-      (* 6. Fault injection: validate the detect-shrink-report pipeline. *)
+      (* 6. Snapshot transparency: the same program run in checkpointed
+         segments — pause, save, restore into a fresh SoC, continue —
+         must agree with an uninterrupted run on the same time-sync
+         grid. The shrink predicate replays the whole snapshot cycle. *)
+      if cfg.snap_diff then begin
+        let straight, _ =
+          Oracle.run_vp ~tracking:true ~quantum:Oracle.snap_quantum ~policy img
+        in
+        let snap, _ = Oracle.run_vp_snapshot ~tracking:true ~policy img in
+        match Oracle.explain straight snap with
+        | Some detail ->
+            acc.a_snapshot <- acc.a_snapshot + 1;
+            record_failure cfg acc ~index:i ~kind:"snapshot-vs-straight"
+              ~detail:
+                (Printf.sprintf "checkpointed vs uninterrupted: %s" detail)
+              ~predicate:(fun p ->
+                try
+                  let img = Prog.assemble p in
+                  let straight, _ =
+                    Oracle.run_vp ~tracking:true ~quantum:Oracle.snap_quantum
+                      ~policy img
+                  in
+                  let snap, _ =
+                    Oracle.run_vp_snapshot ~tracking:true ~policy img
+                  in
+                  not (Oracle.agree straight snap)
+                with _ -> false)
+              prog
+        | None -> ()
+      end;
+      (* 7. Fault injection: validate the detect-shrink-report pipeline. *)
       match cfg.inject with
       | Some op when Coverage.count percov op > 0 ->
           acc.a_injected <- acc.a_injected + 1;
@@ -322,6 +358,7 @@ let run ?(config = default) () =
     monotonicity_failures = acc.a_monotonic;
     declass_violations = acc.a_declass;
     cache_mismatches = acc.a_cache;
+    snapshot_mismatches = acc.a_snapshot;
     injected_hits = acc.a_injected;
     violations = acc.a_violations;
     checks = acc.a_checks;
@@ -337,12 +374,14 @@ let pp_report fmt r =
      VP-vs-VP+ transparency mismatches: %d@,\
      purity failures: %d, monotonicity failures: %d, declassification violations: %d@,\
      block-cache mismatches: %d@,\
+     snapshot-vs-straight mismatches: %d@,\
      injected-fault hits: %d@,\
      %d clearance checks, %d policy violations recorded (informational)@,\
      harness errors: %d@,%a"
     r.programs r.completed r.golden_mismatches r.transparency_mismatches
     r.purity_failures r.monotonicity_failures r.declass_violations
-    r.cache_mismatches r.injected_hits r.checks r.violations r.errors
+    r.cache_mismatches r.snapshot_mismatches r.injected_hits r.checks
+    r.violations r.errors
     Coverage.pp r.coverage;
   List.iter
     (fun f ->

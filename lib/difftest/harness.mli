@@ -26,17 +26,25 @@ type config = {
           require architectural agreement with the cached runs — a
           differential check of the dispatch machinery itself (see
           [docs/perf.md]). Off by default: it doubles the oracle cost. *)
+  snap_diff : bool;
+      (** Additionally run every program chopped into checkpointed
+          segments (pause, {!Vp.Soc.save}, restore into a fresh SoC,
+          continue) and require architectural agreement with an
+          uninterrupted run on the same time-sync grid — a differential
+          check of the snapshot machinery. Off by default: it roughly
+          triples the oracle cost. *)
 }
 
 val default : config
 (** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
-    properties every 5th program, no injection, no cache differential. *)
+    properties every 5th program, no injection, no cache or snapshot
+    differential. *)
 
 type failure = {
   f_kind : string;
       (** ["golden-vs-vp"], ["transparency"], ["purity"], ["monotonicity"],
-          ["declassification"], ["cache-vs-nocache"] or
-          ["injected:<opcode>"]. *)
+          ["declassification"], ["cache-vs-nocache"],
+          ["snapshot-vs-straight"] or ["injected:<opcode>"]. *)
   f_detail : string;  (** First observed difference / property message. *)
   f_asm : string;  (** The (shrunk) reproducer as [.s] source. *)
   f_file : string option;  (** Path written, when [shrink_dir] is set. *)
@@ -62,6 +70,9 @@ type report = {
   cache_mismatches : int;
       (** Cached vs single-step execution disagreements, counted only when
           [cache_diff] is set (must be 0). *)
+  snapshot_mismatches : int;
+      (** Checkpointed vs uninterrupted execution disagreements, counted
+          only when [snap_diff] is set (must be 0). *)
   injected_hits : int;  (** Programs the injected fault flagged. *)
   violations : int;  (** Policy violations recorded (informational). *)
   checks : int;  (** Clearance checks performed (informational). *)

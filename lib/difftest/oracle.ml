@@ -79,7 +79,7 @@ let unrestricted_policy () =
   Dift.Policy.unrestricted lat ~default_tag:0
 
 let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
-    ?tracer img =
+    ?tracer ?quantum img =
   let policy =
     match policy with Some p -> p | None -> unrestricted_policy ()
   in
@@ -87,7 +87,8 @@ let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
     Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
   in
   let soc =
-    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?tracer ()
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?tracer
+      ?quantum ()
   in
   Vp.Soc.load_image soc img;
   soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace trace;
@@ -110,6 +111,82 @@ let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
     ( Dift.Monitor.violation_count monitor,
       Dift.Monitor.check_count monitor,
       Dift.Monitor.declassification_count monitor ) )
+
+(* Snapshot-vs-straight differential: the checkpointed run pauses every
+   [stride] instructions, serialises the whole platform, restores the
+   snapshot into a brand-new SoC and continues there — so every segment
+   boundary exercises the full save/restore cycle. Both this and the
+   straight run it is compared against must use the same (small) quantum:
+   pauses land on time-sync boundaries, and the quantum fixes where those
+   are. *)
+let snap_quantum = 64
+
+let run_vp_snapshot ~tracking ?policy ?(stride = 200) img =
+  let policy =
+    match policy with Some p -> p | None -> unrestricted_policy ()
+  in
+  let fresh () =
+    let monitor =
+      Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
+    in
+    let soc =
+      Vp.Soc.create ~policy ~monitor ~tracking ~quantum:snap_quantum ()
+    in
+    Vp.Soc.load_image soc img;
+    (soc, monitor)
+  in
+  let totals = ref (0, 0, 0) in
+  let add m =
+    let v, c, d = !totals in
+    totals :=
+      ( v + Dift.Monitor.violation_count m,
+        c + Dift.Monitor.check_count m,
+        d + Dift.Monitor.declassification_count m )
+  in
+  let rec cycle (soc, mon) =
+    Vp.Soc.pause_at soc (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () + stride);
+    Vp.Soc.run soc;
+    if Vp.Soc.paused soc then begin
+      let snap = Vp.Soc.save soc in
+      add mon;
+      let soc', mon' = fresh () in
+      Vp.Soc.restore soc' snap;
+      soc'.Vp.Soc.cpu.Vp.Soc.cpu_set_max max_insns;
+      Vp.Soc.start soc';
+      soc'.Vp.Soc.cpu.Vp.Soc.cpu_clear_paused ();
+      cycle (soc', mon')
+    end
+    else begin
+      add mon;
+      soc
+    end
+  in
+  let first = fresh () in
+  (fst first).Vp.Soc.cpu.Vp.Soc.cpu_set_max max_insns;
+  Vp.Soc.start (fst first);
+  match cycle first with
+  | exception _ ->
+      ({ stop = Trapped; regs = Array.make 32 0; mem = ""; instret = 0 },
+       !totals)
+  | soc ->
+      let stop =
+        match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
+        | Rv32.Core.Exited c -> Exited c
+        | Rv32.Core.Insn_limit -> Out_of_budget
+        | Rv32.Core.Breakpoint | Rv32.Core.Running -> Trapped
+      in
+      let regs =
+        Array.init 32 (fun i ->
+            if i = 0 then 0 else soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg i)
+      in
+      let buf, len = buf_window img in
+      let base = buf - Vp.Soc.ram_base in
+      let mem =
+        String.init len (fun i ->
+            Char.chr (Vp.Memory.read_byte soc.Vp.Soc.memory (base + i)))
+      in
+      ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () },
+        !totals )
 
 let run ?policy ?trace img =
   let golden = run_golden img in

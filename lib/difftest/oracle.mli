@@ -52,6 +52,7 @@ val run_vp :
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
   ?tracer:Trace.Tracer.t ->
+  ?quantum:int ->
   Rv32_asm.Image.t ->
   outcome * (int * int * int)
 (** One VP flavour; returns the outcome and the monitor's
@@ -61,7 +62,26 @@ val run_vp :
     (default true) forward to {!Vp.Soc.create} — run with
     [~block_cache:false] to get a reference single-step execution for
     cache-vs-nocache differential testing. [tracer] attaches the tracing
-    subsystem to the SoC (forensic replay of reproducers). *)
+    subsystem to the SoC (forensic replay of reproducers). [quantum]
+    forwards to {!Vp.Soc.create} (snapshot-vs-straight comparisons need
+    both runs on the same time-sync grid). *)
+
+val snap_quantum : int
+(** Time-sync quantum used by {!run_vp_snapshot}; a straight run to be
+    compared against it must pass the same value to {!run_vp}. *)
+
+val run_vp_snapshot :
+  tracking:bool ->
+  ?policy:Dift.Policy.t ->
+  ?stride:int ->
+  Rv32_asm.Image.t ->
+  outcome * (int * int * int)
+(** The tracked VP run chopped into [stride]-instruction segments: at each
+    boundary the platform is paused, serialised with {!Vp.Soc.save},
+    restored into a brand-new SoC with {!Vp.Soc.restore}, and continued
+    there. The final outcome must agree with an uninterrupted {!run_vp}
+    at {!snap_quantum} — any disagreement is a snapshot machinery bug.
+    Monitor counters are summed across segments. *)
 
 val run :
   ?policy:Dift.Policy.t ->

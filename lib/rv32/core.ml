@@ -43,6 +43,11 @@ module type S = sig
   val flush_code : t -> addr:int -> len:int -> unit
   val blocks_built : t -> int
   val fast_retired : t -> int
+  val set_pause_at : t -> int -> unit
+  val paused : t -> bool
+  val clear_paused : t -> unit
+  val save : t -> Snapshot.Codec.writer -> unit
+  val load : t -> Snapshot.Codec.reader -> unit
 end
 
 let mask32 v = v land 0xffffffff
@@ -131,6 +136,14 @@ module Make (M : MODE) = struct
     mutable n_blocks : int;
     mutable n_fast : int;
     irq_event : Sysc.Kernel.event;
+    (* Time sync goes through a named event (not [wait_for]) so that a
+       paused core's pending wakeup is serialisable: at a sync boundary the
+       kernel's only CPU-related state is one pending notification on
+       [sync_event]. [syncing] is true while the thread is parked on it. *)
+    sync_event : Sysc.Kernel.event;
+    mutable syncing : bool;
+    mutable pause_at : int;  (* pause at the first sync with instret >= this *)
+    mutable paused : bool;
     cycle_time : Sysc.Time.t;
     quantum : int;
     mutable local_cycles : int;
@@ -244,6 +257,10 @@ module Make (M : MODE) = struct
         n_blocks = 0;
         n_fast = 0;
         irq_event = Sysc.Kernel.create_event kernel "cpu.irq";
+        sync_event = Sysc.Kernel.create_event kernel "cpu.sync";
+        syncing = false;
+        pause_at = max_int;
+        paused = false;
         cycle_time;
         quantum;
         local_cycles = 0;
@@ -832,6 +849,10 @@ module Make (M : MODE) = struct
         if Array.length b.b_insns = 0 then step t else exec_block t b
     end
 
+  let set_pause_at t n = t.pause_at <- n
+  let paused t = t.paused
+  let clear_paused t = t.paused <- false
+
   let sync_time t =
     let elapsed =
       Sysc.Time.add
@@ -839,10 +860,31 @@ module Make (M : MODE) = struct
         (Bus_if.take_delay t.bus)
     in
     t.local_cycles <- 0;
-    if elapsed > 0 then Sysc.Kernel.wait_for elapsed
+    if elapsed > 0 then begin
+      Sysc.Kernel.notify_after t.sync_event elapsed;
+      t.syncing <- true;
+      if t.instret >= t.pause_at then begin
+        (* Checkpoint request: stop the scheduler with the thread parked on
+           its (pending, serialisable) sync notification. The pause is
+           invisible to the simulation — the wakeup happens at exactly the
+           instant it would have without it. *)
+        t.paused <- true;
+        t.pause_at <- max_int;
+        Sysc.Kernel.stop t.kernel
+      end;
+      Sysc.Kernel.wait_event t.sync_event;
+      t.syncing <- false
+    end
 
   let spawn_thread ?(stop_kernel_on_halt = true) t =
     Sysc.Kernel.spawn t.kernel ~name:"cpu" (fun () ->
+        if t.syncing then begin
+          (* Restored from a snapshot taken at a sync boundary: the wakeup
+             is already pending (re-armed by the kernel restore); park on
+             it like the saved thread was. *)
+          Sysc.Kernel.wait_event t.sync_event;
+          t.syncing <- false
+        end;
         let running = ref true in
         while !running do
           if halted t || Sysc.Kernel.stopped t.kernel then running := false
@@ -860,6 +902,90 @@ module Make (M : MODE) = struct
         done;
         sync_time t;
         if stop_kernel_on_halt then Sysc.Kernel.stop t.kernel)
+
+  (* --- Snapshot ------------------------------------------------------- *)
+
+  let encode_exit = function
+    | Running -> (0, 0)
+    | Exited code -> (1, code)
+    | Breakpoint -> (2, 0)
+    | Insn_limit -> (3, 0)
+
+  let decode_exit tag code =
+    match tag with
+    | 0 -> Running
+    | 1 -> Exited code
+    | 2 -> Breakpoint
+    | 3 -> Insn_limit
+    | n -> raise (Snapshot.Codec.Corrupt (Printf.sprintf "bad exit reason %d" n))
+
+  let save t w =
+    let open Snapshot.Codec in
+    Array.iter (fun v -> put_u32 w v) t.regs;
+    Array.iter (fun v -> put_u32 w v) t.rtags;
+    put_u32 w t.pc;
+    put_u32 w t.cur_pc;
+    put_u32 w t.insn_word;
+    put_u32 w t.insn_tag;
+    put_i64 w t.instret;
+    put_i64 w t.local_cycles;
+    put_bool w t.in_wfi;
+    put_bool w t.syncing;
+    let tag, code = encode_exit t.exit_reason in
+    put_u8 w tag;
+    put_i64 w code;
+    let c = t.csrf in
+    List.iter
+      (fun v -> put_u32 w v)
+      [ c.Csr.v_mstatus; c.Csr.v_mie; c.Csr.v_mip; c.Csr.v_mtvec;
+        c.Csr.v_mscratch; c.Csr.v_mepc; c.Csr.v_mcause; c.Csr.v_mtval;
+        c.Csr.t_mstatus; c.Csr.t_mie; c.Csr.t_mip; c.Csr.t_mtvec;
+        c.Csr.t_mscratch; c.Csr.t_mepc; c.Csr.t_mcause; c.Csr.t_mtval ]
+
+  let load t r =
+    let open Snapshot.Codec in
+    for i = 0 to 31 do
+      t.regs.(i) <- get_u32 r
+    done;
+    for i = 0 to 31 do
+      t.rtags.(i) <- get_u32 r
+    done;
+    t.pc <- get_u32 r;
+    t.cur_pc <- get_u32 r;
+    t.insn_word <- get_u32 r;
+    t.insn_tag <- get_u32 r;
+    t.instret <- get_i64 r;
+    t.local_cycles <- get_i64 r;
+    t.in_wfi <- get_bool r;
+    t.syncing <- get_bool r;
+    let tag = get_u8 r in
+    let code = get_i64 r in
+    t.exit_reason <- decode_exit tag code;
+    let c = t.csrf in
+    c.Csr.v_mstatus <- get_u32 r;
+    c.Csr.v_mie <- get_u32 r;
+    c.Csr.v_mip <- get_u32 r;
+    c.Csr.v_mtvec <- get_u32 r;
+    c.Csr.v_mscratch <- get_u32 r;
+    c.Csr.v_mepc <- get_u32 r;
+    c.Csr.v_mcause <- get_u32 r;
+    c.Csr.v_mtval <- get_u32 r;
+    c.Csr.t_mstatus <- get_u32 r;
+    c.Csr.t_mie <- get_u32 r;
+    c.Csr.t_mip <- get_u32 r;
+    c.Csr.t_mtvec <- get_u32 r;
+    c.Csr.t_mscratch <- get_u32 r;
+    c.Csr.t_mepc <- get_u32 r;
+    c.Csr.t_mcause <- get_u32 r;
+    c.Csr.t_mtval <- get_u32 r;
+    (* A snapshot taken at a pause has the thread parked on its sync
+       notification ([syncing] = true); the restored core is back at that
+       same checkpoint, so it counts as paused — which keeps it saveable
+       again before anything runs. [clear_paused]/running simply drops the
+       flag. *)
+    t.paused <- t.syncing;
+    t.pause_at <- max_int;
+    t.fast <- false
 end
 
 module Vp = Make (struct let tracking = false end)

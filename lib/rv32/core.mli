@@ -148,6 +148,37 @@ module type S = sig
   val fast_retired : t -> int
   (** Number of instructions retired on the untainted fast path (0 when
       [fast_path] is off or the flavour is non-tracking). *)
+
+  (** {1 Checkpoint / restore}
+
+      The core synchronises with the kernel through a named event
+      (["cpu.sync"]) rather than [wait_for], so a paused core's only
+      kernel-side state is one pending timed notification — serialisable
+      by {!Sysc.Kernel.pending_timed}. See [docs/snapshot.md]. *)
+
+  val set_pause_at : t -> int -> unit
+  (** Request a pause at the first time-sync boundary where [instret] has
+      reached the given count. Pausing stops the kernel with the CPU
+      thread parked on its pending sync notification; it does not perturb
+      the schedule — resuming (or restoring a snapshot taken there)
+      continues bit-identically to an uninterrupted run. *)
+
+  val paused : t -> bool
+  (** True after a requested pause has been taken (cleared by [load] and
+      {!clear_paused}). *)
+
+  val clear_paused : t -> unit
+  (** Acknowledge the pause before resuming the kernel. *)
+
+  val save : t -> Snapshot.Codec.writer -> unit
+  (** Serialise the architectural state: registers and their taint tags,
+      [pc], in-flight instruction word/tag, [instret], wfi/sync flags,
+      exit reason, and all CSR values and tags. Decoded-block and decode
+      caches are rebuilt on demand and are not saved. *)
+
+  val load : t -> Snapshot.Codec.reader -> unit
+  (** Restore state written by [save] into a freshly created core of the
+      same configuration, before {!spawn_thread}. *)
 end
 
 module Make (_ : MODE) : S

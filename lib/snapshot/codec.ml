@@ -1,0 +1,172 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- Writer ---------------------------------------------------------- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let contents w = Buffer.contents w
+let put_u8 w v = Buffer.add_uint8 w (v land 0xff)
+
+let put_u32 w v =
+  Buffer.add_uint8 w (v land 0xff);
+  Buffer.add_uint8 w ((v lsr 8) land 0xff);
+  Buffer.add_uint8 w ((v lsr 16) land 0xff);
+  Buffer.add_uint8 w ((v lsr 24) land 0xff)
+
+let put_i64 w v = Buffer.add_int64_le w (Int64.of_int v)
+let put_bool w b = put_u8 w (if b then 1 else 0)
+
+let put_string w s =
+  put_u32 w (String.length s);
+  Buffer.add_string w s
+
+(* RLE: total length, then ops until exhausted. Op 0 = run (u32 count,
+   u8 byte), op 1 = literal (u32 len, raw bytes). Runs shorter than 8
+   bytes go into the surrounding literal: below that the run op's 6-byte
+   overhead loses. *)
+let min_run = 8
+
+let put_bytes_rle w b =
+  let n = Bytes.length b in
+  put_u32 w n;
+  let i = ref 0 in
+  let lit_start = ref 0 in
+  let flush_literal upto =
+    if upto > !lit_start then begin
+      put_u8 w 1;
+      put_u32 w (upto - !lit_start);
+      Buffer.add_subbytes w b !lit_start (upto - !lit_start)
+    end
+  in
+  while !i < n do
+    let c = Bytes.unsafe_get b !i in
+    let j = ref (!i + 1) in
+    while !j < n && Bytes.unsafe_get b !j = c do
+      incr j
+    done;
+    let run = !j - !i in
+    if run >= min_run then begin
+      flush_literal !i;
+      put_u8 w 0;
+      put_u32 w run;
+      put_u8 w (Char.code c);
+      lit_start := !j
+    end;
+    i := !j
+  done;
+  flush_literal n
+
+let put_list w f xs =
+  put_u32 w (List.length xs);
+  List.iter (f w) xs
+
+(* --- Reader ---------------------------------------------------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader s = { src = s; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.src then
+    corrupt "truncated input at byte %d (want %d more)" r.pos n
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v64 = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  let v = Int64.to_int v64 in
+  if Int64.of_int v <> v64 then corrupt "64-bit value exceeds OCaml int range";
+  v
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "bad boolean byte 0x%02x" v
+
+let get_string r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bytes_rle_into r dst =
+  let n = get_u32 r in
+  if n <> Bytes.length dst then
+    corrupt "RLE block is %d bytes, destination holds %d" n (Bytes.length dst);
+  let off = ref 0 in
+  while !off < n do
+    match get_u8 r with
+    | 0 ->
+        let count = get_u32 r in
+        let c = Char.chr (get_u8 r) in
+        if !off + count > n then corrupt "RLE run overflows block";
+        Bytes.fill dst !off count c;
+        off := !off + count
+    | 1 ->
+        let len = get_u32 r in
+        if !off + len > n then corrupt "RLE literal overflows block";
+        need r len;
+        Bytes.blit_string r.src r.pos dst !off len;
+        r.pos <- r.pos + len;
+        off := !off + len
+    | op -> corrupt "bad RLE opcode 0x%02x" op
+  done
+
+let get_list r f =
+  let n = get_u32 r in
+  List.init n (fun _ -> f r)
+
+let expect_end r =
+  if r.pos <> String.length r.src then
+    corrupt "trailing garbage: %d of %d bytes consumed" r.pos
+      (String.length r.src)
+
+(* --- Container ------------------------------------------------------- *)
+
+module Container = struct
+  let magic = "DIFTVPSN"
+  let version = 1
+
+  let encode sections =
+    let w = writer () in
+    Buffer.add_string w magic;
+    put_u32 w version;
+    put_list w
+      (fun w (name, payload) ->
+        put_string w name;
+        put_string w payload)
+      sections;
+    contents w
+
+  let decode s =
+    if String.length s < 8 || String.sub s 0 8 <> magic then
+      corrupt "not a VP snapshot (bad magic)";
+    let r = reader s in
+    r.pos <- 8;
+    let v = get_u32 r in
+    if v <> version then corrupt "unsupported snapshot version %d" v;
+    let sections = get_list r (fun r ->
+        let name = get_string r in
+        let payload = get_string r in
+        (name, payload))
+    in
+    expect_end r;
+    sections
+end

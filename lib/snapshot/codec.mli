@@ -1,0 +1,74 @@
+(** A small self-describing binary codec for VP snapshots.
+
+    All integers are little-endian. The format is deliberately hand-rolled
+    (no [Marshal]): snapshots must be stable across OCaml versions and
+    byte-comparable — two snapshots of identical simulator state are
+    identical strings, which is what the determinism tests and the CI
+    determinism job diff. *)
+
+exception Corrupt of string
+(** Raised by any [get_*] on malformed or truncated input. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val put_u8 : writer -> int -> unit
+val put_u32 : writer -> int -> unit
+(** Low 32 bits of the argument. *)
+
+val put_i64 : writer -> int -> unit
+(** A full OCaml [int] (sign-extended to 64 bits). *)
+
+val put_bool : writer -> bool -> unit
+
+val put_string : writer -> string -> unit
+(** u32 length followed by the raw bytes. *)
+
+val put_bytes_rle : writer -> Bytes.t -> unit
+(** Run-length encoded: long runs of one byte (memory images are mostly
+    zeros, tag arrays mostly bottom) collapse to a few bytes; incompressible
+    stretches are stored as literals. *)
+
+val put_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+(** u32 count followed by the elements in order. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : string -> reader
+
+val get_u8 : reader -> int
+val get_u32 : reader -> int
+val get_i64 : reader -> int
+val get_bool : reader -> bool
+val get_string : reader -> string
+
+val get_bytes_rle_into : reader -> Bytes.t -> unit
+(** Decodes into [dst]; raises {!Corrupt} if the encoded length differs
+    from [Bytes.length dst] (snapshots never resize live buffers). *)
+
+val get_list : reader -> (reader -> 'a) -> 'a list
+
+val expect_end : reader -> unit
+(** Raises {!Corrupt} if input remains — catches section drift between the
+    writer and reader of a peripheral. *)
+
+(** {1 Containers} *)
+
+(** A snapshot file: magic, format version, and named sections. Section
+    order is fixed by the writer, so identical state yields identical
+    files. *)
+module Container : sig
+  val magic : string
+  val version : int
+
+  val encode : (string * string) list -> string
+
+  val decode : string -> (string * string) list
+  (** Raises {!Corrupt} on a bad magic or unsupported version. *)
+end

@@ -1,0 +1,15 @@
+(** The interface every checkpointable component implements.
+
+    [save] serialises the component's full dynamic state; [load] restores
+    it into an already-constructed instance of the {e same configuration}
+    (snapshots carry state, not structure: buffer sizes, base addresses,
+    policies and wiring all come from reconstructing the component the
+    same way it was originally built). Implementations must write and
+    read exactly the same field sequence — {!Codec.expect_end} at the
+    section boundary catches drift. *)
+module type S = sig
+  type t
+
+  val save : t -> Codec.writer -> unit
+  val load : t -> Codec.reader -> unit
+end

@@ -39,6 +39,12 @@ let push h ~key value =
 
 let min_key h = if h.len = 0 then None else Some (get h 0).key
 
+let min h =
+  if h.len = 0 then None
+  else
+    let e = get h 0 in
+    Some (e.key, e.value)
+
 let pop h =
   if h.len = 0 then None
   else begin
@@ -64,6 +70,14 @@ let pop h =
     done;
     Some (top.key, top.value)
   end
+
+let to_list h =
+  let out = ref [] in
+  for i = h.len - 1 downto 0 do
+    let e = get h i in
+    out := (e.key, e.value) :: !out
+  done;
+  !out
 
 let clear h =
   Array.fill h.arr 0 (Array.length h.arr) None;

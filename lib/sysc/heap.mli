@@ -13,7 +13,14 @@ val push : 'a t -> key:int -> 'a -> unit
 val min_key : 'a t -> int option
 (** Key of the minimum element without removing it. *)
 
+val min : 'a t -> (int * 'a) option
+(** The minimum element without removing it. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum-key element. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** All (key, value) pairs in unspecified order, without disturbing the
+    heap (snapshot support). *)
 
 val clear : 'a t -> unit

@@ -12,9 +12,17 @@
     - when nothing is runnable, time advances to the earliest timed
       notification.
 
-    Deviation from IEEE-1666: an event may carry several pending
-    notifications (SystemC keeps only the earliest); none of the models in
-    this repository depend on the override rule. *)
+    Notification override rule (IEEE-1666 5.10.8): an event carries at
+    most one pending notification. A new timed notification is discarded
+    if one is already pending at an earlier or equal instant, and replaces
+    a pending later one; a delta notification overrides any timed one; an
+    immediate notification fires at once and cancels whatever was pending.
+    Same-instant wakeups — timed notifications and resumed [wait_for]s
+    alike — fire in arming order (a global sequence number), and every
+    wakeup goes through the runnable queue, so the evaluation phase runs
+    processes in one deterministic order. Both properties are what make
+    {!pending_timed}/{!restore} sufficient to checkpoint and resume a
+    simulation without perturbing its schedule. *)
 
 type t
 (** A kernel instance. Kernels are independent; each VP builds its own. *)
@@ -36,7 +44,14 @@ val delta_count : t -> int
 (** Number of delta cycles executed so far (for tests/statistics). *)
 
 val create_event : t -> string -> event
+(** Events are registered by name for {!find_event}/{!restore}; creating a
+    second event with the same name shadows the first in the registry (all
+    snapshot-relevant event names in this repository are unique). *)
+
 val event_name : event -> string
+
+val find_event : t -> string -> event option
+(** The most recently created event of that name, if any. *)
 
 (** {1 Processes} *)
 
@@ -71,7 +86,16 @@ val notify_immediate : event -> unit
 (** Immediate notification: waiters wake in the current evaluation phase. *)
 
 val notify_after : event -> Time.t -> unit
-(** Timed notification. *)
+(** Timed notification (relative delay), subject to the override rule:
+    kept only if no earlier notification is pending on the event. *)
+
+val cancel : event -> unit
+(** Cancel any pending (delta or timed) notification (cf.
+    [sc_event::cancel]). Immediate notifications cannot be cancelled. *)
+
+val pending_notification : event -> Time.t option
+(** Absolute instant of the event's pending notification, if any (a
+    pending delta notification reports the current time). *)
 
 val request_update : t -> (unit -> unit) -> unit
 (** Run a thunk in the next update phase (primitive-channel support). *)
@@ -96,3 +120,31 @@ val set_expect_progress : t -> bool -> unit
 
 val live_processes : t -> int
 (** Number of spawned processes that have neither returned nor halted. *)
+
+(** {1 Snapshot support}
+
+    Process continuations cannot be serialised, so a kernel can only be
+    checkpointed at a {e quiescent} instant: nothing runnable, no pending
+    updates or delta notifications, and every pending timed notification
+    addressed to a {e named event} (no [wait_for] thunks in flight). The
+    VP arranges this by restructuring every long-lived process to wait on
+    events armed with {!notify_after} and pausing the CPU at a time-sync
+    boundary; see [docs/snapshot.md]. *)
+
+val quiescent : t -> bool
+(** True when the kernel state is fully described by [(now, delta_count,
+    pending_timed)] — the precondition of a checkpoint. *)
+
+val pending_timed : t -> (string * Time.t) list
+(** Live pending timed notifications as [(event name, absolute instant)],
+    in arming (sequence) order. Raises [Invalid_argument] if an anonymous
+    timed thunk is pending (the kernel is not quiescent). *)
+
+val restore : t -> now:Time.t -> deltas:int -> notifications:(string * Time.t) list -> unit
+(** Reset the clock and delta counter and re-arm pending notifications (in
+    list order, preserving their relative firing order at equal instants).
+    Any notifications armed before the call — e.g. initial arms made by
+    freshly-constructed modules — are cancelled first: the saved list is
+    the complete pending set. Must run on a freshly built kernel whose
+    events have been created but whose processes have not yet run; raises
+    [Invalid_argument] for an unknown event name. *)

@@ -47,6 +47,15 @@ let write_jsonl t oc =
       output_string oc (J.to_string (event_json t e));
       output_char oc '\n')
 
+let stream_jsonl t oc =
+  Tracer.set_on_record t
+    (Some
+       (fun e ->
+         output_string oc (J.to_string (event_json t e));
+         output_char oc '\n'))
+
+let stop_stream t = Tracer.set_on_record t None
+
 (* Chrome about://tracing `trace_event` format: instant events on two
    synthetic threads (cpu = instructions, bus = TLM transactions), with
    simulation picoseconds mapped onto the format's microsecond [ts]. *)

@@ -9,6 +9,17 @@ val event_json : Tracer.t -> Event.t -> Jsonkit.Json.t
 val write_jsonl : Tracer.t -> out_channel -> unit
 (** One {!event_json} object per line. *)
 
+val stream_jsonl : Tracer.t -> out_channel -> unit
+(** Install the tracer's {!Tracer.set_on_record} observer to append one
+    JSONL line per event as it happens. Unlike {!write_jsonl} this sees
+    the complete stream, not just the ring's retained tail — it is what
+    [vp_run --trace-out] and the CI determinism job rely on (trace files
+    from a checkpointed run concatenate to the uninterrupted run's file).
+    The caller owns the channel (flush/close it after the run). *)
+
+val stop_stream : Tracer.t -> unit
+(** Remove the observer installed by {!stream_jsonl}. *)
+
 val write_chrome : Tracer.t -> out_channel -> unit
 (** A Chrome [trace_event] document (load via [about://tracing] or
     [ui.perfetto.dev]): instruction events on a synthetic "cpu" thread,

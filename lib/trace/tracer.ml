@@ -3,6 +3,7 @@ type t = {
   prov : Provenance.t;
   lat : Dift.Lattice.t;
   mutable disasm : int -> string;
+  mutable on_record : (Event.t -> unit) option;
 }
 
 let default_disasm w = Printf.sprintf ".word 0x%08x" w
@@ -13,10 +14,16 @@ let create ?(ring_size = 4096) lat =
     prov = Provenance.create lat;
     lat;
     disasm = default_disasm;
+    on_record = None;
   }
 
 let set_disasm t f = t.disasm <- f
+let set_on_record t f = t.on_record <- f
 let events_recorded t = Ring.total t.ring
+
+(* The slot is recycled on the next record_*: observers must consume (or
+   copy) the event before returning. *)
+let observed t e = match t.on_record with None -> () | Some f -> f e
 
 let record_insn t ~time ~pc ~word ~tag ~tainted =
   let e = Ring.emit t.ring in
@@ -26,7 +33,8 @@ let record_insn t ~time ~pc ~word ~tag ~tainted =
   e.Event.data <- word;
   e.Event.tag <- tag;
   e.Event.tainted <- tainted;
-  e.Event.text <- ""
+  e.Event.text <- "";
+  observed t e
 
 let record_tlm t ~time ~write ~addr ~len ~tag ~target =
   let e = Ring.emit t.ring in
@@ -36,7 +44,8 @@ let record_tlm t ~time ~write ~addr ~len ~tag ~target =
   e.Event.data <- len;
   e.Event.tag <- tag;
   e.Event.tainted <- false;
-  e.Event.text <- target
+  e.Event.text <- target;
+  observed t e
 
 let record_violation t ~time ~pc ~tag ~what =
   let e = Ring.emit t.ring in
@@ -46,7 +55,8 @@ let record_violation t ~time ~pc ~tag ~what =
   e.Event.data <- 0;
   e.Event.tag <- tag;
   e.Event.tainted <- true;
-  e.Event.text <- what
+  e.Event.text <- what;
+  observed t e
 
 let record_declass t ~time ~from_tag ~to_tag ~where =
   let e = Ring.emit t.ring in
@@ -56,7 +66,8 @@ let record_declass t ~time ~from_tag ~to_tag ~where =
   e.Event.data <- from_tag;
   e.Event.tag <- to_tag;
   e.Event.tainted <- false;
-  e.Event.text <- where
+  e.Event.text <- where;
+  observed t e
 
 let record_note t ~time text =
   let e = Ring.emit t.ring in
@@ -66,4 +77,5 @@ let record_note t ~time text =
   e.Event.data <- 0;
   e.Event.tag <- 0;
   e.Event.tainted <- false;
-  e.Event.text <- text
+  e.Event.text <- text;
+  observed t e

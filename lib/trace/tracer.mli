@@ -11,12 +11,23 @@ type t = {
   mutable disasm : int -> string;
       (** Render an instruction word for reports; defaults to a hex
           [.word] form. The VP installs the RV32 disassembler. *)
+  mutable on_record : (Event.t -> unit) option;
+      (** Streaming observer; see {!set_on_record}. *)
 }
 
 val create : ?ring_size:int -> Dift.Lattice.t -> t
 (** Default ring size: 4096 events. *)
 
 val set_disasm : t -> (int -> string) -> unit
+
+val set_on_record : t -> (Event.t -> unit) option -> unit
+(** Install (or remove) a streaming observer called with every recorded
+    event, after the ring slot is filled. Unlike the ring (which retains
+    only the newest [ring_size] events), the observer sees the complete
+    stream — {!Sink.stream_jsonl} uses it for unbounded trace files, and
+    the determinism tests use it to compare full event streams. The slot
+    is recycled by the next record: consume or {!Event.copy} it before
+    returning. *)
 
 val events_recorded : t -> int
 (** Total events ever pushed into the ring (monotonic). *)

@@ -10,9 +10,15 @@ type t = {
   din_tags : Bytes.t;
   dout : Bytes.t;
   mutable busy : bool;
+  (* [in_flight] spans the modelled encryption latency; the actual
+     encryption (and the declassification it implies) happens when
+     [done_ev] fires, so a snapshot taken mid-operation re-runs it from
+     the restored key/din buffers rather than losing it. *)
+  mutable in_flight : bool;
   mutable count : int;
   mutable irq : unit -> unit;
   start_ev : Sysc.Kernel.event;
+  done_ev : Sysc.Kernel.event;
 }
 
 let create env ~name ~out_tag ?in_clearance ?(latency = Sysc.Time.us 2) () =
@@ -28,9 +34,11 @@ let create env ~name ~out_tag ?in_clearance ?(latency = Sysc.Time.us 2) () =
     din_tags = Bytes.make 16 (Char.chr env.Env.pub);
     dout = Bytes.make 16 '\000';
     busy = false;
+    in_flight = false;
     count = 0;
     irq = (fun () -> ());
     start_ev = Sysc.Kernel.create_event env.Env.kernel (name ^ ".start");
+    done_ev = Sysc.Kernel.create_event env.Env.kernel (name ^ ".done");
   }
 
 let set_irq_callback a fn = a.irq <- fn
@@ -72,12 +80,19 @@ let encrypt a =
 let start a =
   Sysc.Kernel.spawn a.env.Env.kernel ~name:(a.name ^ ".engine") (fun () ->
       while not (Sysc.Kernel.stopped a.env.Env.kernel) do
-        Sysc.Kernel.wait_event a.start_ev;
-        if a.busy then begin
-          Sysc.Kernel.wait_for a.latency;
+        if a.in_flight then begin
+          Sysc.Kernel.wait_event a.done_ev;
           encrypt a;
           a.busy <- false;
+          a.in_flight <- false;
           a.irq ()
+        end
+        else begin
+          Sysc.Kernel.wait_event a.start_ev;
+          if a.busy then begin
+            a.in_flight <- true;
+            Sysc.Kernel.notify_after a.done_ev a.latency
+          end
         end
       done)
 
@@ -123,3 +138,33 @@ let transport a (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay (Sysc.Time.ns 50)
 
 let socket a = Tlm.Socket.target ~name:a.name (transport a)
+
+let put_fixed w b = Snapshot.Codec.put_string w (Bytes.to_string b)
+
+let get_fixed r dst =
+  let str = Snapshot.Codec.get_string r in
+  if String.length str <> Bytes.length dst then
+    raise (Snapshot.Codec.Corrupt "aes buffer length");
+  Bytes.blit_string str 0 dst 0 (String.length str)
+
+let save a w =
+  let open Snapshot.Codec in
+  put_fixed w a.key;
+  put_fixed w a.key_tags;
+  put_fixed w a.din;
+  put_fixed w a.din_tags;
+  put_fixed w a.dout;
+  put_bool w a.busy;
+  put_bool w a.in_flight;
+  put_i64 w a.count
+
+let load a r =
+  let open Snapshot.Codec in
+  get_fixed r a.key;
+  get_fixed r a.key_tags;
+  get_fixed r a.din;
+  get_fixed r a.din_tags;
+  get_fixed r a.dout;
+  a.busy <- get_bool r;
+  a.in_flight <- get_bool r;
+  a.count <- get_i64 r

@@ -38,3 +38,6 @@ val start : t -> unit
 
 val busy : t -> bool
 val encryptions : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

@@ -103,3 +103,41 @@ let transport c (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay c.latency
 
 let socket c = Tlm.Socket.target ~name:c.name (transport c)
+
+let put_fixed w b = Snapshot.Codec.put_string w (Bytes.to_string b)
+
+let get_fixed r dst =
+  let str = Snapshot.Codec.get_string r in
+  if String.length str <> Bytes.length dst then
+    raise (Snapshot.Codec.Corrupt "can buffer length");
+  Bytes.blit_string str 0 dst 0 (String.length str)
+
+let save c w =
+  let open Snapshot.Codec in
+  put_fixed w c.txd;
+  put_fixed w c.txd_tags;
+  put_fixed w c.rxd;
+  put_fixed w c.rxd_tags;
+  put_bool w c.rx_valid;
+  put_list w
+    (fun w (frame, tag) ->
+      put_string w frame;
+      put_u8 w tag)
+    (List.of_seq (Queue.to_seq c.rx_fifo));
+  put_list w put_string (List.rev c.tx_log)
+
+let load c r =
+  let open Snapshot.Codec in
+  get_fixed r c.txd;
+  get_fixed r c.txd_tags;
+  get_fixed r c.rxd;
+  get_fixed r c.rxd_tags;
+  c.rx_valid <- get_bool r;
+  Queue.clear c.rx_fifo;
+  List.iter
+    (fun ft -> Queue.push ft c.rx_fifo)
+    (get_list r (fun r ->
+         let frame = get_string r in
+         let tag = get_u8 r in
+         (frame, tag)));
+  c.tx_log <- List.rev (get_list r get_string)

@@ -33,3 +33,6 @@ val tx_frames : t -> string list
 (** All frames transmitted so far, oldest first. *)
 
 val rx_pending : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

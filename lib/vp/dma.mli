@@ -8,7 +8,12 @@
     - [0x04] DST (read/write): destination global address;
     - [0x08] LEN (read/write): byte count;
     - [0x0c] CTRL: writing 1 starts the transfer; reading returns bit 0 =
-      busy. *)
+      busy.
+
+    Overlapping windows follow memmove semantics: when DST lands inside
+    the live SRC window the engine copies high-to-low, so the destination
+    receives the original source bytes (and their tags) rather than
+    already-overwritten ones. *)
 
 type t
 
@@ -25,3 +30,6 @@ val start : t -> unit
 
 val busy : t -> bool
 val transfers_completed : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

@@ -88,3 +88,21 @@ let transport g (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay g.latency
 
 let socket g = Tlm.Socket.target ~name:g.name (transport g)
+
+let save g w =
+  let open Snapshot.Codec in
+  put_u32 w g.dir;
+  put_u32 w g.out;
+  put_u8 w g.out_tag;
+  put_u32 w g.inp;
+  put_u8 w g.inp_tag;
+  put_u32 w g.rise
+
+let load g r =
+  let open Snapshot.Codec in
+  g.dir <- get_u32 r;
+  g.out <- get_u32 r;
+  g.out_tag <- get_u8 r;
+  g.inp <- get_u32 r;
+  g.inp_tag <- get_u8 r;
+  g.rise <- get_u32 r

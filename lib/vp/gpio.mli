@@ -34,3 +34,6 @@ val output_levels : t -> int
 
 val output_tag : t -> Dift.Lattice.tag
 (** Class of the data last written to the output latch. *)
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

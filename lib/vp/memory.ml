@@ -88,3 +88,15 @@ let transport m (p : Tlm.Payload.t) delay =
   end
 
 let socket m = Tlm.Socket.target ~name:m.name (transport m)
+
+let save m w =
+  Snapshot.Codec.put_bytes_rle w m.data;
+  Snapshot.Codec.put_bytes_rle w m.tags
+
+(* [load] is taken by the image loader above. *)
+let restore m r =
+  Snapshot.Codec.get_bytes_rle_into r m.data;
+  Snapshot.Codec.get_bytes_rle_into r m.tags;
+  (* Everything may have changed: let the write hook (basic-block cache
+     invalidation) see the full range. *)
+  if size m > 0 then m.on_write 0 (size m)

@@ -42,3 +42,10 @@ val tainted_regions : t -> baseline:Dift.Lattice.tag -> (int * int * Dift.Lattic
 (** Maximal runs of consecutive bytes whose tag differs from [baseline],
     as [(first_offset, last_offset, tag)] triples with a uniform tag per
     run — a taint map for diagnostics. *)
+
+val save : t -> Snapshot.Codec.writer -> unit
+(** Serialise contents and tag array (run-length encoded). *)
+
+val restore : t -> Snapshot.Codec.reader -> unit
+(** Counterpart of {!save} ([load] is the image loader); fires the write
+    hook over the whole range so cached decoded blocks are invalidated. *)

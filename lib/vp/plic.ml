@@ -75,3 +75,13 @@ let transport p (pay : Tlm.Payload.t) delay =
   Sysc.Time.add delay p.latency
 
 let socket p = Tlm.Socket.target ~name:p.name (transport p)
+
+let save p w =
+  let open Snapshot.Codec in
+  put_u32 w p.pend;
+  put_u32 w p.en
+
+let load p r =
+  let open Snapshot.Codec in
+  p.pend <- get_u32 r;
+  p.en <- get_u32 r

@@ -21,3 +21,6 @@ val trigger : t -> int -> unit
 
 val pending : t -> int
 val enabled : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

@@ -8,6 +8,10 @@ type t = {
   mutable rng : int;
   mutable irq : unit -> unit;
   mutable frames : int;
+  (* The periodic refill runs off a named kernel event rather than
+     [wait_for], so the pending tick is serialisable kernel state and a
+     restored run ticks at the same instants as an uninterrupted one. *)
+  tick_ev : Sysc.Kernel.event;
   latency : Sysc.Time.t;
 }
 
@@ -24,6 +28,7 @@ let create env ~name ?(period = Sysc.Time.ms 25) ?(seed = 0x2545f491) () =
     rng = seed;
     irq = (fun () -> ());
     frames = 0;
+    tick_ev = Sysc.Kernel.create_event env.Env.kernel (name ^ ".tick");
     latency = Sysc.Time.ns 50;
   }
 
@@ -53,10 +58,14 @@ let refill s =
   s.irq ()
 
 let start s =
+  (* The override rule makes this arm a no-op after a restore: the saved
+     (earlier-or-equal) tick notification is re-armed first and wins. *)
+  Sysc.Kernel.notify_after s.tick_ev s.period;
   Sysc.Kernel.spawn s.env.Env.kernel ~name:(s.name ^ ".run") (fun () ->
       while not (Sysc.Kernel.stopped s.env.Env.kernel) do
-        Sysc.Kernel.wait_for s.period;
-        refill s
+        Sysc.Kernel.wait_event s.tick_ev;
+        refill s;
+        Sysc.Kernel.notify_after s.tick_ev s.period
       done)
 
 let transport s (p : Tlm.Payload.t) delay =
@@ -88,3 +97,24 @@ let transport s (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay s.latency
 
 let socket s = Tlm.Socket.target ~name:s.name (transport s)
+
+let save s w =
+  let open Snapshot.Codec in
+  put_u8 w s.tag;
+  put_u32 w s.rng;
+  put_i64 w s.frames;
+  put_string w (Bytes.to_string s.frame);
+  put_string w (Bytes.to_string s.frame_tags)
+
+let load s r =
+  let open Snapshot.Codec in
+  s.tag <- get_u8 r;
+  s.rng <- get_u32 r;
+  s.frames <- get_i64 r;
+  let blit_into dst str =
+    if String.length str <> Bytes.length dst then
+      raise (Corrupt "sensor frame length");
+    Bytes.blit_string str 0 dst 0 (String.length str)
+  in
+  blit_into s.frame (get_string r);
+  blit_into s.frame_tags (get_string r)

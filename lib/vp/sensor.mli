@@ -27,6 +27,11 @@ val set_data_tag : t -> Dift.Lattice.tag -> unit
 val data_tag : t -> Dift.Lattice.tag
 
 val start : t -> unit
-(** Spawn the generation thread on the kernel. *)
+(** Arm the first tick (one [period] from now) and spawn the generation
+    thread. The tick is a named kernel event, so a pending tick is part of
+    the serialisable kernel state. *)
 
 val frames_generated : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

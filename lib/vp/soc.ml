@@ -33,6 +33,11 @@ type cpu = {
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
   cpu_fast_retired : unit -> int;
+  cpu_set_pause_at : int -> unit;
+  cpu_paused : unit -> bool;
+  cpu_clear_paused : unit -> unit;
+  cpu_save : Snapshot.Codec.writer -> unit;
+  cpu_load : Snapshot.Codec.reader -> unit;
 }
 
 type t = {
@@ -76,6 +81,11 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_flush_code = (fun ~addr ~len -> C.flush_code core ~addr ~len);
       cpu_blocks_built = (fun () -> C.blocks_built core);
       cpu_fast_retired = (fun () -> C.fast_retired core);
+      cpu_set_pause_at = (fun n -> C.set_pause_at core n);
+      cpu_paused = (fun () -> C.paused core);
+      cpu_clear_paused = (fun () -> C.clear_paused core);
+      cpu_save = (fun w -> C.save core w);
+      cpu_load = (fun r -> C.load core r);
     }
 end
 
@@ -313,3 +323,90 @@ let run_for_instructions soc n =
   start soc;
   run soc;
   soc.cpu.cpu_exit ()
+
+(* --- Checkpoint / restore ---------------------------------------------- *)
+
+let pause_at soc n = soc.cpu.cpu_set_pause_at n
+let paused soc = soc.cpu.cpu_paused ()
+
+let resume ?until soc =
+  soc.cpu.cpu_clear_paused ();
+  run ?until soc
+
+(* Section order is fixed: identical state must yield identical bytes. *)
+let save soc =
+  let open Snapshot.Codec in
+  if not (paused soc || soc.cpu.cpu_exit () <> Rv32.Core.Running) then
+    invalid_arg "Soc.save: CPU is neither paused nor halted";
+  (* Drain the current instant: the pause stopped the scheduler mid-phase,
+     so processes runnable at this time (peripheral engines, delta
+     notifications) still have to settle before the kernel state reduces
+     to (now, delta count, pending timed notifications). *)
+  Sysc.Kernel.run ~until:(Sysc.Kernel.now soc.kernel) soc.kernel;
+  if not (Sysc.Kernel.quiescent soc.kernel) then
+    invalid_arg "Soc.save: kernel not quiescent after draining the instant";
+  let section name f =
+    let w = writer () in
+    f w;
+    (name, contents w)
+  in
+  Container.encode
+    [
+      section "kernel" (fun w ->
+          put_i64 w (Sysc.Kernel.now soc.kernel);
+          put_i64 w (Sysc.Kernel.delta_count soc.kernel);
+          put_list w
+            (fun w (name, at) ->
+              put_string w name;
+              put_i64 w at)
+            (Sysc.Kernel.pending_timed soc.kernel));
+      section "cpu" soc.cpu.cpu_save;
+      section "mem" (Memory.save soc.memory);
+      section "uart" (Uart.save soc.uart);
+      section "gpio" (Gpio.save soc.gpio);
+      section "sensor" (Sensor.save soc.sensor);
+      section "dma" (Dma.save soc.dma);
+      section "aes" (Aes_periph.save soc.aes);
+      section "can" (Can.save soc.can);
+      section "clint" (Clint.save soc.clint);
+      section "plic" (Plic.save soc.plic);
+      section "wdt" (Watchdog.save soc.watchdog);
+    ]
+
+let restore soc data =
+  let open Snapshot.Codec in
+  let sections = Container.decode data in
+  let rd name =
+    match List.assoc_opt name sections with
+    | Some payload -> reader payload
+    | None -> raise (Corrupt (Printf.sprintf "missing section %S" name))
+  in
+  let sec name loadfn =
+    let r = rd name in
+    loadfn r;
+    expect_end r
+  in
+  (* The kernel goes first: it cancels the initial notifications armed
+     during construction and re-arms the saved pending set, so the
+     peripheral loads below see the clock already at the snapshot time. *)
+  sec "kernel" (fun r ->
+      let now = get_i64 r in
+      let deltas = get_i64 r in
+      let notifications =
+        get_list r (fun r ->
+            let name = get_string r in
+            let at = get_i64 r in
+            (name, at))
+      in
+      Sysc.Kernel.restore soc.kernel ~now ~deltas ~notifications);
+  sec "cpu" soc.cpu.cpu_load;
+  sec "mem" (Memory.restore soc.memory);
+  sec "uart" (Uart.load soc.uart);
+  sec "gpio" (Gpio.load soc.gpio);
+  sec "sensor" (Sensor.load soc.sensor);
+  sec "dma" (Dma.load soc.dma);
+  sec "aes" (Aes_periph.load soc.aes);
+  sec "can" (Can.load soc.can);
+  sec "clint" (Clint.load soc.clint);
+  sec "plic" (Plic.load soc.plic);
+  sec "wdt" (Watchdog.load soc.watchdog)

@@ -59,6 +59,11 @@ type cpu = {
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
   cpu_fast_retired : unit -> int;
+  cpu_set_pause_at : int -> unit;
+  cpu_paused : unit -> bool;
+  cpu_clear_paused : unit -> unit;
+  cpu_save : Snapshot.Codec.writer -> unit;
+  cpu_load : Snapshot.Codec.reader -> unit;
 }
 
 type t = {
@@ -134,3 +139,39 @@ val run : ?until:Sysc.Time.t -> t -> unit
 val run_for_instructions : t -> int -> Rv32.Core.exit_reason
 (** Convenience: cap the instruction count, spawn the CPU, run to
     completion, and return why the core stopped. *)
+
+(** {1 Checkpoint / restore}
+
+    Deterministic full-state snapshots (see [docs/snapshot.md]). The
+    protocol: request a pause with {!pause_at}, {!run} until the kernel
+    stops with {!paused} true, {!save} the state, and either continue
+    in-process with {!resume} or later rebuild an identically-configured
+    SoC, {!load_image} the same firmware, and {!restore} before
+    {!start}. Both paths continue bit-identically to an uninterrupted
+    run — same architectural state, taint tags, peripheral state and
+    trace event stream.
+
+    Monitors and tracers are deliberately {e not} serialised: they are
+    host-side observers. An in-process resume keeps observing seamlessly;
+    a restore into a fresh process starts with empty observers (events
+    before the checkpoint are not re-reported). *)
+
+val pause_at : t -> int -> unit
+(** Pause at the first CPU time-sync boundary at or after the given
+    retired-instruction count. *)
+
+val paused : t -> bool
+
+val save : t -> string
+(** Serialise the full platform state. The CPU must be paused (or halted:
+    a final snapshot of a finished run doubles as a canonical state dump
+    for diffing). Identical simulator state yields identical strings.
+    Raises [Invalid_argument] if the CPU is still running. *)
+
+val restore : t -> string -> unit
+(** Load a {!save}d snapshot into a freshly created SoC of the same
+    configuration after {!load_image} and before {!start}. Raises
+    {!Snapshot.Codec.Corrupt} on malformed input. *)
+
+val resume : ?until:Sysc.Time.t -> t -> unit
+(** Clear the pause flag and continue the simulation in-process. *)

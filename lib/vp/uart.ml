@@ -88,3 +88,34 @@ let transport u (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay u.latency
 
 let socket u = Tlm.Socket.target ~name:u.name (transport u)
+
+let save u w =
+  let open Snapshot.Codec in
+  put_list w
+    (fun w (byte, tag) ->
+      put_u8 w byte;
+      put_u8 w tag)
+    (List.of_seq (Queue.to_seq u.rx));
+  put_list w
+    (fun w (c, tag) ->
+      put_u8 w (Char.code c);
+      put_u8 w tag)
+    (List.rev u.tx);
+  put_bool w u.irq_en
+
+let load u r =
+  let open Snapshot.Codec in
+  Queue.clear u.rx;
+  List.iter
+    (fun bt -> Queue.push bt u.rx)
+    (get_list r (fun r ->
+         let byte = get_u8 r in
+         let tag = get_u8 r in
+         (byte, tag)));
+  u.tx <-
+    List.rev
+      (get_list r (fun r ->
+           let c = Char.chr (get_u8 r) in
+           let tag = get_u8 r in
+           (c, tag)));
+  u.irq_en <- get_bool r

@@ -35,3 +35,6 @@ val tx_string : t -> string
 
 val tx_tagged : t -> (char * Dift.Lattice.tag) list
 val clear_tx : t -> unit
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit

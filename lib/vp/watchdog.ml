@@ -40,12 +40,17 @@ let start w =
   Sysc.Kernel.spawn w.env.Env.kernel ~name:(w.name ^ ".count") (fun () ->
       while not (Sysc.Kernel.stopped w.env.Env.kernel) do
         Sysc.Kernel.wait_event w.wake;
-        if
-          w.enabled && (not w.expired)
-          && Sysc.Kernel.now w.env.Env.kernel >= w.deadline
-        then begin
-          w.expired <- true;
-          w.on_expiry ()
+        if w.enabled && not w.expired then begin
+          let now = Sysc.Kernel.now w.env.Env.kernel in
+          if now >= w.deadline then begin
+            w.expired <- true;
+            w.on_expiry ()
+          end
+          else
+            (* Stale wake: a kick moved the deadline past this wakeup (the
+               kernel keeps the earlier of two pending notifications, per
+               the IEEE-1666 override rule). Chase the live deadline. *)
+            Sysc.Kernel.notify_after w.wake (w.deadline - now)
         end
       done)
 
@@ -110,3 +115,19 @@ let transport w (p : Tlm.Payload.t) delay =
   Sysc.Time.add delay w.latency
 
 let socket w = Tlm.Socket.target ~name:w.name (transport w)
+
+let save w wr =
+  let open Snapshot.Codec in
+  put_u32 wr w.reload_us;
+  put_bool wr w.enabled;
+  put_i64 wr w.deadline;
+  put_bool wr w.expired;
+  put_i64 wr w.kicks
+
+let load w r =
+  let open Snapshot.Codec in
+  w.reload_us <- get_u32 r;
+  w.enabled <- get_bool r;
+  w.deadline <- get_i64 r;
+  w.expired <- get_bool r;
+  w.kicks <- get_i64 r

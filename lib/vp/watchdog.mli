@@ -25,3 +25,6 @@ val start : t -> unit
 
 val expired : t -> bool
 val kicks : t -> int
+
+val save : t -> Snapshot.Codec.writer -> unit
+val load : t -> Snapshot.Codec.reader -> unit
