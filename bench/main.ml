@@ -14,6 +14,7 @@
      ablate-quantum   - loosely-timed quantum sweep
      sweep-lattice    - VP+ overhead vs IFP size (beyond the paper)
      snapshot         - full-platform save/restore cost (checkpointing)
+     parallel         - domain-parallel campaign engine: wall vs cpu scaling
      table2-extended [scale] - additional workloads (crc32, matmul, ...)
      bechamel         - Bechamel micro-measurements (one group per table)
      all (default)    - everything above except bechamel
@@ -23,8 +24,12 @@
    cache / untainted fast path for the timed subcommands, and --trace adds
    a third vp+trace row per workload (VP+ with the tracing subsystem
    attached) to table2 / table2-extended so reports record the tracing
-   overhead. Each timed subcommand also writes a BENCH_<name>.json report
-   (schema in docs/perf.md). *)
+   overhead. --jobs=N sets the worker-domain count for table1 and
+   parallel (default: the runtime's recommended domain count),
+   --reps=N repeats each parallel row N times, and --no-warm-start
+   cold-boots campaign SoCs instead of restoring the shared boot
+   snapshot (see docs/parallel.md). Each timed subcommand also writes a
+   BENCH_<name>.json report (schema in docs/perf.md). *)
 
 let pf = Printf.printf
 let now_s = Benchkit.Clock.now_s
@@ -64,15 +69,23 @@ let fig1 () =
 (* Table I                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+(* Each attack boots its own SoC, so the suite is a natural task list:
+   run the attacks on a worker pool, then print the results in attack
+   order — the output is identical for every [jobs]. *)
+let run_table1 ~jobs =
+  Parallelkit.Pool.map_list ~jobs
+    (fun a -> Firmware.Wilander.run a.Firmware.Wilander.id)
+    Firmware.Wilander.attacks
+
+let table1 ~jobs () =
   pf "=== Table I: buffer-overflow test-suite results ===\n\n";
   pf "%-5s %-15s %-26s %-10s %-10s\n" "Atk#" "Location" "Target" "Technique"
     "Result";
   let ok = ref true in
-  List.iter
-    (fun a ->
+  List.iter2
+    (fun a outcome ->
       let result =
-        match Firmware.Wilander.run a.Firmware.Wilander.id with
+        match outcome with
         | Firmware.Wilander.Detected -> "Detected"
         | Firmware.Wilander.Missed c ->
             ok := false;
@@ -82,7 +95,7 @@ let table1 () =
       pf "%-5d %-15s %-26s %-10s %-10s\n" a.Firmware.Wilander.id
         a.Firmware.Wilander.location a.Firmware.Wilander.target
         a.Firmware.Wilander.technique result)
-    Firmware.Wilander.attacks;
+    Firmware.Wilander.attacks (run_table1 ~jobs);
   pf "\npaper: 10 Detected / 8 N/A -> %s\n"
     (if !ok then "reproduced" else "MISMATCH")
 
@@ -247,6 +260,10 @@ let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
       (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
       | Rv32.Core.Exited 0 -> true
       | _ -> false);
+    m_jobs = None;
+    m_wall_ns = None;
+    m_cpu_ns = None;
+    m_worker_throughput = None;
   }
 
 (* Overheads relative to the first row. *)
@@ -363,6 +380,10 @@ let ablate_lub ~block_cache ~fast_path () =
             m_loc_asm = 0;
             m_trace = false;
             m_exit_ok = true;
+            m_jobs = None;
+            m_wall_ns = None;
+            m_cpu_ns = None;
+            m_worker_throughput = None;
           }
         in
         [ mk "lub-table" t_table 1.;
@@ -450,6 +471,10 @@ let bench_snapshot ~block_cache ~fast_path () =
         (match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
         | Rv32.Core.Exited 0 -> true
         | _ -> false);
+      m_jobs = None;
+      m_wall_ns = None;
+      m_cpu_ns = None;
+      m_worker_throughput = None;
     }
   in
   (* Uninterrupted reference. *)
@@ -510,6 +535,117 @@ let bench_snapshot ~block_cache ~fast_path () =
       (1000. *. !restore_s /. float_of_int (max 1 !snaps));
   write_report ~file:"BENCH_snapshot.json" ~bench:"snapshot" ~scale:1.
     ~block_cache ~fast_path rows
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign engine                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain-parallel campaign engine measured end to end: the difftest
+   campaign and the Table I attack suite, each at jobs=1 and jobs=N, on
+   both clocks. Wall vs cpu is the honest scaling picture — cpu/wall is
+   the parallelism actually realised on this host, and a single-core
+   runner shows wall ~ cpu at every jobs value (the committed
+   BENCH_parallel.json records which kind of host produced it via
+   host_domains). Reports from the jobs=1 and jobs=N campaigns are
+   compared for byte equality and the verdict lands in the rows'
+   exit_ok, so a determinism regression poisons the artifact loudly. *)
+let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
+  pf "=== Parallel campaign engine: wall vs cpu scaling ===\n\n";
+  let host = Parallelkit.Pool.default_jobs () in
+  pf "host: %d recommended domain(s); rows at jobs=1 and jobs=%d, %d rep(s) per row, warm-start %s\n\n"
+    host jobs reps (if warm then "on" else "off");
+  let time f =
+    let w0 = Benchkit.Clock.now_ns () and c0 = Benchkit.Clock.cpu_ns () in
+    let last = ref (f ()) in
+    for _ = 2 to reps do last := f () done;
+    (!last, Benchkit.Clock.now_ns () - w0, Benchkit.Clock.cpu_ns () - c0)
+  in
+  let programs = 120 in
+  let campaign jobs warm_start () =
+    Difftest.Harness.run
+      ~config:
+        {
+          Difftest.Harness.default with
+          seed = 0x9a7a11e1;
+          programs;
+          shrink = false;
+          jobs;
+          warm_start;
+        }
+      ()
+  in
+  let render r = Format.asprintf "%a" Difftest.Harness.pp_report r in
+  let r1, dw1, dc1 = time (campaign 1 warm) in
+  let rn, dwn, dcn = time (campaign jobs warm) in
+  let rcold, dwc, dcc = time (campaign 1 false) in
+  let identical = String.equal (render r1) (render rn) in
+  let cold_same = String.equal (render r1) (render rcold) in
+  let s1, tw1, tc1 = time (fun () -> run_table1 ~jobs:1) in
+  let sn, twn, tcn = time (fun () -> run_table1 ~jobs) in
+  let suite_same = s1 = sn in
+  let n_attacks = List.length Firmware.Wilander.attacks in
+  let prow ~workload ~mode ~jobs ~tasks ~wall ~cpu ~base ~ok =
+    D.parallel_row ~exit_ok:ok ~workload ~mode ~jobs ~tasks ~instructions:0
+      ~wall_ns:wall ~cpu_ns:cpu
+      ~overhead:(if base > 0 then float_of_int wall /. float_of_int base else 1.)
+      ()
+  in
+  let rows =
+    [
+      prow ~workload:"difftest" ~mode:"jobs-1" ~jobs:1 ~tasks:(programs * reps)
+        ~wall:dw1 ~cpu:dc1 ~base:dw1 ~ok:identical;
+      prow ~workload:"difftest"
+        ~mode:(Printf.sprintf "jobs-%d" jobs)
+        ~jobs ~tasks:(programs * reps) ~wall:dwn ~cpu:dcn ~base:dw1
+        ~ok:identical;
+      prow ~workload:"difftest" ~mode:"jobs-1-cold" ~jobs:1
+        ~tasks:(programs * reps) ~wall:dwc ~cpu:dcc ~base:dw1 ~ok:cold_same;
+      prow ~workload:"table1" ~mode:"jobs-1" ~jobs:1 ~tasks:(n_attacks * reps)
+        ~wall:tw1 ~cpu:tc1 ~base:tw1 ~ok:suite_same;
+      prow ~workload:"table1"
+        ~mode:(Printf.sprintf "jobs-%d" jobs)
+        ~jobs ~tasks:(n_attacks * reps) ~wall:twn ~cpu:tcn ~base:tw1
+        ~ok:suite_same;
+    ]
+  in
+  pf "%-10s %-10s %9s %9s %9s %8s %12s\n" "Workload" "Mode" "wall [s]"
+    "cpu [s]" "cpu/wall" "speedup" "tasks/s/wkr";
+  List.iter
+    (fun m ->
+      let wall = float_of_int (Option.get m.D.m_wall_ns) /. 1e9 in
+      let cpu = float_of_int (Option.get m.D.m_cpu_ns) /. 1e9 in
+      pf "%-10s %-10s %9.3f %9.3f %9.2f %7.2fx %12.1f\n" m.D.m_workload
+        m.D.m_mode wall cpu
+        (if wall > 0. then cpu /. wall else 0.)
+        (if m.D.m_overhead > 0. then 1. /. m.D.m_overhead else 0.)
+        (Option.get m.D.m_worker_throughput))
+    rows;
+  pf "\njobs=1 vs jobs=%d difftest reports byte-identical: %s\n" jobs
+    (if identical then "yes" else "NO -- DETERMINISM REGRESSION");
+  pf "warm-start vs cold-boot reports byte-identical: %s\n"
+    (if cold_same then "yes" else "NO");
+  pf "jobs=1 vs jobs=%d Table I results identical: %s\n" jobs
+    (if suite_same then "yes" else "NO");
+  let doc =
+    D.doc
+      ~extra:
+        [
+          ("host_domains", Benchkit.Json.num_of_int host);
+          ("jobs", Benchkit.Json.num_of_int jobs);
+          ("reps", Benchkit.Json.num_of_int reps);
+          ("warm_start", Benchkit.Json.Bool warm);
+          ("reports_identical", Benchkit.Json.Bool identical);
+        ]
+      ~bench:"parallel" ~scale:1. ~block_cache ~fast_path rows
+  in
+  (match D.validate doc with
+  | Ok () -> ()
+  | Error e -> pf "!! report failed schema validation: %s\n" e);
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Benchkit.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  pf "\nwrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-measurements                                          *)
@@ -611,11 +747,37 @@ let bechamel () =
 let () =
   let is_flag a = String.length a >= 2 && a.[0] = '-' && a.[1] = '-' in
   let flags, args = List.partition is_flag (List.tl (Array.to_list Sys.argv)) in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  (* --jobs=N / --reps=N carry a value; everything else is exact-match. *)
+  let int_flag name default =
+    let p = name ^ "=" in
+    List.fold_left
+      (fun acc f ->
+        if starts_with p f then
+          match
+            int_of_string_opt
+              (String.sub f (String.length p) (String.length f - String.length p))
+          with
+          | Some v when v >= 1 -> v
+          | _ ->
+              pf "flag %s needs a positive integer (got %S)\n" name f;
+              exit 1
+        else acc)
+      default flags
+  in
   List.iter
     (fun f ->
-      if f <> "--no-block-cache" && f <> "--no-fast-path" && f <> "--trace"
+      if
+        f <> "--no-block-cache" && f <> "--no-fast-path" && f <> "--trace"
+        && f <> "--no-warm-start"
+        && not (starts_with "--jobs=" f)
+        && not (starts_with "--reps=" f)
       then begin
-        pf "unknown flag %S (known: --no-block-cache --no-fast-path --trace)\n"
+        pf
+          "unknown flag %S (known: --no-block-cache --no-fast-path --trace \
+           --no-warm-start --jobs=N --reps=N)\n"
           f;
         exit 1
       end)
@@ -623,6 +785,9 @@ let () =
   let block_cache = not (List.mem "--no-block-cache" flags) in
   let fast_path = not (List.mem "--no-fast-path" flags) in
   let trace = List.mem "--trace" flags in
+  let warm = not (List.mem "--no-warm-start" flags) in
+  let jobs = int_flag "--jobs" (Parallelkit.Pool.default_jobs ()) in
+  let reps = int_flag "--reps" 1 in
   let scale =
     match args with
     | _ :: s :: _ -> (
@@ -631,7 +796,7 @@ let () =
   in
   match args with
   | "fig1" :: _ -> fig1 ()
-  | "table1" :: _ -> table1 ()
+  | "table1" :: _ -> table1 ~jobs ()
   | "table2" :: _ -> table2 ~scale ~block_cache ~fast_path ~trace ()
   | "loc" :: _ -> loc_report ()
   | "ablate-dmi" :: _ -> ablate_dmi ~block_cache ~fast_path ()
@@ -640,13 +805,15 @@ let () =
   | "ablate-quantum" :: _ -> ablate_quantum ~block_cache ~fast_path ()
   | "sweep-lattice" :: _ -> sweep_lattice ~block_cache ~fast_path ()
   | "snapshot" :: _ -> bench_snapshot ~block_cache ~fast_path ()
+  | "parallel" :: _ ->
+      bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ()
   | "table2-extended" :: _ ->
       table2_extended ~scale ~block_cache ~fast_path ~trace ()
   | "bechamel" :: _ -> bechamel ()
   | "all" :: _ | [] ->
       fig1 ();
       pf "\n";
-      table1 ();
+      table1 ~jobs ();
       pf "\n";
       table2 ~scale:1. ~block_cache ~fast_path ~trace ();
       pf "\n";
@@ -663,6 +830,8 @@ let () =
       sweep_lattice ~block_cache ~fast_path ();
       pf "\n";
       bench_snapshot ~block_cache ~fast_path ();
+      pf "\n";
+      bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ();
       pf "\n";
       table2_extended ~scale:1. ~block_cache ~fast_path ~trace ()
   | cmd :: _ ->

@@ -11,7 +11,10 @@
 open Cmdliner
 
 let run programs seed size no_shrink shrink_dir props_every inject cache_diff
-    snap_diff =
+    snap_diff jobs no_warm_start =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallelkit.Pool.default_jobs ()
+  in
   let config =
     {
       Difftest.Harness.seed;
@@ -23,6 +26,9 @@ let run programs seed size no_shrink shrink_dir props_every inject cache_diff
       inject;
       cache_diff;
       snap_diff;
+      jobs;
+      warm_start = not no_warm_start;
+      shard_size = Difftest.Harness.default.Difftest.Harness.shard_size;
     }
   in
   let report = Difftest.Harness.run ~config () in
@@ -86,11 +92,24 @@ let snap_diff_arg =
                require agreement with an uninterrupted run (roughly triples \
                oracle cost).")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains running campaign shards concurrently \
+               (default: the runtime's recommended domain count). The \
+               report is byte-identical for every value; $(b,--jobs 1) \
+               takes the exact sequential code path.")
+
+let no_warm_start_arg =
+  Arg.(value & flag & info [ "no-warm-start" ]
+         ~doc:"Cold-boot a fresh SoC for every oracle run instead of \
+               restoring the shared post-reset boot snapshot. \
+               Architecturally identical; for measurement and debugging.")
+
 let cmd =
   let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
           $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg
-          $ snap_diff_arg)
+          $ snap_diff_arg $ jobs_arg $ no_warm_start_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -151,6 +151,10 @@ type measurement = {
   m_loc_asm : int;
   m_exit_ok : bool;
   m_trace : bool;
+  m_jobs : int option;
+  m_wall_ns : int option;
+  m_cpu_ns : int option;
+  m_worker_throughput : float option;
 }
 
 let mips instructions seconds =
@@ -169,6 +173,35 @@ let measurement_of_raw ?(trace = false) ~workload ~mode ~overhead ~loc_asm r =
     m_loc_asm = loc_asm;
     m_exit_ok = r.raw_exit_ok;
     m_trace = trace;
+    m_jobs = None;
+    m_wall_ns = None;
+    m_cpu_ns = None;
+    m_worker_throughput = None;
+  }
+
+let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
+    ~wall_ns ~cpu_ns ~overhead () =
+  let secs = float_of_int wall_ns /. 1e9 in
+  {
+    m_workload = workload;
+    m_mode = mode;
+    m_instructions = instructions;
+    m_seconds = secs;
+    m_mips = mips instructions secs;
+    m_overhead = overhead;
+    m_fast_retired = 0;
+    m_blocks_built = 0;
+    m_loc_asm = 0;
+    m_exit_ok = exit_ok;
+    m_trace = false;
+    m_jobs = Some jobs;
+    m_wall_ns = Some wall_ns;
+    m_cpu_ns = Some cpu_ns;
+    m_worker_throughput =
+      Some
+        (if secs > 0. && jobs > 0 then
+           float_of_int tasks /. secs /. float_of_int jobs
+         else 0.);
   }
 
 let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false) def =
@@ -195,30 +228,36 @@ let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false) def =
 (* --- Report document -------------------------------------------------- *)
 
 let row m =
+  let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
   Json.Obj
-    [
-      ("workload", Json.Str m.m_workload);
-      ("mode", Json.Str m.m_mode);
-      ("instructions", Json.num_of_int m.m_instructions);
-      ("seconds", Json.Num m.m_seconds);
-      ("mips", Json.Num m.m_mips);
-      ("overhead", Json.Num m.m_overhead);
-      ("fast_retired", Json.num_of_int m.m_fast_retired);
-      ("blocks_built", Json.num_of_int m.m_blocks_built);
-      ("loc_asm", Json.num_of_int m.m_loc_asm);
-      ("exit_ok", Json.Bool m.m_exit_ok);
-      ("trace", Json.Bool m.m_trace);
-    ]
+    ([
+       ("workload", Json.Str m.m_workload);
+       ("mode", Json.Str m.m_mode);
+       ("instructions", Json.num_of_int m.m_instructions);
+       ("seconds", Json.Num m.m_seconds);
+       ("mips", Json.Num m.m_mips);
+       ("overhead", Json.Num m.m_overhead);
+       ("fast_retired", Json.num_of_int m.m_fast_retired);
+       ("blocks_built", Json.num_of_int m.m_blocks_built);
+       ("loc_asm", Json.num_of_int m.m_loc_asm);
+       ("exit_ok", Json.Bool m.m_exit_ok);
+       ("trace", Json.Bool m.m_trace);
+     ]
+    @ opt "jobs" m.m_jobs Json.num_of_int
+    @ opt "wall_ns" m.m_wall_ns Json.num_of_int
+    @ opt "cpu_ns" m.m_cpu_ns Json.num_of_int
+    @ opt "worker_throughput" m.m_worker_throughput (fun x -> Json.Num x))
 
-let doc ~bench ~scale ~block_cache ~fast_path rows =
+let doc ?(extra = []) ~bench ~scale ~block_cache ~fast_path rows =
   Json.Obj
-    [
-      ("bench", Json.Str bench);
-      ("scale", Json.Num scale);
-      ("block_cache", Json.Bool block_cache);
-      ("fast_path", Json.Bool fast_path);
-      ("rows", Json.List (List.map row rows));
-    ]
+    ([
+       ("bench", Json.Str bench);
+       ("scale", Json.Num scale);
+       ("block_cache", Json.Bool block_cache);
+       ("fast_path", Json.Bool fast_path);
+     ]
+    @ extra
+    @ [ ("rows", Json.List (List.map row rows)) ])
 
 (* Schema check for consumers (CI trend scripts): fail loudly on malformed
    reports rather than silently charting garbage. *)
@@ -264,10 +303,34 @@ let validate j =
         if overhead > 0. then Ok () else ctx "\"overhead\" must be > 0"
       in
       (* Optional: rows from trace-enabled runs carry a boolean marker. *)
-      match Json.member "trace" r with
-      | None -> Ok ()
-      | Some v -> (
-          match Json.to_bool v with
-          | Some (_ : bool) -> Ok ()
-          | None -> ctx "ill-typed optional field \"trace\""))
+      let* () =
+        match Json.member "trace" r with
+        | None -> Ok ()
+        | Some v -> (
+            match Json.to_bool v with
+            | Some (_ : bool) -> Ok ()
+            | None -> ctx "ill-typed optional field \"trace\"")
+      in
+      (* Optional parallel-campaign fields: all four travel together (a
+         row either is a parallel measurement or is not). *)
+      let opt name conv check =
+        match Json.member name r with
+        | None -> Ok None
+        | Some v -> (
+            match conv v with
+            | Some x when check x -> Ok (Some x)
+            | Some _ -> ctx (Printf.sprintf "out-of-range field %S" name)
+            | None ->
+                ctx (Printf.sprintf "ill-typed optional field %S" name))
+      in
+      let* jobs = opt "jobs" Json.to_int (fun j -> j >= 1) in
+      let* wall = opt "wall_ns" Json.to_int (fun n -> n >= 0) in
+      let* cpu = opt "cpu_ns" Json.to_int (fun n -> n >= 0) in
+      let* tput = opt "worker_throughput" Json.to_num (fun t -> t >= 0.) in
+      match (jobs, wall, cpu, tput) with
+      | Some _, Some _, Some _, Some _ | None, None, None, None -> Ok ()
+      | _ ->
+          ctx
+            "parallel fields \"jobs\", \"wall_ns\", \"cpu_ns\" and \
+             \"worker_throughput\" must appear together")
     (Ok ()) rows

@@ -43,6 +43,16 @@ type measurement = {
   m_loc_asm : int;
   m_exit_ok : bool;  (** Firmware reached the exit ecall with code 0. *)
   m_trace : bool;  (** Row measured with the tracing subsystem attached. *)
+  m_jobs : int option;
+      (** Parallel-campaign rows only: worker domains used. The four
+          option fields travel together ([Some] on parallel rows, [None]
+          on classic single-SoC rows); {!validate} enforces this. *)
+  m_wall_ns : int option;  (** Monotonic wall time of the whole campaign. *)
+  m_cpu_ns : int option;
+      (** Process CPU time over the same span, all domains summed.
+          [cpu/wall] is the parallelism actually realised — on a
+          single-core host it stays ~1 regardless of [jobs]. *)
+  m_worker_throughput : float option;  (** Tasks per wall-second per worker. *)
 }
 
 val measure :
@@ -57,20 +67,46 @@ val measure :
 val mips : int -> float -> float
 (** [mips instructions seconds], 0 when [seconds] is 0. *)
 
+val parallel_row :
+  ?exit_ok:bool ->
+  workload:string ->
+  mode:string ->
+  jobs:int ->
+  tasks:int ->
+  instructions:int ->
+  wall_ns:int ->
+  cpu_ns:int ->
+  overhead:float ->
+  unit ->
+  measurement
+(** A campaign measurement: [tasks] units of work ran on [jobs] worker
+    domains in [wall_ns] of wall time burning [cpu_ns] of process CPU
+    time. Fills the four parallel option fields (throughput =
+    tasks / wall-seconds / jobs); [seconds] / [mips] are derived from
+    [wall_ns] and [instructions]. [exit_ok] (default true) lets campaign
+    drivers flag a failed invariant — e.g. a jobs=1 vs jobs=N report
+    mismatch — directly in the committed artifact. *)
+
 val row : measurement -> Json.t
 
 val doc :
+  ?extra:(string * Json.t) list ->
   bench:string ->
   scale:float ->
   block_cache:bool ->
   fast_path:bool ->
   measurement list ->
   Json.t
-(** The full report document. *)
+(** The full report document. [extra] appends top-level fields (e.g. the
+    host's core count for parallel campaigns); {!validate} ignores
+    unknown fields, so consumers stay compatible. *)
 
 val validate : Json.t -> (unit, string) result
 (** Schema check: [bench] non-empty string, [scale] > 0, [block_cache] /
     [fast_path] booleans, [rows] a non-empty list where every row has a
     non-empty [workload], a [mode] string, integral [instructions >= 0],
     [seconds >= 0], [mips >= 0] and [overhead > 0]. A row's optional
-    [trace] field, when present, must be a boolean. *)
+    [trace] field, when present, must be a boolean. The parallel fields
+    [jobs] (int >= 1), [wall_ns] / [cpu_ns] (ints >= 0) and
+    [worker_throughput] (number >= 0) must appear all together or not at
+    all. *)

@@ -8,6 +8,9 @@ type config = {
   inject : string option;
   cache_diff : bool;
   snap_diff : bool;
+  jobs : int;
+  warm_start : bool;
+  shard_size : int;
 }
 
 let default =
@@ -21,6 +24,9 @@ let default =
     inject = None;
     cache_diff = false;
     snap_diff = false;
+    jobs = 1;
+    warm_start = true;
+    shard_size = 25;
   }
 
 type failure = {
@@ -155,10 +161,25 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
     }
     :: acc.a_failures
 
-let run ?(config = default) () =
-  let cfg = config in
-  let rng = Rng.create ~seed:cfg.seed in
-  let prng = Rng.create ~seed:(cfg.seed lxor 0x9e3779b9) in
+(* One shard of the campaign: a contiguous slice of the program indices,
+   generated from the shard's own derived RNG and guided by the shard's
+   own coverage table, accumulating into a private [acc].  Shards are the
+   unit of parallelism — the shard structure depends only on
+   (programs, shard_size), never on the worker count, so any [jobs]
+   produces the same shard outputs and therefore the same merged report.
+   Shard 0 keeps the campaign seed unchanged (see
+   {!Parallelkit.Campaign.derive_seed}): a campaign that fits in one
+   shard reproduces the historical sequential stream exactly.
+
+   Everything a shard touches is private to it (fresh RNGs, fresh
+   coverage table, fresh SoCs per oracle call); the only shared value is
+   the immutable warm-boot blob.  Reproducer files are keyed by the
+   global program index, so concurrent shards never collide on paths. *)
+let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
+  let rng = Rng.create ~seed:sh.Parallelkit.Campaign.seed in
+  let prng =
+    Rng.create ~seed:(sh.Parallelkit.Campaign.seed lxor 0x9e3779b9)
+  in
   let cov = Coverage.create () in
   let acc =
     {
@@ -177,13 +198,14 @@ let run ?(config = default) () =
       a_failures = [];
     }
   in
-  for i = 1 to cfg.programs do
+  for local = 1 to sh.Parallelkit.Campaign.length do
+    let i = sh.Parallelkit.Campaign.start + local in
     match
       let prog = Gen.program rng cov ~size:cfg.size in
       let img = Prog.assemble prog in
       let policy = Gen.policy rng img in
       let percov = Coverage.create () in
-      let res = Oracle.run ~policy ~trace:(Coverage.hook percov) img in
+      let res = Oracle.run ~policy ~trace:(Coverage.hook percov) ?warm img in
       Coverage.merge ~into:cov percov;
       acc.a_violations <- acc.a_violations + res.Oracle.violations;
       acc.a_checks <- acc.a_checks + res.Oracle.checks;
@@ -349,22 +371,43 @@ let run ?(config = default) () =
     | () -> ()
     | exception _ -> acc.a_errors <- acc.a_errors + 1
   done;
+  (acc, cov)
+
+let run ?(config = default) () =
+  let cfg = config in
+  let warm = if cfg.warm_start then Some (Oracle.warm_boot ()) else None in
+  let shards =
+    Parallelkit.Campaign.shards ~seed:cfg.seed ~total:cfg.programs
+      ~shard_size:cfg.shard_size
+  in
+  let outs = Parallelkit.Pool.map ~jobs:cfg.jobs (run_shard cfg warm) shards in
+  (* Merge in shard-index order.  Counters are commutative sums and the
+     coverage merge is a per-key sum, so the order is immaterial there;
+     the failure list is rebuilt newest-first (the highest-index shard's
+     failures in front, each shard's list already newest-first) to match
+     the sequential accumulation exactly. *)
+  let cov = Coverage.create () in
+  Array.iter (fun (_, c) -> Coverage.merge ~into:cov c) outs;
+  let sum f = Array.fold_left (fun t (a, _) -> t + f a) 0 outs in
+  let failures =
+    Array.fold_left (fun tail (a, _) -> a.a_failures @ tail) [] outs
+  in
   {
     programs = cfg.programs;
-    completed = acc.a_completed;
-    golden_mismatches = acc.a_golden;
-    transparency_mismatches = acc.a_transparency;
-    purity_failures = acc.a_purity;
-    monotonicity_failures = acc.a_monotonic;
-    declass_violations = acc.a_declass;
-    cache_mismatches = acc.a_cache;
-    snapshot_mismatches = acc.a_snapshot;
-    injected_hits = acc.a_injected;
-    violations = acc.a_violations;
-    checks = acc.a_checks;
-    errors = acc.a_errors;
+    completed = sum (fun a -> a.a_completed);
+    golden_mismatches = sum (fun a -> a.a_golden);
+    transparency_mismatches = sum (fun a -> a.a_transparency);
+    purity_failures = sum (fun a -> a.a_purity);
+    monotonicity_failures = sum (fun a -> a.a_monotonic);
+    declass_violations = sum (fun a -> a.a_declass);
+    cache_mismatches = sum (fun a -> a.a_cache);
+    snapshot_mismatches = sum (fun a -> a.a_snapshot);
+    injected_hits = sum (fun a -> a.a_injected);
+    violations = sum (fun a -> a.a_violations);
+    checks = sum (fun a -> a.a_checks);
+    errors = sum (fun a -> a.a_errors);
     coverage = cov;
-    failures = acc.a_failures;
+    failures;
   }
 
 let pp_report fmt r =

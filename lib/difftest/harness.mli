@@ -33,12 +33,30 @@ type config = {
           uninterrupted run on the same time-sync grid — a differential
           check of the snapshot machinery. Off by default: it roughly
           triples the oracle cost. *)
+  jobs : int;
+      (** Worker domains running shards concurrently (default 1).
+          [jobs <= 1] takes the exact sequential code path (no domains
+          spawned). The report is byte-identical for every value: the
+          campaign is split into fixed shards whose structure depends
+          only on [programs] and [shard_size] (see
+          {!Parallelkit.Campaign}), each shard runs from its own derived
+          RNG and coverage table, and the merge is order-independent. *)
+  warm_start : bool;
+      (** Boot the SoC to its post-reset settlement point once in the
+          parent, serialise it ({!Oracle.warm_boot}) and warm-start the
+          plain-VP leg of every oracle call from the shared blob
+          (default true). Architecturally identical to cold boots. *)
+  shard_size : int;
+      (** Programs per shard (default 25) — the parallel grain. Part of
+          the determinism contract: changing it changes the generated
+          stream (campaigns of at most one shard excepted). *)
 }
 
 val default : config
 (** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
     properties every 5th program, no injection, no cache or snapshot
-    differential. *)
+    differential; sequential ([jobs = 1]), warm-start on, 25-program
+    shards. *)
 
 type failure = {
   f_kind : string;
@@ -87,5 +105,11 @@ val healthy : report -> bool
     [injected_hits = 0]. *)
 
 val run : ?config:config -> unit -> report
+(** Run the campaign: shard the program range, run shards on a
+    {!Parallelkit.Pool} of [config.jobs] domains (sequentially in-process
+    when [jobs <= 1]), and merge the shard outputs. The report — counters,
+    merged coverage, failure list and shrunk reproducer sources — is
+    byte-identical for every [jobs] value; the tier-1 determinism test
+    pins this. Shrinking runs inside the worker that found the failure. *)
 
 val pp_report : Format.formatter -> report -> unit

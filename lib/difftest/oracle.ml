@@ -78,8 +78,23 @@ let unrestricted_policy () =
   let lat = Dift.Lattice.make_exn ~classes:[ "ANY" ] ~flows:[] in
   Dift.Policy.unrestricted lat ~default_tag:0
 
+type warm = string
+
+(* The boot snapshot covers only the configuration [run] uses for its
+   untracked VP leg: default SoC options, unrestricted single-class
+   policy. VP+ legs get a fresh random policy per task (different default
+   tags change the initial tag state), so one shared blob cannot serve
+   them. *)
+let warm_boot () =
+  let policy = unrestricted_policy () in
+  let monitor =
+    Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
+  in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
+  Vp.Soc.boot_snapshot soc
+
 let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
-    ?tracer ?quantum img =
+    ?tracer ?quantum ?warm img =
   let policy =
     match policy with Some p -> p | None -> unrestricted_policy ()
   in
@@ -90,6 +105,7 @@ let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
     Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?tracer
       ?quantum ()
   in
+  (match warm with Some blob -> Vp.Soc.warm_start soc blob | None -> ());
   Vp.Soc.load_image soc img;
   soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trace trace;
   let stop =
@@ -188,9 +204,9 @@ let run_vp_snapshot ~tracking ?policy ?(stride = 200) img =
       ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () },
         !totals )
 
-let run ?policy ?trace img =
+let run ?policy ?trace ?warm img =
   let golden = run_golden img in
-  let vp, _ = run_vp ~tracking:false img in
+  let vp, _ = run_vp ~tracking:false ?warm img in
   let vpp, (violations, checks, declassifications) =
     run_vp ~tracking:true ?policy ?trace img
   in

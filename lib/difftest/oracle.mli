@@ -45,6 +45,16 @@ val unrestricted_policy : unit -> Dift.Policy.t
     forensic re-run can build a tracer over a structurally identical
     lattice. *)
 
+type warm
+(** A {!Vp.Soc.boot_snapshot} blob for the configuration {!run} uses on
+    its untracked VP leg (default SoC options, {!unrestricted_policy}).
+    An immutable string under the hood — share one value across domains. *)
+
+val warm_boot : unit -> warm
+(** Boot a throwaway default-configuration untracked SoC to its post-reset
+    settlement point and serialise it. Campaign drivers call this once in
+    the parent and hand the blob to every worker ({!run} [?warm]). *)
+
 val run_vp :
   tracking:bool ->
   ?block_cache:bool ->
@@ -53,6 +63,7 @@ val run_vp :
   ?trace:(int -> Rv32.Insn.t -> unit) ->
   ?tracer:Trace.Tracer.t ->
   ?quantum:int ->
+  ?warm:warm ->
   Rv32_asm.Image.t ->
   outcome * (int * int * int)
 (** One VP flavour; returns the outcome and the monitor's
@@ -64,7 +75,11 @@ val run_vp :
     cache-vs-nocache differential testing. [tracer] attaches the tracing
     subsystem to the SoC (forensic replay of reproducers). [quantum]
     forwards to {!Vp.Soc.create} (snapshot-vs-straight comparisons need
-    both runs on the same time-sync grid). *)
+    both runs on the same time-sync grid). [warm] stamps a boot snapshot
+    into the fresh SoC with {!Vp.Soc.warm_start} before the image load —
+    only valid when the call's configuration matches {!warm_boot}'s
+    (untracked, default options, unrestricted policy); architecturally
+    identical to the cold path. *)
 
 val snap_quantum : int
 (** Time-sync quantum used by {!run_vp_snapshot}; a straight run to be
@@ -86,8 +101,11 @@ val run_vp_snapshot :
 val run :
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
+  ?warm:warm ->
   Rv32_asm.Image.t ->
   result3
 (** All three models. [policy] applies to the VP+ run only (the plain VP
     runs check-free on the same lattice); [trace] is installed on the VP+
-    run (coverage). *)
+    run (coverage); [warm] warm-starts the plain-VP leg from a shared boot
+    snapshot (the VP+ leg always cold-boots: its per-task policy changes
+    the initial tag state). *)

@@ -1,0 +1,30 @@
+type shard = { index : int; start : int; length : int; seed : int }
+
+(* splitmix64's finalizer on OCaml's 63-bit ints: good avalanche, so
+   consecutive shard indices yield unrelated 32-bit seeds. *)
+let splitmix64 x =
+  let ( *% ) a b = a * b land max_int in
+  let x = x + 0x61c88646_80b583eb (* 2^64 * phi, truncated to 63 bit *) in
+  let x = (x lxor (x lsr 30)) *% 0x3f4f95e4_814b0cd5 in
+  let x = (x lxor (x lsr 27)) *% 0x4cd6944c_5cc343ab in
+  x lxor (x lsr 31)
+
+let derive_seed ~seed ~shard =
+  if shard = 0 then seed
+  else
+    let s = splitmix64 (splitmix64 seed lxor (shard * 0x9e3779b9)) land 0xffffffff in
+    if s = 0 then 1 else s
+
+let shards ~seed ~total ~shard_size =
+  if shard_size <= 0 then invalid_arg "Campaign.shards: shard_size must be positive";
+  if total <= 0 then [||]
+  else
+    let n = (total + shard_size - 1) / shard_size in
+    Array.init n (fun i ->
+        let start = i * shard_size in
+        {
+          index = i;
+          start;
+          length = min shard_size (total - start);
+          seed = derive_seed ~seed ~shard:i;
+        })

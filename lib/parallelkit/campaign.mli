@@ -1,0 +1,43 @@
+(** Deterministic sharded campaigns.
+
+    A campaign of [total] independent tasks (fuzzing programs, bench
+    repetitions, attack ids) is split into fixed shards; each shard gets
+    its own PRNG seed {e derived from the campaign seed and the shard
+    index alone}. Workers process whole shards, so per-shard state
+    (coverage-guided generation, accumulators) never crosses a shard
+    boundary, and merging shard results in shard-index order yields the
+    same campaign report for any worker count — the [--jobs 1] vs
+    [--jobs N] byte-identity contract.
+
+    Determinism contract, restated as obligations on the caller:
+    - a shard's work must be a function of (campaign seed, shard index,
+      shard bounds) only;
+    - cross-shard state (a global coverage table, a failure list) is
+      produced by merging per-shard values in shard-index order with an
+      order-independent merge (sums, set unions, concatenation in index
+      order);
+    - side effects that race (writing reproducer files, say) must target
+      names unique to the task index. *)
+
+type shard = {
+  index : int;  (** 0-based shard number. *)
+  start : int;  (** Tasks [start + 1 .. start + length] (1-based ids). *)
+  length : int;
+  seed : int;  (** Per-shard PRNG seed, see {!derive_seed}. *)
+}
+
+val derive_seed : seed:int -> shard:int -> int
+(** Shard 0 keeps the campaign seed unchanged, so a single-shard campaign
+    reproduces the historical sequential stream bit-for-bit; later shards
+    get a splitmix64-style mix of (seed, shard index), truncated to a
+    non-zero 32-bit value. *)
+
+val shards : seed:int -> total:int -> shard_size:int -> shard array
+(** Split [total] tasks into ceil(total/shard_size) shards. The split
+    depends only on [total] and [shard_size], never on the worker count.
+    [shard_size] must be positive; [total <= 0] yields no shards. *)
+
+val splitmix64 : int -> int
+(** The splitmix64 finalizer (63-bit result, OCaml int). Exposed for
+    callers deriving further independent streams (e.g. a property-check
+    RNG alongside the generation RNG). *)

@@ -1,0 +1,46 @@
+type 'a t = {
+  q : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    q = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let send t v =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Chan.send: closed channel"
+  end;
+  Queue.push v t.q;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let recv t =
+  Mutex.lock t.mutex;
+  let rec take () =
+    match Queue.take_opt t.q with
+    | Some v -> Some v
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          take ()
+        end
+  in
+  let r = take () in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex

@@ -1,0 +1,57 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One task's result: the value, or the exception it raised (with the
+   backtrace captured in the worker, so the re-raise on the caller still
+   points at the real failure site). *)
+type 'b slot =
+  | Empty
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let run_task f x =
+  match f x with
+  | v -> Done v
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+let finish results =
+  (* First failure in task order wins; a deterministic campaign therefore
+     reports the same error whether it ran on 1 or N domains. *)
+  Array.iter
+    (function
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Empty | Done _ -> ())
+    results;
+  Array.map
+    (function
+      | Done v -> v
+      | Empty | Raised _ -> assert false (* all slots filled, none raised *))
+    results
+
+let map ~jobs f tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n Empty in
+    let feed = Chan.create () in
+    let worker () =
+      let rec loop () =
+        match Chan.recv feed with
+        | None -> ()
+        | Some i ->
+            results.(i) <- run_task f tasks.(i);
+            loop ()
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    for i = 0 to n - 1 do
+      Chan.send feed i
+    done;
+    Chan.close feed;
+    Array.iter Domain.join domains;
+    finish results
+  end
+
+let map_list ~jobs f xs = Array.to_list (map ~jobs f (Array.of_list xs))

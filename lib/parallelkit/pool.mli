@@ -1,0 +1,28 @@
+(** A fixed-size [Domain]-based worker pool.
+
+    [map ~jobs f tasks] applies [f] to every element of [tasks] and
+    returns the results {e in task order}, regardless of which worker ran
+    which task — the building block of deterministic parallel campaigns.
+
+    - [jobs <= 1] takes the exact sequential code path: a plain in-order
+      [Array.map] on the calling domain, no domains spawned, no channels,
+      no synchronisation. A [--jobs 1] campaign is therefore bit-for-bit
+      the sequential program.
+    - [jobs > 1] spawns [min jobs (Array.length tasks)] worker domains fed
+      from a {!Chan} of task indices. Results land in a slot array keyed
+      by index, so completion order cannot reorder them.
+
+    Exception safety: a task that raises does not tear down the pool
+    mid-flight. Every worker drains the channel to the end, all domains
+    are joined, and only then is the {e first} exception (in task order)
+    re-raised on the caller — with its original backtrace. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for [--jobs]
+    flags. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** See above. [jobs] values above the task count are clamped. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] on lists (order preserved). *)

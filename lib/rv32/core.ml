@@ -38,6 +38,7 @@ module type S = sig
   val exit_reason : t -> exit_reason
   val halted : t -> bool
   val halt : t -> exit_reason -> unit
+  val unhalt : t -> unit
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
   val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
   val flush_code : t -> addr:int -> len:int -> unit
@@ -848,6 +849,8 @@ module Make (M : MODE) = struct
         in
         if Array.length b.b_insns = 0 then step t else exec_block t b
     end
+
+  let unhalt t = t.exit_reason <- Running
 
   let set_pause_at t n = t.pause_at <- n
   let paused t = t.paused

@@ -106,6 +106,14 @@ module type S = sig
   val halt : t -> exit_reason -> unit
   (** Force the core to stop (used by peripherals/tests). *)
 
+  val unhalt : t -> unit
+  (** Clear a halt back to [Running]. Only meaningful on a core that has
+      not executed past the halt point — the warm-start protocol restores
+      a boot snapshot taken with a zero instruction budget (so the core
+      halted with {!Insn_limit} at [instret = 0] before its first fetch)
+      and un-halts it before loading the real firmware; see
+      {!Vp.Soc.boot_snapshot}. No-op when already running. *)
+
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
   (** Install (or remove) a per-instruction hook, called with the pc and
       decoded instruction before execution (tracing / coverage).

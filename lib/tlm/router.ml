@@ -3,10 +3,13 @@ type entry = { lo : int; hi : int; target : Socket.target }
 type t = {
   name : string;
   mutable entries : entry list; (* mapping order *)
+  mutable sorted : entry array; (* address order, rebuilt by [map] *)
   mutable observer : (Payload.t -> string -> unit) option;
 }
 
-let create ~name () = { name; entries = []; observer = None }
+let create ~name () =
+  { name; entries = []; sorted = [||]; observer = None }
+
 let set_observer r f = r.observer <- f
 
 let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
@@ -22,9 +25,27 @@ let map r ~lo ~hi target =
            (Socket.target_name clash.target)
            clash.lo clash.hi)
   | None -> ());
-  r.entries <- r.entries @ [ e ]
+  r.entries <- r.entries @ [ e ];
+  (* Mapping is rare and construction-time; dispatch is per transaction.
+     Pay for the sort here so [find] can binary-search. Ranges are
+     disjoint (checked above), so ordering by [lo] orders by [hi] too. *)
+  let a = Array.of_list r.entries in
+  Array.sort (fun a b -> compare a.lo b.lo) a;
+  r.sorted <- a
 
-let find r addr = List.find_opt (fun e -> addr >= e.lo && addr <= e.hi) r.entries
+let find r addr =
+  let a = r.sorted in
+  (* Rightmost entry with [lo <= addr], then a single containment check. *)
+  let rec go lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid).lo <= addr then go (mid + 1) hi (Some a.(mid))
+      else go lo (mid - 1) best
+  in
+  match go 0 (Array.length a - 1) None with
+  | Some e when addr <= e.hi -> Some e
+  | _ -> None
 
 let resolve r addr =
   match find r addr with

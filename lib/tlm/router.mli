@@ -4,7 +4,12 @@
     global address to the mapped target whose range contains it, with the
     payload address rewritten to a target-local offset for the duration of
     the downstream call. Unclaimed addresses complete with
-    [Address_error]. *)
+    [Address_error].
+
+    Dispatch binary-searches a sorted-by-address array rebuilt on every
+    {!map} (mapping is construction-time, dispatch is per transaction), so
+    routing costs O(log n) in the number of mapped targets rather than a
+    list scan in mapping order. *)
 
 type t
 

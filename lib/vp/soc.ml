@@ -36,6 +36,7 @@ type cpu = {
   cpu_set_pause_at : int -> unit;
   cpu_paused : unit -> bool;
   cpu_clear_paused : unit -> unit;
+  cpu_unhalt : unit -> unit;
   cpu_save : Snapshot.Codec.writer -> unit;
   cpu_load : Snapshot.Codec.reader -> unit;
 }
@@ -84,6 +85,7 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_set_pause_at = (fun n -> C.set_pause_at core n);
       cpu_paused = (fun () -> C.paused core);
       cpu_clear_paused = (fun () -> C.clear_paused core);
+      cpu_unhalt = (fun () -> C.unhalt core);
       cpu_save = (fun w -> C.save core w);
       cpu_load = (fun r -> C.load core r);
     }
@@ -373,6 +375,26 @@ let save soc =
       section "wdt" (Watchdog.save soc.watchdog);
     ]
 
+(* --- Warm start --------------------------------------------------------
+
+   The campaign engine's per-task setup shortcut (docs/parallel.md): the
+   parent builds one SoC, brings it to the post-reset settlement point
+   without retiring a single instruction (instruction budget 0: the CPU
+   thread halts with Insn_limit at instret 0 before its first fetch, then
+   the save below drains the instant so every peripheral's time-0 work is
+   folded into the serialised state), and hands the resulting blob to the
+   workers. Each worker restores the blob into a freshly created SoC of
+   the same configuration *before* loading its task's firmware image —
+   replacing the construction-time settlement with a codec decode. *)
+
+let boot_snapshot soc =
+  if soc.cpu.cpu_instret () <> 0 then
+    invalid_arg "Soc.boot_snapshot: SoC has already executed instructions";
+  soc.cpu.cpu_set_max 0;
+  start soc;
+  run soc;
+  save soc
+
 let restore soc data =
   let open Snapshot.Codec in
   let sections = Container.decode data in
@@ -410,3 +432,12 @@ let restore soc data =
   sec "clint" (Clint.load soc.clint);
   sec "plic" (Plic.load soc.plic);
   sec "wdt" (Watchdog.load soc.watchdog)
+
+let warm_start soc data =
+  restore soc data;
+  (* The blob was taken halted-at-0 (Insn_limit); the worker's core must
+     run for real. [restore] also marked the core paused iff it was parked
+     on a sync (it was not — no instruction retired, no sync pending), so
+     only the halt needs clearing. *)
+  soc.cpu.cpu_unhalt ();
+  soc.cpu.cpu_clear_paused ()

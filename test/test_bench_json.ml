@@ -128,7 +128,95 @@ let test_validate () =
   expect_valid
     (good_doc ~rows:[ with_field "trace" (J.Bool true) (good_row ()) ] ());
   expect_invalid "non-bool trace field"
-    (good_doc ~rows:[ with_field "trace" (J.Str "yes") (good_row ()) ] ())
+    (good_doc ~rows:[ with_field "trace" (J.Str "yes") (good_row ()) ] ());
+  (* The parallel-campaign fields: all four together or none at all,
+     each range-checked. *)
+  let parallel_fields =
+    [
+      ("jobs", J.num_of_int 4);
+      ("wall_ns", J.num_of_int 1_000_000);
+      ("cpu_ns", J.num_of_int 3_900_000);
+      ("worker_throughput", J.Num 12.5);
+    ]
+  in
+  let with_fields kvs j = List.fold_left (fun j (k, v) -> with_field k v j) j kvs in
+  expect_valid
+    (good_doc ~rows:[ with_fields parallel_fields (good_row ()) ] ());
+  List.iter
+    (fun missing ->
+      expect_invalid
+        (Printf.sprintf "parallel row without %S" missing)
+        (good_doc
+           ~rows:
+             [
+               with_fields
+                 (List.remove_assoc missing parallel_fields)
+                 (good_row ());
+             ]
+           ()))
+    [ "jobs"; "wall_ns"; "cpu_ns"; "worker_throughput" ];
+  expect_invalid "zero jobs"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("jobs", J.num_of_int 0)
+             :: List.remove_assoc "jobs" parallel_fields)
+             (good_row ());
+         ]
+       ());
+  expect_invalid "negative wall_ns"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("wall_ns", J.num_of_int (-1))
+             :: List.remove_assoc "wall_ns" parallel_fields)
+             (good_row ());
+         ]
+       ());
+  expect_invalid "ill-typed worker_throughput"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("worker_throughput", J.Str "fast")
+             :: List.remove_assoc "worker_throughput" parallel_fields)
+             (good_row ());
+         ]
+       ())
+
+(* The parallel_row constructor fills the four optional fields
+   consistently and renders/validates end to end. *)
+let test_parallel_row () =
+  let m =
+    D.parallel_row ~workload:"difftest" ~mode:"jobs-4" ~jobs:4 ~tasks:200
+      ~instructions:0 ~wall_ns:2_000_000_000 ~cpu_ns:7_600_000_000
+      ~overhead:0.27 ()
+  in
+  check_bool "jobs recorded" true (m.D.m_jobs = Some 4);
+  check_bool "wall recorded" true (m.D.m_wall_ns = Some 2_000_000_000);
+  check_bool "cpu recorded" true (m.D.m_cpu_ns = Some 7_600_000_000);
+  (* 200 tasks / 2 s / 4 workers = 25 tasks per second per worker. *)
+  check_bool "throughput" true
+    (match m.D.m_worker_throughput with
+    | Some t -> Float.abs (t -. 25.) < 1e-9
+    | None -> false);
+  check_bool "seconds derived from wall_ns" true
+    (Float.abs (m.D.m_seconds -. 2.) < 1e-9);
+  let doc =
+    D.doc ~bench:"parallel" ~scale:1. ~block_cache:true ~fast_path:true [ m ]
+  in
+  expect_valid doc;
+  (* A classic row (all four None) renders without the parallel keys. *)
+  (match D.row m with
+  | J.Obj kvs -> check_bool "jobs rendered" true (List.mem_assoc "jobs" kvs)
+  | _ -> Alcotest.fail "expected object");
+  let classic = { m with D.m_jobs = None; m_wall_ns = None; m_cpu_ns = None;
+                  m_worker_throughput = None } in
+  match D.row classic with
+  | J.Obj kvs -> check_bool "no jobs key" false (List.mem_assoc "jobs" kvs)
+  | _ -> Alcotest.fail "expected object"
 
 (* End to end: run one real workload at a tiny scale, build the report,
    write it, read it back, parse and validate — the exact CI pipeline. *)
@@ -235,6 +323,7 @@ let () =
       ( "schema",
         [
           Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "parallel row fields" `Quick test_parallel_row;
           Alcotest.test_case "real report end to end" `Slow test_real_report;
           Alcotest.test_case "trace row guardrail" `Slow test_trace_row;
         ] );

@@ -104,6 +104,58 @@ let test_router_resolve () =
   | None -> Alcotest.fail "resolve failed");
   check_bool "unmapped resolves to None" true (R.resolve r 0x100 = None)
 
+(* Many targets, mapped in shuffled order: every address must reach its
+   own target with the right local offset (exercises the sorted-array
+   binary search across all positions, both ends included), gaps between
+   ranges must still address-error, and [mappings] must keep insertion
+   order. *)
+let test_router_many_targets () =
+  let r = R.create ~name:"bus" () in
+  let n = 64 in
+  let hit = Array.make n (-1) in
+  (* Deterministic shuffle of the mapping order. *)
+  let order = Array.init n (fun i -> (i * 37) mod n) in
+  Array.iter
+    (fun i ->
+      let t =
+        S.target ~name:(Printf.sprintf "t%02d" i) (fun p d ->
+            hit.(i) <- p.P.addr;
+            p.P.resp <- P.Ok_resp;
+            d)
+      in
+      (* Ranges of width 0x100 with a 0x100 gap between neighbours. *)
+      R.map r ~lo:(i * 0x200) ~hi:((i * 0x200) + 0xff) t)
+    order;
+  let sock = R.target_socket r in
+  for i = 0 to n - 1 do
+    Array.fill hit 0 n (-1);
+    let off = if i land 1 = 0 then 0 else 0xff in
+    let p =
+      P.create ~cmd:P.Read ~addr:((i * 0x200) + off) ~len:1 ~default_tag:hi ()
+    in
+    ignore (S.call sock p Sysc.Time.zero);
+    check_bool "ok response" true (p.P.resp = P.Ok_resp);
+    check_int (Printf.sprintf "target %d hit at local offset" i) off hit.(i);
+    Array.iteri
+      (fun j a -> if j <> i && a <> -1 then Alcotest.failf "target %d also hit" j)
+      hit;
+    (* The gap just above this range is unmapped. *)
+    let q =
+      P.create ~cmd:P.Read ~addr:((i * 0x200) + 0x100) ~len:1 ~default_tag:hi ()
+    in
+    ignore (S.call sock q Sysc.Time.zero);
+    check_bool "gap address-errors" true (q.P.resp = P.Address_error)
+  done;
+  (* Below the lowest and above the highest range. *)
+  check_bool "below all" true (R.resolve r (-1) = None);
+  check_bool "above all" true (R.resolve r ((n - 1) * 0x200 + 0x100) = None);
+  (* Insertion (mapping) order is preserved in the listing. *)
+  let listed = List.map (fun (_, _, name) -> name) (R.mappings r) in
+  let expected =
+    Array.to_list (Array.map (fun i -> Printf.sprintf "t%02d" i) order)
+  in
+  Alcotest.(check (list string)) "mapping order" expected listed
+
 let test_mappings_listing () =
   let r = R.create ~name:"bus" () in
   let t n = S.target ~name:n (fun _ d -> d) in
@@ -138,6 +190,8 @@ let () =
           Alcotest.test_case "unmapped address" `Quick test_router_unmapped;
           Alcotest.test_case "overlap rejected" `Quick test_router_overlap_rejected;
           Alcotest.test_case "resolve" `Quick test_router_resolve;
+          Alcotest.test_case "many targets, binary search" `Quick
+            test_router_many_targets;
           Alcotest.test_case "mappings listing" `Quick test_mappings_listing;
         ] );
       ("props", [ qtest prop_payload_byte_roundtrip ]);
