@@ -28,8 +28,14 @@
    parallel (default: the runtime's recommended domain count),
    --reps=N repeats each parallel row N times, and --no-warm-start
    cold-boots campaign SoCs instead of restoring the shared boot
-   snapshot (see docs/parallel.md). Each timed subcommand also writes a
-   BENCH_<name>.json report (schema in docs/perf.md). *)
+   snapshot (see docs/parallel.md). For table2 / table2-extended,
+   --engine=interp|threaded (repeatable) measures the workloads once per
+   named execution engine — rows carry an "engine" field so CI can
+   compare threaded vs interpreter throughput — and --only=WORKLOAD
+   restricts the set to one workload (the perf-smoke job runs
+   `table2 --only=hello --engine=threaded --engine=interp`). Each timed
+   subcommand also writes a BENCH_<name>.json report (schema in
+   docs/perf.md). *)
 
 let pf = Printf.printf
 let now_s = Benchkit.Clock.now_s
@@ -159,25 +165,50 @@ let print_table2 groups =
            match g with _ :: _ :: vpt :: _ -> vpt.D.m_overhead | _ -> 1.));
   pf "\n"
 
-let measure_set ~block_cache ~fast_path ~trace defs =
-  List.map (D.measure ~block_cache ~fast_path ~trace) defs
+let measure_set ~block_cache ~fast_path ~trace ~engine defs =
+  List.map (D.measure ~block_cache ~fast_path ~trace ~engine) defs
 
-let table2 ~scale ~block_cache ~fast_path ~trace () =
+(* One measurement pass per requested engine; the rows of every engine
+   land in the same report (distinguished by their "engine" field), so
+   CI can compare threaded vs interpreter throughput from one file. *)
+let measure_engines ~block_cache ~fast_path ~trace ~engines defs =
+  List.concat_map
+    (fun engine ->
+      if List.length engines > 1 then
+        pf "--- engine: %s ---\n" (Rv32.Core.engine_name engine);
+      let groups = measure_set ~block_cache ~fast_path ~trace ~engine defs in
+      print_table2 groups;
+      pf "\n";
+      List.concat groups)
+    engines
+
+let filter_defs ~only defs =
+  match only with
+  | None -> defs
+  | Some name -> (
+      match List.filter (fun d -> d.D.d_name = name) defs with
+      | [] ->
+          pf "no workload named %S (known: %s)\n" name
+            (String.concat " " (List.map (fun d -> d.D.d_name) defs));
+          exit 1
+      | ds -> ds)
+
+let table2 ~scale ~block_cache ~fast_path ~trace ~engines ~only () =
   pf "=== Table II: performance overhead of VP-based DIFT (scale %g) ===\n\n"
     scale;
   pf "(workloads scaled down vs the paper's multi-billion-instruction runs;\n";
   pf " the target is the overhead SHAPE: VP+ roughly 1.2x-3x, average ~2x)\n\n";
-  let groups = measure_set ~block_cache ~fast_path ~trace (D.table2 ~scale) in
-  print_table2 groups;
+  let defs = filter_defs ~only (D.table2 ~scale) in
+  let rows = measure_engines ~block_cache ~fast_path ~trace ~engines defs in
   write_report ~file:"BENCH_table2.json" ~bench:"table2" ~scale ~block_cache
-    ~fast_path (List.concat groups)
+    ~fast_path rows
 
-let table2_extended ~scale ~block_cache ~fast_path ~trace () =
+let table2_extended ~scale ~block_cache ~fast_path ~trace ~engines ~only () =
   pf "=== Extended workloads (beyond the paper's Table II set) ===\n\n";
-  let groups = measure_set ~block_cache ~fast_path ~trace (D.extended ~scale) in
-  print_table2 groups;
+  let defs = filter_defs ~only (D.extended ~scale) in
+  let rows = measure_engines ~block_cache ~fast_path ~trace ~engines defs in
   write_report ~file:"BENCH_table2_extended.json" ~bench:"table2-extended"
-    ~scale ~block_cache ~fast_path (List.concat groups)
+    ~scale ~block_cache ~fast_path rows
 
 (* ------------------------------------------------------------------ *)
 (* LoC statistic (Section V-B1's 6.81%)                                *)
@@ -248,6 +279,7 @@ let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
   {
     D.m_workload = "qsort";
     m_mode = mode;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
     m_instructions = instr;
     m_seconds = dt;
     m_mips = D.mips instr dt;
@@ -371,6 +403,7 @@ let ablate_lub ~block_cache ~fast_path () =
           {
             D.m_workload = key;
             m_mode = mode;
+            m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
             m_instructions = iters;
             m_seconds = t;
             m_mips = D.mips iters t;
@@ -459,6 +492,7 @@ let bench_snapshot ~block_cache ~fast_path () =
     {
       D.m_workload = "qsort";
       m_mode = mode;
+      m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
       m_instructions = instr;
       m_seconds = dt;
       m_mips = D.mips instr dt;
@@ -774,10 +808,13 @@ let () =
         && f <> "--no-warm-start"
         && not (starts_with "--jobs=" f)
         && not (starts_with "--reps=" f)
+        && not (starts_with "--engine=" f)
+        && not (starts_with "--only=" f)
       then begin
         pf
           "unknown flag %S (known: --no-block-cache --no-fast-path --trace \
-           --no-warm-start --jobs=N --reps=N)\n"
+           --no-warm-start --jobs=N --reps=N --engine=interp|threaded \
+           --only=WORKLOAD)\n"
           f;
         exit 1
       end)
@@ -788,6 +825,34 @@ let () =
   let warm = not (List.mem "--no-warm-start" flags) in
   let jobs = int_flag "--jobs" (Parallelkit.Pool.default_jobs ()) in
   let reps = int_flag "--reps" 1 in
+  (* --engine= is repeatable: table2 measures once per named engine
+     (given order, duplicates collapsed); default threaded only. *)
+  let engines =
+    let named =
+      List.filter_map
+        (fun f ->
+          if not (starts_with "--engine=" f) then None
+          else
+            let v = String.sub f 9 (String.length f - 9) in
+            match Rv32.Core.engine_of_string v with
+            | Some e -> Some e
+            | None ->
+                pf "flag --engine needs interp or threaded (got %S)\n" v;
+                exit 1)
+        flags
+    in
+    match List.fold_left (fun acc e -> if List.mem e acc then acc else acc @ [ e ]) [] named with
+    | [] -> [ Rv32.Core.Threaded ]
+    | es -> es
+  in
+  let only =
+    List.fold_left
+      (fun acc f ->
+        if starts_with "--only=" f then
+          Some (String.sub f 7 (String.length f - 7))
+        else acc)
+      None flags
+  in
   let scale =
     match args with
     | _ :: s :: _ -> (
@@ -797,7 +862,8 @@ let () =
   match args with
   | "fig1" :: _ -> fig1 ()
   | "table1" :: _ -> table1 ~jobs ()
-  | "table2" :: _ -> table2 ~scale ~block_cache ~fast_path ~trace ()
+  | "table2" :: _ ->
+      table2 ~scale ~block_cache ~fast_path ~trace ~engines ~only ()
   | "loc" :: _ -> loc_report ()
   | "ablate-dmi" :: _ -> ablate_dmi ~block_cache ~fast_path ()
   | "ablate-policy" :: _ -> ablate_policy ~block_cache ~fast_path ()
@@ -808,14 +874,14 @@ let () =
   | "parallel" :: _ ->
       bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ()
   | "table2-extended" :: _ ->
-      table2_extended ~scale ~block_cache ~fast_path ~trace ()
+      table2_extended ~scale ~block_cache ~fast_path ~trace ~engines ~only ()
   | "bechamel" :: _ -> bechamel ()
   | "all" :: _ | [] ->
       fig1 ();
       pf "\n";
       table1 ~jobs ();
       pf "\n";
-      table2 ~scale:1. ~block_cache ~fast_path ~trace ();
+      table2 ~scale:1. ~block_cache ~fast_path ~trace ~engines ~only ();
       pf "\n";
       loc_report ();
       pf "\n";
@@ -833,7 +899,7 @@ let () =
       pf "\n";
       bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ();
       pf "\n";
-      table2_extended ~scale:1. ~block_cache ~fast_path ~trace ()
+      table2_extended ~scale:1. ~block_cache ~fast_path ~trace ~engines ~only ()
   | cmd :: _ ->
       pf "unknown command %S\n" cmd;
       exit 1

@@ -11,9 +11,19 @@
 open Cmdliner
 
 let run programs seed size no_shrink shrink_dir props_every inject cache_diff
-    snap_diff jobs no_warm_start =
+    snap_diff engine engine_diff jobs no_warm_start =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallelkit.Pool.default_jobs ()
+  in
+  let engines =
+    if engine_diff then
+      let other =
+        match engine with
+        | Rv32.Core.Interp -> Rv32.Core.Threaded
+        | Rv32.Core.Threaded -> Rv32.Core.Interp
+      in
+      [ engine; other ]
+    else [ engine ]
   in
   let config =
     {
@@ -26,6 +36,7 @@ let run programs seed size no_shrink shrink_dir props_every inject cache_diff
       inject;
       cache_diff;
       snap_diff;
+      engines;
       jobs;
       warm_start = not no_warm_start;
       shard_size = Difftest.Harness.default.Difftest.Harness.shard_size;
@@ -92,6 +103,33 @@ let snap_diff_arg =
                require agreement with an uninterrupted run (roughly triples \
                oracle cost).")
 
+let engine_conv =
+  let parse s =
+    match Rv32.Core.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine '%s' (expected interp|threaded)" s))
+  in
+  Arg.conv
+    (parse, fun fmt e -> Format.pp_print_string fmt (Rv32.Core.engine_name e))
+
+let engine_arg =
+  Arg.(value & opt engine_conv Rv32.Core.Threaded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine for the VP legs: $(b,threaded) (default, \
+                 compiled closure chains) or $(b,interp) (per-instruction \
+                 dispatch).")
+
+let engine_diff_arg =
+  Arg.(value & flag & info [ "engine-diff" ]
+         ~doc:"Also cross-check the other execution engine against \
+               $(b,--engine) on every program, on both VP flavours — \
+               byte-identical registers, memory, instret and taint tags \
+               (roughly doubles VP cost). Divergences shrink to .s \
+               reproducers like every other leg.")
+
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Worker domains running campaign shards concurrently \
@@ -110,6 +148,7 @@ let cmd =
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
           $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg
-          $ snap_diff_arg $ jobs_arg $ no_warm_start_arg)
+          $ snap_diff_arg $ engine_arg $ engine_diff_arg $ jobs_arg
+          $ no_warm_start_arg)
 
 let () = exit (Cmd.eval' cmd)

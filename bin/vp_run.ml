@@ -70,7 +70,7 @@ let policy_name = function
 let run file policy_kind tracking max_insns uart_input show_symbols quiet
     echo_insns taint_map report coverage trace_on trace_out trace_format
     forensics json checkpoint_every checkpoint_out checkpoint_stop resume
-    state_out quantum =
+    state_out quantum engine =
   let src = read_file file in
   match Rv32_asm.Parser.parse_result src with
   | Error msg ->
@@ -87,7 +87,9 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
           Some (Trace.Tracer.create policy.Dift.Policy.lattice)
         else None
       in
-      let soc = Vp.Soc.create ~policy ~monitor ~tracking ~quantum ?tracer () in
+      let soc =
+        Vp.Soc.create ~policy ~monitor ~tracking ~quantum ~engine ?tracer ()
+      in
       Vp.Soc.load_image soc img;
       (match uart_input with
       | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
@@ -461,6 +463,28 @@ let quantum_arg =
                  the next one. A resumed run must use the same quantum as \
                  the run that wrote the snapshot.")
 
+let engine_arg =
+  let engine_conv =
+    let parse s =
+      match Rv32.Core.engine_of_string s with
+      | Some e -> Ok e
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown engine '%s' (expected interp|threaded)"
+                  s))
+    in
+    Arg.conv
+      (parse, fun fmt e -> Format.pp_print_string fmt (Rv32.Core.engine_name e))
+  in
+  Arg.(value & opt engine_conv Rv32.Core.Threaded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,threaded) (default, compiled \
+                 closure chains per basic block) or $(b,interp) \
+                 (per-instruction dispatch). Architecturally identical; a \
+                 snapshot written under one engine resumes under the \
+                 other.")
+
 let state_out_arg =
   Arg.(value & opt (some string) None
        & info [ "state-out" ] ~docv:"FILE"
@@ -475,13 +499,14 @@ let cmd =
     (Cmd.info "vp_run" ~doc)
     Term.(
       const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn js ck
-                ckout ckstop res stout qn ->
+                ckout ckstop res stout qn eng ->
           run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn js ck
-            ckout ckstop res stout qn)
+            ckout ckstop res stout qn eng)
       $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
       $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
       $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
       $ json_arg $ checkpoint_every_arg $ checkpoint_out_arg
-      $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg)
+      $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg
+      $ engine_arg)
 
 let () = exit (Cmd.eval' cmd)

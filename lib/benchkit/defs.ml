@@ -48,6 +48,8 @@ let auto_engine ~challenges soc =
 let table2 ~scale =
   let s = scaled scale in
   [
+    plain "hello" ~make_image:(fun () ->
+        Firmware.Extra_fw.hello_image ~rounds:(s 5000) ());
     plain "qsort" ~make_image:(fun () ->
         Firmware.Qsort_fw.image ~n:1000 ~rounds:(s 4) ());
     plain "dhrystone" ~make_image:(fun () ->
@@ -102,7 +104,7 @@ type raw = {
 }
 
 let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
-    ~tracking def =
+    ?(engine = Rv32.Core.Threaded) ~tracking def =
   let img = def.make_image () in
   let policy = def.make_policy img in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
@@ -116,7 +118,7 @@ let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
     else None
   in
   let soc =
-    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ~engine
       ?sensor_period:def.sensor_period ?aes_out_tag ?aes_in_clearance ?tracer ()
   in
   Vp.Soc.load_image soc img;
@@ -142,6 +144,7 @@ let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
 type measurement = {
   m_workload : string;
   m_mode : string;
+  m_engine : string;
   m_instructions : int;
   m_seconds : float;
   m_mips : float;
@@ -160,10 +163,12 @@ type measurement = {
 let mips instructions seconds =
   if seconds > 0. then float_of_int instructions /. seconds /. 1e6 else 0.
 
-let measurement_of_raw ?(trace = false) ~workload ~mode ~overhead ~loc_asm r =
+let measurement_of_raw ?(trace = false) ?(engine = Rv32.Core.Threaded)
+    ~workload ~mode ~overhead ~loc_asm r =
   {
     m_workload = workload;
     m_mode = mode;
+    m_engine = Rv32.Core.engine_name engine;
     m_instructions = r.raw_instructions;
     m_seconds = r.raw_seconds;
     m_mips = mips r.raw_instructions r.raw_seconds;
@@ -185,6 +190,7 @@ let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
   {
     m_workload = workload;
     m_mode = mode;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
     m_instructions = instructions;
     m_seconds = secs;
     m_mips = mips instructions secs;
@@ -204,25 +210,29 @@ let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
          else 0.);
   }
 
-let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false) def =
-  let vp = run_def ~block_cache ~fast_path ~tracking:false def in
-  let vpp = run_def ~block_cache ~fast_path ~tracking:true def in
+let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false)
+    ?(engine = Rv32.Core.Threaded) def =
+  let vp = run_def ~block_cache ~fast_path ~engine ~tracking:false def in
+  let vpp = run_def ~block_cache ~fast_path ~engine ~tracking:true def in
   let loc_asm = (def.make_image ()).Rv32_asm.Image.insn_count in
   let rel r = if vp.raw_seconds > 0. then r.raw_seconds /. vp.raw_seconds else 1. in
   let base =
     [
-      measurement_of_raw ~workload:def.d_name ~mode:"vp" ~overhead:1. ~loc_asm vp;
-      measurement_of_raw ~workload:def.d_name ~mode:"vp+" ~overhead:(rel vpp)
-        ~loc_asm vpp;
+      measurement_of_raw ~engine ~workload:def.d_name ~mode:"vp" ~overhead:1.
+        ~loc_asm vp;
+      measurement_of_raw ~engine ~workload:def.d_name ~mode:"vp+"
+        ~overhead:(rel vpp) ~loc_asm vpp;
     ]
   in
   if not trace then base
   else
-    let vpt = run_def ~block_cache ~fast_path ~trace:true ~tracking:true def in
+    let vpt =
+      run_def ~block_cache ~fast_path ~engine ~trace:true ~tracking:true def
+    in
     base
     @ [
-        measurement_of_raw ~trace:true ~workload:def.d_name ~mode:"vp+trace"
-          ~overhead:(rel vpt) ~loc_asm vpt;
+        measurement_of_raw ~trace:true ~engine ~workload:def.d_name
+          ~mode:"vp+trace" ~overhead:(rel vpt) ~loc_asm vpt;
       ]
 
 (* --- Report document -------------------------------------------------- *)
@@ -233,6 +243,7 @@ let row m =
     ([
        ("workload", Json.Str m.m_workload);
        ("mode", Json.Str m.m_mode);
+       ("engine", Json.Str m.m_engine);
        ("instructions", Json.num_of_int m.m_instructions);
        ("seconds", Json.Num m.m_seconds);
        ("mips", Json.Num m.m_mips);
@@ -301,6 +312,17 @@ let validate j =
       let* overhead = rfield "overhead" Json.to_num in
       let* () =
         if overhead > 0. then Ok () else ctx "\"overhead\" must be > 0"
+      in
+      (* Optional: rows from engine-aware producers name their execution
+         engine; older reports omit the field. *)
+      let* () =
+        match Json.member "engine" r with
+        | None -> Ok ()
+        | Some v -> (
+            match Json.to_str v with
+            | Some "" -> ctx "empty optional field \"engine\""
+            | Some (_ : string) -> Ok ()
+            | None -> ctx "ill-typed optional field \"engine\"")
       in
       (* Optional: rows from trace-enabled runs carry a boolean marker. *)
       let* () =

@@ -24,9 +24,9 @@ val integrity_policy : Rv32_asm.Image.t -> Dift.Policy.t
     clearance on the two-class integrity lattice. *)
 
 val table2 : scale:float -> def list
-(** The paper's Table II workload set (qsort, dhrystone, primes, sha512,
-    simple-sensor, freertos-tasks, immo-fixed). [scale] multiplies each
-    workload's iteration count; fractions give fast smoke runs. *)
+(** The paper's Table II workload set (hello, qsort, dhrystone, primes,
+    sha512, simple-sensor, freertos-tasks, immo-fixed). [scale] multiplies
+    each workload's iteration count; fractions give fast smoke runs. *)
 
 val extended : scale:float -> def list
 (** Additional workloads beyond the paper (crc32, matmul, strings, aes-sw). *)
@@ -34,6 +34,9 @@ val extended : scale:float -> def list
 type measurement = {
   m_workload : string;
   m_mode : string;  (** ["vp"] / ["vp+"] (or an ablation label). *)
+  m_engine : string;
+      (** {!Rv32.Core.engine_name} of the execution engine the row was
+          measured under (["threaded"] / ["interp"]). *)
   m_instructions : int;  (** Retired, from the core's counter. *)
   m_seconds : float;  (** Monotonic wall time of the simulation. *)
   m_mips : float;
@@ -56,13 +59,22 @@ type measurement = {
 }
 
 val measure :
-  ?block_cache:bool -> ?fast_path:bool -> ?trace:bool -> def -> measurement list
+  ?block_cache:bool ->
+  ?fast_path:bool ->
+  ?trace:bool ->
+  ?engine:Rv32.Core.engine ->
+  def ->
+  measurement list
 (** Run the workload on VP then VP+ (cache/fast-path flags forwarded to
     {!Vp.Soc.create}, default on) and return the two rows in that order.
     With [~trace:true] a third ["vp+trace"] row follows: VP+ with a
     {!Trace.Tracer} attached (ring + provenance + bus observer), its
     overhead relative to the same vp row — the guardrail number for the
-    tracing subsystem's cost. The default remains exactly two rows. *)
+    tracing subsystem's cost. The default remains exactly two rows.
+    [engine] (default {!Rv32.Core.Threaded}) selects the core's execution
+    engine for every run and is recorded in each row's [m_engine] — the
+    engine-vs-engine perf comparison measures the same workload once per
+    engine. *)
 
 val mips : int -> float -> float
 (** [mips instructions seconds], 0 when [seconds] is 0. *)
@@ -106,7 +118,8 @@ val validate : Json.t -> (unit, string) result
     [fast_path] booleans, [rows] a non-empty list where every row has a
     non-empty [workload], a [mode] string, integral [instructions >= 0],
     [seconds >= 0], [mips >= 0] and [overhead > 0]. A row's optional
-    [trace] field, when present, must be a boolean. The parallel fields
+    [trace] field, when present, must be a boolean; its optional [engine]
+    field, when present, a non-empty string. The parallel fields
     [jobs] (int >= 1), [wall_ns] / [cpu_ns] (ints >= 0) and
     [worker_throughput] (number >= 0) must appear all together or not at
     all. *)

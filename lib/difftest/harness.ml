@@ -8,6 +8,7 @@ type config = {
   inject : string option;
   cache_diff : bool;
   snap_diff : bool;
+  engines : Rv32.Core.engine list;
   jobs : int;
   warm_start : bool;
   shard_size : int;
@@ -24,6 +25,7 @@ let default =
     inject = None;
     cache_diff = false;
     snap_diff = false;
+    engines = [ Rv32.Core.Threaded ];
     jobs = 1;
     warm_start = true;
     shard_size = 25;
@@ -50,6 +52,7 @@ type report = {
   declass_violations : int;
   cache_mismatches : int;
   snapshot_mismatches : int;
+  engine_mismatches : int;
   injected_hits : int;
   violations : int;
   checks : int;
@@ -62,7 +65,7 @@ let healthy r =
   r.golden_mismatches = 0 && r.transparency_mismatches = 0
   && r.purity_failures = 0 && r.monotonicity_failures = 0
   && r.declass_violations = 0 && r.cache_mismatches = 0
-  && r.snapshot_mismatches = 0 && r.errors = 0
+  && r.snapshot_mismatches = 0 && r.engine_mismatches = 0 && r.errors = 0
 
 (* Mutable accumulator threaded through the run loop. *)
 type acc = {
@@ -74,6 +77,7 @@ type acc = {
   mutable a_declass : int;
   mutable a_cache : int;
   mutable a_snapshot : int;
+  mutable a_engine : int;
   mutable a_injected : int;
   mutable a_violations : int;
   mutable a_checks : int;
@@ -176,6 +180,13 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
    the immutable warm-boot blob.  Reproducer files are keyed by the
    global program index, so concurrent shards never collide on paths. *)
 let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
+  (* The head of [engines] is the engine every base leg runs on; the tail
+     is cross-checked against it by the engine-differential leg. *)
+  let base_engine, cross_engines =
+    match cfg.engines with
+    | [] -> (Rv32.Core.Threaded, [])
+    | e :: rest -> (e, rest)
+  in
   let rng = Rng.create ~seed:sh.Parallelkit.Campaign.seed in
   let prng =
     Rng.create ~seed:(sh.Parallelkit.Campaign.seed lxor 0x9e3779b9)
@@ -191,6 +202,7 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
       a_declass = 0;
       a_cache = 0;
       a_snapshot = 0;
+      a_engine = 0;
       a_injected = 0;
       a_violations = 0;
       a_checks = 0;
@@ -205,7 +217,10 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
       let img = Prog.assemble prog in
       let policy = Gen.policy rng img in
       let percov = Coverage.create () in
-      let res = Oracle.run ~policy ~trace:(Coverage.hook percov) ?warm img in
+      let res =
+        Oracle.run ~engine:base_engine ~policy ~trace:(Coverage.hook percov)
+          ?warm img
+      in
       Coverage.merge ~into:cov percov;
       acc.a_violations <- acc.a_violations + res.Oracle.violations;
       acc.a_checks <- acc.a_checks + res.Oracle.checks;
@@ -358,7 +373,65 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
               prog
         | None -> ()
       end;
-      (* 7. Fault injection: validate the detect-shrink-report pipeline. *)
+      (* 7. Engine differential: every additional engine in the config
+         must retire byte-identical architectural state on both flavours
+         — including taint tags on VP+ ([Oracle.agree] compares them when
+         both runs are tracked). A divergence means the threaded-code
+         compiler (or the interpreter) miscomputed a value or a tag. *)
+      List.iter
+        (fun other ->
+          let ename = Rv32.Core.engine_name other in
+          let other_vpp, _ =
+            Oracle.run_vp ~tracking:true ~engine:other ~policy img
+          in
+          (match Oracle.explain res.Oracle.vpp other_vpp with
+          | Some detail ->
+              acc.a_engine <- acc.a_engine + 1;
+              record_failure cfg acc ~index:i ~kind:"engine-diff"
+                ~detail:
+                  (Printf.sprintf "VP+ %s vs %s: %s"
+                     (Rv32.Core.engine_name base_engine)
+                     ename detail)
+                ~predicate:(fun p ->
+                  try
+                    let img = Prog.assemble p in
+                    let a, _ =
+                      Oracle.run_vp ~tracking:true ~engine:base_engine
+                        ~policy img
+                    in
+                    let b, _ =
+                      Oracle.run_vp ~tracking:true ~engine:other ~policy img
+                    in
+                    not (Oracle.agree a b)
+                  with _ -> false)
+                prog
+          | None -> ());
+          let other_vp, _ =
+            Oracle.run_vp ~tracking:false ~engine:other img
+          in
+          match Oracle.explain res.Oracle.vp other_vp with
+          | Some detail ->
+              acc.a_engine <- acc.a_engine + 1;
+              record_failure cfg acc ~index:i ~kind:"engine-diff"
+                ~detail:
+                  (Printf.sprintf "VP %s vs %s: %s"
+                     (Rv32.Core.engine_name base_engine)
+                     ename detail)
+                ~predicate:(fun p ->
+                  try
+                    let img = Prog.assemble p in
+                    let a, _ =
+                      Oracle.run_vp ~tracking:false ~engine:base_engine img
+                    in
+                    let b, _ =
+                      Oracle.run_vp ~tracking:false ~engine:other img
+                    in
+                    not (Oracle.agree a b)
+                  with _ -> false)
+                prog
+          | None -> ())
+        cross_engines;
+      (* 8. Fault injection: validate the detect-shrink-report pipeline. *)
       match cfg.inject with
       | Some op when Coverage.count percov op > 0 ->
           acc.a_injected <- acc.a_injected + 1;
@@ -402,6 +475,7 @@ let run ?(config = default) () =
     declass_violations = sum (fun a -> a.a_declass);
     cache_mismatches = sum (fun a -> a.a_cache);
     snapshot_mismatches = sum (fun a -> a.a_snapshot);
+    engine_mismatches = sum (fun a -> a.a_engine);
     injected_hits = sum (fun a -> a.a_injected);
     violations = sum (fun a -> a.a_violations);
     checks = sum (fun a -> a.a_checks);
@@ -418,13 +492,14 @@ let pp_report fmt r =
      purity failures: %d, monotonicity failures: %d, declassification violations: %d@,\
      block-cache mismatches: %d@,\
      snapshot-vs-straight mismatches: %d@,\
+     engine-vs-engine mismatches: %d@,\
      injected-fault hits: %d@,\
      %d clearance checks, %d policy violations recorded (informational)@,\
      harness errors: %d@,%a"
     r.programs r.completed r.golden_mismatches r.transparency_mismatches
     r.purity_failures r.monotonicity_failures r.declass_violations
-    r.cache_mismatches r.snapshot_mismatches r.injected_hits r.checks
-    r.violations r.errors
+    r.cache_mismatches r.snapshot_mismatches r.engine_mismatches
+    r.injected_hits r.checks r.violations r.errors
     Coverage.pp r.coverage;
   List.iter
     (fun f ->

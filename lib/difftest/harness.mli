@@ -33,6 +33,14 @@ type config = {
           uninterrupted run on the same time-sync grid — a differential
           check of the snapshot machinery. Off by default: it roughly
           triples the oracle cost. *)
+  engines : Rv32.Core.engine list;
+      (** Execution engines under test (default [[Threaded]]). The head
+          runs every base oracle leg; each engine in the tail is
+          additionally cross-checked against the head on both VP flavours
+          — byte-identical registers, scratch memory, instret {e and
+          taint tags} — a differential proof of the threaded-code block
+          compiler against the interpreter. Two entries roughly double
+          the VP cost per program. *)
   jobs : int;
       (** Worker domains running shards concurrently (default 1).
           [jobs <= 1] takes the exact sequential code path (no domains
@@ -54,15 +62,16 @@ type config = {
 
 val default : config
 (** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
-    properties every 5th program, no injection, no cache or snapshot
-    differential; sequential ([jobs = 1]), warm-start on, 25-program
-    shards. *)
+    properties every 5th program, no injection, no cache / snapshot /
+    engine differential (engines = [[Threaded]] only); sequential
+    ([jobs = 1]), warm-start on, 25-program shards. *)
 
 type failure = {
   f_kind : string;
       (** ["golden-vs-vp"], ["transparency"], ["purity"], ["monotonicity"],
           ["declassification"], ["cache-vs-nocache"],
-          ["snapshot-vs-straight"] or ["injected:<opcode>"]. *)
+          ["snapshot-vs-straight"], ["engine-diff"] or
+          ["injected:<opcode>"]. *)
   f_detail : string;  (** First observed difference / property message. *)
   f_asm : string;  (** The (shrunk) reproducer as [.s] source. *)
   f_file : string option;  (** Path written, when [shrink_dir] is set. *)
@@ -91,6 +100,9 @@ type report = {
   snapshot_mismatches : int;
       (** Checkpointed vs uninterrupted execution disagreements, counted
           only when [snap_diff] is set (must be 0). *)
+  engine_mismatches : int;
+      (** Engine-vs-engine disagreements (state or tags), counted only
+          when [engines] lists more than one engine (must be 0). *)
   injected_hits : int;  (** Programs the injected fault flagged. *)
   violations : int;  (** Policy violations recorded (informational). *)
   checks : int;  (** Clearance checks performed (informational). *)

@@ -1,6 +1,12 @@
 type stop = Exited of int | Out_of_budget | Trapped
 
-type outcome = { stop : stop; regs : int array; mem : string; instret : int }
+type outcome = {
+  stop : stop;
+  regs : int array;
+  mem : string;
+  instret : int;
+  tags : (int array * int array) option;
+}
 
 type result3 = {
   golden : outcome;
@@ -14,13 +20,20 @@ type result3 = {
 let max_insns = 50_000
 let ram_size = 1 lsl 20
 
+(* Taint state is compared only when both sides observed it (tracked
+   runs); a tracked-vs-untracked comparison stays purely architectural. *)
+let tags_agree a b =
+  match (a.tags, b.tags) with
+  | Some (ra, ma), Some (rb, mb) -> ra = rb && ma = mb
+  | _ -> true
+
 let agree a b =
   match (a.stop, b.stop) with
   | Trapped, Trapped -> true
   | sa, sb ->
       sa = sb && a.regs = b.regs
       && String.equal a.mem b.mem
-      && a.instret = b.instret
+      && a.instret = b.instret && tags_agree a b
 
 let explain a b =
   if agree a b then None
@@ -48,7 +61,31 @@ let explain a b =
           Some
             (Printf.sprintf "scratch[%d]: 0x%02x vs 0x%02x" !j
                (Char.code a.mem.[!j]) (Char.code b.mem.[!j]))
-        else Some (Printf.sprintf "instret: %d vs %d" a.instret b.instret)
+        else if a.instret <> b.instret then
+          Some (Printf.sprintf "instret: %d vs %d" a.instret b.instret)
+        else
+          match (a.tags, b.tags) with
+          | Some (ra, mb1), Some (rb, mb2) ->
+              let reg_diff = ref None in
+              for i = 31 downto 1 do
+                if ra.(i) <> rb.(i) then reg_diff := Some i
+              done;
+              (match !reg_diff with
+              | Some i ->
+                  Some
+                    (Printf.sprintf "tag of %s: %d vs %d" (Rv32.Reg.name i)
+                       ra.(i) rb.(i))
+              | None ->
+                  let j = ref 0 in
+                  while !j < Array.length mb1 && mb1.(!j) = mb2.(!j) do
+                    incr j
+                  done;
+                  if !j < Array.length mb1 then
+                    Some
+                      (Printf.sprintf "tag of scratch[%d]: %d vs %d" !j
+                         mb1.(!j) mb2.(!j))
+                  else None)
+          | _ -> None
 
 let buf_window img =
   let buf = Rv32_asm.Image.symbol img "buf" in
@@ -72,7 +109,7 @@ let run_golden img =
   let regs = Array.init 32 (fun i -> if i = 0 then 0 else Rv32.Golden.reg g i) in
   let buf, len = buf_window img in
   let mem = String.init len (fun i -> Char.chr (Rv32.Golden.mem_byte g (buf + i))) in
-  { stop; regs; mem; instret = n }
+  { stop; regs; mem; instret = n; tags = None }
 
 let unrestricted_policy () =
   let lat = Dift.Lattice.make_exn ~classes:[ "ANY" ] ~flows:[] in
@@ -93,8 +130,8 @@ let warm_boot () =
   let soc = Vp.Soc.create ~policy ~monitor ~tracking:false () in
   Vp.Soc.boot_snapshot soc
 
-let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
-    ?tracer ?quantum ?warm img =
+let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?engine ?policy
+    ?trace ?tracer ?quantum ?warm img =
   let policy =
     match policy with Some p -> p | None -> unrestricted_policy ()
   in
@@ -102,8 +139,8 @@ let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
     Dift.Monitor.create ~mode:Dift.Monitor.Record policy.Dift.Policy.lattice
   in
   let soc =
-    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?tracer
-      ?quantum ()
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?engine
+      ?tracer ?quantum ()
   in
   (match warm with Some blob -> Vp.Soc.warm_start soc blob | None -> ());
   Vp.Soc.load_image soc img;
@@ -123,7 +160,16 @@ let run_vp ~tracking ?(block_cache = true) ?(fast_path = true) ?policy ?trace
   let mem =
     String.init len (fun i -> Char.chr (Vp.Memory.read_byte soc.Vp.Soc.memory (base + i)))
   in
-  ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () },
+  let tags =
+    if tracking then
+      Some
+        ( Array.init 32 (fun i ->
+              if i = 0 then 0 else soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag i),
+          Array.init len (fun i ->
+              Vp.Memory.read_tag soc.Vp.Soc.memory (base + i)) )
+    else None
+  in
+  ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret (); tags },
     ( Dift.Monitor.violation_count monitor,
       Dift.Monitor.check_count monitor,
       Dift.Monitor.declassification_count monitor ) )
@@ -182,8 +228,9 @@ let run_vp_snapshot ~tracking ?policy ?(stride = 200) img =
   Vp.Soc.start (fst first);
   match cycle first with
   | exception _ ->
-      ({ stop = Trapped; regs = Array.make 32 0; mem = ""; instret = 0 },
-       !totals)
+      ( { stop = Trapped; regs = Array.make 32 0; mem = ""; instret = 0;
+          tags = None },
+        !totals )
   | soc ->
       let stop =
         match soc.Vp.Soc.cpu.Vp.Soc.cpu_exit () with
@@ -201,13 +248,24 @@ let run_vp_snapshot ~tracking ?policy ?(stride = 200) img =
         String.init len (fun i ->
             Char.chr (Vp.Memory.read_byte soc.Vp.Soc.memory (base + i)))
       in
-      ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () },
+      let tags =
+        if tracking then
+          Some
+            ( Array.init 32 (fun i ->
+                  if i = 0 then 0
+                  else soc.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag i),
+              Array.init len (fun i ->
+                  Vp.Memory.read_tag soc.Vp.Soc.memory (base + i)) )
+        else None
+      in
+      ( { stop; regs; mem; instret = soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ();
+          tags },
         !totals )
 
-let run ?policy ?trace ?warm img =
+let run ?engine ?policy ?trace ?warm img =
   let golden = run_golden img in
-  let vp, _ = run_vp ~tracking:false ?warm img in
+  let vp, _ = run_vp ~tracking:false ?engine ?warm img in
   let vpp, (violations, checks, declassifications) =
-    run_vp ~tracking:true ?policy ?trace img
+    run_vp ~tracking:true ?engine ?policy ?trace img
   in
   { golden; vp; vpp; violations; checks; declassifications }

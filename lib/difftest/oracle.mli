@@ -16,6 +16,11 @@ type outcome = {
   regs : int array;  (** x1..x31 at indices 1..31 (index 0 unused). *)
   mem : string;  (** The scratch buffer bytes. *)
   instret : int;
+  tags : (int array * int array) option;
+      (** Taint state of a tracked run: (register tags x1..x31 at indices
+          1..31, per-byte tags of the scratch buffer). [None] on the
+          golden model and untracked runs; {!agree} compares tags only
+          when both sides carry them. *)
 }
 
 type result3 = {
@@ -31,8 +36,9 @@ val max_insns : int
 (** Per-run instruction budget (shared by all three models). *)
 
 val agree : outcome -> outcome -> bool
-(** Full architectural agreement. Two [Trapped] outcomes agree regardless
-    of post-trap state (the models stop at different points of the trap
+(** Full architectural agreement — including taint tags when both
+    outcomes carry them. Two [Trapped] outcomes agree regardless of
+    post-trap state (the models stop at different points of the trap
     path). *)
 
 val explain : outcome -> outcome -> string option
@@ -59,6 +65,7 @@ val run_vp :
   tracking:bool ->
   ?block_cache:bool ->
   ?fast_path:bool ->
+  ?engine:Rv32.Core.engine ->
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
   ?tracer:Trace.Tracer.t ->
@@ -72,7 +79,9 @@ val run_vp :
     mode so checks never alter execution. [block_cache] / [fast_path]
     (default true) forward to {!Vp.Soc.create} — run with
     [~block_cache:false] to get a reference single-step execution for
-    cache-vs-nocache differential testing. [tracer] attaches the tracing
+    cache-vs-nocache differential testing. [engine] selects the core's
+    execution engine (default {!Rv32.Core.Threaded}) for engine-vs-engine
+    differential testing. [tracer] attaches the tracing
     subsystem to the SoC (forensic replay of reproducers). [quantum]
     forwards to {!Vp.Soc.create} (snapshot-vs-straight comparisons need
     both runs on the same time-sync grid). [warm] stamps a boot snapshot
@@ -99,13 +108,16 @@ val run_vp_snapshot :
     Monitor counters are summed across segments. *)
 
 val run :
+  ?engine:Rv32.Core.engine ->
   ?policy:Dift.Policy.t ->
   ?trace:(int -> Rv32.Insn.t -> unit) ->
   ?warm:warm ->
   Rv32_asm.Image.t ->
   result3
-(** All three models. [policy] applies to the VP+ run only (the plain VP
-    runs check-free on the same lattice); [trace] is installed on the VP+
-    run (coverage); [warm] warm-starts the plain-VP leg from a shared boot
-    snapshot (the VP+ leg always cold-boots: its per-task policy changes
-    the initial tag state). *)
+(** All three models. [engine] selects the execution engine of both VP
+    legs (default {!Rv32.Core.Threaded}); [policy] applies to the VP+ run
+    only (the plain VP runs check-free on the same lattice); [trace] is
+    installed on the VP+ run (coverage); [warm] warm-starts the plain-VP
+    leg from a shared boot snapshot (the VP+ leg always cold-boots: its
+    per-task policy changes the initial tag state — the blob itself is
+    engine-agnostic, it holds only architectural state). *)

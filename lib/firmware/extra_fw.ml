@@ -55,6 +55,59 @@ let crc32_image ?len () =
   crc32 ?len p;
   A.assemble p
 
+(* --- hello world ----------------------------------------------------------- *)
+
+let hello_msg = "hello, world!\n"
+
+(* Char-sum passes between two prints: keeps the UART share of the
+   instruction mix realistic (a few percent) so the workload measures the
+   execution engine, not the TLM transport. *)
+let hello_passes = 8
+
+let hello ?(rounds = 2000) p =
+  (* The classic first program, per the paper's Table II: print the
+     greeting over the UART [rounds] times. Each round also char-sums the
+     message a few times so the run self-checks against the
+     host-computed total. *)
+  let char_sum =
+    String.fold_left (fun a c -> a + Char.code c) 0 hello_msg
+  in
+  let expected = rounds * hello_passes * char_sum land 0xffffffff in
+  Rt.entry p ();
+  A.li p R.s1 rounds;
+  A.li p R.s2 0 (* checksum accumulator *);
+  A.label p "round";
+  A.la p R.a0 "msg";
+  A.call p "uart_puts";
+  A.li p R.s3 hello_passes;
+  A.label p "pass";
+  A.la p R.t0 "msg";
+  A.label p "csum";
+  A.lbu p R.t1 R.t0 0;
+  A.beqz_l p R.t1 "csum_done";
+  A.add p R.s2 R.s2 R.t1;
+  A.addi p R.t0 R.t0 1;
+  A.j p "csum";
+  A.label p "csum_done";
+  A.addi p R.s3 R.s3 (-1);
+  A.bnez_l p R.s3 "pass";
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "round";
+  A.li p R.t0 expected;
+  A.bne_l p R.s2 R.t0 "fail";
+  Rt.exit_ p ();
+  A.label p "fail";
+  Rt.exit_ p ~code:1 ();
+  Rt.emit_uart_putc p;
+  Rt.emit_uart_puts p;
+  A.label p "msg";
+  A.asciz p hello_msg
+
+let hello_image ?rounds () =
+  let p = A.create () in
+  hello ?rounds p;
+  A.assemble p
+
 (* --- integer matrix multiply ---------------------------------------------- *)
 
 let matmul_reference n a b =

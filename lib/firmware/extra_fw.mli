@@ -1,6 +1,10 @@
-(** Additional workloads beyond the paper's Table II set, used by the
-    extended benchmark series and as further ISS coverage:
+(** Small self-checking workloads: the paper's hello-world plus extras
+    beyond the Table II set, used by the benchmark series and as further
+    ISS coverage:
 
+    - {!hello}: the Table II hello-world — print the greeting over the
+      UART [rounds] times, char-summing the message as a self-check (the
+      perf-smoke CI workload);
     - {!crc32}: table-less (bitwise) CRC-32 over a generated buffer,
       checked against the host reference {!crc32_reference};
     - {!matmul}: integer matrix multiply C = A x B with a checksum over C;
@@ -8,6 +12,9 @@
       strings (pointer-chasing heavy).
 
     All exit 0 on success, 1 on a self-check mismatch. *)
+
+val hello : ?rounds:int -> Rv32_asm.Asm.t -> unit
+val hello_image : ?rounds:int -> unit -> Rv32_asm.Image.t
 
 val crc32 : ?len:int -> Rv32_asm.Asm.t -> unit
 val crc32_image : ?len:int -> unit -> Rv32_asm.Image.t

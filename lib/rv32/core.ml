@@ -2,6 +2,21 @@ exception Fatal_trap of { cause : int; pc : int; tval : int }
 
 type exit_reason = Running | Exited of int | Breakpoint | Insn_limit
 
+(* Pluggable execution engines over the same decoded-block cache:
+   [Interp] dispatches blocks through the per-instruction execute loop;
+   [Threaded] compiles each block into a closure chain (threaded code)
+   with pre-resolved operands and an untainted specialization. The two
+   retire identical architectural state, tags, counters and hook streams
+   — pinned by test_threaded and the difftest engine-diff leg. *)
+type engine = Interp | Threaded
+
+let engine_name = function Interp -> "interp" | Threaded -> "threaded"
+
+let engine_of_string = function
+  | "interp" | "interpreter" -> Some Interp
+  | "threaded" -> Some Threaded
+  | _ -> None
+
 module type MODE = sig
   val tracking : bool
 end
@@ -19,6 +34,7 @@ module type S = sig
     ?quantum:int ->
     ?block_cache:bool ->
     ?fast_path:bool ->
+    ?engine:engine ->
     pc:int ->
     unit ->
     t
@@ -75,23 +91,28 @@ type block = {
 
 let max_block_insns = 32
 
-(* Excluded from blocks entirely: rare, complex side effects (traps, wfi,
-   CSR traffic), executed via the slow single-step path. *)
-let block_breaker = function
-  | Insn.FENCE | Insn.ECALL | Insn.EBREAK | Insn.MRET | Insn.WFI
-  | Insn.CSRRW _ | Insn.CSRRS _ | Insn.CSRRC _
-  | Insn.CSRRWI _ | Insn.CSRRSI _ | Insn.CSRRCI _
-  | Insn.ILLEGAL _ -> true
-  | _ -> false
-
-(* Included as a block's last instruction. *)
-let block_ender = function
-  | Insn.JAL _ | Insn.JALR _
-  | Insn.BEQ _ | Insn.BNE _ | Insn.BLT _ | Insn.BGE _
-  | Insn.BLTU _ | Insn.BGEU _ -> true
-  | _ -> false
+(* Block membership is classified next to the decoder so both engines
+   build identical blocks. *)
+let block_breaker insn = Decode.block_class insn = Decode.Breaker
+let block_ender insn = Decode.block_class insn = Decode.Ender
 
 module Make (M : MODE) = struct
+  (* A basic block compiled to threaded code (see [compile_block]): one
+     closure per instruction with operands pre-resolved, chained
+     tail-first so executing the block is a single indirect call.
+     [cb_full] is the full-semantics variant (tag plumbing per the
+     flavour); [cb_fast] is the untainted specialization with all tag
+     code compiled out, present only for blocks whose every word carries
+     the bottom tag on cores where the fast path is enabled. A breaker-led
+     block is stored with [cb_n = 0] so the dispatcher falls back to
+     {!step} without re-probing. *)
+  type cblock = {
+    cb_pc : int;
+    cb_n : int;
+    cb_full : unit -> unit;
+    cb_fast : (unit -> unit) option;
+  }
+
   type t = {
     kernel : Sysc.Kernel.t;
     bus : Bus_if.t;
@@ -122,17 +143,29 @@ module Make (M : MODE) = struct
        cached code must call {!flush_code} (wired from Bus_if and the
        SoC memory model). *)
     use_blocks : bool;
-    blocks : block option array;  (* [||] when disabled *)
+    engine : engine;
+    blocks : block option array;  (* Interp engine; [||] when disabled *)
+    cblocks : cblock option array;  (* Threaded engine; [||] when disabled *)
     blk_base : int;
     blk_limit : int;
     mutable code_lo : int;  (* byte range ever covered by built blocks *)
     mutable code_hi : int;
     mutable flush_epoch : int;
+    (* [flush_epoch] at entry of the currently running compiled chain;
+       compiled instructions stop the chain when the two diverge (the
+       threaded engine's equivalent of exec_block's epoch0). *)
+    mutable chain_epoch : int;
     (* Untainted fast path (tracking mode): when enabled and the current
        block is b_fast with all register tags at bottom, tag propagation
        and clearance checks are skipped — they can only produce bottom tags
        and passing checks. [fast] is true only while such a block runs. *)
     fast_enabled : bool;
+    (* Whether the threaded compiler may emit the value-only specialized
+       variant. Tracked cores inherit [fast_enabled]; untracked cores get
+       it whenever the fast path is configured on — with no tags anywhere
+       the specialization is exact semantics, not an optimistic gamble,
+       so it needs no per-entry tag precondition and never falls back. *)
+    fast_spec : bool;
     mutable fast : bool;
     mutable n_blocks : int;
     mutable n_fast : int;
@@ -173,19 +206,30 @@ module Make (M : MODE) = struct
       let hi = min last t.blk_limit in
       if lo <= hi then begin
         let i0 = (lo - t.blk_base) lsr 2 and i1 = (hi - t.blk_base) lsr 2 in
-        for i = i0 to i1 do
-          match Array.unsafe_get t.blocks i with
-          | Some b ->
-              let words = max 1 (Array.length b.b_insns) in
-              if b.b_pc + (4 * words) - 1 >= addr then
-                Array.unsafe_set t.blocks i None
-          | None -> ()
-        done
+        if Array.length t.blocks > 0 then
+          for i = i0 to i1 do
+            match Array.unsafe_get t.blocks i with
+            | Some b ->
+                let words = max 1 (Array.length b.b_insns) in
+                if b.b_pc + (4 * words) - 1 >= addr then
+                  Array.unsafe_set t.blocks i None
+            | None -> ()
+          done;
+        if Array.length t.cblocks > 0 then
+          for i = i0 to i1 do
+            match Array.unsafe_get t.cblocks i with
+            | Some cb ->
+                let words = max 1 cb.cb_n in
+                if cb.cb_pc + (4 * words) - 1 >= addr then
+                  Array.unsafe_set t.cblocks i None
+            | None -> ()
+          done
       end
     end
 
   let create ~kernel ~bus ~policy ~monitor ?(cycle_time = Sysc.Time.ns 10)
-      ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true) ~pc () =
+      ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
+      ?(engine = Threaded) ~pc () =
     let pc_cache_base, pc_cache_words, pc_cache_insns =
       match Bus_if.dmi_range bus with
       | Some (base, limit) ->
@@ -199,11 +243,24 @@ module Make (M : MODE) = struct
       | Some b -> b
       | None -> policy.Dift.Policy.default_tag
     in
-    let blocks, blk_base, blk_limit =
+    let cache_entries, blk_base, blk_limit =
       match Bus_if.dmi_range bus with
       | Some (base, limit) when block_cache ->
-          (Array.make (((limit - base) / 4) + 1) None, base, limit)
-      | Some _ | None -> ([||], 0, -1)
+          (((limit - base) / 4) + 1, base, limit)
+      | Some _ | None -> (0, 0, -1)
+    in
+    (* Each engine keeps its own cache of derived block state: decoded
+       blocks for the interpreter, compiled closure chains for the
+       threaded engine. Only the selected engine's array is allocated. *)
+    let blocks =
+      if cache_entries > 0 && engine = Interp then
+        Array.make cache_entries None
+      else [||]
+    in
+    let cblocks : cblock option array =
+      if cache_entries > 0 && engine = Threaded then
+        Array.make cache_entries None
+      else [||]
     in
     (* The fast path is sound only if the bottom tag passes every check the
        engine could skip: the execution clearances and all store-integrity
@@ -214,14 +271,16 @@ module Make (M : MODE) = struct
       | None -> true
     in
     let fast_enabled =
-      M.tracking && fast_path
-      && Array.length blocks > 0
+      M.tracking && fast_path && cache_entries > 0
       && pub_flows_to policy.Dift.Policy.exec_fetch
       && pub_flows_to policy.Dift.Policy.exec_branch
       && pub_flows_to policy.Dift.Policy.exec_mem_addr
       && List.for_all
            (fun r -> Dift.Lattice.allowed_flow lat pub r.Dift.Policy.r_tag)
            policy.Dift.Policy.store_clearance
+    in
+    let fast_spec =
+      if M.tracking then fast_enabled else fast_path && cache_entries > 0
     in
     let t =
       {
@@ -246,14 +305,18 @@ module Make (M : MODE) = struct
         pc_cache_base;
         pc_cache_words;
         pc_cache_insns;
-        use_blocks = Array.length blocks > 0;
+        use_blocks = cache_entries > 0;
+        engine;
         blocks;
+        cblocks;
         blk_base;
         blk_limit;
         code_lo = max_int;
         code_hi = min_int;
         flush_epoch = 0;
+        chain_epoch = 0;
         fast_enabled;
+        fast_spec;
         fast = false;
         n_blocks = 0;
         n_fast = 0;
@@ -303,7 +366,16 @@ module Make (M : MODE) = struct
   let halt t reason =
     if t.exit_reason = Running then t.exit_reason <- reason
 
-  let set_trace t fn = t.trace <- fn
+  (* Compiled chains capture the hook value at compile time (the common
+     no-hook case pays nothing per instruction), so changing it must drop
+     every compiled block and stop any running chain; the interpreter
+     reads [t.trace] dynamically and needs neither. *)
+  let set_trace t fn =
+    t.trace <- fn;
+    if Array.length t.cblocks > 0 then begin
+      t.flush_epoch <- t.flush_epoch + 1;
+      Array.fill t.cblocks 0 (Array.length t.cblocks) None
+    end
   let set_merge_hook t fn = t.on_merge <- fn
   let blocks_built t = t.n_blocks
   let fast_retired t = t.n_fast
@@ -850,6 +922,425 @@ module Make (M : MODE) = struct
         if Array.length b.b_insns = 0 then step t else exec_block t b
     end
 
+  (* --- Threaded-code block compiler ---------------------------------- *)
+
+  (* The threaded engine compiles each decoded block into a chain of
+     closures, one per instruction, with register indices, immediates and
+     fetch tags pre-resolved at compile time. Closures are chained
+     tail-first (instruction [i] captures instruction [i+1]'s closure), so
+     running a block is a single indirect call. Every chain stop condition
+     of {!exec_block} is compiled into the guards below; the retirement
+     protocol (cur_pc / fetch bookkeeping / trace / instret / pc update)
+     is replicated exactly so both engines produce identical architectural
+     state, tags, counters, hook streams and snapshots — pinned by
+     test_threaded and the difftest engine-diff leg. *)
+
+  (* Stop conditions checked before every chained instruction except the
+     first (mirrors exec_block's [!i > 0] guard; the dispatcher itself
+     re-checks them between blocks, and never stop-checking the head keeps
+     quantum = 0 configurations live). *)
+  let chain_stalled t =
+    t.instret >= t.max_insns
+    || t.exit_reason <> Running
+    || t.local_cycles >= t.quantum
+    || t.flush_epoch <> t.chain_epoch
+    || interrupt_pending t
+
+  (* Full-semantics variant: the retirement shell is compiled per
+     instruction (pc, word and fetch tag are constants); the body shares
+     {!execute}, whose operands were pre-resolved by decoding, so tag
+     propagation and clearance checks are identical to the interpreter by
+     construction. Runs only with [t.fast] false (block entry either took
+     the fast chain or this one). *)
+  let compile_full t ~guarded ~pc0 ~word ~itag ~insn ~next =
+    let next_pc = mask32 (pc0 + 4) in
+    (* Captured at compile time; set_trace drops compiled blocks. *)
+    let traced = t.trace in
+    fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        if M.tracking then begin
+          t.insn_word <- word;
+          t.insn_tag <- itag;
+          check_fetch t itag
+        end;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        (try execute t insn with Exit -> ());
+        if t.pc = next_pc then next ()
+      end
+
+  (* Untainted specialization (tracking mode): entered only when every
+     cached word and every register carries the bottom tag, so all tag
+     plumbing — propagation, lub merges, clearance checks — is compiled
+     out, not just skipped. Only a load can break the invariant
+     mid-block: a non-bottom loaded tag drops [t.fast] and the chain
+     falls through to the full variant's next closure. Bodies replicate
+     {!execute} value semantics with operands and targets folded into
+     the closure. *)
+  let compile_fast t ~guarded ~pc0 ~insn ~next ~fallback =
+    let open Insn in
+    let regs = t.regs and rtags = t.rtags in
+    let next_pc = mask32 (pc0 + 4) in
+    (* The per-instruction hook is specialized at compile time — the
+       common no-hook case pays nothing per retired instruction.
+       {!set_trace} drops every compiled block, so a chain can never
+       outlive the hook value it captured. *)
+    let traced = t.trace in
+    (* Retirement bookkeeping is written out inline in every shape below
+       rather than shared through a [retire] closure: without flambda a
+       shared closure costs an extra indirect call on every retired
+       instruction, which is a measurable slice of the margin this
+       engine exists to win. Register indices come from 5-bit decode
+       fields, so unsafe accesses on the 32-entry files are in bounds by
+       construction. *)
+    (* Straight-line ops cannot redirect control: continue unconditionally. *)
+    let straight body =
+     fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        t.n_fast <- t.n_fast + 1;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        body ();
+        next ()
+      end
+    in
+    (* Taken branches / jumps landing exactly on [next_pc] continue the
+       chain, exactly like exec_block's pc test. *)
+    let cond_branch cond tgt =
+     fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        t.n_fast <- t.n_fast + 1;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        if cond () then begin
+          t.pc <- tgt;
+          if tgt = next_pc then next ()
+        end
+        else next ()
+      end
+    in
+    (* Loads keep their side effect even for rd = x0; a tainted result
+       ends the specialization and resumes on the full chain. A faulting
+       load traps exactly like {!do_load} (the trap itself cannot taint:
+       CSR tags are written as bottom). *)
+    let load width sext rd rs1 off =
+     fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        t.n_fast <- t.n_fast + 1;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        let addr = mask32 (Array.unsafe_get regs rs1 + off) in
+        (try
+           let v = sext (Bus_if.load t.bus ~width ~addr) in
+           if rd <> 0 then begin
+             Array.unsafe_set regs rd (mask32 v);
+             if M.tracking then begin
+               let tag = Bus_if.last_tag t.bus in
+               if tag <> t.pub then begin
+                 Array.unsafe_set rtags rd tag;
+                 t.fast <- false
+               end
+             end
+           end
+         with Bus_if.Bus_error _ ->
+           trap t ~cause:Csr.cause_load_fault ~tval:addr;
+           t.insn_tag <- t.pub);
+        if t.pc = next_pc then if t.fast then next () else fallback ()
+      end
+    in
+    (* Stores cannot taint registers; the written tag is bottom by the
+       fast-path invariant (rs2's tag is bottom whenever this runs). *)
+    let store width rs1 rs2 off =
+     fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        t.n_fast <- t.n_fast + 1;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        let addr = mask32 (Array.unsafe_get regs rs1 + off) in
+        (try
+           Bus_if.store t.bus ~width ~addr
+             ~value:(Array.unsafe_get regs rs2)
+             ~tag:t.pub
+         with Bus_if.Bus_error _ ->
+           trap t ~cause:Csr.cause_store_fault ~tval:addr);
+        if t.pc = next_pc then next ()
+      end
+    in
+    let sext8 v = if v land 0x80 <> 0 then v lor 0xffffff00 else v in
+    let sext16 v = if v land 0x8000 <> 0 then v lor 0xffff0000 else v in
+    let id v = v in
+    match insn with
+    | LUI (rd, imm) ->
+        let v = mask32 imm in
+        straight (fun () -> if rd <> 0 then regs.(rd) <- v)
+    | AUIPC (rd, imm) ->
+        let v = mask32 (pc0 + imm) in
+        straight (fun () -> if rd <> 0 then regs.(rd) <- v)
+    | JAL (rd, off) ->
+        let tgt = mask32 (pc0 + off) in
+        fun () ->
+          if (not guarded) || not (chain_stalled t) then begin
+            t.cur_pc <- pc0;
+            t.n_fast <- t.n_fast + 1;
+            (match traced with Some f -> f pc0 insn | None -> ());
+            t.instret <- t.instret + 1;
+            t.local_cycles <- t.local_cycles + 1;
+            if rd <> 0 then regs.(rd) <- next_pc;
+            t.pc <- tgt;
+            if tgt = next_pc then next ()
+          end
+    | JALR (rd, rs1, off) ->
+        fun () ->
+          if (not guarded) || not (chain_stalled t) then begin
+            t.cur_pc <- pc0;
+            t.n_fast <- t.n_fast + 1;
+            (match traced with Some f -> f pc0 insn | None -> ());
+            t.instret <- t.instret + 1;
+            t.local_cycles <- t.local_cycles + 1;
+            (* Target before link write: rd may alias rs1. *)
+            let tgt = mask32 (regs.(rs1) + off) land lnot 1 in
+            if rd <> 0 then regs.(rd) <- next_pc;
+            t.pc <- tgt;
+            if tgt = next_pc then next ()
+          end
+    | BEQ (a, b, off) ->
+        cond_branch (fun () -> regs.(a) = regs.(b)) (mask32 (pc0 + off))
+    | BNE (a, b, off) ->
+        cond_branch (fun () -> regs.(a) <> regs.(b)) (mask32 (pc0 + off))
+    | BLT (a, b, off) ->
+        cond_branch
+          (fun () -> signed regs.(a) < signed regs.(b))
+          (mask32 (pc0 + off))
+    | BGE (a, b, off) ->
+        cond_branch
+          (fun () -> signed regs.(a) >= signed regs.(b))
+          (mask32 (pc0 + off))
+    | BLTU (a, b, off) ->
+        cond_branch (fun () -> regs.(a) < regs.(b)) (mask32 (pc0 + off))
+    | BGEU (a, b, off) ->
+        cond_branch (fun () -> regs.(a) >= regs.(b)) (mask32 (pc0 + off))
+    | LB (rd, rs1, off) -> load 1 sext8 rd rs1 off
+    | LH (rd, rs1, off) -> load 2 sext16 rd rs1 off
+    | LW (rd, rs1, off) -> load 4 id rd rs1 off
+    | LBU (rd, rs1, off) -> load 1 id rd rs1 off
+    | LHU (rd, rs1, off) -> load 2 id rd rs1 off
+    | SB (rs1, rs2, off) -> store 1 rs1 rs2 off
+    | SH (rs1, rs2, off) -> store 2 rs1 rs2 off
+    | SW (rs1, rs2, off) -> store 4 rs1 rs2 off
+    | ADDI (rd, rs1, imm) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (regs.(rs1) + imm))
+    | SLTI (rd, rs1, imm) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- (if signed regs.(rs1) < imm then 1 else 0))
+    | SLTIU (rd, rs1, imm) ->
+        let imm = mask32 imm in
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- (if regs.(rs1) < imm then 1 else 0))
+    | XORI (rd, rs1, imm) ->
+        let imm = mask32 imm in
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(rs1) lxor imm)
+    | ORI (rd, rs1, imm) ->
+        let imm = mask32 imm in
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(rs1) lor imm)
+    | ANDI (rd, rs1, imm) ->
+        let imm = mask32 imm in
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(rs1) land imm)
+    | SLLI (rd, rs1, sh) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (regs.(rs1) lsl sh))
+    | SRLI (rd, rs1, sh) ->
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(rs1) lsr sh)
+    | SRAI (rd, rs1, sh) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (signed regs.(rs1) asr sh))
+    | ADD (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (regs.(a) + regs.(b)))
+    | SUB (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (regs.(a) - regs.(b)))
+    | SLL (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- mask32 (regs.(a) lsl (regs.(b) land 31)))
+    | SLT (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              regs.(rd) <- (if signed regs.(a) < signed regs.(b) then 1 else 0))
+    | SLTU (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- (if regs.(a) < regs.(b) then 1 else 0))
+    | XOR (rd, a, b) ->
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(a) lxor regs.(b))
+    | SRL (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then regs.(rd) <- regs.(a) lsr (regs.(b) land 31))
+    | SRA (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              regs.(rd) <- mask32 (signed regs.(a) asr (regs.(b) land 31)))
+    | OR (rd, a, b) ->
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(a) lor regs.(b))
+    | AND (rd, a, b) ->
+        straight (fun () -> if rd <> 0 then regs.(rd) <- regs.(a) land regs.(b))
+    | MUL (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              let p =
+                Int64.mul (Int64.of_int regs.(a)) (Int64.of_int regs.(b))
+              in
+              regs.(rd) <- Int64.to_int p land 0xffffffff)
+    | MULH (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              let p =
+                Int64.mul
+                  (Int64.of_int (signed regs.(a)))
+                  (Int64.of_int (signed regs.(b)))
+              in
+              regs.(rd) <- Int64.to_int (Int64.shift_right p 32) land 0xffffffff)
+    | MULHSU (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              let p =
+                Int64.mul (Int64.of_int (signed regs.(a))) (Int64.of_int regs.(b))
+              in
+              regs.(rd) <- Int64.to_int (Int64.shift_right p 32) land 0xffffffff)
+    | MULHU (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              let p =
+                Int64.mul (Int64.of_int regs.(a)) (Int64.of_int regs.(b))
+              in
+              regs.(rd) <-
+                Int64.to_int (Int64.shift_right_logical p 32) land 0xffffffff)
+    | DIV (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then begin
+              let x = signed regs.(a) and y = signed regs.(b) in
+              let q =
+                if y = 0 then -1
+                else if x = -0x80000000 && y = -1 then -0x80000000
+                else x / y
+              in
+              regs.(rd) <- mask32 q
+            end)
+    | DIVU (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              regs.(rd) <-
+                (if regs.(b) = 0 then 0xffffffff else regs.(a) / regs.(b)))
+    | REM (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then begin
+              let x = signed regs.(a) and y = signed regs.(b) in
+              let r =
+                if y = 0 then x
+                else if x = -0x80000000 && y = -1 then 0
+                else x mod y
+              in
+              regs.(rd) <- mask32 r
+            end)
+    | REMU (rd, a, b) ->
+        straight (fun () ->
+            if rd <> 0 then
+              regs.(rd) <-
+                (if regs.(b) = 0 then regs.(a) else regs.(a) mod regs.(b)))
+    | FENCE | ECALL | EBREAK | MRET | WFI
+    | CSRRW _ | CSRRS _ | CSRRC _ | CSRRWI _ | CSRRSI _ | CSRRCI _
+    | ILLEGAL _ ->
+        (* Breakers never enter a block (see build_block). *)
+        invalid_arg "compile_fast: breaker instruction in block"
+
+  let chain_terminator () = ()
+
+  let compile_block t (b : block) =
+    let n = Array.length b.b_insns in
+    if n = 0 then
+      { cb_pc = b.b_pc; cb_n = 0; cb_full = chain_terminator; cb_fast = None }
+    else begin
+      (* Built backwards so each closure captures its successor; slot [n]
+         is the end-of-block terminator. *)
+      let full = Array.make (n + 1) chain_terminator in
+      for i = n - 1 downto 0 do
+        let itag = if M.tracking then b.b_tags.(i) else t.pub in
+        full.(i) <-
+          compile_full t ~guarded:(i > 0)
+            ~pc0:(b.b_pc + (4 * i))
+            ~word:b.b_words.(i) ~itag ~insn:b.b_insns.(i)
+            ~next:full.(i + 1)
+      done;
+      let cb_fast =
+        if t.fast_spec && b.b_fast then begin
+          let fast = Array.make (n + 1) chain_terminator in
+          for i = n - 1 downto 0 do
+            fast.(i) <-
+              compile_fast t ~guarded:(i > 0)
+                ~pc0:(b.b_pc + (4 * i))
+                ~insn:b.b_insns.(i)
+                ~next:fast.(i + 1)
+                ~fallback:full.(i + 1)
+          done;
+          Some fast.(0)
+        end
+        else None
+      in
+      { cb_pc = b.b_pc; cb_n = n; cb_full = full.(0); cb_fast }
+    end
+
+  (* Threaded-engine scheduling round: same structure as {!dispatch}, but
+     a cache hit invokes the compiled chain instead of interpreting the
+     block. The fast/full decision is made once per block entry, exactly
+     like exec_block's fast-path gate. *)
+  let dispatch_threaded t =
+    if interrupt_pending t then take_interrupt t
+    else begin
+      let pc0 = t.pc in
+      let idx = (pc0 - t.blk_base) lsr 2 in
+      if pc0 land 3 <> 0 || idx >= Array.length t.cblocks then step t
+      else
+        let cb =
+          match Array.unsafe_get t.cblocks idx with
+          | Some cb -> cb
+          | None ->
+              let cb = compile_block t (build_block t pc0) in
+              Array.unsafe_set t.cblocks idx (Some cb);
+              cb
+        in
+        if cb.cb_n = 0 then step t
+        else begin
+          t.chain_epoch <- t.flush_epoch;
+          match cb.cb_fast with
+          | Some f
+            when (not M.tracking)
+                 || (regs_all_pub t && Dift.Monitor.fast_path_ok t.monitor) ->
+              t.fast <- true;
+              (* LUI/AUIPC/JAL/JALR read the fetch tag through insn_tag. *)
+              t.insn_tag <- t.pub;
+              (try f ()
+               with e ->
+                 t.fast <- false;
+                 raise e);
+              t.fast <- false
+          | _ -> cb.cb_full ()
+        end
+    end
+
   let unhalt t = t.exit_reason <- Running
 
   let set_pause_at t n = t.pause_at <- n
@@ -880,6 +1371,14 @@ module Make (M : MODE) = struct
     end
 
   let spawn_thread ?(stop_kernel_on_halt = true) t =
+    (* One scheduling round of the selected execution engine. *)
+    let round =
+      if not t.use_blocks then step
+      else
+        match t.engine with
+        | Interp -> dispatch
+        | Threaded -> dispatch_threaded
+    in
     Sysc.Kernel.spawn t.kernel ~name:"cpu" (fun () ->
         if t.syncing then begin
           (* Restored from a snapshot taken at a sync boundary: the wakeup
@@ -899,7 +1398,7 @@ module Make (M : MODE) = struct
           end
           else if t.instret >= t.max_insns then halt t Insn_limit
           else begin
-            if t.use_blocks then dispatch t else step t;
+            round t;
             if t.local_cycles >= t.quantum then sync_time t
           end
         done;

@@ -24,10 +24,20 @@
       and dispatched from pre-decoded arrays; stores into cached code
       (self-modifying code via the CPU, DMA via the memory model) invalidate
       overlapping blocks through {!flush_code};
+    - two pluggable execution {!engine}s over that cache, selected at
+      [create] time: [Interp] runs cached blocks through the
+      per-instruction execute loop; [Threaded] (the default) compiles each
+      block into a chain of closures — one per instruction, operands
+      pre-resolved, chained tail-first — with an untainted specialization
+      per block whose tag plumbing is compiled out entirely. Both engines
+      retire identical architectural state, tags, counters, hook streams
+      and snapshots (pinned by [test_threaded] and the difftest
+      engine-differential leg);
     - an untainted fast path (VP+ only): while every live register tag and
       every fetched word's tag is the lattice bottom and the bottom tag
       passes all static clearances, tag propagation and monitor checks are
-      skipped; the first non-bottom tag re-enables full tracking. Violation
+      skipped (interpreter) or compiled out (threaded engine); the first
+      non-bottom tag re-enables full tracking mid-block. Violation
       behaviour and final tag state are unchanged; only
       {!Dift.Monitor.check_count} undercounts (harnesses that need exact
       check accounting veto it via {!Dift.Monitor.set_fast_path_ok}). *)
@@ -41,6 +51,20 @@ type exit_reason =
   | Exited of int  (** Firmware called the exit ecall (a7=93, code in a0). *)
   | Breakpoint  (** [ebreak] executed. *)
   | Insn_limit  (** The configured instruction budget was exhausted. *)
+
+type engine =
+  | Interp
+      (** Dispatch cached blocks through the per-instruction execute
+          loop. *)
+  | Threaded
+      (** Compile each cached block into a threaded-code closure chain
+          with an untainted specialization (default). *)
+
+val engine_name : engine -> string
+(** ["interp"] / ["threaded"] — stable names for CLIs and bench rows. *)
+
+val engine_of_string : string -> engine option
+(** Inverse of {!engine_name} (also accepts ["interpreter"]). *)
 
 module type MODE = sig
   val tracking : bool
@@ -58,6 +82,7 @@ module type S = sig
     ?quantum:int ->
     ?block_cache:bool ->
     ?fast_path:bool ->
+    ?engine:engine ->
     pc:int ->
     unit ->
     t
@@ -66,7 +91,10 @@ module type S = sig
       synchronising with the kernel (default 1000, loosely-timed style).
       [block_cache] (default true) enables the decoded basic-block cache
       (requires a DMI region); [fast_path] (default true) enables the
-      untainted fast path on top of it (tracking flavour only). *)
+      untainted fast path on top of it (tracking flavour only).
+      [engine] (default [Threaded]) selects how cached blocks are
+      executed; with [block_cache] off (or no DMI region) both engines
+      degrade to single-stepping and the choice is irrelevant. *)
 
   (** {1 Architectural state} *)
 
@@ -181,12 +209,17 @@ module type S = sig
   val save : t -> Snapshot.Codec.writer -> unit
   (** Serialise the architectural state: registers and their taint tags,
       [pc], in-flight instruction word/tag, [instret], wfi/sync flags,
-      exit reason, and all CSR values and tags. Decoded-block and decode
-      caches are rebuilt on demand and are not saved. *)
+      exit reason, and all CSR values and tags. Decoded-block, compiled
+      threaded-code and decode caches are derived state, rebuilt on
+      demand, and are not saved. *)
 
   val load : t -> Snapshot.Codec.reader -> unit
-  (** Restore state written by [save] into a freshly created core of the
-      same configuration, before {!spawn_thread}. *)
+  (** Restore state written by [save] into a freshly created core, before
+      {!spawn_thread}. The target core may use a different {!engine} or
+      [block_cache] setting than the one that saved: the snapshot holds
+      only architectural state, and both engines produce identical
+      snapshots at identical instruction counts (pinned by the
+      cross-engine case in [test_snapshot]). *)
 end
 
 module Make (_ : MODE) : S

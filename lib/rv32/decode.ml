@@ -111,3 +111,24 @@ let decode w =
       | 7 -> CSRRCI (rd, rs1, csr)
       | _ -> ILLEGAL w)
   | _ -> ILLEGAL w
+
+(* --- Block classification ---------------------------------------------
+
+   Which decoded instructions the basic-block machinery (Core's decoded
+   block cache and the threaded-code compiler) may cache, shared by both
+   execution engines so they build identical blocks. *)
+
+type block_class = Straight | Ender | Breaker
+
+let block_class = function
+  (* Excluded from blocks entirely: rare, complex side effects (traps,
+     wfi, CSR traffic), always executed via the slow single-step path. *)
+  | Insn.FENCE | Insn.ECALL | Insn.EBREAK | Insn.MRET | Insn.WFI
+  | Insn.CSRRW _ | Insn.CSRRS _ | Insn.CSRRC _
+  | Insn.CSRRWI _ | Insn.CSRRSI _ | Insn.CSRRCI _
+  | Insn.ILLEGAL _ -> Breaker
+  (* Control transfers end a block and are its last instruction. *)
+  | Insn.JAL _ | Insn.JALR _
+  | Insn.BEQ _ | Insn.BNE _ | Insn.BLT _ | Insn.BGE _
+  | Insn.BLTU _ | Insn.BGEU _ -> Ender
+  | _ -> Straight

@@ -8,3 +8,17 @@ val decode : int -> Insn.t
 val sext : width:int -> int -> int
 (** Sign-extend the low [width] bits of a value (exposed for the assembler
     and tests). *)
+
+(** {1 Block classification}
+
+    How an instruction behaves inside a decoded basic block; shared by
+    the interpreter's block cache and the threaded-code compiler in
+    {!Core} so both engines build identical blocks. *)
+
+type block_class =
+  | Straight  (** Cacheable, falls through to the next instruction. *)
+  | Ender  (** Cacheable control transfer; terminates a block. *)
+  | Breaker
+      (** Never cached (system / CSR / illegal); executed single-step. *)
+
+val block_class : Insn.t -> block_class

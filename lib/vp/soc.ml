@@ -96,7 +96,8 @@ module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
 
 let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     ?(dmi = true) ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-    ?sensor_period ?aes_out_tag ?aes_in_clearance ?wdt_clearance ?tracer () =
+    ?(engine = Rv32.Core.Threaded) ?sensor_period ?aes_out_tag
+    ?aes_in_clearance ?wdt_clearance ?tracer () =
   let kernel = Sysc.Kernel.create () in
   let env =
     Env.create
@@ -143,11 +144,11 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     if tracking then
       Wrap_dift.make
         (Rv32.Core.Vp_dift.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~block_cache ~fast_path ~pc:ram_base ())
+           ~block_cache ~fast_path ~engine ~pc:ram_base ())
     else
       Wrap_vp.make
         (Rv32.Core.Vp.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~block_cache ~fast_path ~pc:ram_base ())
+           ~block_cache ~fast_path ~engine ~pc:ram_base ())
   in
   (* Writes landing in RAM behind the CPU's back (DMA over TLM, the loader,
      direct test pokes, reclassification) invalidate decoded blocks. *)

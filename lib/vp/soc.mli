@@ -95,6 +95,7 @@ val create :
   ?quantum:int ->
   ?block_cache:bool ->
   ?fast_path:bool ->
+  ?engine:Rv32.Core.engine ->
   ?sensor_period:Sysc.Time.t ->
   ?aes_out_tag:Dift.Lattice.tag ->
   ?aes_in_clearance:Dift.Lattice.tag ->
@@ -106,7 +107,9 @@ val create :
     (default true); [dmi] enables the direct RAM fast path (default true);
     [block_cache] / [fast_path] control the core's decoded basic-block
     cache and untainted fast path (both default true, see
-    {!Rv32.Core.S.create}); [aes_out_tag] defaults to the lattice bottom
+    {!Rv32.Core.S.create}); [engine] selects the core's execution engine
+    (default {!Rv32.Core.Threaded}); [aes_out_tag] defaults to the lattice
+    bottom
     (fully declassified ciphertext). RAM writes that bypass the CPU (DMA,
     the loader) are wired to block-cache invalidation. Peripheral processes
     are spawned; the CPU thread is not — call {!start} or

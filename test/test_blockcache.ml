@@ -9,14 +9,14 @@ module A = Rv32_asm.Asm
 module R = Rv32.Reg
 
 let run_bc ?(tracking = true) ?(block_cache = true) ?(fast_path = true)
-    ?(max_insns = 200_000) build =
+    ?engine ?(max_insns = 200_000) build =
   let p = A.create () in
   build p;
   let img = A.assemble p in
   let policy = trivial_policy () in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
   let soc =
-    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ()
+    Vp.Soc.create ~policy ~monitor ~tracking ~block_cache ~fast_path ?engine ()
   in
   Vp.Soc.load_image soc img;
   let reason = Vp.Soc.run_for_instructions soc max_insns in
@@ -151,9 +151,18 @@ let test_counters () =
     (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ());
   check_int "no fast path without cache" 0
     (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ());
+  (* The plain VP has no tags, so the threaded engine runs its value-only
+     specialized chains unconditionally: fast_retired counts them. Under
+     the single-step interpreter the counter stays at zero. *)
   let soc, reason = run_bc ~tracking:false smc_cross_block in
   expect_exit reason 201;
-  check_int "no fast path on the plain VP" 0
+  check_bool "plain VP retires through specialized chains" true
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0);
+  let soc, reason =
+    run_bc ~tracking:false ~engine:Rv32.Core.Interp smc_cross_block
+  in
+  expect_exit reason 201;
+  check_int "no fast path on the interpreted plain VP" 0
     (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ())
 
 (* Pin the per-instruction hook contract documented on Core.set_trace:

@@ -1,0 +1,596 @@
+(* Engine-differential tests for the threaded-code block compiler: the
+   [Threaded] engine (closure chains with an untainted specialization per
+   block) must be observationally identical to the [Interp] engine
+   (per-instruction dispatch over the same decoded-block cache) — same
+   exit reason, same retired-instruction count, byte-identical
+   architectural state including every register's taint tag, and
+   byte-identical full-platform snapshots.  Covers every rv32im opcode
+   class, mid-block taint entry (fast variant -> guard -> full-chain
+   fallback), self-modifying code and DMA invalidation of compiled
+   chains, and the Fatal_trap path when no handler is installed
+   (mtvec = 0). *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let reason_str = function
+  | Rv32.Core.Running -> "running"
+  | Rv32.Core.Exited c -> Printf.sprintf "exited %d" c
+  | Rv32.Core.Breakpoint -> "breakpoint"
+  | Rv32.Core.Insn_limit -> "insn limit"
+
+let run_e ?(tracking = true) ?policy ?(seed = fun _ _ -> ())
+    ?(max_insns = 500_000) ~engine build =
+  let p = A.create () in
+  build p;
+  let img = A.assemble p in
+  let policy =
+    match policy with Some pol -> pol | None -> trivial_policy ()
+  in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~engine () in
+  Vp.Soc.load_image soc img;
+  seed soc img;
+  let reason = Vp.Soc.run_for_instructions soc max_insns in
+  (soc, reason)
+
+(* Run [build] under both engines and demand indistinguishable outcomes:
+   exit reason, instret, all 32 registers and their tags, and the full
+   platform snapshot (registers, tags, CSRs, RAM contents and RAM tag
+   planes, peripheral state, kernel time).  Returns both SoCs for extra
+   per-test assertions. *)
+let check_engines ?tracking ?policy ?seed ?code ~name build =
+  let soc_i, r_i = run_e ?tracking ?policy ?seed ~engine:Rv32.Core.Interp build in
+  let soc_t, r_t =
+    run_e ?tracking ?policy ?seed ~engine:Rv32.Core.Threaded build
+  in
+  (match (r_i, r_t) with
+  | Rv32.Core.Exited a, Rv32.Core.Exited b ->
+      check_int (name ^ ": exit code agrees") a b;
+      Option.iter (fun c -> check_int (name ^ ": expected exit code") c a) code
+  | a, b ->
+      Alcotest.failf "%s: interp %s, threaded %s" name (reason_str a)
+        (reason_str b));
+  check_int
+    (name ^ ": instret agrees")
+    (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+    (soc_t.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
+  for r = 0 to 31 do
+    check_int
+      (Printf.sprintf "%s: x%d value" name r)
+      (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_get_reg r)
+      (soc_t.Vp.Soc.cpu.Vp.Soc.cpu_get_reg r);
+    check_int
+      (Printf.sprintf "%s: x%d tag" name r)
+      (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r)
+      (soc_t.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r)
+  done;
+  check_bool
+    (name ^ ": full platform snapshot byte-identical")
+    true
+    (String.equal (Vp.Soc.save soc_i) (Vp.Soc.save soc_t));
+  (soc_i, soc_t)
+
+let exit_with p reg =
+  A.mv p R.a0 reg;
+  A.li p R.a7 93;
+  A.ecall p
+
+(* --- opcode classes ------------------------------------------------------ *)
+
+(* Integer register-immediate and register-register ops, lui/auipc,
+   shift-amount masking with a negative register operand. *)
+let alu_prog p =
+  A.lui p R.t0 0x12345000;
+  A.auipc p R.t1 0;
+  A.li p R.s0 0;
+  let acc r = A.add p R.s0 R.s0 r in
+  acc R.t0;
+  acc R.t1;
+  A.addi p R.t2 R.t0 (-273);
+  acc R.t2;
+  A.slti p R.t3 R.t2 (-1);
+  acc R.t3;
+  A.sltiu p R.t3 R.t2 (-1);
+  acc R.t3;
+  A.xori p R.t3 R.t2 0x4d2;
+  acc R.t3;
+  A.ori p R.t3 R.t2 0x2a;
+  acc R.t3;
+  A.andi p R.t3 R.t2 0x7ff;
+  acc R.t3;
+  A.slli p R.t3 R.t2 7;
+  acc R.t3;
+  A.srli p R.t3 R.t2 3;
+  acc R.t3;
+  A.srai p R.t3 R.t2 3;
+  acc R.t3;
+  A.li p R.t4 (-5);
+  A.add p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.sub p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.sll p R.t3 R.t2 R.t4 (* shamt = -5 land 31 = 27 *);
+  acc R.t3;
+  A.srl p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.sra p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.slt p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.sltu p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.xor p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.or_ p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.and_ p R.t3 R.t2 R.t4;
+  acc R.t3;
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0
+
+let test_alu () = ignore (check_engines ~name:"alu" alu_prog)
+
+(* The M extension over a table of operand pairs that includes every edge
+   case: division by zero, the overflow pair (-2^31, -1), mixed signs,
+   and large unsigned values. *)
+let muldiv_pairs =
+  [
+    (0, 0);
+    (1, 0);
+    (0x8000_0000, -1);
+    (0x8000_0000, 1);
+    (-1, -1);
+    (7, -3);
+    (-7, 3);
+    (123456789, 1013);
+    (0xdead_beef, 0xcafe);
+    (3, 0x7fff_ffff);
+  ]
+
+let muldiv_prog p =
+  A.la p R.s1 "tab";
+  A.li p R.s2 (List.length muldiv_pairs);
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.lw p R.t0 R.s1 0;
+  A.lw p R.t1 R.s1 4;
+  let acc r = A.add p R.s0 R.s0 r in
+  A.mul p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulh p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulhsu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulhu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.div p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.divu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.rem p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.remu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.addi p R.s1 R.s1 8;
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.align p 4;
+  A.label p "tab";
+  List.iter
+    (fun (a, b) ->
+      A.word p (a land 0xffff_ffff);
+      A.word p (b land 0xffff_ffff))
+    muldiv_pairs
+
+let test_muldiv () = ignore (check_engines ~name:"muldiv" muldiv_prog)
+
+(* Loads and stores of every width with sign/zero extension, byte and
+   halfword sub-word addressing, and read-back through a different
+   width.  Self-checking: exits 0 on success. *)
+let memory_prog p =
+  A.la p R.s1 "buf";
+  (* sw then per-byte lb/lbu across the word *)
+  A.li p R.t0 0x8042_ff7e;
+  A.sw p R.t0 R.s1 0;
+  A.lb p R.t1 R.s1 3 (* 0x80 -> -128 *);
+  A.li p R.t2 (-128);
+  A.bne_l p R.t1 R.t2 "fail";
+  A.lbu p R.t1 R.s1 3;
+  A.li p R.t2 0x80;
+  A.bne_l p R.t1 R.t2 "fail";
+  A.lb p R.t1 R.s1 1 (* 0xff -> -1 *);
+  A.li p R.t2 (-1);
+  A.bne_l p R.t1 R.t2 "fail";
+  A.lbu p R.t1 R.s1 0 (* 0x7e *);
+  A.li p R.t2 0x7e;
+  A.bne_l p R.t1 R.t2 "fail";
+  (* sh/lh/lhu on both halves *)
+  A.li p R.t0 0xbeef;
+  A.sh p R.t0 R.s1 4;
+  A.li p R.t0 0x1234;
+  A.sh p R.t0 R.s1 6;
+  A.lh p R.t1 R.s1 4 (* 0xbeef -> negative *);
+  A.li p R.t2 (0xbeef - 0x10000);
+  A.bne_l p R.t1 R.t2 "fail";
+  A.lhu p R.t1 R.s1 4;
+  A.li p R.t2 0xbeef;
+  A.bne_l p R.t1 R.t2 "fail";
+  A.lw p R.t1 R.s1 4 (* halves reassembled *);
+  A.li p R.t2 0x1234_beef;
+  A.bne_l p R.t1 R.t2 "fail";
+  (* sb overwrites one byte of a word *)
+  A.li p R.t0 0x55;
+  A.sb p R.t0 R.s1 5;
+  A.lw p R.t1 R.s1 4;
+  A.li p R.t2 0x1234_55ef;
+  A.bne_l p R.t1 R.t2 "fail";
+  (* negative offsets *)
+  A.addi p R.s2 R.s1 8;
+  A.lw p R.t1 R.s2 (-8);
+  A.li p R.t2 0x8042_ff7e;
+  A.bne_l p R.t1 R.t2 "fail";
+  A.li p R.a0 0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "fail";
+  A.li p R.a0 1;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "buf";
+  A.space p 16
+
+let test_memory () = ignore (check_engines ~name:"memory" ~code:0 memory_prog)
+
+(* Branches taken and not taken in both polarities, a nested loop,
+   call/ret, jal with a dead link register, and jalr where rd aliases
+   rs1. *)
+let branch_prog p =
+  A.li p R.s0 0;
+  A.li p R.t0 5;
+  A.li p R.t1 (-3);
+  A.beq_l p R.t0 R.t1 "fail" (* not taken *);
+  A.bne_l p R.t0 R.t0 "fail";
+  A.blt_l p R.t0 R.t1 "fail" (* 5 < -3 signed: no *);
+  A.bge_l p R.t1 R.t0 "fail";
+  A.bltu_l p R.t1 R.t0 "fail" (* -3 unsigned is huge: no *);
+  A.bgeu_l p R.t0 R.t1 "fail";
+  A.blt_l p R.t1 R.t0 "b1" (* taken *);
+  A.j p "fail";
+  A.label p "b1";
+  A.bltu_l p R.t0 R.t1 "b2" (* taken *);
+  A.j p "fail";
+  A.label p "b2";
+  (* nested loop: s0 += 1 inner, outer 3 x inner 4 *)
+  A.li p R.s1 3;
+  A.label p "outer";
+  A.li p R.s2 4;
+  A.label p "inner";
+  A.addi p R.s0 R.s0 1;
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "inner";
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "outer";
+  (* call/ret and jalr with rd = rs1 *)
+  A.call p "fn";
+  A.la p R.t3 "fn2";
+  A.jalr p R.t3 R.t3 0;
+  A.li p R.t4 12;
+  A.beq_l p R.s0 R.t4 "fail" (* loop + fn + fn2 = 14, not 12 *);
+  A.li p R.t4 14;
+  A.beq_l p R.s0 R.t4 "ok";
+  A.label p "fail";
+  A.li p R.a0 1;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "ok";
+  A.li p R.a0 0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "fn";
+  A.addi p R.s0 R.s0 1;
+  A.ret p;
+  A.label p "fn2";
+  A.addi p R.s0 R.s0 1;
+  A.jalr p R.zero R.t3 0
+
+let test_branches () =
+  ignore (check_engines ~name:"branches" ~code:0 branch_prog)
+
+(* CSR ops, a trap round-trip through a handler (ecall -> mcause/mepc
+   read -> mret), and fence.  These retire through the step fallback in
+   both engines — the test pins that blocks broken by them still chain
+   correctly around the break. *)
+let csr_prog p =
+  A.la p R.t0 "handler";
+  A.csrrw p R.zero Rv32.Csr.mtvec R.t0;
+  A.li p R.t1 0xabc;
+  A.csrrw p R.zero Rv32.Csr.mscratch R.t1;
+  A.csrrs p R.s0 Rv32.Csr.mscratch R.zero (* s0 = 0xabc *);
+  A.li p R.t2 0x041;
+  A.csrrs p R.zero Rv32.Csr.mscratch R.t2 (* set bits *);
+  A.csrrc p R.s1 Rv32.Csr.mscratch R.t1 (* s1 = 0xafd, clear 0xabc *);
+  A.csrrwi p R.zero Rv32.Csr.mscratch 0x15;
+  A.csrrsi p R.s2 Rv32.Csr.mscratch 0x0a (* s2 = 0x15 *);
+  A.csrrci p R.s3 Rv32.Csr.mscratch 0x06 (* s3 = 0x1f *);
+  A.fence p;
+  (* trap round-trip: the handler records mcause in s4 and skips the
+     ecall *)
+  A.li p R.a7 1;
+  A.ecall p;
+  A.csrrs p R.s5 Rv32.Csr.mscratch R.zero (* survives the trap *);
+  A.add p R.s0 R.s0 R.s1;
+  A.add p R.s0 R.s0 R.s2;
+  A.add p R.s0 R.s0 R.s3;
+  A.add p R.s0 R.s0 R.s4;
+  A.add p R.s0 R.s0 R.s5;
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.label p "handler";
+  A.csrrs p R.s4 Rv32.Csr.mcause R.zero;
+  A.csrrs p R.t5 Rv32.Csr.mepc R.zero;
+  A.addi p R.t5 R.t5 4;
+  A.csrrw p R.zero Rv32.Csr.mepc R.t5;
+  A.mret p
+
+let test_csr () = ignore (check_engines ~name:"csr" csr_prog)
+
+(* --- taint: mid-block entry on the fast variant -------------------------- *)
+
+(* A confidentiality policy with no clearance checks: taint propagates
+   but never traps. *)
+let conf_policy () =
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  Dift.Policy.make ~lattice:lat ~default_tag:lc ()
+
+(* Each iteration runs one straight-line block that starts with clean
+   ALU work (eligible for the untainted specialized chain), then loads a
+   secret word mid-block — the threaded fast variant's guard must catch
+   the non-bottom tag and fall back to the full chain for the rest of
+   the block.  The tainted value is parked in memory and the registers
+   are scrubbed before the back-branch, so the next dispatch starts on
+   the fast variant again: every iteration exercises the
+   fast -> guard -> fallback transition. *)
+let taint_prog p =
+  A.li p R.s2 50;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.addi p R.s0 R.s0 3;
+  A.xori p R.s0 R.s0 0x155;
+  A.la p R.t2 "secret";
+  A.lw p R.t3 R.t2 0 (* taint enters mid-block *);
+  A.add p R.t4 R.t3 R.s0 (* tainted ALU result *);
+  A.la p R.t5 "cell";
+  A.sw p R.t4 R.t5 0 (* tainted store *);
+  A.li p R.t3 0;
+  A.li p R.t4 0 (* scrub: regs all-public again *);
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.la p R.t5 "cell";
+  A.lw p R.a1 R.t5 0 (* a1 must come back tainted *);
+  A.andi p R.a0 R.s0 0x3f;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "secret";
+  A.word p 0x5ec2e700;
+  A.label p "cell";
+  A.word p 0
+
+let test_taint_mid_block () =
+  let policy = conf_policy () in
+  let lat = policy.Dift.Policy.lattice in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let seed soc img =
+    Vp.Soc.seed_taint soc ~origin:"secret"
+      ~addr:(Rv32_asm.Image.symbol img "secret")
+      ~len:4 hc
+  in
+  let _soc_i, soc_t =
+    check_engines ~policy ~seed ~name:"taint mid-block" taint_prog
+  in
+  let tag r = soc_t.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r in
+  check_int "a1 tainted HC" hc (tag 11);
+  check_int "s0 stays public" lc (tag 8);
+  (* The specialized chains really ran before each fallback. *)
+  check_bool "fast variant retired instructions" true
+    (soc_t.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0)
+
+(* --- invalidation of compiled chains ------------------------------------- *)
+
+(* Store into the currently-executing block: the patched instruction is
+   a few slots ahead in the same straight-line run and must execute in
+   its patched form at the very next fetch. *)
+let smc_in_block p =
+  A.li p R.a0 0;
+  A.la p R.t0 "site";
+  A.la p R.t1 "newinsn";
+  A.lw p R.t1 R.t1 0;
+  A.sw p R.t1 R.t0 0;
+  A.nop p;
+  A.label p "site";
+  A.addi p R.a0 R.a0 1;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi a0, a0, 42 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.a0, R.a0, 42)))
+
+let test_smc_in_block () =
+  ignore (check_engines ~name:"smc in-block" ~code:42 smc_in_block)
+
+(* A cached, already-compiled function is overwritten by a DMA transfer
+   behind the CPU's back; the next call must run the patched code. *)
+let dma_into_code p =
+  A.call p "site_fn";
+  A.mv p R.s0 R.a0;
+  A.la p R.t0 "newinsn";
+  A.la p R.t1 "site_fn";
+  A.li p R.t2 Vp.Soc.dma_base;
+  A.sw p R.t0 R.t2 0x0;
+  A.sw p R.t1 R.t2 0x4;
+  A.li p R.t3 4;
+  A.sw p R.t3 R.t2 0x8;
+  A.li p R.t3 1;
+  A.sw p R.t3 R.t2 0xc;
+  A.label p "poll";
+  A.lw p R.t3 R.t2 0xc;
+  A.bnez_l p R.t3 "poll";
+  A.call p "site_fn";
+  A.add p R.a0 R.a0 R.s0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "site_fn";
+  A.addi p R.a0 R.zero 1;
+  A.ret p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi a0, x0, 99 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.a0, R.zero, 99)))
+
+let test_dma_into_code () =
+  ignore (check_engines ~name:"dma into code" ~code:100 dma_into_code)
+
+(* --- Fatal_trap with mtvec = 0 ------------------------------------------- *)
+
+(* With no handler installed a synchronous trap is fatal; both engines
+   must report the identical (cause, pc, tval) triple at the identical
+   instruction count — the pc in particular catches any stale [cur_pc]
+   bookkeeping in compiled chains. *)
+let run_fatal ~tracking ~engine build =
+  let p = A.create () in
+  build p;
+  let img = A.assemble p in
+  let policy = trivial_policy () in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~engine () in
+  Vp.Soc.load_image soc img;
+  match Vp.Soc.run_for_instructions soc 10_000 with
+  | exception Rv32.Core.Fatal_trap { cause; pc; tval } ->
+      (cause, pc, tval, soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+  | r -> Alcotest.failf "expected Fatal_trap, got %s" (reason_str r)
+
+let check_fatal ~name ~cause build =
+  List.iter
+    (fun tracking ->
+      let c_i, pc_i, tv_i, n_i =
+        run_fatal ~tracking ~engine:Rv32.Core.Interp build
+      in
+      let c_t, pc_t, tv_t, n_t =
+        run_fatal ~tracking ~engine:Rv32.Core.Threaded build
+      in
+      let ctx = Printf.sprintf "%s (tracking=%b)" name tracking in
+      check_int (ctx ^ ": expected cause") cause c_i;
+      check_int (ctx ^ ": cause agrees") c_i c_t;
+      check_int (ctx ^ ": pc agrees") pc_i pc_t;
+      check_int (ctx ^ ": tval agrees") tv_i tv_t;
+      check_int (ctx ^ ": instret agrees") n_i n_t)
+    [ false; true ]
+
+let unmapped = 0x0000_0100
+
+(* A little clean ALU work ahead of the faulting access keeps the fault
+   inside a compiled chain rather than at its head. *)
+let fatal_load p =
+  A.li p R.t0 unmapped;
+  A.addi p R.t1 R.t0 1;
+  A.xor p R.t2 R.t1 R.t0;
+  A.lw p R.t3 R.t0 0;
+  A.nop p;
+  exit_with p R.zero
+
+let fatal_store p =
+  A.li p R.t0 unmapped;
+  A.addi p R.t1 R.t0 1;
+  A.sw p R.t1 R.t0 0;
+  A.nop p;
+  exit_with p R.zero
+
+let fatal_fetch p =
+  A.li p R.t0 unmapped;
+  A.addi p R.t1 R.zero 7;
+  A.jalr p R.zero R.t0 0;
+  exit_with p R.zero
+
+let fatal_ecall p =
+  A.li p R.a7 1;
+  A.li p R.a0 2;
+  A.ecall p;
+  exit_with p R.zero
+
+let fatal_illegal p =
+  A.li p R.t0 3;
+  A.addi p R.t1 R.t0 4;
+  A.word p 0xffff_ffff;
+  exit_with p R.zero
+
+let test_fatal_load () =
+  check_fatal ~name:"fatal load" ~cause:Rv32.Csr.cause_load_fault fatal_load
+
+let test_fatal_store () =
+  check_fatal ~name:"fatal store" ~cause:Rv32.Csr.cause_store_fault fatal_store
+
+let test_fatal_fetch () = check_fatal ~name:"fatal fetch" ~cause:1 fatal_fetch
+
+let test_fatal_ecall () =
+  check_fatal ~name:"fatal ecall" ~cause:Rv32.Csr.cause_ecall_m fatal_ecall
+
+let test_fatal_illegal () =
+  check_fatal ~name:"fatal illegal" ~cause:Rv32.Csr.cause_illegal fatal_illegal
+
+(* --- engine coverage sanity ---------------------------------------------- *)
+
+(* The differential only means something if the threaded runs actually
+   execute compiled chains: pin the counters on a loopy program. *)
+let test_threaded_actually_compiles () =
+  let soc, reason = run_e ~engine:Rv32.Core.Threaded muldiv_prog in
+  (match reason with
+  | Rv32.Core.Exited _ -> ()
+  | r -> Alcotest.failf "muldiv under threaded: %s" (reason_str r));
+  check_bool "blocks built" true (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built () > 0);
+  check_bool "fast chains retired" true
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0)
+
+let () =
+  Alcotest.run "threaded"
+    [
+      ( "opcode classes",
+        [
+          Alcotest.test_case "alu" `Quick test_alu;
+          Alcotest.test_case "mul/div edge cases" `Quick test_muldiv;
+          Alcotest.test_case "loads/stores" `Quick test_memory;
+          Alcotest.test_case "branches/jumps" `Quick test_branches;
+          Alcotest.test_case "csr/trap/mret/fence" `Quick test_csr;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "mid-block taint entry falls back" `Quick
+            test_taint_mid_block;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "smc within the compiled block" `Quick
+            test_smc_in_block;
+          Alcotest.test_case "dma into compiled code" `Quick test_dma_into_code;
+        ] );
+      ( "fatal traps (mtvec=0)",
+        [
+          Alcotest.test_case "load fault" `Quick test_fatal_load;
+          Alcotest.test_case "store fault" `Quick test_fatal_store;
+          Alcotest.test_case "fetch fault" `Quick test_fatal_fetch;
+          Alcotest.test_case "ecall without handler" `Quick test_fatal_ecall;
+          Alcotest.test_case "illegal instruction" `Quick test_fatal_illegal;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "threaded runs compiled chains" `Quick
+            test_threaded_actually_compiles;
+        ] );
+    ]
