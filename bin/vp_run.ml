@@ -32,7 +32,8 @@ let build_policy kind img =
       Dift.Policy.unrestricted lat
         ~default_tag:(Dift.Lattice.tag_of_name lat "HI")
   | P_integrity ->
-      (* Code-injection protection: program HI, fetch clearance HI. *)
+      (* Code-injection and trap-steering protection: program HI, fetch
+         clearance HI, trap-vector writes (mtvec/mepc) require HI. *)
       let lat = Dift.Lattice.integrity () in
       let hi = Dift.Lattice.tag_of_name lat "HI" in
       let li = Dift.Lattice.tag_of_name lat "LI" in
@@ -40,7 +41,7 @@ let build_policy kind img =
         ~classification:
           [ Dift.Policy.region ~name:"program" ~lo:img.Rv32_asm.Image.org
               ~hi:(Rv32_asm.Image.limit img - 1) ~tag:hi ]
-        ~exec_fetch:hi ()
+        ~exec_fetch:hi ~trap_csr:hi ()
   | P_confidentiality ->
       (* Anything in a region labelled "secret" is HC; the UART and CAN
          are cleared for LC. *)
@@ -90,6 +91,13 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
       let soc =
         Vp.Soc.create ~policy ~monitor ~tracking ~quantum ~engine ?tracer ()
       in
+      (* Under the confidentiality policy the sensor is a classified
+         source: every frame byte it serves is HC. *)
+      (match policy_kind with
+      | P_confidentiality ->
+          Vp.Sensor.set_data_tag soc.Vp.Soc.sensor
+            (Dift.Lattice.tag_of_name policy.Dift.Policy.lattice "HC")
+      | P_none | P_integrity -> ());
       Vp.Soc.load_image soc img;
       (match uart_input with
       | Some s -> Vp.Uart.push_rx soc.Vp.Soc.uart s
@@ -361,8 +369,9 @@ let policy_arg =
   Arg.(value & opt (enum kinds) P_none
        & info [ "policy" ] ~docv:"KIND"
            ~doc:"Security policy: $(b,none), $(b,integrity) (code-injection \
-                 protection), or $(b,confidentiality) (a region labelled \
-                 $(i,secret)..$(i,secret_end) is classified HC).")
+                 and trap-steering protection), or $(b,confidentiality) (a \
+                 region labelled $(i,secret)..$(i,secret_end) and the sensor \
+                 data stream are classified HC).")
 
 let tracking_arg =
   Arg.(value & flag & info [ "no-tracking" ] ~doc:"Run the plain VP (no DIFT engine).")

@@ -1,0 +1,60 @@
+# irq_leak.s — interrupt-driven information leak through an unclaimed
+# PLIC source (the privilege-architecture case study).
+#
+# The ISR on the sensor interrupt is buggy twice over: it copies
+# classified sensor-frame bytes straight to the UART, and it never claims
+# the interrupt — so the still-pending source re-enters the ISR
+# immediately after every mret and drains the frame one byte per spurious
+# interrupt, without the main loop ever running.  After 16 bytes it exits
+# 99.
+#
+# Under the confidentiality policy the sensor data is HC and the UART is
+# cleared for LC only, so the first leaked byte raises Output_clearance:
+#
+#   attack:   vp_run examples/asm/irq_leak.s --no-tracking
+#   detected: vp_run examples/asm/irq_leak.s --policy confidentiality \
+#               --forensics
+
+    .equ UART,   0x10000000
+    .equ PLIC,   0x0c000000
+    .equ SENSOR, 0x50000000
+
+    j start
+
+    .align 2
+isr:                        # no claim: the source stays pending
+    la t0, nleaked
+    lw t1, 0(t0)
+    li t2, SENSOR
+    add t2, t2, t1
+    lbu t3, 0(t2)           # classified sensor byte
+    li t4, UART
+    sb t3, 0(t4)            # leaked: Output_clearance under VP+
+    addi t1, t1, 1
+    sw t1, 0(t0)
+    li t2, 16
+    blt t1, t2, isr_done
+    li a0, 99
+    li a7, 93
+    ecall
+isr_done:
+    mret                    # pending source re-enters immediately
+
+start:
+    li sp, 0x800ffff0
+    la t6, isr
+    csrw mtvec, t6
+    li t0, PLIC
+    li t1, 4                # enable source 2 = sensor
+    sw t1, 4(t0)
+    li t0, 0x800            # mie.MEIE
+    csrrs zero, mie, t0
+    li t0, 0x8              # mstatus.MIE
+    csrrs zero, mstatus, t0
+idle:
+    wfi
+    j idle
+
+    .align 2
+nleaked:
+    .word 0

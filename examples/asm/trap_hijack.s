@@ -1,0 +1,58 @@
+# trap_hijack.s — trap-handler hijack through a tainted vector-table
+# index (the privilege-architecture case study).
+#
+# The firmware keeps a table of trap-handler slots (16 bytes each) and
+# lets a byte received on the UART select which slot becomes the machine
+# trap vector — an unvalidated "flexible vector table update".  Slot 0 is
+# the legitimate skip-handler; slot 1 jumps to an attacker gadget that
+# prints 'P' and exits 99.
+#
+# Under the integrity policy the selector byte is LI and the trap-steering
+# clearance (trap_csr) flags the csrw mtvec before any trap is taken:
+#
+#   benign:   vp_run examples/asm/trap_hijack.s --uart-input 0 --no-tracking
+#   attack:   vp_run examples/asm/trap_hijack.s --uart-input 1 --no-tracking
+#   detected: vp_run examples/asm/trap_hijack.s --uart-input 1 \
+#               --policy integrity --forensics
+
+    .equ UART, 0x10000000
+
+_start:
+    li sp, 0x800ffff0
+    la t6, handlers         # boot with the legitimate slot 0
+    csrw mtvec, t6
+poll:                       # wait for the configuration byte
+    li t1, UART
+    lbu t2, 8(t1)           # status
+    andi t2, t2, 1
+    beqz t2, poll
+    lbu t0, 4(t1)           # attacker-controlled selector
+    andi t0, t0, 3
+    slli t0, t0, 4          # slot index -> byte offset (16-byte slots)
+    la t6, handlers
+    add t6, t6, t0
+    csrw mtvec, t6          # tainted vector write: Trap_steering under VP+
+    li a7, 0
+    ecall                   # the next service call dispatches through it
+    li a0, 0
+    li a7, 93
+    ecall                   # benign path: exit 0
+
+handlers:                   # slot 0: legitimate handler (skip + return)
+    csrr t6, mepc
+    addi t6, t6, 4
+    csrw mepc, t6
+    mret
+                            # slot 1 (= handlers + 16): the hijack target
+    j gadget
+    nop
+    nop
+    nop
+
+gadget:                     # attacker-chosen machine-mode code
+    li t0, UART
+    li t1, 0x50             # 'P'
+    sb t1, 0(t0)
+    li a0, 99
+    li a7, 93
+    ecall

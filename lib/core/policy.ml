@@ -1,4 +1,5 @@
 type region = { r_name : string; lo : int; hi : int; r_tag : Lattice.tag }
+type ecall_gate = { g_clearance : Lattice.tag; g_declass : Lattice.tag }
 
 type t = {
   lattice : Lattice.t;
@@ -9,6 +10,8 @@ type t = {
   exec_branch : Lattice.tag option;
   exec_mem_addr : Lattice.tag option;
   store_clearance : region list;
+  trap_csr : Lattice.tag option;
+  ecall_gate : ecall_gate option;
 }
 
 let region ~name ~lo ~hi ~tag =
@@ -16,7 +19,8 @@ let region ~name ~lo ~hi ~tag =
   { r_name = name; lo; hi; r_tag = tag }
 
 let make ~lattice ~default_tag ?(classification = []) ?(output_clearance = [])
-    ?exec_fetch ?exec_branch ?exec_mem_addr ?(store_clearance = []) () =
+    ?exec_fetch ?exec_branch ?exec_mem_addr ?(store_clearance = []) ?trap_csr
+    ?ecall_gate () =
   {
     lattice;
     default_tag;
@@ -26,6 +30,8 @@ let make ~lattice ~default_tag ?(classification = []) ?(output_clearance = [])
     exec_branch;
     exec_mem_addr;
     store_clearance;
+    trap_csr;
+    ecall_gate;
   }
 
 let find_region regions addr =
@@ -61,6 +67,16 @@ let validate p =
   Option.iter (check_tag "exec_fetch") p.exec_fetch;
   Option.iter (check_tag "exec_branch") p.exec_branch;
   Option.iter (check_tag "exec_mem_addr") p.exec_mem_addr;
+  Option.iter (check_tag "trap_csr") p.trap_csr;
+  Option.iter
+    (fun g ->
+      check_tag "ecall_gate clearance" g.g_clearance;
+      check_tag "ecall_gate declass" g.g_declass;
+      if not (Lattice.allowed_flow p.lattice g.g_declass g.g_clearance) then
+        bad :=
+          "ecall_gate: declassified class does not meet its own clearance"
+          :: !bad)
+    p.ecall_gate;
   List.iter (fun r -> check_tag ("store_clearance " ^ r.r_name) r.r_tag)
     p.store_clearance;
   (* A later classification region fully hidden by an earlier one is a
@@ -103,6 +119,12 @@ let pp fmt p =
   exec "fetch" p.exec_fetch;
   exec "branch" p.exec_branch;
   exec "mem-addr" p.exec_mem_addr;
+  exec "trap-csr" p.trap_csr;
+  (match p.ecall_gate with
+  | Some g ->
+      Format.fprintf fmt "@,  ecall gate clearance %s declassifies to %s"
+        (nm g.g_clearance) (nm g.g_declass)
+  | None -> ());
   List.iter
     (fun r ->
       Format.fprintf fmt "@,  protect %s [0x%08x..0x%08x] requires %s" r.r_name

@@ -15,6 +15,15 @@ type region = {
   r_tag : Lattice.tag;
 }
 
+type ecall_gate = {
+  g_clearance : Lattice.tag;
+      (** Class that every ecall argument register (a0..a5) must be allowed
+          to flow to; a higher class is a violation. *)
+  g_declass : Lattice.tag;
+      (** Class the arguments are downgraded to when the gate admits them
+          (an explicit, monitored declassification point). *)
+}
+
 type t = {
   lattice : Lattice.t;
   default_tag : Lattice.tag;
@@ -32,6 +41,12 @@ type t = {
   store_clearance : region list;
       (** Protected regions: a store of data with class [x] into the region
           is allowed iff [allowed_flow x r_tag]. *)
+  trap_csr : Lattice.tag option;
+      (** Clearance of the trap-critical CSRs (mtvec, mepc), if checked:
+          tainted data must not choose where a machine-mode handler runs. *)
+  ecall_gate : ecall_gate option;
+      (** Declassification gate applied to the argument registers on a real
+          (non-exit) ecall trap, if declared. *)
 }
 
 val make :
@@ -43,6 +58,8 @@ val make :
   ?exec_branch:Lattice.tag ->
   ?exec_mem_addr:Lattice.tag ->
   ?store_clearance:region list ->
+  ?trap_csr:Lattice.tag ->
+  ?ecall_gate:ecall_gate ->
   unit ->
   t
 

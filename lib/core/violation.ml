@@ -4,6 +4,7 @@ type kind =
   | Exec_branch
   | Exec_mem_addr
   | Store_integrity of string
+  | Trap_steering of string
   | Custom of string
 
 type t = {
@@ -25,6 +26,7 @@ let kind_name = function
   | Exec_branch -> "exec-branch"
   | Exec_mem_addr -> "exec-mem-addr"
   | Store_integrity region -> "store-integrity(" ^ region ^ ")"
+  | Trap_steering what -> "trap-steering(" ^ what ^ ")"
   | Custom s -> "custom(" ^ s ^ ")"
 
 let pp lat fmt v =

@@ -16,6 +16,10 @@ type kind =
   | Store_integrity of string
       (** Store into a protected memory region (named) with data whose class
           may not flow to the region's required class. *)
+  | Trap_steering of string
+      (** A write to a trap-critical CSR (named: mtvec, mepc) with data whose
+          class may not flow to the trap unit's clearance — tainted data must
+          not choose where a machine-mode trap handler runs. *)
   | Custom of string  (** Peripheral- or application-defined check. *)
 
 type t = {

@@ -10,6 +10,16 @@ let off_b r = Rng.int r Prog.buf_size
 let imm12 r = Rng.range r (-2048) 2047
 let shamt r = Rng.int r 32
 let uimm r = Rng.int r 0x100000 lsl 12
+let zimm r = Rng.int r 32
+
+(* CSRs generated reads may target: machine-trap state the scaffold's
+   handler and the Mret blocks keep live. Counters are excluded (the
+   golden model and the VP agree on them, but keeping reads architectural
+   makes a failing reproducer's registers stable across re-runs). *)
+let read_csrs =
+  Rv32.Csr.[ mscratch; mstatus; mtvec; mepc; mcause; mtval ]
+
+let read_csr r = Rng.choose r read_csrs
 
 (* The straight-line pool: (base weight, opcode key, make). The key is the
    dynamic-coverage mnemonic whose absence boosts the weight 8x. *)
@@ -54,6 +64,17 @@ let pool : (int * string * (Rng.t -> I.t)) list =
     (2, "sh", fun r -> I.SH (b, wreg r, off_h r));
     (2, "sb", fun r -> I.SB (b, wreg r, off_b r));
     (1, "fence", fun _ -> I.FENCE);
+    (* Trap instructions: the program scaffold's handler skips them (or,
+       for an exit ecall, honours them), so they are ordinary body
+       members. CSR writes go only to mscratch — see {!Prog}. *)
+    (1, "ecall", fun _ -> I.ECALL);
+    (1, "ebreak", fun _ -> I.EBREAK);
+    (2, "csrrw", fun r -> I.CSRRW (wreg r, wreg r, Rv32.Csr.mscratch));
+    (2, "csrrs", fun r -> I.CSRRS (wreg r, 0, read_csr r));
+    (1, "csrrc", fun r -> I.CSRRC (wreg r, wreg r, Rv32.Csr.mscratch));
+    (1, "csrrwi", fun r -> I.CSRRWI (wreg r, zimm r, Rv32.Csr.mscratch));
+    (1, "csrrsi", fun r -> I.CSRRSI (wreg r, zimm r, Rv32.Csr.mscratch));
+    (1, "csrrci", fun r -> I.CSRRCI (wreg r, zimm r, Rv32.Csr.mscratch));
   ]
 
 let insn r cov =
@@ -135,7 +156,8 @@ let branch_kind r cov =
 
 let block r cov =
   match Rng.weighted r
-          [ (52, `Straight); (15, `Guard); (12, `Loop); (12, `Call); (9, `Medge) ]
+          [ (47, `Straight); (14, `Guard); (11, `Loop); (11, `Call);
+            (9, `Medge); (8, `Mret) ]
   with
   | `Straight -> Prog.Straight (body r cov ~len:(Rng.range r 2 7))
   | `Guard ->
@@ -149,6 +171,7 @@ let block r cov =
   | `Loop -> Prog.Loop { count = Rng.range r 1 8; body = body r cov ~len:(Rng.range r 1 5) }
   | `Call -> Prog.Call { via_jalr = Rng.bool r; body = body r cov ~len:(Rng.range r 1 5) }
   | `Medge -> medge_block r cov
+  | `Mret -> Prog.Mret
 
 let program r cov ~size = List.init (max 1 size) (fun _ -> block r cov)
 

@@ -49,6 +49,7 @@ type report = {
   transparency_mismatches : int;
   purity_failures : int;
   monotonicity_failures : int;
+  trap_taint_failures : int;
   declass_violations : int;
   cache_mismatches : int;
   snapshot_mismatches : int;
@@ -64,6 +65,7 @@ type report = {
 let healthy r =
   r.golden_mismatches = 0 && r.transparency_mismatches = 0
   && r.purity_failures = 0 && r.monotonicity_failures = 0
+  && r.trap_taint_failures = 0
   && r.declass_violations = 0 && r.cache_mismatches = 0
   && r.snapshot_mismatches = 0 && r.engine_mismatches = 0 && r.errors = 0
 
@@ -74,6 +76,7 @@ type acc = {
   mutable a_transparency : int;
   mutable a_purity : int;
   mutable a_monotonic : int;
+  mutable a_trap_taint : int;
   mutable a_declass : int;
   mutable a_cache : int;
   mutable a_snapshot : int;
@@ -199,6 +202,7 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
       a_transparency = 0;
       a_purity = 0;
       a_monotonic = 0;
+      a_trap_taint = 0;
       a_declass = 0;
       a_cache = 0;
       a_snapshot = 0;
@@ -277,6 +281,18 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
               ~predicate:(fun p ->
                 try
                   match Props.purity (Prog.assemble p) with
+                  | Props.Failed _ -> true
+                  | Props.Ok -> false
+                with _ -> false)
+              prog
+        | Props.Ok -> ());
+        (match Props.trap_entry_pub img with
+        | Props.Failed detail ->
+            acc.a_trap_taint <- acc.a_trap_taint + 1;
+            record_failure cfg acc ~index:i ~kind:"trap-entry-taint" ~detail
+              ~predicate:(fun p ->
+                try
+                  match Props.trap_entry_pub (Prog.assemble p) with
                   | Props.Failed _ -> true
                   | Props.Ok -> false
                 with _ -> false)
@@ -472,6 +488,7 @@ let run ?(config = default) () =
     transparency_mismatches = sum (fun a -> a.a_transparency);
     purity_failures = sum (fun a -> a.a_purity);
     monotonicity_failures = sum (fun a -> a.a_monotonic);
+    trap_taint_failures = sum (fun a -> a.a_trap_taint);
     declass_violations = sum (fun a -> a.a_declass);
     cache_mismatches = sum (fun a -> a.a_cache);
     snapshot_mismatches = sum (fun a -> a.a_snapshot);
@@ -490,6 +507,7 @@ let pp_report fmt r =
      golden-vs-VP mismatches: %d@,\
      VP-vs-VP+ transparency mismatches: %d@,\
      purity failures: %d, monotonicity failures: %d, declassification violations: %d@,\
+     trap-entry taint failures: %d@,\
      block-cache mismatches: %d@,\
      snapshot-vs-straight mismatches: %d@,\
      engine-vs-engine mismatches: %d@,\
@@ -498,6 +516,7 @@ let pp_report fmt r =
      harness errors: %d@,%a"
     r.programs r.completed r.golden_mismatches r.transparency_mismatches
     r.purity_failures r.monotonicity_failures r.declass_violations
+    r.trap_taint_failures
     r.cache_mismatches r.snapshot_mismatches r.engine_mismatches
     r.injected_hits r.checks r.violations r.errors
     Coverage.pp r.coverage;

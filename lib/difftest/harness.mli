@@ -69,7 +69,7 @@ val default : config
 type failure = {
   f_kind : string;
       (** ["golden-vs-vp"], ["transparency"], ["purity"], ["monotonicity"],
-          ["declassification"], ["cache-vs-nocache"],
+          ["trap-entry-taint"], ["declassification"], ["cache-vs-nocache"],
           ["snapshot-vs-straight"], ["engine-diff"] or
           ["injected:<opcode>"]. *)
   f_detail : string;  (** First observed difference / property message. *)
@@ -93,6 +93,9 @@ type report = {
   transparency_mismatches : int;  (** Plain VP vs VP+ (must be 0). *)
   purity_failures : int;  (** Taint from nowhere (must be 0). *)
   monotonicity_failures : int;  (** Non-monotone taint (must be 0). *)
+  trap_taint_failures : int;
+      (** Trap CSRs tainted by trap entry ({!Props.trap_entry_pub},
+          must be 0). *)
   declass_violations : int;  (** Unsanctioned declassification (must be 0). *)
   cache_mismatches : int;
       (** Cached vs single-step execution disagreements, counted only when

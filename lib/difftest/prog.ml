@@ -9,12 +9,14 @@ type block =
   | Guard of { kind : branch; rs1 : int; rs2 : int; body : I.t list }
   | Loop of { count : int; body : I.t list }
   | Call of { via_jalr : bool; body : I.t list }
+  | Mret
 
 type t = block list
 
 let buf_reg = 28
 let loop_reg = 29
 let target_reg = 30
+let handler_reg = 31
 let buf_size = 256
 let wregs = [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
 let stack_top = 0x800f_fff0
@@ -35,6 +37,7 @@ let body_of = function
   | Guard { body; _ } -> body
   | Loop { body; _ } -> body
   | Call { body; _ } -> body
+  | Mret -> []
 
 let insn_count t = List.fold_left (fun acc b -> acc + List.length (body_of b)) 0 t
 let block_count = List.length
@@ -58,9 +61,42 @@ let branch_mnemonic = function
 let skip_label idx = Printf.sprintf "skip%d" idx
 let loop_label idx = Printf.sprintf "loop%d" idx
 let fn_label idx = Printf.sprintf "fn%d" idx
+let cont_label idx = Printf.sprintf "cont%d" idx
+
+(* The fixed machine-trap handler.  Installed by the prologue, so every
+   generated trap instruction (ecall, ebreak, a privileged CSR access
+   from user mode) resumes deterministically instead of ending the run:
+   the handler skips the trapping instruction (mepc += 4; mret), except
+   for an exit ecall (mcause 8 or 11 with a7 = 93), which it re-issues
+   from machine mode so the exit convention works from user mode too.
+   x31 (t6) is handler-owned scratch, saved across the handler body in
+   mscratch — which is also why generated CSR writes go only to mscratch:
+   clobbering mtvec or mepc from a block would wedge the program, while a
+   clobbered mscratch merely perturbs data both models see identically. *)
+let emit_handler p =
+  A.label p "trap_vec";
+  A.csrrw p 0 Rv32.Csr.mscratch handler_reg;
+  A.csrrs p handler_reg Rv32.Csr.mcause 0;
+  A.addi p handler_reg handler_reg (-8);
+  A.beqz_l p handler_reg "trap_exit_chk";
+  A.csrrs p handler_reg Rv32.Csr.mcause 0;
+  A.addi p handler_reg handler_reg (-11);
+  A.beqz_l p handler_reg "trap_exit_chk";
+  A.label p "trap_resume";
+  A.csrrs p handler_reg Rv32.Csr.mepc 0;
+  A.addi p handler_reg handler_reg 4;
+  A.csrrw p 0 Rv32.Csr.mepc handler_reg;
+  A.csrrs p handler_reg Rv32.Csr.mscratch 0;
+  A.mret p;
+  A.label p "trap_exit_chk";
+  A.addi p handler_reg 17 (-93);
+  A.bnez_l p handler_reg "trap_resume";
+  A.ecall p
 
 let emit p blocks =
   A.label p "_start";
+  A.la p handler_reg "trap_vec";
+  A.csrrw p 0 Rv32.Csr.mtvec handler_reg;
   A.li p 2 stack_top;
   List.iteri (fun i r -> A.li p r (seed_value i)) wregs;
   A.la p buf_reg "buf";
@@ -86,7 +122,12 @@ let emit p blocks =
             A.jalr p 1 target_reg 0
           end
           else A.call p f;
-          funcs := (f, body) :: !funcs)
+          funcs := (f, body) :: !funcs
+      | Mret ->
+          A.la p target_reg (cont_label idx);
+          A.csrrw p 0 Rv32.Csr.mepc target_reg;
+          A.mret p;
+          A.label p (cont_label idx))
     blocks;
   A.nop p;
   A.li p 17 93;
@@ -97,6 +138,7 @@ let emit p blocks =
       List.iter (A.insn p) body;
       A.ret p)
     (List.rev !funcs);
+  emit_handler p;
   A.align p 4;
   A.label p "buf";
   for i = 0 to buf_size - 1 do
@@ -110,8 +152,11 @@ let assemble blocks =
 
 let to_asm ?(banner = []) blocks =
   let s = S.create () in
+  let hr = Rv32.Reg.name handler_reg in
   List.iter (S.comment s) banner;
   S.label s "_start";
+  S.line s (Printf.sprintf "la %s, trap_vec" hr);
+  S.line s (Printf.sprintf "csrw mtvec, %s" hr);
   S.line s (Printf.sprintf "li sp, 0x%x" stack_top);
   List.iteri
     (fun i r -> S.line s (Printf.sprintf "li %s, %d" (Rv32.Reg.name r) (seed_value i)))
@@ -141,7 +186,14 @@ let to_asm ?(banner = []) blocks =
             S.line s (Printf.sprintf "jalr ra, 0(%s)" (Rv32.Reg.name target_reg))
           end
           else S.line s (Printf.sprintf "call %s" f);
-          funcs := (f, body) :: !funcs)
+          funcs := (f, body) :: !funcs
+      | Mret ->
+          S.line s
+            (Printf.sprintf "la %s, %s" (Rv32.Reg.name target_reg)
+               (cont_label idx));
+          S.line s (Printf.sprintf "csrw mepc, %s" (Rv32.Reg.name target_reg));
+          S.line s "mret";
+          S.label s (cont_label idx))
     blocks;
   S.line s "nop";
   S.line s "li a7, 93";
@@ -152,6 +204,24 @@ let to_asm ?(banner = []) blocks =
       List.iter (S.insn s) body;
       S.line s "ret")
     (List.rev !funcs);
+  S.label s "trap_vec";
+  S.line s (Printf.sprintf "csrw mscratch, %s" hr);
+  S.line s (Printf.sprintf "csrr %s, mcause" hr);
+  S.line s (Printf.sprintf "addi %s, %s, -8" hr hr);
+  S.line s (Printf.sprintf "beqz %s, trap_exit_chk" hr);
+  S.line s (Printf.sprintf "csrr %s, mcause" hr);
+  S.line s (Printf.sprintf "addi %s, %s, -11" hr hr);
+  S.line s (Printf.sprintf "beqz %s, trap_exit_chk" hr);
+  S.label s "trap_resume";
+  S.line s (Printf.sprintf "csrr %s, mepc" hr);
+  S.line s (Printf.sprintf "addi %s, %s, 4" hr hr);
+  S.line s (Printf.sprintf "csrw mepc, %s" hr);
+  S.line s (Printf.sprintf "csrr %s, mscratch" hr);
+  S.line s "mret";
+  S.label s "trap_exit_chk";
+  S.line s (Printf.sprintf "addi %s, a7, -93" hr);
+  S.line s (Printf.sprintf "bnez %s, trap_resume" hr);
+  S.line s "ecall";
   S.align s 4;
   S.label s "buf";
   for i = 0 to buf_size - 1 do

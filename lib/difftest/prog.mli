@@ -1,15 +1,28 @@
 (** Structured random-program IR for the differential tester.
 
     A program is a list of self-contained {!block}s between a fixed
-    prologue (register seeding, scratch-buffer base in x28/t3) and a fixed
-    epilogue (exit ecall, subroutine bodies, the 256-byte scratch buffer).
-    Blocks are the unit of shrinking: any sublist of blocks is again a
-    well-formed program — control flow never crosses a block boundary, so
-    deleting blocks cannot leave a dangling label.
+    prologue (trap-handler installation, register seeding, scratch-buffer
+    base in x28/t3) and a fixed epilogue (exit ecall, subroutine bodies,
+    the machine-trap handler, the 256-byte scratch buffer). Blocks are
+    the unit of shrinking: any sublist of blocks is again a well-formed
+    program — control flow never crosses a block boundary, so deleting
+    blocks cannot leave a dangling label.
+
+    The prologue points mtvec at a fixed handler so generated trap
+    instructions (ecall, ebreak, privileged CSR access from user mode)
+    resume deterministically: the handler skips the trapping instruction,
+    except for an exit ecall (a7 = 93), which it re-issues from machine
+    mode — making the exit convention privilege-independent. {!Mret}
+    blocks exercise privilege unstacking; because a trap handler's mret
+    leaves MPP at user mode, the second and later [Mret] blocks drop the
+    program into U-mode, where privileged CSR accesses themselves trap.
 
     Register discipline: bodies use only the working registers x5..x15;
     x28 (t3) holds the scratch base, x29 (t4) the loop counter, x30 (t5)
-    the indirect-call target, x1 (ra) the link register. *)
+    the indirect-call/mret target, x31 (t6) is handler-owned (saved in
+    mscratch across the handler body), x1 (ra) the link register.
+    Generated CSR writes target only mscratch — mtvec or mepc would wedge
+    the scaffold. *)
 
 type branch = Beq | Bne | Blt | Bge | Bltu | Bgeu
 
@@ -23,6 +36,12 @@ type block =
   | Call of { via_jalr : bool; body : Rv32.Insn.t list }
       (** A call to a leaf subroutine holding [body]; direct [jal ra] or,
           with [via_jalr], [la x30, fn; jalr ra, 0(x30)]. *)
+  | Mret
+      (** [la x30, cont; csrw mepc, x30; mret; cont:] — a software
+          mret returning to the next block, exercising mstatus privilege
+          unstacking. In U-mode the csrw and mret both trap and are
+          skipped by the handler, so the block is well-formed at any
+          privilege. *)
 
 type t = block list
 

@@ -78,6 +78,46 @@ let monotonic rng img =
     Failed "a scratch byte tainted under A is clean under A∪B"
   else Ok
 
+(* Trap delivery must not be a taint channel: mepc/mcause/mtval are
+   written by the trap-entry microarchitecture with control-plane (pub)
+   tags, even when the trapping instruction was processing tainted data —
+   e.g. an ecall with every argument register carrying HC, or a tainted
+   ebreak skipped by the handler. A tainted trap CSR would let a handler
+   launder secrets into "hardware" state. The generated scaffold only
+   ever writes pub values into mtvec/mepc, so any HC on these CSRs after
+   a run came from trap entry itself. *)
+let trap_entry_pub img =
+  let lat, lc, hc = lc_hc () in
+  let buf = Rv32_asm.Image.symbol img "buf" in
+  let policy =
+    Dift.Policy.make ~lattice:lat ~default_tag:lc
+      ~classification:
+        [
+          Dift.Policy.region ~name:"buf" ~lo:buf
+            ~hi:(buf + Prog.buf_size - 1)
+            ~tag:hc;
+        ]
+      ()
+  in
+  let soc, _ = run_tagged img policy in
+  let c = soc.Vp.Soc.cpu.Vp.Soc.cpu_csr in
+  let checks =
+    [
+      ("mepc", c.Rv32.Csr.t_mepc);
+      ("mcause", c.Rv32.Csr.t_mcause);
+      ("mtval", c.Rv32.Csr.t_mtval);
+      ("mtvec", c.Rv32.Csr.t_mtvec);
+    ]
+  in
+  match
+    List.find_opt (fun (_, t) -> not (Dift.Lattice.allowed_flow lat t lc)) checks
+  with
+  | Some (name, t) ->
+      Failed
+        (Printf.sprintf "trap CSR %s carries tag %s after trap entry" name
+           (Dift.Lattice.name lat t))
+  | None -> Ok
+
 let declass_free (r : Oracle.result3) =
   if r.Oracle.declassifications = 0 then Ok
   else

@@ -19,6 +19,14 @@ val monotonic : Rng.t -> Rv32_asm.Image.t -> verdict
     (registers and scratch bytes) of the A-run must be a subset of the
     A∪B-run — adding taint to an input can only widen tainted outputs. *)
 
+val trap_entry_pub : Rv32_asm.Image.t -> verdict
+(** Trap-delivery taint isolation: with the scratch buffer classified HC,
+    run the program (whose scaffold installs a trap handler and whose
+    blocks may trap on tainted data) and require the trap CSRs — mepc,
+    mcause, mtval, mtvec — to end at tags that flow to LC. Trap entry
+    writes architectural control-plane state; were it to inherit the
+    trapping instruction's data tag, a handler could launder secrets. *)
+
 val declass_free : Oracle.result3 -> verdict
 (** Declassification soundness for this workload: generated programs touch
     no declassifying peripheral (the AES engine), so any [Declassified]

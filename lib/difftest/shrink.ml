@@ -14,6 +14,7 @@ let with_body block body =
   | Prog.Guard g -> Prog.Guard { g with body }
   | Prog.Loop l -> Prog.Loop { l with body }
   | Prog.Call c -> Prog.Call { c with body }
+  | Prog.Mret -> Prog.Mret
 
 (* Delete [len] elements at [at]. *)
 let delete_range l ~at ~len =

@@ -2,6 +2,13 @@ exception Fatal_trap of { cause : int; pc : int; tval : int }
 
 type exit_reason = Running | Exited of int | Breakpoint | Insn_limit
 
+(* Architectural trap traffic, observable through {!set_trap_hook} (the SoC
+   wires it into the tracer): one event per trap entry (synchronous
+   exception or interrupt) and one per mret. *)
+type trap_event =
+  | Trap_enter of { cause : int; epc : int; tval : int; handler : int }
+  | Trap_return of { target : int; to_priv : int }
+
 (* Pluggable execution engines over the same decoded-block cache:
    [Interp] dispatches blocks through the per-instruction execute loop;
    [Threaded] compiles each block into a closure chain (threaded code)
@@ -35,6 +42,7 @@ module type S = sig
     ?block_cache:bool ->
     ?fast_path:bool ->
     ?engine:engine ->
+    ?strict_align:bool ->
     pc:int ->
     unit ->
     t
@@ -47,6 +55,7 @@ module type S = sig
   val set_reg_tagged : t -> Reg.t -> int -> Dift.Lattice.tag -> unit
   val csr : t -> Csr.t
   val instret : t -> int
+  val priv : t -> int
   val set_irq : t -> bit:int -> bool -> unit
   val step : t -> unit
   val spawn_thread : ?stop_kernel_on_halt:bool -> t -> unit
@@ -56,6 +65,7 @@ module type S = sig
   val halt : t -> exit_reason -> unit
   val unhalt : t -> unit
   val set_trace : t -> (int -> Insn.t -> unit) option -> unit
+  val set_trap_hook : t -> (trap_event -> unit) option -> unit
   val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
   val flush_code : t -> addr:int -> len:int -> unit
   val blocks_built : t -> int
@@ -69,7 +79,6 @@ end
 
 let mask32 v = v land 0xffffffff
 let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
-let cause_fetch_fault = 1
 
 (* --- Decoded basic blocks -------------------------------------------- *)
 
@@ -126,11 +135,13 @@ module Make (M : MODE) = struct
     mutable insn_word : int;
     mutable insn_tag : int;
     csrf : Csr.t;
+    mutable priv : int;  (* current privilege: Csr.priv_m or Csr.priv_u *)
     pub : int;  (* lattice bottom: tag of constants / x0 *)
     fetch_req : int option;
     branch_req : int option;
     mem_addr_req : int option;
     has_store_clearance : bool;
+    strict_align : bool;  (* misaligned data accesses fault (cause 4 / 6) *)
     decode_cache : (int, Insn.t) Hashtbl.t;
     (* pc-indexed direct cache over the DMI (RAM) region: validated by
        comparing the cached word, so self-modifying code re-decodes. Used
@@ -187,6 +198,9 @@ module Make (M : MODE) = struct
     mutable exit_reason : exit_reason;
     mutable trace : (int -> Insn.t -> unit) option;
     mutable on_merge : (int -> int -> int -> unit) option;
+    (* Read dynamically by enter_trap / mret (never from compiled chains:
+       trap instructions are breakers), so installing it needs no flush. *)
+    mutable on_trap : (trap_event -> unit) option;
   }
 
   (* Invalidate every cached block overlapping [addr .. addr+len-1] (the
@@ -229,7 +243,7 @@ module Make (M : MODE) = struct
 
   let create ~kernel ~bus ~policy ~monitor ?(cycle_time = Sysc.Time.ns 10)
       ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-      ?(engine = Threaded) ~pc () =
+      ?(engine = Threaded) ?(strict_align = false) ~pc () =
     let pc_cache_base, pc_cache_words, pc_cache_insns =
       match Bus_if.dmi_range bus with
       | Some (base, limit) ->
@@ -296,11 +310,13 @@ module Make (M : MODE) = struct
         insn_word = 0;
         insn_tag = pub;
         csrf = Csr.create ~default_tag:pub;
+        priv = Csr.priv_m;
         pub;
         fetch_req = policy.Dift.Policy.exec_fetch;
         branch_req = policy.Dift.Policy.exec_branch;
         mem_addr_req = policy.Dift.Policy.exec_mem_addr;
         has_store_clearance = policy.Dift.Policy.store_clearance <> [];
+        strict_align;
         decode_cache = Hashtbl.create 1024;
         pc_cache_base;
         pc_cache_words;
@@ -334,6 +350,7 @@ module Make (M : MODE) = struct
         exit_reason = Running;
         trace = None;
         on_merge = None;
+        on_trap = None;
       }
     in
     if t.use_blocks then
@@ -358,6 +375,8 @@ module Make (M : MODE) = struct
 
   let set_reg t r v = set_reg_tagged t r v t.pub
   let csr t = t.csrf
+  let priv t = t.priv
+  let set_trap_hook t fn = t.on_trap <- fn
   let instret t = t.instret
   let set_max_instructions t n = t.max_insns <- n
   let exit_reason t = t.exit_reason
@@ -454,22 +473,45 @@ module Make (M : MODE) = struct
 
   (* --- Traps and interrupts ----------------------------------------- *)
 
+  (* A privilege change invalidates any in-flight compiled chain (no chain
+     may span a privilege boundary); the cached blocks themselves are
+     privilege-agnostic — CSR access checks run on the breaker slow path —
+     so only the epoch moves. *)
+  let set_priv t p =
+    if p <> t.priv then begin
+      t.priv <- p;
+      t.flush_epoch <- t.flush_epoch + 1
+    end
+
   let enter_trap t ~cause ~tval ~epc =
     let c = t.csrf in
-    if c.Csr.v_mtvec = 0 then raise (Fatal_trap { cause; pc = epc; tval });
+    if Csr.mtvec_base c.Csr.v_mtvec = 0 then
+      raise (Fatal_trap { cause; pc = epc; tval });
     c.Csr.v_mepc <- epc;
     c.Csr.t_mepc <- t.pub;
     c.Csr.v_mcause <- cause;
     c.Csr.t_mcause <- t.pub;
     c.Csr.v_mtval <- mask32 tval;
     c.Csr.t_mtval <- t.pub;
+    (* Stack: MPIE <- MIE, MIE <- 0, MPP <- current privilege. *)
     let s = c.Csr.v_mstatus in
     let mie = (s lsr 3) land 1 in
     c.Csr.v_mstatus <-
-      s land lnot (Csr.mstatus_mie lor Csr.mstatus_mpie) lor (mie lsl 7);
+      s
+      land lnot (Csr.mstatus_mie lor Csr.mstatus_mpie lor Csr.mstatus_mpp_mask)
+      lor (mie lsl 7)
+      lor (t.priv lsl Csr.mstatus_mpp_shift);
+    set_priv t Csr.priv_m;
     (* Tags stay exact on the fast path, so this check runs even there. *)
     if M.tracking then check_branch t c.Csr.t_mtvec "trap vector (mtvec)";
-    t.pc <- c.Csr.v_mtvec
+    let base = Csr.mtvec_base c.Csr.v_mtvec in
+    t.pc <-
+      (if Csr.mtvec_mode c.Csr.v_mtvec = 1 && cause land 0x80000000 <> 0 then
+         mask32 (base + (4 * (cause land 0x7fffffff)))
+       else base);
+    match t.on_trap with
+    | Some f -> f (Trap_enter { cause; epc; tval = mask32 tval; handler = t.pc })
+    | None -> ()
 
   let trap t ~cause ~tval = enter_trap t ~cause ~tval ~epc:t.cur_pc
 
@@ -489,6 +531,11 @@ module Make (M : MODE) = struct
   (* --- Memory helpers ------------------------------------------------ *)
 
   let do_load t ~width ~addr =
+    if t.strict_align && addr land (width - 1) <> 0 then begin
+      trap t ~cause:Csr.cause_load_misaligned ~tval:addr;
+      t.insn_tag <- t.pub;
+      raise_notrace Exit
+    end;
     try Bus_if.load t.bus ~width ~addr
     with Bus_if.Bus_error _ ->
       trap t ~cause:Csr.cause_load_fault ~tval:addr;
@@ -497,6 +544,10 @@ module Make (M : MODE) = struct
       raise_notrace Exit
 
   let do_store t ~width ~addr ~value ~tag =
+    if t.strict_align && addr land (width - 1) <> 0 then begin
+      trap t ~cause:Csr.cause_store_misaligned ~tval:addr;
+      raise_notrace Exit
+    end;
     try Bus_if.store t.bus ~width ~addr ~value ~tag
     with Bus_if.Bus_error _ ->
       trap t ~cause:Csr.cause_store_fault ~tval:addr;
@@ -507,26 +558,46 @@ module Make (M : MODE) = struct
   type csr_op = Op_w | Op_s | Op_c
 
   let do_csr t rd n ~src_v ~src_t ~op ~do_write =
-    match Csr.read t.csrf ~cycles:t.instret ~instret:t.instret n with
-    | None -> trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
-    | Some (old_v, old_t) ->
-        let write_ok =
-          if do_write then begin
-            let new_v, new_t =
-              match op with
-              | Op_w -> (src_v, src_t)
-              | Op_s ->
-                  (old_v lor src_v, if M.tracking then lub t old_t src_t else t.pub)
-              | Op_c ->
-                  ( old_v land lnot src_v land 0xffffffff,
-                    if M.tracking then lub t old_t src_t else t.pub )
-            in
-            Csr.write t.csrf n ~value:new_v ~tag:new_t
-          end
-          else true
-        in
-        if write_ok then set_reg_tagged t rd old_v old_t
-        else trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+    if t.priv < Csr.required_priv n then
+      trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+    else
+      match Csr.read t.csrf ~cycles:t.instret ~instret:t.instret n with
+      | None -> trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+      | Some (old_v, old_t) ->
+          let write_ok =
+            if do_write then begin
+              let new_v, new_t =
+                match op with
+                | Op_w -> (src_v, src_t)
+                | Op_s ->
+                    ( old_v lor src_v,
+                      if M.tracking then lub t old_t src_t else t.pub )
+                | Op_c ->
+                    ( old_v land lnot src_v land 0xffffffff,
+                      if M.tracking then lub t old_t src_t else t.pub )
+              in
+              (* Trap-steering clearance: the trap vector and return
+                 address decide where machine-mode execution resumes, so a
+                 policy may require their writes to be untainted. Checked
+                 before the write lands (in Halt mode the violation raise
+                 leaves the CSR unchanged). *)
+              (if M.tracking && (n = Csr.mtvec || n = Csr.mepc) then
+                 match t.policy.Dift.Policy.trap_csr with
+                 | Some required ->
+                     check t
+                       ~kind:
+                         (Dift.Violation.Trap_steering
+                            (if n = Csr.mtvec then "mtvec" else "mepc"))
+                       ~data_tag:new_t ~required
+                       ~detail:(fun () ->
+                         Printf.sprintf "csr write of 0x%08x" (mask32 new_v))
+                 | None -> ());
+              Csr.write t.csrf n ~value:new_v ~tag:new_t
+            end
+            else true
+          in
+          if write_ok then set_reg_tagged t rd old_v old_t
+          else trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
 
   (* --- Execute -------------------------------------------------------- *)
 
@@ -707,18 +778,82 @@ module Make (M : MODE) = struct
         set_reg_tagged t rd r (tag2 a b)
     | FENCE -> ()
     | ECALL ->
-        if regs.(17) = 93 then halt t (Exited (signed regs.(10)))
-        else trap t ~cause:Csr.cause_ecall_m ~tval:0
-    | EBREAK -> halt t Breakpoint
+        if t.priv = Csr.priv_m && regs.(17) = 93 then
+          halt t (Exited (signed regs.(10)))
+        else begin
+          (* Syscall arguments are an explicit declassification gate: every
+             argument register must meet the gate clearance; admitted
+             arguments above the declassified class are downgraded, and
+             each downgrade is recorded by the monitor. *)
+          (if M.tracking then
+             match t.policy.Dift.Policy.ecall_gate with
+             | Some g ->
+                 for rno = 10 to 15 do
+                   let tag = rtags.(rno) in
+                   Dift.Monitor.count_check t.monitor;
+                   if
+                     not
+                       (Dift.Lattice.allowed_flow t.lat tag
+                          g.Dift.Policy.g_clearance)
+                   then
+                     Dift.Monitor.violation t.monitor
+                       {
+                         Dift.Violation.kind =
+                           Dift.Violation.Custom "ecall-gate";
+                         data_tag = tag;
+                         required_tag = g.Dift.Policy.g_clearance;
+                         pc = Some pc0;
+                         detail = Printf.sprintf "ecall argument a%d" (rno - 10);
+                       }
+                   else if
+                     tag <> g.Dift.Policy.g_declass
+                     && not
+                          (Dift.Lattice.allowed_flow t.lat tag
+                             g.Dift.Policy.g_declass)
+                   then begin
+                     rtags.(rno) <- g.Dift.Policy.g_declass;
+                     Dift.Monitor.report t.monitor
+                       (Dift.Monitor.Declassified
+                          {
+                            where = Printf.sprintf "ecall-gate(a%d)" (rno - 10);
+                            from_tag = tag;
+                            to_tag = g.Dift.Policy.g_declass;
+                          })
+                   end
+                 done
+             | None -> ());
+          trap t
+            ~cause:
+              (if t.priv = Csr.priv_m then Csr.cause_ecall_m
+               else Csr.cause_ecall_u)
+            ~tval:0
+        end
+    | EBREAK ->
+        (* With a handler installed, ebreak is an architectural breakpoint
+           trap; without one it keeps the simulator's stop convention. *)
+        if Csr.mtvec_base t.csrf.Csr.v_mtvec <> 0 then
+          trap t ~cause:Csr.cause_breakpoint ~tval:pc0
+        else halt t Breakpoint
     | MRET ->
-        let c = t.csrf in
-        let s = c.Csr.v_mstatus in
-        let mpie = (s lsr 7) land 1 in
-        c.Csr.v_mstatus <-
-          s land lnot Csr.mstatus_mie
-          lor (mpie lsl 3) lor Csr.mstatus_mpie;
-        if M.tracking then check_branch t c.Csr.t_mepc "mret target (mepc)";
-        branch_to c.Csr.v_mepc
+        if t.priv <> Csr.priv_m then
+          trap t ~cause:Csr.cause_illegal ~tval:t.insn_word
+        else begin
+          let c = t.csrf in
+          let s = c.Csr.v_mstatus in
+          let mpie = (s lsr 7) land 1 in
+          let mpp = Csr.mstatus_mpp s in
+          (* Unstack: MIE <- MPIE, MPIE <- 1, privilege <- MPP, MPP <- U. *)
+          c.Csr.v_mstatus <-
+            s
+            land lnot (Csr.mstatus_mie lor Csr.mstatus_mpp_mask)
+            lor (mpie lsl 3) lor Csr.mstatus_mpie;
+          if M.tracking then check_branch t c.Csr.t_mepc "mret target (mepc)";
+          set_priv t mpp;
+          branch_to c.Csr.v_mepc;
+          match t.on_trap with
+          | Some f -> f (Trap_return { target = t.pc; to_priv = mpp })
+          | None -> ()
+        end
     | WFI ->
         if t.csrf.Csr.v_mip land t.csrf.Csr.v_mie = 0 then t.in_wfi <- true
     | CSRRW (rd, rs1, n) ->
@@ -760,18 +895,26 @@ module Make (M : MODE) = struct
   let step t =
     let c = t.csrf in
     if
-      c.Csr.v_mstatus land Csr.mstatus_mie <> 0
+      (t.priv <> Csr.priv_m || c.Csr.v_mstatus land Csr.mstatus_mie <> 0)
       && c.Csr.v_mip land c.Csr.v_mie <> 0
     then take_interrupt t
     else begin
       let pc0 = t.pc in
       t.cur_pc <- pc0;
+      if pc0 land 3 <> 0 then begin
+        (* Misaligned fetch faults at the fetch itself: epc and mtval are
+           the misaligned target (branch targets are encoded in multiples
+           of 2, so only bit 1 can be set). *)
+        enter_trap t ~cause:Csr.cause_fetch_misaligned ~tval:pc0 ~epc:pc0;
+        t.instret <- t.instret + 1
+      end
+      else
       match
         try
           t.insn_word <- Bus_if.load t.bus ~width:4 ~addr:pc0;
           true
         with Bus_if.Bus_error _ ->
-          enter_trap t ~cause:cause_fetch_fault ~tval:pc0 ~epc:pc0;
+          enter_trap t ~cause:Csr.cause_fetch_fault ~tval:pc0 ~epc:pc0;
           false
       with
       | false -> t.instret <- t.instret + 1
@@ -790,9 +933,11 @@ module Make (M : MODE) = struct
 
   (* --- Block dispatch ------------------------------------------------ *)
 
+  (* M-mode interrupts are always enabled below M (mstatus.MIE only gates
+     them at machine level, per the privileged spec). *)
   let interrupt_pending t =
     let c = t.csrf in
-    c.Csr.v_mstatus land Csr.mstatus_mie <> 0
+    (t.priv <> Csr.priv_m || c.Csr.v_mstatus land Csr.mstatus_mie <> 0)
     && c.Csr.v_mip land c.Csr.v_mie <> 0
 
   (* Fetch-decode a block starting at [pc] (word-aligned, inside the DMI
@@ -1033,6 +1178,9 @@ module Make (M : MODE) = struct
        load traps exactly like {!do_load} (the trap itself cannot taint:
        CSR tags are written as bottom). *)
     let load width sext rd rs1 off =
+     (* Alignment strictness is a create-time constant, so the check is
+        specialized away on default cores. *)
+     let align = t.strict_align && width > 1 in
      fun () ->
       if (not guarded) || not (chain_stalled t) then begin
         t.cur_pc <- pc0;
@@ -1042,27 +1190,33 @@ module Make (M : MODE) = struct
         t.local_cycles <- t.local_cycles + 1;
         t.pc <- next_pc;
         let addr = mask32 (Array.unsafe_get regs rs1 + off) in
-        (try
-           let v = sext (Bus_if.load t.bus ~width ~addr) in
-           if rd <> 0 then begin
-             Array.unsafe_set regs rd (mask32 v);
-             if M.tracking then begin
-               let tag = Bus_if.last_tag t.bus in
-               if tag <> t.pub then begin
-                 Array.unsafe_set rtags rd tag;
-                 t.fast <- false
+        if align && addr land (width - 1) <> 0 then begin
+          trap t ~cause:Csr.cause_load_misaligned ~tval:addr;
+          t.insn_tag <- t.pub
+        end
+        else
+          (try
+             let v = sext (Bus_if.load t.bus ~width ~addr) in
+             if rd <> 0 then begin
+               Array.unsafe_set regs rd (mask32 v);
+               if M.tracking then begin
+                 let tag = Bus_if.last_tag t.bus in
+                 if tag <> t.pub then begin
+                   Array.unsafe_set rtags rd tag;
+                   t.fast <- false
+                 end
                end
              end
-           end
-         with Bus_if.Bus_error _ ->
-           trap t ~cause:Csr.cause_load_fault ~tval:addr;
-           t.insn_tag <- t.pub);
+           with Bus_if.Bus_error _ ->
+             trap t ~cause:Csr.cause_load_fault ~tval:addr;
+             t.insn_tag <- t.pub);
         if t.pc = next_pc then if t.fast then next () else fallback ()
       end
     in
     (* Stores cannot taint registers; the written tag is bottom by the
        fast-path invariant (rs2's tag is bottom whenever this runs). *)
     let store width rs1 rs2 off =
+     let align = t.strict_align && width > 1 in
      fun () ->
       if (not guarded) || not (chain_stalled t) then begin
         t.cur_pc <- pc0;
@@ -1072,12 +1226,15 @@ module Make (M : MODE) = struct
         t.local_cycles <- t.local_cycles + 1;
         t.pc <- next_pc;
         let addr = mask32 (Array.unsafe_get regs rs1 + off) in
-        (try
-           Bus_if.store t.bus ~width ~addr
-             ~value:(Array.unsafe_get regs rs2)
-             ~tag:t.pub
-         with Bus_if.Bus_error _ ->
-           trap t ~cause:Csr.cause_store_fault ~tval:addr);
+        if align && addr land (width - 1) <> 0 then
+          trap t ~cause:Csr.cause_store_misaligned ~tval:addr
+        else
+          (try
+             Bus_if.store t.bus ~width ~addr
+               ~value:(Array.unsafe_get regs rs2)
+               ~tag:t.pub
+           with Bus_if.Bus_error _ ->
+             trap t ~cause:Csr.cause_store_fault ~tval:addr);
         if t.pc = next_pc then next ()
       end
     in
@@ -1442,7 +1599,9 @@ module Make (M : MODE) = struct
       [ c.Csr.v_mstatus; c.Csr.v_mie; c.Csr.v_mip; c.Csr.v_mtvec;
         c.Csr.v_mscratch; c.Csr.v_mepc; c.Csr.v_mcause; c.Csr.v_mtval;
         c.Csr.t_mstatus; c.Csr.t_mie; c.Csr.t_mip; c.Csr.t_mtvec;
-        c.Csr.t_mscratch; c.Csr.t_mepc; c.Csr.t_mcause; c.Csr.t_mtval ]
+        c.Csr.t_mscratch; c.Csr.t_mepc; c.Csr.t_mcause; c.Csr.t_mtval ];
+    (* v2: current privilege level. *)
+    put_u8 w t.priv
 
   let load t r =
     let open Snapshot.Codec in
@@ -1480,6 +1639,11 @@ module Make (M : MODE) = struct
     c.Csr.t_mepc <- get_u32 r;
     c.Csr.t_mcause <- get_u32 r;
     c.Csr.t_mtval <- get_u32 r;
+    (* v1 snapshots predate the privilege architecture; everything ran in
+       machine mode then. [set_priv] so a privilege change invalidates any
+       compiled chains. *)
+    set_priv t
+      (if Snapshot.Codec.reader_version r >= 2 then get_u8 r else Csr.priv_m);
     (* A snapshot taken at a pause has the thread parked on its sync
        notification ([syncing] = true); the restored core is back at that
        same checkpoint, so it counts as paused — which keeps it saveable

@@ -52,6 +52,16 @@ type exit_reason =
   | Breakpoint  (** [ebreak] executed. *)
   | Insn_limit  (** The configured instruction budget was exhausted. *)
 
+type trap_event =
+  | Trap_enter of { cause : int; epc : int; tval : int; handler : int }
+      (** A trap (synchronous or interrupt) was taken: [cause] is the raw
+          [mcause] value (bit 31 set for interrupts), [epc]/[tval] the values
+          written to [mepc]/[mtval], [handler] the resolved (possibly
+          vectored) target pc. *)
+  | Trap_return of { target : int; to_priv : int }
+      (** [mret] executed: [target] is the restored pc, [to_priv] the
+          privilege level returned to. *)
+
 type engine =
   | Interp
       (** Dispatch cached blocks through the per-instruction execute
@@ -83,6 +93,7 @@ module type S = sig
     ?block_cache:bool ->
     ?fast_path:bool ->
     ?engine:engine ->
+    ?strict_align:bool ->
     pc:int ->
     unit ->
     t
@@ -94,7 +105,9 @@ module type S = sig
       untainted fast path on top of it (tracking flavour only).
       [engine] (default [Threaded]) selects how cached blocks are
       executed; with [block_cache] off (or no DMI region) both engines
-      degrade to single-stepping and the choice is irrelevant. *)
+      degrade to single-stepping and the choice is irrelevant.
+      [strict_align] (default false) traps naturally misaligned data
+      accesses with causes 4/6 instead of letting the bus split them. *)
 
   (** {1 Architectural state} *)
 
@@ -108,6 +121,11 @@ module type S = sig
   val set_reg_tagged : t -> Reg.t -> int -> Dift.Lattice.tag -> unit
   val csr : t -> Csr.t
   val instret : t -> int
+
+  val priv : t -> int
+  (** Current privilege level: {!Csr.priv_m} (3) or {!Csr.priv_u} (0).
+      Resets to machine mode; trap entry raises to M, [mret] drops to
+      [mstatus.MPP]. *)
 
   (** {1 Interrupt lines (driven by CLINT / PLIC)} *)
 
@@ -159,6 +177,14 @@ module type S = sig
       its own (the first handler instruction is reported normally).
       Installing a hook does not flush cached blocks and does not disable
       the fast path. *)
+
+  val set_trap_hook : t -> (trap_event -> unit) option -> unit
+  (** Install (or remove) an observer of trap entries and [mret]s, fired
+      after the architectural state change (so [mepc]/[mcause]/[mtval] and
+      the new pc are already visible). Trap-taking instructions always
+      execute on the shared slow path (they are block breakers), so the
+      hook sees identical streams from both engines and installing it
+      flushes nothing. *)
 
   val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
   (** Install (or remove) a tag-merge observer, called as [f a b r] for

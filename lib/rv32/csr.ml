@@ -18,15 +18,48 @@ let time_csr = 0xc01
 let instret = 0xc02
 let mstatus_mie = 1 lsl 3
 let mstatus_mpie = 1 lsl 7
+let mstatus_mpp_shift = 11
+let mstatus_mpp_mask = 3 lsl mstatus_mpp_shift
+let priv_u = 0
+let priv_m = 3
 let bit_msi = 1 lsl 3
 let bit_mti = 1 lsl 7
 let bit_mei = 1 lsl 11
+let cause_fetch_misaligned = 0
+let cause_fetch_fault = 1
 let cause_illegal = 2
 let cause_breakpoint = 3
-let cause_ecall_m = 11
+let cause_load_misaligned = 4
 let cause_load_fault = 5
+let cause_store_misaligned = 6
 let cause_store_fault = 7
+let cause_ecall_u = 8
+let cause_ecall_m = 11
 let cause_interrupt bit = 0x80000000 lor bit
+
+let cause_name c =
+  if c land 0x80000000 <> 0 then
+    match c land 0x7fffffff with
+    | 3 -> "machine-software-irq"
+    | 7 -> "machine-timer-irq"
+    | 11 -> "machine-external-irq"
+    | n -> Printf.sprintf "irq-%d" n
+  else
+    match c with
+    | 0 -> "fetch-misaligned"
+    | 1 -> "fetch-fault"
+    | 2 -> "illegal-instruction"
+    | 3 -> "breakpoint"
+    | 4 -> "load-misaligned"
+    | 5 -> "load-fault"
+    | 6 -> "store-misaligned"
+    | 7 -> "store-fault"
+    | 8 -> "ecall-u"
+    | 11 -> "ecall-m"
+    | n -> Printf.sprintf "cause-%d" n
+
+(* Privilege level required to touch a CSR lives in address bits [9:8]. *)
+let required_priv num = (num lsr 8) land 3
 
 type t = {
   mutable v_mstatus : int;
@@ -70,8 +103,12 @@ let create ~default_tag =
     default_tag;
   }
 
-(* RV32IM, machine mode: MXL=1, extensions I and M. *)
-let misa_value = 0x40000000 lor (1 lsl 8) lor (1 lsl 12)
+(* RV32IM with U-mode: MXL=1, extensions I, M and U. *)
+let misa_value = 0x40000000 lor (1 lsl 8) lor (1 lsl 12) lor (1 lsl 20)
+
+let mtvec_base v = v land 0xfffffffc
+let mtvec_mode v = v land 3
+let mstatus_mpp v = (v lsr mstatus_mpp_shift) land 3
 
 let read c ~cycles ~instret:n_instret num =
   if num = mstatus then Some (c.v_mstatus, c.t_mstatus)
@@ -94,9 +131,13 @@ let read c ~cycles ~instret:n_instret num =
 
 let write c num ~value ~tag =
   if num = mstatus then begin
-    (* Only MIE and MPIE are writable; MPP stays machine. *)
+    (* Writable fields: MIE, MPIE, MPP. MPP is WARL over {U, M}: the
+       unimplemented S/H encodings snap to M. *)
+    let mpp = (value lsr mstatus_mpp_shift) land 3 in
+    let mpp = if mpp = priv_u then priv_u else priv_m in
     c.v_mstatus <-
-      0x1800 lor (value land (mstatus_mie lor mstatus_mpie));
+      (mpp lsl mstatus_mpp_shift)
+      lor (value land (mstatus_mie lor mstatus_mpie));
     c.t_mstatus <- tag;
     true
   end
@@ -109,8 +150,10 @@ let write c num ~value ~tag =
     (* Software may not set external/timer pending bits directly. *)
     true
   else if num = mtvec then begin
-    (* Direct mode only: force 4-byte alignment. *)
-    c.v_mtvec <- value land 0xfffffffc;
+    (* WARL: base is 4-byte aligned; mode 0 (direct) and 1 (vectored) are
+       implemented, the reserved modes snap to direct. *)
+    let mode = value land 3 in
+    c.v_mtvec <- (value land 0xfffffffc) lor (if mode <= 1 then mode else 0);
     c.t_mtvec <- tag;
     true
   end

@@ -33,6 +33,27 @@ val mstatus_mie : int
 val mstatus_mpie : int
 (** Previous MIE (bit 7). *)
 
+val mstatus_mpp_shift : int
+(** Bit position of the MPP (previous privilege) field. *)
+
+val mstatus_mpp_mask : int
+(** Mask of the MPP field (bits 11..12). *)
+
+val mstatus_mpp : int -> int
+(** Extract the MPP field from an mstatus value. *)
+
+(** {1 Privilege levels} *)
+
+val priv_u : int
+(** User mode (0). *)
+
+val priv_m : int
+(** Machine mode (3). *)
+
+val required_priv : int -> int
+(** Minimum privilege level required to access a CSR number (encoded in
+    address bits [9:8] per the Zicsr spec). *)
+
 val bit_msi : int
 (** Machine software interrupt (bit 3). *)
 
@@ -44,14 +65,30 @@ val bit_mei : int
 
 (** {1 Trap causes} *)
 
+val cause_fetch_misaligned : int
+val cause_fetch_fault : int
 val cause_illegal : int
 val cause_breakpoint : int
-val cause_ecall_m : int
+val cause_load_misaligned : int
 val cause_load_fault : int
+val cause_store_misaligned : int
 val cause_store_fault : int
+val cause_ecall_u : int
+val cause_ecall_m : int
 val cause_interrupt : int -> int
 (** Interrupt cause for an mcause bit index (sets the interrupt flag, which
     on RV32 is bit 31). *)
+
+val cause_name : int -> string
+(** Human-readable name of an mcause value (exceptions and interrupts). *)
+
+(** {1 mtvec helpers} *)
+
+val mtvec_base : int -> int
+(** Trap-vector base address (bits 31..2) of an mtvec value. *)
+
+val mtvec_mode : int -> int
+(** Trap-vector mode (0 = direct, 1 = vectored) of an mtvec value. *)
 
 type t = {
   mutable v_mstatus : int;

@@ -65,9 +65,16 @@ let put_list w f xs =
 
 (* --- Reader ---------------------------------------------------------- *)
 
-type reader = { src : string; mutable pos : int }
+(* [version] is the container format version the data was written under
+   (stamped by whoever decodes the container, e.g. Soc.restore); loaders
+   branch on it to fill fields that older snapshots predate. Fresh readers
+   start at the current version. *)
+type reader = { src : string; mutable pos : int; mutable version : int }
 
-let reader s = { src = s; pos = 0 }
+let current_version = 2
+let reader s = { src = s; pos = 0; version = current_version }
+let reader_version r = r.version
+let set_reader_version r v = r.version <- v
 
 let need r n =
   if r.pos + n > String.length r.src then
@@ -142,12 +149,22 @@ let expect_end r =
 
 module Container = struct
   let magic = "DIFTVPSN"
-  let version = 1
 
-  let encode sections =
+  (* Version history:
+     1 — initial format (regs/tags/CSRs, peripherals, kernel).
+     2 — privilege architecture: cpu section gains the current privilege
+         level; plic section gains priorities, threshold, in-service and
+         level-source state. Readers of a v1 snapshot fill the new fields
+         with their reset defaults. *)
+  let version = current_version
+  let min_version = 1
+
+  let encode_at ~version:v sections =
+    if v < min_version || v > version then
+      invalid_arg (Printf.sprintf "Container.encode_at: version %d" v);
     let w = writer () in
     Buffer.add_string w magic;
-    put_u32 w version;
+    put_u32 w v;
     put_list w
       (fun w (name, payload) ->
         put_string w name;
@@ -155,18 +172,23 @@ module Container = struct
       sections;
     contents w
 
-  let decode s =
+  let encode sections = encode_at ~version sections
+
+  let decode_versioned s =
     if String.length s < 8 || String.sub s 0 8 <> magic then
       corrupt "not a VP snapshot (bad magic)";
     let r = reader s in
     r.pos <- 8;
     let v = get_u32 r in
-    if v <> version then corrupt "unsupported snapshot version %d" v;
+    if v < min_version || v > version then
+      corrupt "unsupported snapshot version %d" v;
     let sections = get_list r (fun r ->
         let name = get_string r in
         let payload = get_string r in
         (name, payload))
     in
     expect_end r;
-    sections
+    (v, sections)
+
+  let decode s = snd (decode_versioned s)
 end

@@ -42,6 +42,14 @@ type reader
 
 val reader : string -> reader
 
+val reader_version : reader -> int
+(** Container format version the data was written under. Fresh readers
+    assume the current version; {!set_reader_version} overrides (stamped by
+    [Soc.restore] from the decoded container so per-section loaders can
+    default fields that older snapshots predate). *)
+
+val set_reader_version : reader -> int -> unit
+
 val get_u8 : reader -> int
 val get_u32 : reader -> int
 val get_i64 : reader -> int
@@ -65,10 +73,25 @@ val expect_end : reader -> unit
     files. *)
 module Container : sig
   val magic : string
+
   val version : int
+  (** Current (newest) format version, always used for writing. *)
+
+  val min_version : int
+  (** Oldest version {!decode} still accepts; loaders fill fields newer
+      than the stored version with their reset defaults. *)
 
   val encode : (string * string) list -> string
 
+  val encode_at : version:int -> (string * string) list -> string
+  (** Encode under an older (still-supported) format version — the
+      sections must already match that version's layout. Exists for
+      migration tests and tooling; raises [Invalid_argument] outside
+      [min_version..version]. *)
+
   val decode : string -> (string * string) list
   (** Raises {!Corrupt} on a bad magic or unsupported version. *)
+
+  val decode_versioned : string -> int * (string * string) list
+  (** Like {!decode}, also returning the stored format version. *)
 end

@@ -2,6 +2,7 @@ type kind =
   | Insn
   | Tlm_read
   | Tlm_write
+  | Trap
   | Violation
   | Declass
   | Note
@@ -42,6 +43,7 @@ let kind_name = function
   | Insn -> "insn"
   | Tlm_read -> "rd"
   | Tlm_write -> "wr"
+  | Trap -> "trap"
   | Violation -> "violation"
   | Declass -> "declass"
   | Note -> "note"

@@ -8,6 +8,10 @@
     - [Tlm_read]/[Tlm_write]: [addr] = global bus address, [data] = payload
       length in bytes, [tag] = LUB of the payload byte tags, [text] =
       target peripheral name.
+    - [Trap]: [addr] = interrupted pc on entry / restored pc on return,
+      [data] = raw [mcause] on entry (bit 31 set for interrupts) / target
+      privilege on return, [text] = description (built by the platform,
+      which knows the cause names).
     - [Violation]: [addr] = pc (-1 if unknown), [tag] = offending data
       tag, [text] = violation kind and detail.
     - [Declass]: [data] = source tag, [tag] = result tag, [text] = where.
@@ -17,6 +21,7 @@ type kind =
   | Insn
   | Tlm_read
   | Tlm_write
+  | Trap
   | Violation
   | Declass
   | Note

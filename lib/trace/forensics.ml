@@ -44,6 +44,9 @@ let pp_event tracer ppf (e : Event.t) =
         e.Event.time
         (Event.kind_name e.Event.kind)
         e.Event.text e.Event.addr e.Event.data (tag_name e.Event.tag)
+  | Event.Trap ->
+      Format.fprintf ppf "[%10dps] trap %s (pc=0x%08x)" e.Event.time
+        e.Event.text e.Event.addr
   | Event.Violation ->
       let pc =
         if e.Event.addr < 0 then "?"

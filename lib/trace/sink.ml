@@ -26,6 +26,12 @@ let event_json t (e : Event.t) =
           ("tag", J.Str (tag_name t e.Event.tag));
           ("target", J.Str e.Event.text);
         ]
+    | Event.Trap ->
+        [
+          ("pc", J.num_of_int e.Event.addr);
+          ("code", J.num_of_int e.Event.data);
+          ("what", J.Str e.Event.text);
+        ]
     | Event.Violation ->
         [
           ("pc", J.num_of_int e.Event.addr);
@@ -102,6 +108,12 @@ let write_chrome t oc =
                 ("addr", J.num_of_int e.Event.addr);
                 ("len", J.num_of_int e.Event.data);
                 ("tag", J.Str (tag_name t e.Event.tag));
+              ]
+        | Event.Trap ->
+            instant ~tid:1 ("trap: " ^ e.Event.text)
+              [
+                ("pc", J.num_of_int e.Event.addr);
+                ("code", J.num_of_int e.Event.data);
               ]
         | Event.Violation ->
             instant ~scope:"g" ~tid:1

@@ -47,6 +47,17 @@ let record_tlm t ~time ~write ~addr ~len ~tag ~target =
   e.Event.text <- target;
   observed t e
 
+let record_trap t ~time ~addr ~code ~text =
+  let e = Ring.emit t.ring in
+  e.Event.time <- time;
+  e.Event.kind <- Event.Trap;
+  e.Event.addr <- addr;
+  e.Event.data <- code;
+  e.Event.tag <- 0;
+  e.Event.tainted <- false;
+  e.Event.text <- text;
+  observed t e
+
 let record_violation t ~time ~pc ~tag ~what =
   let e = Ring.emit t.ring in
   e.Event.time <- time;

@@ -48,6 +48,11 @@ val record_tlm :
   target:string ->
   unit
 
+val record_trap : t -> time:int -> addr:int -> code:int -> text:string -> unit
+(** A trap entry or [mret] (see {!Event.kind} for the field meaning); the
+    caller formats [text] since the tracer knows nothing about cause
+    names. *)
+
 val record_violation :
   t -> time:int -> pc:int -> tag:Dift.Lattice.tag -> what:string -> unit
 

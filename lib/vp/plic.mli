@@ -1,12 +1,26 @@
-(** Simplified platform-level interrupt controller: 31 edge-triggered
-    sources with a single target context.
+(** Platform-level interrupt controller: 31 sources, one target context,
+    with per-source priorities, a claim threshold and an in-service mask.
 
-    Register map:
+    Register map (word registers):
     - [0x00] PENDING (read): bitmask of pending sources;
     - [0x04] ENABLE (read/write): bitmask of enabled sources;
-    - [0x08] CLAIM (read): lowest pending-and-enabled source id, atomically
-      cleared (0 if none); COMPLETE (write): end-of-interrupt, re-evaluates
-      the external-interrupt line. *)
+    - [0x08] CLAIM (read): best pending source id, atomically moved from
+      pending to in-service (0 if none); COMPLETE (write): source id ends
+      its in-service window — a level-triggered source still asserted goes
+      straight back to pending;
+    - [0x10] THRESHOLD (read/write): only sources with priority strictly
+      above it are delivered (0..7, reset 0);
+    - [0x80 + 4*src] PRIORITY (read/write): per-source priority (0..7,
+      reset 1; priority 0 effectively masks the source).
+
+    Arbitration picks the highest priority among pending, enabled,
+    not-in-service sources above the threshold, ties to the lowest source
+    id. The external line (MEIP) is the level of that predicate.
+
+    Values read from the controller are always public/trusted: interrupt
+    delivery is control plane — a tainted payload in the triggering
+    peripheral must not taint the claim/dispatch path (pinned by
+    [test_plic]). *)
 
 type t
 
@@ -17,10 +31,23 @@ val set_ext_irq_callback : t -> (bool -> unit) -> unit
 (** Level callback for MEIP (wired to {!Rv32.Csr.bit_mei}). *)
 
 val trigger : t -> int -> unit
-(** Peripheral gateway: mark source [1..31] pending. *)
+(** Edge gateway: mark source [1..31] pending. *)
+
+val set_level : t -> int -> bool -> unit
+(** Level gateway: assert or release source [1..31]. Asserting pends the
+    source (unless in service); a source still asserted at COMPLETE is
+    immediately pending again. *)
 
 val pending : t -> int
 val enabled : t -> int
+
+val in_service : t -> int
+(** Bitmask of claimed-but-not-completed sources. *)
+
+val threshold : t -> int
+
+val priority : t -> int -> int
+(** Priority of source [1..31]. *)
 
 val save : t -> Snapshot.Codec.writer -> unit
 val load : t -> Snapshot.Codec.reader -> unit

@@ -28,8 +28,10 @@ type cpu = {
   cpu_set_reg : int -> int -> unit;
   cpu_set_irq : bit:int -> on:bool -> unit;
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
+  cpu_set_trap_hook : (Rv32.Core.trap_event -> unit) option -> unit;
   cpu_set_merge_hook : (int -> int -> int -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
+  cpu_priv : unit -> int;
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
   cpu_fast_retired : unit -> int;
@@ -77,8 +79,10 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_set_reg = (fun r v -> C.set_reg core r v);
       cpu_set_irq = (fun ~bit ~on -> C.set_irq core ~bit on);
       cpu_set_trace = (fun fn -> C.set_trace core fn);
+      cpu_set_trap_hook = (fun fn -> C.set_trap_hook core fn);
       cpu_set_merge_hook = (fun fn -> C.set_merge_hook core fn);
       cpu_csr = C.csr core;
+      cpu_priv = (fun () -> C.priv core);
       cpu_flush_code = (fun ~addr ~len -> C.flush_code core ~addr ~len);
       cpu_blocks_built = (fun () -> C.blocks_built core);
       cpu_fast_retired = (fun () -> C.fast_retired core);
@@ -96,7 +100,8 @@ module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
 
 let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     ?(dmi = true) ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-    ?(engine = Rv32.Core.Threaded) ?sensor_period ?aes_out_tag
+    ?(engine = Rv32.Core.Threaded) ?(strict_align = false) ?sensor_period
+    ?aes_out_tag
     ?aes_in_clearance ?wdt_clearance ?tracer () =
   let kernel = Sysc.Kernel.create () in
   let env =
@@ -144,11 +149,11 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     if tracking then
       Wrap_dift.make
         (Rv32.Core.Vp_dift.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~block_cache ~fast_path ~engine ~pc:ram_base ())
+           ~block_cache ~fast_path ~engine ~strict_align ~pc:ram_base ())
     else
       Wrap_vp.make
         (Rv32.Core.Vp.create ~kernel ~bus ~policy ~monitor ~quantum
-           ~block_cache ~fast_path ~engine ~pc:ram_base ())
+           ~block_cache ~fast_path ~engine ~strict_align ~pc:ram_base ())
   in
   (* Writes landing in RAM behind the CPU's back (DMA over TLM, the loader,
      direct test pokes, reclassification) invalidate decoded blocks. *)
@@ -160,7 +165,11 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
       cpu.cpu_set_irq ~bit:Rv32.Csr.bit_msi ~on);
   Plic.set_ext_irq_callback plic (fun on ->
       cpu.cpu_set_irq ~bit:Rv32.Csr.bit_mei ~on);
-  Uart.set_irq_callback uart (fun on -> if on then Plic.trigger plic irq_uart);
+  (* The UART's rx interrupt is a level: it stays asserted while data sits
+     unread in the fifo, so an ISR that claims but never drains (or never
+     claims at all) keeps the source live through the PLIC's
+     complete-repend path. *)
+  Uart.set_irq_callback uart (fun on -> Plic.set_level plic irq_uart on);
   Gpio.set_irq_callback gpio (fun () -> Plic.trigger plic irq_gpio);
   Sensor.set_irq_callback sensor (fun () -> Plic.trigger plic irq_sensor);
   Can.set_irq_callback can (fun () -> Plic.trigger plic irq_can);
@@ -249,12 +258,45 @@ let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
                   f pc insn)
         in
         install (compose ());
+        (* Trap entries and mrets enter the event stream (the forensic
+           window then shows "trap" lines around a violation raised inside
+           a handler). Same composition contract as the trace hook. *)
+        let internal_trap ev =
+          match ev with
+          | Rv32.Core.Trap_enter { cause; epc; tval = _; handler } ->
+              Trace.Tracer.record_trap tr ~time:(now ()) ~addr:epc ~code:cause
+                ~text:
+                  (Printf.sprintf "enter %s -> 0x%08x"
+                     (Rv32.Csr.cause_name cause) handler)
+          | Rv32.Core.Trap_return { target; to_priv } ->
+              Trace.Tracer.record_trap tr ~time:(now ()) ~addr:target
+                ~code:to_priv
+                ~text:
+                  (Printf.sprintf "mret -> 0x%08x (priv %s)" target
+                     (if to_priv = Rv32.Csr.priv_m then "M" else "U"))
+        in
+        let external_trap = ref None in
+        let install_trap = cpu.cpu_set_trap_hook in
+        let compose_trap () =
+          match !external_trap with
+          | None -> Some internal_trap
+          | Some f ->
+              Some
+                (fun ev ->
+                  internal_trap ev;
+                  f ev)
+        in
+        install_trap (compose_trap ());
         {
           cpu with
           cpu_set_trace =
             (fun fn ->
               external_hook := fn;
               install (compose ()));
+          cpu_set_trap_hook =
+            (fun fn ->
+              external_trap := fn;
+              install_trap (compose_trap ()));
         }
   in
   {
@@ -398,10 +440,15 @@ let boot_snapshot soc =
 
 let restore soc data =
   let open Snapshot.Codec in
-  let sections = Container.decode data in
+  let version, sections = Container.decode_versioned data in
   let rd name =
     match List.assoc_opt name sections with
-    | Some payload -> reader payload
+    | Some payload ->
+        let r = reader payload in
+        (* Stamp the container version so per-section loaders can default
+           fields that older snapshots predate. *)
+        set_reader_version r version;
+        r
     | None -> raise (Corrupt (Printf.sprintf "missing section %S" name))
   in
   let sec name loadfn =

@@ -5,7 +5,7 @@
     Memory map:
     {v
       0x0200_0000  CLINT (msip / mtimecmp / mtime)
-      0x0c00_0000  PLIC  (pending / enable / claim)
+      0x0c00_0000  PLIC  (pending / enable / claim / threshold / priorities)
       0x1000_0000  UART
       0x4000_0000  GPIO
       0x5000_0000  Sensor (Fig. 4)
@@ -54,8 +54,13 @@ type cpu = {
   cpu_set_trace : (int -> Rv32.Insn.t -> unit) option -> unit;
       (** On a SoC built with a tracer this composes: the tracer's internal
           ring push always runs first, then the hook installed here. *)
+  cpu_set_trap_hook : (Rv32.Core.trap_event -> unit) option -> unit;
+      (** Same composition contract as [cpu_set_trace]: with a tracer
+          attached the internal trap-event recorder runs first. *)
   cpu_set_merge_hook : (int -> int -> int -> unit) option -> unit;
   cpu_csr : Rv32.Csr.t;
+  cpu_priv : unit -> int;
+      (** Current privilege level ({!Rv32.Csr.priv_m} / {!Rv32.Csr.priv_u}). *)
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
   cpu_fast_retired : unit -> int;
@@ -96,6 +101,7 @@ val create :
   ?block_cache:bool ->
   ?fast_path:bool ->
   ?engine:Rv32.Core.engine ->
+  ?strict_align:bool ->
   ?sensor_period:Sysc.Time.t ->
   ?aes_out_tag:Dift.Lattice.tag ->
   ?aes_in_clearance:Dift.Lattice.tag ->
@@ -108,7 +114,8 @@ val create :
     [block_cache] / [fast_path] control the core's decoded basic-block
     cache and untainted fast path (both default true, see
     {!Rv32.Core.S.create}); [engine] selects the core's execution engine
-    (default {!Rv32.Core.Threaded}); [aes_out_tag] defaults to the lattice
+    (default {!Rv32.Core.Threaded}); [strict_align] traps misaligned data
+    accesses (default false); [aes_out_tag] defaults to the lattice
     bottom
     (fully declassified ciphertext). RAM writes that bypass the CPU (DMA,
     the loader) are wired to block-cache invalidation. Peripheral processes

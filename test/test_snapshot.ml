@@ -422,6 +422,181 @@ let test_wilander_across_checkpoint id () =
         (soc1.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
   | () -> Alcotest.failf "attack %d missed after resume" id
 
+(* --- checkpoint inside a trap handler ----------------------------------- *)
+
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+module C = Rv32.Csr
+
+(* Interrupt-driven firmware with live privilege state everywhere: the
+   main loop spins in U-mode; the sensor's PLIC source (priority 5,
+   threshold 1) interrupts it; the ISR claims, dawdles, completes, and
+   exits 0 after the third frame. Pausing between the claim and the
+   complete checkpoints a SoC with a non-empty PLIC in-service mask and a
+   stacked mstatus. *)
+let irq_program p =
+  Firmware.Rt.entry p ();
+  A.la p R.t6 "handler";
+  A.csrrw p R.zero C.mtvec R.t6;
+  A.li p R.t0 Vp.Soc.plic_base;
+  A.li p R.t1 1;
+  A.sw p R.t1 R.t0 0x10;
+  A.li p R.t1 5;
+  A.sw p R.t1 R.t0 (0x80 + (4 * Vp.Soc.irq_sensor));
+  A.li p R.t1 (1 lsl Vp.Soc.irq_sensor);
+  A.sw p R.t1 R.t0 4;
+  A.li p R.t0 C.bit_mei;
+  A.csrrs p R.zero C.mie R.t0;
+  (* Drop to U-mode with MPIE set, so the mret lands with MIE on. *)
+  A.li p R.t0 C.mstatus_mpie;
+  A.csrrs p R.zero C.mstatus R.t0;
+  A.la p R.t6 "uloop";
+  A.csrrw p R.zero C.mepc R.t6;
+  A.li p R.t6 C.mstatus_mpp_mask;
+  A.csrrc p R.zero C.mstatus R.t6;
+  A.mret p;
+  A.label p "uloop";
+  A.j p "uloop";
+  A.align p 4;
+  A.label p "handler";
+  A.li p R.t0 Vp.Soc.plic_base;
+  A.lw p R.t1 R.t0 8;
+  A.nop p;
+  A.nop p;
+  A.sw p R.t1 R.t0 8;
+  A.addi p R.s2 R.s2 1;
+  A.li p R.t1 3;
+  A.blt_l p R.s2 R.t1 "back";
+  Firmware.Rt.exit_ p ~code:0 ();
+  A.label p "back";
+  A.mret p
+
+let irq_image = lazy (let p = A.create () in irq_program p; A.assemble p)
+
+(* quantum 1 makes every instruction a sync boundary, so pause_at is
+   exact and a checkpoint can land inside the handler. *)
+let irq_soc () =
+  let policy = trivial_policy () in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking:true ~quantum:2
+      ~sensor_period:(Sysc.Time.us 10) ()
+  in
+  Vp.Soc.load_image soc (Lazy.force irq_image);
+  soc
+
+let pause_run soc n =
+  Vp.Soc.pause_at soc n;
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_max 2_000_000;
+  Vp.Soc.start soc;
+  Vp.Soc.run soc;
+  check_bool "paused" true (Vp.Soc.paused soc)
+
+(* The reference run records the instruction count of every interrupt
+   entry; the checkpoint targets a few instructions into the second
+   handler activation (after the claim, before the complete). *)
+let irq_reference () =
+  let soc = irq_soc () in
+  let enters = ref [] in
+  soc.Vp.Soc.cpu.Vp.Soc.cpu_set_trap_hook
+    (Some
+       (function
+       | Rv32.Core.Trap_enter _ ->
+           enters := soc.Vp.Soc.cpu.Vp.Soc.cpu_instret () :: !enters
+       | _ -> ()));
+  Vp.Soc.start soc;
+  finish soc;
+  let final = Vp.Soc.save soc in
+  match List.rev !enters with
+  | _ :: e2 :: _ -> (final, e2)
+  | _ -> Alcotest.fail "expected at least two interrupt entries"
+
+let test_checkpoint_mid_handler () =
+  let final0, e2 = irq_reference () in
+  let soc1 = irq_soc () in
+  pause_run soc1 (e2 + 3);
+  (* The checkpoint really is inside the handler's claim window. *)
+  check_int "source in service at the checkpoint"
+    (1 lsl Vp.Soc.irq_sensor)
+    (Vp.Plic.in_service soc1.Vp.Soc.plic);
+  check_int "handler runs in M" C.priv_m (soc1.Vp.Soc.cpu.Vp.Soc.cpu_priv ());
+  check_int "interrupted U-mode stacked in MPP" C.priv_u
+    (C.mstatus_mpp soc1.Vp.Soc.cpu.Vp.Soc.cpu_csr.C.v_mstatus);
+  let mid = Vp.Soc.save soc1 in
+  (* Restore into a fresh platform: byte-identical state, identical
+     continuation. *)
+  let soc2 = irq_soc () in
+  Vp.Soc.restore soc2 mid;
+  check_bool "restore/save identity on the mid-handler snapshot" true
+    (String.equal mid (Vp.Soc.save soc2));
+  Vp.Soc.start soc2;
+  finish soc2;
+  check_bool "restored run reaches the reference final state" true
+    (String.equal final0 (Vp.Soc.save soc2));
+  (* The in-process resume agrees too. *)
+  Vp.Soc.resume soc1;
+  expect_exit (soc1.Vp.Soc.cpu.Vp.Soc.cpu_exit ()) 0;
+  check_bool "resumed run reaches the reference final state" true
+    (String.equal final0 (Vp.Soc.save soc1))
+
+(* --- v1 -> v2 snapshot migration ---------------------------------------- *)
+
+(* A v1 snapshot predates the privilege architecture: the cpu section has
+   no trailing privilege byte and the plic section ends after
+   pending/enable. Loaders must fill the missing fields with reset
+   defaults (M-mode; claim/threshold/priority reset) while keeping
+   everything the section does carry. *)
+let test_v1_snapshot_migration () =
+  (* Checkpoint in the U-mode loop, shortly after the first handler
+     activation: priv=U, tuned PLIC priorities — state a v1 restore must
+     visibly reset. *)
+  let _, e2 = irq_reference () in
+  let soc1 = irq_soc () in
+  pause_run soc1 (e2 - 40);
+  check_int "paused in U-mode" C.priv_u (soc1.Vp.Soc.cpu.Vp.Soc.cpu_priv ());
+  check_int "tuned threshold" 1 (Vp.Plic.threshold soc1.Vp.Soc.plic);
+  check_int "tuned priority" 5
+    (Vp.Plic.priority soc1.Vp.Soc.plic Vp.Soc.irq_sensor);
+  let v2 = Vp.Soc.save soc1 in
+  (* Sanity: a v2 restore reproduces the privilege and PLIC tuning. *)
+  let socv2 = irq_soc () in
+  Vp.Soc.restore socv2 v2;
+  check_int "v2 restore keeps U-mode" C.priv_u
+    (socv2.Vp.Soc.cpu.Vp.Soc.cpu_priv ());
+  check_int "v2 restore keeps the threshold" 1
+    (Vp.Plic.threshold socv2.Vp.Soc.plic);
+  (* Strip the v2-only trailing fields and re-encode as version 1. *)
+  let sections =
+    List.map
+      (fun (name, s) ->
+        match name with
+        | "cpu" -> (name, String.sub s 0 (String.length s - 1))
+        | "plic" -> (name, String.sub s 0 8)
+        | _ -> (name, s))
+      (Codec.Container.decode v2)
+  in
+  let v1 = Codec.Container.encode_at ~version:1 sections in
+  let socv1 = irq_soc () in
+  Vp.Soc.restore socv1 v1;
+  (* Missing fields come back as reset defaults... *)
+  check_int "v1 restore defaults to M-mode" C.priv_m
+    (socv1.Vp.Soc.cpu.Vp.Soc.cpu_priv ());
+  check_int "v1 restore resets the threshold" 0
+    (Vp.Plic.threshold socv1.Vp.Soc.plic);
+  check_int "v1 restore resets priorities" 1
+    (Vp.Plic.priority socv1.Vp.Soc.plic Vp.Soc.irq_sensor);
+  check_int "v1 restore clears in-service" 0
+    (Vp.Plic.in_service socv1.Vp.Soc.plic);
+  (* ...while the fields v1 does carry survive. *)
+  check_int "enable mask survives" (1 lsl Vp.Soc.irq_sensor)
+    (Vp.Plic.enabled socv1.Vp.Soc.plic);
+  check_int "pc survives"
+    (soc1.Vp.Soc.cpu.Vp.Soc.cpu_pc ())
+    (socv1.Vp.Soc.cpu.Vp.Soc.cpu_pc ());
+  check_int "registers survive"
+    (soc1.Vp.Soc.cpu.Vp.Soc.cpu_get_reg R.s2)
+    (socv1.Vp.Soc.cpu.Vp.Soc.cpu_get_reg R.s2)
+
 let () =
   Alcotest.run "snapshot"
     [
@@ -454,6 +629,13 @@ let () =
             test_save_resume_bit_identical;
           Alcotest.test_case "restore across engines (interp -> threaded)"
             `Quick test_restore_across_engines;
+        ] );
+      ( "privilege",
+        [
+          Alcotest.test_case "checkpoint inside a trap handler" `Quick
+            test_checkpoint_mid_handler;
+          Alcotest.test_case "v1 -> v2 migration" `Quick
+            test_v1_snapshot_migration;
         ] );
       ( "wilander",
         List.map
