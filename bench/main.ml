@@ -15,6 +15,7 @@
      sweep-lattice    - VP+ overhead vs IFP size (beyond the paper)
      snapshot         - full-platform save/restore cost (checkpointing)
      parallel         - domain-parallel campaign engine: wall vs cpu scaling
+     graph            - IFT graph store: ingest + backward-query cost
      table2-extended [scale] - additional workloads (crc32, matmul, ...)
      bechamel         - Bechamel micro-measurements (one group per table)
      all (default)    - everything above except bechamel
@@ -296,6 +297,11 @@ let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
     m_wall_ns = None;
     m_cpu_ns = None;
     m_worker_throughput = None;
+    m_store_bytes = None;
+    m_ingest_ns = None;
+    m_query_ns = None;
+    m_nodes = None;
+    m_edges = None;
   }
 
 (* Overheads relative to the first row. *)
@@ -417,6 +423,11 @@ let ablate_lub ~block_cache ~fast_path () =
             m_wall_ns = None;
             m_cpu_ns = None;
             m_worker_throughput = None;
+            m_store_bytes = None;
+            m_ingest_ns = None;
+            m_query_ns = None;
+            m_nodes = None;
+            m_edges = None;
           }
         in
         [ mk "lub-table" t_table 1.;
@@ -509,6 +520,11 @@ let bench_snapshot ~block_cache ~fast_path () =
       m_wall_ns = None;
       m_cpu_ns = None;
       m_worker_throughput = None;
+      m_store_bytes = None;
+      m_ingest_ns = None;
+      m_query_ns = None;
+      m_nodes = None;
+      m_edges = None;
     }
   in
   (* Uninterrupted reference. *)
@@ -680,6 +696,75 @@ let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
   output_char oc '\n';
   close_out oc;
   pf "\nwrote BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Graph-store analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The iftgraph subsystem measured end to end: run the mtvec-hijack trap
+   scenario on VP+ with a graph sink attached, persist the .iftg store,
+   then time Analyze ingestion (decode + index build), the first (cold)
+   backward source-finding query and the memoized repeat. The warm row's
+   query_ns is the memo-table hit the near-O(answer) claim rests on
+   (docs/ift_graph.md); exit_ok on both rows asserts the whole chain —
+   attack detected, cold query reaching a seed, repeat answered without
+   another store read. *)
+let bench_graph ~block_cache ~fast_path () =
+  pf "=== Graph store: ingest + backward-query cost (mtvec hijack) ===\n\n";
+  let scenario = Firmware.Trap_attacks.Mtvec_hijack in
+  let img = Firmware.Trap_attacks.image scenario in
+  let policy = Firmware.Trap_attacks.policy scenario img in
+  let tracer = Trace.Tracer.create policy.Dift.Policy.lattice in
+  let sink = Trace.Graph.attach ~context:"bench graph mtvec-hijack" tracer in
+  let outcome = Firmware.Trap_attacks.run ~tracer scenario in
+  let detected = outcome = Firmware.Trap_attacks.Detected in
+  let store = Trace.Graph.finish sink in
+  Trace.Graph.detach sink;
+  let bytes = String.length (Iftgraph.Store.to_string store) in
+  let nodes = Array.length store.Iftgraph.Store.nodes in
+  let edges = Array.length store.Iftgraph.Store.edges in
+  let dir = Filename.temp_dir "bench_graph" "" in
+  let path = Filename.concat dir "trap_hijack.iftg" in
+  Iftgraph.Store.write_file store path;
+  let time f =
+    let t0 = Benchkit.Clock.now_ns () in
+    let v = f () in
+    (v, Benchkit.Clock.now_ns () - t0)
+  in
+  let a = Iftgraph.Analyze.load_dir dir in
+  let _, ingest_ns = time (fun () -> Iftgraph.Analyze.stores a) in
+  let pred = Iftgraph.Query.P_violation 0 in
+  let cold, cold_ns = time (fun () -> Iftgraph.Analyze.sources_of a pred) in
+  let _, warm_ns = time (fun () -> Iftgraph.Analyze.sources_of a pred) in
+  Sys.remove path;
+  Unix.rmdir dir;
+  let sources =
+    List.fold_left
+      (fun acc (_, b) -> acc + List.length b.Iftgraph.Query.bk_sources)
+      0 cold
+  in
+  let memoized =
+    Iftgraph.Analyze.memo_hits a >= 1
+    && Iftgraph.Analyze.store_reads a = Iftgraph.Analyze.run_count a
+  in
+  let ok = detected && sources > 0 && memoized in
+  pf "store: %d bytes, %d nodes, %d edges; attack %s\n" bytes nodes edges
+    (if detected then "detected" else "MISSED");
+  pf "ingest %.1f us; sources-of violation:0 -> %d source(s)\n"
+    (float_of_int ingest_ns /. 1e3)
+    sources;
+  pf "query cold %.1f us, memoized %.1f us (%d store read(s) total)\n"
+    (float_of_int cold_ns /. 1e3)
+    (float_of_int warm_ns /. 1e3)
+    (Iftgraph.Analyze.store_reads a);
+  if not memoized then pf "!! repeat query was not served from the memo table\n";
+  let row mode query_ns =
+    D.graph_row ~exit_ok:ok ~workload:"trap-hijack" ~mode ~store_bytes:bytes
+      ~ingest_ns ~query_ns ~nodes ~edges ()
+  in
+  let rows = [ row "analyze-cold" cold_ns; row "analyze-warm" warm_ns ] in
+  write_report ~file:"BENCH_graph.json" ~bench:"graph" ~scale:1. ~block_cache
+    ~fast_path rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-measurements                                          *)
@@ -873,6 +958,7 @@ let () =
   | "snapshot" :: _ -> bench_snapshot ~block_cache ~fast_path ()
   | "parallel" :: _ ->
       bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ()
+  | "graph" :: _ -> bench_graph ~block_cache ~fast_path ()
   | "table2-extended" :: _ ->
       table2_extended ~scale ~block_cache ~fast_path ~trace ~engines ~only ()
   | "bechamel" :: _ -> bechamel ()
@@ -898,6 +984,8 @@ let () =
       bench_snapshot ~block_cache ~fast_path ();
       pf "\n";
       bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path ();
+      pf "\n";
+      bench_graph ~block_cache ~fast_path ();
       pf "\n";
       table2_extended ~scale:1. ~block_cache ~fast_path ~trace ~engines ~only ()
   | cmd :: _ ->

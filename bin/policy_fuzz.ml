@@ -10,8 +10,8 @@
 
 open Cmdliner
 
-let run programs seed size no_shrink shrink_dir props_every inject cache_diff
-    snap_diff engine engine_diff jobs no_warm_start =
+let run programs seed size no_shrink shrink_dir graph_dir props_every inject
+    cache_diff snap_diff engine engine_diff jobs no_warm_start =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallelkit.Pool.default_jobs ()
   in
@@ -32,6 +32,7 @@ let run programs seed size no_shrink shrink_dir props_every inject cache_diff
       size;
       shrink = not no_shrink;
       shrink_dir;
+      graph_dir;
       props_every;
       inject;
       cache_diff;
@@ -67,6 +68,12 @@ let no_shrink_arg =
 let shrink_dir_arg =
   Arg.(value & opt (some dir) None & info [ "shrink-dir" ] ~docv:"DIR"
          ~doc:"Write shrunk reproducers as .s files into $(docv).")
+
+let graph_dir_arg =
+  Arg.(value & opt (some dir) None & info [ "graph-out" ] ~docv:"DIR"
+         ~doc:"Write each reproducer's IFT provenance-graph store \
+               (repro_*.iftg, from the tracked forensic replay) into \
+               $(docv); query them with $(b,vp_run analyze --store) $(docv).")
 
 let props_every_arg =
   Arg.(value & opt int 5 & info [ "props-every" ] ~docv:"N"
@@ -147,8 +154,8 @@ let cmd =
   let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
-          $ shrink_dir_arg $ props_every_arg $ inject_arg $ cache_diff_arg
-          $ snap_diff_arg $ engine_arg $ engine_diff_arg $ jobs_arg
-          $ no_warm_start_arg)
+          $ shrink_dir_arg $ graph_dir_arg $ props_every_arg $ inject_arg
+          $ cache_diff_arg $ snap_diff_arg $ engine_arg $ engine_diff_arg
+          $ jobs_arg $ no_warm_start_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -70,8 +70,8 @@ let policy_name = function
 
 let run file policy_kind tracking max_insns uart_input show_symbols quiet
     echo_insns taint_map report coverage trace_on trace_out trace_format
-    forensics json checkpoint_every checkpoint_out checkpoint_stop resume
-    state_out quantum engine =
+    forensics graph_out json checkpoint_every checkpoint_out checkpoint_stop
+    resume state_out quantum engine =
   let src = read_file file in
   match Rv32_asm.Parser.parse_result src with
   | Error msg ->
@@ -82,11 +82,23 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
         print_string (Format.asprintf "%a" Rv32_asm.Image.pp_symbols img);
       let policy = build_policy policy_kind img in
       let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
-      let want_trace = trace_on || trace_out <> None || forensics in
+      let want_trace =
+        trace_on || trace_out <> None || forensics || graph_out <> None
+      in
       let tracer =
         if want_trace then
           Some (Trace.Tracer.create policy.Dift.Policy.lattice)
         else None
+      in
+      let graph_sink =
+        match (tracer, graph_out) with
+        | Some tr, Some _ ->
+            let context =
+              Printf.sprintf "policy=%s tracking=%b file=%s"
+                (policy_name policy_kind) tracking (Filename.basename file)
+            in
+            Some (Trace.Graph.attach ~context tr)
+        | _ -> None
       in
       let soc =
         Vp.Soc.create ~policy ~monitor ~tracking ~quantum ~engine ?tracer ()
@@ -303,6 +315,16 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
               (Trace.Tracer.events_recorded tr)
               path
       | _ -> ());
+      (match (graph_sink, graph_out) with
+      | Some sink, Some path ->
+          Trace.Graph.write_file sink path;
+          if not quiet then
+            Printf.printf
+              "[vp] IFT graph store (%d nodes, %d edges) written to %s\n"
+              (Iftgraph.Build.node_count (Trace.Graph.builder sink))
+              (Iftgraph.Build.edge_count (Trace.Graph.builder sink))
+              path
+      | _ -> ());
       (match state_out with
       | None -> ()
       | Some path ->
@@ -430,6 +452,13 @@ let forensics_arg =
                  trailing event window, and the provenance chain of the \
                  offending tag (implies $(b,--trace)).")
 
+let graph_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "graph-out" ] ~docv:"FILE"
+           ~doc:"Persist the run's full IFT provenance graph as a $(i,.iftg) \
+                 store to $(docv) (implies $(b,--trace)). Query it later \
+                 with $(b,vp_run analyze).")
+
 let json_arg =
   Arg.(value & flag
        & info [ "json" ]
@@ -502,20 +531,153 @@ let state_out_arg =
                  the same program write bit-identical files, which makes \
                  this the canonical artifact for determinism checks.")
 
+(* --- analyze: query .iftg graph stores -------------------------------- *)
+
+let analyze store jobs sources_of reaches summary top json =
+  let pred_or_die what s =
+    match Iftgraph.Query.parse_pred s with
+    | Ok p -> p
+    | Error msg ->
+        Printf.eprintf "vp_run analyze: %s: %s\n" what msg;
+        exit 1
+  in
+  let queries =
+    List.concat
+      [
+        (match sources_of with
+        | Some s -> [ `Sources (pred_or_die "--sources-of" s) ]
+        | None -> []);
+        (match reaches with
+        | Some s -> [ `Reaches (pred_or_die "--reaches" s) ]
+        | None -> []);
+        (if summary then [ `Summary ] else []);
+      ]
+  in
+  let queries = if queries = [] then [ `Summary ] else queries in
+  match
+    (try Ok (Iftgraph.Analyze.load_dir ~jobs store)
+     with Invalid_argument msg -> Error msg)
+  with
+  | Error msg ->
+      Printf.eprintf "vp_run analyze: %s\n" msg;
+      1
+  | Ok an ->
+      if Iftgraph.Analyze.run_count an = 0 then begin
+        Printf.eprintf "vp_run analyze: no %s stores in %s\n"
+          Iftgraph.Analyze.store_ext store;
+        1
+      end
+      else begin
+        (try
+           List.iter
+             (fun q ->
+               if json then
+                 let doc =
+                   match q with
+                   | `Sources p -> Iftgraph.Report.sources_json an p
+                   | `Reaches p -> Iftgraph.Report.reaches_json an p
+                   | `Summary -> Iftgraph.Report.summary_json ~top an
+                 in
+                 print_endline (J.to_string doc)
+               else
+                 let text =
+                   match q with
+                   | `Sources p -> Iftgraph.Report.sources_text an p
+                   | `Reaches p -> Iftgraph.Report.reaches_text an p
+                   | `Summary -> Iftgraph.Report.summary_text ~top an
+                 in
+                 print_string text)
+             queries
+         with Snapshot.Codec.Corrupt msg ->
+           Printf.eprintf "vp_run analyze: corrupt store: %s\n" msg;
+           exit 1);
+        0
+      end
+
+let store_arg =
+  Arg.(required & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Directory of $(i,.iftg) graph stores (from \
+                 $(b,--graph-out), $(b,policy_fuzz --graph-out) or the \
+                 difftest shrinker).")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for store ingestion. Reports are identical \
+                 for every $(docv).")
+
+let sources_of_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sources-of" ] ~docv:"PRED"
+           ~doc:"Backward query: walk from the nodes matching $(docv) \
+                 ($(b,violation:)$(i,K), $(b,pc:)$(i,0xADDR), \
+                 $(b,tag:)$(i,NAME), $(b,origin:)$(i,NAME) or \
+                 $(b,addr:)$(i,0xADDR)) back to the peripheral sources that \
+                 seeded them.")
+
+let reaches_arg =
+  Arg.(value & opt (some string) None
+       & info [ "reaches" ] ~docv:"PRED"
+           ~doc:"Forward query: everything the nodes matching $(docv) flow \
+                 into, including any violations reached.")
+
+let summary_arg =
+  Arg.(value & flag
+       & info [ "summary" ]
+           ~doc:"Cross-run aggregate: per-store counts, the per-peripheral \
+                 reach histogram and the top flow paths. The default when \
+                 no query is given.")
+
+let top_arg =
+  Arg.(value & opt int 10
+       & info [ "top" ] ~docv:"K" ~doc:"Flow paths shown in the summary.")
+
+let analyze_cmd =
+  let doc = "query persisted IFT provenance-graph stores" in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze $ store_arg $ jobs_arg $ sources_of_arg $ reaches_arg
+      $ summary_arg $ top_arg $ json_arg)
+
+let run_term =
+  Term.(
+    const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn gout js ck
+              ckout ckstop res stout qn eng ->
+        run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn gout js
+          ck ckout ckstop res stout qn eng)
+    $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
+    $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
+    $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
+    $ graph_out_arg $ json_arg $ checkpoint_every_arg $ checkpoint_out_arg
+    $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg
+    $ engine_arg)
+
 let cmd =
   let doc = "execute a RISC-V binary on the DIFT-enabled virtual prototype" in
-  Cmd.v
+  Cmd.group ~default:run_term
     (Cmd.info "vp_run" ~doc)
-    Term.(
-      const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn js ck
-                ckout ckstop res stout qn eng ->
-          run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn js ck
-            ckout ckstop res stout qn eng)
-      $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
-      $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
-      $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
-      $ json_arg $ checkpoint_every_arg $ checkpoint_out_arg
-      $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg
-      $ engine_arg)
+    [
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:"assemble and execute a program (the default command)")
+        run_term;
+      analyze_cmd;
+    ]
 
-let () = exit (Cmd.eval' cmd)
+(* Every pre-subcommand invocation (`vp_run prog.s --policy ...`) must
+   keep working, so unless the first argument names a subcommand (or
+   asks for help), route the whole line to `run`. *)
+let argv =
+  let argv = Sys.argv in
+  if Array.length argv <= 1 then argv
+  else
+    match argv.(1) with
+    | "run" | "analyze" | "--help" | "-h" | "--version" -> argv
+    | _ ->
+        Array.append
+          [| argv.(0); "run" |]
+          (Array.sub argv 1 (Array.length argv - 1))
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -10,8 +10,10 @@
 
    With --trace the vulnerable run of section 2 additionally records an
    execution trace and taint provenance (lib/trace, see docs/tracing.md)
-   and writes immobilizer.trace.jsonl plus immobilizer.forensics.txt —
-   CI runs this as the tracing smoke test. *)
+   and writes immobilizer.trace.jsonl, immobilizer.forensics.txt and the
+   persistent provenance-graph store immobilizer.iftg (docs/ift_graph.md,
+   query it with vp_run analyze) — CI runs this as the tracing smoke test
+   and diffs the store's analyze summary against a committed golden. *)
 
 module Immo = Firmware.Immo_fw
 
@@ -19,6 +21,9 @@ let with_trace = Array.exists (String.equal "--trace") Sys.argv
 
 let section title = Format.printf "@.== %s ==@." title
 
+(* The graph sink must be attached before [load_image] so the policy's
+   classification-region seeds (policy-region:pin, ...) land in the
+   store. *)
 let make_soc ?(per_byte = false) ?(trace = false) img =
   let policy =
     if per_byte then Immo.per_byte_policy img else Immo.base_policy img
@@ -33,8 +38,13 @@ let make_soc ?(per_byte = false) ?(trace = false) img =
     Vp.Soc.create ~policy ~monitor ~tracking:true ~aes_out_tag
       ~aes_in_clearance ?tracer ()
   in
+  let graph =
+    Option.map
+      (Trace.Graph.attach ~context:"immobilizer --trace smoke run")
+      tracer
+  in
   Vp.Soc.load_image soc img;
-  (soc, policy, monitor)
+  (soc, policy, monitor, graph)
 
 let hexdump s =
   String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
@@ -43,7 +53,7 @@ let hexdump s =
 let () =
   section "1. challenge-response authentication (fixed firmware, IFP-3)";
   let img = Immo.image ~variant:(Immo.Normal { fixed_dump = true }) () in
-  let soc, policy, monitor = make_soc img in
+  let soc, policy, monitor, _ = make_soc img in
   Format.printf "%a@." Dift.Policy.pp policy;
   let engine = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
@@ -60,7 +70,7 @@ let () =
 
   section "2. the debug-dump vulnerability (shipped firmware)";
   let img_vuln = Immo.image ~variant:(Immo.Normal { fixed_dump = false }) () in
-  let soc, policy_vuln, _ = make_soc ~trace:with_trace img_vuln in
+  let soc, policy_vuln, _, graph = make_soc ~trace:with_trace img_vuln in
   let _ = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   Vp.Uart.push_rx soc.Vp.Soc.uart "D" (* attacker asks for a memory dump *);
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
@@ -85,9 +95,17 @@ let () =
             (Trace.Tracer.events_recorded tr)
       | None -> ())
   | _ -> Format.printf "BUG: dump not detected@.");
+  (match graph with
+  | Some g ->
+      Trace.Graph.write_file g "immobilizer.iftg";
+      let b = Trace.Graph.builder g in
+      Format.printf "wrote immobilizer.iftg (%d nodes, %d edges)@."
+        (Iftgraph.Build.node_count b)
+        (Iftgraph.Build.edge_count b)
+  | None -> ());
 
   section "3. the fixed dump excludes the PIN region";
-  let soc, _, _ = make_soc img in
+  let soc, _, _, _ = make_soc img in
   let _ = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   Vp.Uart.push_rx soc.Vp.Soc.uart "D";
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
@@ -98,7 +116,7 @@ let () =
 
   section "4. the entropy-reduction attack passes the base policy";
   let img_ent = Immo.image ~variant:Immo.Entropy_attack () in
-  let soc, _, _ = make_soc img_ent in
+  let soc, _, _, _ = make_soc img_ent in
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
   | Rv32.Core.Exited 0 ->
       let pin = Rv32_asm.Image.symbol img_ent "pin" - Vp.Soc.ram_base in
@@ -115,7 +133,7 @@ let () =
 
   section "4b. ...and the exploit is real: brute-forcing the degraded key";
   let img_exploit = Immo.image ~variant:Immo.Entropy_then_serve () in
-  let soc, _, _ = make_soc img_exploit in
+  let soc, _, _, _ = make_soc img_exploit in
   let engine = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
   | Rv32.Core.Exited 0 -> (
@@ -134,7 +152,7 @@ let () =
   | _ -> Format.printf "unexpected exit@.");
 
   section "5. one security class per PIN byte defeats it";
-  let soc, policy, _ = make_soc ~per_byte:true img_ent in
+  let soc, policy, _, _ = make_soc ~per_byte:true img_ent in
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
   | exception Dift.Violation.Violation v ->
       Format.printf "caught: %a@."
@@ -143,7 +161,7 @@ let () =
   | _ -> Format.printf "BUG: not detected@.");
 
   section "6. and the protocol still works under the per-byte policy";
-  let soc, _, _ = make_soc ~per_byte:true img in
+  let soc, _, _, _ = make_soc ~per_byte:true img in
   let engine = Immo.Engine.attach soc ~challenge:"R4ND0MCH" in
   (match Vp.Soc.run_for_instructions soc 1_000_000 with
   | Rv32.Core.Exited 0 ->

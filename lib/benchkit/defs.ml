@@ -158,6 +158,11 @@ type measurement = {
   m_wall_ns : int option;
   m_cpu_ns : int option;
   m_worker_throughput : float option;
+  m_store_bytes : int option;
+  m_ingest_ns : int option;
+  m_query_ns : int option;
+  m_nodes : int option;
+  m_edges : int option;
 }
 
 let mips instructions seconds =
@@ -182,6 +187,11 @@ let measurement_of_raw ?(trace = false) ?(engine = Rv32.Core.Threaded)
     m_wall_ns = None;
     m_cpu_ns = None;
     m_worker_throughput = None;
+    m_store_bytes = None;
+    m_ingest_ns = None;
+    m_query_ns = None;
+    m_nodes = None;
+    m_edges = None;
   }
 
 let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
@@ -208,6 +218,38 @@ let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
         (if secs > 0. && jobs > 0 then
            float_of_int tasks /. secs /. float_of_int jobs
          else 0.);
+    m_store_bytes = None;
+    m_ingest_ns = None;
+    m_query_ns = None;
+    m_nodes = None;
+    m_edges = None;
+  }
+
+let graph_row ?(exit_ok = true) ~workload ~mode ~store_bytes ~ingest_ns
+    ~query_ns ~nodes ~edges () =
+  let secs = float_of_int (ingest_ns + query_ns) /. 1e9 in
+  {
+    m_workload = workload;
+    m_mode = mode;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+    m_instructions = 0;
+    m_seconds = secs;
+    m_mips = 0.;
+    m_overhead = 1.;
+    m_fast_retired = 0;
+    m_blocks_built = 0;
+    m_loc_asm = 0;
+    m_exit_ok = exit_ok;
+    m_trace = false;
+    m_jobs = None;
+    m_wall_ns = None;
+    m_cpu_ns = None;
+    m_worker_throughput = None;
+    m_store_bytes = Some store_bytes;
+    m_ingest_ns = Some ingest_ns;
+    m_query_ns = Some query_ns;
+    m_nodes = Some nodes;
+    m_edges = Some edges;
   }
 
 let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false)
@@ -257,7 +299,12 @@ let row m =
     @ opt "jobs" m.m_jobs Json.num_of_int
     @ opt "wall_ns" m.m_wall_ns Json.num_of_int
     @ opt "cpu_ns" m.m_cpu_ns Json.num_of_int
-    @ opt "worker_throughput" m.m_worker_throughput (fun x -> Json.Num x))
+    @ opt "worker_throughput" m.m_worker_throughput (fun x -> Json.Num x)
+    @ opt "store_bytes" m.m_store_bytes Json.num_of_int
+    @ opt "ingest_ns" m.m_ingest_ns Json.num_of_int
+    @ opt "query_ns" m.m_query_ns Json.num_of_int
+    @ opt "nodes" m.m_nodes Json.num_of_int
+    @ opt "edges" m.m_edges Json.num_of_int)
 
 let doc ?(extra = []) ~bench ~scale ~block_cache ~fast_path rows =
   Json.Obj
@@ -349,10 +396,27 @@ let validate j =
       let* wall = opt "wall_ns" Json.to_int (fun n -> n >= 0) in
       let* cpu = opt "cpu_ns" Json.to_int (fun n -> n >= 0) in
       let* tput = opt "worker_throughput" Json.to_num (fun t -> t >= 0.) in
-      match (jobs, wall, cpu, tput) with
-      | Some _, Some _, Some _, Some _ | None, None, None, None -> Ok ()
+      let* () =
+        match (jobs, wall, cpu, tput) with
+        | Some _, Some _, Some _, Some _ | None, None, None, None -> Ok ()
+        | _ ->
+            ctx
+              "parallel fields \"jobs\", \"wall_ns\", \"cpu_ns\" and \
+               \"worker_throughput\" must appear together"
+      in
+      (* Optional graph-store fields: all five travel together (a row
+         either is an analyze measurement or is not). *)
+      let* store_bytes = opt "store_bytes" Json.to_int (fun n -> n >= 0) in
+      let* ingest = opt "ingest_ns" Json.to_int (fun n -> n >= 0) in
+      let* query = opt "query_ns" Json.to_int (fun n -> n >= 0) in
+      let* nodes = opt "nodes" Json.to_int (fun n -> n >= 0) in
+      let* edges = opt "edges" Json.to_int (fun n -> n >= 0) in
+      match (store_bytes, ingest, query, nodes, edges) with
+      | Some _, Some _, Some _, Some _, Some _ | None, None, None, None, None
+        ->
+          Ok ()
       | _ ->
           ctx
-            "parallel fields \"jobs\", \"wall_ns\", \"cpu_ns\" and \
-             \"worker_throughput\" must appear together")
+            "graph fields \"store_bytes\", \"ingest_ns\", \"query_ns\", \
+             \"nodes\" and \"edges\" must appear together")
     (Ok ()) rows

@@ -56,6 +56,14 @@ type measurement = {
           [cpu/wall] is the parallelism actually realised — on a
           single-core host it stays ~1 regardless of [jobs]. *)
   m_worker_throughput : float option;  (** Tasks per wall-second per worker. *)
+  m_store_bytes : int option;
+      (** Graph-analyze rows only: on-disk [.iftg] store size. Like the
+          parallel group, the five option fields travel together ([Some]
+          on analyze rows, [None] elsewhere); {!validate} enforces this. *)
+  m_ingest_ns : int option;  (** Store decode + index-build time. *)
+  m_query_ns : int option;  (** One backward source-finding query. *)
+  m_nodes : int option;  (** Graph nodes in the store. *)
+  m_edges : int option;  (** Graph edges in the store. *)
 }
 
 val measure :
@@ -99,6 +107,23 @@ val parallel_row :
     drivers flag a failed invariant — e.g. a jobs=1 vs jobs=N report
     mismatch — directly in the committed artifact. *)
 
+val graph_row :
+  ?exit_ok:bool ->
+  workload:string ->
+  mode:string ->
+  store_bytes:int ->
+  ingest_ns:int ->
+  query_ns:int ->
+  nodes:int ->
+  edges:int ->
+  unit ->
+  measurement
+(** A graph-store analyze measurement: a [.iftg] store of [store_bytes]
+    bytes holding [nodes] / [edges] took [ingest_ns] to decode and index
+    and [query_ns] to answer one backward source-finding query (cold or
+    memoized, per [mode]). Fills the five graph option fields; [seconds]
+    is derived from [ingest_ns + query_ns]. *)
+
 val row : measurement -> Json.t
 
 val doc :
@@ -122,4 +147,5 @@ val validate : Json.t -> (unit, string) result
     field, when present, a non-empty string. The parallel fields
     [jobs] (int >= 1), [wall_ns] / [cpu_ns] (ints >= 0) and
     [worker_throughput] (number >= 0) must appear all together or not at
-    all. *)
+    all, and likewise the graph fields [store_bytes], [ingest_ns],
+    [query_ns], [nodes] and [edges] (all ints >= 0). *)

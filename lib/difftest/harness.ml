@@ -4,6 +4,7 @@ type config = {
   size : int;
   shrink : bool;
   shrink_dir : string option;
+  graph_dir : string option;
   props_every : int;
   inject : string option;
   cache_diff : bool;
@@ -21,6 +22,7 @@ let default =
     size = 30;
     shrink = true;
     shrink_dir = None;
+    graph_dir = None;
     props_every = 5;
     inject = None;
     cache_diff = false;
@@ -40,6 +42,7 @@ type failure = {
   f_insns : int;
   f_evals : int;
   f_forensics : string option;
+  f_graph : string option;
 }
 
 type report = {
@@ -93,19 +96,28 @@ type acc = {
    (execution window plus any provenance recorded).  The reproducer
    already failed once, so anything going wrong here — including the
    replay trapping — must not lose the failure itself. *)
-let forensic_replay prog =
+let forensic_replay ~graph prog =
   try
     let img = Prog.assemble prog in
     let policy = Oracle.unrestricted_policy () in
     let tracer = Trace.Tracer.create policy.Dift.Policy.lattice in
+    let sink =
+      if graph then
+        Some (Trace.Graph.attach ~context:"difftest shrunk reproducer" tracer)
+      else None
+    in
     (try ignore (Oracle.run_vp ~tracking:true ~policy ~tracer img)
      with _ -> ());
-    if Trace.Tracer.events_recorded tracer = 0 then None
+    let store = Option.map Trace.Graph.finish sink in
+    Option.iter Trace.Graph.detach sink;
+    if Trace.Tracer.events_recorded tracer = 0 then (None, store)
     else
-      Some
-        (Trace.Forensics.to_string
-           (Trace.Forensics.make ~context:"difftest shrunk reproducer" tracer ()))
-  with _ -> None
+      ( Some
+          (Trace.Forensics.to_string
+             (Trace.Forensics.make ~context:"difftest shrunk reproducer"
+                tracer ())),
+        store )
+  with _ -> (None, None)
 
 let executes_opcode op prog =
   let cov = Coverage.create () in
@@ -131,7 +143,9 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
     ]
   in
   let asm = Prog.to_asm ~banner shrunk in
-  let forensics = forensic_replay shrunk in
+  let forensics, store =
+    forensic_replay ~graph:(cfg.graph_dir <> None) shrunk
+  in
   let file =
     match cfg.shrink_dir with
     | None -> None
@@ -155,6 +169,17 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
         | None -> ());
         Some path
   in
+  let graph_file =
+    match (cfg.graph_dir, store) with
+    | Some dir, Some store ->
+        let gpath =
+          Filename.concat dir
+            (Printf.sprintf "repro_%08x_%d.iftg" cfg.seed index)
+        in
+        Iftgraph.Store.write_file store gpath;
+        Some gpath
+    | _ -> None
+  in
   acc.a_failures <-
     {
       f_kind = kind;
@@ -165,6 +190,7 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
       f_insns = Prog.insn_count shrunk;
       f_evals = stats.Shrink.evals;
       f_forensics = forensics;
+      f_graph = graph_file;
     }
     :: acc.a_failures
 
@@ -526,8 +552,13 @@ let pp_report fmt r =
         f.f_kind f.f_detail f.f_blocks f.f_insns f.f_evals
         (match f.f_file with
         | Some p ->
-            Printf.sprintf "\n  reproducer written to %s%s" p
+            Printf.sprintf "\n  reproducer written to %s%s%s" p
               (if f.f_forensics <> None then " (+ .forensics.txt)" else "")
-        | None -> ""))
+              (if f.f_graph <> None then " (+ .iftg graph store)" else "")
+        | None ->
+            if f.f_graph <> None then
+              Printf.sprintf "\n  graph store written to %s"
+                (Option.get f.f_graph)
+            else ""))
     (List.rev r.failures);
   Format.fprintf fmt "@]"

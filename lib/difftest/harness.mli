@@ -14,6 +14,11 @@ type config = {
   shrink_dir : string option;
       (** Where to write reproducer [.s] files; [None] keeps them only in
           the report. *)
+  graph_dir : string option;
+      (** Where to write each reproducer's IFT provenance-graph store
+          ([repro_*.iftg], from the same tracked forensic replay); [None]
+          disables graph capture. Query the stores with
+          [vp_run analyze --store DIR]. *)
   props_every : int;  (** Check metamorphic properties every Nth program. *)
   inject : string option;
       (** Fault injection for end-to-end validation of the
@@ -61,10 +66,11 @@ type config = {
 }
 
 val default : config
-(** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output,
-    properties every 5th program, no injection, no cache / snapshot /
-    engine differential (engines = [[Threaded]] only); sequential
-    ([jobs = 1]), warm-start on, 25-program shards. *)
+(** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output
+    (no reproducer or graph-store directories), properties every 5th
+    program, no injection, no cache / snapshot / engine differential
+    (engines = [[Threaded]] only); sequential ([jobs = 1]), warm-start
+    on, 25-program shards. *)
 
 type failure = {
   f_kind : string;
@@ -84,6 +90,9 @@ type failure = {
           window + provenance). [None] if the replay recorded nothing or
           itself failed. Written as [repro_*.forensics.txt] next to the
           [.s] file when [shrink_dir] is set. *)
+  f_graph : string option;
+      (** Path of the [repro_*.iftg] graph store written from the same
+          replay, when [graph_dir] is set. *)
 }
 
 type report = {

@@ -1,0 +1,382 @@
+(* Rendering of analyzer results: jsonkit values for --json (with a
+   self-describing envelope the tests validate) and aligned text for the
+   terminal. Every report is an Obj with "schema" and "kind" fields so a
+   consumer can dispatch without guessing. *)
+
+module J = Jsonkit.Json
+
+let schema_id = "iftgraph-report-v1"
+
+let envelope kind fields =
+  J.Obj (("schema", J.Str schema_id) :: ("kind", J.Str kind) :: fields)
+
+let int_list ns = J.List (List.map J.num_of_int ns)
+let str_list ss = J.List (List.map (fun s -> J.Str s) ss)
+
+(* --- sources-of -------------------------------------------------------- *)
+
+let source_json store (s : Query.source) =
+  J.Obj
+    [
+      ("origin", J.Str s.Query.src_origin);
+      ( "addr",
+        match s.Query.src_addr with
+        | None -> J.Null
+        | Some a -> J.num_of_int a );
+      ("tag", J.num_of_int s.Query.src_tag);
+      ("tag_name", J.Str (Store.tag_name store s.Query.src_tag));
+      ("time", J.num_of_int s.Query.src_time);
+      ("node", J.num_of_int s.Query.src_node);
+    ]
+
+let sources_json t pred =
+  let results = Analyze.sources_of t pred in
+  let stores = Analyze.stores t in
+  let runs =
+    List.map
+      (fun (name, back) ->
+        let store =
+          let _, s, _ = List.find (fun (n, _, _) -> n = name) stores in
+          s
+        in
+        J.Obj
+          [
+            ("run", J.Str name);
+            ("start", int_list back.Query.bk_start);
+            ( "sources",
+              J.List (List.map (source_json store) back.Query.bk_sources) );
+            ("tags", int_list back.Query.bk_tags);
+            ("nodes_visited", J.num_of_int back.Query.bk_nodes_visited);
+          ])
+      results
+  in
+  envelope "sources-of"
+    [ ("query", J.Str (Query.pred_to_string pred)); ("runs", J.List runs) ]
+
+let sources_text t pred =
+  let results = Analyze.sources_of t pred in
+  let stores = Analyze.stores t in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "sources-of %s\n" (Query.pred_to_string pred));
+  List.iter
+    (fun (name, back) ->
+      let store =
+        let _, s, _ = List.find (fun (n, _, _) -> n = name) stores in
+        s
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %s: %d start node(s), %d source(s)\n" name
+           (List.length back.Query.bk_start)
+           (List.length back.Query.bk_sources));
+      List.iter
+        (fun (s : Query.source) ->
+          Buffer.add_string b
+            (Printf.sprintf "    %-16s %-10s tag=%s t=%dps node=%d\n"
+               s.Query.src_origin
+               (match s.Query.src_addr with
+               | None -> "-"
+               | Some a -> Printf.sprintf "0x%08x" a)
+               (Store.tag_name store s.Query.src_tag)
+               s.Query.src_time s.Query.src_node))
+        back.Query.bk_sources)
+    results;
+  Buffer.contents b
+
+(* --- reaches ----------------------------------------------------------- *)
+
+let reaches_json t pred =
+  let results = Analyze.reaches t pred in
+  let runs =
+    List.map
+      (fun (name, r) ->
+        J.Obj
+          [
+            ("run", J.Str name);
+            ("start", int_list r.Query.rc_start);
+            ("nodes_reached", J.num_of_int r.Query.rc_nodes_reached);
+            ("tags", int_list r.Query.rc_tags);
+            ("violations", int_list r.Query.rc_violations);
+            ("origins", str_list r.Query.rc_origins);
+          ])
+      results
+  in
+  envelope "reaches"
+    [ ("query", J.Str (Query.pred_to_string pred)); ("runs", J.List runs) ]
+
+let reaches_text t pred =
+  let results = Analyze.reaches t pred in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "reaches %s\n" (Query.pred_to_string pred));
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  %s: %d start node(s), %d reached, %d violation(s)%s\n" name
+           (List.length r.Query.rc_start)
+           r.Query.rc_nodes_reached
+           (List.length r.Query.rc_violations)
+           (match r.Query.rc_origins with
+           | [] -> ""
+           | os -> " via " ^ String.concat ", " os)))
+    results;
+  Buffer.contents b
+
+(* --- summary ----------------------------------------------------------- *)
+
+let run_row_json (r : Analyze.run_row) =
+  J.Obj
+    [
+      ("run", J.Str r.Analyze.r_name);
+      ("bytes", J.num_of_int r.Analyze.r_bytes);
+      ("context", J.Str r.Analyze.r_context);
+      ("nodes", J.num_of_int r.Analyze.r_nodes);
+      ("edges", J.num_of_int r.Analyze.r_edges);
+      ("seeds", J.num_of_int r.Analyze.r_seeds);
+      ("merges", J.num_of_int r.Analyze.r_merges);
+      ("declasses", J.num_of_int r.Analyze.r_declasses);
+      ("vias", J.num_of_int r.Analyze.r_vias);
+      ("violations", J.num_of_int r.Analyze.r_violations);
+      ("dropped_edges", J.num_of_int r.Analyze.r_dropped_edges);
+      ("dropped_sources", J.num_of_int r.Analyze.r_dropped_sources);
+    ]
+
+let summary_json ?top t =
+  let sm = Analyze.summary ?top t in
+  envelope "summary"
+    [
+      ("runs", J.List (List.map run_row_json sm.Analyze.sm_runs));
+      ( "origins",
+        J.List
+          (List.map
+             (fun (o : Analyze.origin_row) ->
+               J.Obj
+                 [
+                   ("origin", J.Str o.Analyze.o_origin);
+                   ("runs", J.num_of_int o.Analyze.o_runs);
+                   ("seeds", J.num_of_int o.Analyze.o_seeds);
+                   ( "violations_reached",
+                     J.num_of_int o.Analyze.o_violations_reached );
+                 ])
+             sm.Analyze.sm_origins) );
+      ( "top_paths",
+        J.List
+          (List.map
+             (fun (p : Analyze.path_row) ->
+               J.Obj
+                 [
+                   ("origin", J.Str p.Analyze.p_origin);
+                   ("violation", J.Str p.Analyze.p_what);
+                   ("runs", J.num_of_int p.Analyze.p_runs);
+                   ("flows", J.num_of_int p.Analyze.p_flows);
+                 ])
+             sm.Analyze.sm_top_paths) );
+      ( "totals",
+        J.Obj
+          [
+            ("nodes", J.num_of_int sm.Analyze.sm_total_nodes);
+            ("edges", J.num_of_int sm.Analyze.sm_total_edges);
+            ("violations", J.num_of_int sm.Analyze.sm_total_violations);
+            ("truncated_runs", J.num_of_int sm.Analyze.sm_truncated_runs);
+          ] );
+    ]
+
+let summary_text ?top t =
+  let sm = Analyze.summary ?top t in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%d run(s): %d nodes, %d edges, %d violation(s)"
+       (List.length sm.Analyze.sm_runs)
+       sm.Analyze.sm_total_nodes sm.Analyze.sm_total_edges
+       sm.Analyze.sm_total_violations);
+  if sm.Analyze.sm_truncated_runs > 0 then
+    Buffer.add_string b
+      (Printf.sprintf " (%d run(s) with dropped provenance)"
+         sm.Analyze.sm_truncated_runs);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (r : Analyze.run_row) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  %-28s %6d B %5d nodes %5d edges %3d seed %3d viol%s\n"
+           r.Analyze.r_name r.Analyze.r_bytes r.Analyze.r_nodes
+           r.Analyze.r_edges r.Analyze.r_seeds r.Analyze.r_violations
+           (if r.Analyze.r_dropped_edges > 0 || r.Analyze.r_dropped_sources > 0
+            then
+              Printf.sprintf " (dropped %d edges, %d sources)"
+                r.Analyze.r_dropped_edges r.Analyze.r_dropped_sources
+            else "")))
+    sm.Analyze.sm_runs;
+  if sm.Analyze.sm_origins <> [] then begin
+    Buffer.add_string b "peripheral reach:\n";
+    List.iter
+      (fun (o : Analyze.origin_row) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-16s seeds=%d runs=%d violations_reached=%d\n"
+             o.Analyze.o_origin o.Analyze.o_seeds o.Analyze.o_runs
+             o.Analyze.o_violations_reached))
+      sm.Analyze.sm_origins
+  end;
+  if sm.Analyze.sm_top_paths <> [] then begin
+    Buffer.add_string b "top flow paths:\n";
+    List.iter
+      (fun (p : Analyze.path_row) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-16s -> %-24s flows=%d runs=%d\n"
+             p.Analyze.p_origin p.Analyze.p_what p.Analyze.p_flows
+             p.Analyze.p_runs))
+      sm.Analyze.sm_top_paths
+  end;
+  Buffer.contents b
+
+(* --- validation -------------------------------------------------------- *)
+
+let need what = function Some v -> Ok v | None -> Error ("missing " ^ what)
+
+let ( let* ) = Result.bind
+
+let check_fields what fields obj =
+  List.fold_left
+    (fun acc (name, check) ->
+      let* () = acc in
+      let* v = need (what ^ "." ^ name) (J.member name obj) in
+      if check v then Ok ()
+      else Error (Printf.sprintf "%s.%s has wrong type" what name))
+    (Ok ()) fields
+
+let is_int v = J.to_int v <> None
+let is_str v = J.to_str v <> None
+let is_int_or_null v = v = J.Null || is_int v
+
+let is_list_of check v =
+  match J.to_list v with
+  | None -> false
+  | Some l -> List.for_all check l
+
+let validate_runs what per_run j =
+  let* runs = need (what ^ ".runs") (J.member "runs" j) in
+  let* runs = need (what ^ ".runs list") (J.to_list runs) in
+  List.fold_left
+    (fun acc r ->
+      let* () = acc in
+      per_run r)
+    (Ok ()) runs
+
+let validate j =
+  let* schema = need "schema" (J.member "schema" j) in
+  let* schema = need "schema string" (J.to_str schema) in
+  if schema <> schema_id then Error ("unknown schema " ^ schema)
+  else
+    let* kind = need "kind" (J.member "kind" j) in
+    let* kind = need "kind string" (J.to_str kind) in
+    match kind with
+    | "sources-of" ->
+        let* _ = need "query" (J.member "query" j) in
+        validate_runs "sources-of"
+          (fun r ->
+            check_fields "run"
+              [
+                ("run", is_str);
+                ("start", is_list_of is_int);
+                ( "sources",
+                  is_list_of (fun s ->
+                      check_fields "source"
+                        [
+                          ("origin", is_str);
+                          ("addr", is_int_or_null);
+                          ("tag", is_int);
+                          ("tag_name", is_str);
+                          ("time", is_int);
+                          ("node", is_int);
+                        ]
+                        s
+                      = Ok ()) );
+                ("tags", is_list_of is_int);
+                ("nodes_visited", is_int);
+              ]
+              r)
+          j
+    | "reaches" ->
+        let* _ = need "query" (J.member "query" j) in
+        validate_runs "reaches"
+          (fun r ->
+            check_fields "run"
+              [
+                ("run", is_str);
+                ("start", is_list_of is_int);
+                ("nodes_reached", is_int);
+                ("tags", is_list_of is_int);
+                ("violations", is_list_of is_int);
+                ("origins", is_list_of is_str);
+              ]
+              r)
+          j
+    | "summary" ->
+        let* () =
+          validate_runs "summary"
+            (fun r ->
+              check_fields "run"
+                [
+                  ("run", is_str);
+                  ("bytes", is_int);
+                  ("context", is_str);
+                  ("nodes", is_int);
+                  ("edges", is_int);
+                  ("seeds", is_int);
+                  ("merges", is_int);
+                  ("declasses", is_int);
+                  ("vias", is_int);
+                  ("violations", is_int);
+                  ("dropped_edges", is_int);
+                  ("dropped_sources", is_int);
+                ]
+                r)
+            j
+        in
+        let* origins = need "summary.origins" (J.member "origins" j) in
+        let* () =
+          if
+            is_list_of
+              (fun o ->
+                check_fields "origin"
+                  [
+                    ("origin", is_str);
+                    ("runs", is_int);
+                    ("seeds", is_int);
+                    ("violations_reached", is_int);
+                  ]
+                  o
+                = Ok ())
+              origins
+          then Ok ()
+          else Error "summary.origins malformed"
+        in
+        let* paths = need "summary.top_paths" (J.member "top_paths" j) in
+        let* () =
+          if
+            is_list_of
+              (fun p ->
+                check_fields "path"
+                  [
+                    ("origin", is_str);
+                    ("violation", is_str);
+                    ("runs", is_int);
+                    ("flows", is_int);
+                  ]
+                  p
+                = Ok ())
+              paths
+          then Ok ()
+          else Error "summary.top_paths malformed"
+        in
+        let* totals = need "summary.totals" (J.member "totals" j) in
+        check_fields "totals"
+          [
+            ("nodes", is_int);
+            ("edges", is_int);
+            ("violations", is_int);
+            ("truncated_runs", is_int);
+          ]
+          totals
+    | k -> Error ("unknown report kind " ^ k)

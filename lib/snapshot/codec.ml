@@ -19,6 +19,19 @@ let put_u32 w v =
 let put_i64 w v = Buffer.add_int64_le w (Int64.of_int v)
 let put_bool w b = put_u8 w (if b then 1 else 0)
 
+(* LEB128, unsigned. Graph stores are mostly small ids and deltas, so
+   the one-byte common case halves them versus fixed u32s. *)
+let put_varint w v =
+  if v < 0 then invalid_arg "Codec.put_varint: negative value";
+  let rec go v =
+    if v < 0x80 then Buffer.add_uint8 w v
+    else begin
+      Buffer.add_uint8 w (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
 let put_string w s =
   put_u32 w (String.length s);
   Buffer.add_string w s
@@ -99,6 +112,15 @@ let get_i64 r =
   let v = Int64.to_int v64 in
   if Int64.of_int v <> v64 then corrupt "64-bit value exceeds OCaml int range";
   v
+
+let get_varint r =
+  let rec go shift acc =
+    if shift > 62 then corrupt "varint exceeds OCaml int range";
+    let b = get_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
 
 let get_bool r =
   match get_u8 r with

@@ -25,6 +25,12 @@ val put_i64 : writer -> int -> unit
 
 val put_bool : writer -> bool -> unit
 
+val put_varint : writer -> int -> unit
+(** Unsigned LEB128: 7 value bits per byte, continuation in the high bit.
+    The compact choice for the small ids, counts and deltas of the
+    provenance-graph stores ([lib/iftgraph]); raises [Invalid_argument]
+    on negative values. *)
+
 val put_string : writer -> string -> unit
 (** u32 length followed by the raw bytes. *)
 
@@ -54,6 +60,10 @@ val get_u8 : reader -> int
 val get_u32 : reader -> int
 val get_i64 : reader -> int
 val get_bool : reader -> bool
+
+val get_varint : reader -> int
+(** Raises {!Corrupt} if the encoding overflows the OCaml [int] range. *)
+
 val get_string : reader -> string
 
 val get_bytes_rle_into : reader -> Bytes.t -> unit

@@ -76,9 +76,13 @@ let pp ppf r =
   (match r.r_chain with
   | Some c -> Format.fprintf ppf "@,%a" (Provenance.pp_chain lat) c
   | None -> ());
-  (let d = Provenance.dropped r.r_tracer.Tracer.prov in
-   if d > 0 then
-     Format.fprintf ppf "@,(%d provenance edges dropped: per-tag budget)" d);
+  (let de = Provenance.dropped_edges r.r_tracer.Tracer.prov in
+   let ds = Provenance.dropped_sources r.r_tracer.Tracer.prov in
+   if de > 0 || ds > 0 then
+     Format.fprintf ppf
+       "@,(provenance truncated by per-tag budgets: %d edges, %d sources \
+        dropped)"
+       de ds);
   Format.fprintf ppf "@]"
 
 let to_string r = Format.asprintf "%a" pp r
@@ -115,4 +119,9 @@ let to_json r =
     @ (match r.r_context with
       | "" -> []
       | ctx -> [ ("context", J.Str ctx) ])
-    @ [ ("dropped_edges", J.num_of_int (Provenance.dropped r.r_tracer.Tracer.prov)) ])
+    @ [
+        ( "dropped_edges",
+          J.num_of_int (Provenance.dropped_edges r.r_tracer.Tracer.prov) );
+        ( "dropped_sources",
+          J.num_of_int (Provenance.dropped_sources r.r_tracer.Tracer.prov) );
+      ])

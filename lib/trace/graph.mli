@@ -1,0 +1,29 @@
+(** The graph-store sink: capture a run's complete provenance stream
+    into an [Iftgraph] builder, alongside (not instead of) the streaming
+    JSONL sink.
+
+    [attach] claims the tracer's provenance observer and its [on_graph]
+    slot; commits are fed into an incremental {!Iftgraph.Build.t} as the
+    simulation runs. Call {!finish} (or {!write_file}) at the end — it
+    stamps the bounded-provenance drop counters into the store header
+    and freezes the graph. The sink keeps recording after a [finish];
+    {!detach} releases the hooks. *)
+
+type t
+
+val attach : ?context:string -> Tracer.t -> t
+(** Install the sink on [tracer]'s provenance observer and [on_graph]
+    slots (displacing any previous occupants of those two slots;
+    [on_record] / {!Sink.stream_jsonl} is untouched). *)
+
+val builder : t -> Iftgraph.Build.t
+
+val finish : t -> Iftgraph.Store.t
+(** Sync drop counters from the tracer's provenance and freeze the
+    current graph. The sink stays attached and usable. *)
+
+val write_file : t -> string -> unit
+(** [finish] and write the store to a file. *)
+
+val detach : t -> unit
+(** Release both hook slots; idempotent. *)

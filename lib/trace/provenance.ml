@@ -18,6 +18,12 @@ type step =
 
 type chain = { c_tag : L.tag; c_steps : step list; c_sources : source list }
 
+type event =
+  | Ev_source of { origin : string; addr : int option; time : int; tag : L.tag }
+  | Ev_merge of { a : L.tag; b : L.tag; result : L.tag }
+  | Ev_declass of { from : L.tag; result : L.tag }
+  | Ev_via of { channel : string; tag : L.tag }
+
 type t = {
   lat : L.t;
   max_edges : int;
@@ -28,7 +34,9 @@ type t = {
   parents : parent list array;
   vias : string list array;
   mutable next_id : int;
-  mutable dropped : int;
+  mutable dropped_edges : int;
+  mutable dropped_sources : int;
+  mutable observer : (event -> unit) option;
 }
 
 let create ?(max_edges_per_tag = 16) ?(max_sources_per_tag = 8) lat =
@@ -41,16 +49,27 @@ let create ?(max_edges_per_tag = 16) ?(max_sources_per_tag = 8) lat =
     parents = Array.make n [];
     vias = Array.make n [];
     next_id = 0;
-    dropped = 0;
+    dropped_edges = 0;
+    dropped_sources = 0;
+    observer = None;
   }
 
 let lattice t = t.lat
-let dropped t = t.dropped
+let dropped t = t.dropped_edges + t.dropped_sources
+let dropped_edges t = t.dropped_edges
+let dropped_sources t = t.dropped_sources
+let set_observer t f = t.observer <- f
+
+(* The observer fires on every genuine event, before the budget checks:
+   a sink (the graph store) sees the complete stream even where the
+   bounded in-memory graph drops. *)
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let in_range t tag = tag >= 0 && tag < Array.length t.sources
 
 let source t ~origin ?addr ~time tag =
   if not (in_range t tag) then invalid_arg "Provenance.source: tag out of range";
+  notify t (Ev_source { origin; addr; time; tag });
   match
     List.find_opt
       (fun s -> String.equal s.s_origin origin && s.s_addr = addr)
@@ -59,7 +78,7 @@ let source t ~origin ?addr ~time tag =
   | Some s -> s.s_id
   | None ->
       if List.length t.sources.(tag) >= t.max_sources then (
-        t.dropped <- t.dropped + 1;
+        t.dropped_sources <- t.dropped_sources + 1;
         -1)
       else begin
         let id = t.next_id in
@@ -73,24 +92,32 @@ let source t ~origin ?addr ~time tag =
 let add_parent t tag p =
   let ps = t.parents.(tag) in
   if List.mem p ps then ()
-  else if List.length ps >= t.max_edges then t.dropped <- t.dropped + 1
+  else if List.length ps >= t.max_edges then
+    t.dropped_edges <- t.dropped_edges + 1
   else t.parents.(tag) <- p :: ps
 
 let record_merge t ~a ~b ~result =
   (* Only genuine joins matter: if the result equals an input, walking
      that input's provenance already covers it. This also keeps the hot
      all-bottom case (lub pub pub = pub) free of any bookkeeping. *)
-  if result <> a && result <> b && in_range t result then
+  if result <> a && result <> b && in_range t result then begin
+    notify t (Ev_merge { a; b; result });
     add_parent t result (P_merge (a, b))
+  end
 
 let record_declass t ~from ~result =
-  if from <> result && in_range t result then add_parent t result (P_declass from)
+  if from <> result && in_range t result then begin
+    notify t (Ev_declass { from; result });
+    add_parent t result (P_declass from)
+  end
 
 let record_via t ~channel tag =
   if in_range t tag then begin
+    notify t (Ev_via { channel; tag });
     let vs = t.vias.(tag) in
     if List.mem channel vs then ()
-    else if List.length vs >= t.max_edges then t.dropped <- t.dropped + 1
+    else if List.length vs >= t.max_edges then
+      t.dropped_edges <- t.dropped_edges + 1
     else t.vias.(tag) <- channel :: vs
   end
 

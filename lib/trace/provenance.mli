@@ -74,7 +74,37 @@ val chain : t -> Dift.Lattice.tag -> chain
     sources. Bounded by the lattice size (each tag visited once). *)
 
 val dropped : t -> int
-(** Edges/sources discarded because a per-tag budget was exhausted. *)
+(** Edges/sources discarded because a per-tag budget was exhausted
+    ([dropped_edges + dropped_sources]). *)
+
+val dropped_edges : t -> int
+(** Merge/declass/via edges discarded on per-tag budget overflow. *)
+
+val dropped_sources : t -> int
+(** Source introductions discarded on per-tag budget overflow. *)
+
+(** {1 Streaming observation}
+
+    A genuine provenance event, fired {e before} dedup and budget
+    checks: an observer (the IFT graph-store sink) sees the complete
+    stream even where the bounded in-memory graph coalesces or drops. *)
+type event =
+  | Ev_source of {
+      origin : string;
+      addr : int option;
+      time : int;
+      tag : Dift.Lattice.tag;
+    }
+  | Ev_merge of {
+      a : Dift.Lattice.tag;
+      b : Dift.Lattice.tag;
+      result : Dift.Lattice.tag;
+    }  (** Genuine joins only ([result] differs from both inputs). *)
+  | Ev_declass of { from : Dift.Lattice.tag; result : Dift.Lattice.tag }
+  | Ev_via of { channel : string; tag : Dift.Lattice.tag }
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Install (or remove) the single observer slot. *)
 
 val pp_source : Dift.Lattice.t -> Format.formatter -> source -> unit
 val pp_chain : Dift.Lattice.t -> Format.formatter -> chain -> unit

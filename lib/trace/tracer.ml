@@ -4,6 +4,7 @@ type t = {
   lat : Dift.Lattice.t;
   mutable disasm : int -> string;
   mutable on_record : (Event.t -> unit) option;
+  mutable on_graph : (Event.t -> unit) option;
 }
 
 let default_disasm w = Printf.sprintf ".word 0x%08x" w
@@ -15,15 +16,19 @@ let create ?(ring_size = 4096) lat =
     lat;
     disasm = default_disasm;
     on_record = None;
+    on_graph = None;
   }
 
 let set_disasm t f = t.disasm <- f
 let set_on_record t f = t.on_record <- f
+let set_on_graph t f = t.on_graph <- f
 let events_recorded t = Ring.total t.ring
 
 (* The slot is recycled on the next record_*: observers must consume (or
    copy) the event before returning. *)
-let observed t e = match t.on_record with None -> () | Some f -> f e
+let observed t e =
+  (match t.on_record with None -> () | Some f -> f e);
+  match t.on_graph with None -> () | Some f -> f e
 
 let record_insn t ~time ~pc ~word ~tag ~tainted =
   let e = Ring.emit t.ring in

@@ -13,6 +13,9 @@ type t = {
           [.word] form. The VP installs the RV32 disassembler. *)
   mutable on_record : (Event.t -> unit) option;
       (** Streaming observer; see {!set_on_record}. *)
+  mutable on_graph : (Event.t -> unit) option;
+      (** Second observer slot, reserved for the {!Graph} sink so a
+          graph store can record alongside a streaming JSONL sink. *)
 }
 
 val create : ?ring_size:int -> Dift.Lattice.t -> t
@@ -28,6 +31,11 @@ val set_on_record : t -> (Event.t -> unit) option -> unit
     the determinism tests use it to compare full event streams. The slot
     is recycled by the next record: consume or {!Event.copy} it before
     returning. *)
+
+val set_on_graph : t -> (Event.t -> unit) option -> unit
+(** The independent second observer slot (same contract as
+    {!set_on_record}); {!Graph.attach} uses it so graph capture composes
+    with a streaming sink. *)
 
 val events_recorded : t -> int
 (** Total events ever pushed into the ring (monotonic). *)

@@ -184,6 +184,49 @@ let test_validate () =
              :: List.remove_assoc "worker_throughput" parallel_fields)
              (good_row ());
          ]
+       ());
+  (* The graph-analyze fields: all five together or none at all. *)
+  let graph_fields =
+    [
+      ("store_bytes", J.num_of_int 199);
+      ("ingest_ns", J.num_of_int 20_000);
+      ("query_ns", J.num_of_int 4_500);
+      ("nodes", J.num_of_int 2);
+      ("edges", J.num_of_int 1);
+    ]
+  in
+  expect_valid (good_doc ~rows:[ with_fields graph_fields (good_row ()) ] ());
+  List.iter
+    (fun missing ->
+      expect_invalid
+        (Printf.sprintf "graph row without %S" missing)
+        (good_doc
+           ~rows:
+             [
+               with_fields
+                 (List.remove_assoc missing graph_fields)
+                 (good_row ());
+             ]
+           ()))
+    [ "store_bytes"; "ingest_ns"; "query_ns"; "nodes"; "edges" ];
+  expect_invalid "negative query_ns"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("query_ns", J.num_of_int (-1))
+             :: List.remove_assoc "query_ns" graph_fields)
+             (good_row ());
+         ]
+       ());
+  expect_invalid "ill-typed nodes"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("nodes", J.Str "two") :: List.remove_assoc "nodes" graph_fields)
+             (good_row ());
+         ]
        ())
 
 (* The parallel_row constructor fills the four optional fields
@@ -216,6 +259,40 @@ let test_parallel_row () =
                   m_worker_throughput = None } in
   match D.row classic with
   | J.Obj kvs -> check_bool "no jobs key" false (List.mem_assoc "jobs" kvs)
+  | _ -> Alcotest.fail "expected object"
+
+(* The graph_row constructor fills the five optional fields consistently
+   and renders/validates end to end — the BENCH_graph.json shape. *)
+let test_graph_row () =
+  let m =
+    D.graph_row ~workload:"trap-hijack" ~mode:"analyze-cold" ~store_bytes:199
+      ~ingest_ns:20_000 ~query_ns:4_500 ~nodes:2 ~edges:1 ()
+  in
+  check_bool "store_bytes recorded" true (m.D.m_store_bytes = Some 199);
+  check_bool "ingest recorded" true (m.D.m_ingest_ns = Some 20_000);
+  check_bool "query recorded" true (m.D.m_query_ns = Some 4_500);
+  check_bool "nodes recorded" true (m.D.m_nodes = Some 2);
+  check_bool "edges recorded" true (m.D.m_edges = Some 1);
+  check_bool "seconds derived from ingest + query" true
+    (Float.abs (m.D.m_seconds -. 24.5e-6) < 1e-12);
+  check_bool "no parallel fields" true (m.D.m_jobs = None);
+  let doc =
+    D.doc ~bench:"graph" ~scale:1. ~block_cache:true ~fast_path:true [ m ]
+  in
+  expect_valid doc;
+  (match D.row m with
+  | J.Obj kvs ->
+      check_bool "store_bytes rendered" true
+        (List.mem_assoc "store_bytes" kvs);
+      check_bool "no jobs key" false (List.mem_assoc "jobs" kvs)
+  | _ -> Alcotest.fail "expected object");
+  let classic =
+    { m with D.m_store_bytes = None; m_ingest_ns = None; m_query_ns = None;
+      m_nodes = None; m_edges = None }
+  in
+  match D.row classic with
+  | J.Obj kvs ->
+      check_bool "no store_bytes key" false (List.mem_assoc "store_bytes" kvs)
   | _ -> Alcotest.fail "expected object"
 
 (* End to end: run one real workload at a tiny scale, build the report,
@@ -324,6 +401,7 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "parallel row fields" `Quick test_parallel_row;
+          Alcotest.test_case "graph row fields" `Quick test_graph_row;
           Alcotest.test_case "real report end to end" `Slow test_real_report;
           Alcotest.test_case "trace row guardrail" `Slow test_trace_row;
         ] );

@@ -183,6 +183,85 @@ let test_sensor_dma_aes_provenance () =
          | _ -> false)
        (T.Provenance.chain tracer.T.Tracer.prov hc).T.Provenance.c_steps)
 
+(* --- JSONL sink round-trip ------------------------------------------- *)
+
+(* Every line the JSONL sink writes is a self-contained JSON object that
+   re-parses through jsonkit and carries the documented keys for its kind
+   (docs/tracing.md) — the contract scripts consuming --trace-out rely
+   on. Reuses the sensor -> DMA -> AES run so instruction, bus and
+   declassification events all appear in the window. *)
+let test_jsonl_roundtrip () =
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let policy = Dift.Policy.unrestricted lat ~default_tag:lc in
+  let monitor = Dift.Monitor.create lat in
+  let tracer = T.Tracer.create lat in
+  let soc =
+    Vp.Soc.create ~policy ~monitor ~tracking:true
+      ~sensor_period:(Sysc.Time.us 20) ~aes_out_tag:lc ~tracer ()
+  in
+  Vp.Sensor.set_data_tag soc.Vp.Soc.sensor hc;
+  let p = A.create () in
+  sensor_dma_aes p;
+  Vp.Soc.load_image soc (A.assemble p);
+  expect_exit (Vp.Soc.run_for_instructions soc 2_000_000) 0;
+  let file = Filename.temp_file "trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      T.Sink.write_file tracer ~format:`Jsonl file;
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      check_int "one line per retained event"
+        (T.Ring.length tracer.T.Tracer.ring)
+        (List.length lines);
+      let member = Jsonkit.Json.member in
+      let kinds = Hashtbl.create 8 in
+      List.iter
+        (fun line ->
+          match Jsonkit.Json.of_string line with
+          | Error e -> Alcotest.failf "line %S does not parse: %s" line e
+          | Ok j ->
+              check_bool "time present and integral" true
+                (member "t" j |> Option.map Jsonkit.Json.to_int |> Option.join
+                <> None);
+              let k =
+                match
+                  member "k" j |> Option.map Jsonkit.Json.to_str |> Option.join
+                with
+                | Some k -> k
+                | None -> Alcotest.failf "line %S has no kind" line
+              in
+              Hashtbl.replace kinds k ();
+              let require keys =
+                List.iter
+                  (fun key ->
+                    check_bool (Printf.sprintf "%s event has %S" k key) true
+                      (member key j <> None))
+                  keys
+              in
+              (match k with
+              | "insn" -> require [ "pc"; "word"; "asm"; "tag"; "tainted" ]
+              | "rd" | "wr" -> require [ "addr"; "len"; "tag"; "target" ]
+              | "trap" -> require [ "pc"; "code"; "what" ]
+              | "violation" -> require [ "pc"; "tag"; "what" ]
+              | "declass" -> require [ "from"; "to"; "where" ]
+              | "note" -> require [ "text" ]
+              | other -> Alcotest.failf "unknown event kind %S" other))
+        lines;
+      check_bool "instruction events in the window" true
+        (Hashtbl.mem kinds "insn");
+      check_bool "bus events in the window" true
+        (Hashtbl.mem kinds "rd" || Hashtbl.mem kinds "wr"))
+
 (* --- Explicit seeding and inertness ---------------------------------- *)
 
 let test_seed_taint () =
@@ -290,6 +369,8 @@ let () =
         [
           Alcotest.test_case "sensor -> dma -> aes chain" `Quick
             test_sensor_dma_aes_provenance;
+          Alcotest.test_case "jsonl sink round-trip" `Quick
+            test_jsonl_roundtrip;
           Alcotest.test_case "explicit seeding + inert without tracer" `Quick
             test_seed_taint;
           Alcotest.test_case "wilander violation provenance" `Quick
