@@ -115,10 +115,7 @@ let write_report ~file ~bench ~scale ~block_cache ~fast_path rows =
   (match D.validate doc with
   | Ok () -> ()
   | Error e -> pf "!! report failed schema validation: %s\n" e);
-  let oc = open_out file in
-  output_string oc (Benchkit.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
+  Snapshot.Io.write_file_atomic file (Benchkit.Json.to_string doc ^ "\n");
   pf "\nwrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
@@ -624,16 +621,44 @@ let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
         }
       ()
   in
+  (* Fine-grained shards (shard_size=10 -> 12 shards for 120 programs)
+     exercise the work-stealing scheduler: more shards than workers, so
+     an idle worker finds something to steal. Shard size changes the
+     stream, so these rows form their own byte-identity pair. *)
+  let campaign_ws jobs () =
+    Difftest.Harness.run
+      ~config:
+        {
+          Difftest.Harness.default with
+          seed = 0x9a7a11e1;
+          programs;
+          shrink = false;
+          jobs;
+          warm_start = warm;
+          shard_size = 10;
+        }
+      ()
+  in
   let render r = Format.asprintf "%a" Difftest.Harness.pp_report r in
   let r1, dw1, dc1 = time (campaign 1 warm) in
   let rn, dwn, dcn = time (campaign jobs warm) in
   let rcold, dwc, dcc = time (campaign 1 false) in
   let identical = String.equal (render r1) (render rn) in
   let cold_same = String.equal (render r1) (render rcold) in
+  let w1, ww1, wc1 = time (campaign_ws 1) in
+  let wn, wwn, wcn = time (campaign_ws jobs) in
+  let ws_same = String.equal (render w1) (render wn) in
   let s1, tw1, tc1 = time (fun () -> run_table1 ~jobs:1) in
   let sn, twn, tcn = time (fun () -> run_table1 ~jobs) in
   let suite_same = s1 = sn in
   let n_attacks = List.length Firmware.Wilander.attacks in
+  (* One instrumented pass over the attack suite to show the scheduler
+     at work: per-worker task counts and how many tasks were stolen. *)
+  let _, steal_stats =
+    Parallelkit.Pool.map_stats ~jobs
+      (fun a -> Firmware.Wilander.run a.Firmware.Wilander.id)
+      (Array.of_list Firmware.Wilander.attacks)
+  in
   let prow ~workload ~mode ~jobs ~tasks ~wall ~cpu ~base ~ok =
     D.parallel_row ~exit_ok:ok ~workload ~mode ~jobs ~tasks ~instructions:0
       ~wall_ns:wall ~cpu_ns:cpu
@@ -650,6 +675,12 @@ let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
         ~ok:identical;
       prow ~workload:"difftest" ~mode:"jobs-1-cold" ~jobs:1
         ~tasks:(programs * reps) ~wall:dwc ~cpu:dcc ~base:dw1 ~ok:cold_same;
+      prow ~workload:"difftest" ~mode:"jobs-1-ws10" ~jobs:1
+        ~tasks:(programs * reps) ~wall:ww1 ~cpu:wc1 ~base:ww1 ~ok:ws_same;
+      prow ~workload:"difftest"
+        ~mode:(Printf.sprintf "jobs-%d-ws10" jobs)
+        ~jobs ~tasks:(programs * reps) ~wall:wwn ~cpu:wcn ~base:ww1
+        ~ok:ws_same;
       prow ~workload:"table1" ~mode:"jobs-1" ~jobs:1 ~tasks:(n_attacks * reps)
         ~wall:tw1 ~cpu:tc1 ~base:tw1 ~ok:suite_same;
       prow ~workload:"table1"
@@ -674,8 +705,17 @@ let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
     (if identical then "yes" else "NO -- DETERMINISM REGRESSION");
   pf "warm-start vs cold-boot reports byte-identical: %s\n"
     (if cold_same then "yes" else "NO");
+  pf "jobs=1 vs jobs=%d fine-grain (shard_size=10) reports byte-identical: %s\n"
+    jobs (if ws_same then "yes" else "NO -- DETERMINISM REGRESSION");
   pf "jobs=1 vs jobs=%d Table I results identical: %s\n" jobs
     (if suite_same then "yes" else "NO");
+  pf "work stealing (table1, jobs=%d): %d worker(s), %d steal(s), tasks/worker [%s]\n"
+    jobs steal_stats.Parallelkit.Pool.workers
+    steal_stats.Parallelkit.Pool.steals
+    (String.concat "; "
+       (Array.to_list
+          (Array.map string_of_int
+             steal_stats.Parallelkit.Pool.tasks_per_worker)));
   let doc =
     D.doc
       ~extra:
@@ -685,16 +725,16 @@ let bench_parallel ~jobs ~warm ~reps ~block_cache ~fast_path () =
           ("reps", Benchkit.Json.num_of_int reps);
           ("warm_start", Benchkit.Json.Bool warm);
           ("reports_identical", Benchkit.Json.Bool identical);
+          ("ws_reports_identical", Benchkit.Json.Bool ws_same);
+          ("steals", Benchkit.Json.num_of_int steal_stats.Parallelkit.Pool.steals);
         ]
       ~bench:"parallel" ~scale:1. ~block_cache ~fast_path rows
   in
   (match D.validate doc with
   | Ok () -> ()
   | Error e -> pf "!! report failed schema validation: %s\n" e);
-  let oc = open_out "BENCH_parallel.json" in
-  output_string oc (Benchkit.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
+  Snapshot.Io.write_file_atomic "BENCH_parallel.json"
+    (Benchkit.Json.to_string doc ^ "\n");
   pf "\nwrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)

@@ -11,7 +11,8 @@
 open Cmdliner
 
 let run programs seed size no_shrink shrink_dir graph_dir props_every inject
-    cache_diff snap_diff engine engine_diff jobs no_warm_start =
+    cache_diff snap_diff engine engine_diff jobs no_warm_start shard_size
+    checkpoint resume =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallelkit.Pool.default_jobs ()
   in
@@ -40,18 +41,34 @@ let run programs seed size no_shrink shrink_dir graph_dir props_every inject
       engines;
       jobs;
       warm_start = not no_warm_start;
-      shard_size = Difftest.Harness.default.Difftest.Harness.shard_size;
+      shard_size = max 1 shard_size;
+      checkpoint;
+      resume;
     }
   in
-  let report = Difftest.Harness.run ~config () in
-  Format.printf "%a@." Difftest.Harness.pp_report report;
-  let healthy = Difftest.Harness.healthy report in
-  let clean = healthy && report.Difftest.Harness.injected_hits = 0 in
-  if clean then Format.printf "all invariants hold.@."
-  else if healthy then
-    Format.printf "injected fault detected and shrunk (see reproducers above).@."
-  else Format.printf "INVARIANT VIOLATIONS — see failures above.@.";
-  if clean then 0 else 1
+  (* A bad checkpoint must fail cleanly before any campaign work: wrong
+     campaign (fingerprint/shard-count mismatch), corrupt or truncated
+     container, or an unreadable path. *)
+  match Difftest.Harness.run ~config () with
+  | exception Parallelkit.Checkpoint.Mismatch msg ->
+      Printf.eprintf "policy_fuzz: cannot resume: %s\n" msg;
+      2
+  | exception Snapshot.Codec.Corrupt msg ->
+      Printf.eprintf "policy_fuzz: corrupt checkpoint: %s\n" msg;
+      2
+  | exception Sys_error msg ->
+      Printf.eprintf "policy_fuzz: %s\n" msg;
+      2
+  | report ->
+      Format.printf "%a@." Difftest.Harness.pp_report report;
+      let healthy = Difftest.Harness.healthy report in
+      let clean = healthy && report.Difftest.Harness.injected_hits = 0 in
+      if clean then Format.printf "all invariants hold.@."
+      else if healthy then
+        Format.printf
+          "injected fault detected and shrunk (see reproducers above).@."
+      else Format.printf "INVARIANT VIOLATIONS — see failures above.@.";
+      if clean then 0 else 1
 
 let programs_arg =
   Arg.(value & opt int 200 & info [ "programs"; "n" ] ~docv:"N" ~doc:"Programs to generate.")
@@ -150,12 +167,38 @@ let no_warm_start_arg =
                restoring the shared post-reset boot snapshot. \
                Architecturally identical; for measurement and debugging.")
 
+let shard_size_arg =
+  Arg.(value & opt int Difftest.Harness.default.Difftest.Harness.shard_size
+       & info [ "shard-size" ] ~docv:"N"
+           ~doc:"Programs per campaign shard — the unit of parallel \
+                 scheduling and of checkpointing. Changing it changes the \
+                 per-shard seed derivation (and hence the generated \
+                 stream), so it is part of a checkpoint's campaign \
+                 fingerprint; the report at any given shard size is still \
+                 byte-identical for every $(b,--jobs) value.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Checkpoint completed-shard results to $(docv) (atomically \
+               rewritten after every shard). A killed campaign resumes \
+               from it with $(b,--resume); combine both to keep \
+               checkpointing after the resume.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Resume from a checkpoint written by $(b,--checkpoint): \
+               shards recorded there are not re-run, and the final \
+               report is byte-identical to an uninterrupted run's. The \
+               campaign configuration must match the one that wrote the \
+               checkpoint ($(b,--jobs) and warm start may differ).")
+
 let cmd =
   let doc = "coverage-guided differential testing of the DIFT engine" in
   Cmd.v (Cmd.info "policy_fuzz" ~doc)
     Term.(const run $ programs_arg $ seed_arg $ size_arg $ no_shrink_arg
           $ shrink_dir_arg $ graph_dir_arg $ props_every_arg $ inject_arg
           $ cache_diff_arg $ snap_diff_arg $ engine_arg $ engine_diff_arg
-          $ jobs_arg $ no_warm_start_arg)
+          $ jobs_arg $ no_warm_start_arg $ shard_size_arg $ checkpoint_arg
+          $ resume_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,12 +6,7 @@
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Snapshot.Io.read_file
 
 let assemble file org output symbols =
   let src = read_file file in
@@ -22,9 +17,8 @@ let assemble file org output symbols =
   | Ok img ->
       (match output with
       | Some path ->
-          let oc = open_out_bin path in
-          output_bytes oc img.Rv32_asm.Image.code;
-          close_out oc;
+          Snapshot.Io.write_file_atomic path
+            (Bytes.to_string img.Rv32_asm.Image.code);
           Printf.printf "%s: %d bytes at 0x%08x (%d opcodes)\n" path
             (Rv32_asm.Image.size img) img.Rv32_asm.Image.org
             img.Rv32_asm.Image.insn_count

@@ -11,17 +11,12 @@
 open Cmdliner
 module J = Benchkit.Json
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let write_file path data =
-  let oc = open_out_bin path in
-  output_string oc data;
-  close_out oc
+(* Exception-safe file I/O: the read closes its descriptor even when a
+   decode raises mid-stream, and state/checkpoint writes are published
+   atomically (temp + rename) so a crash never leaves a truncated
+   artifact under the final name. *)
+let read_file = Snapshot.Io.read_file
+let write_file = Snapshot.Io.write_file_atomic
 
 type policy_kind = P_none | P_integrity | P_confidentiality
 

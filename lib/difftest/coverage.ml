@@ -48,6 +48,44 @@ let missing t = List.filter (fun op -> count t op = 0) I.rv32im_opcodes
 let taken t op = find t.taken_tbl op
 let not_taken t op = find t.not_taken_tbl op
 
+(* Checkpoint codec: the three tables as (key, count) lists sorted by
+   key, then the total. [pending] is deliberately dropped — a shard's
+   unresolved trailing branch is also ignored by [merge], so a table
+   that went through a save/load cycle merges identically to one that
+   stayed live. *)
+let save w t =
+  let open Snapshot.Codec in
+  let dump tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  let put_tbl tbl =
+    put_list w
+      (fun w (k, v) ->
+        put_string w k;
+        put_varint w v)
+      (dump tbl)
+  in
+  put_tbl t.counts;
+  put_tbl t.taken_tbl;
+  put_tbl t.not_taken_tbl;
+  put_varint w t.total
+
+let load r =
+  let open Snapshot.Codec in
+  let t = create () in
+  let get_tbl tbl =
+    ignore
+      (get_list r (fun r ->
+           let k = get_string r in
+           let v = get_varint r in
+           Hashtbl.replace tbl k v))
+  in
+  get_tbl t.counts;
+  get_tbl t.taken_tbl;
+  get_tbl t.not_taken_tbl;
+  t.total <- get_varint r;
+  t
+
 let pp fmt t =
   let n_cov = List.length (covered t) and n_all = List.length I.rv32im_opcodes in
   Format.fprintf fmt "@[<v>opcode coverage: %d/%d RV32IM opcodes, %d instructions executed@,"

@@ -35,6 +35,16 @@ val taken : t -> string -> int
 
 val not_taken : t -> string -> int
 
+val save : Snapshot.Codec.writer -> t -> unit
+(** Serialise for a campaign checkpoint: the count tables as sorted
+    (key, count) lists plus the total. An unresolved trailing branch
+    ([note]'s pending direction) is dropped, exactly as {!merge} drops
+    it — a reloaded table merges identically to the live one. *)
+
+val load : Snapshot.Codec.reader -> t
+(** Inverse of {!save}; raises [Snapshot.Codec.Corrupt] on malformed
+    input. *)
+
 val pp : Format.formatter -> t -> unit
 (** The per-opcode coverage table (counts, branch taken/not-taken split,
     missing opcodes). *)

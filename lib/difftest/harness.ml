@@ -13,6 +13,8 @@ type config = {
   jobs : int;
   warm_start : bool;
   shard_size : int;
+  checkpoint : string option;
+  resume : string option;
 }
 
 let default =
@@ -31,7 +33,35 @@ let default =
     jobs = 1;
     warm_start = true;
     shard_size = 25;
+    checkpoint = None;
+    resume = None;
   }
+
+(* Every config field that determines the campaign's deterministic
+   stream — and therefore what a checkpointed shard payload means. A
+   checkpoint written under one fingerprint refuses to resume under
+   another. [jobs], [warm_start] and the checkpoint paths themselves are
+   deliberately absent: they cannot change any shard's output (pinned by
+   test_parallel), so a campaign may resume with a different worker
+   count. *)
+let fingerprint cfg =
+  let opt = function None -> "-" | Some s -> "+" ^ s in
+  String.concat "|"
+    [
+      "difftest-campaign-v1";
+      string_of_int cfg.seed;
+      string_of_int cfg.programs;
+      string_of_int cfg.size;
+      string_of_bool cfg.shrink;
+      opt cfg.shrink_dir;
+      opt cfg.graph_dir;
+      string_of_int cfg.props_every;
+      opt cfg.inject;
+      string_of_bool cfg.cache_diff;
+      string_of_bool cfg.snap_diff;
+      String.concat "," (List.map Rv32.Core.engine_name cfg.engines);
+      string_of_int cfg.shard_size;
+    ]
 
 type failure = {
   f_kind : string;
@@ -90,6 +120,83 @@ type acc = {
   mutable a_errors : int;
   mutable a_failures : failure list;
 }
+
+(* --- Shard-output checkpoint codec ----------------------------------- *)
+
+(* A completed shard's output, encoded as a DIFTVPCP payload
+   (lib/parallelkit/checkpoint.ml). The encoding must round-trip the
+   merged report byte-for-byte: every counter, the failure list in its
+   in-shard order (newest first), and the coverage table. *)
+let encode_shard ((acc : acc), cov) =
+  let open Snapshot.Codec in
+  let w = writer () in
+  List.iter (put_varint w)
+    [
+      acc.a_completed; acc.a_golden; acc.a_transparency; acc.a_purity;
+      acc.a_monotonic; acc.a_trap_taint; acc.a_declass; acc.a_cache;
+      acc.a_snapshot; acc.a_engine; acc.a_injected; acc.a_violations;
+      acc.a_checks; acc.a_errors;
+    ];
+  let put_opt w o =
+    put_bool w (Option.is_some o);
+    Option.iter (put_string w) o
+  in
+  put_list w
+    (fun w f ->
+      put_string w f.f_kind;
+      put_string w f.f_detail;
+      put_string w f.f_asm;
+      put_opt w f.f_file;
+      put_varint w f.f_blocks;
+      put_varint w f.f_insns;
+      put_varint w f.f_evals;
+      put_opt w f.f_forensics;
+      put_opt w f.f_graph)
+    acc.a_failures;
+  Coverage.save w cov;
+  contents w
+
+let decode_shard payload =
+  let open Snapshot.Codec in
+  let r = reader payload in
+  let c () = get_varint r in
+  let a_completed = c () in
+  let a_golden = c () in
+  let a_transparency = c () in
+  let a_purity = c () in
+  let a_monotonic = c () in
+  let a_trap_taint = c () in
+  let a_declass = c () in
+  let a_cache = c () in
+  let a_snapshot = c () in
+  let a_engine = c () in
+  let a_injected = c () in
+  let a_violations = c () in
+  let a_checks = c () in
+  let a_errors = c () in
+  let get_opt r = if get_bool r then Some (get_string r) else None in
+  let a_failures =
+    get_list r (fun r ->
+        let f_kind = get_string r in
+        let f_detail = get_string r in
+        let f_asm = get_string r in
+        let f_file = get_opt r in
+        let f_blocks = get_varint r in
+        let f_insns = get_varint r in
+        let f_evals = get_varint r in
+        let f_forensics = get_opt r in
+        let f_graph = get_opt r in
+        { f_kind; f_detail; f_asm; f_file; f_blocks; f_insns; f_evals;
+          f_forensics; f_graph })
+  in
+  let cov = Coverage.load r in
+  expect_end r;
+  ( {
+      a_completed; a_golden; a_transparency; a_purity; a_monotonic;
+      a_trap_taint; a_declass; a_cache; a_snapshot; a_engine; a_injected;
+      a_violations; a_checks; a_errors; a_failures;
+    },
+    cov )
 
 (* Forensic replay of a shrunk reproducer: re-run it on the tracked VP
    with the tracing subsystem attached and render the resulting report
@@ -153,19 +260,14 @@ let record_failure cfg acc ~index ~kind ~detail ~predicate prog =
         let path =
           Filename.concat dir (Printf.sprintf "repro_%08x_%d.s" cfg.seed index)
         in
-        let oc = open_out path in
-        output_string oc asm;
-        close_out oc;
+        Snapshot.Io.write_file_atomic path asm;
         (match forensics with
         | Some text ->
             let fpath =
               Filename.concat dir
                 (Printf.sprintf "repro_%08x_%d.forensics.txt" cfg.seed index)
             in
-            let oc = open_out fpath in
-            output_string oc text;
-            output_char oc '\n';
-            close_out oc
+            Snapshot.Io.write_file_atomic fpath (text ^ "\n")
         | None -> ());
         Some path
   in
@@ -490,12 +592,67 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
 
 let run ?(config = default) () =
   let cfg = config in
-  let warm = if cfg.warm_start then Some (Oracle.warm_boot ()) else None in
   let shards =
     Parallelkit.Campaign.shards ~seed:cfg.seed ~total:cfg.programs
       ~shard_size:cfg.shard_size
   in
-  let outs = Parallelkit.Pool.map ~jobs:cfg.jobs (run_shard cfg warm) shards in
+  let nshards = Array.length shards in
+  let fp = fingerprint cfg in
+  (* Resume: load the checkpoint, refuse one from a different campaign,
+     and decode every recorded shard before running anything — a corrupt
+     or truncated container fails cleanly here, with no partial merge
+     and no oracle work spent. *)
+  let outs = Array.make nshards None in
+  let ckpt =
+    match cfg.resume with
+    | None -> Parallelkit.Checkpoint.create ~fingerprint:fp ~shards:nshards
+    | Some path ->
+        let c = Parallelkit.Checkpoint.load path in
+        Parallelkit.Checkpoint.require c ~fingerprint:fp ~shards:nshards;
+        List.iter
+          (fun (i, payload) -> outs.(i) <- Some (decode_shard payload))
+          (Parallelkit.Checkpoint.entries c);
+        c
+  in
+  let pending =
+    Array.of_list
+      (List.filter
+         (fun (sh : Parallelkit.Campaign.shard) ->
+           outs.(sh.Parallelkit.Campaign.index) = None)
+         (Array.to_list shards))
+  in
+  let warm =
+    if cfg.warm_start && Array.length pending > 0 then
+      Some (Oracle.warm_boot ())
+    else None
+  in
+  (* Checkpointing rides on the pool's caller-side completion hook:
+     every finished shard is folded into the container and the file is
+     atomically republished. Completion order varies with the steal
+     pattern, so the set of shards a killed run saved is timing-
+     dependent — but each payload is deterministic, so the post-resume
+     merge is not. *)
+  let ckpt = ref ckpt in
+  let on_done =
+    Option.map
+      (fun path pi out ->
+        let shard = pending.(pi).Parallelkit.Campaign.index in
+        ckpt :=
+          Parallelkit.Checkpoint.add !ckpt ~shard ~payload:(encode_shard out);
+        Parallelkit.Checkpoint.save !ckpt path)
+      cfg.checkpoint
+  in
+  let fresh =
+    Parallelkit.Pool.map ?on_done ~jobs:cfg.jobs (run_shard cfg warm) pending
+  in
+  Array.iteri
+    (fun pi out -> outs.(pending.(pi).Parallelkit.Campaign.index) <- Some out)
+    fresh;
+  let outs =
+    Array.map
+      (function Some o -> o | None -> assert false (* all shards filled *))
+      outs
+  in
   (* Merge in shard-index order.  Counters are commutative sums and the
      coverage merge is a per-key sum, so the order is immaterial there;
      the failure list is rebuilt newest-first (the highest-index shard's

@@ -63,6 +63,25 @@ type config = {
       (** Programs per shard (default 25) — the parallel grain. Part of
           the determinism contract: changing it changes the generated
           stream (campaigns of at most one shard excepted). *)
+  checkpoint : string option;
+      (** Checkpoint completed-shard results to this path: after every
+          shard finishes, the DIFTVPCP container
+          ({!Parallelkit.Checkpoint}) is atomically republished
+          (temp file + rename), so a killed campaign loses at most the
+          shards still in flight. [None] (default) disables. *)
+  resume : string option;
+      (** Resume from a checkpoint written by an earlier run of the
+          {e same} campaign: shards recorded there are decoded instead
+          of re-run. The checkpoint's fingerprint must match every
+          stream-determining config field (seed, programs, size, shrink
+          settings, props_every, inject, cache/snap diff, engines,
+          shard_size) — [jobs] and [warm_start] may differ freely; a
+          mismatch raises {!Parallelkit.Checkpoint.Mismatch}, a corrupt
+          or truncated file [Snapshot.Codec.Corrupt], in both cases
+          before any oracle work runs. The merged report is
+          byte-identical to an uninterrupted run's. Combine with
+          [checkpoint] (typically the same path) to keep checkpointing
+          the still-pending shards. *)
 }
 
 val default : config
@@ -70,7 +89,7 @@ val default : config
     (no reproducer or graph-store directories), properties every 5th
     program, no injection, no cache / snapshot / engine differential
     (engines = [[Threaded]] only); sequential ([jobs = 1]), warm-start
-    on, 25-program shards. *)
+    on, 25-program shards, no checkpointing or resume. *)
 
 type failure = {
   f_kind : string;
@@ -129,11 +148,14 @@ val healthy : report -> bool
     [injected_hits = 0]. *)
 
 val run : ?config:config -> unit -> report
-(** Run the campaign: shard the program range, run shards on a
-    {!Parallelkit.Pool} of [config.jobs] domains (sequentially in-process
-    when [jobs <= 1]), and merge the shard outputs. The report — counters,
-    merged coverage, failure list and shrunk reproducer sources — is
-    byte-identical for every [jobs] value; the tier-1 determinism test
-    pins this. Shrinking runs inside the worker that found the failure. *)
+(** Run the campaign: shard the program range, restore any shards a
+    resumed checkpoint already completed, run the rest on a
+    {!Parallelkit.Pool} of [config.jobs] work-stealing domains
+    (sequentially in-process when [jobs <= 1]), and merge the shard
+    outputs in shard-index order. The report — counters, merged
+    coverage, failure list and shrunk reproducer sources — is
+    byte-identical for every [jobs] value and across any
+    kill/checkpoint/resume split; the tier-1 determinism tests pin both.
+    Shrinking runs inside the worker that found the failure. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -55,11 +55,9 @@ let run_count t = Array.length t.entries
 let store_reads t = t.store_reads
 let memo_hits t = t.memo_hits
 
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+(* Descriptor-safe read: a store that fails to decode must not leak the
+   channel of the file it came from (parallel ingestion opens many). *)
+let read_file = Snapshot.Io.read_file
 
 (* Decode every not-yet-loaded store, in parallel, in file order. *)
 let force t =

@@ -236,16 +236,12 @@ let decode s =
 
 let of_string = decode
 
-let write_file t path =
-  let oc = open_out_bin path in
-  output_string oc (to_string t);
-  close_out oc
+(* Atomic publish: an exception mid-encode (or a kill mid-write) must
+   not leave a truncated .iftg under the final name — campaign resumes
+   and analyze sweeps read these directories. *)
+let write_file t path = Snapshot.Io.write_file_atomic path (to_string t)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  decode s
+let read_file path = decode (Snapshot.Io.read_file path)
 
 let tag_name t tag =
   if tag >= 0 && tag < Array.length t.meta.classes then t.meta.classes.(tag)

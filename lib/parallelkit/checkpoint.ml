@@ -1,0 +1,94 @@
+module C = Snapshot.Codec
+
+let magic = "DIFTVPCP"
+let version = 1
+
+type t = {
+  fingerprint : string;
+  shards : int;
+  entries : (int * string) list;  (* ascending by shard index *)
+}
+
+exception Mismatch of string
+
+let create ~fingerprint ~shards =
+  if shards < 0 then invalid_arg "Checkpoint.create: negative shard count";
+  { fingerprint; shards; entries = [] }
+
+let fingerprint t = t.fingerprint
+let shards t = t.shards
+
+let add t ~shard ~payload =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg
+      (Printf.sprintf "Checkpoint.add: shard %d outside 0..%d" shard
+         (t.shards - 1));
+  let entries =
+    (shard, payload) :: List.remove_assoc shard t.entries
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { t with entries }
+
+let find t shard = List.assoc_opt shard t.entries
+let entries t = t.entries
+let completed t = List.length t.entries
+let is_complete t = completed t = t.shards
+
+let require t ~fingerprint ~shards =
+  if t.fingerprint <> fingerprint then
+    raise
+      (Mismatch
+         (Printf.sprintf
+            "checkpoint belongs to a different campaign (fingerprint %S, \
+             resuming %S)"
+            t.fingerprint fingerprint));
+  if t.shards <> shards then
+    raise
+      (Mismatch
+         (Printf.sprintf
+            "checkpoint records %d shard(s), the resuming campaign has %d"
+            t.shards shards))
+
+let encode t =
+  let w = C.writer () in
+  C.put_u32 w version;
+  C.put_string w t.fingerprint;
+  C.put_varint w t.shards;
+  C.put_list w
+    (fun w (shard, payload) ->
+      C.put_varint w shard;
+      C.put_string w payload)
+    t.entries;
+  magic ^ C.contents w
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (C.Corrupt s)) fmt
+
+let decode s =
+  if String.length s < 8 || String.sub s 0 8 <> magic then
+    corrupt "not a campaign checkpoint (bad magic)";
+  let r = C.reader (String.sub s 8 (String.length s - 8)) in
+  let v = C.get_u32 r in
+  if v <> version then corrupt "unsupported checkpoint version %d" v;
+  let fingerprint = C.get_string r in
+  let shards = C.get_varint r in
+  let entries =
+    C.get_list r (fun r ->
+        let shard = C.get_varint r in
+        let payload = C.get_string r in
+        (shard, payload))
+  in
+  C.expect_end r;
+  let rec check prev = function
+    | [] -> ()
+    | (shard, _) :: rest ->
+        if shard >= shards then
+          corrupt "checkpoint shard %d out of range (%d shards)" shard shards;
+        if shard <= prev then
+          corrupt "checkpoint shard indices not strictly ascending at %d" shard;
+        check shard rest
+  in
+  check (-1) entries;
+  { fingerprint; shards; entries }
+
+let save t path = Snapshot.Io.write_file_atomic path (encode t)
+let load path = decode (Snapshot.Io.read_file path)

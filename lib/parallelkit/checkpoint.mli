@@ -1,0 +1,73 @@
+(** Campaign checkpoints: the DIFTVPCP container.
+
+    A long campaign (a 10^6-program fuzz run, say) checkpoints the
+    results of {e completed shards} so a killed run restarts where it
+    left off instead of from zero. The container holds
+
+    - a caller-supplied {b fingerprint} — a string derived from every
+      configuration field that determines the campaign's deterministic
+      stream (seed, task count, shard size, oracle legs, …). Resuming
+      under a different configuration is detected and refused rather
+      than silently merging incompatible shard results;
+    - the campaign's total {b shard count};
+    - one opaque {b payload} string per completed shard, keyed by shard
+      index — the campaign layer encodes/decodes its own shard results
+      (e.g. [Difftest.Harness]'s counters + coverage + failures).
+
+    Writes go through {!Snapshot.Io.write_file_atomic}, so a reader — in
+    particular a resume after SIGKILL — only ever sees a complete,
+    well-formed container. Which shards are present depends on where the
+    run died; the {e merged report} after resume is byte-identical to an
+    uninterrupted run's because shard payloads are deterministic and the
+    merge happens in shard-index order, not completion order.
+
+    Encoding (all via {!Snapshot.Codec}): magic "DIFTVPCP", u32 format
+    version, fingerprint string, varint shard count, then a u32-counted
+    list of (varint shard index, payload string) sorted by strictly
+    ascending index. {!decode} raises {!Snapshot.Codec.Corrupt} on a bad
+    magic, unsupported version, out-of-range or unsorted indices, or
+    truncation. *)
+
+type t
+
+exception Mismatch of string
+(** Raised by {!require} when a loaded checkpoint does not belong to the
+    campaign being resumed (wrong fingerprint or shard count). *)
+
+val create : fingerprint:string -> shards:int -> t
+(** An empty checkpoint for a campaign of [shards] shards. [shards] must
+    be non-negative. *)
+
+val fingerprint : t -> string
+val shards : t -> int
+
+val add : t -> shard:int -> payload:string -> t
+(** Record a completed shard (replacing any previous payload for the
+    same index). Raises [Invalid_argument] if [shard] is out of range. *)
+
+val find : t -> int -> string option
+(** The payload of a completed shard, if present. *)
+
+val entries : t -> (int * string) list
+(** All completed shards, ascending by index. *)
+
+val completed : t -> int
+(** Number of completed shards recorded. *)
+
+val is_complete : t -> bool
+
+val require : t -> fingerprint:string -> shards:int -> unit
+(** Validate that a loaded checkpoint matches the resuming campaign;
+    raises {!Mismatch} with a human-readable explanation otherwise. *)
+
+val encode : t -> string
+
+val decode : string -> t
+(** Raises {!Snapshot.Codec.Corrupt} on malformed input (see above). *)
+
+val save : t -> string -> unit
+(** Atomic temp-file + rename publish of [encode]. *)
+
+val load : string -> t
+(** [decode] of the file's contents; raises [Sys_error] if unreadable,
+    {!Snapshot.Codec.Corrupt} if malformed or truncated. *)

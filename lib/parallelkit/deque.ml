@@ -1,0 +1,54 @@
+(* Growable ring buffer under a mutex. [head] is the index of the front
+   element; the back element sits at [(head + len - 1) mod cap]. *)
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;
+  mutable len : int;
+  lock : Mutex.t;
+}
+
+let create () =
+  { buf = Array.make 8 None; head = 0; len = 0; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (cap * 2) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t v =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some v;
+      t.len <- t.len + 1)
+
+let pop_front t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let v = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        v
+      end)
+
+let steal t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let v = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        v
+      end)
+
+let length t = locked t (fun () -> t.len)

@@ -1,0 +1,30 @@
+(** A mutex-protected double-ended work queue — one per pool worker.
+
+    The owner takes from the {e front} ([pop_front]), so it processes its
+    share in the order it was enqueued (ascending shard index under the
+    pool's round-robin distribution); thieves take from the {e back}
+    ([steal]), so a steal grabs the work the owner would reach last. The
+    two ends only meet when one element is left, and the mutex arbitrates
+    that case.
+
+    Shards are coarse (tens of oracle runs each), so a plain mutex is
+    the right price point — there is no lock-free cleverness to audit,
+    and the lock is taken once per {e shard}, not per program. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append at the back. The pool only pushes during initial distribution
+    (before workers spawn), but [push] is safe from any domain. *)
+
+val pop_front : 'a t -> 'a option
+(** Take the oldest element — the owner's end. [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Take the newest element — the thief's end. [None] when empty. *)
+
+val length : 'a t -> int
+(** Number of elements currently queued (racy under concurrency; exact
+    when quiescent). *)

@@ -8,6 +8,14 @@ type 'b slot =
   | Done of 'b
   | Raised of exn * Printexc.raw_backtrace
 
+type stats = {
+  workers : int;
+  steals : int;
+  tasks_per_worker : int array;
+}
+
+let sequential_stats n = { workers = 1; steals = 0; tasks_per_worker = [| n |] }
+
 let run_task f x =
   match f x with
   | v -> Done v
@@ -24,34 +32,99 @@ let finish results =
   Array.map
     (function
       | Done v -> v
-      | Empty | Raised _ -> assert false (* all slots filled, none raised *))
+      | Empty | Raised _ ->
+          (* Only reachable when the pool aborted early (a spawn failure
+             or an [on_done] raise) — and then the exception that caused
+             the abort is already in flight, never this one. *)
+          assert false)
     results
 
-let map ~jobs f tasks =
+let map_stats ?on_done ~jobs f tasks =
   let n = Array.length tasks in
-  if jobs <= 1 || n <= 1 then Array.map f tasks
+  if jobs <= 1 || n <= 1 then
+    (* The exact sequential path: in-order evaluation on the calling
+       domain, no domains spawned, no channels, no locks. *)
+    let results =
+      Array.mapi
+        (fun i x ->
+          let v = f x in
+          (match on_done with Some g -> g i v | None -> ());
+          v)
+        tasks
+    in
+    (results, sequential_stats n)
   else begin
+    let w = min jobs n in
     let results = Array.make n Empty in
-    let feed = Chan.create () in
-    let worker () =
+    (* Every index is distributed round-robin across the per-worker
+       deques before any domain spawns; workers never produce new work,
+       so "all deques empty" is a stable termination condition. *)
+    let deques = Array.init w (fun _ -> Deque.create ()) in
+    for i = 0 to n - 1 do
+      Deque.push deques.(i mod w) i
+    done;
+    let completions = Chan.create () in
+    let abort = Atomic.make false in
+    let steals = Array.make w 0 in
+    let ran = Array.make w 0 in
+    let worker wid () =
+      (* Own deque first (front: its indices in ascending order), then a
+         steal sweep over the other workers' backs. *)
+      let rec take k =
+        if k = w then None
+        else
+          let victim = (wid + k) mod w in
+          let got =
+            if k = 0 then Deque.pop_front deques.(victim)
+            else Deque.steal deques.(victim)
+          in
+          match got with
+          | Some i ->
+              if k > 0 then steals.(wid) <- steals.(wid) + 1;
+              Some i
+          | None -> take (k + 1)
+      in
       let rec loop () =
-        match Chan.recv feed with
-        | None -> ()
-        | Some i ->
-            results.(i) <- run_task f tasks.(i);
-            loop ()
+        if not (Atomic.get abort) then
+          match take 0 with
+          | None -> ()
+          | Some i ->
+              results.(i) <- run_task f tasks.(i);
+              ran.(wid) <- ran.(wid) + 1;
+              Chan.send completions i;
+              loop ()
       in
       loop ()
     in
-    let domains =
-      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
-    in
-    for i = 0 to n - 1 do
-      Chan.send feed i
-    done;
-    Chan.close feed;
-    Array.iter Domain.join domains;
-    finish results
+    let domains = Array.make w None in
+    (* If anything below raises — [Domain.spawn] mid-loop, [on_done] —
+       the abort flag stops the workers at their next task boundary and
+       every spawned domain is joined before the original exception
+       reaches the caller: no detached domains, no lost exceptions. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set abort true;
+        Array.iter (function Some d -> Domain.join d | None -> ()) domains)
+      (fun () ->
+        Array.iteri
+          (fun k _ -> domains.(k) <- Some (Domain.spawn (worker k)))
+          domains;
+        (* Drain one completion per task on the calling domain, so
+           [on_done] runs here — free to touch caller state (checkpoint
+           accumulators, progress output) without synchronisation. *)
+        for _ = 1 to n do
+          match Chan.recv completions with
+          | None -> ()
+          | Some i -> (
+              match (on_done, results.(i)) with
+              | Some g, Done v -> g i v
+              | _ -> ())
+        done);
+    ( finish results,
+      { workers = w; steals = Array.fold_left ( + ) 0 steals;
+        tasks_per_worker = ran } )
   end
+
+let map ?on_done ~jobs f tasks = fst (map_stats ?on_done ~jobs f tasks)
 
 let map_list ~jobs f xs = Array.to_list (map ~jobs f (Array.of_list xs))

@@ -1,28 +1,57 @@
-(** A fixed-size [Domain]-based worker pool.
+(** A fixed-size [Domain]-based worker pool with work stealing.
 
     [map ~jobs f tasks] applies [f] to every element of [tasks] and
     returns the results {e in task order}, regardless of which worker ran
     which task — the building block of deterministic parallel campaigns.
 
     - [jobs <= 1] takes the exact sequential code path: a plain in-order
-      [Array.map] on the calling domain, no domains spawned, no channels,
-      no synchronisation. A [--jobs 1] campaign is therefore bit-for-bit
+      map on the calling domain, no domains spawned, no channels, no
+      synchronisation. A [--jobs 1] campaign is therefore bit-for-bit
       the sequential program.
-    - [jobs > 1] spawns [min jobs (Array.length tasks)] worker domains fed
-      from a {!Chan} of task indices. Results land in a slot array keyed
-      by index, so completion order cannot reorder them.
+    - [jobs > 1] spawns [min jobs (Array.length tasks)] worker domains.
+      Task indices are distributed round-robin across per-worker
+      {!Deque}s before the workers start; each worker drains its own
+      deque from the front and, when empty, {e steals} from the other
+      workers' backs — so a worker that drew short tasks rebalances the
+      long tail instead of idling. Results land in a slot array keyed by
+      index, so neither completion order nor steal pattern can reorder
+      them: the merged output is byte-identical at any [jobs].
 
     Exception safety: a task that raises does not tear down the pool
-    mid-flight. Every worker drains the channel to the end, all domains
-    are joined, and only then is the {e first} exception (in task order)
-    re-raised on the caller — with its original backtrace. *)
+    mid-flight. Every worker runs to completion, all domains are joined,
+    and only then is the {e first} exception (in task order) re-raised on
+    the caller — with its original backtrace. If the pool itself fails —
+    [Domain.spawn] raising mid-spawn, or [on_done] raising on the caller
+    — the already-spawned workers are stopped at their next task
+    boundary and joined before the original exception propagates: no
+    detached domains, no leaked channels, no hang. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the default for [--jobs]
     flags. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** See above. [jobs] values above the task count are clamped. *)
+type stats = {
+  workers : int;  (** Domains actually spawned (1 on the sequential path). *)
+  steals : int;  (** Tasks taken from another worker's deque. *)
+  tasks_per_worker : int array;
+      (** Tasks each worker executed; sums to the task count. *)
+}
+
+val map : ?on_done:(int -> 'b -> unit) -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** See above. [jobs] values above the task count are clamped.
+
+    [on_done i v] is invoked once per {e successful} task, on the
+    calling domain, as completions arrive (so in nondeterministic order
+    when [jobs > 1], ascending order when sequential). It may freely
+    touch caller-side state — the campaign checkpoint writer hangs off
+    this hook. A raise from [on_done] aborts the pool cleanly (workers
+    stopped and joined) and propagates. *)
+
+val map_stats :
+  ?on_done:(int -> 'b -> unit) -> jobs:int -> ('a -> 'b) -> 'a array ->
+  'b array * stats
+(** [map] plus scheduler observability — the bench reports steal counts
+    and per-worker task splits from here. *)
 
 val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] on lists (order preserved). *)

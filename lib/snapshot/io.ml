@@ -1,0 +1,24 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The temp file lives in the destination directory: [Sys.rename] must
+   not cross a filesystem boundary to stay atomic. *)
+let write_file_atomic path data =
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc data);
+      Sys.rename tmp path)
