@@ -30,11 +30,14 @@
    --reps=N repeats each parallel row N times, and --no-warm-start
    cold-boots campaign SoCs instead of restoring the shared boot
    snapshot (see docs/parallel.md). For table2 / table2-extended,
-   --engine=interp|threaded (repeatable) measures the workloads once per
-   named execution engine — rows carry an "engine" field so CI can
-   compare threaded vs interpreter throughput — and --only=WORKLOAD
-   restricts the set to one workload (the perf-smoke job runs
-   `table2 --only=hello --engine=threaded --engine=interp`). Each timed
+   --engine=interp|threaded|superblock (repeatable) measures the
+   workloads once per named execution engine — rows carry an "engine"
+   field so CI can compare superblock vs threaded vs interpreter
+   throughput — and --only=W1[,W2,...] restricts the set to the named
+   workloads (the perf-smoke job runs `table2 --only=hello,dispatch
+   --engine=interp --engine=threaded --engine=superblock`; slowest
+   engine first, so process warmup is not charged to a gated
+   comparison). Each timed
    subcommand also writes a BENCH_<name>.json report (schema in
    docs/perf.md). *)
 
@@ -183,13 +186,17 @@ let measure_engines ~block_cache ~fast_path ~trace ~engines defs =
 let filter_defs ~only defs =
   match only with
   | None -> defs
-  | Some name -> (
-      match List.filter (fun d -> d.D.d_name = name) defs with
-      | [] ->
-          pf "no workload named %S (known: %s)\n" name
-            (String.concat " " (List.map (fun d -> d.D.d_name) defs));
-          exit 1
-      | ds -> ds)
+  | Some names ->
+      let names = String.split_on_char ',' names in
+      List.iter
+        (fun name ->
+          if not (List.exists (fun d -> d.D.d_name = name) defs) then begin
+            pf "no workload named %S (known: %s)\n" name
+              (String.concat " " (List.map (fun d -> d.D.d_name) defs));
+            exit 1
+          end)
+        names;
+      List.filter (fun d -> List.mem d.D.d_name names) defs
 
 let table2 ~scale ~block_cache ~fast_path ~trace ~engines ~only () =
   pf "=== Table II: performance overhead of VP-based DIFT (scale %g) ===\n\n"
@@ -277,13 +284,17 @@ let qsort_case ~mode ~tracking ~dmi ~quantum ~block_cache ~fast_path
   {
     D.m_workload = "qsort";
     m_mode = mode;
-    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded_superblock;
     m_instructions = instr;
     m_seconds = dt;
     m_mips = D.mips instr dt;
     m_overhead = 1.;
     m_fast_retired = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
     m_blocks_built = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+    m_superblocks = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built ());
+    m_chain_hits = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_chain_hits ());
+    m_ic_hits = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_hits ());
+    m_ic_misses = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_misses ());
     m_loc_asm = img.Rv32_asm.Image.insn_count;
     m_trace = false;
     m_exit_ok =
@@ -406,13 +417,17 @@ let ablate_lub ~block_cache ~fast_path () =
           {
             D.m_workload = key;
             m_mode = mode;
-            m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+            m_engine = Rv32.Core.engine_name Rv32.Core.Threaded_superblock;
             m_instructions = iters;
             m_seconds = t;
             m_mips = D.mips iters t;
             m_overhead = overhead;
             m_fast_retired = 0;
             m_blocks_built = 0;
+            m_superblocks = None;
+            m_chain_hits = None;
+            m_ic_hits = None;
+            m_ic_misses = None;
             m_loc_asm = 0;
             m_trace = false;
             m_exit_ok = true;
@@ -500,13 +515,17 @@ let bench_snapshot ~block_cache ~fast_path () =
     {
       D.m_workload = "qsort";
       m_mode = mode;
-      m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+      m_engine = Rv32.Core.engine_name Rv32.Core.Threaded_superblock;
       m_instructions = instr;
       m_seconds = dt;
       m_mips = D.mips instr dt;
       m_overhead = 1.;
       m_fast_retired = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
       m_blocks_built = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+      m_superblocks = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built ());
+      m_chain_hits = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_chain_hits ());
+      m_ic_hits = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_hits ());
+      m_ic_misses = Some (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_misses ());
       m_loc_asm = img.Rv32_asm.Image.insn_count;
       m_trace = false;
       m_exit_ok =
@@ -938,8 +957,8 @@ let () =
       then begin
         pf
           "unknown flag %S (known: --no-block-cache --no-fast-path --trace \
-           --no-warm-start --jobs=N --reps=N --engine=interp|threaded \
-           --only=WORKLOAD)\n"
+           --no-warm-start --jobs=N --reps=N \
+           --engine=interp|threaded|superblock --only=W1[,W2,...])\n"
           f;
         exit 1
       end)
@@ -951,7 +970,7 @@ let () =
   let jobs = int_flag "--jobs" (Parallelkit.Pool.default_jobs ()) in
   let reps = int_flag "--reps" 1 in
   (* --engine= is repeatable: table2 measures once per named engine
-     (given order, duplicates collapsed); default threaded only. *)
+     (given order, duplicates collapsed); default superblock only. *)
   let engines =
     let named =
       List.filter_map
@@ -962,12 +981,13 @@ let () =
             match Rv32.Core.engine_of_string v with
             | Some e -> Some e
             | None ->
-                pf "flag --engine needs interp or threaded (got %S)\n" v;
+                pf "flag --engine needs interp, threaded or superblock (got %S)\n"
+                  v;
                 exit 1)
         flags
     in
     match List.fold_left (fun acc e -> if List.mem e acc then acc else acc @ [ e ]) [] named with
-    | [] -> [ Rv32.Core.Threaded ]
+    | [] -> [ Rv32.Core.Threaded_superblock ]
     | es -> es
   in
   let only =

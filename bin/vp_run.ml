@@ -66,7 +66,12 @@ let policy_name = function
 let run file policy_kind tracking max_insns uart_input show_symbols quiet
     echo_insns taint_map report coverage trace_on trace_out trace_format
     forensics graph_out json checkpoint_every checkpoint_out checkpoint_stop
-    resume state_out quantum engine =
+    resume state_out quantum engine no_superblocks =
+  let engine =
+    if no_superblocks && engine = Rv32.Core.Threaded_superblock then
+      Rv32.Core.Threaded
+    else engine
+  in
   let src = read_file file in
   match Rv32_asm.Parser.parse_result src with
   | Error msg ->
@@ -346,6 +351,19 @@ let run file policy_kind tracking max_insns uart_input show_symbols quiet
                ("exit_code", J.num_of_int code);
                ("reason", J.Str reason);
                ("instructions", J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_instret ()));
+               ("engine", J.Str (Rv32.Core.engine_name engine));
+               ( "blocks_built",
+                 J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ()) );
+               ( "superblocks_built",
+                 J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built ())
+               );
+               ( "chain_hits",
+                 J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_chain_hits ()) );
+               ("ic_hits", J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_hits ()));
+               ( "ic_misses",
+                 J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_misses ()) );
+               ( "fast_retired",
+                 J.num_of_int (soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ()) );
                ("sim_time_ps", J.num_of_int (Sysc.Kernel.now soc.Vp.Soc.kernel));
                ("checks", J.num_of_int (Dift.Monitor.check_count monitor));
                ("violations", J.num_of_int (Dift.Monitor.violation_count monitor));
@@ -504,19 +522,30 @@ let engine_arg =
       | None ->
           Error
             (`Msg
-               (Printf.sprintf "unknown engine '%s' (expected interp|threaded)"
+               (Printf.sprintf
+                  "unknown engine '%s' (expected interp|threaded|superblock)"
                   s))
     in
     Arg.conv
       (parse, fun fmt e -> Format.pp_print_string fmt (Rv32.Core.engine_name e))
   in
-  Arg.(value & opt engine_conv Rv32.Core.Threaded
+  Arg.(value & opt engine_conv Rv32.Core.Threaded_superblock
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine: $(b,threaded) (default, compiled \
-                 closure chains per basic block) or $(b,interp) \
-                 (per-instruction dispatch). Architecturally identical; a \
-                 snapshot written under one engine resumes under the \
-                 other.")
+           ~doc:"Execution engine: $(b,superblock) (default, compiled \
+                 closure chains per basic block with hot block pairs \
+                 linked into superblocks and $(b,jalr) inline caches), \
+                 $(b,threaded) (closure chains, one basic block per \
+                 dispatch) or $(b,interp) (per-instruction dispatch). \
+                 Architecturally identical; a snapshot written under one \
+                 engine resumes under any other.")
+
+let no_superblocks_arg =
+  Arg.(value & flag
+       & info [ "no-superblocks" ]
+           ~doc:"Disable superblock chaining and the $(b,jalr) inline \
+                 caches: demote the default $(b,superblock) engine to plain \
+                 $(b,threaded). No effect with an explicit \
+                 $(b,--engine=threaded) or $(b,--engine=interp).")
 
 let state_out_arg =
   Arg.(value & opt (some string) None
@@ -639,15 +668,15 @@ let analyze_cmd =
 let run_term =
   Term.(
     const (fun f p nt m u s q echo tm rep cov tr trout trfmt forn gout js ck
-              ckout ckstop res stout qn eng ->
+              ckout ckstop res stout qn eng nsb ->
         run f p (not nt) m u s q echo tm rep cov tr trout trfmt forn gout js
-          ck ckout ckstop res stout qn eng)
+          ck ckout ckstop res stout qn eng nsb)
     $ file_arg $ policy_arg $ tracking_arg $ max_arg $ uart_arg $ symbols_arg
     $ quiet_arg $ echo_insns_arg $ taint_map_arg $ report_arg $ coverage_arg
     $ trace_flag_arg $ trace_out_arg $ trace_format_arg $ forensics_arg
     $ graph_out_arg $ json_arg $ checkpoint_every_arg $ checkpoint_out_arg
     $ checkpoint_stop_arg $ resume_arg $ state_out_arg $ quantum_arg
-    $ engine_arg)
+    $ engine_arg $ no_superblocks_arg)
 
 let cmd =
   let doc = "execute a RISC-V binary on the DIFT-enabled virtual prototype" in

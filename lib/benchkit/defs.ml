@@ -50,6 +50,8 @@ let table2 ~scale =
   [
     plain "hello" ~make_image:(fun () ->
         Firmware.Extra_fw.hello_image ~rounds:(s 5000) ());
+    plain "dispatch" ~make_image:(fun () ->
+        Firmware.Extra_fw.dispatch_image ~rounds:(s 120000) ());
     plain "qsort" ~make_image:(fun () ->
         Firmware.Qsort_fw.image ~n:1000 ~rounds:(s 4) ());
     plain "dhrystone" ~make_image:(fun () ->
@@ -100,11 +102,15 @@ type raw = {
   raw_seconds : float;
   raw_fast : int;
   raw_blocks : int;
+  raw_superblocks : int;
+  raw_chain : int;
+  raw_ic_hits : int;
+  raw_ic_misses : int;
   raw_exit_ok : bool;
 }
 
 let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
-    ?(engine = Rv32.Core.Threaded) ~tracking def =
+    ?(engine = Rv32.Core.Threaded_superblock) ~tracking def =
   let img = def.make_image () in
   let policy = def.make_policy img in
   let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
@@ -138,6 +144,10 @@ let run_def ?(block_cache = true) ?(fast_path = true) ?(trace = false)
     raw_seconds = dt;
     raw_fast = soc.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired ();
     raw_blocks = soc.Vp.Soc.cpu.Vp.Soc.cpu_blocks_built ();
+    raw_superblocks = soc.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built ();
+    raw_chain = soc.Vp.Soc.cpu.Vp.Soc.cpu_chain_hits ();
+    raw_ic_hits = soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_hits ();
+    raw_ic_misses = soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_misses ();
     raw_exit_ok = exit_ok;
   }
 
@@ -151,6 +161,10 @@ type measurement = {
   m_overhead : float;
   m_fast_retired : int;
   m_blocks_built : int;
+  m_superblocks : int option;
+  m_chain_hits : int option;
+  m_ic_hits : int option;
+  m_ic_misses : int option;
   m_loc_asm : int;
   m_exit_ok : bool;
   m_trace : bool;
@@ -168,8 +182,9 @@ type measurement = {
 let mips instructions seconds =
   if seconds > 0. then float_of_int instructions /. seconds /. 1e6 else 0.
 
-let measurement_of_raw ?(trace = false) ?(engine = Rv32.Core.Threaded)
-    ~workload ~mode ~overhead ~loc_asm r =
+let measurement_of_raw ?(trace = false)
+    ?(engine = Rv32.Core.Threaded_superblock) ~workload ~mode ~overhead
+    ~loc_asm r =
   {
     m_workload = workload;
     m_mode = mode;
@@ -180,6 +195,10 @@ let measurement_of_raw ?(trace = false) ?(engine = Rv32.Core.Threaded)
     m_overhead = overhead;
     m_fast_retired = r.raw_fast;
     m_blocks_built = r.raw_blocks;
+    m_superblocks = Some r.raw_superblocks;
+    m_chain_hits = Some r.raw_chain;
+    m_ic_hits = Some r.raw_ic_hits;
+    m_ic_misses = Some r.raw_ic_misses;
     m_loc_asm = loc_asm;
     m_exit_ok = r.raw_exit_ok;
     m_trace = trace;
@@ -200,13 +219,17 @@ let parallel_row ?(exit_ok = true) ~workload ~mode ~jobs ~tasks ~instructions
   {
     m_workload = workload;
     m_mode = mode;
-    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded_superblock;
     m_instructions = instructions;
     m_seconds = secs;
     m_mips = mips instructions secs;
     m_overhead = overhead;
     m_fast_retired = 0;
     m_blocks_built = 0;
+    m_superblocks = None;
+    m_chain_hits = None;
+    m_ic_hits = None;
+    m_ic_misses = None;
     m_loc_asm = 0;
     m_exit_ok = exit_ok;
     m_trace = false;
@@ -231,13 +254,17 @@ let graph_row ?(exit_ok = true) ~workload ~mode ~store_bytes ~ingest_ns
   {
     m_workload = workload;
     m_mode = mode;
-    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded;
+    m_engine = Rv32.Core.engine_name Rv32.Core.Threaded_superblock;
     m_instructions = 0;
     m_seconds = secs;
     m_mips = 0.;
     m_overhead = 1.;
     m_fast_retired = 0;
     m_blocks_built = 0;
+    m_superblocks = None;
+    m_chain_hits = None;
+    m_ic_hits = None;
+    m_ic_misses = None;
     m_loc_asm = 0;
     m_exit_ok = exit_ok;
     m_trace = false;
@@ -253,7 +280,7 @@ let graph_row ?(exit_ok = true) ~workload ~mode ~store_bytes ~ingest_ns
   }
 
 let measure ?(block_cache = true) ?(fast_path = true) ?(trace = false)
-    ?(engine = Rv32.Core.Threaded) def =
+    ?(engine = Rv32.Core.Threaded_superblock) def =
   let vp = run_def ~block_cache ~fast_path ~engine ~tracking:false def in
   let vpp = run_def ~block_cache ~fast_path ~engine ~tracking:true def in
   let loc_asm = (def.make_image ()).Rv32_asm.Image.insn_count in
@@ -296,6 +323,10 @@ let row m =
        ("exit_ok", Json.Bool m.m_exit_ok);
        ("trace", Json.Bool m.m_trace);
      ]
+    @ opt "superblocks_built" m.m_superblocks Json.num_of_int
+    @ opt "chain_hits" m.m_chain_hits Json.num_of_int
+    @ opt "ic_hits" m.m_ic_hits Json.num_of_int
+    @ opt "ic_misses" m.m_ic_misses Json.num_of_int
     @ opt "jobs" m.m_jobs Json.num_of_int
     @ opt "wall_ns" m.m_wall_ns Json.num_of_int
     @ opt "cpu_ns" m.m_cpu_ns Json.num_of_int
@@ -391,6 +422,21 @@ let validate j =
             | Some _ -> ctx (Printf.sprintf "out-of-range field %S" name)
             | None ->
                 ctx (Printf.sprintf "ill-typed optional field %S" name))
+      in
+      (* Optional block-engine fields: all four travel together (a row
+         from a superblock-capable producer carries the whole group;
+         older reports omit them all). *)
+      let* sblocks = opt "superblocks_built" Json.to_int (fun n -> n >= 0) in
+      let* chain = opt "chain_hits" Json.to_int (fun n -> n >= 0) in
+      let* ic_h = opt "ic_hits" Json.to_int (fun n -> n >= 0) in
+      let* ic_m = opt "ic_misses" Json.to_int (fun n -> n >= 0) in
+      let* () =
+        match (sblocks, chain, ic_h, ic_m) with
+        | Some _, Some _, Some _, Some _ | None, None, None, None -> Ok ()
+        | _ ->
+            ctx
+              "block-engine fields \"superblocks_built\", \"chain_hits\", \
+               \"ic_hits\" and \"ic_misses\" must appear together"
       in
       let* jobs = opt "jobs" Json.to_int (fun j -> j >= 1) in
       let* wall = opt "wall_ns" Json.to_int (fun n -> n >= 0) in

@@ -25,8 +25,10 @@ val integrity_policy : Rv32_asm.Image.t -> Dift.Policy.t
 
 val table2 : scale:float -> def list
 (** The paper's Table II workload set (hello, qsort, dhrystone, primes,
-    sha512, simple-sensor, freertos-tasks, immo-fixed). [scale] multiplies
-    each workload's iteration count; fractions give fast smoke runs. *)
+    sha512, simple-sensor, freertos-tasks, immo-fixed) plus the
+    branch-heavy [dispatch] stressor ({!Firmware.Extra_fw.dispatch}, for
+    the superblock/inline-cache counters). [scale] multiplies each
+    workload's iteration count; fractions give fast smoke runs. *)
 
 val extended : scale:float -> def list
 (** Additional workloads beyond the paper (crc32, matmul, strings, aes-sw). *)
@@ -36,13 +38,22 @@ type measurement = {
   m_mode : string;  (** ["vp"] / ["vp+"] (or an ablation label). *)
   m_engine : string;
       (** {!Rv32.Core.engine_name} of the execution engine the row was
-          measured under (["threaded"] / ["interp"]). *)
+          measured under (["superblock"] / ["threaded"] / ["interp"]). *)
   m_instructions : int;  (** Retired, from the core's counter. *)
   m_seconds : float;  (** Monotonic wall time of the simulation. *)
   m_mips : float;
   m_overhead : float;  (** Relative to the workload's vp row; 1.0 there. *)
   m_fast_retired : int;
   m_blocks_built : int;
+  m_superblocks : int option;
+      (** Block-engine rows only: superblock chains linked. The four
+          option fields travel together ([Some] on rows {!measure}
+          produced, [None] on parallel / graph rows); {!validate}
+          enforces this. All four are zero under engines without the
+          superblock tier. *)
+  m_chain_hits : int option;  (** In-chain block-to-block transitions. *)
+  m_ic_hits : int option;  (** [jalr] inline-cache direct entries. *)
+  m_ic_misses : int option;  (** [jalr] inline-cache misses/demotions. *)
   m_loc_asm : int;
   m_exit_ok : bool;  (** Firmware reached the exit ecall with code 0. *)
   m_trace : bool;  (** Row measured with the tracing subsystem attached. *)
@@ -79,10 +90,10 @@ val measure :
     {!Trace.Tracer} attached (ring + provenance + bus observer), its
     overhead relative to the same vp row — the guardrail number for the
     tracing subsystem's cost. The default remains exactly two rows.
-    [engine] (default {!Rv32.Core.Threaded}) selects the core's execution
-    engine for every run and is recorded in each row's [m_engine] — the
-    engine-vs-engine perf comparison measures the same workload once per
-    engine. *)
+    [engine] (default {!Rv32.Core.Threaded_superblock}) selects the
+    core's execution engine for every run and is recorded in each row's
+    [m_engine] — the engine-vs-engine perf comparison measures the same
+    workload once per engine. *)
 
 val mips : int -> float -> float
 (** [mips instructions seconds], 0 when [seconds] is 0. *)
@@ -144,7 +155,9 @@ val validate : Json.t -> (unit, string) result
     non-empty [workload], a [mode] string, integral [instructions >= 0],
     [seconds >= 0], [mips >= 0] and [overhead > 0]. A row's optional
     [trace] field, when present, must be a boolean; its optional [engine]
-    field, when present, a non-empty string. The parallel fields
+    field, when present, a non-empty string. The block-engine fields
+    [superblocks_built], [chain_hits], [ic_hits] and [ic_misses] (ints
+    >= 0) must appear all together or not at all. The parallel fields
     [jobs] (int >= 1), [wall_ns] / [cpu_ns] (ints >= 0) and
     [worker_throughput] (number >= 0) must appear all together or not at
     all, and likewise the graph fields [store_bytes], [ingest_ns],

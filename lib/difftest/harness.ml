@@ -29,7 +29,7 @@ let default =
     inject = None;
     cache_diff = false;
     snap_diff = false;
-    engines = [ Rv32.Core.Threaded ];
+    engines = [ Rv32.Core.Threaded_superblock ];
     jobs = 1;
     warm_start = true;
     shard_size = 25;
@@ -315,7 +315,7 @@ let run_shard cfg warm (sh : Parallelkit.Campaign.shard) =
      is cross-checked against it by the engine-differential leg. *)
   let base_engine, cross_engines =
     match cfg.engines with
-    | [] -> (Rv32.Core.Threaded, [])
+    | [] -> (Rv32.Core.Threaded_superblock, [])
     | e :: rest -> (e, rest)
   in
   let rng = Rng.create ~seed:sh.Parallelkit.Campaign.seed in

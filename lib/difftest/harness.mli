@@ -39,13 +39,14 @@ type config = {
           check of the snapshot machinery. Off by default: it roughly
           triples the oracle cost. *)
   engines : Rv32.Core.engine list;
-      (** Execution engines under test (default [[Threaded]]). The head
-          runs every base oracle leg; each engine in the tail is
+      (** Execution engines under test (default [[Threaded_superblock]]).
+          The head runs every base oracle leg; each engine in the tail is
           additionally cross-checked against the head on both VP flavours
           — byte-identical registers, scratch memory, instret {e and
           taint tags} — a differential proof of the threaded-code block
-          compiler against the interpreter. Two entries roughly double
-          the VP cost per program. *)
+          compiler (and its superblock/inline-cache tier) against the
+          interpreter. Each extra entry adds roughly one VP cost per
+          program. *)
   jobs : int;
       (** Worker domains running shards concurrently (default 1).
           [jobs <= 1] takes the exact sequential code path (no domains
@@ -88,8 +89,8 @@ val default : config
 (** seed 0x5eed, 200 programs of 30 blocks, shrinking on, no file output
     (no reproducer or graph-store directories), properties every 5th
     program, no injection, no cache / snapshot / engine differential
-    (engines = [[Threaded]] only); sequential ([jobs = 1]), warm-start
-    on, 25-program shards, no checkpointing or resume. *)
+    (engines = [[Threaded_superblock]] only); sequential ([jobs = 1]),
+    warm-start on, 25-program shards, no checkpointing or resume. *)
 
 type failure = {
   f_kind : string;

@@ -80,8 +80,8 @@ val run_vp :
     (default true) forward to {!Vp.Soc.create} — run with
     [~block_cache:false] to get a reference single-step execution for
     cache-vs-nocache differential testing. [engine] selects the core's
-    execution engine (default {!Rv32.Core.Threaded}) for engine-vs-engine
-    differential testing. [tracer] attaches the tracing
+    execution engine (default {!Rv32.Core.Threaded_superblock}) for
+    engine-vs-engine differential testing. [tracer] attaches the tracing
     subsystem to the SoC (forensic replay of reproducers). [quantum]
     forwards to {!Vp.Soc.create} (snapshot-vs-straight comparisons need
     both runs on the same time-sync grid). [warm] stamps a boot snapshot
@@ -115,7 +115,8 @@ val run :
   Rv32_asm.Image.t ->
   result3
 (** All three models. [engine] selects the execution engine of both VP
-    legs (default {!Rv32.Core.Threaded}); [policy] applies to the VP+ run
+    legs (default {!Rv32.Core.Threaded_superblock}); [policy] applies to
+    the VP+ run
     only (the plain VP runs check-free on the same lattice); [trace] is
     installed on the VP+ run (coverage); [warm] warm-starts the plain-VP
     leg from a shared boot snapshot (the VP+ leg always cold-boots: its

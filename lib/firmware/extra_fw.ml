@@ -268,3 +268,76 @@ let strings_image ?count () =
   let p = A.create () in
   strings ?count p;
   A.assemble p
+
+(* --- indirect dispatch ------------------------------------------------------ *)
+
+let dispatch_reference rounds =
+  let acc = ref 0 in
+  for k = 1 to rounds do
+    (match k land 3 with
+    | 0 -> acc := !acc + k
+    | 1 -> acc := !acc lxor ((k lsl 1) land 0xffffffff)
+    | 2 -> acc := !acc + (k lsl 1) + 1
+    | _ -> acc := !acc - k);
+    acc := !acc land 0xffffffff
+  done;
+  !acc
+
+let dispatch ?(rounds = 4096) p =
+  (* Branch-heavy engine stressor: a tight call/return pair (monomorphic
+     [jalr] — the inline caches' best case) plus a table-driven indirect
+     dispatch whose target rotates every iteration (polymorphic [jalr] —
+     the sticky-demotion path). Every handler return site is monomorphic,
+     so the workload exercises IC hits, IC misses and superblock chaining
+     in one loop. The accumulator self-checks against a host-computed
+     value. *)
+  let expected = dispatch_reference rounds in
+  Rt.entry p ();
+  A.li p R.s1 rounds;
+  A.li p R.s2 0 (* accumulator *);
+  A.li p R.s3 0 (* iteration counter k *);
+  A.label p "loop";
+  A.call p "work";
+  (* handler = table[k land 3] *)
+  A.andi p R.t0 R.s3 3;
+  A.slli p R.t0 R.t0 2;
+  A.la p R.t1 "table";
+  A.add p R.t0 R.t0 R.t1;
+  A.lw p R.t1 R.t0 0;
+  A.jalr p R.ra R.t1 0;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.li p R.t0 expected;
+  A.bne_l p R.s2 R.t0 "fail";
+  Rt.exit_ p ();
+  A.label p "fail";
+  Rt.exit_ p ~code:1 ();
+  A.label p "work";
+  A.addi p R.s3 R.s3 1;
+  A.ret p;
+  A.label p "h0";
+  A.add p R.s2 R.s2 R.s3;
+  A.ret p;
+  A.label p "h1";
+  A.slli p R.t2 R.s3 1;
+  A.xor p R.s2 R.s2 R.t2;
+  A.ret p;
+  A.label p "h2";
+  A.slli p R.t2 R.s3 1;
+  A.add p R.s2 R.s2 R.t2;
+  A.addi p R.s2 R.s2 1;
+  A.ret p;
+  A.label p "h3";
+  A.sub p R.s2 R.s2 R.s3;
+  A.ret p;
+  A.align p 4;
+  A.label p "table";
+  A.word_l p "h0";
+  A.word_l p "h1";
+  A.word_l p "h2";
+  A.word_l p "h3"
+
+let dispatch_image ?rounds () =
+  let p = A.create () in
+  dispatch ?rounds p;
+  A.assemble p

@@ -9,7 +9,11 @@
       checked against the host reference {!crc32_reference};
     - {!matmul}: integer matrix multiply C = A x B with a checksum over C;
     - {!strings}: a strlen/strcpy/strcmp workout over many generated
-      strings (pointer-chasing heavy).
+      strings (pointer-chasing heavy);
+    - {!dispatch}: a branch-heavy control-flow stressor — a tight
+      call/return pair plus a table-driven indirect dispatch whose
+      [jalr] target rotates every iteration (the superblock engine's
+      inline-cache hit, miss and demotion paths all fire).
 
     All exit 0 on success, 1 on a self-check mismatch. *)
 
@@ -27,3 +31,9 @@ val matmul_image : ?n:int -> unit -> Rv32_asm.Image.t
 
 val strings : ?count:int -> Rv32_asm.Asm.t -> unit
 val strings_image : ?count:int -> unit -> Rv32_asm.Image.t
+
+val dispatch : ?rounds:int -> Rv32_asm.Asm.t -> unit
+val dispatch_image : ?rounds:int -> unit -> Rv32_asm.Image.t
+
+val dispatch_reference : int -> int
+(** Host model of {!dispatch}'s accumulator after [rounds] iterations. *)

@@ -12,16 +12,25 @@ type trap_event =
 (* Pluggable execution engines over the same decoded-block cache:
    [Interp] dispatches blocks through the per-instruction execute loop;
    [Threaded] compiles each block into a closure chain (threaded code)
-   with pre-resolved operands and an untainted specialization. The two
+   with pre-resolved operands and an untainted specialization;
+   [Threaded_superblock] additionally chains hot block pairs across
+   their terminating branch into superblocks and inline-caches jalr
+   targets, so hot edges skip the dispatcher entirely. All engines
    retire identical architectural state, tags, counters and hook streams
-   — pinned by test_threaded and the difftest engine-diff leg. *)
-type engine = Interp | Threaded
+   — pinned by test_threaded / test_superblock and the difftest
+   engine-diff legs. *)
+type engine = Interp | Threaded | Threaded_superblock
 
-let engine_name = function Interp -> "interp" | Threaded -> "threaded"
+let engine_name = function
+  | Interp -> "interp"
+  | Threaded -> "threaded"
+  | Threaded_superblock -> "superblock"
 
 let engine_of_string = function
   | "interp" | "interpreter" -> Some Interp
   | "threaded" -> Some Threaded
+  | "superblock" | "threaded-superblock" | "threaded_superblock" ->
+      Some Threaded_superblock
   | _ -> None
 
 module type MODE = sig
@@ -69,6 +78,10 @@ module type S = sig
   val set_merge_hook : t -> (int -> int -> int -> unit) option -> unit
   val flush_code : t -> addr:int -> len:int -> unit
   val blocks_built : t -> int
+  val superblocks_built : t -> int
+  val chain_hits : t -> int
+  val ic_hits : t -> int
+  val ic_misses : t -> int
   val fast_retired : t -> int
   val set_pause_at : t -> int -> unit
   val paused : t -> bool
@@ -114,12 +127,40 @@ module Make (M : MODE) = struct
      code compiled out, present only for blocks whose every word carries
      the bottom tag on cores where the fast path is enabled. A breaker-led
      block is stored with [cb_n = 0] so the dispatcher falls back to
-     {!step} without re-probing. *)
+     {!step} without re-probing.
+
+     The superblock engine additionally keeps the decoded source
+     ([cb_blk], for recompiling the block chained into a hot successor),
+     an exit-edge profile ([cb_edge_pc]/[cb_edge_n]: the last observed
+     dispatcher-entry pc after this chain ran, and how many consecutive
+     times it repeated), and the byte span the compiled code depends on
+     ([cb_lo..cb_hi] — the block itself, widened to the convex hull of
+     predecessor and successor once chained, so invalidation stays a
+     range compare). *)
   type cblock = {
     cb_pc : int;
     cb_n : int;
     cb_full : unit -> unit;
     cb_fast : (unit -> unit) option;
+    cb_blk : block;
+    cb_lo : int;
+    cb_hi : int;
+    mutable cb_edge_pc : int;
+    mutable cb_edge_n : int;
+    mutable cb_linked : bool;
+  }
+
+  (* Inline cache for a compiled jalr site: predicted target pc plus the
+     direct chain entry for it. [ic_pc] is -1 while empty and -2 once
+     demoted (two distinct targets were observed — the site is
+     polymorphic and keeps paying the dispatcher). A cached entry is
+     trusted only while no flush epoch has passed since it was installed;
+     epoch bumps (SMC/DMA writes, set_trace, privilege changes, snapshot
+     restore) invalidate every cache at once. *)
+  type ic = {
+    mutable ic_pc : int;
+    mutable ic_epoch : int;
+    mutable ic_entry : unit -> unit;
   }
 
   type t = {
@@ -178,7 +219,20 @@ module Make (M : MODE) = struct
        so it needs no per-entry tag precondition and never falls back. *)
     fast_spec : bool;
     mutable fast : bool;
+    (* Superblock chaining (Threaded_superblock engine): [prev_cb] is the
+       chain that ran in the previous scheduling round (exit-edge
+       profiling), [sblocks] the registry of slots currently holding a
+       recompiled superblock — their spans cover two blocks, so
+       invalidation scans the registry in addition to the positional
+       window. *)
+    superblocks : bool;
+    mutable prev_cb : cblock option;
+    mutable sblocks : (int * cblock) list;
     mutable n_blocks : int;
+    mutable n_superblocks : int;
+    mutable n_chain : int;
+    mutable n_ic_hits : int;
+    mutable n_ic_miss : int;
     mutable n_fast : int;
     irq_event : Sysc.Kernel.event;
     (* Time sync goes through a named event (not [wait_for]) so that a
@@ -233,17 +287,32 @@ module Make (M : MODE) = struct
           for i = i0 to i1 do
             match Array.unsafe_get t.cblocks i with
             | Some cb ->
-                let words = max 1 cb.cb_n in
-                if cb.cb_pc + (4 * words) - 1 >= addr then
-                  Array.unsafe_set t.cblocks i None
+                if cb.cb_hi >= addr then Array.unsafe_set t.cblocks i None
             | None -> ()
           done
-      end
+      end;
+      (* Superblocks span two blocks, so the slot may sit outside the
+         positional window above; their registry is scanned by span.
+         Entries whose slot no longer holds them (already flushed, or
+         replaced) are dropped along the way. *)
+      if t.sblocks <> [] then
+        t.sblocks <-
+          List.filter
+            (fun (i, cb) ->
+              match Array.unsafe_get t.cblocks i with
+              | Some cur when cur == cb ->
+                  if cb.cb_hi >= addr && cb.cb_lo <= last then begin
+                    Array.unsafe_set t.cblocks i None;
+                    false
+                  end
+                  else true
+              | _ -> false)
+            t.sblocks
     end
 
   let create ~kernel ~bus ~policy ~monitor ?(cycle_time = Sysc.Time.ns 10)
       ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-      ?(engine = Threaded) ?(strict_align = false) ~pc () =
+      ?(engine = Threaded_superblock) ?(strict_align = false) ~pc () =
     let pc_cache_base, pc_cache_words, pc_cache_insns =
       match Bus_if.dmi_range bus with
       | Some (base, limit) ->
@@ -272,7 +341,7 @@ module Make (M : MODE) = struct
       else [||]
     in
     let cblocks : cblock option array =
-      if cache_entries > 0 && engine = Threaded then
+      if cache_entries > 0 && engine <> Interp then
         Array.make cache_entries None
       else [||]
     in
@@ -334,7 +403,14 @@ module Make (M : MODE) = struct
         fast_enabled;
         fast_spec;
         fast = false;
+        superblocks = (engine = Threaded_superblock && cache_entries > 0);
+        prev_cb = None;
+        sblocks = [];
         n_blocks = 0;
+        n_superblocks = 0;
+        n_chain = 0;
+        n_ic_hits = 0;
+        n_ic_miss = 0;
         n_fast = 0;
         irq_event = Sysc.Kernel.create_event kernel "cpu.irq";
         sync_event = Sysc.Kernel.create_event kernel "cpu.sync";
@@ -393,10 +469,16 @@ module Make (M : MODE) = struct
     t.trace <- fn;
     if Array.length t.cblocks > 0 then begin
       t.flush_epoch <- t.flush_epoch + 1;
-      Array.fill t.cblocks 0 (Array.length t.cblocks) None
+      Array.fill t.cblocks 0 (Array.length t.cblocks) None;
+      t.sblocks <- [];
+      t.prev_cb <- None
     end
   let set_merge_hook t fn = t.on_merge <- fn
   let blocks_built t = t.n_blocks
+  let superblocks_built t = t.n_superblocks
+  let chain_hits t = t.n_chain
+  let ic_hits t = t.n_ic_hits
+  let ic_misses t = t.n_ic_miss
   let fast_retired t = t.n_fast
 
   let set_irq t ~bit on =
@@ -1091,13 +1173,20 @@ module Make (M : MODE) = struct
     || t.flush_epoch <> t.chain_epoch
     || interrupt_pending t
 
+  let chain_terminator () = ()
+
   (* Full-semantics variant: the retirement shell is compiled per
      instruction (pc, word and fetch tag are constants); the body shares
      {!execute}, whose operands were pre-resolved by decoding, so tag
      propagation and clearance checks are identical to the interpreter by
      construction. Runs only with [t.fast] false (block entry either took
-     the fast chain or this one). *)
-  let compile_full t ~guarded ~pc0 ~word ~itag ~insn ~next =
+     the fast chain or this one).
+
+     [exit_k] runs when control leaves the straight line (a taken branch
+     or trap): the chain terminator for a standalone block, or a
+     superblock seam that continues into the chained successor when the
+     divergence lands exactly on it. *)
+  let compile_full t ~guarded ~pc0 ~word ~itag ~insn ~next ~exit_k =
     let next_pc = mask32 (pc0 + 4) in
     (* Captured at compile time; set_trace drops compiled blocks. *)
     let traced = t.trace in
@@ -1114,7 +1203,71 @@ module Make (M : MODE) = struct
         t.local_cycles <- t.local_cycles + 1;
         t.pc <- next_pc;
         (try execute t insn with Exit -> ());
-        if t.pc = next_pc then next ()
+        if t.pc = next_pc then next () else exit_k ()
+      end
+
+  (* --- jalr inline caches --------------------------------------------- *)
+
+  let ic_demoted = -2
+
+  (* Monomorphic-install / demote state machine shared by both jalr
+     variants. On a miss with an empty (or epoch-invalidated) cache the
+     current target's compiled chain is installed if it exists; a second
+     distinct target demotes the site for good. Never *enters* a chain —
+     control falls back to the dispatcher, which re-checks everything. *)
+  let ic_miss t ic ~tgt ~entry_of =
+    t.n_ic_miss <- t.n_ic_miss + 1;
+    if ic.ic_pc = tgt || ic.ic_pc = -1 then begin
+      if tgt land 3 = 0 then
+        let idx = (tgt - t.blk_base) lsr 2 in
+        if idx >= 0 && idx < Array.length t.cblocks then
+          match Array.unsafe_get t.cblocks idx with
+          | Some cb when cb.cb_n > 0 ->
+              ic.ic_pc <- tgt;
+              ic.ic_epoch <- t.flush_epoch;
+              ic.ic_entry <- entry_of cb
+          | _ -> ()
+    end
+    else ic.ic_pc <- ic_demoted
+
+  (* Full-semantics jalr with an inline cache: replicates {!execute}'s
+     JALR case inside the retirement shell (check before target, target
+     before link write — rd may alias rs1), then jumps straight to the
+     predicted target's chain when the prediction holds and no stop
+     condition is pending. Only built by the superblock engine. *)
+  let compile_full_jalr t ~guarded ~pc0 ~word ~itag ~insn ~rd ~rs1 ~off ~next =
+    let next_pc = mask32 (pc0 + 4) in
+    let traced = t.trace in
+    let ic = { ic_pc = -1; ic_epoch = -1; ic_entry = chain_terminator } in
+    let entry_of cb = cb.cb_full in
+    let regs = t.regs and rtags = t.rtags in
+    fun () ->
+      if (not guarded) || not (chain_stalled t) then begin
+        t.cur_pc <- pc0;
+        if M.tracking then begin
+          t.insn_word <- word;
+          t.insn_tag <- itag;
+          check_fetch t itag
+        end;
+        (match traced with Some f -> f pc0 insn | None -> ());
+        t.instret <- t.instret + 1;
+        t.local_cycles <- t.local_cycles + 1;
+        t.pc <- next_pc;
+        if M.tracking && not t.fast then
+          check_branch t (Array.unsafe_get rtags rs1) "indirect jump target";
+        let tgt = mask32 (Array.unsafe_get regs rs1 + off) land lnot 1 in
+        set_reg_tagged t rd next_pc itag;
+        t.pc <- tgt;
+        if tgt = next_pc then next ()
+        else if
+          ic.ic_pc = tgt
+          && ic.ic_epoch = t.flush_epoch
+          && not (chain_stalled t)
+        then begin
+          t.n_ic_hits <- t.n_ic_hits + 1;
+          ic.ic_entry ()
+        end
+        else ic_miss t ic ~tgt ~entry_of
       end
 
   (* Untainted specialization (tracking mode): entered only when every
@@ -1125,7 +1278,7 @@ module Make (M : MODE) = struct
      falls through to the full variant's next closure. Bodies replicate
      {!execute} value semantics with operands and targets folded into
      the closure. *)
-  let compile_fast t ~guarded ~pc0 ~insn ~next ~fallback =
+  let compile_fast t ~guarded ~pc0 ~insn ~next ~fallback ~exit_k =
     let open Insn in
     let regs = t.regs and rtags = t.rtags in
     let next_pc = mask32 (pc0 + 4) in
@@ -1156,8 +1309,11 @@ module Make (M : MODE) = struct
       end
     in
     (* Taken branches / jumps landing exactly on [next_pc] continue the
-       chain, exactly like exec_block's pc test. *)
+       chain, exactly like exec_block's pc test; any other landing site
+       exits through [exit_k] (terminator, or superblock seam). The
+       taken-path continuation is resolved at compile time. *)
     let cond_branch cond tgt =
+     let taken_k = if tgt = next_pc then next else exit_k in
      fun () ->
       if (not guarded) || not (chain_stalled t) then begin
         t.cur_pc <- pc0;
@@ -1168,7 +1324,7 @@ module Make (M : MODE) = struct
         t.pc <- next_pc;
         if cond () then begin
           t.pc <- tgt;
-          if tgt = next_pc then next ()
+          taken_k ()
         end
         else next ()
       end
@@ -1210,7 +1366,8 @@ module Make (M : MODE) = struct
            with Bus_if.Bus_error _ ->
              trap t ~cause:Csr.cause_load_fault ~tval:addr;
              t.insn_tag <- t.pub);
-        if t.pc = next_pc then if t.fast then next () else fallback ()
+        if t.pc = next_pc then (if t.fast then next () else fallback ())
+        else exit_k ()
       end
     in
     (* Stores cannot taint registers; the written tag is bottom by the
@@ -1235,7 +1392,7 @@ module Make (M : MODE) = struct
                ~tag:t.pub
            with Bus_if.Bus_error _ ->
              trap t ~cause:Csr.cause_store_fault ~tval:addr);
-        if t.pc = next_pc then next ()
+        if t.pc = next_pc then next () else exit_k ()
       end
     in
     let sext8 v = if v land 0x80 <> 0 then v lor 0xffffff00 else v in
@@ -1250,6 +1407,7 @@ module Make (M : MODE) = struct
         straight (fun () -> if rd <> 0 then regs.(rd) <- v)
     | JAL (rd, off) ->
         let tgt = mask32 (pc0 + off) in
+        let taken_k = if tgt = next_pc then next else exit_k in
         fun () ->
           if (not guarded) || not (chain_stalled t) then begin
             t.cur_pc <- pc0;
@@ -1259,22 +1417,64 @@ module Make (M : MODE) = struct
             t.local_cycles <- t.local_cycles + 1;
             if rd <> 0 then regs.(rd) <- next_pc;
             t.pc <- tgt;
-            if tgt = next_pc then next ()
+            taken_k ()
           end
     | JALR (rd, rs1, off) ->
-        fun () ->
-          if (not guarded) || not (chain_stalled t) then begin
-            t.cur_pc <- pc0;
-            t.n_fast <- t.n_fast + 1;
-            (match traced with Some f -> f pc0 insn | None -> ());
-            t.instret <- t.instret + 1;
-            t.local_cycles <- t.local_cycles + 1;
-            (* Target before link write: rd may alias rs1. *)
-            let tgt = mask32 (regs.(rs1) + off) land lnot 1 in
-            if rd <> 0 then regs.(rd) <- next_pc;
-            t.pc <- tgt;
-            if tgt = next_pc then next ()
-          end
+        if not t.superblocks then
+          (fun () ->
+            if (not guarded) || not (chain_stalled t) then begin
+              t.cur_pc <- pc0;
+              t.n_fast <- t.n_fast + 1;
+              (match traced with Some f -> f pc0 insn | None -> ());
+              t.instret <- t.instret + 1;
+              t.local_cycles <- t.local_cycles + 1;
+              (* Target before link write: rd may alias rs1. *)
+              let tgt = mask32 (regs.(rs1) + off) land lnot 1 in
+              if rd <> 0 then regs.(rd) <- next_pc;
+              t.pc <- tgt;
+              if tgt = next_pc then next ()
+            end)
+        else begin
+          (* Superblock engine: inline-cache the jalr target. A hit jumps
+             straight into the predicted chain's fast entry; a target
+             without a fast variant gets a demoting trampoline so the
+             prediction still skips the dispatcher. The tag invariant
+             carries over the jump: [t.fast] true here means every
+             register tag is bottom, which is exactly the fast-entry
+             precondition the dispatcher would re-derive. *)
+          let ic = { ic_pc = -1; ic_epoch = -1; ic_entry = chain_terminator } in
+          let entry_of cb =
+            match cb.cb_fast with
+            | Some f -> f
+            | None ->
+                fun () ->
+                  t.fast <- false;
+                  cb.cb_full ()
+          in
+          fun () ->
+            if (not guarded) || not (chain_stalled t) then begin
+              t.cur_pc <- pc0;
+              t.n_fast <- t.n_fast + 1;
+              (match traced with Some f -> f pc0 insn | None -> ());
+              t.instret <- t.instret + 1;
+              t.local_cycles <- t.local_cycles + 1;
+              (* Target before link write: rd may alias rs1. *)
+              let tgt = mask32 (Array.unsafe_get regs rs1 + off) land lnot 1 in
+              if rd <> 0 then Array.unsafe_set regs rd next_pc;
+              t.pc <- tgt;
+              if tgt = next_pc then next ()
+              else if
+                ic.ic_pc = tgt
+                && ic.ic_epoch = t.flush_epoch
+                && (not (chain_stalled t))
+                && ((not M.tracking) || Dift.Monitor.fast_path_ok t.monitor)
+              then begin
+                t.n_ic_hits <- t.n_ic_hits + 1;
+                ic.ic_entry ()
+              end
+              else ic_miss t ic ~tgt ~entry_of
+            end
+        end
     | BEQ (a, b, off) ->
         cond_branch (fun () -> regs.(a) = regs.(b)) (mask32 (pc0 + off))
     | BNE (a, b, off) ->
@@ -1424,27 +1624,79 @@ module Make (M : MODE) = struct
         (* Breakers never enter a block (see build_block). *)
         invalid_arg "compile_fast: breaker instruction in block"
 
-  let chain_terminator () = ()
-
-  let compile_block t (b : block) =
+  let compile_block ?link t (b : block) =
     let n = Array.length b.b_insns in
+    let lo0 = b.b_pc and hi0 = b.b_pc + (4 * max 1 n) - 1 in
     if n = 0 then
-      { cb_pc = b.b_pc; cb_n = 0; cb_full = chain_terminator; cb_fast = None }
+      {
+        cb_pc = b.b_pc;
+        cb_n = 0;
+        cb_full = chain_terminator;
+        cb_fast = None;
+        cb_blk = b;
+        cb_lo = lo0;
+        cb_hi = hi0;
+        cb_edge_pc = -1;
+        cb_edge_n = 0;
+        cb_linked = false;
+      }
     else begin
+      (* Superblock seams: with a hot successor [link], every exit path of
+         this block (slot [n] fall-off, taken branches, even a mid-block
+         trap) funnels through a seam instead of the chain terminator. The
+         seam continues straight into the successor's chain — eliding the
+         dispatcher round, the pc/index lookup and, on the fast side, the
+         31-register tag rescan — exactly when execution really landed on
+         the successor and no stop condition is pending; anything else
+         returns to the dispatcher as before. The fast seam re-checks only
+         the monitor gate: [t.fast] being true is itself the proof that
+         every register tag is still bottom (a tainted load would have
+         dropped it before the seam). Entries are threaded through refs so
+         a block chained to itself loops inside its own new chain. *)
+      let full_tgt = ref chain_terminator in
+      let fast_tgt = ref chain_terminator in
+      let succ_pc = match link with Some s -> s.cb_pc | None -> -1 in
+      let full_seam, fast_seam =
+        match link with
+        | None -> (chain_terminator, chain_terminator)
+        | Some _ ->
+            ( (fun () ->
+                if t.pc = succ_pc && not (chain_stalled t) then begin
+                  t.n_chain <- t.n_chain + 1;
+                  !full_tgt ()
+                end),
+              fun () ->
+                if
+                  t.pc = succ_pc
+                  && (not (chain_stalled t))
+                  && ((not M.tracking) || Dift.Monitor.fast_path_ok t.monitor)
+                then begin
+                  t.n_chain <- t.n_chain + 1;
+                  !fast_tgt ()
+                end )
+      in
       (* Built backwards so each closure captures its successor; slot [n]
-         is the end-of-block terminator. *)
-      let full = Array.make (n + 1) chain_terminator in
+         is the fall-off exit (terminator or seam). *)
+      let full = Array.make (n + 1) full_seam in
       for i = n - 1 downto 0 do
         let itag = if M.tracking then b.b_tags.(i) else t.pub in
         full.(i) <-
-          compile_full t ~guarded:(i > 0)
-            ~pc0:(b.b_pc + (4 * i))
-            ~word:b.b_words.(i) ~itag ~insn:b.b_insns.(i)
-            ~next:full.(i + 1)
+          (match b.b_insns.(i) with
+          | Insn.JALR (rd, rs1, off) when t.superblocks ->
+              compile_full_jalr t ~guarded:(i > 0)
+                ~pc0:(b.b_pc + (4 * i))
+                ~word:b.b_words.(i) ~itag ~insn:b.b_insns.(i) ~rd ~rs1 ~off
+                ~next:full.(i + 1)
+          | insn ->
+              compile_full t ~guarded:(i > 0)
+                ~pc0:(b.b_pc + (4 * i))
+                ~word:b.b_words.(i) ~itag ~insn
+                ~next:full.(i + 1)
+                ~exit_k:full_seam)
       done;
       let cb_fast =
         if t.fast_spec && b.b_fast then begin
-          let fast = Array.make (n + 1) chain_terminator in
+          let fast = Array.make (n + 1) fast_seam in
           for i = n - 1 downto 0 do
             fast.(i) <-
               compile_fast t ~guarded:(i > 0)
@@ -1452,24 +1704,88 @@ module Make (M : MODE) = struct
                 ~insn:b.b_insns.(i)
                 ~next:fast.(i + 1)
                 ~fallback:full.(i + 1)
+                ~exit_k:fast_seam
           done;
           Some fast.(0)
         end
         else None
       in
-      { cb_pc = b.b_pc; cb_n = n; cb_full = full.(0); cb_fast }
+      let cb_lo, cb_hi =
+        match link with
+        | Some s -> (min lo0 s.cb_lo, max hi0 s.cb_hi)
+        | None -> (lo0, hi0)
+      in
+      let cb =
+        {
+          cb_pc = b.b_pc;
+          cb_n = n;
+          cb_full = full.(0);
+          cb_fast;
+          cb_blk = b;
+          cb_lo;
+          cb_hi;
+          cb_edge_pc = -1;
+          cb_edge_n = 0;
+          cb_linked = link <> None;
+        }
+      in
+      (match link with
+      | None -> ()
+      | Some succ when succ.cb_pc = b.b_pc ->
+          (* Self-loop: the back edge re-enters this block's own new
+             chain, so a hot loop body spins inside one chain until a
+             stop condition (quantum, interrupt, ...) breaks it. Entries
+             are tail calls, so the spin is stack-safe. *)
+          full_tgt := cb.cb_full;
+          fast_tgt :=
+            (match cb.cb_fast with Some f -> f | None -> chain_terminator)
+      | Some succ ->
+          full_tgt := succ.cb_full;
+          fast_tgt :=
+            (match succ.cb_fast with
+            | Some f -> f
+            | None ->
+                fun () ->
+                  t.fast <- false;
+                  succ.cb_full ()));
+      cb
     end
+
+  (* Consecutive observations of the same exit edge before the
+     predecessor is recompiled into a superblock. *)
+  let superblock_threshold = 8
+
+  let ends_in_jalr b =
+    let n = Array.length b.b_insns in
+    n > 0 && (match b.b_insns.(n - 1) with Insn.JALR _ -> true | _ -> false)
+
+  (* Recompile [pred] chained across its exit edge into [succ], replacing
+     pred's cache slot and registering the new chain's two-block span for
+     invalidation. Compiled from the stored decoded block — nothing is
+     re-fetched, so [blocks_built] is unchanged. *)
+  let link_superblock t pred pidx succ =
+    let sb = compile_block ~link:succ t pred.cb_blk in
+    Array.unsafe_set t.cblocks pidx (Some sb);
+    t.sblocks <- (pidx, sb) :: t.sblocks;
+    t.n_superblocks <- t.n_superblocks + 1;
+    sb
 
   (* Threaded-engine scheduling round: same structure as {!dispatch}, but
      a cache hit invokes the compiled chain instead of interpreting the
      block. The fast/full decision is made once per block entry, exactly
      like exec_block's fast-path gate. *)
   let dispatch_threaded t =
-    if interrupt_pending t then take_interrupt t
+    if interrupt_pending t then begin
+      t.prev_cb <- None;
+      take_interrupt t
+    end
     else begin
       let pc0 = t.pc in
       let idx = (pc0 - t.blk_base) lsr 2 in
-      if pc0 land 3 <> 0 || idx >= Array.length t.cblocks then step t
+      if pc0 land 3 <> 0 || idx >= Array.length t.cblocks then begin
+        t.prev_cb <- None;
+        step t
+      end
       else
         let cb =
           match Array.unsafe_get t.cblocks idx with
@@ -1479,8 +1795,48 @@ module Make (M : MODE) = struct
               Array.unsafe_set t.cblocks idx (Some cb);
               cb
         in
-        if cb.cb_n = 0 then step t
+        if cb.cb_n = 0 then begin
+          t.prev_cb <- None;
+          step t
+        end
         else begin
+          (* Exit-edge profiling (superblock engine): each dispatcher
+             entry is an edge from the chain that ran last round to
+             [pc0]. When the same edge repeats superblock_threshold
+             times, the predecessor is recompiled chained into this
+             block — jalr exits are excluded (their inline caches cover
+             them). The slot identity check refuses to resurrect a chain
+             that was flushed since it last ran; a self-loop link swaps
+             in the new chain for the current round as well. *)
+          let cb =
+            if not t.superblocks then cb
+            else begin
+              match t.prev_cb with
+              | Some p when not p.cb_linked ->
+                  if p.cb_edge_pc = pc0 then begin
+                    p.cb_edge_n <- p.cb_edge_n + 1;
+                    if
+                      p.cb_edge_n >= superblock_threshold
+                      && not (ends_in_jalr p.cb_blk)
+                    then begin
+                      let pidx = (p.cb_pc - t.blk_base) lsr 2 in
+                      match Array.unsafe_get t.cblocks pidx with
+                      | Some cur when cur == p ->
+                          let sb = link_superblock t p pidx cb in
+                          if p.cb_pc = pc0 then sb else cb
+                      | _ -> cb
+                    end
+                    else cb
+                  end
+                  else begin
+                    p.cb_edge_pc <- pc0;
+                    p.cb_edge_n <- 1;
+                    cb
+                  end
+              | _ -> cb
+            end
+          in
+          t.prev_cb <- Some cb;
           t.chain_epoch <- t.flush_epoch;
           match cb.cb_fast with
           | Some f
@@ -1534,7 +1890,7 @@ module Make (M : MODE) = struct
       else
         match t.engine with
         | Interp -> dispatch
-        | Threaded -> dispatch_threaded
+        | Threaded | Threaded_superblock -> dispatch_threaded
     in
     Sysc.Kernel.spawn t.kernel ~name:"cpu" (fun () ->
         if t.syncing then begin
@@ -1651,7 +2007,13 @@ module Make (M : MODE) = struct
        flag. *)
     t.paused <- t.syncing;
     t.pause_at <- max_int;
-    t.fast <- false
+    t.fast <- false;
+    (* The restored state came from an arbitrary other run: drop the
+       exit-edge profile and force every inline cache to re-validate.
+       (The memory restore already flushed the compiled blocks through
+       the write hook; this covers cores restored without one.) *)
+    t.prev_cb <- None;
+    t.flush_epoch <- t.flush_epoch + 1
 end
 
 module Vp = Make (struct let tracking = false end)

@@ -24,15 +24,19 @@
       and dispatched from pre-decoded arrays; stores into cached code
       (self-modifying code via the CPU, DMA via the memory model) invalidate
       overlapping blocks through {!flush_code};
-    - two pluggable execution {!engine}s over that cache, selected at
+    - three pluggable execution {!engine}s over that cache, selected at
       [create] time: [Interp] runs cached blocks through the
-      per-instruction execute loop; [Threaded] (the default) compiles each
-      block into a chain of closures — one per instruction, operands
-      pre-resolved, chained tail-first — with an untainted specialization
-      per block whose tag plumbing is compiled out entirely. Both engines
-      retire identical architectural state, tags, counters, hook streams
-      and snapshots (pinned by [test_threaded] and the difftest
-      engine-differential leg);
+      per-instruction execute loop; [Threaded] compiles each block into a
+      chain of closures — one per instruction, operands pre-resolved,
+      chained tail-first — with an untainted specialization per block
+      whose tag plumbing is compiled out entirely;
+      [Threaded_superblock] (the default) additionally recompiles hot
+      block pairs into superblocks chained across their exit edge and
+      inline-caches [jalr] targets, so hot control transfers skip the
+      dispatcher (and on the fast side the per-entry register-tag rescan)
+      entirely. All engines retire identical architectural state, tags,
+      counters, hook streams and snapshots (pinned by [test_threaded] /
+      [test_superblock] and the difftest engine-differential legs);
     - an untainted fast path (VP+ only): while every live register tag and
       every fetched word's tag is the lattice bottom and the bottom tag
       passes all static clearances, tag propagation and monitor checks are
@@ -68,13 +72,21 @@ type engine =
           loop. *)
   | Threaded
       (** Compile each cached block into a threaded-code closure chain
-          with an untainted specialization (default). *)
+          with an untainted specialization. *)
+  | Threaded_superblock
+      (** [Threaded], plus superblock chaining of hot block pairs and
+          inline caches on [jalr] targets (default). Chains participate
+          in SMC/DMA flush-epoch invalidation, [set_trace] flushing and
+          cross-engine snapshot restore exactly like single-block
+          chains. *)
 
 val engine_name : engine -> string
-(** ["interp"] / ["threaded"] — stable names for CLIs and bench rows. *)
+(** ["interp"] / ["threaded"] / ["superblock"] — stable names for CLIs
+    and bench rows. *)
 
 val engine_of_string : string -> engine option
-(** Inverse of {!engine_name} (also accepts ["interpreter"]). *)
+(** Inverse of {!engine_name} (also accepts ["interpreter"] and
+    ["threaded-superblock"]/["threaded_superblock"]). *)
 
 module type MODE = sig
   val tracking : bool
@@ -103,9 +115,9 @@ module type S = sig
       [block_cache] (default true) enables the decoded basic-block cache
       (requires a DMI region); [fast_path] (default true) enables the
       untainted fast path on top of it (tracking flavour only).
-      [engine] (default [Threaded]) selects how cached blocks are
-      executed; with [block_cache] off (or no DMI region) both engines
-      degrade to single-stepping and the choice is irrelevant.
+      [engine] (default [Threaded_superblock]) selects how cached blocks
+      are executed; with [block_cache] off (or no DMI region) every
+      engine degrades to single-stepping and the choice is irrelevant.
       [strict_align] (default false) traps naturally misaligned data
       accesses with causes 4/6 instead of letting the bus split them. *)
 
@@ -205,7 +217,25 @@ module type S = sig
 
   val blocks_built : t -> int
   (** Number of basic blocks fetch-decoded so far (rebuilds after
-      invalidation count again). *)
+      invalidation count again). Superblock recompilation reuses the
+      already-decoded block and does not count. *)
+
+  val superblocks_built : t -> int
+  (** Number of hot block pairs recompiled into a chained superblock
+      ([Threaded_superblock] engine only; 0 otherwise). *)
+
+  val chain_hits : t -> int
+  (** Number of times execution crossed a superblock seam directly into
+      the chained successor, skipping the dispatcher. *)
+
+  val ic_hits : t -> int
+  (** Number of [jalr] retirements that jumped through a valid inline
+      cache straight into the target's compiled chain. *)
+
+  val ic_misses : t -> int
+  (** Number of [jalr] retirements (with an off-fall-through target) that
+      fell back to the dispatcher: cold caches filling in, flush-epoch
+      invalidations re-validating, and polymorphic sites being demoted. *)
 
   val fast_retired : t -> int
   (** Number of instructions retired on the untainted fast path (0 when

@@ -34,6 +34,10 @@ type cpu = {
   cpu_priv : unit -> int;
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
+  cpu_superblocks_built : unit -> int;
+  cpu_chain_hits : unit -> int;
+  cpu_ic_hits : unit -> int;
+  cpu_ic_misses : unit -> int;
   cpu_fast_retired : unit -> int;
   cpu_set_pause_at : int -> unit;
   cpu_paused : unit -> bool;
@@ -85,6 +89,10 @@ module Wrap (C : Rv32.Core.S) = struct
       cpu_priv = (fun () -> C.priv core);
       cpu_flush_code = (fun ~addr ~len -> C.flush_code core ~addr ~len);
       cpu_blocks_built = (fun () -> C.blocks_built core);
+      cpu_superblocks_built = (fun () -> C.superblocks_built core);
+      cpu_chain_hits = (fun () -> C.chain_hits core);
+      cpu_ic_hits = (fun () -> C.ic_hits core);
+      cpu_ic_misses = (fun () -> C.ic_misses core);
       cpu_fast_retired = (fun () -> C.fast_retired core);
       cpu_set_pause_at = (fun n -> C.set_pause_at core n);
       cpu_paused = (fun () -> C.paused core);
@@ -100,7 +108,8 @@ module Wrap_dift = Wrap (Rv32.Core.Vp_dift)
 
 let create ~policy ~monitor ?(tracking = true) ?(ram_size = 1 lsl 20)
     ?(dmi = true) ?(quantum = 1000) ?(block_cache = true) ?(fast_path = true)
-    ?(engine = Rv32.Core.Threaded) ?(strict_align = false) ?sensor_period
+    ?(engine = Rv32.Core.Threaded_superblock) ?(strict_align = false)
+    ?sensor_period
     ?aes_out_tag
     ?aes_in_clearance ?wdt_clearance ?tracer () =
   let kernel = Sysc.Kernel.create () in

@@ -63,6 +63,10 @@ type cpu = {
       (** Current privilege level ({!Rv32.Csr.priv_m} / {!Rv32.Csr.priv_u}). *)
   cpu_flush_code : addr:int -> len:int -> unit;
   cpu_blocks_built : unit -> int;
+  cpu_superblocks_built : unit -> int;
+  cpu_chain_hits : unit -> int;
+  cpu_ic_hits : unit -> int;
+  cpu_ic_misses : unit -> int;
   cpu_fast_retired : unit -> int;
   cpu_set_pause_at : int -> unit;
   cpu_paused : unit -> bool;
@@ -114,7 +118,8 @@ val create :
     [block_cache] / [fast_path] control the core's decoded basic-block
     cache and untainted fast path (both default true, see
     {!Rv32.Core.S.create}); [engine] selects the core's execution engine
-    (default {!Rv32.Core.Threaded}); [strict_align] traps misaligned data
+    (default {!Rv32.Core.Threaded_superblock}); [strict_align] traps
+    misaligned data
     accesses (default false); [aes_out_tag] defaults to the lattice
     bottom
     (fully declassified ciphertext). RAM writes that bypass the CPU (DMA,

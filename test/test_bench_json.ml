@@ -227,6 +227,49 @@ let test_validate () =
              (("nodes", J.Str "two") :: List.remove_assoc "nodes" graph_fields)
              (good_row ());
          ]
+       ());
+  (* The block-engine fields: all four together or none at all. *)
+  let engine_fields =
+    [
+      ("superblocks_built", J.num_of_int 2);
+      ("chain_hits", J.num_of_int 50);
+      ("ic_hits", J.num_of_int 9);
+      ("ic_misses", J.num_of_int 1);
+    ]
+  in
+  expect_valid (good_doc ~rows:[ with_fields engine_fields (good_row ()) ] ());
+  List.iter
+    (fun missing ->
+      expect_invalid
+        (Printf.sprintf "block-engine row without %S" missing)
+        (good_doc
+           ~rows:
+             [
+               with_fields
+                 (List.remove_assoc missing engine_fields)
+                 (good_row ());
+             ]
+           ()))
+    [ "superblocks_built"; "chain_hits"; "ic_hits"; "ic_misses" ];
+  expect_invalid "negative chain_hits"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("chain_hits", J.num_of_int (-1))
+             :: List.remove_assoc "chain_hits" engine_fields)
+             (good_row ());
+         ]
+       ());
+  expect_invalid "ill-typed ic_hits"
+    (good_doc
+       ~rows:
+         [
+           with_fields
+             (("ic_hits", J.Str "many")
+             :: List.remove_assoc "ic_hits" engine_fields)
+             (good_row ());
+         ]
        ())
 
 (* The parallel_row constructor fills the four optional fields
@@ -314,6 +357,11 @@ let test_real_report () =
     vpp.D.m_instructions;
   check_bool "vp+ built blocks" true (vpp.D.m_blocks_built > 0);
   check_bool "vp+ used the fast path" true (vpp.D.m_fast_retired > 0);
+  check_bool "measured rows carry the block-engine counter group" true
+    (vpp.D.m_superblocks <> None
+    && vpp.D.m_chain_hits <> None
+    && vpp.D.m_ic_hits <> None
+    && vpp.D.m_ic_misses <> None);
   let doc =
     D.doc ~bench:"table2" ~scale:0.01 ~block_cache:true ~fast_path:true rows
   in
@@ -355,7 +403,12 @@ let test_real_report () =
             |> Option.map J.to_num |> Option.join
           in
           check_bool "vp+ overhead present and positive" true
-            (match ovh with Some o -> o > 0. | None -> false))
+            (match ovh with Some o -> o > 0. | None -> false);
+          check_bool "block-engine counters rendered" true
+            (J.member "superblocks_built" (List.nth rows' 1) <> None
+            && J.member "chain_hits" (List.nth rows' 1) <> None
+            && J.member "ic_hits" (List.nth rows' 1) <> None
+            && J.member "ic_misses" (List.nth rows' 1) <> None))
 
 (* The tracing guardrail: --trace adds exactly one vp+trace row that is
    architecturally identical to the untraced runs (same instret, clean
@@ -387,6 +440,35 @@ let test_trace_row () =
         = Some true)
   | _ -> Alcotest.fail "expected three rendered rows"
 
+(* The branch-heavy dispatch workload drives all three counter classes
+   under the default superblock engine: linked superblocks, in-chain
+   transitions, inline-cache hits (monomorphic rets) and misses (the
+   rotating dispatch site). *)
+let test_dispatch_counters () =
+  let defs = D.table2 ~scale:0.01 in
+  let dispatch = List.find (fun d -> d.D.d_name = "dispatch") defs in
+  let rows = D.measure dispatch in
+  let some_pos = function Some n -> n > 0 | None -> false in
+  List.iter
+    (fun m ->
+      let ctx what = Printf.sprintf "dispatch %s: %s" m.D.m_mode what in
+      check_bool (ctx "exited cleanly") true m.D.m_exit_ok;
+      check_bool (ctx "superblocks linked") true (some_pos m.D.m_superblocks);
+      check_bool (ctx "chains taken") true (some_pos m.D.m_chain_hits);
+      check_bool (ctx "ic hits") true (some_pos m.D.m_ic_hits);
+      check_bool (ctx "ic misses") true (some_pos m.D.m_ic_misses))
+    rows;
+  (* Under the plain threaded engine the same workload reports the group
+     as all-zero — present (measured) but empty. *)
+  let rows = D.measure ~engine:Rv32.Core.Threaded dispatch in
+  List.iter
+    (fun m ->
+      check_bool "threaded rows carry zero superblocks" true
+        (m.D.m_superblocks = Some 0);
+      check_bool "threaded rows carry zero ic traffic" true
+        (m.D.m_ic_hits = Some 0 && m.D.m_ic_misses = Some 0))
+    rows
+
 let () =
   Alcotest.run "bench_json"
     [
@@ -404,5 +486,7 @@ let () =
           Alcotest.test_case "graph row fields" `Quick test_graph_row;
           Alcotest.test_case "real report end to end" `Slow test_real_report;
           Alcotest.test_case "trace row guardrail" `Slow test_trace_row;
+          Alcotest.test_case "dispatch workload counters" `Slow
+            test_dispatch_counters;
         ] );
     ]

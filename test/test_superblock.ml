@@ -1,0 +1,559 @@
+(* Engine-differential tests for superblock chaining and the jalr inline
+   caches: the [Threaded_superblock] engine (hot block pairs recompiled
+   into cross-block closure chains, monomorphic jalr sites promoted to
+   direct chain entries) must be observationally identical to both the
+   [Interp] and the plain [Threaded] engines — same exit reason, same
+   retired-instruction count, byte-identical architectural state
+   including every register's taint tag, and byte-identical full-platform
+   snapshots.  Every program loops well past the link threshold so the
+   profiler actually promotes blocks; the counter assertions at the
+   bottom pin that superblocks, chain transitions and inline-cache
+   hits/misses really happened.  Covers mid-chain taint entry (fast
+   chain -> guard -> full-chain fallback), SMC and DMA patches landing
+   inside an already-linked chain, polymorphic jalr demotion, a trap
+   firing out of the middle of a chain, and an Interp-saved snapshot
+   restored under the superblock engine. *)
+
+open Helpers
+module A = Rv32_asm.Asm
+module R = Rv32.Reg
+
+let reason_str = function
+  | Rv32.Core.Running -> "running"
+  | Rv32.Core.Exited c -> Printf.sprintf "exited %d" c
+  | Rv32.Core.Breakpoint -> "breakpoint"
+  | Rv32.Core.Insn_limit -> "insn limit"
+
+let run_e ?(tracking = true) ?policy ?(seed = fun _ _ -> ())
+    ?(max_insns = 500_000) ~engine build =
+  let p = A.create () in
+  build p;
+  let img = A.assemble p in
+  let policy =
+    match policy with Some pol -> pol | None -> trivial_policy ()
+  in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking ~engine () in
+  Vp.Soc.load_image soc img;
+  seed soc img;
+  let reason = Vp.Soc.run_for_instructions soc max_insns in
+  (soc, reason)
+
+(* Run [build] under all three engines and demand indistinguishable
+   outcomes: exit reason, instret, all 32 registers and their tags, and
+   the full platform snapshot.  Returns the interp and superblock SoCs
+   for extra per-test assertions. *)
+let check_engines ?tracking ?policy ?seed ?code ~name build =
+  let soc_i, r_i =
+    run_e ?tracking ?policy ?seed ~engine:Rv32.Core.Interp build
+  in
+  let soc_t, r_t =
+    run_e ?tracking ?policy ?seed ~engine:Rv32.Core.Threaded build
+  in
+  let soc_s, r_s =
+    run_e ?tracking ?policy ?seed ~engine:Rv32.Core.Threaded_superblock build
+  in
+  (match (r_i, r_s) with
+  | Rv32.Core.Exited a, Rv32.Core.Exited b ->
+      check_int (name ^ ": exit code agrees") a b;
+      Option.iter (fun c -> check_int (name ^ ": expected exit code") c a) code
+  | a, b ->
+      Alcotest.failf "%s: interp %s, superblock %s" name (reason_str a)
+        (reason_str b));
+  (match (r_t, r_s) with
+  | Rv32.Core.Exited a, Rv32.Core.Exited b ->
+      check_int (name ^ ": exit code agrees with threaded") a b
+  | a, b ->
+      Alcotest.failf "%s: threaded %s, superblock %s" name (reason_str a)
+        (reason_str b));
+  check_int
+    (name ^ ": instret agrees")
+    (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_instret ())
+    (soc_s.Vp.Soc.cpu.Vp.Soc.cpu_instret ());
+  for r = 0 to 31 do
+    check_int
+      (Printf.sprintf "%s: x%d value" name r)
+      (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_get_reg r)
+      (soc_s.Vp.Soc.cpu.Vp.Soc.cpu_get_reg r);
+    check_int
+      (Printf.sprintf "%s: x%d tag" name r)
+      (soc_i.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r)
+      (soc_s.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r)
+  done;
+  let snap_s = Vp.Soc.save soc_s in
+  check_bool
+    (name ^ ": snapshot identical to interp's")
+    true
+    (String.equal (Vp.Soc.save soc_i) snap_s);
+  check_bool
+    (name ^ ": snapshot identical to threaded's")
+    true
+    (String.equal (Vp.Soc.save soc_t) snap_s);
+  (soc_i, soc_s)
+
+let exit_with p reg =
+  A.mv p R.a0 reg;
+  A.li p R.a7 93;
+  A.ecall p
+
+(* --- opcode classes under linked chains ---------------------------------- *)
+
+(* A hot self-loop (the canonical superblock case: the block links to its
+   own recompilation) plus a two-block loop whose first edge alternates
+   every iteration — the profiler must keep resetting that edge counter
+   and only ever link the stable back-edge. *)
+let alu_prog p =
+  A.li p R.s0 0;
+  A.li p R.s1 100;
+  A.label p "spin";
+  A.addi p R.s0 R.s0 1;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "spin";
+  A.li p R.s1 64;
+  A.label p "loop";
+  A.addi p R.s0 R.s0 3;
+  A.xori p R.s0 R.s0 0x155;
+  A.slli p R.t0 R.s0 2;
+  A.srai p R.t1 R.t0 1;
+  A.add p R.s0 R.s0 R.t1;
+  A.lui p R.t2 0xffff000;
+  A.xor p R.t3 R.s0 R.t2;
+  A.sltu p R.t4 R.s0 R.t3;
+  A.add p R.s0 R.s0 R.t4;
+  A.andi p R.s0 R.s0 0x7ff;
+  A.andi p R.t2 R.s1 1;
+  A.beqz_l p R.t2 "even" (* alternates taken/not-taken *);
+  A.addi p R.s0 R.s0 5;
+  A.label p "even";
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0
+
+let test_alu () = ignore (check_engines ~name:"alu" alu_prog)
+
+let muldiv_pairs =
+  [
+    (0, 0);
+    (1, 0);
+    (0x8000_0000, -1);
+    (0x8000_0000, 1);
+    (-1, -1);
+    (7, -3);
+    (-7, 3);
+    (123456789, 1013);
+    (0xdead_beef, 0xcafe);
+    (3, 0x7fff_ffff);
+  ]
+
+(* The muldiv table walk, repeated enough times that the loop body links:
+   every M-extension edge case retires inside a chained superblock. *)
+let muldiv_prog p =
+  A.li p R.s3 4;
+  A.li p R.s0 0;
+  A.label p "again";
+  A.la p R.s1 "tab";
+  A.li p R.s2 (List.length muldiv_pairs);
+  A.label p "loop";
+  A.lw p R.t0 R.s1 0;
+  A.lw p R.t1 R.s1 4;
+  let acc r = A.add p R.s0 R.s0 r in
+  A.mul p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulh p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulhsu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.mulhu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.div p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.divu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.rem p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.remu p R.t2 R.t0 R.t1;
+  acc R.t2;
+  A.addi p R.s1 R.s1 8;
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.addi p R.s3 R.s3 (-1);
+  A.bnez_l p R.s3 "again";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.align p 4;
+  A.label p "tab";
+  List.iter
+    (fun (a, b) ->
+      A.word p (a land 0xffff_ffff);
+      A.word p (b land 0xffff_ffff))
+    muldiv_pairs
+
+let test_muldiv () = ignore (check_engines ~name:"muldiv" muldiv_prog)
+
+(* Every load/store width with sign/zero extension inside a hot loop, so
+   the accesses run from a linked chain. *)
+let memory_prog p =
+  A.la p R.s1 "buf";
+  A.li p R.s2 40;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.slli p R.t0 R.s2 8;
+  A.xori p R.t0 R.t0 0x7e;
+  A.sw p R.t0 R.s1 0;
+  A.lb p R.t1 R.s1 1;
+  A.add p R.s0 R.s0 R.t1;
+  A.lbu p R.t1 R.s1 1;
+  A.add p R.s0 R.s0 R.t1;
+  A.sh p R.t0 R.s1 4;
+  A.lh p R.t1 R.s1 4;
+  A.add p R.s0 R.s0 R.t1;
+  A.lhu p R.t1 R.s1 4;
+  A.add p R.s0 R.s0 R.t1;
+  A.sb p R.t0 R.s1 6;
+  A.lw p R.t1 R.s1 4;
+  A.add p R.s0 R.s0 R.t1;
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.align p 4;
+  A.label p "buf";
+  A.space p 16
+
+let test_memory () = ignore (check_engines ~name:"memory" memory_prog)
+
+(* Tight call/return: the call-site block ends in a direct jal (chains),
+   the callee ends in a monomorphic ret (inline cache). *)
+let callret_prog p =
+  A.li p R.s1 64;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.call p "fn";
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.label p "fn";
+  A.addi p R.s0 R.s0 1;
+  A.ret p
+
+let test_callret () =
+  ignore (check_engines ~name:"call/ret" ~code:0 callret_prog)
+
+(* Table-driven indirect dispatch alternating between two handlers: the
+   dispatch site's inline cache must demote (two distinct targets) while
+   each handler's ret stays monomorphic. *)
+let poly_prog p =
+  A.li p R.s1 64;
+  A.li p R.s0 0;
+  A.li p R.s3 0;
+  A.label p "loop";
+  A.andi p R.t0 R.s3 1;
+  A.slli p R.t0 R.t0 2;
+  A.la p R.t1 "tab";
+  A.add p R.t0 R.t0 R.t1;
+  A.lw p R.t1 R.t0 0;
+  A.jalr p R.ra R.t1 0;
+  A.addi p R.s3 R.s3 1;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.label p "f0";
+  A.addi p R.s0 R.s0 2;
+  A.ret p;
+  A.label p "f1";
+  A.xori p R.s0 R.s0 0x3e7;
+  A.ret p;
+  A.align p 4;
+  A.label p "tab";
+  A.word_l p "f0";
+  A.word_l p "f1"
+
+let test_poly () = ignore (check_engines ~name:"polymorphic jalr" poly_prog)
+
+(* --- trap out of the middle of a chain ----------------------------------- *)
+
+(* Once the loop body is linked, every iteration traps via ecall from
+   inside the chain, runs the handler, and mret's back — the retirement
+   protocol at the trap boundary must leave identical state. *)
+let trap_prog p =
+  A.la p R.t0 "handler";
+  A.csrrw p R.zero Rv32.Csr.mtvec R.t0;
+  A.li p R.s1 32;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.addi p R.s0 R.s0 1;
+  A.xori p R.s0 R.s0 0x2a;
+  A.li p R.a7 1;
+  A.ecall p;
+  A.add p R.s0 R.s0 R.s4;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.label p "handler";
+  A.csrrs p R.s4 Rv32.Csr.mcause R.zero;
+  A.csrrs p R.t5 Rv32.Csr.mepc R.zero;
+  A.addi p R.t5 R.t5 4;
+  A.csrrw p R.zero Rv32.Csr.mepc R.t5;
+  A.mret p
+
+let test_trap_mid_chain () =
+  ignore (check_engines ~name:"trap mid-chain" trap_prog)
+
+(* --- taint: mid-chain entry on the fast variant -------------------------- *)
+
+let conf_policy () =
+  let lat = Dift.Lattice.confidentiality () in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  Dift.Policy.make ~lattice:lat ~default_tag:lc ()
+
+(* Clean ALU work, then a secret load mid-body: the fast chain's guard
+   must divert to the full chain in the middle of a linked superblock,
+   every iteration (the registers are scrubbed before the back-branch,
+   so each dispatch starts fast again). *)
+let taint_prog p =
+  A.li p R.s2 50;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.addi p R.s0 R.s0 3;
+  A.xori p R.s0 R.s0 0x155;
+  A.la p R.t2 "secret";
+  A.lw p R.t3 R.t2 0 (* taint enters mid-chain *);
+  A.add p R.t4 R.t3 R.s0;
+  A.la p R.t5 "cell";
+  A.sw p R.t4 R.t5 0;
+  A.li p R.t3 0;
+  A.li p R.t4 0 (* scrub: regs all-public again *);
+  A.addi p R.s2 R.s2 (-1);
+  A.bnez_l p R.s2 "loop";
+  A.la p R.t5 "cell";
+  A.lw p R.a1 R.t5 0 (* a1 must come back tainted *);
+  A.andi p R.a0 R.s0 0x3f;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.align p 4;
+  A.label p "secret";
+  A.word p 0x5ec2e700;
+  A.label p "cell";
+  A.word p 0
+
+let test_taint_mid_chain () =
+  let policy = conf_policy () in
+  let lat = policy.Dift.Policy.lattice in
+  let hc = Dift.Lattice.tag_of_name lat "HC" in
+  let lc = Dift.Lattice.tag_of_name lat "LC" in
+  let seed soc img =
+    Vp.Soc.seed_taint soc ~origin:"secret"
+      ~addr:(Rv32_asm.Image.symbol img "secret")
+      ~len:4 hc
+  in
+  let _soc_i, soc_s =
+    check_engines ~policy ~seed ~name:"taint mid-chain" taint_prog
+  in
+  let tag r = soc_s.Vp.Soc.cpu.Vp.Soc.cpu_get_reg_tag r in
+  check_int "a1 tainted HC" hc (tag 11);
+  check_int "s0 stays public" lc (tag 8);
+  check_bool "fast variant retired instructions" true
+    (soc_s.Vp.Soc.cpu.Vp.Soc.cpu_fast_retired () > 0);
+  check_bool "superblocks were linked" true
+    (soc_s.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built () > 0)
+
+(* --- invalidation of linked chains --------------------------------------- *)
+
+(* The loop runs hot (linked) for 20 iterations, then a store patches an
+   instruction further down the same loop body: the already-linked chain
+   must be flushed and the patched form must execute in the very
+   iteration that wrote it.  20 x 1 + 20 x 3 = 80. *)
+let smc_in_chain p =
+  A.li p R.s1 40;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.li p R.t2 20;
+  A.bne_l p R.s1 R.t2 "nopatch";
+  A.la p R.t0 "site";
+  A.la p R.t1 "newinsn";
+  A.lw p R.t1 R.t1 0;
+  A.sw p R.t1 R.t0 0;
+  A.label p "nopatch";
+  A.label p "site";
+  A.addi p R.s0 R.s0 1;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  exit_with p R.s0;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi s0, s0, 3 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.s0, R.s0, 3)))
+
+let test_smc_in_chain () =
+  ignore (check_engines ~name:"smc in-chain" ~code:80 smc_in_chain)
+
+(* A hot, linked callee is overwritten by a DMA transfer behind the
+   CPU's back; the next call must run the patched code (32 warm calls of
+   1, then one patched call of 99). *)
+let dma_into_chain p =
+  A.li p R.s1 32;
+  A.li p R.s0 0;
+  A.label p "warm";
+  A.call p "site_fn";
+  A.add p R.s0 R.s0 R.a0;
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "warm";
+  A.la p R.t0 "newinsn";
+  A.la p R.t1 "site_fn";
+  A.li p R.t2 Vp.Soc.dma_base;
+  A.sw p R.t0 R.t2 0x0;
+  A.sw p R.t1 R.t2 0x4;
+  A.li p R.t3 4;
+  A.sw p R.t3 R.t2 0x8;
+  A.li p R.t3 1;
+  A.sw p R.t3 R.t2 0xc;
+  A.label p "poll";
+  A.lw p R.t3 R.t2 0xc;
+  A.bnez_l p R.t3 "poll";
+  A.call p "site_fn";
+  A.add p R.a0 R.a0 R.s0;
+  A.li p R.a7 93;
+  A.ecall p;
+  A.label p "site_fn";
+  A.addi p R.a0 R.zero 1;
+  A.ret p;
+  A.align p 4;
+  A.label p "newinsn";
+  (* addi a0, x0, 99 *)
+  A.word p (Rv32.Encode.encode (Rv32.Insn.ADDI (R.a0, R.zero, 99)))
+
+let test_dma_into_chain () =
+  ignore (check_engines ~name:"dma into chain" ~code:131 dma_into_chain)
+
+(* --- snapshot across engines --------------------------------------------- *)
+
+(* A snapshot saved mid-run under the interpreter must restore into a
+   superblock-engine SoC and continue to exactly the state an
+   uninterrupted superblock run reaches — and the second half must be
+   long enough that chains are linked again after the restore. *)
+let snapshot_prog p =
+  A.li p R.s1 2000;
+  A.li p R.s0 0;
+  A.label p "loop";
+  A.addi p R.s0 R.s0 7;
+  A.xori p R.s0 R.s0 0x111;
+  A.call p "fn";
+  A.addi p R.s1 R.s1 (-1);
+  A.bnez_l p R.s1 "loop";
+  A.andi p R.s0 R.s0 0x3f;
+  exit_with p R.s0;
+  A.label p "fn";
+  A.addi p R.s0 R.s0 1;
+  A.ret p
+
+let make_soc ~engine img =
+  let policy = trivial_policy () in
+  let monitor = Dift.Monitor.create policy.Dift.Policy.lattice in
+  let soc = Vp.Soc.create ~policy ~monitor ~tracking:true ~engine () in
+  Vp.Soc.load_image soc img;
+  soc
+
+let test_restore_under_superblocks () =
+  let p = A.create () in
+  snapshot_prog p;
+  let img = A.assemble p in
+  (* Reference: uninterrupted run under the superblock engine. *)
+  let soc0 = make_soc ~engine:Rv32.Core.Threaded_superblock img in
+  soc0.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000;
+  Vp.Soc.start soc0;
+  Vp.Soc.run soc0;
+  let final0 = Vp.Soc.save soc0 in
+  let total = soc0.Vp.Soc.cpu.Vp.Soc.cpu_instret () in
+  check_bool "run is long enough to split" true (total > 400);
+  (* Save mid-run under the interpreter. *)
+  let soc1 = make_soc ~engine:Rv32.Core.Interp img in
+  Vp.Soc.pause_at soc1 (total / 2);
+  soc1.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000;
+  Vp.Soc.start soc1;
+  Vp.Soc.run soc1;
+  check_bool "paused mid-run under interp" true (Vp.Soc.paused soc1);
+  let mid = Vp.Soc.save soc1 in
+  (* Restore into a superblock-engine SoC and finish. *)
+  let soc2 = make_soc ~engine:Rv32.Core.Threaded_superblock img in
+  Vp.Soc.restore soc2 mid;
+  soc2.Vp.Soc.cpu.Vp.Soc.cpu_set_max 500_000;
+  Vp.Soc.start soc2;
+  Vp.Soc.run soc2;
+  check_bool "final snapshot matches the superblock reference" true
+    (String.equal final0 (Vp.Soc.save soc2));
+  check_bool "superblocks linked after the restore" true
+    (soc2.Vp.Soc.cpu.Vp.Soc.cpu_superblocks_built () > 0)
+
+(* --- counters: the machinery actually fired ------------------------------ *)
+
+let test_counters () =
+  (* Hot call/return: superblocks link, chains run, the monomorphic ret
+     hits its inline cache. *)
+  let soc, reason =
+    run_e ~engine:Rv32.Core.Threaded_superblock callret_prog
+  in
+  (match reason with
+  | Rv32.Core.Exited _ -> ()
+  | r -> Alcotest.failf "callret under superblock: %s" (reason_str r));
+  let c = soc.Vp.Soc.cpu in
+  check_bool "blocks built" true (c.Vp.Soc.cpu_blocks_built () > 0);
+  check_bool "superblocks built" true (c.Vp.Soc.cpu_superblocks_built () > 0);
+  check_bool "chain transitions taken" true (c.Vp.Soc.cpu_chain_hits () > 0);
+  check_bool "inline-cache hits" true (c.Vp.Soc.cpu_ic_hits () > 0);
+  (* Polymorphic dispatch: the rotating target site must keep missing
+     (and stay demoted) without ever entering a stale chain. *)
+  let soc, _ = run_e ~engine:Rv32.Core.Threaded_superblock poly_prog in
+  check_bool "inline-cache misses on the polymorphic site" true
+    (soc.Vp.Soc.cpu.Vp.Soc.cpu_ic_misses () > 0);
+  (* The plain threaded engine never links or installs caches. *)
+  let soc, _ = run_e ~engine:Rv32.Core.Threaded callret_prog in
+  let c = soc.Vp.Soc.cpu in
+  check_int "threaded links no superblocks" 0 (c.Vp.Soc.cpu_superblocks_built ());
+  check_int "threaded installs no inline caches" 0
+    (c.Vp.Soc.cpu_ic_hits () + c.Vp.Soc.cpu_ic_misses ())
+
+let () =
+  Alcotest.run "superblock"
+    [
+      ( "opcode classes",
+        [
+          Alcotest.test_case "alu (self-loop + alternating edge)" `Quick
+            test_alu;
+          Alcotest.test_case "mul/div edge cases in a chain" `Quick
+            test_muldiv;
+          Alcotest.test_case "loads/stores in a chain" `Quick test_memory;
+          Alcotest.test_case "call/ret (monomorphic jalr)" `Quick test_callret;
+          Alcotest.test_case "polymorphic jalr dispatch" `Quick test_poly;
+        ] );
+      ( "traps",
+        [
+          Alcotest.test_case "trap out of a linked chain" `Quick
+            test_trap_mid_chain;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "mid-chain taint entry falls back" `Quick
+            test_taint_mid_chain;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "smc inside a linked chain" `Quick
+            test_smc_in_chain;
+          Alcotest.test_case "dma into a linked callee" `Quick
+            test_dma_into_chain;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "interp save -> superblock restore" `Quick
+            test_restore_under_superblocks;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "superblock/chain/ic counters fire" `Quick
+            test_counters;
+        ] );
+    ]
